@@ -1,0 +1,64 @@
+"""ABL-AUG — ablate the long-term turn-off augmentation (Sec. IV.C).
+
+The augmentation exists for one reason: surviving post-deployment AP
+removal. This bench trains STONE at several ``p_upper`` values and
+evaluates on the *late* collection instances (CI:12-15, after the ~20%
+AP loss) versus the early ones. Expectation: disabling augmentation
+(p_upper = 0) costs accuracy late; the paper's aggressive 0.9 holds up.
+"""
+
+import numpy as np
+
+from repro.core import StoneConfig, StoneLocalizer
+from repro.datasets import generate_path_suite
+from repro.eval import evaluate_localizer
+from repro.eval.experiments import is_fast_mode
+from repro.eval.reporting import format_table
+
+from .conftest import run_once, save_artifact
+
+P_UPPER_VALUES = (0.0, 0.5, 0.9)
+
+
+def _run_ablation():
+    suite = generate_path_suite("office", seed=0)
+    rows = []
+    outcome = {}
+    epochs = 4 if is_fast_mode() else 15
+    for idx, p_upper in enumerate(P_UPPER_VALUES):
+        config = StoneConfig.for_suite("office", p_upper=p_upper, epochs=epochs)
+        stone = StoneLocalizer(config)
+        result = evaluate_localizer(
+            stone, suite, rng=np.random.default_rng([11, idx])
+        )
+        errors = result.mean_errors()
+        outcome[p_upper] = {
+            "early": float(errors[:9].mean()),
+            "late": float(errors[12:].mean()),
+            "overall": float(errors.mean()),
+        }
+        rows.append(
+            [f"p_upper={p_upper}", outcome[p_upper]["early"],
+             outcome[p_upper]["late"], outcome[p_upper]["overall"]]
+        )
+    rendered = format_table(
+        ["variant", "CI0-8 err (m)", "CI12-15 err (m)", "overall (m)"], rows
+    )
+    return rendered, outcome
+
+
+def test_ablation_turn_off_augmentation(benchmark, results_dir):
+    rendered, outcome = run_once(benchmark, _run_ablation)
+    save_artifact(
+        results_dir,
+        "ABL-AUG",
+        rendered,
+        ["late-CI errors (post AP-removal) should favour augmented variants"],
+    )
+    for stats in outcome.values():
+        assert np.isfinite(stats["overall"])
+    if is_fast_mode():
+        return  # smoke run
+    # The paper's augmented configuration survives the AP-removal window
+    # at least as well as the unaugmented control.
+    assert outcome[0.9]["late"] < outcome[0.0]["late"] * 1.2

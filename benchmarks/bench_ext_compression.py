@@ -1,0 +1,92 @@
+"""EXT-COMPRESS — accuracy vs model size for the deployed encoder.
+
+Extension experiment in the direction of CHISEL [7]: post-training
+quantization (int8/int4) and magnitude pruning of STONE's Siamese
+encoder, re-measuring longitudinal localization error with the
+compressed weights, plus roofline deployment estimates for the paper's
+capture device class.
+
+Expected shape: int8 is accuracy-free at ~4x compression; int4 and
+heavy pruning start to cost accuracy; latency/energy scale with the
+packed weight size on memory-bound targets.
+"""
+
+import numpy as np
+
+from repro.compress import (
+    QuantizationSpec,
+    estimate_deployment,
+    magnitude_prune,
+    model_cost,
+    quantize_model,
+)
+from repro.core import StoneConfig, StoneLocalizer
+from repro.datasets import generate_path_suite
+from repro.eval import evaluate_localizer
+from repro.eval.experiments import is_fast_mode
+from repro.eval.reporting import format_table
+
+from .conftest import run_once, save_artifact
+
+
+def _run_compression():
+    suite = generate_path_suite("office", seed=3)
+    rng = np.random.default_rng(0)
+    config = StoneConfig.for_suite(
+        "office",
+        epochs=6 if is_fast_mode() else 25,
+        steps_per_epoch=20 if is_fast_mode() else 30,
+    )
+    stone = StoneLocalizer(config)
+    stone.fit(suite.train, suite.floorplan, rng=rng)
+    side = stone.preprocessor.image_side
+    float_model = stone.encoder
+    cost = model_cost(float_model, (1, side, side))
+
+    outcome = {}
+    rows = []
+
+    def measure(tag, weight_bytes):
+        err = evaluate_localizer(stone, suite, rng=rng, fit=False).overall_mean()
+        est = estimate_deployment(cost, "lg-v20", weight_bytes=weight_bytes)
+        outcome[tag] = {"error": err, "bytes": weight_bytes}
+        rows.append([tag, err, weight_bytes, est.latency_ms, est.energy_mj])
+
+    measure("float32", cost.weight_bytes())
+    for bits in (8, 4):
+        quantized = quantize_model(float_model, QuantizationSpec(bits=bits))
+        stone.set_encoder(quantized.dequantized_model())
+        measure(f"int{bits}", quantized.storage_bytes())
+    for sparsity in (0.5, 0.9):
+        pruned, report = magnitude_prune(float_model, sparsity)
+        stone.set_encoder(pruned)
+        measure(f"prune{int(sparsity * 100)}", report.sparse_bytes())
+
+    rendered = format_table(
+        ["variant", "mean err (m)", "weights (B)", "lat (ms)", "mJ"],
+        rows,
+    )
+    return rendered, outcome
+
+
+def test_ext_compression(benchmark, results_dir):
+    rendered, outcome = run_once(benchmark, _run_compression)
+    save_artifact(
+        results_dir,
+        "EXT-COMPRESS",
+        rendered,
+        [
+            "int8 weight PTQ is accuracy-neutral at ~4x compression; "
+            "int4/90% pruning probe where quality bends"
+        ],
+    )
+    base = outcome["float32"]
+    assert np.isfinite(base["error"])
+    # int8 must compress ~4x and stay within 15% of float accuracy.
+    assert outcome["int8"]["bytes"] < base["bytes"] / 3.3
+    if is_fast_mode():
+        return
+    assert outcome["int8"]["error"] < base["error"] * 1.15 + 0.1
+    # Moderate pruning is nearly free; int4 compresses at least 6x.
+    assert outcome["prune50"]["error"] < base["error"] * 1.25 + 0.1
+    assert outcome["int4"]["bytes"] < base["bytes"] / 6.0

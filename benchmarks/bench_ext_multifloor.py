@@ -1,0 +1,90 @@
+"""EXT-MULTIFLOOR — the two-floor UJI problem the paper set aside.
+
+Extension experiment: the paper's Sec. V.A.1 notes the UJI corpus has
+two library floors but evaluates one. This bench restores the stacked
+building: a KNN floor detector + per-floor localizer, swept over the
+monthly test epochs with each floor's own AP lifecycle.
+
+Expected shape: floor detection stays near-perfect across months (slab
+attenuation dominates temporal drift), so the combined EvAAL-style
+error tracks the planar error; the hierarchical STONE stays stable
+post-AP-change like its single-floor counterpart.
+"""
+
+import numpy as np
+
+from repro.baselines import KNNLocalizer
+from repro.core import StoneConfig, StoneLocalizer
+from repro.eval.experiments import is_fast_mode
+from repro.eval.reporting import format_table
+from repro.multifloor import (
+    HierarchicalLocalizer,
+    MultiFloorConfig,
+    evaluate_multifloor,
+    generate_multifloor_suite,
+)
+
+from .conftest import run_once, save_artifact
+
+
+def _factories():
+    def stone_factory(floor):
+        return StoneLocalizer(
+            StoneConfig.for_suite(
+                "uji",
+                epochs=6 if is_fast_mode() else 20,
+                steps_per_epoch=15 if is_fast_mode() else 30,
+            )
+        )
+
+    return {"STONE": stone_factory, "KNN": lambda floor: KNNLocalizer()}
+
+
+def _run_multifloor():
+    config = MultiFloorConfig(
+        aps_per_floor=16 if is_fast_mode() else 30,
+        train_fpr=3 if is_fast_mode() else 5,
+        test_fpr=1,
+        n_months=3 if is_fast_mode() else 8,
+    )
+    suite = generate_multifloor_suite(11, config=config)
+    rows = []
+    outcome = {}
+    for name, factory in _factories().items():
+        localizer = HierarchicalLocalizer(factory)
+        results = evaluate_multifloor(
+            localizer, suite, rng=np.random.default_rng(0)
+        )
+        outcome[name] = results
+        for r in results:
+            rows.append(
+                [name, r.label, r.floor_hit_rate, r.mean_2d_m, r.mean_combined_m]
+            )
+    rendered = format_table(
+        ["framework", "epoch", "floor hit", "2d err (m)", "combined (m)"],
+        rows,
+    )
+    return rendered, outcome
+
+
+def test_ext_multifloor(benchmark, results_dir):
+    rendered, outcome = run_once(benchmark, _run_multifloor)
+    save_artifact(
+        results_dir,
+        "EXT-MULTIFLOOR",
+        rendered,
+        [
+            "floor detection stays near-perfect across months; combined "
+            "error therefore tracks planar error"
+        ],
+    )
+    for name, results in outcome.items():
+        hits = [r.floor_hit_rate for r in results]
+        assert min(hits) > 0.85, f"{name}: floor detection collapsed"
+        for r in results:
+            assert r.mean_combined_m >= r.mean_2d_m - 1e-9
+    if is_fast_mode():
+        return
+    # Floor signatures survive the AP change: last-month hit rate stays high.
+    for results in outcome.values():
+        assert results[-1].floor_hit_rate > 0.9

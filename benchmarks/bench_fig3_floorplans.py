@@ -1,0 +1,17 @@
+"""FIG3 — regenerate the paper's Fig. 3 (floorplans, RP and AP counts)."""
+
+from repro.eval import run_fig3
+
+from .conftest import run_once, save_artifact
+
+
+def test_fig3_floorplans(benchmark, results_dir):
+    result = run_once(benchmark, lambda: run_fig3(seed=0))
+    save_artifact(results_dir, result.figure_id, result.rendered, result.notes)
+    # Paper shapes: office 48 m path at 1 m spacing (49 RPs), basement
+    # 61 m (62 RPs), UJI a grid over a wide-open area with dozens of APs.
+    assert result.series["office"]["n_rps"] == 49
+    assert result.series["basement"]["n_rps"] == 62
+    assert result.series["uji"]["n_rps"] >= 40
+    for kind in ("uji", "office", "basement"):
+        assert result.series[kind]["visible_aps"] >= 20

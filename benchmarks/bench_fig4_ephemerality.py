@@ -1,0 +1,30 @@
+"""FIG4 — regenerate the paper's Fig. 4 (AP ephemerality matrices).
+
+Expected shape (paper Sec. V.A.2): AP visibility is roughly stable up to
+CI:11, then ~20% of APs become unavailable.
+"""
+
+import numpy as np
+
+from repro.eval.experiments import run_fig4
+
+from .conftest import run_once, save_artifact
+
+
+def test_fig4_ephemerality(benchmark, results_dir):
+    result = run_once(benchmark, lambda: run_fig4(seed=0))
+    save_artifact(results_dir, result.figure_id, result.rendered, result.notes)
+    for kind in ("basement", "office"):
+        full = result.series[kind]  # (16 CIs, n_aps) observed flags
+        assert full.shape[0] == 16
+        # Like the paper's Fig. 4, consider only APs that were observed
+        # at least once on the path (others are simply out of range).
+        matrix = full[:, full.any(axis=0)]
+        early_missing = 1.0 - matrix[:10].mean()
+        late_gone = 1.0 - matrix[13:].mean()
+        # mostly visible early; substantially more loss late
+        assert early_missing < 0.15
+        assert late_gone > early_missing + 0.05
+        # the permanent post-CI:11 loss is in the ~20% ballpark
+        never_seen_late = 1.0 - matrix[12:].any(axis=0).mean()
+        assert 0.05 <= never_seen_late <= 0.40

@@ -1,0 +1,36 @@
+"""FIG6A — regenerate Fig. 6(a): Basement path over 16 CIs.
+
+Expected shape (paper Sec. V.C): overfit-prone frameworks (SCNN, GIFT)
+jump at CI:1 (six hours after training!); GIFT loses efficacy at the
+month scale; KNN/LT-KNN do well on the Basement path; STONE tracks or
+beats the best prior work without re-training.
+"""
+
+import numpy as np
+
+from repro.eval import run_fig6
+from repro.eval.experiments import is_fast_mode
+
+from .conftest import run_once, save_artifact
+
+
+def test_fig6a_basement(benchmark, results_dir):
+    result = run_once(benchmark, lambda: run_fig6("basement", seed=0))
+    save_artifact(results_dir, result.figure_id, result.rendered, result.notes)
+    series = result.series
+    stone = series["STONE"]
+    gift = series["GIFT"]
+
+    for errors in series.values():
+        assert errors.shape == (16,)
+        assert np.isfinite(errors).all()
+
+    if is_fast_mode():
+        return  # smoke run: STONE deliberately undertrained
+
+    # GIFT keeps some hourly-scale resilience but collapses at months.
+    assert gift[12:].mean() > 2.0 * gift[:3].mean()
+    # Deployment-scale sanity: early errors are sub-meter-ish.
+    assert stone[:3].mean() < 1.5
+    # The overall ordering vs the maintained LT-KNN is simulator-dependent;
+    # the artefact and EXPERIMENTS.md record the measured margin.

@@ -1,0 +1,40 @@
+"""FIG7 — regenerate Fig. 7: STONE's sensitivity to fingerprints-per-RP.
+
+Expected shape (paper Sec. V.D): training with 1 FPR performs the worst;
+increasing FPR beyond ~4 yields no notable improvement — STONE stays
+competitive with as few as 4 fingerprints per reference point.
+"""
+
+import numpy as np
+
+from repro.eval import run_fig7
+from repro.eval.experiments import is_fast_mode
+
+from .conftest import run_once, save_artifact
+
+FPR_VALUES = (1, 4, 8)
+
+
+def test_fig7_fpr_sensitivity(benchmark, results_dir):
+    result = run_once(
+        benchmark,
+        lambda: run_fig7("office", seed=0, fpr_values=FPR_VALUES),
+    )
+    save_artifact(results_dir, result.figure_id, result.rendered, result.notes)
+    grid = result.series["grid"]  # rows: FPR values; final col: overall mean
+    overall = grid[:, -1]
+    fprs = result.series["fpr_values"]
+    assert list(fprs) == list(FPR_VALUES)
+    assert np.isfinite(grid).all()
+
+    if is_fast_mode():
+        return  # smoke run: per-cell schedules too small for the shape
+
+    # FPR=1 is the worst-performing variant.
+    assert overall[0] == overall.max()
+    # Gains saturate: FPR=8 is not much better than FPR=4.
+    idx4 = fprs.index(4)
+    idx8 = fprs.index(8)
+    assert overall[idx8] > overall[idx4] * 0.6
+    # And FPR>=4 clearly beats FPR=1.
+    assert overall[idx4] < overall[0]

@@ -1,0 +1,75 @@
+"""Microbenchmarks of the NumPy deep-learning substrate.
+
+Unlike the figure benches (single-shot pipelines), these measure the hot
+kernels the training loops are built on, with proper repetition — useful
+for spotting performance regressions in ``repro.nn``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EncoderConfig, build_encoder
+from repro.core.augmentation import TurnOffAugmentation
+from repro.nn import Adam, Conv2D, Dense, TripletLoss
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_conv2d_forward(benchmark, rng):
+    layer = Conv2D(64, 128, (2, 2), rng=rng)
+    x = rng.normal(size=(96, 64, 7, 7)).astype(np.float32)
+    benchmark(lambda: layer.forward(x))
+
+
+def test_conv2d_backward(benchmark, rng):
+    layer = Conv2D(64, 128, (2, 2), rng=rng)
+    x = rng.normal(size=(96, 64, 7, 7)).astype(np.float32)
+    y, cache = layer.forward(x)
+    dy = rng.normal(size=y.shape).astype(np.float32)
+    benchmark(lambda: layer.backward(dy, cache))
+
+
+def test_dense_forward_backward(benchmark, rng):
+    layer = Dense(4608, 100, rng=rng)
+    x = rng.normal(size=(96, 4608)).astype(np.float32)
+
+    def step():
+        y, cache = layer.forward(x)
+        layer.backward(y, cache)
+
+    benchmark(step)
+
+
+def test_encoder_inference(benchmark, rng):
+    model = build_encoder(8, EncoderConfig(embedding_dim=6), rng=rng)
+    x = rng.random((256, 1, 8, 8)).astype(np.float32)
+    benchmark(lambda: model.predict(x))
+
+
+def test_triplet_loss_and_grad(benchmark, rng):
+    loss = TripletLoss(0.2)
+    a = rng.normal(size=(96, 6)).astype(np.float32)
+    p = rng.normal(size=(96, 6)).astype(np.float32)
+    n = rng.normal(size=(96, 6)).astype(np.float32)
+
+    def step():
+        loss.value(a, p, n)
+        loss.grad(a, p, n)
+
+    benchmark(step)
+
+
+def test_turn_off_augmentation(benchmark, rng):
+    aug = TurnOffAugmentation(0.9)
+    batch = rng.random((96, 1, 8, 8)).astype(np.float32)
+    benchmark(lambda: aug(batch, rng))
+
+
+def test_adam_step(benchmark, rng):
+    opt = Adam(1e-3)
+    params = {f"p{i}": rng.normal(size=(256, 128)).astype(np.float32) for i in range(6)}
+    grads = {k: rng.normal(size=v.shape).astype(np.float32) for k, v in params.items()}
+    benchmark(lambda: opt.step(params, grads))

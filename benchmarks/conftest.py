@@ -1,0 +1,39 @@
+"""Shared infrastructure for the figure-regeneration benches.
+
+Every bench:
+
+1. regenerates one paper artefact (figure series / ablation table) from
+   scratch via ``repro.eval.experiments``,
+2. saves the rendered ASCII artefact under ``benchmarks/results/``,
+3. asserts the paper's qualitative *shape* (who wins, where the cliff is),
+4. reports its wall-clock through pytest-benchmark (a single round — these
+   are experiment pipelines, not microbenchmarks).
+
+``REPRO_FAST=1`` shrinks training schedules for smoke runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir: Path, figure_id: str, rendered: str, notes) -> None:
+    """Persist one regenerated figure for EXPERIMENTS.md."""
+    path = results_dir / f"{figure_id}.txt"
+    body = rendered + "\n" + "\n".join(f"note: {n}" for n in notes) + "\n"
+    path.write_text(body)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment pipeline exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,61 @@
+"""AP-removal stress test: why STONE's turn-off augmentation matters.
+
+Trains two STONE variants (with and without the Sec. IV.C augmentation)
+and a plain KNN, then removes an increasing fraction of AP columns from
+the test scans — the post-deployment scenario where network admins
+decommission hardware. Prints the error-vs-removal curve per framework.
+
+    python examples/ap_removal_stress.py
+"""
+
+import numpy as np
+
+from repro.baselines import KNNLocalizer
+from repro.core import StoneConfig, StoneLocalizer, simulate_ap_removal
+from repro.datasets import SuiteConfig, generate_path_suite
+from repro.eval import localization_errors
+from repro.eval.reporting import format_table
+
+REMOVAL_FRACTIONS = (0.0, 0.2, 0.4, 0.6)
+
+
+def main() -> None:
+    suite = generate_path_suite(
+        "office", seed=3, config=SuiteConfig(n_aps=40, fpr=6, train_fpr=4), n_cis=2
+    )
+    test = suite.test_epochs[1]
+    rng = np.random.default_rng(0)
+
+    frameworks = {}
+    # Turn-off augmentation slows convergence (each branch sees a heavily
+    # damaged image), so the augmented variant needs a real training
+    # budget before its robustness pays off.
+    print("training STONE with augmentation (p_upper=0.9)...")
+    frameworks["STONE (aug)"] = StoneLocalizer(
+        StoneConfig.for_suite("office", epochs=40)
+    ).fit(suite.train, suite.floorplan, rng=np.random.default_rng(1))
+    print("training STONE without augmentation (p_upper=0)...")
+    frameworks["STONE (no aug)"] = StoneLocalizer(
+        StoneConfig.for_suite("office", epochs=40, p_upper=0.0)
+    ).fit(suite.train, suite.floorplan, rng=np.random.default_rng(1))
+    frameworks["KNN"] = KNNLocalizer().fit(suite.train, suite.floorplan)
+
+    rows = []
+    for fraction in REMOVAL_FRACTIONS:
+        damaged = simulate_ap_removal(test.rssi, fraction, rng)
+        row = [f"{fraction:.0%} removed"]
+        for name, model in frameworks.items():
+            errors = localization_errors(model.predict(damaged), test.locations)
+            row.append(float(errors.mean()))
+        rows.append(row)
+
+    print()
+    print(format_table(["scenario"] + list(frameworks), rows))
+    print()
+    print("expected shape: all frameworks degrade as APs vanish, but the")
+    print("augmented STONE encoder degrades the most gracefully — it saw")
+    print("simulated removals of up to 90% of APs during training.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Embedded deployment: compress STONE's encoder for the phone.
+
+Quantizes and prunes the trained Siamese encoder, re-measures the
+longitudinal localization error with the compressed weights, and prints
+roofline latency/energy estimates for three device classes (including
+the LG V20 the paper's fingerprints were captured with).
+
+    python examples/embedded_deployment.py
+"""
+
+import numpy as np
+
+from repro.compress import (
+    QuantizationSpec,
+    deployment_table,
+    magnitude_prune,
+    model_cost,
+    quantize_model,
+)
+from repro.core import StoneConfig, StoneLocalizer
+from repro.datasets import SuiteConfig, generate_path_suite
+from repro.eval import evaluate_localizer
+
+
+def overall_error(stone, suite, rng):
+    return evaluate_localizer(stone, suite, rng=rng, fit=False).overall_mean()
+
+
+def main() -> None:
+    suite = generate_path_suite(
+        "office",
+        seed=3,
+        config=SuiteConfig(n_aps=30, fpr=4, train_fpr=3),
+        n_cis=8,
+    )
+    rng = np.random.default_rng(0)
+    stone = StoneLocalizer(
+        StoneConfig.for_suite("office", epochs=15, steps_per_epoch=20)
+    )
+    print("training STONE (float32 reference)...")
+    stone.fit(suite.train, suite.floorplan, rng=rng)
+    side = stone.preprocessor.image_side
+
+    cost = model_cost(stone.encoder, (1, side, side))
+    print(cost.table())
+    print()
+
+    baseline_err = overall_error(stone, suite, rng)
+    float_model = stone.encoder
+    print(f"{'variant':<22}{'mean err':>10}{'weights':>12}{'ratio':>8}")
+    print("-" * 52)
+    print(
+        f"{'float32':<22}{baseline_err:>8.2f} m"
+        f"{cost.weight_bytes():>11} B{1.0:>8.1f}"
+    )
+
+    # Weight-only PTQ at 8 and 4 bits.
+    for bits in (8, 4):
+        quantized = quantize_model(float_model, QuantizationSpec(bits=bits))
+        stone.set_encoder(quantized.dequantized_model())
+        err = overall_error(stone, suite, rng)
+        print(
+            f"{f'int{bits} weights':<22}{err:>8.2f} m"
+            f"{quantized.storage_bytes():>11} B"
+            f"{quantized.compression_ratio():>8.1f}"
+        )
+
+    # Magnitude pruning on top of the float model.
+    for sparsity in (0.5, 0.8):
+        pruned, report = magnitude_prune(float_model, sparsity)
+        stone.set_encoder(pruned)
+        err = overall_error(stone, suite, rng)
+        print(
+            f"{f'{sparsity:.0%} pruned':<22}{err:>8.2f} m"
+            f"{report.sparse_bytes():>11} B"
+            f"{report.compression_ratio():>8.1f}"
+        )
+
+    print("\nper-inference estimates (int8 weights):")
+    packed = quantize_model(float_model).storage_bytes()
+    print(deployment_table(cost, weight_bytes=packed))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Fingerprints-per-RP sensitivity (a miniature of the paper's Fig. 7).
+
+Trains STONE with 1, 2, 4 and 8 fingerprints per reference point and
+prints the error heatmap over time. Expected: FPR=1 is clearly worst;
+gains saturate around FPR=4 — the paper's headline on survey effort
+("reducing the number of FPRs ... can save several hours of manual
+effort").
+
+    REPRO_FAST=1 python examples/fpr_sensitivity.py   # quicker smoke run
+    python examples/fpr_sensitivity.py
+"""
+
+from repro.eval import run_fig7
+
+
+def main() -> None:
+    result = run_fig7(
+        "office",
+        seed=1,
+        fpr_values=(1, 2, 4, 8),
+        n_repeats=1,
+    )
+    print(result.rendered)
+    for note in result.notes:
+        print(f"note: {note}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Multi-floor localization: the full two-floor UJI problem.
+
+The paper evaluated one library floor "for brevity". This example
+restores the stacked building: a KNN floor detector routes scans to a
+per-floor STONE, and the EvAAL-style combined error charges misdetected
+floors their physical height.
+
+    python examples/multi_floor.py
+"""
+
+import numpy as np
+
+from repro.core import StoneConfig, StoneLocalizer
+from repro.multifloor import (
+    HierarchicalLocalizer,
+    MultiFloorConfig,
+    evaluate_multifloor,
+    generate_multifloor_suite,
+)
+
+
+def main() -> None:
+    config = MultiFloorConfig(
+        aps_per_floor=30,
+        train_fpr=4,
+        test_fpr=1,
+        n_months=6,
+    )
+    print("generating the two-floor UJI-like suite (slab: 18 dB/floor)...")
+    suite = generate_multifloor_suite(11, config=config)
+    print(suite.describe())
+    print(suite.building.describe())
+    print()
+
+    localizer = HierarchicalLocalizer(
+        lambda floor: StoneLocalizer(
+            StoneConfig.for_suite("uji", epochs=15, steps_per_epoch=20)
+        )
+    )
+    print("fitting floor classifier + one STONE per floor...")
+    results = evaluate_multifloor(
+        localizer, suite, rng=np.random.default_rng(0)
+    )
+    print()
+    for r in results:
+        print(r.as_row())
+    mean_hit = np.mean([r.floor_hit_rate for r in results])
+    print(
+        f"\nmean floor detection over {len(results)} months: {mean_hit:.1%} — "
+        "slab attenuation makes the floor signature robust even as APs churn."
+    )
+
+
+if __name__ == "__main__":
+    main()

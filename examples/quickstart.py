@@ -1,0 +1,51 @@
+"""Quickstart: train STONE on a simulated office deployment and localize.
+
+Runs in about a minute. Demonstrates the three-line happy path:
+generate a longitudinal suite -> fit STONE -> predict locations.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import StoneConfig, StoneLocalizer
+from repro.datasets import SuiteConfig, generate_path_suite
+from repro.eval import localization_errors
+
+
+def main() -> None:
+    # A small simulated office deployment: 30 APs, 6 collection instances
+    # (CI:0 today at 8 AM, two more today, then daily/monthly).
+    suite = generate_path_suite(
+        "office",
+        seed=42,
+        config=SuiteConfig(n_aps=30, fpr=4, train_fpr=3),
+        n_cis=6,
+    )
+    print(suite.describe())
+    print()
+
+    # Offline phase: train the Siamese encoder + KNN head on CI:0 data.
+    stone = StoneLocalizer(
+        StoneConfig.for_suite("office", epochs=15, steps_per_epoch=20)
+    )
+    print("training STONE (Siamese encoder, floorplan-aware triplets)...")
+    stone.fit(suite.train, suite.floorplan, rng=np.random.default_rng(0))
+    print(f"final triplet loss: {stone.history.final_loss:.4f}")
+    print()
+
+    # Online phase: localize every later epoch's scans. No re-training.
+    print("epoch      mean err   median err")
+    for label, ds in zip(suite.epoch_labels, suite.test_epochs):
+        predictions = stone.predict(ds.rssi)
+        errors = localization_errors(predictions, ds.locations)
+        print(f"{label:<10} {errors.mean():7.2f} m {np.median(errors):8.2f} m")
+
+    # Locate a single fresh scan.
+    scan = suite.test_epochs[-1].rssi[0]
+    x, y = stone.predict(scan)[0]
+    print(f"\nsingle-scan estimate: ({x:.1f} m, {y:.1f} m)")
+
+
+if __name__ == "__main__":
+    main()

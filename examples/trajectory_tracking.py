@@ -1,0 +1,70 @@
+"""Trajectory tracking: smooth STONE's scan-level output with an HMM.
+
+A user walks the office path while the deployment is months old (epoch
+12, after the AP purge). Scan-by-scan localization gets noisy exactly
+then — the walk's motion constraints pull the track back together.
+
+    python examples/trajectory_tracking.py
+"""
+
+import numpy as np
+
+from repro.core import StoneConfig, StoneLocalizer
+from repro.datasets import SuiteConfig, generate_path_suite
+from repro.eval import format_table
+from repro.radio.time import SimTime
+from repro.tracking import (
+    compare_tracking_methods,
+    simulate_path_walk,
+)
+
+
+def main() -> None:
+    suite = generate_path_suite(
+        "office",
+        seed=7,
+        config=SuiteConfig(n_aps=30, fpr=4, train_fpr=3),
+        n_cis=16,
+    )
+    env = suite.metadata["environment"]
+    rng = np.random.default_rng(1)
+
+    print("training STONE on CI:0 (offline phase)...")
+    stone = StoneLocalizer(
+        StoneConfig.for_suite("office", epochs=15, steps_per_epoch=20)
+    )
+    stone.fit(suite.train, suite.floorplan, rng=rng)
+
+    # Walk the full corridor late in the deployment: CI:14 is past the
+    # AP purge, the regime where per-scan output is least reliable.
+    epoch = 14
+    walk = simulate_path_walk(
+        env,
+        start_rp=0,
+        end_rp=env.floorplan.n_reference_points - 1,
+        epoch=epoch,
+        start_time=SimTime(suite.metadata["ci_hours"][epoch]),
+        rng=rng,
+    )
+    print(
+        f"\nwalk: {walk.n_steps} scans, {walk.path_length_m():.0f} m "
+        f"at {walk.speed_mps} m/s (deployment epoch CI:{epoch})\n"
+    )
+
+    results = compare_tracking_methods(
+        stone, walk, suite.floorplan, rng=rng
+    )
+    rows = [
+        [method, s.mean_m, s.median_m, s.rmse_m, s.p95_m]
+        for method, s in results.items()
+    ]
+    print(format_table(["method", "mean m", "median m", "rmse m", "p95 m"], rows))
+    print(
+        "\n'raw' is per-scan STONE; 'filter' is the causal (real-time) HMM,\n"
+        "'smooth'/'viterbi' are retrospective, 'particle' is the continuous\n"
+        "SMC filter, 'ema' a naive moving average."
+    )
+
+
+if __name__ == "__main__":
+    main()

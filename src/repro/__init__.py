@@ -1,0 +1,59 @@
+"""STONE reproduction: Siamese Neural Encoders for Long-Term Indoor
+Localization with Mobile Devices (Tiku & Pasricha, DATE 2022).
+
+Public API tour
+---------------
+- ``repro.core`` — the STONE framework (:class:`~repro.core.StoneLocalizer`).
+- ``repro.baselines`` — KNN, LT-KNN, GIFT, SCNN prior works, plus
+  SELE / WiDeep / PL-Ensemble from the surrounding literature.
+- ``repro.datasets`` — longitudinal fingerprint suite generators and the
+  real-UJI-corpus loader.
+- ``repro.eval`` — the evaluation protocol and per-figure experiments.
+- ``repro.tracking`` — online-phase walks and temporal smoothing (HMM,
+  particle filter).
+- ``repro.compress`` — quantization/pruning and on-device cost models.
+- ``repro.multifloor`` — the stacked-building problem and hierarchical
+  localization.
+- ``repro.nn`` — the NumPy deep-learning substrate.
+- ``repro.radio`` / ``repro.geometry`` — the simulated measurement chain.
+
+Quickstart::
+
+    from repro.datasets import generate_path_suite
+    from repro.core import StoneLocalizer, StoneConfig
+    from repro.eval import evaluate_localizer
+
+    suite = generate_path_suite("office", seed=0)
+    stone = StoneLocalizer(StoneConfig.for_suite("office"))
+    result = evaluate_localizer(stone, suite)
+    print(result.mean_errors())
+"""
+
+from . import (
+    baselines,
+    compress,
+    core,
+    datasets,
+    eval,
+    geometry,
+    multifloor,
+    nn,
+    radio,
+    tracking,
+)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "nn",
+    "geometry",
+    "radio",
+    "datasets",
+    "core",
+    "baselines",
+    "tracking",
+    "compress",
+    "multifloor",
+    "eval",
+    "__version__",
+]

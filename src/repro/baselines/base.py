@@ -1,0 +1,81 @@
+"""The localizer interface every framework implements.
+
+The evaluation protocol (``repro.eval.runner``) drives all five frameworks
+— STONE and the four prior works — through this interface:
+
+1. ``fit(train, floorplan, rng)`` once, on the offline dataset.
+2. For each test epoch, ``begin_epoch(epoch, unlabeled_rssi)`` is called
+   first with the epoch's *unlabeled* scans. Most frameworks ignore it;
+   LT-KNN uses it for its imputation + refit step (the paper stresses
+   LT-KNN "requires re-training every month with newly collected
+   (anonymous) fingerprint samples" while STONE needs nothing).
+3. ``predict(rssi)`` maps raw scans to estimated coordinates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ..datasets.fingerprint import FingerprintDataset
+from ..geometry.floorplan import Floorplan
+
+
+class Localizer(ABC):
+    """Base class for fingerprinting-based indoor localization frameworks."""
+
+    #: Human-readable framework name used in reports and figures.
+    name: str = "localizer"
+
+    #: Whether the framework re-trains/refits after deployment. Purely
+    #: informational — reports surface it because re-training cost is a
+    #: central axis of the paper's comparison.
+    requires_retraining: bool = False
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @abstractmethod
+    def fit(
+        self,
+        train: FingerprintDataset,
+        floorplan: Floorplan,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Localizer":
+        """Train on the offline dataset. Returns self."""
+
+    def begin_epoch(self, epoch: int, unlabeled_rssi: np.ndarray) -> None:
+        """Hook called before predicting a test epoch.
+
+        ``unlabeled_rssi`` contains the epoch's scans *without* location
+        labels — the "anonymous fingerprints" a deployed system observes
+        for free. Default: no adaptation.
+        """
+        del epoch, unlabeled_rssi
+
+    @abstractmethod
+    def predict(self, rssi: np.ndarray) -> np.ndarray:
+        """Estimate ``(n, 2)`` coordinates for raw ``(n, n_aps)`` dBm scans."""
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name}: predict() before fit()")
+
+    @staticmethod
+    def _check_rssi(rssi: np.ndarray, n_aps: int) -> np.ndarray:
+        rssi = np.asarray(rssi, dtype=np.float64)
+        if rssi.ndim == 1:
+            rssi = rssi[None, :]
+        if rssi.ndim != 2 or rssi.shape[1] != n_aps:
+            raise ValueError(f"expected (n, {n_aps}) RSSI matrix, got {rssi.shape}")
+        return rssi
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.__class__.__name__}(name={self.name!r})"

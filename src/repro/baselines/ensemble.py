@@ -1,0 +1,205 @@
+"""Pseudo-label ensemble baseline, after "Train Once, Locate Anytime" [8].
+
+The INFOCOM 2021 work the paper discusses in Sec. II trains an ensemble
+of models on fingerprints collected over several hours, then refits the
+members over the deployment using a mix of original labeled fingerprints
+and *pseudo-labeled* fingerprints the ensemble labels itself. It is the
+"semi-supervised re-training" point in the paper's design space: no new
+labeled surveys, but regular refitting — exactly the overhead STONE is
+built to avoid.
+
+Our reproduction: an ensemble of small MLP classifiers over normalized
+RSSI vectors, diversified by bootstrap resampling and seeds. At every
+test epoch :meth:`begin_epoch` receives the epoch's anonymous scans
+(the evaluation protocol's standing offer, see
+:class:`~repro.baselines.base.Localizer`), keeps those on which the
+ensemble agrees, and fine-tunes each member on original + pseudo-labeled
+data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.preprocessing import normalize_rssi
+from ..datasets.fingerprint import FingerprintDataset
+from ..geometry.floorplan import Floorplan
+from ..nn.layers.activations import ReLU
+from ..nn.layers.dense import Dense
+from ..nn.layers.dropout import Dropout
+from ..nn.losses import SoftmaxCrossEntropy
+from ..nn.model import Sequential
+from ..nn.optimizers import Adam
+from ..nn.trainer import Trainer
+from .base import Localizer
+
+
+@dataclass(frozen=True)
+class EnsembleConfig:
+    """Pseudo-label ensemble hyperparameters.
+
+    ``agreement`` is the fraction of members that must vote the same RP
+    for an anonymous scan to be adopted as a pseudo-label; ``refit_epochs``
+    is the per-epoch fine-tune budget (the re-training cost STONE avoids).
+    """
+
+    n_members: int = 5
+    hidden_units: int = 64
+    dropout_rate: float = 0.2
+    epochs: int = 60
+    refit_epochs: int = 10
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    agreement: float = 0.8
+    max_pseudo_per_epoch: int = 500
+
+    def __post_init__(self) -> None:
+        if self.n_members <= 0 or self.hidden_units <= 0:
+            raise ValueError("ensemble sizes must be positive")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError("dropout_rate must be in [0, 1)")
+        if not 0.0 < self.agreement <= 1.0:
+            raise ValueError("agreement must be in (0, 1]")
+        if min(self.epochs, self.refit_epochs, self.batch_size) <= 0:
+            raise ValueError("training settings must be positive")
+        if self.learning_rate <= 0 or self.max_pseudo_per_epoch < 0:
+            raise ValueError("training settings must be positive")
+
+
+class PseudoLabelEnsembleLocalizer(Localizer):
+    """Bootstrap MLP ensemble with per-epoch pseudo-label refitting."""
+
+    name = "PL-Ensemble"
+    requires_retraining = True
+
+    def __init__(self, config: Optional[EnsembleConfig] = None) -> None:
+        super().__init__()
+        self.config = config or EnsembleConfig()
+        self.members: list[Sequential] = []
+        self._rng: Optional[np.random.Generator] = None
+        self._n_aps: Optional[int] = None
+        self._labels: Optional[np.ndarray] = None
+        self._label_to_location: Optional[np.ndarray] = None
+        self._train_x: Optional[np.ndarray] = None
+        self._train_y: Optional[np.ndarray] = None
+        #: Pseudo-labels adopted per test epoch, for reporting.
+        self.pseudo_counts: list[int] = []
+
+    # -- offline phase -------------------------------------------------------
+
+    def _build_member(self, n_classes: int, rng: np.random.Generator) -> Sequential:
+        cfg = self.config
+        return Sequential(
+            [
+                Dense(self._n_aps, cfg.hidden_units, rng=rng, name="fc1"),
+                ReLU(name="relu1"),
+                Dropout(cfg.dropout_rate, name="drop"),
+                Dense(cfg.hidden_units, cfg.hidden_units, rng=rng, name="fc2"),
+                ReLU(name="relu2"),
+                Dense(cfg.hidden_units, n_classes, rng=rng, name="logits"),
+            ]
+        )
+
+    def fit(
+        self,
+        train: FingerprintDataset,
+        floorplan: Floorplan,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "PseudoLabelEnsembleLocalizer":
+        """Train every member on a bootstrap resample of the offline set."""
+        del floorplan
+        self._rng = rng or np.random.default_rng(0)
+        cfg = self.config
+        self._n_aps = train.n_aps
+        self._labels = train.rp_set
+        label_index = {int(rp): i for i, rp in enumerate(self._labels)}
+        x = normalize_rssi(train.rssi)
+        y = np.array([label_index[int(rp)] for rp in train.rp_indices])
+        self._label_to_location = np.empty((self._labels.size, 2))
+        for rp, i in label_index.items():
+            self._label_to_location[i] = train.locations[train.rp_indices == rp][0]
+        self._train_x, self._train_y = x, y
+        self.members = []
+        for _ in range(cfg.n_members):
+            member = self._build_member(self._labels.size, self._rng)
+            boot = self._rng.integers(x.shape[0], size=x.shape[0])
+            trainer = Trainer(member, SoftmaxCrossEntropy(), Adam(cfg.learning_rate))
+            trainer.fit(
+                x[boot],
+                y[boot],
+                epochs=cfg.epochs,
+                batch_size=cfg.batch_size,
+                rng=self._rng,
+            )
+            self.members.append(member)
+        self._fitted = True
+        return self
+
+    # -- voting ----------------------------------------------------------------
+
+    def _member_votes(self, vectors: np.ndarray) -> np.ndarray:
+        """(n_members, n_scans) class-index votes."""
+        return np.stack(
+            [m.predict(vectors).argmax(axis=1) for m in self.members]
+        )
+
+    def _majority(self, votes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-scan (winning class, agreeing fraction)."""
+        n_scans = votes.shape[1]
+        winners = np.empty(n_scans, dtype=np.int64)
+        fractions = np.empty(n_scans, dtype=np.float64)
+        for j in range(n_scans):
+            values, counts = np.unique(votes[:, j], return_counts=True)
+            best = counts.argmax()
+            winners[j] = values[best]
+            fractions[j] = counts[best] / votes.shape[0]
+        return winners, fractions
+
+    # -- online phase ------------------------------------------------------------
+
+    def begin_epoch(self, epoch: int, unlabeled_rssi: np.ndarray) -> None:
+        """Adopt confident pseudo-labels and fine-tune every member."""
+        if not self._fitted or unlabeled_rssi.shape[0] == 0:
+            self.pseudo_counts.append(0)
+            return
+        cfg = self.config
+        vectors = normalize_rssi(
+            self._check_rssi(unlabeled_rssi, self._n_aps)
+        )
+        winners, fractions = self._majority(self._member_votes(vectors))
+        confident = np.flatnonzero(fractions >= cfg.agreement)
+        if confident.size > cfg.max_pseudo_per_epoch:
+            confident = self._rng.choice(
+                confident, size=cfg.max_pseudo_per_epoch, replace=False
+            )
+        self.pseudo_counts.append(int(confident.size))
+        if confident.size == 0:
+            return
+        x = np.vstack([self._train_x, vectors[confident]])
+        y = np.concatenate([self._train_y, winners[confident]])
+        for member in self.members:
+            trainer = Trainer(
+                member, SoftmaxCrossEntropy(), Adam(cfg.learning_rate * 0.1)
+            )
+            trainer.fit(
+                x,
+                y,
+                epochs=cfg.refit_epochs,
+                batch_size=cfg.batch_size,
+                rng=self._rng,
+            )
+
+    def predict_class_index(self, rssi: np.ndarray) -> np.ndarray:
+        """Ensemble majority-vote class index per scan."""
+        self._check_fitted()
+        vectors = normalize_rssi(self._check_rssi(rssi, self._n_aps))
+        winners, _ = self._majority(self._member_votes(vectors))
+        return winners
+
+    def predict(self, rssi: np.ndarray) -> np.ndarray:
+        """Majority-vote RP's coordinates per scan."""
+        return self._label_to_location[self.predict_class_index(rssi)]

@@ -1,0 +1,146 @@
+"""GIFT baseline [9] (paper Sec. V.A.3).
+
+"GIFT achieves temporal-variation resilience by matching the change in
+the *gradient* of WiFi RSSI values as the user moves along a path on the
+floorplan. Fingerprint vectors are used to represent the difference
+(gradient) between two consecutive WiFi scans and are associated with a
+movement vector in the floorplan."
+
+Reimplementation notes
+----------------------
+Offline, the gradient map is built from the per-RP mean training
+fingerprints: for every ordered pair of RPs within ``max_step_m`` of each
+other (including the stationary self-pair), the gradient fingerprint is
+the difference of mean RSSI vectors and the value is the destination RP.
+
+Online, scans arrive as a walk (the evaluation feeds each epoch's scans
+in path order): the first scan is located by nearest-mean matching; every
+subsequent scan forms a gradient with its predecessor, the closest
+gradient-map entry *consistent with the previous position estimate* is
+selected, and its destination becomes the new estimate.
+
+Differencing cancels common-mode and slowly-varying offsets (GIFT's
+short-term strength: "its resilience to very short-term temporal
+variation is in consensus with the analysis conducted by its authors")
+but doubles per-scan noise and breaks when APs are removed — the paper
+finds GIFT "provides the least temporal-resilience ... over time".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..datasets.fingerprint import FingerprintDataset
+from ..geometry.floorplan import Floorplan
+from .base import Localizer
+
+NO_SIGNAL = -100.0
+
+
+class GIFTLocalizer(Localizer):
+    """Gradient-fingerprint localization with movement-vector matching."""
+
+    name = "GIFT"
+    requires_retraining = False
+
+    def __init__(
+        self,
+        *,
+        max_step_m: float = 3.0,
+        consistency_radius_m: float = 6.0,
+        reanchor_factor: float = 2.0,
+    ) -> None:
+        super().__init__()
+        if max_step_m <= 0 or consistency_radius_m <= 0:
+            raise ValueError("radii must be positive")
+        if reanchor_factor < 1.0:
+            raise ValueError("reanchor_factor must be >= 1")
+        self.max_step_m = float(max_step_m)
+        self.consistency_radius_m = float(consistency_radius_m)
+        self.reanchor_factor = float(reanchor_factor)
+        self._rp_means: Optional[np.ndarray] = None
+        self._rp_locations: Optional[np.ndarray] = None
+        self._gradients: Optional[np.ndarray] = None
+        self._grad_from: Optional[np.ndarray] = None
+        self._grad_to: Optional[np.ndarray] = None
+        self._n_aps: int = 0
+
+    def fit(
+        self,
+        train: FingerprintDataset,
+        floorplan: Floorplan,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "GIFTLocalizer":
+        """Build the gradient map from per-RP mean fingerprints."""
+        del rng
+        self._n_aps = train.n_aps
+        labels = train.rp_set
+        means = np.empty((labels.size, train.n_aps), dtype=np.float64)
+        locs = np.empty((labels.size, 2), dtype=np.float64)
+        for row, rp in enumerate(labels):
+            mask = train.rp_indices == rp
+            means[row] = np.clip(train.rssi[mask], NO_SIGNAL, 0.0).mean(axis=0)
+            locs[row] = train.locations[mask][0]
+        self._rp_means = means
+        self._rp_locations = locs
+        # Gradient map over RP pairs within walking range (self-pairs too:
+        # a stationary user produces a near-zero gradient).
+        diff = locs[:, None, :] - locs[None, :, :]
+        dist = np.sqrt((diff * diff).sum(axis=2))
+        pairs = np.argwhere(dist <= self.max_step_m)
+        self._gradients = means[pairs[:, 1]] - means[pairs[:, 0]]
+        self._grad_from = pairs[:, 0]
+        self._grad_to = pairs[:, 1]
+        self._fitted = True
+        return self
+
+    # -- online ------------------------------------------------------------
+
+    def _locate_first(self, scan: np.ndarray) -> int:
+        """Absolute match of the walk's first scan (nearest mean RP)."""
+        d = ((self._rp_means - scan) ** 2).sum(axis=1)
+        return int(d.argmin())
+
+    def _step(self, prev_rp_row: int, gradient: np.ndarray) -> int:
+        """Best gradient-map entry starting near the previous estimate."""
+        prev_loc = self._rp_locations[prev_rp_row]
+        from_locs = self._rp_locations[self._grad_from]
+        near = (
+            np.sqrt(((from_locs - prev_loc) ** 2).sum(axis=1))
+            <= self.consistency_radius_m
+        )
+        candidates = np.flatnonzero(near)
+        if candidates.size == 0:
+            candidates = np.arange(self._gradients.shape[0])
+        err = ((self._gradients[candidates] - gradient) ** 2).sum(axis=1)
+        best = candidates[int(err.argmin())]
+        return int(self._grad_to[best])
+
+    def predict(self, rssi: np.ndarray) -> np.ndarray:
+        """Locate a walk: rows of ``rssi`` are consecutive scans."""
+        self._check_fitted()
+        scans = np.clip(self._check_rssi(rssi, self._n_aps), NO_SIGNAL, 0.0)
+        out = np.empty((scans.shape[0], 2), dtype=np.float64)
+        prev_row = self._locate_first(scans[0])
+        out[0] = self._rp_locations[prev_row]
+        for t in range(1, scans.shape[0]):
+            gradient = scans[t] - scans[t - 1]
+            grad_row = self._step(prev_row, gradient)
+            # Confidence check: if the walk estimate's reference
+            # fingerprint explains the scan much worse than the best
+            # absolute match, the track has been lost — re-anchor.
+            # (Shu et al. combine GIFT with absolute observations the
+            # same way; without this the walk locks into a wrong region
+            # after its first large error.)
+            d_grad = float(((self._rp_means[grad_row] - scans[t]) ** 2).sum())
+            abs_row = self._locate_first(scans[t])
+            d_abs = float(((self._rp_means[abs_row] - scans[t]) ** 2).sum())
+            if d_grad > self.reanchor_factor * d_abs:
+                prev_row = abs_row
+            else:
+                prev_row = grad_row
+            out[t] = self._rp_locations[prev_row]
+        return out

@@ -1,0 +1,81 @@
+"""LearnLoc-style KNN baseline [11] (paper Sec. V.A.3).
+
+"A lightweight non-parametric approach that employs a Euclidean
+distance-based metric to match fingerprints. The technique ... is
+incognizant of temporal-variation" — raw RSSI vectors, no adaptation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..datasets.fingerprint import FingerprintDataset
+from ..geometry.floorplan import Floorplan
+from .base import Localizer
+
+
+class KNNLocalizer(Localizer):
+    """Plain K-nearest-neighbour matching on raw RSSI vectors.
+
+    ``weighted=True`` uses inverse-distance weighting of the neighbour
+    locations (the LearnLoc paper's refinement); ``False`` is a plain
+    neighbour-average.
+    """
+
+    name = "KNN"
+    requires_retraining = False
+
+    def __init__(self, k: int = 3, *, weighted: bool = True) -> None:
+        super().__init__()
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = int(k)
+        self.weighted = bool(weighted)
+        self._train_rssi: Optional[np.ndarray] = None
+        self._train_locations: Optional[np.ndarray] = None
+
+    def fit(
+        self,
+        train: FingerprintDataset,
+        floorplan: Floorplan,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "KNNLocalizer":
+        """Store the raw-RSSI reference set (no model to train)."""
+        del floorplan, rng
+        if train.n_samples == 0:
+            raise ValueError("empty training set")
+        self._train_rssi = np.clip(train.rssi, -100.0, 0.0)
+        self._train_locations = train.locations.copy()
+        self._fitted = True
+        return self
+
+    def _kneighbors(self, rssi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        refs = self._train_rssi
+        q = np.clip(rssi, -100.0, 0.0)
+        d2 = (
+            (q * q).sum(axis=1)[:, None]
+            + (refs * refs).sum(axis=1)[None, :]
+            - 2.0 * (q @ refs.T)
+        )
+        np.maximum(d2, 0.0, out=d2)
+        k = min(self.k, refs.shape[0])
+        idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        rows = np.arange(q.shape[0])[:, None]
+        order = np.argsort(d2[rows, idx], axis=1)
+        idx = idx[rows, order]
+        return np.sqrt(d2[rows, idx]), idx
+
+    def predict(self, rssi: np.ndarray) -> np.ndarray:
+        """Match scans to the K nearest stored fingerprints."""
+        self._check_fitted()
+        rssi = self._check_rssi(rssi, self._train_rssi.shape[1])
+        dist, idx = self._kneighbors(rssi)
+        neigh = self._train_locations[idx]  # (n, k, 2)
+        if not self.weighted:
+            return neigh.mean(axis=1)
+        w = 1.0 / (dist + 1e-6)
+        w = w / w.sum(axis=1, keepdims=True)
+        return (neigh * w[:, :, None]).sum(axis=1)

@@ -1,0 +1,177 @@
+"""LT-KNN baseline [21] (paper Sec. V.A.3).
+
+"LT-KNN ... has enhancements to maintain localization performance as APs
+are removed or replaced over time. LT-KNN achieves this by imputing the
+RSSI values of APs that have been removed (are no longer observable on
+the floorplan) using regression. The KNN model is re-trained using the
+imputed data to maintain localization accuracy over time."
+
+Mechanics of this reimplementation (following Montoliu et al., IPIN'18):
+
+1. At each test epoch, :meth:`begin_epoch` receives the epoch's *unlabeled*
+   scans — the "newly collected (anonymous) fingerprint samples" the paper
+   says LT-KNN needs every month — and detects which training-time APs
+   are no longer observable on the floorplan.
+2. For each missing AP, a ridge regression fit **on the offline data**
+   (alive APs' RSSI -> missing AP's RSSI) reconstructs what the missing
+   AP would have read for each online scan. The completed scan is then
+   matched against the original, full radio map with plain KNN.
+3. Imputers are (re)fit whenever the missing-AP set changes — that refit
+   is the recurring maintenance cost STONE avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..datasets.fingerprint import FingerprintDataset
+from ..geometry.floorplan import Floorplan
+from .base import Localizer
+from .knn import KNNLocalizer
+
+NO_SIGNAL = -100.0
+
+
+class RidgeImputer:
+    """Ridge regression from alive-AP RSSI to one missing AP's RSSI.
+
+    Fit on the offline dataset (where the missing AP was still
+    observable); applied to online scans after the AP vanished.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = float(alpha)
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = NO_SIGNAL
+
+    def fit(self, x_alive: np.ndarray, y_missing: np.ndarray) -> "RidgeImputer":
+        x = np.asarray(x_alive, dtype=np.float64)
+        y = np.asarray(y_missing, dtype=np.float64).reshape(-1)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("sample count mismatch")
+        x_mean = x.mean(axis=0)
+        y_mean = float(y.mean())
+        xc = x - x_mean
+        yc = y - y_mean
+        gram = xc.T @ xc + self.alpha * np.eye(x.shape[1])
+        self.weights = np.linalg.solve(gram, xc.T @ yc)
+        self.bias = y_mean - float(x_mean @ self.weights)
+        return self
+
+    def predict(self, x_alive: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("imputer used before fit()")
+        x = np.asarray(x_alive, dtype=np.float64)
+        return np.clip(x @ self.weights + self.bias, NO_SIGNAL, 0.0)
+
+
+class LTKNNLocalizer(Localizer):
+    """Long-Term KNN: per-epoch missing-AP detection + scan imputation."""
+
+    name = "LT-KNN"
+    requires_retraining = True
+
+    def __init__(
+        self,
+        k: int = 3,
+        *,
+        weighted: bool = True,
+        ridge_alpha: float = 1.0,
+        missing_threshold: float = 0.02,
+    ) -> None:
+        super().__init__()
+        self.k = int(k)
+        self.weighted = bool(weighted)
+        self.ridge_alpha = float(ridge_alpha)
+        if not 0.0 <= missing_threshold <= 1.0:
+            raise ValueError("missing_threshold must be in [0, 1]")
+        self.missing_threshold = float(missing_threshold)
+        self._train: Optional[FingerprintDataset] = None
+        self._knn: Optional[KNNLocalizer] = None
+        self._train_visible: Optional[np.ndarray] = None
+        self._current_missing: np.ndarray = np.array([], dtype=np.int64)
+        self._imputers: dict[int, RidgeImputer] = {}
+        #: Number of maintenance refits performed post-deployment — the
+        #: overhead counter reports surface next to accuracy.
+        self.refit_count = 0
+
+    # -- offline -----------------------------------------------------------
+
+    def fit(
+        self,
+        train: FingerprintDataset,
+        floorplan: Floorplan,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "LTKNNLocalizer":
+        """Fit the base KNN and reset all maintenance state."""
+        del rng
+        self._train = train
+        self._train_visible = train.visible_ap_union()
+        self._knn = KNNLocalizer(self.k, weighted=self.weighted).fit(
+            train, floorplan
+        )
+        self._current_missing = np.array([], dtype=np.int64)
+        self._imputers.clear()
+        self.refit_count = 0
+        self._fitted = True
+        return self
+
+    # -- per-epoch maintenance ---------------------------------------------
+
+    def begin_epoch(self, epoch: int, unlabeled_rssi: np.ndarray) -> None:
+        """Detect vanished APs from this epoch's anonymous scans; refit."""
+        del epoch
+        self._check_fitted()
+        scans = self._check_rssi(unlabeled_rssi, self._train.n_aps)
+        observed_frac = (scans > NO_SIGNAL).mean(axis=0)
+        missing = np.array(
+            sorted(
+                ap
+                for ap in self._train_visible
+                if observed_frac[ap] <= self.missing_threshold
+            ),
+            dtype=np.int64,
+        )
+        if np.array_equal(missing, self._current_missing):
+            return  # AP population unchanged: no maintenance needed.
+        self._current_missing = missing
+        self._fit_imputers()
+        self.refit_count += 1
+
+    def _alive_columns(self) -> np.ndarray:
+        alive = np.setdiff1d(self._train_visible, self._current_missing)
+        return alive if alive.size else self._train_visible
+
+    def _fit_imputers(self) -> None:
+        """One ridge imputer per currently-missing AP (offline data only)."""
+        train_rssi = np.clip(self._train.rssi, NO_SIGNAL, 0.0)
+        alive = self._alive_columns()
+        self._imputers = {
+            int(ap): RidgeImputer(self.ridge_alpha).fit(
+                train_rssi[:, alive], train_rssi[:, ap]
+            )
+            for ap in self._current_missing
+        }
+
+    # -- online ------------------------------------------------------------
+
+    def impute(self, rssi: np.ndarray) -> np.ndarray:
+        """Fill the currently-missing AP columns of online scans."""
+        scans = np.clip(np.array(rssi, copy=True), NO_SIGNAL, 0.0)
+        if self._current_missing.size == 0:
+            return scans
+        alive = self._alive_columns()
+        for ap in self._current_missing:
+            scans[:, ap] = self._imputers[int(ap)].predict(scans[:, alive])
+        return scans
+
+    def predict(self, rssi: np.ndarray) -> np.ndarray:
+        """Impute currently-missing AP columns, then KNN-match."""
+        self._check_fitted()
+        rssi = self._check_rssi(rssi, self._train.n_aps)
+        return self._knn.predict(self.impute(rssi))

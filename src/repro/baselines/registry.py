@@ -1,0 +1,83 @@
+"""Factory registry over all implemented localization frameworks.
+
+The evaluation harness and the benches build frameworks by name, so the
+set compared in every figure matches the paper's five: STONE plus KNN
+(LearnLoc [11]), LT-KNN [21], GIFT [9] and SCNN [6].
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.config import StoneConfig
+from ..core.stone import StoneLocalizer
+from .base import Localizer
+from .gift import GIFTLocalizer
+from .knn import KNNLocalizer
+from .ltknn import LTKNNLocalizer
+from .ensemble import EnsembleConfig, PseudoLabelEnsembleLocalizer
+from .scnn import SCNNConfig, SCNNLocalizer
+from .sele import SELEConfig, SELELocalizer
+from .widep import WiDeepConfig, WiDeepLocalizer
+
+LocalizerFactory = Callable[[], Localizer]
+
+PAPER_FRAMEWORKS = ("STONE", "KNN", "LT-KNN", "GIFT", "SCNN")
+
+#: Related-work frameworks beyond the paper's four comparison points.
+EXTENDED_FRAMEWORKS = ("SELE", "WiDeep", "PL-Ensemble")
+
+
+def make_localizer(
+    name: str,
+    *,
+    suite_name: Optional[str] = None,
+    fast: bool = False,
+) -> Localizer:
+    """Build a framework by its paper name.
+
+    ``suite_name`` selects STONE's per-floorplan tuning. ``fast=True``
+    shrinks the trained models' schedules for CI-scale runs (tests and
+    smoke benches); figure-quality runs leave it False.
+    """
+    key = name.strip().upper()
+    if key == "STONE":
+        config = StoneConfig.for_suite(suite_name or "office")
+        if fast:
+            config = StoneConfig.for_suite(
+                suite_name or "office",
+                epochs=8,
+                steps_per_epoch=15,
+                batch_size=64,
+            )
+        return StoneLocalizer(config)
+    if key == "KNN":
+        return KNNLocalizer()
+    if key in ("LT-KNN", "LTKNN"):
+        return LTKNNLocalizer()
+    if key == "GIFT":
+        return GIFTLocalizer()
+    if key == "SCNN":
+        config = SCNNConfig(epochs=15) if fast else SCNNConfig()
+        return SCNNLocalizer(config)
+    if key == "SELE":
+        config = SELEConfig(epochs=8, steps_per_epoch=15) if fast else SELEConfig()
+        return SELELocalizer(config)
+    if key == "WIDEEP":
+        config = (
+            WiDeepConfig(ae_epochs=15, classifier_epochs=30, n_corruptions=4)
+            if fast
+            else WiDeepConfig()
+        )
+        return WiDeepLocalizer(config)
+    if key in ("PL-ENSEMBLE", "ENSEMBLE", "PLENSEMBLE"):
+        config = (
+            EnsembleConfig(n_members=3, epochs=30, refit_epochs=5, agreement=0.66)
+            if fast
+            else EnsembleConfig()
+        )
+        return PseudoLabelEnsembleLocalizer(config)
+    raise KeyError(
+        f"unknown framework {name!r}; known: "
+        f"{PAPER_FRAMEWORKS + EXTENDED_FRAMEWORKS}"
+    )

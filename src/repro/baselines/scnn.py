@@ -1,0 +1,139 @@
+"""SCNN baseline [6] (paper Sec. V.A.3).
+
+"A deep learning-based approach that has been designed to sustain stable
+localization accuracy in the presence of malicious AP spoofing. While
+SCNN is not designed to be temporally resilient, it is intended to
+maintain accuracy under the conditions of high RSSI variability."
+
+SCNN is a conventional CNN *classifier*: the same image preprocessing as
+STONE (the paper notes STONE's preprocessing "is similar to the one
+covered by the authors in [6]"), a stacked-conv feature extractor, and a
+softmax over RP labels trained with cross-entropy — the label-sample
+association STONE's Sec. III argues overfits the offline fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.preprocessing import FingerprintImagePreprocessor
+from ..datasets.fingerprint import FingerprintDataset
+from ..geometry.floorplan import Floorplan
+from ..nn.layers.activations import ReLU
+from ..nn.layers.conv import Conv2D
+from ..nn.layers.dense import Dense
+from ..nn.layers.dropout import Dropout
+from ..nn.layers.noise import GaussianNoise
+from ..nn.layers.reshape import Flatten
+from ..nn.losses import SoftmaxCrossEntropy
+from ..nn.model import Sequential
+from ..nn.optimizers import Adam
+from ..nn.trainer import Trainer
+from .base import Localizer
+
+
+@dataclass(frozen=True)
+class SCNNConfig:
+    """SCNN hyperparameters (architecture follows [6]'s conv stack)."""
+
+    conv_filters: tuple[int, int] = (64, 128)
+    kernel_size: tuple[int, int] = (2, 2)
+    fc_units: int = 128
+    dropout_rate: float = 0.2
+    input_noise_sigma: float = 0.05
+    epochs: int = 60
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if min(self.conv_filters) <= 0 or self.fc_units <= 0:
+            raise ValueError("layer widths must be positive")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError("dropout_rate must be in [0, 1)")
+        if min(self.epochs, self.batch_size) <= 0 or self.learning_rate <= 0:
+            raise ValueError("training settings must be positive")
+
+
+class SCNNLocalizer(Localizer):
+    """CNN classifier over fingerprint images -> RP label -> coordinates."""
+
+    name = "SCNN"
+    requires_retraining = False
+
+    def __init__(self, config: Optional[SCNNConfig] = None) -> None:
+        super().__init__()
+        self.config = config or SCNNConfig()
+        self.preprocessor = FingerprintImagePreprocessor()
+        self.model: Optional[Sequential] = None
+        self._label_to_location: Optional[np.ndarray] = None
+        self._labels: Optional[np.ndarray] = None
+
+    def _build(self, image_side: int, n_classes: int, rng: np.random.Generator) -> Sequential:
+        cfg = self.config
+        f1, f2 = cfg.conv_filters
+        side_after = image_side - (cfg.kernel_size[0] - 1) * 2
+        return Sequential(
+            [
+                GaussianNoise(cfg.input_noise_sigma, name="noise"),
+                Conv2D(1, f1, cfg.kernel_size, rng=rng, name="conv1"),
+                ReLU(name="relu1"),
+                Dropout(cfg.dropout_rate, name="drop1"),
+                Conv2D(f1, f2, cfg.kernel_size, rng=rng, name="conv2"),
+                ReLU(name="relu2"),
+                Dropout(cfg.dropout_rate, name="drop2"),
+                Flatten(name="flatten"),
+                Dense(f2 * side_after * side_after, cfg.fc_units, rng=rng, name="fc1"),
+                ReLU(name="relu3"),
+                Dense(cfg.fc_units, n_classes, rng=rng, name="logits"),
+            ]
+        )
+
+    def fit(
+        self,
+        train: FingerprintDataset,
+        floorplan: Floorplan,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "SCNNLocalizer":
+        """Train the CNN classifier on (image, RP-label) pairs."""
+        del floorplan
+        rng = rng or np.random.default_rng(0)
+        images = self.preprocessor.fit(train.rssi).transform(train.rssi)
+        self._labels = train.rp_set
+        label_index = {int(rp): i for i, rp in enumerate(self._labels)}
+        y = np.array([label_index[int(rp)] for rp in train.rp_indices])
+        self._label_to_location = np.empty((self._labels.size, 2))
+        for rp, i in label_index.items():
+            self._label_to_location[i] = train.locations[train.rp_indices == rp][0]
+        self.model = self._build(
+            self.preprocessor.image_side, self._labels.size, rng
+        )
+        trainer = Trainer(
+            self.model,
+            SoftmaxCrossEntropy(),
+            Adam(self.config.learning_rate),
+        )
+        trainer.fit(
+            images,
+            y,
+            epochs=self.config.epochs,
+            batch_size=self.config.batch_size,
+            rng=rng,
+        )
+        self._fitted = True
+        return self
+
+    def predict_class_index(self, rssi: np.ndarray) -> np.ndarray:
+        """Argmax class index (row into the fitted label set) per scan."""
+        self._check_fitted()
+        rssi = self._check_rssi(rssi, self.preprocessor.n_aps)
+        images = self.preprocessor.transform(rssi)
+        logits = self.model.predict(images)
+        return logits.argmax(axis=1)
+
+    def predict(self, rssi: np.ndarray) -> np.ndarray:
+        """Predicted RP's coordinates per scan."""
+        return self._label_to_location[self.predict_class_index(rssi)]

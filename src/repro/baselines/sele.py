@@ -1,0 +1,148 @@
+"""SELE-style contrastive Siamese baseline [18] (paper Sec. II).
+
+Pandey et al.'s SELE ("RSS Based Siamese Embedding Location Estimator")
+is the few-shot prior work the paper positions STONE against: a Siamese
+embedding trained with *pairwise contrastive* loss instead of triplets,
+no floorplan awareness, and no AP-removal augmentation. The paper notes
+it "is highly susceptible to long-term temporal variations and removal
+of APs ... forcing the authors to recalibrate or re-train their model
+using new fingerprints every month."
+
+This reimplementation shares STONE's preprocessing and encoder topology
+so the comparison isolates exactly the paper's contributions: the loss
+formulation, the triplet selection and the augmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.encoder import EncoderConfig, build_encoder, embed
+from ..core.knn_head import KNNHead
+from ..core.preprocessing import FingerprintImagePreprocessor
+from ..datasets.fingerprint import FingerprintDataset
+from ..geometry.floorplan import Floorplan
+from ..nn.losses import ContrastiveLoss
+from ..nn.optimizers import Adam, clip_grads_by_norm
+from .base import Localizer
+
+
+@dataclass(frozen=True)
+class SELEConfig:
+    """Hyperparameters of the contrastive Siamese baseline."""
+
+    encoder: EncoderConfig = EncoderConfig(embedding_dim=6, input_noise_sigma=0.05)
+    margin: float = 1.0
+    similar_fraction: float = 0.5
+    epochs: int = 40
+    steps_per_epoch: int = 30
+    batch_size: int = 96
+    learning_rate: float = 2e-3
+    knn_k: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.similar_fraction < 1.0:
+            raise ValueError("similar_fraction must be in (0, 1)")
+        if min(self.epochs, self.steps_per_epoch, self.batch_size) <= 0:
+            raise ValueError("training counts must be positive")
+        if self.margin <= 0 or self.learning_rate <= 0:
+            raise ValueError("margin and learning_rate must be positive")
+
+
+class SELELocalizer(Localizer):
+    """Contrastive-pair Siamese embedding + KNN head."""
+
+    name = "SELE"
+    requires_retraining = True  # the cited work recalibrates monthly
+
+    def __init__(self, config: Optional[SELEConfig] = None) -> None:
+        super().__init__()
+        self.config = config or SELEConfig()
+        self.preprocessor = FingerprintImagePreprocessor()
+        self.encoder = None
+        self.knn = KNNHead(k=self.config.knn_k)
+        self.loss_history: list[float] = []
+
+    def _sample_pairs(
+        self,
+        rp_indices: np.ndarray,
+        rows_by_rp: dict,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(rows_a, rows_b, labels): labels 1 = same RP, 0 = different."""
+        batch = self.config.batch_size
+        labels = (rng.random(batch) < self.config.similar_fraction).astype(
+            np.float32
+        )
+        rp_labels = np.unique(rp_indices)
+        rows_a = np.empty(batch, dtype=np.int64)
+        rows_b = np.empty(batch, dtype=np.int64)
+        for i in range(batch):
+            rp_a = int(rp_labels[rng.integers(0, rp_labels.size)])
+            rows = rows_by_rp[rp_a]
+            rows_a[i] = rows[rng.integers(0, rows.shape[0])]
+            if labels[i] > 0.5:
+                rows_b[i] = rows[rng.integers(0, rows.shape[0])]
+            else:
+                rp_b = int(rp_labels[rng.integers(0, rp_labels.size)])
+                while rp_b == rp_a:
+                    rp_b = int(rp_labels[rng.integers(0, rp_labels.size)])
+                other = rows_by_rp[rp_b]
+                rows_b[i] = other[rng.integers(0, other.shape[0])]
+        return rows_a, rows_b, labels
+
+    def fit(
+        self,
+        train: FingerprintDataset,
+        floorplan: Floorplan,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "SELELocalizer":
+        del floorplan  # no floorplan awareness: that is STONE's addition
+        rng = rng or np.random.default_rng(self.config.seed)
+        images = self.preprocessor.fit(train.rssi).transform(train.rssi)
+        self.encoder = build_encoder(
+            self.preprocessor.image_side, self.config.encoder, rng=rng
+        )
+        loss = ContrastiveLoss(self.config.margin)
+        optimizer = Adam(self.config.learning_rate)
+        rows_by_rp = {
+            int(rp): np.flatnonzero(train.rp_indices == rp)
+            for rp in np.unique(train.rp_indices)
+        }
+        self.loss_history = []
+        for _ in range(self.config.epochs):
+            epoch_loss = 0.0
+            for _ in range(self.config.steps_per_epoch):
+                rows_a, rows_b, labels = self._sample_pairs(
+                    train.rp_indices, rows_by_rp, rng
+                )
+                xa = images[rows_a]
+                xb = images[rows_b]
+                ea, ca = self.encoder.forward(xa, training=True, rng=rng)
+                eb, cb = self.encoder.forward(xb, training=True, rng=rng)
+                epoch_loss += loss.value(ea, eb, labels)
+                da, db = loss.grad(ea, eb, labels)
+                total = self.encoder.zero_grads()
+                for dy, cache in ((da, ca), (db, cb)):
+                    _, grads = self.encoder.backward(dy, cache)
+                    self.encoder.accumulate_grads(total, grads)
+                total, _ = clip_grads_by_norm(total, 5.0)
+                optimizer.step(self.encoder.parameters(), total)
+            self.loss_history.append(epoch_loss / self.config.steps_per_epoch)
+        reference = embed(self.encoder, images)
+        self.knn.fit(reference, train.rp_indices, train.locations)
+        self._fitted = True
+        return self
+
+    def predict(self, rssi: np.ndarray) -> np.ndarray:
+        """Embed scans and KNN-vote a reference point."""
+        self._check_fitted()
+        rssi = self._check_rssi(rssi, self.preprocessor.n_aps)
+        return self.knn.predict_location(
+            embed(self.encoder, self.preprocessor.transform(rssi))
+        )

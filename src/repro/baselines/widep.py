@@ -1,0 +1,161 @@
+"""WiDeep-style baseline [17]: denoising autoencoder + classifier.
+
+"WiDeep: WiFi-based Accurate and Robust Indoor Localization System
+using Deep Learning" (PerCom 2019) pretrains denoising autoencoders on
+raw RSSI so the representation absorbs scan-level noise, then attaches a
+probabilistic classifier. We reproduce the two-stage pipeline on the
+shared substrate: a masking-noise denoising autoencoder over normalized
+RSSI vectors, whose trained encoder is reused (weights and all) under a
+softmax RP classifier fine-tuned with cross-entropy.
+
+Like SCNN it learns a direct sample-to-label mapping, so the paper's
+Sec. III argument predicts it will overfit the offline snapshot; its
+denoising pretraining is the interesting contrast with STONE's
+augmentation — noise robustness without AP-removal robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.preprocessing import normalize_rssi
+from ..datasets.fingerprint import FingerprintDataset
+from ..geometry.floorplan import Floorplan
+from ..nn.layers.activations import ReLU, Sigmoid
+from ..nn.layers.dense import Dense
+from ..nn.losses import MSELoss, SoftmaxCrossEntropy
+from ..nn.model import Sequential
+from ..nn.optimizers import Adam
+from ..nn.trainer import Trainer
+from .base import Localizer
+
+
+@dataclass(frozen=True)
+class WiDeepConfig:
+    """WiDeep hyperparameters.
+
+    ``corruption_rate`` is the masking-noise probability of the
+    denoising pretraining stage; ``n_corruptions`` controls how many
+    corrupted copies of every fingerprint the autoencoder sees.
+    """
+
+    hidden_units: int = 64
+    corruption_rate: float = 0.3
+    n_corruptions: int = 8
+    ae_epochs: int = 40
+    classifier_epochs: int = 60
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.hidden_units <= 0:
+            raise ValueError("hidden_units must be positive")
+        if not 0.0 <= self.corruption_rate < 1.0:
+            raise ValueError("corruption_rate must be in [0, 1)")
+        if min(self.n_corruptions, self.ae_epochs, self.classifier_epochs) <= 0:
+            raise ValueError("training settings must be positive")
+        if self.batch_size <= 0 or self.learning_rate <= 0:
+            raise ValueError("training settings must be positive")
+
+
+class WiDeepLocalizer(Localizer):
+    """Denoising-autoencoder-pretrained RP classifier."""
+
+    name = "WiDeep"
+    requires_retraining = False
+
+    def __init__(self, config: Optional[WiDeepConfig] = None) -> None:
+        super().__init__()
+        self.config = config or WiDeepConfig()
+        self.model: Optional[Sequential] = None
+        self._n_aps: Optional[int] = None
+        self._labels: Optional[np.ndarray] = None
+        self._label_to_location: Optional[np.ndarray] = None
+
+    # -- offline phase -------------------------------------------------------
+
+    def _pretrain_encoder(
+        self, vectors: np.ndarray, rng: np.random.Generator
+    ) -> Dense:
+        """Denoising AE stage; returns the trained encoder layer."""
+        cfg = self.config
+        n_aps = vectors.shape[1]
+        encoder = Dense(n_aps, cfg.hidden_units, rng=rng, name="encoder")
+        autoencoder = Sequential(
+            [
+                encoder,
+                ReLU(name="enc_relu"),
+                Dense(cfg.hidden_units, n_aps, rng=rng, name="decoder"),
+                Sigmoid(name="dec_sigmoid"),
+            ]
+        )
+        # Masking noise: each corrupted copy drops a random subset of the
+        # observed APs to 0 (exactly how an unobserved AP is encoded).
+        reps = np.repeat(vectors, cfg.n_corruptions, axis=0)
+        mask = rng.random(reps.shape) >= cfg.corruption_rate
+        corrupted = reps * mask
+        trainer = Trainer(autoencoder, MSELoss(), Adam(cfg.learning_rate))
+        trainer.fit(
+            corrupted,
+            reps,
+            epochs=cfg.ae_epochs,
+            batch_size=cfg.batch_size,
+            rng=rng,
+        )
+        return encoder
+
+    def fit(
+        self,
+        train: FingerprintDataset,
+        floorplan: Floorplan,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "WiDeepLocalizer":
+        """Two stages: denoising pretraining, then classifier fine-tune."""
+        del floorplan
+        rng = rng or np.random.default_rng(0)
+        cfg = self.config
+        vectors = normalize_rssi(train.rssi)
+        self._n_aps = train.n_aps
+        self._labels = train.rp_set
+        label_index = {int(rp): i for i, rp in enumerate(self._labels)}
+        y = np.array([label_index[int(rp)] for rp in train.rp_indices])
+        self._label_to_location = np.empty((self._labels.size, 2))
+        for rp, i in label_index.items():
+            self._label_to_location[i] = train.locations[train.rp_indices == rp][0]
+        encoder = self._pretrain_encoder(vectors, rng)
+        self.model = Sequential(
+            [
+                encoder,
+                ReLU(name="enc_relu"),
+                Dense(
+                    cfg.hidden_units, self._labels.size, rng=rng, name="logits"
+                ),
+            ]
+        )
+        trainer = Trainer(self.model, SoftmaxCrossEntropy(), Adam(cfg.learning_rate))
+        trainer.fit(
+            vectors,
+            y,
+            epochs=cfg.classifier_epochs,
+            batch_size=cfg.batch_size,
+            rng=rng,
+        )
+        self._fitted = True
+        return self
+
+    # -- online phase ----------------------------------------------------------
+
+    def predict_class_index(self, rssi: np.ndarray) -> np.ndarray:
+        """Argmax class index per scan."""
+        self._check_fitted()
+        rssi = self._check_rssi(rssi, self._n_aps)
+        logits = self.model.predict(normalize_rssi(rssi))
+        return logits.argmax(axis=1)
+
+    def predict(self, rssi: np.ndarray) -> np.ndarray:
+        """Predicted RP's coordinates per scan."""
+        return self._label_to_location[self.predict_class_index(rssi)]

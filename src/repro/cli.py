@@ -1,0 +1,298 @@
+"""Command-line interface: regenerate figures and run quick studies.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli figure FIG5 --seed 0
+    python -m repro.cli figure FIG6B --fast
+    python -m repro.cli compare office --frameworks STONE,LT-KNN --fast
+    python -m repro.cli suite basement --out basement.npz
+    python -m repro.cli track office --framework STONE --fast
+    python -m repro.cli compress office --bits 8 --sparsity 0.5 --fast
+    python -m repro.cli multifloor --months 4 --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .baselines.registry import PAPER_FRAMEWORKS
+from .datasets import generate_path_suite, generate_uji_suite, suite_summary_table
+from .eval import (
+    compare_frameworks,
+    comparison_table,
+    line_chart,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_headline_claims,
+)
+
+_FIGURES = {
+    "FIG3": lambda seed, fast: run_fig3(seed),
+    "FIG4": lambda seed, fast: run_fig4(seed),
+    "FIG5": lambda seed, fast: run_fig5(seed, fast=fast),
+    "FIG6A": lambda seed, fast: run_fig6("basement", seed, fast=fast),
+    "FIG6B": lambda seed, fast: run_fig6("office", seed, fast=fast),
+    "FIG7": lambda seed, fast: run_fig7("office", seed, fast=fast),
+    "SEC5C-CLAIM": lambda seed, fast: run_headline_claims(seed, fast=fast),
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    figure_id = args.id.upper()
+    runner = _FIGURES.get(figure_id)
+    if runner is None:
+        print(f"unknown figure {args.id!r}; known: {', '.join(_FIGURES)}")
+        return 2
+    result = runner(args.seed, args.fast)
+    print(result.rendered)
+    for note in result.notes:
+        print(f"note: {note}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.rendered + "\n")
+        print(f"saved: {args.out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.suite == "uji":
+        suite = generate_uji_suite(args.seed)
+    else:
+        suite = generate_path_suite(args.suite, args.seed)
+    frameworks = [f.strip() for f in args.frameworks.split(",") if f.strip()]
+    comparison = compare_frameworks(suite, frameworks, seed=args.seed, fast=args.fast)
+    series = comparison.series()
+    print(line_chart(series, x_labels=comparison.labels(),
+                     title=f"{args.suite}: mean localization error"))
+    print()
+    print(comparison_table(series, comparison.labels()))
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    if args.suite == "uji":
+        suite = generate_uji_suite(args.seed)
+    else:
+        suite = generate_path_suite(args.suite, args.seed)
+    print(suite.describe())
+    print()
+    print(suite_summary_table(suite))
+    if args.out:
+        suite.train.save(args.out)
+        print(f"\nsaved offline training set: {args.out}")
+    return 0
+
+
+def _cmd_track(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .baselines.registry import make_localizer
+    from .eval import format_table
+    from .radio.time import SimTime
+    from .tracking import (
+        compare_tracking_methods,
+        simulate_path_walk,
+        simulate_random_walk,
+    )
+
+    if args.suite == "uji":
+        suite = generate_uji_suite(args.seed)
+    else:
+        suite = generate_path_suite(args.suite, args.seed)
+    env = suite.metadata["environment"]
+    localizer = make_localizer(
+        args.framework, suite_name=suite.name, fast=args.fast
+    )
+    rng = np.random.default_rng(args.seed)
+    localizer.fit(suite.train, suite.floorplan, rng=rng)
+    ci_hours = suite.metadata.get("ci_hours")
+    start_time = (
+        SimTime(ci_hours[args.epoch])
+        if ci_hours is not None and args.epoch < len(ci_hours)
+        else None
+    )
+    if args.suite == "uji":
+        # Open grid floor: free-space waypoint walk is physical.
+        trajectory = simulate_random_walk(
+            env,
+            n_waypoints=args.waypoints,
+            epoch=args.epoch,
+            start_time=start_time,
+            rng=rng,
+        )
+    else:
+        # Corridor paths: walk the surveyed path itself.
+        trajectory = simulate_path_walk(
+            env, epoch=args.epoch, start_time=start_time, rng=rng
+        )
+    print(
+        f"walk: {trajectory.n_steps} scans over "
+        f"{trajectory.path_length_m():.0f} m at epoch {args.epoch}"
+    )
+    results = compare_tracking_methods(
+        localizer, trajectory, suite.floorplan, rng=rng
+    )
+    rows = [
+        [method, s.mean_m, s.median_m, s.rmse_m, s.p95_m]
+        for method, s in results.items()
+    ]
+    print(format_table(["method", "mean", "median", "rmse", "p95"], rows))
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .baselines.registry import make_localizer
+    from .compress import (
+        QuantizationSpec,
+        deployment_table,
+        magnitude_prune,
+        model_cost,
+        quantize_model,
+    )
+    from .eval import evaluate_localizer
+
+    suite = (
+        generate_uji_suite(args.seed)
+        if args.suite == "uji"
+        else generate_path_suite(args.suite, args.seed)
+    )
+    rng = np.random.default_rng(args.seed)
+    stone = make_localizer("STONE", suite_name=suite.name, fast=args.fast)
+    stone.fit(suite.train, suite.floorplan, rng=rng)
+    result = evaluate_localizer(stone, suite, rng=rng, fit=False)
+    print(f"float32 STONE: overall mean {result.overall_mean():.2f} m")
+    cost = model_cost(
+        stone.encoder, (1, stone.preprocessor.image_side, stone.preprocessor.image_side)
+    )
+    print(cost.table())
+    quantized = quantize_model(stone.encoder, QuantizationSpec(bits=args.bits))
+    stone.set_encoder(quantized.dequantized_model())
+    q_result = evaluate_localizer(stone, suite, rng=rng, fit=False)
+    print(
+        f"int{args.bits} STONE: overall mean {q_result.overall_mean():.2f} m "
+        f"({quantized.compression_ratio():.1f}x smaller)"
+    )
+    if args.sparsity > 0:
+        pruned_model, report = magnitude_prune(stone.encoder, args.sparsity)
+        stone.set_encoder(pruned_model)
+        p_result = evaluate_localizer(stone, suite, rng=rng, fit=False)
+        print(
+            f"+{args.sparsity:.0%} pruned: overall mean "
+            f"{p_result.overall_mean():.2f} m ({report.compression_ratio():.2f}x)"
+        )
+    print()
+    print(deployment_table(cost, weight_bytes=quantized.storage_bytes()))
+    return 0
+
+
+def _cmd_multifloor(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .baselines.registry import make_localizer
+    from .multifloor import (
+        HierarchicalLocalizer,
+        MultiFloorConfig,
+        evaluate_multifloor,
+        generate_multifloor_suite,
+    )
+
+    config = MultiFloorConfig(
+        aps_per_floor=args.aps_per_floor,
+        n_months=args.months,
+        train_fpr=4 if args.fast else 6,
+        test_fpr=1 if args.fast else 2,
+    )
+    suite = generate_multifloor_suite(args.seed, config=config)
+    print(suite.describe())
+    localizer = HierarchicalLocalizer(
+        lambda floor: make_localizer(args.framework, suite_name="uji", fast=args.fast)
+    )
+    results = evaluate_multifloor(
+        localizer, suite, rng=np.random.default_rng(args.seed)
+    )
+    for r in results:
+        print(r.as_row())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro.cli`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="STONE reproduction toolbox (DATE 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("id", help=f"one of: {', '.join(_FIGURES)}")
+    p_fig.add_argument("--seed", type=int, default=0)
+    p_fig.add_argument("--fast", action="store_true", help="smoke-scale models")
+    p_fig.add_argument("--out", help="also write the artefact to this file")
+    p_fig.set_defaults(fn=_cmd_figure)
+
+    p_cmp = sub.add_parser("compare", help="compare frameworks on a suite")
+    p_cmp.add_argument("suite", choices=("office", "basement", "uji"))
+    p_cmp.add_argument(
+        "--frameworks",
+        default=",".join(PAPER_FRAMEWORKS),
+        help="comma-separated framework names (registry: STONE, KNN, LT-KNN, GIFT, SCNN, SELE)",
+    )
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument("--fast", action="store_true")
+    p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_suite = sub.add_parser("suite", help="generate and describe a dataset suite")
+    p_suite.add_argument("suite", choices=("office", "basement", "uji"))
+    p_suite.add_argument("--seed", type=int, default=0)
+    p_suite.add_argument("--out", help="save the offline training set (.npz)")
+    p_suite.set_defaults(fn=_cmd_suite)
+
+    p_track = sub.add_parser(
+        "track", help="compare trajectory smoothing strategies on a walk"
+    )
+    p_track.add_argument("suite", choices=("office", "basement", "uji"))
+    p_track.add_argument("--framework", default="STONE")
+    p_track.add_argument("--epoch", type=int, default=0, help="AP-lifecycle epoch")
+    p_track.add_argument("--waypoints", type=int, default=5)
+    p_track.add_argument("--seed", type=int, default=0)
+    p_track.add_argument("--fast", action="store_true")
+    p_track.set_defaults(fn=_cmd_track)
+
+    p_comp = sub.add_parser(
+        "compress", help="quantize/prune STONE's encoder and re-evaluate"
+    )
+    p_comp.add_argument("suite", choices=("office", "basement", "uji"))
+    p_comp.add_argument("--bits", type=int, default=8)
+    p_comp.add_argument("--sparsity", type=float, default=0.0)
+    p_comp.add_argument("--seed", type=int, default=0)
+    p_comp.add_argument("--fast", action="store_true")
+    p_comp.set_defaults(fn=_cmd_compress)
+
+    p_mf = sub.add_parser(
+        "multifloor", help="two-floor UJI-like hierarchical evaluation"
+    )
+    p_mf.add_argument("--framework", default="KNN")
+    p_mf.add_argument("--months", type=int, default=6)
+    p_mf.add_argument("--aps-per-floor", type=int, default=40)
+    p_mf.add_argument("--seed", type=int, default=0)
+    p_mf.add_argument("--fast", action="store_true")
+    p_mf.set_defaults(fn=_cmd_multifloor)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

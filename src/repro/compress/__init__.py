@@ -1,0 +1,55 @@
+"""Model compression and on-device deployment estimation.
+
+The paper's framework runs entirely on the user's phone; this package
+quantifies what that costs and how far the encoder can be compressed
+before localization accuracy suffers (the design space CHISEL [7]
+explores for the same pipeline): affine integer quantization, magnitude
+pruning, MAC/param/activation accounting, and a roofline latency/energy
+model over mobile device presets.
+"""
+
+from .cost import LayerCost, ModelCost, model_cost
+from .deploy import (
+    DEVICE_PRESETS,
+    DeploymentEstimate,
+    DeviceSpec,
+    deployment_table,
+    estimate_deployment,
+    get_device,
+)
+from .prune import (
+    LayerSparsity,
+    PruningReport,
+    magnitude_prune,
+    model_sparsity,
+)
+from .quantize import (
+    ActivationQuantizer,
+    QuantizationSpec,
+    QuantizedModel,
+    QuantizedTensor,
+    quantize_model,
+    quantize_tensor,
+)
+
+__all__ = [
+    "ActivationQuantizer",
+    "DEVICE_PRESETS",
+    "DeploymentEstimate",
+    "DeviceSpec",
+    "LayerCost",
+    "LayerSparsity",
+    "ModelCost",
+    "PruningReport",
+    "QuantizationSpec",
+    "QuantizedModel",
+    "QuantizedTensor",
+    "deployment_table",
+    "estimate_deployment",
+    "get_device",
+    "magnitude_prune",
+    "model_cost",
+    "model_sparsity",
+    "quantize_model",
+    "quantize_tensor",
+]

@@ -1,0 +1,128 @@
+"""Static cost analysis of a Sequential: parameters, MACs, activations.
+
+The numbers feeding the mobile deployment model in
+:mod:`repro.compress.deploy`. MAC counts follow the usual conventions:
+a Conv2D costs ``OH*OW*Cout*Cin*KH*KW`` multiply-accumulates per sample,
+a Dense costs ``in*out``; element-wise layers cost one "op" per element
+(reported separately — they are bandwidth, not MAC, bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.layers.conv import Conv2D, conv_output_hw
+from ..nn.layers.dense import Dense
+from ..nn.model import Sequential
+
+_FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Per-sample cost of one layer."""
+
+    name: str
+    kind: str
+    params: int
+    macs: int
+    elementwise_ops: int
+    activation_elems: int
+
+    def activation_bytes(self) -> int:
+        return self.activation_elems * _FLOAT_BYTES
+
+
+@dataclass
+class ModelCost:
+    """Aggregate per-sample inference cost of a model."""
+
+    layers: list[LayerCost]
+    input_shape: tuple
+
+    @property
+    def total_params(self) -> int:
+        return sum(l.params for l in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    @property
+    def total_elementwise_ops(self) -> int:
+        return sum(l.elementwise_ops for l in self.layers)
+
+    def weight_bytes(self) -> int:
+        """float32 storage of all parameters."""
+        return self.total_params * _FLOAT_BYTES
+
+    def activation_bytes(self) -> int:
+        """Bytes written for every intermediate activation (one sample)."""
+        return sum(l.activation_bytes() for l in self.layers)
+
+    def table(self) -> str:
+        """Fixed-width per-layer breakdown."""
+        header = (
+            f"{'layer':<18}{'kind':<12}{'params':>10}{'MACs':>12}"
+            f"{'act elems':>12}"
+        )
+        rows = [header, "-" * len(header)]
+        for l in self.layers:
+            rows.append(
+                f"{l.name:<18}{l.kind:<12}{l.params:>10}{l.macs:>12}"
+                f"{l.activation_elems:>12}"
+            )
+        rows.append("-" * len(header))
+        rows.append(
+            f"{'total':<30}{self.total_params:>10}{self.total_macs:>12}"
+            f"{sum(l.activation_elems for l in self.layers):>12}"
+        )
+        return "\n".join(rows)
+
+
+def _shape_elems(shape: tuple) -> int:
+    return int(np.prod(shape)) if shape else 0
+
+
+def model_cost(model: Sequential, input_shape: tuple) -> ModelCost:
+    """Per-sample cost of every layer, for a sample of ``input_shape``.
+
+    ``input_shape`` excludes the batch dimension (e.g. ``(1, 8, 8)`` for
+    STONE's single-channel 8x8 fingerprint images).
+    """
+    layers: list[LayerCost] = []
+    shape = tuple(input_shape)
+    for layer in model.layers:
+        out_shape = layer.output_shape(shape)
+        out_elems = _shape_elems(out_shape)
+        params = layer.n_params()
+        macs = 0
+        elementwise = 0
+        if isinstance(layer, Conv2D):
+            oh, ow = conv_output_hw(
+                (shape[1], shape[2]), layer.kernel_size, layer.stride, layer.pad
+            )
+            kh, kw = layer.kernel_size
+            macs = oh * ow * layer.out_channels * layer.in_channels * kh * kw
+            if layer.use_bias:
+                elementwise = out_elems
+        elif isinstance(layer, Dense):
+            macs = layer.in_features * layer.out_features
+            if layer.use_bias:
+                elementwise = layer.out_features
+        else:
+            elementwise = out_elems
+        layers.append(
+            LayerCost(
+                name=layer.name,
+                kind=type(layer).__name__,
+                params=params,
+                macs=int(macs),
+                elementwise_ops=int(elementwise),
+                activation_elems=out_elems,
+            )
+        )
+        shape = out_shape
+    return ModelCost(layers=layers, input_shape=tuple(input_shape))

@@ -1,0 +1,151 @@
+"""Mobile deployment estimates: latency, energy, and memory footprint.
+
+A roofline-style model turns :class:`~repro.compress.cost.ModelCost`
+into per-inference latency and energy on a named device class. The
+presets bracket the paper's deployment range: the LG V20 the authors
+measured with (2016 flagship), a modern phone, and an MCU-class wearable
+— coarse but honest single-core sustained numbers, intended for
+*relative* comparisons between compressed variants, not for absolute
+benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cost import ModelCost
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Sustained single-core characteristics of a deployment target.
+
+    ``gmacs_per_s`` is achievable fused multiply-accumulate throughput;
+    ``mem_bandwidth_gb_s`` is sustained DRAM bandwidth; the energy
+    constants are typical order-of-magnitude figures for mobile SoCs
+    (a DRAM access costs ~100x a MAC, the classic Horowitz ratio).
+    """
+
+    name: str
+    gmacs_per_s: float
+    mem_bandwidth_gb_s: float
+    pj_per_mac: float
+    pj_per_byte: float
+
+    def __post_init__(self) -> None:
+        if min(
+            self.gmacs_per_s,
+            self.mem_bandwidth_gb_s,
+            self.pj_per_mac,
+            self.pj_per_byte,
+        ) <= 0:
+            raise ValueError("device characteristics must be positive")
+
+
+#: Deployment targets used by the compression benchmarks.
+DEVICE_PRESETS = {
+    # The paper's capture device: 2016 flagship (Snapdragon 820 class).
+    "lg-v20": DeviceSpec(
+        name="lg-v20",
+        gmacs_per_s=8.0,
+        mem_bandwidth_gb_s=12.0,
+        pj_per_mac=4.0,
+        pj_per_byte=120.0,
+    ),
+    # A current phone big core with wide SIMD.
+    "modern-phone": DeviceSpec(
+        name="modern-phone",
+        gmacs_per_s=40.0,
+        mem_bandwidth_gb_s=30.0,
+        pj_per_mac=1.5,
+        pj_per_byte=80.0,
+    ),
+    # Cortex-M7-class wearable/badge.
+    "mcu": DeviceSpec(
+        name="mcu",
+        gmacs_per_s=0.2,
+        mem_bandwidth_gb_s=0.3,
+        pj_per_mac=20.0,
+        pj_per_byte=300.0,
+    ),
+}
+
+
+def get_device(name_or_spec) -> DeviceSpec:
+    """Resolve a preset name or pass a spec through."""
+    if isinstance(name_or_spec, DeviceSpec):
+        return name_or_spec
+    try:
+        return DEVICE_PRESETS[name_or_spec]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_PRESETS))
+        raise KeyError(f"unknown device {name_or_spec!r}; presets: {known}")
+
+
+@dataclass(frozen=True)
+class DeploymentEstimate:
+    """Per-inference estimates for one (model, device) pair."""
+
+    device: str
+    latency_ms: float
+    energy_mj: float
+    weight_bytes: int
+    activation_bytes: int
+    macs: int
+    compute_bound: bool
+
+    def as_row(self) -> str:
+        bound = "compute" if self.compute_bound else "memory"
+        return (
+            f"{self.device:<14}{self.latency_ms:>10.3f} ms"
+            f"{self.energy_mj:>10.4f} mJ  {self.weight_bytes:>9} B weights "
+            f"({bound}-bound)"
+        )
+
+
+def estimate_deployment(
+    cost: ModelCost,
+    device="lg-v20",
+    *,
+    weight_bytes: int = 0,
+) -> DeploymentEstimate:
+    """Roofline latency + energy for one inference.
+
+    ``weight_bytes`` overrides the float32 weight size — pass the packed
+    size of a quantized/pruned model to see the bandwidth/energy effect
+    of compression (weights stream from memory once per inference on
+    cache-poor mobile cores).
+    """
+    spec = get_device(device)
+    weights = weight_bytes if weight_bytes > 0 else cost.weight_bytes()
+    # One inference reads the weights and writes/reads activations once.
+    bytes_moved = weights + 2 * cost.activation_bytes()
+    compute_s = cost.total_macs / (spec.gmacs_per_s * 1e9)
+    # Element-wise work rides the memory estimate (it is bandwidth bound).
+    memory_s = bytes_moved / (spec.mem_bandwidth_gb_s * 1e9)
+    latency_s = max(compute_s, memory_s)
+    energy_j = (
+        cost.total_macs * spec.pj_per_mac
+        + cost.total_elementwise_ops * spec.pj_per_mac * 0.25
+        + bytes_moved * spec.pj_per_byte
+    ) * 1e-12
+    return DeploymentEstimate(
+        device=spec.name,
+        latency_ms=latency_s * 1e3,
+        energy_mj=energy_j * 1e3,
+        weight_bytes=int(weights),
+        activation_bytes=cost.activation_bytes(),
+        macs=cost.total_macs,
+        compute_bound=compute_s >= memory_s,
+    )
+
+
+def deployment_table(
+    cost: ModelCost, *, weight_bytes: int = 0
+) -> str:
+    """Estimates across every preset, one row per device."""
+    rows = [
+        estimate_deployment(cost, name, weight_bytes=weight_bytes).as_row()
+        for name in sorted(DEVICE_PRESETS)
+    ]
+    return "\n".join(rows)

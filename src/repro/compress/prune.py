@@ -1,0 +1,138 @@
+"""Magnitude pruning for :class:`~repro.nn.model.Sequential`.
+
+Unstructured weight pruning: zero out the smallest-magnitude weights,
+either per layer (every weight matrix loses the same fraction) or
+globally (one threshold across the whole model, so robust layers absorb
+more of the sparsity). Pruned models stay dense NumPy arrays — the
+benefit modelled here is the *compressed storage* size (sparse weights
+plus a bitmap), which is how mobile deployments ship pruned models.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.model import Sequential
+
+_FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class LayerSparsity:
+    """Achieved sparsity of one parameter tensor."""
+
+    param: str
+    total: int
+    zeros: int
+
+    @property
+    def sparsity(self) -> float:
+        return self.zeros / self.total if self.total else 0.0
+
+
+@dataclass
+class PruningReport:
+    """What pruning did to each tensor, plus storage accounting."""
+
+    per_param: list[LayerSparsity]
+    target_sparsity: float
+    scope: str
+
+    @property
+    def overall_sparsity(self) -> float:
+        total = sum(p.total for p in self.per_param)
+        zeros = sum(p.zeros for p in self.per_param)
+        return zeros / total if total else 0.0
+
+    def dense_bytes(self) -> int:
+        """float32 storage of the unpruned parameters."""
+        return sum(p.total for p in self.per_param) * _FLOAT_BYTES
+
+    def sparse_bytes(self) -> int:
+        """Bitmap-compressed storage: surviving floats + 1 bit/position."""
+        survivors = sum(p.total - p.zeros for p in self.per_param)
+        bitmap = int(np.ceil(sum(p.total for p in self.per_param) / 8))
+        return survivors * _FLOAT_BYTES + bitmap
+
+    def compression_ratio(self) -> float:
+        return self.dense_bytes() / max(self.sparse_bytes(), 1)
+
+    def describe(self) -> str:
+        lines = [
+            f"magnitude pruning ({self.scope}, target {self.target_sparsity:.0%}): "
+            f"overall {self.overall_sparsity:.1%} sparse, "
+            f"{self.dense_bytes()} -> {self.sparse_bytes()} bytes "
+            f"({self.compression_ratio():.2f}x)"
+        ]
+        for p in self.per_param:
+            lines.append(f"  {p.param:<12} {p.sparsity:6.1%} of {p.total}")
+        return "\n".join(lines)
+
+
+def _prunable(name: str, values: np.ndarray) -> bool:
+    """Only weight matrices/kernels are pruned, never biases or norms."""
+    return name.endswith(".W") and values.ndim >= 2
+
+
+def magnitude_prune(
+    model: Sequential,
+    sparsity: float,
+    *,
+    scope: str = "global",
+) -> tuple[Sequential, PruningReport]:
+    """Zero the smallest ``sparsity`` fraction of weights.
+
+    Returns a pruned *copy*; the input model is untouched. ``scope`` is
+    ``"global"`` (single magnitude threshold over all weight tensors) or
+    ``"layer"`` (each tensor pruned to the target independently).
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError("sparsity must be in [0, 1)")
+    if scope not in ("global", "layer"):
+        raise ValueError("scope must be 'global' or 'layer'")
+    pruned = copy.deepcopy(model)
+    params = pruned.parameters()
+    weights = {k: v for k, v in params.items() if _prunable(k, v)}
+    if not weights:
+        raise ValueError("model has no prunable weight tensors")
+    if scope == "global" and sparsity > 0.0:
+        magnitudes = np.concatenate([np.abs(v).ravel() for v in weights.values()])
+        k = int(sparsity * magnitudes.size)
+        threshold = np.partition(magnitudes, k)[k] if k else -np.inf
+    per_param: list[LayerSparsity] = []
+    for name, values in weights.items():
+        if sparsity == 0.0:
+            mask = np.ones_like(values, dtype=bool)
+        elif scope == "global":
+            mask = np.abs(values) > threshold
+        else:
+            flat = np.abs(values).ravel()
+            k = int(sparsity * flat.size)
+            cutoff = np.partition(flat, k)[k] if k else -np.inf
+            mask = np.abs(values) > cutoff
+        values[...] = values * mask
+        per_param.append(
+            LayerSparsity(
+                param=name,
+                total=int(values.size),
+                zeros=int(values.size - mask.sum()),
+            )
+        )
+    return pruned, PruningReport(
+        per_param=per_param, target_sparsity=float(sparsity), scope=scope
+    )
+
+
+def model_sparsity(model: Sequential) -> float:
+    """Fraction of exactly-zero values across prunable weight tensors."""
+    weights = [
+        v for k, v in model.parameters().items() if _prunable(k, v)
+    ]
+    if not weights:
+        return 0.0
+    total = sum(v.size for v in weights)
+    zeros = sum(int((v == 0).sum()) for v in weights)
+    return zeros / total

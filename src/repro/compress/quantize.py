@@ -1,0 +1,284 @@
+"""Post-training quantization for :class:`~repro.nn.model.Sequential`.
+
+The paper deploys the encoder + KNN head *on the phone* (Sec. I: "better
+data privacy, security, and faster response times"), and the group's
+follow-up CHISEL [7] studies compression-aware variants of exactly this
+pipeline. This module provides standard affine integer quantization:
+
+- weights-only PTQ, per-tensor or per-channel, symmetric or asymmetric
+  (:func:`quantize_model`), returning a :class:`QuantizedModel` whose
+  fake-quantized float model can be dropped into an existing
+  :class:`~repro.core.stone.StoneLocalizer`;
+- activation fake-quantization with min/max calibration
+  (:class:`ActivationQuantizer`) for an int8-everything estimate.
+
+Quantization here is *simulated* (dequantize-then-float-compute), the
+standard methodology for studying accuracy impact without an integer
+kernel library; the size accounting is exact.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..nn.model import Sequential
+
+#: float32 bytes per parameter, the baseline all ratios compare against.
+_FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """How to quantize one tensor family.
+
+    ``bits`` of 8 with ``symmetric=True`` is classic int8 weight PTQ;
+    4-bit quantization is included because sub-byte weights are common
+    on MCU-class targets.
+    """
+
+    bits: int = 8
+    symmetric: bool = True
+    per_channel: bool = True
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.bits <= 16:
+            raise ValueError("bits must be in 2..16")
+
+    @property
+    def q_levels(self) -> int:
+        return 2**self.bits
+
+    @property
+    def storage_bytes_per_value(self) -> float:
+        """Packed storage cost per quantized value, in bytes."""
+        return self.bits / 8.0
+
+
+@dataclass
+class QuantizedTensor:
+    """One quantized array: integer codes + affine decode parameters.
+
+    Decode is ``(codes - zero_point) * scale`` broadcast over
+    ``channel_axis`` when per-channel.
+    """
+
+    codes: np.ndarray
+    scale: np.ndarray
+    zero_point: np.ndarray
+    spec: QuantizationSpec
+    channel_axis: Optional[int] = None
+    shape: tuple = field(default_factory=tuple)
+
+    def dequantize(self) -> np.ndarray:
+        """Back to float32 (with quantization error baked in)."""
+        codes = self.codes.astype(np.float64)
+        if self.channel_axis is None:
+            out = (codes - self.zero_point) * self.scale
+        else:
+            shape = [1] * codes.ndim
+            shape[self.channel_axis] = -1
+            out = (codes - self.zero_point.reshape(shape)) * self.scale.reshape(
+                shape
+            )
+        return out.astype(np.float32)
+
+    def storage_bytes(self) -> int:
+        """Packed size: codes at ``bits`` each plus float32 decode params."""
+        code_bytes = int(np.ceil(self.codes.size * self.spec.storage_bytes_per_value))
+        param_bytes = (self.scale.size + self.zero_point.size) * _FLOAT_BYTES
+        return code_bytes + param_bytes
+
+
+def _ranges(
+    values: np.ndarray, spec: QuantizationSpec, channel_axis: Optional[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """(min, max) per channel (or scalars for per-tensor)."""
+    if channel_axis is None:
+        return np.asarray(values.min()), np.asarray(values.max())
+    axes = tuple(a for a in range(values.ndim) if a != channel_axis)
+    return values.min(axis=axes), values.max(axis=axes)
+
+
+def quantize_tensor(
+    values: np.ndarray,
+    spec: QuantizationSpec = QuantizationSpec(),
+    *,
+    channel_axis: Optional[int] = None,
+) -> QuantizedTensor:
+    """Affine-quantize one array.
+
+    Symmetric mode clamps codes to ``[-(2^(b-1) - 1), 2^(b-1) - 1]`` with
+    zero point 0 (so zero is exactly representable); asymmetric mode uses
+    the full unsigned range with a per-(tensor|channel) zero point.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if channel_axis is not None:
+        if not -values.ndim <= channel_axis < values.ndim:
+            raise ValueError(f"channel_axis {channel_axis} out of range")
+        channel_axis = channel_axis % values.ndim
+    lo, hi = _ranges(values, spec, channel_axis)
+    if spec.symmetric:
+        q_max = spec.q_levels // 2 - 1
+        scale = np.maximum(np.maximum(np.abs(lo), np.abs(hi)) / q_max, 1e-12)
+        zero_point = np.zeros_like(scale)
+        q_lo, q_hi = -q_max, q_max
+    else:
+        q_hi = spec.q_levels - 1
+        q_lo = 0
+        span = np.maximum(hi - lo, 1e-12)
+        scale = span / q_hi
+        zero_point = np.round(-lo / scale)
+    if channel_axis is None:
+        codes = np.round(values / scale) + zero_point
+    else:
+        shape = [1] * values.ndim
+        shape[channel_axis] = -1
+        codes = np.round(values / scale.reshape(shape)) + zero_point.reshape(shape)
+    codes = np.clip(codes, q_lo, q_hi)
+    if spec.symmetric:
+        dtype = np.int8 if spec.bits <= 8 else np.int16
+    else:
+        dtype = np.uint8 if spec.bits <= 8 else np.uint16
+    return QuantizedTensor(
+        codes=codes.astype(dtype),
+        scale=np.atleast_1d(scale.astype(np.float64)),
+        zero_point=np.atleast_1d(zero_point.astype(np.float64)),
+        spec=spec,
+        channel_axis=channel_axis,
+        shape=tuple(values.shape),
+    )
+
+
+def _default_channel_axis(param_name: str, values: np.ndarray) -> Optional[int]:
+    """Per-channel axis convention: Conv kernels on axis 0 (out channels),
+    Dense kernels on the last axis (output features), vectors per-tensor."""
+    if param_name != "W" or values.ndim < 2:
+        return None
+    return 0 if values.ndim == 4 else values.ndim - 1
+
+
+@dataclass
+class QuantizedModel:
+    """A Sequential's parameters in quantized form.
+
+    ``tensors`` maps the model's flat parameter names (as produced by
+    ``Sequential.parameters()``) to quantized tensors; parameters below
+    ``min_size`` elements (biases, BatchNorm vectors) stay float32 in
+    ``kept_float`` — quantizing a 64-entry bias saves nothing and costs
+    accuracy.
+    """
+
+    architecture: Sequential
+    tensors: dict[str, QuantizedTensor]
+    kept_float: dict[str, np.ndarray]
+    spec: QuantizationSpec
+
+    def dequantized_model(self) -> Sequential:
+        """A float model with quantization error baked into the weights."""
+        model = copy.deepcopy(self.architecture)
+        values = {name: qt.dequantize() for name, qt in self.tensors.items()}
+        values.update(
+            {name: arr.copy() for name, arr in self.kept_float.items()}
+        )
+        model.set_parameters(values)
+        return model
+
+    def storage_bytes(self) -> int:
+        """Total packed size of all parameters."""
+        quantized = sum(qt.storage_bytes() for qt in self.tensors.values())
+        kept = sum(arr.size * _FLOAT_BYTES for arr in self.kept_float.values())
+        return quantized + kept
+
+    def float_bytes(self) -> int:
+        """Size of the original float32 parameters."""
+        n = sum(qt.codes.size for qt in self.tensors.values())
+        n += sum(arr.size for arr in self.kept_float.values())
+        return n * _FLOAT_BYTES
+
+    def compression_ratio(self) -> float:
+        """float32 size / quantized size (higher is better)."""
+        return self.float_bytes() / max(self.storage_bytes(), 1)
+
+    def max_abs_weight_error(self) -> float:
+        """Worst-case |w - dequant(quant(w))| across quantized tensors."""
+        worst = 0.0
+        originals = self.architecture.parameters()
+        for name, qt in self.tensors.items():
+            err = np.abs(originals[name] - qt.dequantize()).max()
+            worst = max(worst, float(err))
+        return worst
+
+
+def quantize_model(
+    model: Sequential,
+    spec: QuantizationSpec = QuantizationSpec(),
+    *,
+    min_size: int = 256,
+) -> QuantizedModel:
+    """Weights-only post-training quantization of a Sequential."""
+    tensors: dict[str, QuantizedTensor] = {}
+    kept: dict[str, np.ndarray] = {}
+    for name, values in model.parameters().items():
+        short = name.rsplit(".", 1)[-1]
+        if values.size < min_size:
+            kept[name] = np.asarray(values, dtype=np.float32)
+            continue
+        axis = _default_channel_axis(short, values) if spec.per_channel else None
+        tensors[name] = quantize_tensor(values, spec, channel_axis=axis)
+    return QuantizedModel(
+        architecture=copy.deepcopy(model),
+        tensors=tensors,
+        kept_float=kept,
+        spec=spec,
+    )
+
+
+class ActivationQuantizer:
+    """Fake-quantized inference: int8 weights *and* activations.
+
+    Calibration records per-layer output ranges on representative data;
+    :meth:`predict` then quantize-dequantizes every intermediate
+    activation, modelling an end-to-end integer pipeline. Use on top of
+    a (dequantized) weight-quantized model for the full int8 picture.
+    """
+
+    def __init__(
+        self, model: Sequential, spec: Optional[QuantizationSpec] = None
+    ) -> None:
+        # Activations are signed and roughly zero-centred after conv/FC;
+        # asymmetric ranges capture ReLU outputs better.
+        self.model = model
+        self.spec = spec or QuantizationSpec(symmetric=False, per_channel=False)
+        self._ranges: Optional[list[tuple[float, float]]] = None
+
+    def calibrate(self, x: np.ndarray) -> "ActivationQuantizer":
+        """Record per-layer activation min/max on calibration inputs."""
+        ranges: list[tuple[float, float]] = []
+        out = np.asarray(x)
+        for layer in self.model.layers:
+            out, _ = layer.forward(out, training=False)
+            ranges.append((float(out.min()), float(out.max())))
+        self._ranges = ranges
+        return self
+
+    def _fake_quant(self, values: np.ndarray, lo: float, hi: float) -> np.ndarray:
+        span = max(hi - lo, 1e-12)
+        q_hi = self.spec.q_levels - 1
+        scale = span / q_hi
+        zero_point = round(-lo / scale)
+        codes = np.clip(np.round(values / scale) + zero_point, 0, q_hi)
+        return ((codes - zero_point) * scale).astype(np.float32)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass with every activation squeezed through int codes."""
+        if self._ranges is None:
+            raise RuntimeError("calibrate() before predict()")
+        out = np.asarray(x)
+        for layer, (lo, hi) in zip(self.model.layers, self._ranges):
+            out, _ = layer.forward(out, training=False)
+            out = self._fake_quant(out, lo, hi)
+        return out

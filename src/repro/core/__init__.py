@@ -1,0 +1,62 @@
+"""``repro.core`` — the STONE framework (the paper's contribution).
+
+Preprocessing (Sec. IV.B), long-term turn-off augmentation (IV.C), the
+convolutional Siamese encoder (IV.D), floorplan-aware triplet selection
+(IV.E), the triplet training loop, the KNN head, and the
+:class:`StoneLocalizer` facade composing them.
+"""
+
+from .augmentation import TurnOffAugmentation, simulate_ap_removal
+from .calibration import (
+    CalibrationResult,
+    SweepPoint,
+    holdout_split,
+    select_embedding_dim,
+)
+from .config import StoneConfig
+from .encoder import PER_SUITE_EMBEDDING_DIM, EncoderConfig, build_encoder, embed
+from .knn_head import KNNHead
+from .preprocessing import (
+    FingerprintImagePreprocessor,
+    denormalize_rssi,
+    normalize_rssi,
+    pad_to_square,
+    square_side_for,
+)
+from .siamese import SiameseHistory, SiameseTrainer
+from .stone import StoneLocalizer
+from .triplets import (
+    FloorplanTripletSelector,
+    TripletBatch,
+    TripletSelector,
+    UniformTripletSelector,
+    make_selector,
+)
+
+__all__ = [
+    "StoneLocalizer",
+    "StoneConfig",
+    "EncoderConfig",
+    "PER_SUITE_EMBEDDING_DIM",
+    "build_encoder",
+    "embed",
+    "KNNHead",
+    "SiameseTrainer",
+    "SiameseHistory",
+    "TurnOffAugmentation",
+    "simulate_ap_removal",
+    "FingerprintImagePreprocessor",
+    "normalize_rssi",
+    "denormalize_rssi",
+    "pad_to_square",
+    "square_side_for",
+    "TripletBatch",
+    "TripletSelector",
+    "FloorplanTripletSelector",
+    "UniformTripletSelector",
+    "make_selector",
+    "CalibrationResult",
+    "SweepPoint",
+    "holdout_split",
+    "select_embedding_dim",
+]

@@ -1,0 +1,82 @@
+"""Long-term fingerprint augmentation (paper Sec. IV.C).
+
+When forming training batches, a random fraction of the *visible* APs in
+each fingerprint is turned off (set to the no-signal value 0 in the
+normalized domain), emulating the post-deployment removal of APs:
+
+``p_turn_off ~ U(0.0, p_upper)``            (paper eq. 4)
+
+with the aggressive ``p_upper = 0.90`` used in the paper's experiments.
+The encoder thereby learns embeddings that survive a large loss of input
+pixels — the mechanism behind STONE's stability after month 11 on UJI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TurnOffAugmentation:
+    """Randomly zero a fraction of visible APs per fingerprint.
+
+    Operates on normalized flat vectors or NCHW images; visibility means a
+    strictly positive normalized value (zero already encodes "no signal").
+    """
+
+    p_upper: float = 0.90
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_upper <= 1.0:
+            raise ValueError(f"p_upper must be in [0, 1], got {self.p_upper}")
+
+    def __call__(
+        self, batch: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return an augmented copy of ``batch`` (the input is untouched)."""
+        out = np.array(batch, copy=True)
+        flat = out.reshape(out.shape[0], -1)
+        if self.p_upper == 0.0:
+            return out
+        p_turn_off = rng.uniform(0.0, self.p_upper, size=flat.shape[0])
+        for i in range(flat.shape[0]):
+            visible = np.flatnonzero(flat[i] > 0)
+            if visible.size == 0:
+                continue
+            n_off = int(round(visible.size * p_turn_off[i]))
+            if n_off == 0:
+                continue
+            off = rng.choice(visible, size=n_off, replace=False)
+            flat[i, off] = 0.0
+        return out
+
+    def expected_turned_off_fraction(self) -> float:
+        """Mean fraction of visible APs removed, ``E[U(0, p_upper)]``."""
+        return self.p_upper / 2.0
+
+
+def simulate_ap_removal(
+    rssi_dbm: np.ndarray,
+    fraction: float,
+    rng: np.random.Generator,
+    *,
+    no_signal_dbm: float = -100.0,
+) -> np.ndarray:
+    """Test-time utility: permanently remove a fraction of APs (columns).
+
+    Unlike :class:`TurnOffAugmentation` (per-sample, training-time), this
+    removes the *same* randomly chosen AP columns from every scan — the
+    stress scenario of the AP-removal benchmarks.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    out = np.array(rssi_dbm, copy=True)
+    n_aps = out.shape[1]
+    n_off = int(round(n_aps * fraction))
+    if n_off == 0:
+        return out
+    cols = rng.choice(n_aps, size=n_off, replace=False)
+    out[:, cols] = no_signal_dbm
+    return out

@@ -1,0 +1,116 @@
+"""Offline hyperparameter calibration for STONE.
+
+The paper states the embedding length "was empirically evaluated for
+each floorplan independently" (Sec. IV.D) but does not give the
+protocol. This module provides a deployment-realistic one: the sweep
+uses *only the offline fingerprints* (a fitted system cannot peek at
+future months), holding out one fingerprint per RP as a validation
+fold, and picks the dimension with the lowest validation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..datasets.fingerprint import FingerprintDataset
+from ..geometry.floorplan import Floorplan
+from .config import StoneConfig
+from .stone import StoneLocalizer
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One candidate's validation outcome."""
+
+    embedding_dim: int
+    val_error_m: float
+    final_loss: float
+
+
+@dataclass
+class CalibrationResult:
+    """Embedding-dimension sweep outcome."""
+
+    points: list[SweepPoint]
+
+    @property
+    def best(self) -> SweepPoint:
+        return min(self.points, key=lambda p: p.val_error_m)
+
+    def table(self) -> str:
+        header = f"{'dim':>4}{'val err (m)':>14}{'final loss':>12}"
+        lines = [header, "-" * len(header)]
+        for p in self.points:
+            marker = "  <- best" if p is self.best else ""
+            lines.append(
+                f"{p.embedding_dim:>4}{p.val_error_m:>14.2f}"
+                f"{p.final_loss:>12.4f}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def holdout_split(
+    train: FingerprintDataset, rng: np.random.Generator
+) -> tuple[FingerprintDataset, FingerprintDataset]:
+    """Hold out one fingerprint per RP (RPs with a single sample stay in
+    the fit fold — validation simply skips them)."""
+    fit_rows: list[int] = []
+    val_rows: list[int] = []
+    for rp in train.rp_set:
+        rows = np.flatnonzero(train.rp_indices == rp)
+        if rows.shape[0] < 2:
+            fit_rows.extend(rows.tolist())
+            continue
+        held = int(rng.choice(rows))
+        val_rows.append(held)
+        fit_rows.extend(r for r in rows.tolist() if r != held)
+    if not val_rows:
+        raise ValueError(
+            "calibration needs at least one RP with two or more fingerprints"
+        )
+    return (
+        train.select(np.sort(np.asarray(fit_rows, dtype=np.int64))),
+        train.select(np.sort(np.asarray(val_rows, dtype=np.int64))),
+    )
+
+
+def select_embedding_dim(
+    train: FingerprintDataset,
+    floorplan: Floorplan,
+    *,
+    dims: Sequence[int] = (3, 5, 8, 10),
+    base_config: Optional[StoneConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> CalibrationResult:
+    """Sweep the encoder output length over ``dims`` (paper range 3-10).
+
+    Every candidate trains on the same fit fold with the same seed
+    stream and is scored on the held-out offline fingerprints. Returns
+    the full sweep so callers can inspect the flatness of the optimum
+    (the paper's range exists precisely because it is flat).
+    """
+    if not dims:
+        raise ValueError("dims must not be empty")
+    rng = rng or np.random.default_rng(0)
+    base_config = base_config or StoneConfig()
+    fit_fold, val_fold = holdout_split(train, rng)
+    points: list[SweepPoint] = []
+    for dim in dims:
+        config = base_config.with_embedding_dim(int(dim))
+        stone = StoneLocalizer(config)
+        stone.fit(fit_fold, floorplan, rng=np.random.default_rng(rng.integers(2**31)))
+        predicted = stone.predict(val_fold.rssi)
+        # Inline Euclidean error (importing repro.eval here would create
+        # a core -> eval -> baselines -> core import cycle).
+        errors = np.linalg.norm(predicted - val_fold.locations, axis=1)
+        points.append(
+            SweepPoint(
+                embedding_dim=int(dim),
+                val_error_m=float(errors.mean()),
+                final_loss=float(stone.history.final_loss),
+            )
+        )
+    return CalibrationResult(points=points)

@@ -1,0 +1,136 @@
+"""Non-parametric KNN head over encoder embeddings (paper Sec. IV.A).
+
+After the Siamese encoder is trained, every offline fingerprint is
+embedded and the (embedding, RP) pairs form the deployment-time reference
+set. Online, a query embedding is matched to its K nearest reference
+embeddings; the predicted location is the majority-vote RP's coordinates
+(classification, the paper's formulation) or the mean of the neighbours'
+coordinates (regression variant, kept for ablations).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class KNNHead:
+    """K-nearest-neighbour localization head in embedding space."""
+
+    def __init__(self, k: int = 3, *, mode: str = "classify") -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if mode not in ("classify", "regress"):
+            raise ValueError("mode must be 'classify' or 'regress'")
+        self.k = int(k)
+        self.mode = mode
+        self._embeddings: Optional[np.ndarray] = None
+        self._rp_indices: Optional[np.ndarray] = None
+        self._locations: Optional[np.ndarray] = None
+
+    def fit(
+        self,
+        embeddings: np.ndarray,
+        rp_indices: np.ndarray,
+        locations: np.ndarray,
+    ) -> "KNNHead":
+        """Store the reference set."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        rp_indices = np.asarray(rp_indices, dtype=np.int64)
+        locations = np.asarray(locations, dtype=np.float64)
+        if embeddings.ndim != 2 or embeddings.shape[0] == 0:
+            raise ValueError("embeddings must be a non-empty (n, d) matrix")
+        if rp_indices.shape != (embeddings.shape[0],):
+            raise ValueError("rp_indices must align with embeddings")
+        if locations.shape != (embeddings.shape[0], 2):
+            raise ValueError("locations must be (n, 2)")
+        self._embeddings = embeddings
+        self._rp_indices = rp_indices
+        self._locations = locations
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._embeddings is None:
+            raise RuntimeError("KNNHead used before fit()")
+
+    @property
+    def rp_labels(self) -> np.ndarray:
+        """Sorted unique RP labels of the reference set."""
+        self._require_fitted()
+        return np.unique(self._rp_indices)
+
+    def kneighbors(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(distances, indices) of the K nearest references per query."""
+        self._require_fitted()
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        refs = self._embeddings
+        d2 = (
+            (q * q).sum(axis=1)[:, None]
+            + (refs * refs).sum(axis=1)[None, :]
+            - 2.0 * (q @ refs.T)
+        )
+        np.maximum(d2, 0.0, out=d2)
+        k = min(self.k, refs.shape[0])
+        idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        rows = np.arange(q.shape[0])[:, None]
+        order = np.argsort(d2[rows, idx], axis=1)
+        idx = idx[rows, order]
+        return np.sqrt(d2[rows, idx]), idx
+
+    def predict_rp(self, queries: np.ndarray) -> np.ndarray:
+        """Majority-vote RP label per query (ties -> nearest neighbour's RP)."""
+        dist, idx = self.kneighbors(queries)
+        labels = self._rp_indices[idx]
+        out = np.empty(labels.shape[0], dtype=np.int64)
+        for i in range(labels.shape[0]):
+            values, counts = np.unique(labels[i], return_counts=True)
+            winners = values[counts == counts.max()]
+            if winners.size == 1:
+                out[i] = winners[0]
+            else:
+                # Tie break: the closest neighbour whose label is a winner.
+                for j in range(labels.shape[1]):
+                    if labels[i, j] in winners:
+                        out[i] = labels[i, j]
+                        break
+        return out
+
+    def per_rp_distances(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Distance from each query to the closest reference of every RP.
+
+        Returns ``(rp_labels, distances)`` where ``rp_labels`` is the
+        sorted unique RP labels of the reference set and ``distances`` is
+        ``(n_queries, n_rps)``. This is the soft score the tracking
+        subsystem turns into emission likelihoods: nearer reference
+        fingerprints of an RP mean the user is more plausibly there.
+        """
+        self._require_fitted()
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        refs = self._embeddings
+        d2 = (
+            (q * q).sum(axis=1)[:, None]
+            + (refs * refs).sum(axis=1)[None, :]
+            - 2.0 * (q @ refs.T)
+        )
+        np.maximum(d2, 0.0, out=d2)
+        labels = np.unique(self._rp_indices)
+        out = np.empty((q.shape[0], labels.shape[0]), dtype=np.float64)
+        for j, rp in enumerate(labels):
+            cols = self._rp_indices == rp
+            out[:, j] = d2[:, cols].min(axis=1)
+        return labels, np.sqrt(out)
+
+    def predict_location(self, queries: np.ndarray) -> np.ndarray:
+        """(n, 2) coordinates per query, by vote or neighbour averaging."""
+        self._require_fitted()
+        if self.mode == "classify":
+            rps = self.predict_rp(queries)
+            # Map each winning RP to (one of) its reference coordinates.
+            coords = np.empty((rps.shape[0], 2), dtype=np.float64)
+            for i, rp in enumerate(rps):
+                row = np.flatnonzero(self._rp_indices == rp)[0]
+                coords[i] = self._locations[row]
+            return coords
+        _, idx = self.kneighbors(queries)
+        return self._locations[idx].mean(axis=1)

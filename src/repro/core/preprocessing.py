@@ -1,0 +1,104 @@
+"""RSSI fingerprint preprocessing (paper Sec. IV.B).
+
+The pipeline is: clip to [-100, 0] dBm -> normalize to [0, 1] (0 = no
+signal, 1 = strongest) -> zero-pad the AP vector to the nearest perfect
+square -> reshape into a single-channel square image. The image form lets
+the convolutional encoder exploit local co-activation patterns, following
+the approach of SCNN [6].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..radio.access_point import NO_SIGNAL_DBM
+
+RSSI_FLOOR_DBM = NO_SIGNAL_DBM  # -100 dBm == "no signal" == normalized 0
+RSSI_CEIL_DBM = 0.0
+
+
+def normalize_rssi(rssi_dbm: np.ndarray) -> np.ndarray:
+    """Map dBm in [-100, 0] to [0, 1]; values are clipped first.
+
+    -100 (no signal / weakest) -> 0, 0 (strongest) -> 1 (paper Sec. IV.B).
+    """
+    rssi = np.asarray(rssi_dbm, dtype=np.float64)
+    clipped = np.clip(rssi, RSSI_FLOOR_DBM, RSSI_CEIL_DBM)
+    return (clipped - RSSI_FLOOR_DBM) / (RSSI_CEIL_DBM - RSSI_FLOOR_DBM)
+
+
+def denormalize_rssi(normalized: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`normalize_rssi` (exact on in-range inputs)."""
+    norm = np.asarray(normalized, dtype=np.float64)
+    if (norm < 0).any() or (norm > 1).any():
+        raise ValueError("normalized RSSI must lie in [0, 1]")
+    return norm * (RSSI_CEIL_DBM - RSSI_FLOOR_DBM) + RSSI_FLOOR_DBM
+
+
+def square_side_for(n_aps: int) -> int:
+    """Smallest image side whose square holds ``n_aps`` values."""
+    if n_aps <= 0:
+        raise ValueError("n_aps must be positive")
+    return int(math.ceil(math.sqrt(n_aps)))
+
+
+def pad_to_square(vectors: np.ndarray) -> np.ndarray:
+    """Zero-pad ``(n, n_aps)`` rows so their length is a perfect square."""
+    vec = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+    side = square_side_for(vec.shape[1])
+    padded = np.zeros((vec.shape[0], side * side), dtype=np.float64)
+    padded[:, : vec.shape[1]] = vec
+    return padded
+
+
+@dataclass
+class FingerprintImagePreprocessor:
+    """Stateful preprocessor: raw dBm matrix -> NCHW fingerprint images.
+
+    The AP count is fixed at :meth:`fit` time (the offline phase defines
+    the fingerprint dimensionality; APs appearing later are outside the
+    vector by construction, and APs disappearing later read -100).
+    """
+
+    n_aps: Optional[int] = None
+    image_side: int = field(default=0, init=False)
+
+    def fit(self, rssi_dbm: np.ndarray) -> "FingerprintImagePreprocessor":
+        """Lock the AP count / image geometry from the offline data."""
+        rssi = np.atleast_2d(np.asarray(rssi_dbm))
+        self.n_aps = int(rssi.shape[1])
+        self.image_side = square_side_for(self.n_aps)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.n_aps is None:
+            raise RuntimeError("preprocessor used before fit()")
+
+    def transform_vectors(self, rssi_dbm: np.ndarray) -> np.ndarray:
+        """dBm -> normalized, zero-padded ``(n, side*side)`` float32 rows."""
+        self._require_fitted()
+        rssi = np.atleast_2d(np.asarray(rssi_dbm, dtype=np.float64))
+        if rssi.shape[1] != self.n_aps:
+            raise ValueError(
+                f"expected {self.n_aps} AP columns, got {rssi.shape[1]}"
+            )
+        return pad_to_square(normalize_rssi(rssi)).astype(np.float32)
+
+    def transform(self, rssi_dbm: np.ndarray) -> np.ndarray:
+        """dBm -> ``(n, 1, side, side)`` float32 fingerprint images."""
+        flat = self.transform_vectors(rssi_dbm)
+        n = flat.shape[0]
+        return flat.reshape(n, 1, self.image_side, self.image_side)
+
+    def fit_transform(self, rssi_dbm: np.ndarray) -> np.ndarray:
+        """Fit the geometry on ``rssi_dbm`` and transform it."""
+        return self.fit(rssi_dbm).transform(rssi_dbm)
+
+    def image_shape(self) -> tuple[int, int, int]:
+        """Single-sample CHW shape produced by :meth:`transform`."""
+        self._require_fitted()
+        return (1, self.image_side, self.image_side)

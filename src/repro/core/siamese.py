@@ -1,0 +1,142 @@
+"""Siamese triplet training loop (paper Sec. III / IV.A).
+
+One training step:
+
+1. The selector draws a batch of (anchor, positive, negative) row indices.
+2. Each branch's images pass through the long-term turn-off augmentation
+   independently (each branch sees a different simulated AP-removal).
+3. Three forward passes through the *same* weights (functional caches make
+   this safe), triplet loss on the embeddings, three backward passes with
+   gradient accumulation, one optimizer step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..nn.losses import TripletLoss
+from ..nn.model import Sequential
+from ..nn.optimizers import Optimizer, clip_grads_by_norm
+from .augmentation import TurnOffAugmentation
+from .triplets import TripletSelector
+
+
+@dataclass
+class SiameseHistory:
+    """Per-epoch triplet-training curves."""
+
+    loss: list[float] = field(default_factory=list)
+    active_fraction: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        """Last epoch's mean triplet loss (NaN before training)."""
+        return self.loss[-1] if self.loss else float("nan")
+
+
+class SiameseTrainer:
+    """Drives triplet training of a shared-weight encoder.
+
+    Parameters
+    ----------
+    model:
+        The encoder (embeddings must be L2-normalized by its last layer).
+    loss:
+        A :class:`~repro.nn.losses.TripletLoss`.
+    optimizer:
+        Any ``repro.nn`` optimizer.
+    selector:
+        Triplet index sampler (floorplan-aware in STONE).
+    augmentation:
+        Turn-off augmentation applied per branch; None disables it
+        (the ABL-AUG ablation).
+    grad_clip_norm:
+        Optional global gradient-norm clip.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        loss: TripletLoss,
+        optimizer: Optimizer,
+        selector: TripletSelector,
+        *,
+        augmentation: Optional[TurnOffAugmentation] = None,
+        grad_clip_norm: Optional[float] = 5.0,
+    ) -> None:
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer
+        self.selector = selector
+        self.augmentation = augmentation
+        self.grad_clip_norm = grad_clip_norm
+
+    def _branch_batch(
+        self, images: np.ndarray, rows: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        batch = images[rows]
+        if self.augmentation is not None:
+            batch = self.augmentation(batch, rng)
+        return batch.astype(np.float32)
+
+    def train_step(
+        self,
+        images: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> tuple[float, float]:
+        """One triplet step; returns (loss, active triplet fraction)."""
+        triplet = self.selector.sample(batch_size, rng)
+        xa = self._branch_batch(images, triplet.anchor, rng)
+        xp = self._branch_batch(images, triplet.positive, rng)
+        xn = self._branch_batch(images, triplet.negative, rng)
+        ea, ca = self.model.forward(xa, training=True, rng=rng)
+        ep, cp = self.model.forward(xp, training=True, rng=rng)
+        en, cn = self.model.forward(xn, training=True, rng=rng)
+        batch_loss = self.loss.value(ea, ep, en)
+        active = self.loss.active_fraction(ea, ep, en)
+        da, dp, dn = self.loss.grad(ea, ep, en)
+        total = self.model.zero_grads()
+        for dy, caches in ((da, ca), (dp, cp), (dn, cn)):
+            _, grads = self.model.backward(dy, caches)
+            self.model.accumulate_grads(total, grads)
+        if self.grad_clip_norm is not None:
+            total, _ = clip_grads_by_norm(total, self.grad_clip_norm)
+        self.optimizer.step(self.model.parameters(), total)
+        return batch_loss, active
+
+    def fit(
+        self,
+        images: np.ndarray,
+        *,
+        epochs: int,
+        steps_per_epoch: int,
+        batch_size: int = 64,
+        rng: Optional[np.random.Generator] = None,
+        verbose: bool = False,
+    ) -> SiameseHistory:
+        """Run ``epochs * steps_per_epoch`` triplet steps."""
+        if epochs <= 0 or steps_per_epoch <= 0:
+            raise ValueError("epochs and steps_per_epoch must be positive")
+        images = np.asarray(images, dtype=np.float32)
+        rng = rng or np.random.default_rng()
+        history = SiameseHistory()
+        for epoch in range(epochs):
+            epoch_loss = 0.0
+            epoch_active = 0.0
+            for _ in range(steps_per_epoch):
+                step_loss, active = self.train_step(images, batch_size, rng)
+                epoch_loss += step_loss
+                epoch_active += active
+            history.loss.append(epoch_loss / steps_per_epoch)
+            history.active_fraction.append(epoch_active / steps_per_epoch)
+            if verbose:  # pragma: no cover - console I/O
+                print(
+                    f"epoch {epoch + 1}/{epochs} "
+                    f"triplet_loss={history.loss[-1]:.4f} "
+                    f"active={history.active_fraction[-1]:.2f}"
+                )
+        return history

@@ -1,0 +1,157 @@
+"""The STONE localizer facade (paper Sec. IV, Fig. 2).
+
+Offline phase (:meth:`fit`): preprocess the offline fingerprints into
+images, train the Siamese encoder with floorplan-aware triplets and
+turn-off augmentation, embed the offline set, and fit the KNN head.
+
+Online phase (:meth:`predict`): preprocess a raw scan, embed it, let the
+KNN head vote a reference point — no re-training, ever
+(``requires_retraining = False`` is the point of the paper).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..baselines.base import Localizer
+from ..datasets.fingerprint import FingerprintDataset
+from ..geometry.floorplan import Floorplan
+from ..nn.losses import TripletLoss
+from ..nn.model import Sequential
+from ..nn.optimizers import Adam
+from .augmentation import TurnOffAugmentation
+from .config import StoneConfig
+from .encoder import build_encoder, embed
+from .knn_head import KNNHead
+from .preprocessing import FingerprintImagePreprocessor
+from .siamese import SiameseHistory, SiameseTrainer
+from .triplets import make_selector
+
+
+class StoneLocalizer(Localizer):
+    """STONE: Siamese neural encoder + KNN head, re-training-free."""
+
+    name = "STONE"
+    requires_retraining = False
+
+    def __init__(self, config: Optional[StoneConfig] = None) -> None:
+        super().__init__()
+        self.config = config or StoneConfig()
+        self.preprocessor = FingerprintImagePreprocessor()
+        self.encoder: Optional[Sequential] = None
+        self.knn = KNNHead(k=self.config.knn_k, mode=self.config.knn_mode)
+        self.history: Optional[SiameseHistory] = None
+
+    # -- offline phase -----------------------------------------------------
+
+    def fit(
+        self,
+        train: FingerprintDataset,
+        floorplan: Floorplan,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "StoneLocalizer":
+        """Offline phase: train encoder + KNN head on ``train``."""
+        rng = rng or np.random.default_rng(self.config.seed)
+        images = self.preprocessor.fit(train.rssi).transform(train.rssi)
+        self.encoder = build_encoder(
+            self.preprocessor.image_side, self.config.encoder, rng=rng
+        )
+        selector = make_selector(
+            self.config.triplet_strategy,
+            train.rp_indices,
+            floorplan,
+            sigma_m=self.config.selector_sigma_m,
+        )
+        augmentation = (
+            TurnOffAugmentation(self.config.p_upper)
+            if self.config.p_upper > 0
+            else None
+        )
+        trainer = SiameseTrainer(
+            self.encoder,
+            TripletLoss(self.config.margin),
+            Adam(self.config.learning_rate),
+            selector,
+            augmentation=augmentation,
+            grad_clip_norm=self.config.grad_clip_norm,
+        )
+        self.history = trainer.fit(
+            images,
+            epochs=self.config.epochs,
+            steps_per_epoch=self.config.steps_per_epoch,
+            batch_size=min(self.config.batch_size, max(2, train.n_samples)),
+            rng=rng,
+        )
+        reference = embed(self.encoder, images)
+        self.knn.fit(reference, train.rp_indices, train.locations)
+        # Cached so a swapped-in (e.g. quantized) encoder can re-embed
+        # the reference set without the caller re-supplying the data.
+        self._reference_images = images
+        self._reference_rp_indices = train.rp_indices.copy()
+        self._reference_locations = train.locations.copy()
+        self._fitted = True
+        return self
+
+    def set_encoder(self, encoder: Sequential) -> "StoneLocalizer":
+        """Swap the encoder and rebuild the KNN reference embeddings.
+
+        The deployment-time hook for model compression: quantize or
+        prune the trained encoder (see :mod:`repro.compress`), then
+        install it here — the offline reference set is re-embedded with
+        the new weights so query and reference embeddings stay in the
+        same space.
+        """
+        self._check_fitted()
+        self.encoder = encoder
+        self.knn.fit(
+            embed(encoder, self._reference_images),
+            self._reference_rp_indices,
+            self._reference_locations,
+        )
+        return self
+
+    # -- online phase ------------------------------------------------------
+
+    def embed_rssi(self, rssi: np.ndarray) -> np.ndarray:
+        """Raw dBm scans -> L2-normalized embeddings."""
+        self._check_fitted()
+        rssi = self._check_rssi(rssi, self.preprocessor.n_aps)
+        images = self.preprocessor.transform(rssi)
+        return embed(self.encoder, images)
+
+    def predict(self, rssi: np.ndarray) -> np.ndarray:
+        """Raw dBm scans -> (n, 2) estimated coordinates."""
+        return self.knn.predict_location(self.embed_rssi(rssi))
+
+    def predict_rp(self, rssi: np.ndarray) -> np.ndarray:
+        """Raw dBm scans -> predicted RP labels."""
+        return self.knn.predict_rp(self.embed_rssi(rssi))
+
+    # -- persistence ------------------------------------------------------
+
+    def save_encoder(self, path: Union[str, Path]) -> None:
+        """Persist the trained encoder weights+architecture (.npz)."""
+        self._check_fitted()
+        self.encoder.save(path)
+
+    def load_encoder(
+        self, path: Union[str, Path], train: FingerprintDataset
+    ) -> "StoneLocalizer":
+        """Restore an encoder and rebuild the KNN reference set.
+
+        ``train`` must be the same offline dataset used when the encoder
+        was saved (it defines the AP columns and the reference set).
+        """
+        self.preprocessor.fit(train.rssi)
+        self.encoder = Sequential.load(path)
+        images = self.preprocessor.transform(train.rssi)
+        self.knn.fit(embed(self.encoder, images), train.rp_indices, train.locations)
+        self._reference_images = images
+        self._reference_rp_indices = train.rp_indices.copy()
+        self._reference_locations = train.locations.copy()
+        self._fitted = True
+        return self

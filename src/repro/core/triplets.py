@@ -1,0 +1,189 @@
+"""Triplet selection strategies (paper Sec. IV.E).
+
+STONE's floorplan-aware selector exploits domain knowledge unavailable to
+generic Siamese applications: *physically close RPs have the hardest-to-
+discern fingerprints*. Given an anchor RP, the hard-negative RP is drawn
+from a bivariate Gaussian centred on the anchor's coordinates (eq. 5),
+with the anchor's own probability forced to zero. Specific fingerprints
+within the chosen RPs are picked uniformly — with only 6-9 fingerprints
+per RP "it is easy to cover every combination".
+
+A uniform selector is provided as the ablation control, and batch-hard
+mining (over embeddings, FaceNet-style) via ``repro.nn.losses``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.floorplan import Floorplan
+
+
+@dataclass(frozen=True)
+class TripletBatch:
+    """Index triplets into a training set: (anchor, positive, negative)."""
+
+    anchor: np.ndarray
+    positive: np.ndarray
+    negative: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.anchor.shape == self.positive.shape == self.negative.shape):
+            raise ValueError("triplet index arrays must share a shape")
+
+    @property
+    def size(self) -> int:
+        """Number of triplets in the batch."""
+        return int(self.anchor.shape[0])
+
+
+class TripletSelector:
+    """Base class: groups training rows by RP and samples index triplets."""
+
+    def __init__(self, rp_indices: np.ndarray) -> None:
+        rp_indices = np.asarray(rp_indices, dtype=np.int64)
+        if rp_indices.ndim != 1 or rp_indices.size == 0:
+            raise ValueError("rp_indices must be a non-empty 1-D array")
+        self.rp_indices = rp_indices
+        self.rp_labels = np.unique(rp_indices)
+        if self.rp_labels.size < 2:
+            raise ValueError("triplet selection needs at least two distinct RPs")
+        self._rows_by_rp = {
+            int(rp): np.flatnonzero(rp_indices == rp) for rp in self.rp_labels
+        }
+
+    def _sample_row(self, rp: int, rng: np.random.Generator) -> int:
+        rows = self._rows_by_rp[int(rp)]
+        return int(rows[rng.integers(0, rows.shape[0])])
+
+    def _sample_positive_row(
+        self, rp: int, anchor_row: int, rng: np.random.Generator
+    ) -> int:
+        """A same-RP row, different from the anchor when possible.
+
+        With FPR = 1 the anchor is its own positive; the triplet then only
+        pushes the negative away, which is exactly the degenerate regime
+        Fig. 7 shows performing worst.
+        """
+        rows = self._rows_by_rp[int(rp)]
+        if rows.shape[0] == 1:
+            return int(rows[0])
+        choice = int(rows[rng.integers(0, rows.shape[0])])
+        while choice == anchor_row:
+            choice = int(rows[rng.integers(0, rows.shape[0])])
+        return choice
+
+    def _negative_rp(self, anchor_rp: int, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> TripletBatch:
+        """Draw ``batch_size`` triplets."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        anchors = np.empty(batch_size, dtype=np.int64)
+        positives = np.empty(batch_size, dtype=np.int64)
+        negatives = np.empty(batch_size, dtype=np.int64)
+        anchor_rps = self.rp_labels[
+            rng.integers(0, self.rp_labels.size, size=batch_size)
+        ]
+        for i, rp in enumerate(anchor_rps):
+            a_row = self._sample_row(int(rp), rng)
+            p_row = self._sample_positive_row(int(rp), a_row, rng)
+            n_rp = self._negative_rp(int(rp), rng)
+            n_row = self._sample_row(n_rp, rng)
+            anchors[i] = a_row
+            positives[i] = p_row
+            negatives[i] = n_row
+        return TripletBatch(anchors, positives, negatives)
+
+
+class UniformTripletSelector(TripletSelector):
+    """Ablation control: the negative RP is uniform over all other RPs."""
+
+    name = "uniform"
+
+    def _negative_rp(self, anchor_rp: int, rng: np.random.Generator) -> int:
+        choice = int(self.rp_labels[rng.integers(0, self.rp_labels.size)])
+        while choice == anchor_rp:
+            choice = int(self.rp_labels[rng.integers(0, self.rp_labels.size)])
+        return choice
+
+
+class FloorplanTripletSelector(TripletSelector):
+    """STONE's floorplan-aware hard-negative selector (paper eq. 5).
+
+    ``P(RP_i) ~ N2(mu_anchor, sigma)`` with ``P(RP_anchor) = 0``: the
+    probability of picking RP_i as the negative is the isotropic bivariate
+    Gaussian density at RP_i's coordinates, centred on the anchor RP, so
+    physically adjacent RPs — the hardest negatives — dominate.
+
+    Parameters
+    ----------
+    sigma_m:
+        Gaussian bandwidth in meters. Around 2-4x the RP spacing works
+        well; too small concentrates all mass on the immediate neighbours,
+        too large degrades to the uniform selector.
+    """
+
+    name = "floorplan"
+
+    def __init__(
+        self,
+        rp_indices: np.ndarray,
+        floorplan: Floorplan,
+        *,
+        sigma_m: float = 3.0,
+    ) -> None:
+        super().__init__(rp_indices)
+        if sigma_m <= 0:
+            raise ValueError("sigma_m must be positive")
+        self.sigma_m = float(sigma_m)
+        self.floorplan = floorplan
+        n_fp_rps = floorplan.n_reference_points
+        if int(self.rp_labels.max()) >= n_fp_rps:
+            raise ValueError(
+                "training rp_indices reference RPs outside the floorplan"
+            )
+        # Precompute the negative-RP distribution for every anchor label.
+        dist = floorplan.rp_distance_matrix()
+        self._neg_probs: dict[int, np.ndarray] = {}
+        labels = self.rp_labels
+        coords_dist = dist[np.ix_(labels, labels)]
+        for row, rp in enumerate(labels):
+            weights = np.exp(-0.5 * (coords_dist[row] / self.sigma_m) ** 2)
+            weights[row] = 0.0  # P(anchor) = 0 (eq. 5 side condition)
+            total = weights.sum()
+            if total <= 0:
+                # Pathological geometry (all RPs coincide): fall back to uniform.
+                weights = np.ones_like(weights)
+                weights[row] = 0.0
+                total = weights.sum()
+            self._neg_probs[int(rp)] = weights / total
+
+    def _negative_rp(self, anchor_rp: int, rng: np.random.Generator) -> int:
+        probs = self._neg_probs[int(anchor_rp)]
+        return int(self.rp_labels[rng.choice(self.rp_labels.size, p=probs)])
+
+    def negative_distribution(self, anchor_rp: int) -> np.ndarray:
+        """The selection probabilities over ``self.rp_labels`` (for tests)."""
+        return self._neg_probs[int(anchor_rp)].copy()
+
+
+def make_selector(
+    strategy: str,
+    rp_indices: np.ndarray,
+    floorplan: Optional[Floorplan] = None,
+    *,
+    sigma_m: float = 3.0,
+) -> TripletSelector:
+    """Factory over the implemented strategies: 'floorplan' | 'uniform'."""
+    if strategy == "floorplan":
+        if floorplan is None:
+            raise ValueError("floorplan strategy requires a Floorplan")
+        return FloorplanTripletSelector(rp_indices, floorplan, sigma_m=sigma_m)
+    if strategy == "uniform":
+        return UniformTripletSelector(rp_indices)
+    raise KeyError(f"unknown triplet strategy {strategy!r}")

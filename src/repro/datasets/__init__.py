@@ -1,0 +1,49 @@
+"""``repro.datasets`` — longitudinal fingerprint corpora.
+
+Containers (:class:`FingerprintDataset`, :class:`LongitudinalSuite`),
+synthetic generators mirroring the paper's UJI/Office/Basement corpora,
+CSV/NPZ persistence, a loader for the real UJI long-term corpus layout,
+and summary statistics.
+"""
+
+from .fingerprint import FingerprintDataset, LongitudinalSuite
+from .generators import (
+    SuiteConfig,
+    build_environment,
+    generate_path_suite,
+    generate_uji_suite,
+)
+from .io import dataset_from_csv, dataset_to_csv
+from .statistics import (
+    DatasetStats,
+    ap_churn_fraction,
+    compute_stats,
+    observed_visibility_matrix,
+    suite_summary_table,
+)
+from .uji_io import (
+    load_uji_longterm,
+    load_uji_month,
+    read_crd_csv,
+    read_rss_csv,
+)
+
+__all__ = [
+    "FingerprintDataset",
+    "LongitudinalSuite",
+    "SuiteConfig",
+    "build_environment",
+    "generate_path_suite",
+    "generate_uji_suite",
+    "dataset_to_csv",
+    "dataset_from_csv",
+    "DatasetStats",
+    "compute_stats",
+    "observed_visibility_matrix",
+    "ap_churn_fraction",
+    "suite_summary_table",
+    "load_uji_longterm",
+    "load_uji_month",
+    "read_rss_csv",
+    "read_crd_csv",
+]

@@ -1,0 +1,232 @@
+"""Fingerprint dataset containers.
+
+A :class:`FingerprintDataset` is the tabular object both phases of the
+paper operate on: each row is one WiFi scan (RSSI per AP, -100 dBm for
+unobserved) labelled with its reference point, capture location and
+capture time. A :class:`LongitudinalSuite` bundles the offline training
+set with the sequence of test epochs (months or collection instances)
+that the evaluation sweeps over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..geometry.floorplan import Floorplan
+from ..radio.access_point import NO_SIGNAL_DBM
+
+
+@dataclass
+class FingerprintDataset:
+    """A set of labelled WiFi fingerprints.
+
+    Attributes
+    ----------
+    rssi:
+        ``(n_samples, n_aps)`` RSSI in dBm; ``NO_SIGNAL_DBM`` = unobserved.
+    rp_indices:
+        ``(n_samples,)`` reference-point labels.
+    locations:
+        ``(n_samples, 2)`` ground-truth capture coordinates in meters.
+    times_hours:
+        ``(n_samples,)`` capture time (hours since deployment).
+    epochs:
+        ``(n_samples,)`` epoch index (collection instance / month).
+    """
+
+    rssi: np.ndarray
+    rp_indices: np.ndarray
+    locations: np.ndarray
+    times_hours: np.ndarray
+    epochs: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.rssi = np.asarray(self.rssi, dtype=np.float64)
+        self.rp_indices = np.asarray(self.rp_indices, dtype=np.int64)
+        self.locations = np.asarray(self.locations, dtype=np.float64)
+        self.times_hours = np.asarray(self.times_hours, dtype=np.float64)
+        self.epochs = np.asarray(self.epochs, dtype=np.int64)
+        n = self.rssi.shape[0]
+        if self.rssi.ndim != 2:
+            raise ValueError(f"rssi must be 2-D, got {self.rssi.shape}")
+        if self.locations.shape != (n, 2):
+            raise ValueError("locations must be (n_samples, 2)")
+        for name, arr in (
+            ("rp_indices", self.rp_indices),
+            ("times_hours", self.times_hours),
+            ("epochs", self.epochs),
+        ):
+            if arr.shape != (n,):
+                raise ValueError(f"{name} must be (n_samples,), got {arr.shape}")
+        if n and (self.rssi > 0).any():
+            raise ValueError("RSSI must be <= 0 dBm")
+        if n and (self.rssi < NO_SIGNAL_DBM).any():
+            raise ValueError(f"RSSI must be >= {NO_SIGNAL_DBM} dBm")
+
+    # -- basic queries -----------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Number of fingerprint rows."""
+        return int(self.rssi.shape[0])
+
+    @property
+    def n_aps(self) -> int:
+        """Number of AP columns (fingerprint dimensionality)."""
+        return int(self.rssi.shape[1])
+
+    @property
+    def rp_set(self) -> np.ndarray:
+        """Sorted unique RP labels present in this dataset."""
+        return np.unique(self.rp_indices)
+
+    def observed_mask(self) -> np.ndarray:
+        """Boolean (n_samples, n_aps): True where the AP was detected."""
+        return self.rssi > NO_SIGNAL_DBM
+
+    def visible_ap_union(self) -> np.ndarray:
+        """AP indices observed in at least one sample."""
+        return np.flatnonzero(self.observed_mask().any(axis=0))
+
+    def fingerprints_per_rp(self) -> dict[int, int]:
+        """Sample count per RP label."""
+        labels, counts = np.unique(self.rp_indices, return_counts=True)
+        return {int(l): int(c) for l, c in zip(labels, counts)}
+
+    # -- selection ------------------------------------------------------------
+
+    def select(self, mask_or_indices: np.ndarray) -> "FingerprintDataset":
+        """Row subset (boolean mask or index array)."""
+        idx = np.asarray(mask_or_indices)
+        return FingerprintDataset(
+            rssi=self.rssi[idx],
+            rp_indices=self.rp_indices[idx],
+            locations=self.locations[idx],
+            times_hours=self.times_hours[idx],
+            epochs=self.epochs[idx],
+        )
+
+    def filter_epoch(self, epoch: int) -> "FingerprintDataset":
+        """Rows captured during one epoch."""
+        return self.select(self.epochs == epoch)
+
+    def subsample_fpr(
+        self, fpr: int, rng: np.random.Generator
+    ) -> "FingerprintDataset":
+        """Keep at most ``fpr`` fingerprints per RP, chosen at random.
+
+        This is the knob behind the paper's Fig. 7 sensitivity study
+        ("varying the number of fingerprints per RP").
+        """
+        if fpr <= 0:
+            raise ValueError("fpr must be positive")
+        keep: list[np.ndarray] = []
+        for rp in self.rp_set:
+            rows = np.flatnonzero(self.rp_indices == rp)
+            if rows.shape[0] > fpr:
+                rows = rng.choice(rows, size=fpr, replace=False)
+            keep.append(np.sort(rows))
+        return self.select(np.concatenate(keep))
+
+    def merge(self, other: "FingerprintDataset") -> "FingerprintDataset":
+        """Row-wise concatenation (AP columns must match)."""
+        if other.n_aps != self.n_aps:
+            raise ValueError(
+                f"AP column mismatch: {self.n_aps} vs {other.n_aps}"
+            )
+        return FingerprintDataset(
+            rssi=np.vstack([self.rssi, other.rssi]),
+            rp_indices=np.concatenate([self.rp_indices, other.rp_indices]),
+            locations=np.vstack([self.locations, other.locations]),
+            times_hours=np.concatenate([self.times_hours, other.times_hours]),
+            epochs=np.concatenate([self.epochs, other.epochs]),
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "FingerprintDataset":
+        """Row-order permutation (used by the Fig. 7 repeat protocol)."""
+        return self.select(rng.permutation(self.n_samples))
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write to a compressed ``.npz``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            rssi=self.rssi,
+            rp_indices=self.rp_indices,
+            locations=self.locations,
+            times_hours=self.times_hours,
+            epochs=self.epochs,
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FingerprintDataset":
+        with np.load(Path(path)) as data:
+            return cls(
+                rssi=data["rssi"],
+                rp_indices=data["rp_indices"],
+                locations=data["locations"],
+                times_hours=data["times_hours"],
+                epochs=data["epochs"],
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FingerprintDataset(n={self.n_samples}, aps={self.n_aps}, "
+            f"rps={self.rp_set.size}, epochs={np.unique(self.epochs).size})"
+        )
+
+
+@dataclass
+class LongitudinalSuite:
+    """Offline training data plus the longitudinal test sequence.
+
+    ``test_epochs[i]`` holds all test fingerprints of epoch ``i`` with
+    label ``epoch_labels[i]`` (e.g. ``"CI:3"`` or ``"month 7"``). The
+    floorplan rides along because both STONE (triplet selection) and the
+    error metric (RP coordinates) need the geometry.
+    """
+
+    name: str
+    floorplan: Floorplan
+    train: FingerprintDataset
+    test_epochs: list[FingerprintDataset]
+    epoch_labels: list[str]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.test_epochs) != len(self.epoch_labels):
+            raise ValueError("one label per test epoch required")
+        for ds in self.test_epochs:
+            if ds.n_aps != self.train.n_aps:
+                raise ValueError("test epochs must share the train AP columns")
+
+    @property
+    def n_epochs(self) -> int:
+        """Number of longitudinal test epochs."""
+        return len(self.test_epochs)
+
+    @property
+    def n_aps(self) -> int:
+        """AP column count shared by train and every test epoch."""
+        return self.train.n_aps
+
+    def total_test_samples(self) -> int:
+        """Total fingerprints across all test epochs."""
+        return sum(ds.n_samples for ds in self.test_epochs)
+
+    def describe(self) -> str:
+        """Multi-line summary used by example scripts and reports."""
+        lines = [
+            f"suite {self.name!r}: {self.floorplan.describe()}",
+            f"  train: {self.train.n_samples} fingerprints over "
+            f"{self.train.rp_set.size} RPs ({self.n_aps} AP columns)",
+            f"  test:  {self.n_epochs} epochs, {self.total_test_samples()} fingerprints",
+        ]
+        return "\n".join(lines)

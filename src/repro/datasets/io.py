@@ -1,0 +1,64 @@
+"""CSV import/export for fingerprint datasets.
+
+The on-disk CSV schema mirrors public fingerprinting corpora (one row per
+scan): ``rp,loc_x,loc_y,time_hours,epoch,ap_000,...,ap_NNN`` with RSSI in
+dBm and -100 for unobserved APs. ``.npz`` round-tripping lives on the
+dataset class itself; CSV is for interoperability with external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .fingerprint import FingerprintDataset
+
+
+def dataset_to_csv(ds: FingerprintDataset, path: Union[str, Path]) -> None:
+    """Write a dataset to CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        ap_cols = [f"ap_{i:03d}" for i in range(ds.n_aps)]
+        writer.writerow(["rp", "loc_x", "loc_y", "time_hours", "epoch"] + ap_cols)
+        for i in range(ds.n_samples):
+            row = [
+                int(ds.rp_indices[i]),
+                f"{ds.locations[i, 0]:.3f}",
+                f"{ds.locations[i, 1]:.3f}",
+                f"{ds.times_hours[i]:.4f}",
+                int(ds.epochs[i]),
+            ]
+            row.extend(f"{v:.1f}" for v in ds.rssi[i])
+            writer.writerow(row)
+
+
+def dataset_from_csv(path: Union[str, Path]) -> FingerprintDataset:
+    """Read a dataset written by :func:`dataset_to_csv`."""
+    path = Path(path)
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if header[:5] != ["rp", "loc_x", "loc_y", "time_hours", "epoch"]:
+            raise ValueError(f"{path}: unexpected CSV header {header[:5]}")
+        n_aps = len(header) - 5
+        rps, locs, times, epochs, rssi = [], [], [], [], []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != 5 + n_aps:
+                raise ValueError(f"{path}:{line_no}: expected {5 + n_aps} fields")
+            rps.append(int(row[0]))
+            locs.append((float(row[1]), float(row[2])))
+            times.append(float(row[3]))
+            epochs.append(int(row[4]))
+            rssi.append([float(v) for v in row[5:]])
+    return FingerprintDataset(
+        rssi=np.asarray(rssi, dtype=np.float64).reshape(len(rps), n_aps),
+        rp_indices=np.asarray(rps),
+        locations=np.asarray(locs),
+        times_hours=np.asarray(times),
+        epochs=np.asarray(epochs),
+    )

@@ -1,0 +1,89 @@
+"""Dataset statistics and Fig.-4-style visibility analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..radio.access_point import NO_SIGNAL_DBM
+from .fingerprint import FingerprintDataset, LongitudinalSuite
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics of one fingerprint dataset."""
+
+    n_samples: int
+    n_aps: int
+    n_rps: int
+    mean_visible_aps: float
+    median_rssi_dbm: float
+    min_rssi_dbm: float
+    max_rssi_dbm: float
+    fpr_min: int
+    fpr_max: int
+
+    def as_row(self) -> str:
+        return (
+            f"{self.n_samples:>7} {self.n_aps:>5} {self.n_rps:>5} "
+            f"{self.mean_visible_aps:>8.1f} {self.median_rssi_dbm:>8.1f} "
+            f"{self.fpr_min:>4}-{self.fpr_max:<4}"
+        )
+
+
+def compute_stats(ds: FingerprintDataset) -> DatasetStats:
+    """Compute :class:`DatasetStats` for a dataset."""
+    observed = ds.observed_mask()
+    vals = ds.rssi[observed]
+    counts = list(ds.fingerprints_per_rp().values()) or [0]
+    return DatasetStats(
+        n_samples=ds.n_samples,
+        n_aps=ds.n_aps,
+        n_rps=int(ds.rp_set.size),
+        mean_visible_aps=float(observed.sum(axis=1).mean()) if ds.n_samples else 0.0,
+        median_rssi_dbm=float(np.median(vals)) if vals.size else NO_SIGNAL_DBM,
+        min_rssi_dbm=float(vals.min()) if vals.size else NO_SIGNAL_DBM,
+        max_rssi_dbm=float(vals.max()) if vals.size else NO_SIGNAL_DBM,
+        fpr_min=int(min(counts)),
+        fpr_max=int(max(counts)),
+    )
+
+
+def observed_visibility_matrix(suite: LongitudinalSuite) -> np.ndarray:
+    """Empirical Fig. 4: AP observed in >= 1 scan of each test epoch.
+
+    Unlike the *scheduled* visibility (which APs transmit), this is what
+    the surveyor actually saw — weak APs may be missing from every scan of
+    an epoch even though they still transmit.
+    """
+    mat = np.zeros((suite.n_epochs, suite.n_aps), dtype=bool)
+    for e, ds in enumerate(suite.test_epochs):
+        mat[e] = ds.observed_mask().any(axis=0)
+    return mat
+
+
+def ap_churn_fraction(suite: LongitudinalSuite) -> np.ndarray:
+    """Per-epoch fraction of train-visible APs that vanished by that epoch."""
+    train_visible = set(suite.train.visible_ap_union().tolist())
+    if not train_visible:
+        return np.zeros(suite.n_epochs)
+    out = np.empty(suite.n_epochs, dtype=np.float64)
+    for e, ds in enumerate(suite.test_epochs):
+        now_visible = set(ds.visible_ap_union().tolist())
+        out[e] = len(train_visible - now_visible) / len(train_visible)
+    return out
+
+
+def suite_summary_table(suite: LongitudinalSuite) -> str:
+    """ASCII table of per-epoch stats for a longitudinal suite."""
+    header = (
+        "epoch        samples   aps   rps  vis/scan  med dBm  FPR\n"
+        + "-" * 62
+    )
+    lines = [header]
+    train_stats = compute_stats(suite.train)
+    lines.append(f"{'train':<12}{train_stats.as_row()}")
+    for label, ds in zip(suite.epoch_labels, suite.test_epochs):
+        lines.append(f"{label:<12}{compute_stats(ds).as_row()}")
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Loader for the real UJI long-term WiFi fingerprinting corpus [10].
+
+The paper evaluates on M. Silva et al., "Long-Term WiFi Fingerprinting
+Dataset for Research on Robust Indoor Positioning" (MDPI Data, 2018).
+That corpus ships as per-month directories of paired CSV files::
+
+    <root>/
+      01/ trn01rss.csv  trn01crd.csv  tst01rss.csv  tst01crd.csv
+      02/ trn02rss.csv  ...
+      ...
+
+- ``*rss.csv``: one scan per row, comma-separated integers, one column
+  per AP; the sentinel ``100`` means "AP not detected".
+- ``*crd.csv``: one row per scan: ``x, y, floor``.
+
+This module parses that layout into the repository's containers so the
+evaluation harness runs unmodified on the *measured* corpus when a copy
+is available (it cannot be redistributed here; the simulator-backed
+generators reproduce its shape offline). Parsing is deliberately
+tolerant: extra whitespace, float RSSI values and missing month folders
+are all accepted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..geometry.floorplan import Floorplan
+from ..radio.access_point import NO_SIGNAL_DBM
+from .fingerprint import FingerprintDataset, LongitudinalSuite
+
+#: The corpus' "AP not detected" sentinel.
+UJI_NOT_DETECTED = 100
+
+
+def read_rss_csv(path: Union[str, Path]) -> np.ndarray:
+    """Parse an ``*rss.csv`` file to an ``(n, n_aps)`` dBm matrix.
+
+    The ``100`` sentinel becomes :data:`NO_SIGNAL_DBM`; everything else
+    is clipped into the valid [-100, 0] dBm range.
+    """
+    rows = _read_numeric_csv(path)
+    rssi = np.where(rows >= UJI_NOT_DETECTED, NO_SIGNAL_DBM, rows)
+    return np.clip(rssi, NO_SIGNAL_DBM, 0.0)
+
+
+def read_crd_csv(path: Union[str, Path]) -> tuple[np.ndarray, np.ndarray]:
+    """Parse a ``*crd.csv`` file to ``(locations (n, 2), floors (n,))``."""
+    rows = _read_numeric_csv(path)
+    if rows.shape[1] < 2:
+        raise ValueError(f"{path}: coordinate files need at least x, y columns")
+    locations = rows[:, :2].astype(np.float64)
+    floors = (
+        rows[:, 2].astype(np.int64)
+        if rows.shape[1] >= 3
+        else np.zeros(rows.shape[0], dtype=np.int64)
+    )
+    return locations, floors
+
+
+def _read_numeric_csv(path: Union[str, Path]) -> np.ndarray:
+    path = Path(path)
+    rows: list[list[float]] = []
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append([float(cell) for cell in line.split(",")])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_no}: non-numeric cell") from exc
+    if not rows:
+        raise ValueError(f"{path}: empty file")
+    width = len(rows[0])
+    if any(len(r) != width for r in rows):
+        raise ValueError(f"{path}: ragged rows (expected {width} columns)")
+    return np.asarray(rows, dtype=np.float64)
+
+
+def load_uji_month(
+    month_dir: Union[str, Path],
+    *,
+    split: str = "trn",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One month folder -> ``(rssi, locations, floors)``.
+
+    ``split`` is ``"trn"`` or ``"tst"``. File names follow the corpus
+    convention ``<split><MM>rss.csv`` / ``<split><MM>crd.csv``.
+    """
+    if split not in ("trn", "tst"):
+        raise ValueError("split must be 'trn' or 'tst'")
+    month_dir = Path(month_dir)
+    month = month_dir.name
+    rss_path = month_dir / f"{split}{month}rss.csv"
+    crd_path = month_dir / f"{split}{month}crd.csv"
+    if not rss_path.exists() or not crd_path.exists():
+        raise FileNotFoundError(
+            f"{month_dir}: expected {rss_path.name} and {crd_path.name}"
+        )
+    rssi = read_rss_csv(rss_path)
+    locations, floors = read_crd_csv(crd_path)
+    if rssi.shape[0] != locations.shape[0]:
+        raise ValueError(
+            f"{month_dir}: {rssi.shape[0]} scans vs "
+            f"{locations.shape[0]} coordinates"
+        )
+    return rssi, locations, floors
+
+
+def _assign_rp_indices(
+    locations: np.ndarray, reference_points: np.ndarray
+) -> np.ndarray:
+    """Nearest reference point per scan (RPs come from the training set)."""
+    d2 = (
+        (locations**2).sum(axis=1)[:, None]
+        + (reference_points**2).sum(axis=1)[None, :]
+        - 2.0 * locations @ reference_points.T
+    )
+    return d2.argmin(axis=1).astype(np.int64)
+
+
+def load_uji_longterm(
+    root: Union[str, Path],
+    *,
+    floor: Optional[int] = 3,
+    months: Optional[Sequence[str]] = None,
+    rp_round_m: float = 0.5,
+) -> LongitudinalSuite:
+    """Assemble the full longitudinal suite from a corpus checkout.
+
+    ``months`` defaults to every numeric sub-directory of ``root`` in
+    sorted order; the first month's training split becomes the offline
+    set (the paper: fingerprints "collected on the same day"), every
+    month's test split is one evaluation epoch. ``floor`` filters to one
+    library floor (the paper uses floor 3; pass None to keep all).
+
+    Reference points are discovered from the training coordinates,
+    snapped to ``rp_round_m`` to merge re-visits of the same spot.
+    """
+    root = Path(root)
+    if months is None:
+        months = sorted(p.name for p in root.iterdir() if p.name.isdigit())
+    if not months:
+        raise FileNotFoundError(f"{root}: no month directories found")
+    train_rssi, train_loc, train_floor = load_uji_month(
+        root / months[0], split="trn"
+    )
+    if floor is not None:
+        keep = train_floor == floor
+        train_rssi, train_loc = train_rssi[keep], train_loc[keep]
+    if train_rssi.shape[0] == 0:
+        raise ValueError(f"no training scans on floor {floor!r}")
+    snapped = np.round(train_loc / rp_round_m) * rp_round_m
+    reference_points = np.unique(snapped, axis=0)
+    width = float(reference_points[:, 0].max()) + 1.0
+    height = float(reference_points[:, 1].max()) + 1.0
+    floorplan = Floorplan(
+        name=f"uji-longterm-f{floor if floor is not None else 'all'}",
+        width=max(width, 1.0),
+        height=max(height, 1.0),
+        reference_points=reference_points,
+        rp_spacing=rp_round_m,
+    )
+    train = FingerprintDataset(
+        rssi=train_rssi,
+        rp_indices=_assign_rp_indices(train_loc, reference_points),
+        locations=train_loc,
+        times_hours=np.zeros(train_rssi.shape[0]),
+        epochs=np.zeros(train_rssi.shape[0], dtype=np.int64),
+    )
+    test_epochs: list[FingerprintDataset] = []
+    labels: list[str] = []
+    for epoch, month in enumerate(months, start=1):
+        rssi, loc, floors = load_uji_month(root / month, split="tst")
+        if floor is not None:
+            keep = floors == floor
+            rssi, loc = rssi[keep], loc[keep]
+        if rssi.shape[0] == 0:
+            continue
+        test_epochs.append(
+            FingerprintDataset(
+                rssi=rssi,
+                rp_indices=_assign_rp_indices(loc, reference_points),
+                locations=loc,
+                times_hours=np.full(rssi.shape[0], epoch * 730.0),
+                epochs=np.full(rssi.shape[0], epoch, dtype=np.int64),
+            )
+        )
+        labels.append(f"month {month}")
+    if not test_epochs:
+        raise ValueError("no test scans survived the floor filter")
+    return LongitudinalSuite(
+        name="uji-longterm",
+        floorplan=floorplan,
+        train=train,
+        test_epochs=test_epochs,
+        epoch_labels=labels,
+        metadata={"root": str(root), "months": list(months), "floor": floor},
+    )

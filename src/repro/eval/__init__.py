@@ -1,0 +1,73 @@
+"""``repro.eval`` — longitudinal evaluation harness and figure regeneration."""
+
+from .experiments import (
+    FigureResult,
+    is_fast_mode,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_headline_claims,
+)
+from .metrics import (
+    ErrorSummary,
+    error_cdf,
+    improvement_percent,
+    localization_errors,
+    mean_error,
+)
+from .reporting import (
+    cdf_chart,
+    comparison_table,
+    format_table,
+    heatmap,
+    line_chart,
+    percentile_table,
+    visibility_matrix_chart,
+)
+from .significance import (
+    BootstrapCI,
+    bootstrap_mean_ci,
+    epochwise_cis,
+    paired_bootstrap_pvalue,
+)
+from .runner import (
+    Comparison,
+    EpochResult,
+    FrameworkResult,
+    compare_frameworks,
+    evaluate_localizer,
+)
+
+__all__ = [
+    "localization_errors",
+    "mean_error",
+    "ErrorSummary",
+    "error_cdf",
+    "improvement_percent",
+    "EpochResult",
+    "FrameworkResult",
+    "Comparison",
+    "evaluate_localizer",
+    "compare_frameworks",
+    "format_table",
+    "line_chart",
+    "heatmap",
+    "visibility_matrix_chart",
+    "comparison_table",
+    "cdf_chart",
+    "percentile_table",
+    "FigureResult",
+    "is_fast_mode",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_headline_claims",
+    "BootstrapCI",
+    "bootstrap_mean_ci",
+    "paired_bootstrap_pvalue",
+    "epochwise_cis",
+]

@@ -1,0 +1,78 @@
+"""Localization error metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def localization_errors(
+    predicted: np.ndarray, actual: np.ndarray
+) -> np.ndarray:
+    """Per-sample Euclidean error in meters."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape or predicted.ndim != 2 or predicted.shape[1] != 2:
+        raise ValueError(
+            f"expected matching (n, 2) arrays, got {predicted.shape} vs {actual.shape}"
+        )
+    diff = predicted - actual
+    return np.sqrt((diff * diff).sum(axis=1))
+
+
+def mean_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Mean localization error in meters — the paper's headline metric."""
+    return float(localization_errors(predicted, actual).mean())
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Distributional summary of one evaluation's errors."""
+
+    mean_m: float
+    median_m: float
+    p75_m: float
+    p95_m: float
+    max_m: float
+    n_samples: int
+
+    @classmethod
+    def from_errors(cls, errors: np.ndarray) -> "ErrorSummary":
+        errors = np.asarray(errors, dtype=np.float64)
+        if errors.size == 0:
+            raise ValueError("cannot summarise zero errors")
+        return cls(
+            mean_m=float(errors.mean()),
+            median_m=float(np.median(errors)),
+            p75_m=float(np.percentile(errors, 75)),
+            p95_m=float(np.percentile(errors, 95)),
+            max_m=float(errors.max()),
+            n_samples=int(errors.size),
+        )
+
+    def as_row(self) -> str:
+        return (
+            f"{self.mean_m:6.2f} {self.median_m:6.2f} {self.p75_m:6.2f} "
+            f"{self.p95_m:6.2f} {self.max_m:6.2f} ({self.n_samples})"
+        )
+
+
+def error_cdf(
+    errors: np.ndarray, grid_m: np.ndarray
+) -> np.ndarray:
+    """Empirical CDF of errors evaluated on a distance grid."""
+    errors = np.sort(np.asarray(errors, dtype=np.float64))
+    grid = np.asarray(grid_m, dtype=np.float64)
+    return np.searchsorted(errors, grid, side="right") / max(errors.size, 1)
+
+
+def improvement_percent(baseline_m: float, ours_m: float) -> float:
+    """Relative improvement of ``ours`` over ``baseline`` in percent.
+
+    The paper's "up to 40% better" style claims: positive when ours is
+    lower (better) than the baseline.
+    """
+    if baseline_m <= 0:
+        raise ValueError("baseline error must be positive")
+    return 100.0 * (baseline_m - ours_m) / baseline_m

@@ -1,0 +1,231 @@
+"""ASCII rendering of the paper's figures.
+
+No plotting stack is available offline, so every figure is regenerated as
+text: multi-series line charts (Figs. 5, 6), heatmaps (Fig. 7), and the
+AP-visibility matrix (Fig. 4) — same rows/series as the paper, printable
+from any terminal and easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+_SERIES_MARKS = "*o+x#@%&"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Simple aligned text table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_fmt.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(str(headers[c])), max((len(r[c]) for r in rendered), default=0))
+        for c in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for cells in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, np.ndarray],
+    *,
+    x_labels: Optional[Sequence[str]] = None,
+    height: int = 16,
+    title: str = "",
+    y_unit: str = "m",
+) -> str:
+    """Multi-series ASCII line chart (epochs on x, values on y).
+
+    Each series gets a mark character; collisions show the later series.
+    """
+    names = list(series)
+    if not names:
+        raise ValueError("no series to plot")
+    data = [np.asarray(series[n], dtype=np.float64) for n in names]
+    n_points = data[0].shape[0]
+    if any(d.shape[0] != n_points for d in data):
+        raise ValueError("all series must share a length")
+    y_max = max(float(d.max()) for d in data)
+    y_min = 0.0
+    span = max(y_max - y_min, 1e-9)
+    width = n_points
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, d in enumerate(data):
+        mark = _SERIES_MARKS[s_idx % len(_SERIES_MARKS)]
+        for x, v in enumerate(d):
+            y = int(round((v - y_min) / span * (height - 1)))
+            grid[height - 1 - y][x] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        y_val = y_min + span * (height - 1 - r) / (height - 1)
+        lines.append(f"{y_val:6.2f} {y_unit} |" + " ".join(row) + "|")
+    axis = "".join(str(i % 10) for i in range(n_points))
+    lines.append(" " * 10 + "|" + " ".join(axis) + "|")
+    if x_labels is not None:
+        lines.append(
+            " " * 11 + f"x: {x_labels[0]} .. {x_labels[-1]} ({n_points} epochs)"
+        )
+    legend = "  ".join(
+        f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]}={n}" for i, n in enumerate(names)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def heatmap(
+    values: np.ndarray,
+    *,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str = "",
+    cell_fmt: str = "{:5.2f}",
+) -> str:
+    """Numeric heatmap with a shade strip per cell (Fig. 7 style)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"values shape {values.shape} vs labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    shades = " .:-=+*#%@"
+    v_min, v_max = float(values.min()), float(values.max())
+    span = max(v_max - v_min, 1e-9)
+    label_w = max(len(str(r)) for r in row_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (label_w + 1) + " ".join(
+        f"{c:>7}" for c in col_labels
+    )
+    lines.append(header)
+    for r, rlabel in enumerate(row_labels):
+        cells = []
+        for c in range(len(col_labels)):
+            v = values[r, c]
+            shade = shades[int((v - v_min) / span * (len(shades) - 1))]
+            cells.append(f"{cell_fmt.format(v)}{shade} ")
+        lines.append(f"{str(rlabel):>{label_w}} " + "".join(cells))
+    lines.append(f"(shade: light=low {v_min:.2f}, dark=high {v_max:.2f})")
+    return "\n".join(lines)
+
+
+def visibility_matrix_chart(
+    matrix: np.ndarray,
+    *,
+    row_labels: Sequence[str],
+    title: str = "",
+) -> str:
+    """Fig. 4-style chart: ``#`` where an AP is NOT observed."""
+    matrix = np.asarray(matrix, dtype=bool)
+    if matrix.shape[0] != len(row_labels):
+        raise ValueError("one row label per epoch required")
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = max(len(str(r)) for r in row_labels)
+    for r, rlabel in enumerate(row_labels):
+        row = "".join("." if v else "#" for v in matrix[r])
+        lines.append(f"{str(rlabel):>{label_w}} |{row}|")
+    lines.append(f"(columns: {matrix.shape[1]} APs; '#' = not observed)")
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    errors_by_name: Mapping[str, np.ndarray],
+    *,
+    max_error_m: Optional[float] = None,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """ASCII empirical CDF of localization errors, one mark per series.
+
+    The workhorse chart of localization papers: x is error in meters, y
+    is the fraction of scans at or below that error. Reads off the
+    median (y=0.5) and tail (y=0.9+) behaviour at a glance.
+    """
+    names = list(errors_by_name)
+    if not names:
+        raise ValueError("no series to plot")
+    data = [
+        np.sort(np.asarray(errors_by_name[n], dtype=np.float64).ravel())
+        for n in names
+    ]
+    if any(d.size == 0 for d in data):
+        raise ValueError("every series needs at least one error value")
+    x_max = max_error_m or max(float(d[-1]) for d in data)
+    x_max = max(x_max, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, d in enumerate(data):
+        mark = _SERIES_MARKS[s_idx % len(_SERIES_MARKS)]
+        for col in range(width):
+            x = x_max * (col + 1) / width
+            frac = float(np.searchsorted(d, x, side="right")) / d.size
+            row = int(round(frac * (height - 1)))
+            grid[height - 1 - row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        frac = (height - 1 - r) / (height - 1)
+        lines.append(f"{frac:5.0%} |" + "".join(row) + "|")
+    lines.append(" " * 6 + "0" + " " * (width - 6) + f"{x_max:.1f} m")
+    legend = "  ".join(
+        f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]}={n}" for i, n in enumerate(names)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def percentile_table(
+    errors_by_name: Mapping[str, np.ndarray],
+    *,
+    percentiles: Sequence[float] = (50.0, 75.0, 90.0, 95.0, 99.0),
+) -> str:
+    """Error percentiles per framework (the numbers behind a CDF)."""
+    if not errors_by_name:
+        raise ValueError("no series to summarize")
+    headers = ["framework", "mean"] + [f"p{p:g}" for p in percentiles]
+    rows = []
+    for name, errors in errors_by_name.items():
+        errors = np.asarray(errors, dtype=np.float64).ravel()
+        if errors.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+        rows.append(
+            [name, float(errors.mean())]
+            + [float(np.percentile(errors, p)) for p in percentiles]
+        )
+    return format_table(headers, rows)
+
+
+def comparison_table(
+    series: Mapping[str, np.ndarray], x_labels: Sequence[str]
+) -> str:
+    """Per-epoch mean-error table, one framework per column."""
+    names = list(series)
+    headers = ["epoch"] + names
+    rows = []
+    for i, label in enumerate(x_labels):
+        rows.append([label] + [float(series[n][i]) for n in names])
+    rows.append(["MEAN"] + [float(np.mean(series[n])) for n in names])
+    return format_table(headers, rows)

@@ -1,0 +1,136 @@
+"""Longitudinal evaluation protocol.
+
+Mirrors the paper's protocol exactly: fit once on the offline data, then
+walk the test epochs in order. Before each epoch's predictions, the
+framework receives that epoch's scans *without labels* (the anonymous
+fingerprints LT-KNN refits on); then the mean localization error of the
+epoch is recorded.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..baselines.base import Localizer
+from ..baselines.registry import make_localizer
+from ..datasets.fingerprint import LongitudinalSuite
+from .metrics import ErrorSummary, localization_errors
+
+
+@dataclass
+class EpochResult:
+    """One framework's errors on one test epoch."""
+
+    label: str
+    summary: ErrorSummary
+    errors: np.ndarray
+
+    @property
+    def mean_m(self) -> float:
+        return self.summary.mean_m
+
+
+@dataclass
+class FrameworkResult:
+    """One framework's full longitudinal trace."""
+
+    framework: str
+    suite: str
+    epochs: list[EpochResult] = field(default_factory=list)
+    fit_seconds: float = 0.0
+    requires_retraining: bool = False
+
+    def mean_errors(self) -> np.ndarray:
+        """Per-epoch mean error in meters (the Fig. 5/6 series)."""
+        return np.array([e.mean_m for e in self.epochs])
+
+    def overall_mean(self) -> float:
+        """Mean over the whole timeline (the final Fig. 7 column)."""
+        return float(self.mean_errors().mean())
+
+    def labels(self) -> list[str]:
+        return [e.label for e in self.epochs]
+
+
+def evaluate_localizer(
+    localizer: Localizer,
+    suite: LongitudinalSuite,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    fit: bool = True,
+) -> FrameworkResult:
+    """Run the full longitudinal protocol for one framework."""
+    rng = rng or np.random.default_rng(0)
+    result = FrameworkResult(
+        framework=localizer.name,
+        suite=suite.name,
+        requires_retraining=localizer.requires_retraining,
+    )
+    if fit:
+        t0 = _time.perf_counter()
+        localizer.fit(suite.train, suite.floorplan, rng=rng)
+        result.fit_seconds = _time.perf_counter() - t0
+    for epoch_idx, (label, ds) in enumerate(
+        zip(suite.epoch_labels, suite.test_epochs)
+    ):
+        localizer.begin_epoch(epoch_idx, ds.rssi)
+        predicted = localizer.predict(ds.rssi)
+        errors = localization_errors(predicted, ds.locations)
+        result.epochs.append(
+            EpochResult(
+                label=label,
+                summary=ErrorSummary.from_errors(errors),
+                errors=errors,
+            )
+        )
+    return result
+
+
+@dataclass
+class Comparison:
+    """Several frameworks evaluated on the same suite."""
+
+    suite: str
+    results: dict[str, FrameworkResult] = field(default_factory=dict)
+
+    def frameworks(self) -> list[str]:
+        return list(self.results)
+
+    def labels(self) -> list[str]:
+        first = next(iter(self.results.values()))
+        return first.labels()
+
+    def series(self) -> dict[str, np.ndarray]:
+        """framework -> per-epoch mean errors."""
+        return {name: r.mean_errors() for name, r in self.results.items()}
+
+    def best_prior_work(self, *, exclude: str = "STONE") -> str:
+        """The lowest-overall-error framework other than ``exclude``."""
+        candidates = {
+            n: r.overall_mean() for n, r in self.results.items() if n != exclude
+        }
+        if not candidates:
+            raise ValueError("no prior works in comparison")
+        return min(candidates, key=candidates.get)
+
+
+def compare_frameworks(
+    suite: LongitudinalSuite,
+    framework_names: Sequence[str],
+    *,
+    seed: int = 0,
+    fast: bool = False,
+) -> Comparison:
+    """Evaluate several frameworks (by registry name) on one suite."""
+    comparison = Comparison(suite=suite.name)
+    for i, name in enumerate(framework_names):
+        localizer = make_localizer(name, suite_name=suite.name, fast=fast)
+        rng = np.random.default_rng([seed, i])
+        comparison.results[localizer.name] = evaluate_localizer(
+            localizer, suite, rng=rng
+        )
+    return comparison

@@ -1,0 +1,55 @@
+"""``repro.geometry`` — floorplans, walls, and point utilities.
+
+Provides the geometric substrate shared by the radio simulator, the
+dataset generators, and STONE's floorplan-aware triplet selection.
+"""
+
+from .builders import (
+    build_basement_path,
+    build_corridor_floorplan,
+    build_grid_floorplan,
+    build_office_path,
+    build_uji_library_floor,
+)
+from .floorplan import Floorplan
+from .point import (
+    as_point,
+    as_points,
+    centroid,
+    distances_to,
+    euclidean,
+    interpolate_path,
+    pairwise_distances,
+    path_length,
+)
+from .walls import (
+    MATERIAL_LOSS_DB,
+    Wall,
+    WallSet,
+    count_wall_crossings,
+    segments_intersect,
+    wall_attenuation_db,
+)
+
+__all__ = [
+    "Floorplan",
+    "Wall",
+    "WallSet",
+    "MATERIAL_LOSS_DB",
+    "segments_intersect",
+    "count_wall_crossings",
+    "wall_attenuation_db",
+    "as_point",
+    "as_points",
+    "euclidean",
+    "pairwise_distances",
+    "distances_to",
+    "centroid",
+    "path_length",
+    "interpolate_path",
+    "build_grid_floorplan",
+    "build_uji_library_floor",
+    "build_corridor_floorplan",
+    "build_office_path",
+    "build_basement_path",
+]

@@ -1,0 +1,214 @@
+"""Parametric floorplan builders mirroring the paper's three environments.
+
+The paper (Fig. 3) evaluates on:
+
+- **UJI library, floor 3** — RPs form "a grid like structure over a
+  wide-open area" (Sec. V.A.1). We build an open hall with a sparse wall
+  perimeter and a rectangular RP grid.
+- **Office path** — 48 m corridor "in a section of a building with newly
+  constructed faculty offices": many drywall partitions along the corridor.
+- **Basement path** — 61 m corridor "surrounded by large labs that contain
+  heavy metallic equipment": fewer but much more attenuating (metal /
+  concrete) walls, a noisier multipath environment.
+
+Geometry is parametric so tests can build miniature variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .floorplan import Floorplan
+from .point import interpolate_path
+from .walls import Wall, WallSet
+
+
+def build_grid_floorplan(
+    name: str = "grid",
+    *,
+    width: float = 40.0,
+    height: float = 24.0,
+    rp_spacing: float = 2.0,
+    margin: float = 2.0,
+) -> Floorplan:
+    """Open-area floorplan with RPs on a regular grid (UJI-like topology)."""
+    if margin < 0 or 2 * margin >= min(width, height):
+        raise ValueError("margin leaves no room for reference points")
+    xs = np.arange(margin, width - margin + 1e-9, rp_spacing)
+    ys = np.arange(margin, height - margin + 1e-9, rp_spacing)
+    gx, gy = np.meshgrid(xs, ys)
+    rps = np.column_stack([gx.ravel(), gy.ravel()])
+    walls = WallSet(
+        [
+            Wall((0.0, 0.0), (width, 0.0), "brick"),
+            Wall((width, 0.0), (width, height), "brick"),
+            Wall((width, height), (0.0, height), "brick"),
+            Wall((0.0, height), (0.0, 0.0), "brick"),
+        ]
+    )
+    return Floorplan(
+        name=name,
+        width=width,
+        height=height,
+        reference_points=rps,
+        walls=walls,
+        rp_spacing=rp_spacing,
+    )
+
+
+def build_uji_library_floor(rp_spacing: float = 3.0) -> Floorplan:
+    """UJI-like library floor: wide-open grid of RPs, sparse interior walls.
+
+    The real UJI floor 3 covers a library reading area; bookshelf rows are
+    approximated as short glass/drywall baffles that perturb — but rarely
+    block — propagation, keeping the "wide-open area" character the paper
+    contrasts against the corridor paths.
+    """
+    fp = build_grid_floorplan(
+        "uji-library-f3",
+        width=36.0,
+        height=21.6,
+        rp_spacing=rp_spacing,
+        margin=2.4,
+    )
+    shelves = []
+    for row in range(3):
+        y = 5.4 + row * 5.4
+        shelves.append(Wall((6.0, y), (14.0, y), "glass"))
+        shelves.append(Wall((22.0, y), (30.0, y), "glass"))
+    fp.add_walls(shelves)
+    return fp
+
+
+def _corridor_walls(
+    waypoints: np.ndarray,
+    *,
+    corridor_halfwidth: float,
+    material: str,
+    partition_every: float,
+    partition_depth: float,
+) -> list[Wall]:
+    """Walls flanking a polyline corridor plus perpendicular partitions.
+
+    Only axis-aligned segments get explicit flanking walls (the builders
+    below use L-shaped axis-aligned paths), which keeps the construction
+    simple and the attenuation structure realistic: rooms sit *behind* the
+    corridor walls, so an AP placed in a room is attenuated for most RPs.
+    """
+    walls: list[Wall] = []
+    for a, b in zip(waypoints[:-1], waypoints[1:]):
+        seg = b - a
+        length = float(np.linalg.norm(seg))
+        if length == 0:
+            continue
+        direction = seg / length
+        normal = np.array([-direction[1], direction[0]])
+        for side in (-1.0, 1.0):
+            offset = side * corridor_halfwidth * normal
+            walls.append(
+                Wall(tuple(a + offset), tuple(b + offset), material)
+            )
+        # Perpendicular partitions (office walls / lab bays) behind each side.
+        n_parts = int(length // partition_every)
+        for k in range(1, n_parts + 1):
+            base = a + direction * (k * partition_every)
+            for side in (-1.0, 1.0):
+                start = base + side * corridor_halfwidth * normal
+                end = start + side * partition_depth * normal
+                walls.append(Wall(tuple(start), tuple(end), material))
+    return walls
+
+
+def build_corridor_floorplan(
+    name: str,
+    waypoints: np.ndarray,
+    *,
+    width: float,
+    height: float,
+    rp_spacing: float = 1.0,
+    corridor_halfwidth: float = 1.2,
+    wall_material: str = "drywall",
+    partition_every: float = 4.0,
+    partition_depth: float = 4.0,
+) -> Floorplan:
+    """Corridor floorplan with RPs every ``rp_spacing`` m along the path."""
+    rps = interpolate_path(waypoints, rp_spacing)
+    walls = WallSet(
+        [
+            Wall((0.0, 0.0), (width, 0.0), "concrete"),
+            Wall((width, 0.0), (width, height), "concrete"),
+            Wall((width, height), (0.0, height), "concrete"),
+            Wall((0.0, height), (0.0, 0.0), "concrete"),
+        ]
+    )
+    fp = Floorplan(
+        name=name,
+        width=width,
+        height=height,
+        reference_points=rps,
+        walls=walls,
+        rp_spacing=rp_spacing,
+    )
+    fp.add_walls(
+        _corridor_walls(
+            np.asarray(waypoints, dtype=np.float64),
+            corridor_halfwidth=corridor_halfwidth,
+            material=wall_material,
+            partition_every=partition_every,
+            partition_depth=partition_depth,
+        )
+    )
+    return fp
+
+
+def build_office_path(rp_spacing: float = 1.0) -> Floorplan:
+    """Office path: 48 m L-shaped corridor through faculty offices.
+
+    Drywall partitions every 4 m model the "newly constructed faculty
+    offices" (paper Sec. V.A.2). Path length = 30 + 18 = 48 m.
+    """
+    waypoints = np.array(
+        [
+            [3.0, 3.0],
+            [33.0, 3.0],   # 30 m east
+            [33.0, 21.0],  # 18 m north
+        ]
+    )
+    return build_corridor_floorplan(
+        "office",
+        waypoints,
+        width=38.0,
+        height=25.0,
+        rp_spacing=rp_spacing,
+        corridor_halfwidth=1.2,
+        wall_material="drywall",
+        partition_every=4.0,
+        partition_depth=4.0,
+    )
+
+
+def build_basement_path(rp_spacing: float = 1.0) -> Floorplan:
+    """Basement path: 61 m U-shaped corridor flanked by metal-heavy labs.
+
+    Metal partitions every 6 m model the "large labs that contain heavy
+    metallic equipment" (paper Sec. V.A.2). Path length = 25 + 11 + 25 = 61 m.
+    """
+    waypoints = np.array(
+        [
+            [3.0, 3.0],
+            [28.0, 3.0],   # 25 m east
+            [28.0, 14.0],  # 11 m north
+            [3.0, 14.0],   # 25 m west
+        ]
+    )
+    return build_corridor_floorplan(
+        "basement",
+        waypoints,
+        width=32.0,
+        height=20.0,
+        rp_spacing=rp_spacing,
+        corridor_halfwidth=1.5,
+        wall_material="metal",
+        partition_every=6.0,
+        partition_depth=5.0,
+    )

@@ -1,0 +1,117 @@
+"""Floorplan model: bounds, walls, and reference points.
+
+A :class:`Floorplan` is the shared geometric context for the radio
+simulator (AP placement, wall attenuation), the dataset generators (RP
+layout) and STONE's floorplan-aware triplet selection (RP-to-RP distances,
+paper Sec. IV.E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .point import as_points, pairwise_distances
+from .walls import Wall, WallSet
+
+
+@dataclass
+class Floorplan:
+    """A single-floor indoor space.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (``"uji-library-f3"``, ``"office"``...).
+    width, height:
+        Bounding-box extents in meters; all coordinates live in
+        ``[0, width] x [0, height]``.
+    reference_points:
+        ``(n_rp, 2)`` RP coordinates. RPs are the class labels of the
+        localization problem; their indices are stable.
+    walls:
+        Wall segments used by the multi-wall propagation model.
+    rp_spacing:
+        Nominal distance between adjacent RPs (1 m for the measured paths).
+    """
+
+    name: str
+    width: float
+    height: float
+    reference_points: np.ndarray
+    walls: WallSet = field(default_factory=WallSet)
+    rp_spacing: float = 1.0
+    _rp_dist: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("floorplan extents must be positive")
+        self.reference_points = as_points(self.reference_points)
+        if self.reference_points.shape[0] == 0:
+            raise ValueError("a floorplan needs at least one reference point")
+        oob = (
+            (self.reference_points[:, 0] < -1e-9)
+            | (self.reference_points[:, 0] > self.width + 1e-9)
+            | (self.reference_points[:, 1] < -1e-9)
+            | (self.reference_points[:, 1] > self.height + 1e-9)
+        )
+        if oob.any():
+            raise ValueError(
+                f"{int(oob.sum())} reference points fall outside the floorplan bounds"
+            )
+
+    # -- RP queries ----------------------------------------------------------
+
+    @property
+    def n_reference_points(self) -> int:
+        return int(self.reference_points.shape[0])
+
+    def rp_location(self, rp_index: int) -> np.ndarray:
+        """Coordinates of RP ``rp_index``."""
+        return self.reference_points[rp_index].copy()
+
+    def rp_distance_matrix(self) -> np.ndarray:
+        """All-pairs RP distance matrix in meters (cached)."""
+        if self._rp_dist is None:
+            self._rp_dist = pairwise_distances(
+                self.reference_points, self.reference_points
+            )
+        return self._rp_dist
+
+    def nearest_rp(self, point: Sequence[float]) -> int:
+        """Index of the RP closest to ``point``."""
+        d = pairwise_distances(np.asarray(point)[None, :], self.reference_points)[0]
+        return int(d.argmin())
+
+    def neighbors_within(self, rp_index: int, radius: float) -> np.ndarray:
+        """Indices of RPs within ``radius`` meters of ``rp_index`` (excl. self)."""
+        d = self.rp_distance_matrix()[rp_index]
+        mask = (d <= radius) & (d > 0)
+        return np.flatnonzero(mask)
+
+    # -- wall queries ----------------------------------------------------------
+
+    def attenuation_db(
+        self, src: Sequence[float], dst: Sequence[float]
+    ) -> float:
+        """Multi-wall attenuation between two points, in dB."""
+        return self.walls.attenuation_db(src, dst)
+
+    def add_walls(self, walls: Sequence[Wall]) -> None:
+        self.walls.extend(walls)
+
+    # -- convenience -----------------------------------------------------------
+
+    def area(self) -> float:
+        """Bounding-box area in square meters."""
+        return self.width * self.height
+
+    def describe(self) -> str:
+        """One-line summary used by reports and Fig. 3 regeneration."""
+        return (
+            f"{self.name}: {self.width:.0f}x{self.height:.0f} m, "
+            f"{self.n_reference_points} RPs "
+            f"(spacing {self.rp_spacing:g} m), {len(self.walls)} walls"
+        )

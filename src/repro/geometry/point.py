@@ -1,0 +1,92 @@
+"""2-D point utilities.
+
+Points are plain ``(x, y)`` float tuples or ``(..., 2)`` NumPy arrays;
+these helpers keep the rest of the codebase free of ad-hoc distance math.
+All distances are in meters — the paper's localization error unit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+PointLike = Union[Sequence[float], np.ndarray]
+
+
+def as_point(p: PointLike) -> np.ndarray:
+    """Coerce to a float64 ``(2,)`` array, validating dimensionality."""
+    arr = np.asarray(p, dtype=np.float64)
+    if arr.shape != (2,):
+        raise ValueError(f"expected a 2-D point, got shape {arr.shape}")
+    return arr
+
+
+def as_points(pts: PointLike) -> np.ndarray:
+    """Coerce to a float64 ``(n, 2)`` array."""
+    arr = np.asarray(pts, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {arr.shape}")
+    return arr
+
+
+def euclidean(a: PointLike, b: PointLike) -> float:
+    """Straight-line distance between two points, in meters."""
+    return float(np.linalg.norm(as_point(a) - as_point(b)))
+
+
+def pairwise_distances(a: PointLike, b: PointLike) -> np.ndarray:
+    """Distance matrix between two point sets: ``(len(a), len(b))``."""
+    pa = as_points(a)
+    pb = as_points(b)
+    diff = pa[:, None, :] - pb[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=2))
+
+
+def distances_to(point: PointLike, others: PointLike) -> np.ndarray:
+    """Distances from one point to each row of ``others``."""
+    return pairwise_distances(as_point(point)[None, :], others)[0]
+
+
+def centroid(pts: PointLike) -> np.ndarray:
+    """Mean position of a point set."""
+    return as_points(pts).mean(axis=0)
+
+
+def path_length(waypoints: PointLike) -> float:
+    """Total polyline length through ``waypoints`` in order."""
+    pts = as_points(waypoints)
+    if pts.shape[0] < 2:
+        return 0.0
+    segs = np.diff(pts, axis=0)
+    return float(np.sqrt((segs * segs).sum(axis=1)).sum())
+
+
+def interpolate_path(waypoints: PointLike, spacing: float) -> np.ndarray:
+    """Points every ``spacing`` meters along a polyline, endpoints included.
+
+    This is how reference points are laid out on the Office/Basement paths:
+    "measurements are made 1 meter apart" along the corridor (paper
+    Sec. V.A.2).
+    """
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    pts = as_points(waypoints)
+    if pts.shape[0] < 2:
+        return pts.copy()
+    seg_vecs = np.diff(pts, axis=0)
+    seg_lens = np.sqrt((seg_vecs * seg_vecs).sum(axis=1))
+    total = float(seg_lens.sum())
+    if total == 0.0:
+        return pts[:1].copy()
+    n_steps = int(np.floor(total / spacing + 1e-9))
+    targets = np.arange(n_steps + 1) * spacing
+    cum = np.concatenate([[0.0], np.cumsum(seg_lens)])
+    out = np.empty((targets.shape[0], 2), dtype=np.float64)
+    for i, t in enumerate(targets):
+        seg = int(np.clip(np.searchsorted(cum, t, side="right") - 1, 0, len(seg_lens) - 1))
+        local = (t - cum[seg]) / seg_lens[seg] if seg_lens[seg] > 0 else 0.0
+        out[i] = pts[seg] + local * seg_vecs[seg]
+    return out

@@ -1,0 +1,97 @@
+"""Fingerprint containers with floor labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.fingerprint import FingerprintDataset
+from .building import Building
+
+
+@dataclass
+class MultiFloorDataset:
+    """A :class:`FingerprintDataset` plus a floor label per row.
+
+    ``rp_indices`` are *global* labels, unique across floors (floor 1's
+    RPs continue where floor 0's stopped), so single-floor machinery can
+    treat a per-floor slice as an ordinary dataset.
+    """
+
+    fingerprints: FingerprintDataset
+    floor_indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.floor_indices = np.asarray(self.floor_indices, dtype=np.int64)
+        if self.floor_indices.shape != (self.fingerprints.n_samples,):
+            raise ValueError("floor_indices must have one entry per row")
+        if self.fingerprints.n_samples and self.floor_indices.min() < 0:
+            raise ValueError("floor indices must be non-negative")
+
+    @property
+    def n_samples(self) -> int:
+        return self.fingerprints.n_samples
+
+    @property
+    def n_aps(self) -> int:
+        return self.fingerprints.n_aps
+
+    @property
+    def floor_set(self) -> np.ndarray:
+        """Sorted unique floor labels present."""
+        return np.unique(self.floor_indices)
+
+    def floor_slice(self, floor: int) -> FingerprintDataset:
+        """All rows captured on one floor, as a plain dataset."""
+        mask = self.floor_indices == floor
+        return self.fingerprints.select(mask)
+
+    def select(self, mask_or_indices: np.ndarray) -> "MultiFloorDataset":
+        """Row subset preserving floor labels."""
+        idx = np.asarray(mask_or_indices)
+        return MultiFloorDataset(
+            fingerprints=self.fingerprints.select(idx),
+            floor_indices=self.floor_indices[idx],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiFloorDataset(n={self.n_samples}, aps={self.n_aps}, "
+            f"floors={self.floor_set.tolist()})"
+        )
+
+
+@dataclass
+class MultiFloorSuite:
+    """Longitudinal multi-floor evaluation bundle.
+
+    Mirrors :class:`~repro.datasets.fingerprint.LongitudinalSuite` with
+    floor labels throughout and the :class:`Building` in place of a
+    single floorplan.
+    """
+
+    name: str
+    building: Building
+    train: MultiFloorDataset
+    test_epochs: list[MultiFloorDataset]
+    epoch_labels: list[str]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.test_epochs) != len(self.epoch_labels):
+            raise ValueError("one label per test epoch required")
+        for ds in self.test_epochs:
+            if ds.n_aps != self.train.n_aps:
+                raise ValueError("test epochs must share the train AP columns")
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.test_epochs)
+
+    def describe(self) -> str:
+        return (
+            f"suite {self.name!r} over {self.building.n_floors} floors: "
+            f"train {self.train.n_samples} rows, "
+            f"{self.n_epochs} test epochs"
+        )

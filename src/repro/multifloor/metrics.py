@@ -1,0 +1,113 @@
+"""Multi-floor accuracy metrics and the longitudinal evaluation loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .building import Building
+from .dataset import MultiFloorSuite
+from .hierarchical import HierarchicalLocalizer
+
+
+def floor_hit_rate(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Fraction of scans assigned to the correct floor."""
+    predicted = np.asarray(predicted)
+    actual = np.asarray(actual)
+    if predicted.shape != actual.shape:
+        raise ValueError("floor sequences must have identical shapes")
+    if predicted.shape[0] == 0:
+        raise ValueError("cannot score an empty sequence")
+    return float((predicted == actual).mean())
+
+
+def combined_error_m(
+    predicted_floors: np.ndarray,
+    predicted_xy: np.ndarray,
+    actual_floors: np.ndarray,
+    actual_xy: np.ndarray,
+    *,
+    floor_height_m: float = 3.5,
+) -> np.ndarray:
+    """Per-scan 3-D-style error: planar error plus vertical floor miss.
+
+    The standard EvAAL/IPIN convention charges a misdetected floor its
+    physical height — a scan placed perfectly in (x, y) but one floor
+    off is still ``floor_height_m`` wrong.
+    """
+    planar = np.linalg.norm(
+        np.asarray(predicted_xy, dtype=np.float64)
+        - np.asarray(actual_xy, dtype=np.float64),
+        axis=1,
+    )
+    vertical = (
+        np.abs(
+            np.asarray(predicted_floors, dtype=np.float64)
+            - np.asarray(actual_floors, dtype=np.float64)
+        )
+        * floor_height_m
+    )
+    return np.sqrt(planar**2 + vertical**2)
+
+
+@dataclass(frozen=True)
+class MultiFloorEpochResult:
+    """One test epoch's multi-floor scores."""
+
+    label: str
+    floor_hit_rate: float
+    mean_2d_m: float
+    mean_combined_m: float
+    n_scans: int
+
+    def as_row(self) -> str:
+        return (
+            f"{self.label:<10} floor {self.floor_hit_rate:6.1%}  "
+            f"2d {self.mean_2d_m:5.2f} m  "
+            f"combined {self.mean_combined_m:5.2f} m  (n={self.n_scans})"
+        )
+
+
+def evaluate_multifloor(
+    localizer: HierarchicalLocalizer,
+    suite: MultiFloorSuite,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> list[MultiFloorEpochResult]:
+    """Fit on the suite's training month, sweep the test months.
+
+    Mirrors :func:`repro.eval.runner.evaluate_localizer` — fit once,
+    offer each epoch's anonymous scans via ``begin_epoch``, then score.
+    The 2-D error is computed against the true (x, y) regardless of the
+    predicted floor; the combined error adds the floor penalty.
+    """
+    rng = rng or np.random.default_rng(0)
+    localizer.fit(suite.train, suite.building, rng=rng)
+    results: list[MultiFloorEpochResult] = []
+    for epoch_idx, (ds, label) in enumerate(
+        zip(suite.test_epochs, suite.epoch_labels), start=1
+    ):
+        localizer.begin_epoch(epoch_idx, ds.fingerprints.rssi)
+        floors, coords = localizer.predict(ds.fingerprints.rssi)
+        combined = combined_error_m(
+            floors,
+            coords,
+            ds.floor_indices,
+            ds.fingerprints.locations,
+            floor_height_m=suite.building.floor_height_m,
+        )
+        planar = np.linalg.norm(
+            coords - ds.fingerprints.locations, axis=1
+        )
+        results.append(
+            MultiFloorEpochResult(
+                label=label,
+                floor_hit_rate=floor_hit_rate(floors, ds.floor_indices),
+                mean_2d_m=float(planar.mean()),
+                mean_combined_m=float(combined.mean()),
+                n_scans=ds.n_samples,
+            )
+        )
+    return results

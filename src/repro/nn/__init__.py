@@ -1,0 +1,109 @@
+"""``repro.nn`` — a from-scratch NumPy deep-learning substrate.
+
+The STONE paper assumes a PyTorch-class training stack; none is available
+offline, so this subpackage provides one: functional layers with explicit
+caches (enabling shared-weight Siamese training), triplet/contrastive/
+cross-entropy losses, first-order optimizers, LR schedules, a sequential
+model container with ``.npz`` persistence, a supervised trainer, and
+finite-difference gradient checking used by the test suite.
+"""
+
+from . import initializers, schedules
+from .gradcheck import (
+    check_layer_input_grad,
+    check_layer_param_grads,
+    check_loss_grad,
+    numerical_gradient,
+    relative_error,
+)
+from .layers import (
+    ELU,
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GaussianDropout,
+    GaussianNoise,
+    GlobalAvgPool2D,
+    L2Normalize,
+    Layer,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Reshape,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from .losses import (
+    BatchHardTripletLoss,
+    ContrastiveLoss,
+    MSELoss,
+    SoftmaxCrossEntropy,
+    TripletLoss,
+    pairwise_squared_distances,
+)
+from .model import Sequential
+from .optimizers import (
+    SGD,
+    AdaGrad,
+    Adam,
+    AdamW,
+    Momentum,
+    Optimizer,
+    RMSProp,
+    clip_grads_by_norm,
+    get_optimizer,
+)
+from .trainer import EarlyStopping, History, Trainer, iterate_minibatches
+
+__all__ = [
+    "initializers",
+    "schedules",
+    "Layer",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "GaussianNoise",
+    "GaussianDropout",
+    "BatchNorm",
+    "L2Normalize",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "Flatten",
+    "Reshape",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "ELU",
+    "Softmax",
+    "TripletLoss",
+    "BatchHardTripletLoss",
+    "ContrastiveLoss",
+    "SoftmaxCrossEntropy",
+    "MSELoss",
+    "pairwise_squared_distances",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "AdamW",
+    "RMSProp",
+    "AdaGrad",
+    "get_optimizer",
+    "clip_grads_by_norm",
+    "Trainer",
+    "History",
+    "EarlyStopping",
+    "iterate_minibatches",
+    "numerical_gradient",
+    "relative_error",
+    "check_layer_input_grad",
+    "check_layer_param_grads",
+    "check_loss_grad",
+]

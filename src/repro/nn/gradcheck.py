@@ -1,0 +1,136 @@
+"""Finite-difference gradient checking utilities.
+
+These are used heavily by the test suite to validate every layer's
+``backward`` against a central-difference approximation of ``forward``.
+Checks run in float64 to avoid drowning the comparison in float32 noise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .layers.base import Layer
+
+
+def numerical_gradient(
+    f: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    *,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f`` at ``x``.
+
+    O(n) evaluations of ``f`` per element — fine for the small tensors used
+    in tests, never for training.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f(x)
+        x[idx] = orig - eps
+        f_minus = f(x)
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2.0 * eps)
+        it.iternext()
+    return grad
+
+
+def relative_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Globally normalized gradient error.
+
+    ``max|a - b| / max(max|a|, max|b|, 1e-8)``: the largest absolute
+    deviation relative to the gradient's overall scale. The elementwise
+    form ``|a-b|/(|a|+|b|)`` explodes on near-zero entries, which under a
+    float32 forward pass is pure measurement noise, not a bug signal.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    scale = max(float(np.abs(a).max(initial=0.0)), float(np.abs(b).max(initial=0.0)), 1e-8)
+    return float(np.abs(a - b).max(initial=0.0) / scale)
+
+
+def check_layer_input_grad(
+    layer: Layer,
+    x: np.ndarray,
+    *,
+    eps: float = 1e-4,
+    seed: int = 0,
+) -> float:
+    """Relative error of the layer's input gradient on a random projection.
+
+    A random cotangent ``dy`` turns the vector-valued layer into the scalar
+    ``sum(dy * forward(x))`` whose analytic input gradient is exactly what
+    ``backward(dy, cache)`` returns.
+    """
+    rng = np.random.default_rng(seed)
+    y, _ = layer.forward(np.asarray(x, dtype=np.float32), training=False)
+    dy = rng.normal(size=y.shape).astype(np.float32)
+
+    def objective(x64: np.ndarray) -> float:
+        out, _ = layer.forward(x64.astype(np.float32), training=False)
+        return float((out.astype(np.float64) * dy).sum())
+
+    num = numerical_gradient(objective, np.asarray(x, dtype=np.float64), eps=eps)
+    _, cache = layer.forward(np.asarray(x, dtype=np.float32), training=False)
+    analytic, _ = layer.backward(dy, cache)
+    return relative_error(num, analytic)
+
+
+def check_layer_param_grads(
+    layer: Layer,
+    x: np.ndarray,
+    *,
+    eps: float = 1e-4,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Relative errors of each parameter gradient (same projection trick)."""
+    rng = np.random.default_rng(seed)
+    x32 = np.asarray(x, dtype=np.float32)
+    y, cache = layer.forward(x32, training=False)
+    dy = rng.normal(size=y.shape).astype(np.float32)
+    _, analytic = layer.backward(dy, cache)
+    errors: dict[str, float] = {}
+    for pname, param in layer.params.items():
+
+        def objective(p64: np.ndarray, _pname: str = pname) -> float:
+            saved = layer.params[_pname].copy()
+            layer.params[_pname][...] = p64.astype(np.float32)
+            out, _ = layer.forward(x32, training=False)
+            layer.params[_pname][...] = saved
+            return float((out.astype(np.float64) * dy).sum())
+
+        num = numerical_gradient(objective, param.astype(np.float64), eps=eps)
+        errors[pname] = relative_error(num, analytic[pname])
+    return errors
+
+
+def check_loss_grad(
+    loss_value: Callable[[np.ndarray], float],
+    loss_grad: Callable[[np.ndarray], np.ndarray],
+    x: np.ndarray,
+    *,
+    eps: float = 1e-4,
+) -> float:
+    """Relative error of a scalar loss gradient at ``x``."""
+    num = numerical_gradient(
+        lambda x64: float(loss_value(x64.astype(np.float32))),
+        np.asarray(x, dtype=np.float64),
+        eps=eps,
+    )
+    analytic = loss_grad(np.asarray(x, dtype=np.float32))
+    return relative_error(num, analytic)
+
+
+def assert_close_gradients(
+    error: float, *, tol: float = 2e-3, context: Optional[str] = None
+) -> None:
+    """Raise ``AssertionError`` when a gradcheck error exceeds ``tol``."""
+    if error > tol:
+        prefix = f"{context}: " if context else ""
+        raise AssertionError(f"{prefix}gradient check failed: error={error:.3e} > {tol}")

@@ -1,0 +1,142 @@
+"""Weight initialization schemes for the NumPy neural-network substrate.
+
+Every initializer is a plain function ``(shape, rng) -> np.ndarray`` so that
+layers can accept either a name (resolved through :func:`get_initializer`)
+or a callable. All arrays are float32: the whole ``repro.nn`` stack runs in
+single precision for speed, matching common DL-framework defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+InitializerFn = Callable[[Sequence[int], np.random.Generator], np.ndarray]
+InitializerLike = Union[str, InitializerFn]
+
+DTYPE = np.float32
+
+
+def _fan_in_out(shape: Sequence[int]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and convolutional kernels.
+
+    Dense kernels are ``(in, out)``. Conv kernels are
+    ``(out_channels, in_channels, kh, kw)``; the receptive field size
+    multiplies into both fans, as in Glorot & Bengio (2010).
+    """
+    if len(shape) < 1:
+        raise ValueError(f"cannot infer fans from shape {shape!r}")
+    if len(shape) == 1:
+        return int(shape[0]), int(shape[0])
+    if len(shape) == 2:
+        return int(shape[0]), int(shape[1])
+    receptive = int(np.prod(shape[2:]))
+    fan_in = int(shape[1]) * receptive
+    fan_out = int(shape[0]) * receptive
+    return fan_in, fan_out
+
+
+def zeros(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialization (standard for biases)."""
+    del rng
+    return np.zeros(shape, dtype=DTYPE)
+
+
+def ones(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """All-one initialization (standard for batch-norm scale)."""
+    del rng
+    return np.ones(shape, dtype=DTYPE)
+
+
+def normal(
+    shape: Sequence[int],
+    rng: np.random.Generator,
+    *,
+    std: float = 0.01,
+) -> np.ndarray:
+    """Zero-mean Gaussian initialization with standard deviation ``std``."""
+    return rng.normal(0.0, std, size=shape).astype(DTYPE)
+
+
+def uniform(
+    shape: Sequence[int],
+    rng: np.random.Generator,
+    *,
+    limit: float = 0.05,
+) -> np.ndarray:
+    """Uniform initialization on ``[-limit, limit]``."""
+    return rng.uniform(-limit, limit, size=shape).astype(DTYPE)
+
+
+def glorot_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: ``U(-sqrt(6/(fan_in+fan_out)), +...)``.
+
+    The classic choice for tanh/sigmoid networks and embedding layers.
+    """
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return rng.uniform(-limit, limit, size=shape).astype(DTYPE)
+
+
+def glorot_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal: ``N(0, 2/(fan_in+fan_out))``."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = float(np.sqrt(2.0 / (fan_in + fan_out)))
+    return rng.normal(0.0, std, size=shape).astype(DTYPE)
+
+
+def he_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He uniform: ``U(-sqrt(6/fan_in), +sqrt(6/fan_in))``; for ReLU nets."""
+    fan_in, _ = _fan_in_out(shape)
+    limit = float(np.sqrt(6.0 / fan_in))
+    return rng.uniform(-limit, limit, size=shape).astype(DTYPE)
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He normal: ``N(0, 2/fan_in)``; the standard ReLU initialization."""
+    fan_in, _ = _fan_in_out(shape)
+    std = float(np.sqrt(2.0 / fan_in))
+    return rng.normal(0.0, std, size=shape).astype(DTYPE)
+
+
+def lecun_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """LeCun normal: ``N(0, 1/fan_in)``; pairs with SELU activations."""
+    fan_in, _ = _fan_in_out(shape)
+    std = float(np.sqrt(1.0 / fan_in))
+    return rng.normal(0.0, std, size=shape).astype(DTYPE)
+
+
+_REGISTRY: dict[str, InitializerFn] = {
+    "zeros": zeros,
+    "ones": ones,
+    "normal": normal,
+    "uniform": uniform,
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "xavier_uniform": glorot_uniform,
+    "xavier_normal": glorot_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+    "lecun_normal": lecun_normal,
+}
+
+
+def get_initializer(spec: InitializerLike) -> InitializerFn:
+    """Resolve an initializer by name or pass a callable through.
+
+    Raises ``KeyError`` with the list of known names for typos, which is a
+    friendlier failure mode than a silent fallback.
+    """
+    if callable(spec):
+        return spec
+    try:
+        return _REGISTRY[spec]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown initializer {spec!r}; known: {known}") from None
+
+
+def available_initializers() -> list[str]:
+    """Names accepted by :func:`get_initializer`."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,38 @@
+"""Layer zoo for the NumPy neural-network substrate."""
+
+from .activations import ELU, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from .base import Layer, check_finite
+from .conv import Conv2D, col2im, conv_output_hw, im2col, resolve_padding
+from .dense import Dense
+from .dropout import Dropout
+from .noise import GaussianDropout, GaussianNoise
+from .normalization import BatchNorm, L2Normalize
+from .pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from .reshape import Flatten, Reshape
+
+__all__ = [
+    "Layer",
+    "check_finite",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "ELU",
+    "Softmax",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "GaussianNoise",
+    "GaussianDropout",
+    "BatchNorm",
+    "L2Normalize",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "Flatten",
+    "Reshape",
+    "im2col",
+    "col2im",
+    "conv_output_hw",
+    "resolve_padding",
+]

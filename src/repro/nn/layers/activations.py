@@ -1,0 +1,175 @@
+"""Elementwise activation layers (all stateless)."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..initializers import DTYPE
+from .base import Cache, Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit, ``max(x, 0)``."""
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        del training, rng
+        x = np.asarray(x, dtype=DTYPE)
+        mask = x > 0
+        return x * mask, mask
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        mask: np.ndarray = cache
+        return np.asarray(dy, dtype=DTYPE) * mask, {}
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU, ``x if x > 0 else alpha * x``."""
+
+    def __init__(self, alpha: float = 0.01, *, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = float(alpha)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        del training, rng
+        x = np.asarray(x, dtype=DTYPE)
+        mask = x > 0
+        y = np.where(mask, x, self.alpha * x)
+        return y.astype(DTYPE), mask
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        mask: np.ndarray = cache
+        dy = np.asarray(dy, dtype=DTYPE)
+        return np.where(mask, dy, self.alpha * dy).astype(DTYPE), {}
+
+    def get_config(self) -> dict[str, Any]:
+        return {"name": self.name, "alpha": self.alpha}
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid, ``1 / (1 + exp(-x))``, computed stably."""
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        del training, rng
+        x = np.asarray(x, dtype=DTYPE)
+        # Stable piecewise form avoids overflow in exp for large |x|.
+        y = np.empty_like(x)
+        pos = x >= 0
+        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        y[~pos] = ex / (1.0 + ex)
+        return y, y
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        y: np.ndarray = cache
+        return np.asarray(dy, dtype=DTYPE) * y * (1.0 - y), {}
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        del training, rng
+        y = np.tanh(np.asarray(x, dtype=DTYPE))
+        return y, y
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        y: np.ndarray = cache
+        return np.asarray(dy, dtype=DTYPE) * (1.0 - y * y), {}
+
+
+class ELU(Layer):
+    """Exponential linear unit, ``x if x > 0 else alpha * (exp(x) - 1)``."""
+
+    def __init__(self, alpha: float = 1.0, *, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.alpha = float(alpha)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        del training, rng
+        x = np.asarray(x, dtype=DTYPE)
+        neg = self.alpha * (np.exp(np.minimum(x, 0.0)) - 1.0)
+        y = np.where(x > 0, x, neg).astype(DTYPE)
+        return y, (x > 0, y)
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        pos_mask, y = cache
+        dy = np.asarray(dy, dtype=DTYPE)
+        dx = np.where(pos_mask, dy, dy * (y + self.alpha)).astype(DTYPE)
+        return dx, {}
+
+    def get_config(self) -> dict[str, Any]:
+        return {"name": self.name, "alpha": self.alpha}
+
+
+class Softmax(Layer):
+    """Row-wise softmax over the last axis.
+
+    Mostly useful at inference; for training, prefer the fused
+    ``SoftmaxCrossEntropy`` loss which has a simpler, more stable gradient.
+    """
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        del training, rng
+        x = np.asarray(x, dtype=DTYPE)
+        shifted = x - x.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        y = e / e.sum(axis=-1, keepdims=True)
+        return y, y
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        y: np.ndarray = cache
+        dy = np.asarray(dy, dtype=DTYPE)
+        dot = (dy * y).sum(axis=-1, keepdims=True)
+        return y * (dy - dot), {}

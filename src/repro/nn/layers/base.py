@@ -1,0 +1,105 @@
+"""Layer protocol for the functional NumPy neural-network substrate.
+
+Design
+------
+Layers are *functional with explicit caches*:
+
+- ``forward(x, training=..., rng=...) -> (y, cache)``
+- ``backward(dy, cache) -> (dx, grads)``
+
+The cache returned by ``forward`` carries everything ``backward`` needs
+(inputs, masks, im2col buffers, ...). Because the cache travels outside the
+layer object, a single parameter set can be pushed through several forward
+passes before any backward pass runs — exactly what Siamese training needs:
+the anchor/positive/negative branches share one set of weights, and the
+triplet loss is only computable after all three embeddings exist.
+
+Parameters live in ``layer.params`` (name -> float32 array) and gradients
+are returned from ``backward`` keyed identically, so optimizers can zip
+them together without knowing layer internals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+Cache = Any
+Grads = "dict[str, np.ndarray]"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses must implement :meth:`forward` and :meth:`backward`.
+    Stateless layers (activations, reshapes) simply keep ``params`` empty.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or self.__class__.__name__
+        self.params: dict[str, np.ndarray] = {}
+
+    # -- interface ---------------------------------------------------------
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        """Compute the layer output and a cache for ``backward``."""
+        raise NotImplementedError
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Propagate ``dy`` to the input and return parameter gradients.
+
+        The returned gradient dict has exactly the same keys as
+        ``self.params`` (empty dict for stateless layers).
+        """
+        raise NotImplementedError
+
+    # -- introspection ------------------------------------------------------
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape of the output for a single sample of ``input_shape``.
+
+        Shapes exclude the batch dimension. The default assumes a
+        shape-preserving layer; layers that reshape must override.
+        """
+        return input_shape
+
+    def n_params(self) -> int:
+        """Total number of scalar parameters in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def zero_grads_like(self) -> dict[str, np.ndarray]:
+        """A gradient dict of zeros matching ``self.params``.
+
+        Used by multi-branch training loops that accumulate gradients
+        across several backward passes (e.g. triplet training).
+        """
+        return {k: np.zeros_like(v) for k, v in self.params.items()}
+
+    # -- persistence ---------------------------------------------------------
+
+    def get_config(self) -> dict[str, Any]:
+        """JSON-serializable constructor arguments (for model save/load)."""
+        return {"name": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.__class__.__name__}(name={self.name!r}, params={self.n_params()})"
+
+
+def check_finite(name: str, arr: np.ndarray) -> None:
+    """Raise ``FloatingPointError`` if ``arr`` contains NaN or inf.
+
+    Called by the trainer when ``debug=True``; catching divergence at the
+    first bad layer beats silently training to a NaN loss.
+    """
+    if not np.all(np.isfinite(arr)):
+        bad = int(np.size(arr) - np.count_nonzero(np.isfinite(arr)))
+        raise FloatingPointError(f"{name}: {bad} non-finite values detected")

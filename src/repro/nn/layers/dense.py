@@ -1,0 +1,101 @@
+"""Fully connected (dense) layer."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..initializers import DTYPE, InitializerLike, get_initializer
+from .base import Cache, Layer
+
+
+class Dense(Layer):
+    """Affine transform ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    use_bias:
+        Whether to learn an additive bias (default True).
+    kernel_init, bias_init:
+        Initializer names or callables (see ``repro.nn.initializers``).
+    rng:
+        Generator used to draw the initial weights. Required so that model
+        construction is deterministic under a fixed seed.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        use_bias: bool = True,
+        kernel_init: InitializerLike = "he_normal",
+        bias_init: InitializerLike = "zeros",
+        rng: Optional[np.random.Generator] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"features must be positive, got in={in_features} out={out_features}"
+            )
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.use_bias = bool(use_bias)
+        self._kernel_init = kernel_init
+        self._bias_init = bias_init
+        rng = rng or np.random.default_rng()
+        self.params["W"] = get_initializer(kernel_init)(
+            (self.in_features, self.out_features), rng
+        )
+        if self.use_bias:
+            self.params["b"] = get_initializer(bias_init)((self.out_features,), rng)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        del training, rng
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected (batch, {self.in_features}), got {x.shape}"
+            )
+        x = np.ascontiguousarray(x, dtype=DTYPE)
+        y = x @ self.params["W"]
+        if self.use_bias:
+            y = y + self.params["b"]
+        return y, x
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        x: np.ndarray = cache
+        dy = np.ascontiguousarray(dy, dtype=DTYPE)
+        grads = {"W": x.T @ dy}
+        if self.use_bias:
+            grads["b"] = dy.sum(axis=0)
+        dx = dy @ self.params["W"].T
+        return dx, grads
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if input_shape != (self.in_features,):
+            raise ValueError(
+                f"{self.name}: expected ({self.in_features},), got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def get_config(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "in_features": self.in_features,
+            "out_features": self.out_features,
+            "use_bias": self.use_bias,
+            "kernel_init": self._kernel_init if isinstance(self._kernel_init, str) else "he_normal",
+            "bias_init": self._bias_init if isinstance(self._bias_init, str) else "zeros",
+        }

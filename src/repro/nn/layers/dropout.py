@@ -1,0 +1,53 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..initializers import DTYPE
+from .base import Cache, Layer
+
+
+class Dropout(Layer):
+    """Inverted dropout: zero a fraction ``rate`` of units during training.
+
+    Activations that survive are scaled by ``1 / (1 - rate)`` so inference
+    is a plain identity (no test-time rescaling). STONE interleaves dropout
+    between its convolution layers to improve encoder generalizability
+    (paper Sec. IV.D).
+    """
+
+    def __init__(self, rate: float, *, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        x = np.asarray(x, dtype=DTYPE)
+        if not training or self.rate == 0.0:
+            return x, None
+        if rng is None:
+            raise ValueError(f"{self.name}: training-mode forward requires rng")
+        keep = 1.0 - self.rate
+        mask = (rng.random(x.shape) < keep).astype(DTYPE) / keep
+        return x * mask, mask
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        dy = np.asarray(dy, dtype=DTYPE)
+        if cache is None:
+            return dy, {}
+        return dy * cache, {}
+
+    def get_config(self) -> dict[str, Any]:
+        return {"name": self.name, "rate": self.rate}

@@ -1,0 +1,89 @@
+"""Stochastic regularization layers that perturb the input signal."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..initializers import DTYPE
+from .base import Cache, Layer
+
+
+class GaussianNoise(Layer):
+    """Additive zero-mean Gaussian noise, active only during training.
+
+    STONE adds ``sigma = 0.10`` noise at the encoder input to build
+    resilience to short-term RSSI fluctuations (paper Sec. IV.D, Fig. 1).
+    The gradient is the identity: noise is constant w.r.t. the input.
+    """
+
+    def __init__(self, sigma: float = 0.10, *, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = float(sigma)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        x = np.asarray(x, dtype=DTYPE)
+        if not training or self.sigma == 0.0:
+            return x, None
+        if rng is None:
+            raise ValueError(f"{self.name}: training-mode forward requires rng")
+        noise = rng.normal(0.0, self.sigma, size=x.shape).astype(DTYPE)
+        return x + noise, None
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        del cache
+        return np.asarray(dy, dtype=DTYPE), {}
+
+    def get_config(self) -> dict[str, Any]:
+        return {"name": self.name, "sigma": self.sigma}
+
+
+class GaussianDropout(Layer):
+    """Multiplicative Gaussian noise ``x * N(1, sigma^2)`` during training.
+
+    A smooth alternative to binary dropout; provided for ablations on the
+    encoder's regularization strategy.
+    """
+
+    def __init__(self, sigma: float = 0.1, *, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = float(sigma)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        x = np.asarray(x, dtype=DTYPE)
+        if not training or self.sigma == 0.0:
+            return x, None
+        if rng is None:
+            raise ValueError(f"{self.name}: training-mode forward requires rng")
+        mult = rng.normal(1.0, self.sigma, size=x.shape).astype(DTYPE)
+        return x * mult, mult
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        dy = np.asarray(dy, dtype=DTYPE)
+        if cache is None:
+            return dy, {}
+        return dy * cache, {}
+
+    def get_config(self) -> dict[str, Any]:
+        return {"name": self.name, "sigma": self.sigma}

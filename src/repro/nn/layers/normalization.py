@@ -1,0 +1,160 @@
+"""Normalization layers: L2 embedding normalization and batch norm."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..initializers import DTYPE
+from .base import Cache, Layer
+
+
+class L2Normalize(Layer):
+    """Project each row onto the unit hypersphere: ``y = x / ||x||_2``.
+
+    FaceNet-style Siamese encoders constrain embeddings to ``||f(x)|| = 1``
+    (paper Sec. III) so that triplet distances live on a bounded manifold
+    and the margin alpha has a scale-free meaning.
+    """
+
+    def __init__(self, eps: float = 1e-8, *, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.eps = float(eps)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        del training, rng
+        x = np.asarray(x, dtype=DTYPE)
+        if x.ndim != 2:
+            raise ValueError(f"{self.name}: expected (batch, dim), got {x.shape}")
+        norm = np.sqrt((x * x).sum(axis=1, keepdims=True) + self.eps)
+        y = x / norm
+        return y, (y, norm)
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        y, norm = cache
+        dy = np.asarray(dy, dtype=DTYPE)
+        # d/dx (x/||x||) = (I - y y^T) / ||x||, applied row-wise.
+        dot = (dy * y).sum(axis=1, keepdims=True)
+        dx = (dy - y * dot) / norm
+        return dx.astype(DTYPE), {}
+
+    def get_config(self) -> dict[str, Any]:
+        return {"name": self.name, "eps": self.eps}
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the feature axis.
+
+    Supports 2-D ``(N, F)`` and 4-D NCHW ``(N, C, H, W)`` inputs (per-channel
+    statistics for the latter). Running statistics are kept for inference
+    with exponential moving averages.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        *,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.params["gamma"] = np.ones(self.num_features, dtype=DTYPE)
+        self.params["beta"] = np.zeros(self.num_features, dtype=DTYPE)
+        # Running stats are state, not trainable parameters.
+        self.running_mean = np.zeros(self.num_features, dtype=DTYPE)
+        self.running_var = np.ones(self.num_features, dtype=DTYPE)
+
+    def _axes_and_shape(
+        self, x: np.ndarray
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        if x.ndim == 2:
+            if x.shape[1] != self.num_features:
+                raise ValueError(
+                    f"{self.name}: expected (N, {self.num_features}), got {x.shape}"
+                )
+            return (0,), (1, self.num_features)
+        if x.ndim == 4:
+            if x.shape[1] != self.num_features:
+                raise ValueError(
+                    f"{self.name}: expected (N, {self.num_features}, H, W), "
+                    f"got {x.shape}"
+                )
+            return (0, 2, 3), (1, self.num_features, 1, 1)
+        raise ValueError(f"{self.name}: supports 2-D/4-D inputs, got ndim={x.ndim}")
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        del rng
+        x = np.asarray(x, dtype=DTYPE)
+        axes, bshape = self._axes_and_shape(x)
+        gamma = self.params["gamma"].reshape(bshape)
+        beta = self.params["beta"].reshape(bshape)
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            m = self.momentum
+            self.running_mean = (m * self.running_mean + (1 - m) * mean).astype(DTYPE)
+            self.running_var = (m * self.running_var + (1 - m) * var).astype(DTYPE)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var.reshape(bshape) + self.eps)
+        x_hat = (x - mean.reshape(bshape)) * inv_std
+        y = gamma * x_hat + beta
+        cache = (x_hat, inv_std, axes, bshape, training)
+        return y.astype(DTYPE), cache
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        x_hat, inv_std, axes, bshape, was_training = cache
+        dy = np.asarray(dy, dtype=DTYPE)
+        gamma = self.params["gamma"].reshape(bshape)
+        grads = {
+            "gamma": (dy * x_hat).sum(axis=axes).astype(DTYPE),
+            "beta": dy.sum(axis=axes).astype(DTYPE),
+        }
+        if not was_training:
+            # Inference-mode stats are constants: gradient is a plain scale.
+            return (dy * gamma * inv_std).astype(DTYPE), grads
+        m = float(np.prod([dy.shape[a] for a in axes]))
+        dxhat = dy * gamma
+        dx = (
+            dxhat
+            - dxhat.mean(axis=axes, keepdims=True)
+            - x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
+        ) * inv_std
+        del m
+        return dx.astype(DTYPE), grads
+
+    def get_config(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "num_features": self.num_features,
+            "momentum": self.momentum,
+            "eps": self.eps,
+        }

@@ -1,0 +1,179 @@
+"""Spatial pooling layers (NCHW)."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from ..initializers import DTYPE
+from .base import Cache, Layer
+from .conv import conv_output_hw, im2col
+
+
+def _pair(v: Union[int, tuple[int, int]]) -> tuple[int, int]:
+    if isinstance(v, int):
+        return (v, v)
+    return (int(v[0]), int(v[1]))
+
+
+class MaxPool2D(Layer):
+    """Max pooling over non-overlapping or strided windows."""
+
+    def __init__(
+        self,
+        pool_size: Union[int, tuple[int, int]] = 2,
+        *,
+        stride: Optional[Union[int, tuple[int, int]]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        self.pool_size = _pair(pool_size)
+        self.stride = _pair(stride) if stride is not None else self.pool_size
+        if min(self.pool_size) <= 0 or min(self.stride) <= 0:
+            raise ValueError("pool size and stride must be positive")
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        del training, rng
+        x = np.asarray(x, dtype=DTYPE)
+        if x.ndim != 4:
+            raise ValueError(f"{self.name}: expected NCHW input, got {x.shape}")
+        n, c, h, w = x.shape
+        # Treat each channel as an independent 1-channel image so im2col
+        # gives (N*C*OH*OW, KH*KW) patch rows.
+        flat = x.reshape(n * c, 1, h, w)
+        cols, (oh, ow) = im2col(flat, self.pool_size, self.stride, (0, 0))
+        argmax = cols.argmax(axis=1)
+        y = cols[np.arange(cols.shape[0]), argmax]
+        y = y.reshape(n, c, oh, ow)
+        return y, (argmax, (n, c, h, w), (oh, ow))
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        argmax, (n, c, h, w), (oh, ow) = cache
+        dy = np.asarray(dy, dtype=DTYPE)
+        kh, kw = self.pool_size
+        sh, sw = self.stride
+        dcols = np.zeros((n * c * oh * ow, kh * kw), dtype=DTYPE)
+        dcols[np.arange(dcols.shape[0]), argmax] = dy.reshape(-1)
+        # Inline col2im for the 1-channel-per-image trick.
+        dx = np.zeros((n * c, 1, h, w), dtype=DTYPE)
+        cols6 = dcols.reshape(n * c, oh, ow, 1, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+        for i in range(kh):
+            for j in range(kw):
+                dx[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += cols6[
+                    :, :, :, :, i, j
+                ]
+        return dx.reshape(n, c, h, w), {}
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        oh, ow = conv_output_hw((h, w), self.pool_size, self.stride, (0, 0))
+        return (c, oh, ow)
+
+    def get_config(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "pool_size": list(self.pool_size),
+            "stride": list(self.stride),
+        }
+
+
+class AvgPool2D(Layer):
+    """Average pooling over strided windows."""
+
+    def __init__(
+        self,
+        pool_size: Union[int, tuple[int, int]] = 2,
+        *,
+        stride: Optional[Union[int, tuple[int, int]]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        self.pool_size = _pair(pool_size)
+        self.stride = _pair(stride) if stride is not None else self.pool_size
+        if min(self.pool_size) <= 0 or min(self.stride) <= 0:
+            raise ValueError("pool size and stride must be positive")
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        del training, rng
+        x = np.asarray(x, dtype=DTYPE)
+        if x.ndim != 4:
+            raise ValueError(f"{self.name}: expected NCHW input, got {x.shape}")
+        n, c, h, w = x.shape
+        flat = x.reshape(n * c, 1, h, w)
+        cols, (oh, ow) = im2col(flat, self.pool_size, self.stride, (0, 0))
+        y = cols.mean(axis=1).reshape(n, c, oh, ow)
+        return y, ((n, c, h, w), (oh, ow))
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        (n, c, h, w), (oh, ow) = cache
+        dy = np.asarray(dy, dtype=DTYPE)
+        kh, kw = self.pool_size
+        sh, sw = self.stride
+        share = dy.reshape(-1)[:, None] / float(kh * kw)
+        dcols = np.broadcast_to(share, (n * c * oh * ow, kh * kw))
+        dx = np.zeros((n * c, 1, h, w), dtype=DTYPE)
+        cols6 = dcols.reshape(n * c, oh, ow, 1, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+        for i in range(kh):
+            for j in range(kw):
+                dx[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += cols6[
+                    :, :, :, :, i, j
+                ]
+        return dx.reshape(n, c, h, w), {}
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        oh, ow = conv_output_hw((h, w), self.pool_size, self.stride, (0, 0))
+        return (c, oh, ow)
+
+    def get_config(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "pool_size": list(self.pool_size),
+            "stride": list(self.stride),
+        }
+
+
+class GlobalAvgPool2D(Layer):
+    """Average over all spatial positions: ``(N, C, H, W) -> (N, C)``."""
+
+    def forward(
+        self,
+        x: np.ndarray,
+        *,
+        training: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, Cache]:
+        del training, rng
+        x = np.asarray(x, dtype=DTYPE)
+        if x.ndim != 4:
+            raise ValueError(f"{self.name}: expected NCHW input, got {x.shape}")
+        return x.mean(axis=(2, 3)), x.shape
+
+    def backward(
+        self, dy: np.ndarray, cache: Cache
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        n, c, h, w = cache
+        dy = np.asarray(dy, dtype=DTYPE)
+        dx = np.broadcast_to(dy[:, :, None, None] / float(h * w), (n, c, h, w))
+        return np.ascontiguousarray(dx, dtype=DTYPE), {}
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, _, _ = input_shape
+        return (c,)

@@ -1,0 +1,266 @@
+"""Loss functions.
+
+Each loss exposes ``value(...) -> float`` and ``grad(...)`` returning the
+gradient(s) of the *mean* loss w.r.t. its input(s), so parameter gradients
+are already averaged over the batch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .initializers import DTYPE
+
+
+def _as2d(x: np.ndarray, name: str) -> np.ndarray:
+    x = np.asarray(x, dtype=DTYPE)
+    if x.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (batch, dim), got shape {x.shape}")
+    return x
+
+
+class TripletLoss:
+    """FaceNet-style triplet loss (paper Sec. III, eq. 2).
+
+    ``L = mean(max(0, ||a - p||^2 - ||a - n||^2 + margin))``
+
+    The margin keeps the trivial all-zero embedding from satisfying the
+    ranking constraint. ``grad`` returns the three gradients
+    ``(dL/da, dL/dp, dL/dn)`` so a shared-weight Siamese trainer can run
+    three backward passes and sum parameter gradients.
+    """
+
+    def __init__(self, margin: float = 0.2) -> None:
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        self.margin = float(margin)
+
+    def _terms(
+        self, anchor: np.ndarray, positive: np.ndarray, negative: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        a = _as2d(anchor, "anchor")
+        p = _as2d(positive, "positive")
+        n = _as2d(negative, "negative")
+        if not (a.shape == p.shape == n.shape):
+            raise ValueError(
+                f"triplet shapes differ: {a.shape}, {p.shape}, {n.shape}"
+            )
+        d_ap = ((a - p) ** 2).sum(axis=1)
+        d_an = ((a - n) ** 2).sum(axis=1)
+        violation = d_ap - d_an + self.margin
+        return violation, d_ap, d_an
+
+    def value(
+        self, anchor: np.ndarray, positive: np.ndarray, negative: np.ndarray
+    ) -> float:
+        violation, _, _ = self._terms(anchor, positive, negative)
+        return float(np.maximum(violation, 0.0).mean())
+
+    def active_fraction(
+        self, anchor: np.ndarray, positive: np.ndarray, negative: np.ndarray
+    ) -> float:
+        """Fraction of triplets in the batch that violate the margin.
+
+        A useful training diagnostic: near 0 means the mining strategy has
+        gone stale (all triplets already satisfied).
+        """
+        violation, _, _ = self._terms(anchor, positive, negative)
+        return float((violation > 0).mean())
+
+    def grad(
+        self, anchor: np.ndarray, positive: np.ndarray, negative: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        a = _as2d(anchor, "anchor")
+        p = _as2d(positive, "positive")
+        n = _as2d(negative, "negative")
+        violation, _, _ = self._terms(a, p, n)
+        active = (violation > 0).astype(DTYPE)[:, None]
+        batch = a.shape[0]
+        scale = 2.0 / batch
+        da = scale * active * (n - p)  # d/da [(a-p)^2 - (a-n)^2] = 2(n - p)
+        dp = scale * active * (p - a)
+        dn = scale * active * (a - n)
+        return da.astype(DTYPE), dp.astype(DTYPE), dn.astype(DTYPE)
+
+
+class ContrastiveLoss:
+    """DeepFace-style pairwise contrastive loss.
+
+    ``L = y * d^2 + (1 - y) * max(0, margin - d)^2`` with ``d = ||x1 - x2||``.
+    ``y = 1`` marks a similar pair. Used by the SELE-style baseline and for
+    ablations against the triplet formulation.
+    """
+
+    def __init__(self, margin: float = 1.0) -> None:
+        if margin <= 0:
+            raise ValueError(f"margin must be positive, got {margin}")
+        self.margin = float(margin)
+
+    def _dist(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        diff = x1 - x2
+        return np.sqrt((diff * diff).sum(axis=1) + 1e-12)
+
+    def value(self, x1: np.ndarray, x2: np.ndarray, y: np.ndarray) -> float:
+        x1 = _as2d(x1, "x1")
+        x2 = _as2d(x2, "x2")
+        y = np.asarray(y, dtype=DTYPE).reshape(-1)
+        if y.shape[0] != x1.shape[0]:
+            raise ValueError("pair labels must match batch size")
+        d = self._dist(x1, x2)
+        hinge = np.maximum(self.margin - d, 0.0)
+        loss = y * d * d + (1.0 - y) * hinge * hinge
+        return float(loss.mean())
+
+    def grad(
+        self, x1: np.ndarray, x2: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        x1 = _as2d(x1, "x1")
+        x2 = _as2d(x2, "x2")
+        y = np.asarray(y, dtype=DTYPE).reshape(-1)
+        diff = x1 - x2
+        d = self._dist(x1, x2)
+        hinge = np.maximum(self.margin - d, 0.0)
+        batch = x1.shape[0]
+        # d(d)/dx1 = diff / d ; similar pairs pull together, dissimilar push.
+        coeff = (2.0 * y - 2.0 * (1.0 - y) * hinge / d) / batch
+        dx1 = coeff[:, None] * diff
+        return dx1.astype(DTYPE), (-dx1).astype(DTYPE)
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy over integer class labels.
+
+    Used by the SCNN baseline, which classifies fingerprints into RP
+    indices with a conventional entropy loss (paper Sec. II / V.A.3).
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = float(label_smoothing)
+
+    def _probs(self, logits: np.ndarray) -> np.ndarray:
+        logits = _as2d(logits, "logits")
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def _target_dist(self, labels: np.ndarray, n_classes: int) -> np.ndarray:
+        labels = np.asarray(labels).reshape(-1).astype(np.int64)
+        if labels.min() < 0 or labels.max() >= n_classes:
+            raise ValueError(
+                f"labels out of range [0, {n_classes}): "
+                f"[{labels.min()}, {labels.max()}]"
+            )
+        t = np.zeros((labels.shape[0], n_classes), dtype=DTYPE)
+        t[np.arange(labels.shape[0]), labels] = 1.0
+        if self.label_smoothing > 0:
+            eps = self.label_smoothing
+            t = (1.0 - eps) * t + eps / n_classes
+        return t
+
+    def value(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        probs = self._probs(logits)
+        t = self._target_dist(labels, probs.shape[1])
+        ll = -(t * np.log(probs + 1e-12)).sum(axis=1)
+        return float(ll.mean())
+
+    def grad(self, logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        probs = self._probs(logits)
+        t = self._target_dist(labels, probs.shape[1])
+        return ((probs - t) / probs.shape[0]).astype(DTYPE)
+
+    def accuracy(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        probs = self._probs(logits)
+        labels = np.asarray(labels).reshape(-1)
+        return float((probs.argmax(axis=1) == labels).mean())
+
+
+class MSELoss:
+    """Mean squared error over all elements; used for regression heads."""
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        pred = np.asarray(pred, dtype=DTYPE)
+        target = np.asarray(target, dtype=DTYPE)
+        if pred.shape != target.shape:
+            raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+        return float(((pred - target) ** 2).mean())
+
+    def grad(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        pred = np.asarray(pred, dtype=DTYPE)
+        target = np.asarray(target, dtype=DTYPE)
+        return (2.0 * (pred - target) / pred.size).astype(DTYPE)
+
+
+def pairwise_squared_distances(x: np.ndarray) -> np.ndarray:
+    """All-pairs squared Euclidean distances of the rows of ``x``.
+
+    Shared helper for batch-hard mining and KNN heads. Clamped at zero to
+    absorb negative values from floating-point cancellation.
+    """
+    x = _as2d(x, "x")
+    sq = (x * x).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    return np.maximum(d2, 0.0)
+
+
+class BatchHardTripletLoss:
+    """Batch-hard triplet loss (Hermans et al. 2017) for ablations.
+
+    For each sample, the hardest positive (farthest same-label) and hardest
+    negative (closest different-label) *within the batch* are mined. This
+    is the generic alternative to STONE's floorplan-aware selection; the
+    ablation bench contrasts the two.
+    """
+
+    def __init__(self, margin: float = 0.2) -> None:
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self.margin = float(margin)
+
+    def _mine(
+        self, emb: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        emb = _as2d(emb, "embeddings")
+        labels = np.asarray(labels).reshape(-1)
+        if labels.shape[0] != emb.shape[0]:
+            raise ValueError("labels must match batch size")
+        d2 = pairwise_squared_distances(emb)
+        same = labels[:, None] == labels[None, :]
+        eye = np.eye(emb.shape[0], dtype=bool)
+        pos_mask = same & ~eye
+        neg_mask = ~same
+        if not pos_mask.any(axis=1).all() or not neg_mask.any(axis=1).all():
+            raise ValueError(
+                "every batch row needs at least one positive and one negative; "
+                "use a PK-style batch sampler"
+            )
+        d_pos = np.where(pos_mask, d2, -np.inf)
+        d_neg = np.where(neg_mask, d2, np.inf)
+        hardest_pos = d_pos.argmax(axis=1)
+        hardest_neg = d_neg.argmin(axis=1)
+        return d2, same, hardest_pos, hardest_neg
+
+    def value(self, emb: np.ndarray, labels: np.ndarray) -> float:
+        d2, _, hp, hn = self._mine(emb, labels)
+        idx = np.arange(d2.shape[0])
+        viol = d2[idx, hp] - d2[idx, hn] + self.margin
+        return float(np.maximum(viol, 0.0).mean())
+
+    def grad(self, emb: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        emb = _as2d(emb, "embeddings")
+        d2, _, hp, hn = self._mine(emb, labels)
+        idx = np.arange(d2.shape[0])
+        viol = d2[idx, hp] - d2[idx, hn] + self.margin
+        active = viol > 0
+        grad = np.zeros_like(emb)
+        batch = emb.shape[0]
+        for i in np.flatnonzero(active):
+            p, n = hp[i], hn[i]
+            # d/d(emb) of ||e_i - e_p||^2 - ||e_i - e_n||^2.
+            grad[i] += 2.0 * (emb[n] - emb[p])
+            grad[p] += 2.0 * (emb[p] - emb[i])
+            grad[n] += 2.0 * (emb[i] - emb[n])
+        return (grad / batch).astype(DTYPE)

@@ -1,0 +1,230 @@
+"""First-order optimizers.
+
+Optimizers operate on flat dicts ``{param_id: array}`` so they are agnostic
+to model structure. ``Sequential.parameters()`` produces stable string ids
+like ``"3.W"`` (layer index + parameter name); slot state (momentum, Adam
+moments) is keyed the same way and survives across steps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .initializers import DTYPE
+
+ParamDict = "dict[str, np.ndarray]"
+
+
+def clip_grads_by_norm(
+    grads: dict[str, np.ndarray], max_norm: float
+) -> tuple[dict[str, np.ndarray], float]:
+    """Scale the full gradient so its global L2 norm is at most ``max_norm``.
+
+    Returns (possibly rescaled grads, pre-clip norm). Triplet training can
+    produce spiky gradients when the mining suddenly finds hard triplets;
+    norm clipping keeps Adam's second moment from being poisoned.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads.values())))
+    if total <= max_norm or total == 0.0:
+        return grads, total
+    scale = max_norm / total
+    return {k: (g * scale).astype(DTYPE) for k, g in grads.items()}, total
+
+
+class Optimizer:
+    """Base optimizer; subclasses implement :meth:`_update_one`."""
+
+    def __init__(self, lr: float, *, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+        self.iterations = 0
+
+    def step(
+        self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]
+    ) -> None:
+        """Update ``params`` in place from ``grads`` (same keys)."""
+        missing = set(params) - set(grads)
+        if missing:
+            raise KeyError(f"gradients missing for params: {sorted(missing)}")
+        self.iterations += 1
+        for key, p in params.items():
+            g = np.asarray(grads[key], dtype=DTYPE)
+            if g.shape != p.shape:
+                raise ValueError(
+                    f"{key}: grad shape {g.shape} != param shape {p.shape}"
+                )
+            if self.weight_decay > 0.0 and not self._decoupled_decay():
+                g = g + self.weight_decay * p
+            self._update_one(key, p, g)
+            if self.weight_decay > 0.0 and self._decoupled_decay():
+                p -= self.lr * self.weight_decay * p
+
+    def _decoupled_decay(self) -> bool:
+        return False
+
+    def _update_one(self, key: str, p: np.ndarray, g: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def state_keys(self) -> Iterable[str]:
+        return ()
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent: ``p -= lr * g``."""
+
+    def _update_one(self, key: str, p: np.ndarray, g: np.ndarray) -> None:
+        p -= self.lr * g
+
+
+class Momentum(Optimizer):
+    """SGD with (optionally Nesterov) momentum."""
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        *,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(lr, weight_decay=weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def _update_one(self, key: str, p: np.ndarray, g: np.ndarray) -> None:
+        v = self._velocity.get(key)
+        if v is None:
+            v = np.zeros_like(p)
+        v = self.momentum * v - self.lr * g
+        self._velocity[key] = v
+        if self.nesterov:
+            p += self.momentum * v - self.lr * g
+        else:
+            p += v
+
+    def state_keys(self) -> Iterable[str]:
+        return self._velocity.keys()
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        *,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(lr, weight_decay=weight_decay)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+
+    def _update_one(self, key: str, p: np.ndarray, g: np.ndarray) -> None:
+        m = self._m.get(key)
+        v = self._v.get(key)
+        if m is None:
+            m = np.zeros_like(p)
+            v = np.zeros_like(p)
+        m = self.beta1 * m + (1.0 - self.beta1) * g
+        v = self.beta2 * v + (1.0 - self.beta2) * (g * g)
+        self._m[key] = m
+        self._v[key] = v
+        t = self.iterations
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_keys(self) -> Iterable[str]:
+        return self._m.keys()
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _decoupled_decay(self) -> bool:
+        return True
+
+
+class RMSProp(Optimizer):
+    """RMSProp with an exponentially decaying squared-gradient average."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        rho: float = 0.9,
+        eps: float = 1e-8,
+        *,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(lr, weight_decay=weight_decay)
+        if not 0.0 <= rho < 1.0:
+            raise ValueError("rho must be in [0, 1)")
+        self.rho = float(rho)
+        self.eps = float(eps)
+        self._sq: dict[str, np.ndarray] = {}
+
+    def _update_one(self, key: str, p: np.ndarray, g: np.ndarray) -> None:
+        s = self._sq.get(key)
+        if s is None:
+            s = np.zeros_like(p)
+        s = self.rho * s + (1.0 - self.rho) * (g * g)
+        self._sq[key] = s
+        p -= self.lr * g / (np.sqrt(s) + self.eps)
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad: per-parameter learning rates from accumulated squares."""
+
+    def __init__(self, lr: float = 0.01, eps: float = 1e-8, *, weight_decay: float = 0.0) -> None:
+        super().__init__(lr, weight_decay=weight_decay)
+        self.eps = float(eps)
+        self._acc: dict[str, np.ndarray] = {}
+
+    def _update_one(self, key: str, p: np.ndarray, g: np.ndarray) -> None:
+        a = self._acc.get(key)
+        if a is None:
+            a = np.zeros_like(p)
+        a = a + g * g
+        self._acc[key] = a
+        p -= self.lr * g / (np.sqrt(a) + self.eps)
+
+
+_OPTIMIZERS = {
+    "sgd": SGD,
+    "momentum": Momentum,
+    "adam": Adam,
+    "adamw": AdamW,
+    "rmsprop": RMSProp,
+    "adagrad": AdaGrad,
+}
+
+
+def get_optimizer(name: str, lr: Optional[float] = None, **kwargs) -> Optimizer:
+    """Build an optimizer by name, e.g. ``get_optimizer('adam', 1e-3)``."""
+    try:
+        cls = _OPTIMIZERS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_OPTIMIZERS))
+        raise KeyError(f"unknown optimizer {name!r}; known: {known}") from None
+    if lr is not None:
+        kwargs["lr"] = lr
+    return cls(**kwargs)

@@ -1,0 +1,86 @@
+"""Learning-rate schedules.
+
+A schedule is a callable ``(epoch: int) -> float`` returning the learning
+rate to use for that (0-indexed) epoch. The trainer assigns the returned
+value to ``optimizer.lr`` at the start of each epoch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+Schedule = Callable[[int], float]
+
+
+def constant(lr: float) -> Schedule:
+    """Fixed learning rate."""
+    if lr <= 0:
+        raise ValueError("lr must be positive")
+    return lambda epoch: lr
+
+
+def step_decay(lr: float, *, drop: float = 0.5, every: int = 10) -> Schedule:
+    """Multiply the rate by ``drop`` every ``every`` epochs."""
+    if lr <= 0 or not 0 < drop <= 1 or every <= 0:
+        raise ValueError("need lr > 0, 0 < drop <= 1, every > 0")
+
+    def schedule(epoch: int) -> float:
+        return lr * drop ** (epoch // every)
+
+    return schedule
+
+
+def exponential_decay(lr: float, *, gamma: float = 0.95) -> Schedule:
+    """``lr * gamma**epoch``."""
+    if lr <= 0 or not 0 < gamma <= 1:
+        raise ValueError("need lr > 0 and 0 < gamma <= 1")
+    return lambda epoch: lr * gamma**epoch
+
+
+def cosine_decay(lr: float, *, total_epochs: int, min_lr: float = 0.0) -> Schedule:
+    """Cosine annealing from ``lr`` down to ``min_lr`` over ``total_epochs``."""
+    if lr <= 0 or total_epochs <= 0 or min_lr < 0 or min_lr > lr:
+        raise ValueError("invalid cosine schedule parameters")
+
+    def schedule(epoch: int) -> float:
+        t = min(epoch, total_epochs) / total_epochs
+        return min_lr + 0.5 * (lr - min_lr) * (1.0 + math.cos(math.pi * t))
+
+    return schedule
+
+
+def warmup(base: Schedule, *, warmup_epochs: int, start_factor: float = 0.1) -> Schedule:
+    """Linearly ramp from ``start_factor * base(0)`` to ``base`` over warmup."""
+    if warmup_epochs < 0 or not 0 < start_factor <= 1:
+        raise ValueError("invalid warmup parameters")
+
+    def schedule(epoch: int) -> float:
+        if warmup_epochs == 0 or epoch >= warmup_epochs:
+            return base(epoch)
+        frac = epoch / warmup_epochs
+        target = base(warmup_epochs)
+        return target * (start_factor + (1.0 - start_factor) * frac)
+
+    return schedule
+
+
+def piecewise(boundaries: Sequence[int], values: Sequence[float]) -> Schedule:
+    """Piecewise-constant rates: ``values[i]`` until ``boundaries[i]``.
+
+    ``len(values) == len(boundaries) + 1``; the final value applies forever.
+    """
+    if len(values) != len(boundaries) + 1:
+        raise ValueError("need len(values) == len(boundaries) + 1")
+    if any(v <= 0 for v in values):
+        raise ValueError("rates must be positive")
+    if list(boundaries) != sorted(boundaries):
+        raise ValueError("boundaries must be sorted")
+
+    def schedule(epoch: int) -> float:
+        for b, v in zip(boundaries, values):
+            if epoch < b:
+                return v
+        return values[-1]
+
+    return schedule

@@ -1,0 +1,187 @@
+"""Generic supervised training loop for :class:`~repro.nn.model.Sequential`.
+
+This trainer covers the classification/regression baselines (SCNN) and any
+single-branch model. Siamese triplet training has its own specialised loop
+in ``repro.core.siamese`` because it runs three forward passes per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+import numpy as np
+
+from .initializers import DTYPE
+from .model import Sequential
+from .optimizers import Optimizer, clip_grads_by_norm
+from .schedules import Schedule
+
+
+class SupervisedLoss(Protocol):
+    """Structural type for losses usable with :class:`Trainer`."""
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float: ...
+
+    def grad(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray: ...
+
+
+@dataclass
+class History:
+    """Per-epoch training curves accumulated by the trainer."""
+
+    loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    lr: list[float] = field(default_factory=list)
+    extra: dict[str, list[float]] = field(default_factory=dict)
+
+    def record_extra(self, name: str, value: float) -> None:
+        self.extra.setdefault(name, []).append(float(value))
+
+    @property
+    def best_val_loss(self) -> float:
+        return min(self.val_loss) if self.val_loss else float("nan")
+
+
+@dataclass
+class EarlyStopping:
+    """Stop when the monitored loss has not improved for ``patience`` epochs."""
+
+    patience: int = 10
+    min_delta: float = 0.0
+    _best: float = field(default=float("inf"), init=False)
+    _stale: int = field(default=0, init=False)
+
+    def update(self, value: float) -> bool:
+        """Record an epoch value; returns True when training should stop."""
+        if value < self._best - self.min_delta:
+            self._best = value
+            self._stale = 0
+            return False
+        self._stale += 1
+        return self._stale >= self.patience
+
+
+def iterate_minibatches(
+    n: int,
+    batch_size: int,
+    rng: np.random.Generator,
+    *,
+    shuffle: bool = True,
+    drop_last: bool = False,
+):
+    """Yield index arrays covering ``range(n)`` in batches."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = rng.permutation(n) if shuffle else np.arange(n)
+    for start in range(0, n, batch_size):
+        batch = order[start : start + batch_size]
+        if drop_last and batch.shape[0] < batch_size:
+            return
+        yield batch
+
+
+class Trainer:
+    """Minibatch gradient-descent driver.
+
+    Parameters
+    ----------
+    model, loss, optimizer:
+        The pieces being composed. ``loss`` follows the
+        :class:`SupervisedLoss` protocol.
+    schedule:
+        Optional LR schedule ``epoch -> lr``; overrides ``optimizer.lr``
+        at each epoch start.
+    grad_clip_norm:
+        If set, clips the global gradient norm each step.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        loss: SupervisedLoss,
+        optimizer: Optimizer,
+        *,
+        schedule: Optional[Schedule] = None,
+        grad_clip_norm: Optional[float] = None,
+    ) -> None:
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self.grad_clip_norm = grad_clip_norm
+
+    def train_step(
+        self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> float:
+        """One gradient step on a single minibatch; returns the batch loss."""
+        pred, caches = self.model.forward(x, training=True, rng=rng)
+        batch_loss = self.loss.value(pred, y)
+        dpred = self.loss.grad(pred, y)
+        _, grads = self.model.backward(dpred, caches)
+        if self.grad_clip_norm is not None:
+            grads, _ = clip_grads_by_norm(grads, self.grad_clip_norm)
+        self.optimizer.step(self.model.parameters(), grads)
+        return batch_loss
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, *, batch_size: int = 256) -> float:
+        """Mean loss over a dataset in inference mode."""
+        x = np.asarray(x, dtype=DTYPE)
+        total = 0.0
+        count = 0
+        for start in range(0, x.shape[0], batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            pred = self.model.predict(xb, batch_size=batch_size)
+            total += self.loss.value(pred, yb) * xb.shape[0]
+            count += xb.shape[0]
+        return total / max(count, 1)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int,
+        batch_size: int = 32,
+        rng: Optional[np.random.Generator] = None,
+        validation: Optional[tuple[np.ndarray, np.ndarray]] = None,
+        early_stopping: Optional[EarlyStopping] = None,
+        on_epoch_end: Optional[Callable[[int, History], None]] = None,
+        verbose: bool = False,
+    ) -> History:
+        """Train for ``epochs`` passes over ``(x, y)``; returns the history."""
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        x = np.asarray(x, dtype=DTYPE)
+        if x.shape[0] != np.asarray(y).shape[0]:
+            raise ValueError("x and y must have matching first dimensions")
+        rng = rng or np.random.default_rng()
+        history = History()
+        for epoch in range(epochs):
+            if self.schedule is not None:
+                self.optimizer.lr = float(self.schedule(epoch))
+            epoch_loss = 0.0
+            seen = 0
+            for batch in iterate_minibatches(x.shape[0], batch_size, rng):
+                batch_loss = self.train_step(x[batch], np.asarray(y)[batch], rng)
+                epoch_loss += batch_loss * batch.shape[0]
+                seen += batch.shape[0]
+            history.loss.append(epoch_loss / max(seen, 1))
+            history.lr.append(self.optimizer.lr)
+            if validation is not None:
+                history.val_loss.append(self.evaluate(*validation))
+            if verbose:  # pragma: no cover - console I/O
+                msg = f"epoch {epoch + 1}/{epochs} loss={history.loss[-1]:.4f}"
+                if validation is not None:
+                    msg += f" val_loss={history.val_loss[-1]:.4f}"
+                print(msg)
+            if on_epoch_end is not None:
+                on_epoch_end(epoch, history)
+            if early_stopping is not None:
+                monitored = (
+                    history.val_loss[-1] if validation is not None else history.loss[-1]
+                )
+                if early_stopping.update(monitored):
+                    break
+        return history

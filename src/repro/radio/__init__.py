@@ -1,0 +1,73 @@
+"""``repro.radio`` — simulated WiFi RSSI measurement substrate.
+
+Stands in for the paper's physical measurement campaigns (UJI corpus, LG
+V20 Office/Basement surveys). Composes propagation, shadowing, temporal
+variation, AP lifecycle schedules and a device model into reproducible
+scan sampling. See DESIGN.md section 5 for the substitution argument.
+"""
+
+from .access_point import (
+    DEFAULT_DETECTION_THRESHOLD_DBM,
+    NO_SIGNAL_DBM,
+    AccessPoint,
+    ap_locations,
+    place_access_points,
+)
+from .device import DEVICE_PRESETS, DeviceProfile
+from .ephemerality import (
+    APStatus,
+    EphemeralitySchedule,
+    ephemerality_report,
+    office_like_schedule,
+    stable_schedule,
+    uji_like_schedule,
+)
+from .propagation import (
+    ENVIRONMENT_PRESETS,
+    LogDistancePathLoss,
+    MultiWallPropagation,
+    make_propagation,
+)
+from .sampler import RadioEnvironment
+from .shadowing import ShadowingField, ShadowingModel
+from .temporal import TEMPORAL_PRESETS, OUDrift, TemporalConfig, TemporalModel, occupancy
+from .time import (
+    HOURS_PER_DAY,
+    HOURS_PER_MONTH,
+    SimTime,
+    collection_instance_times,
+    monthly_times,
+)
+
+__all__ = [
+    "NO_SIGNAL_DBM",
+    "DEFAULT_DETECTION_THRESHOLD_DBM",
+    "AccessPoint",
+    "place_access_points",
+    "ap_locations",
+    "DeviceProfile",
+    "DEVICE_PRESETS",
+    "APStatus",
+    "EphemeralitySchedule",
+    "stable_schedule",
+    "office_like_schedule",
+    "uji_like_schedule",
+    "ephemerality_report",
+    "LogDistancePathLoss",
+    "MultiWallPropagation",
+    "make_propagation",
+    "ENVIRONMENT_PRESETS",
+    "ShadowingField",
+    "ShadowingModel",
+    "OUDrift",
+    "TemporalConfig",
+    "TemporalModel",
+    "TEMPORAL_PRESETS",
+    "occupancy",
+    "SimTime",
+    "collection_instance_times",
+    "monthly_times",
+    "HOURS_PER_DAY",
+    "HOURS_PER_MONTH",
+    "RadioEnvironment",
+]

@@ -1,0 +1,116 @@
+"""WiFi access points and deployment generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..geometry.floorplan import Floorplan
+
+NO_SIGNAL_DBM = -100.0
+DEFAULT_DETECTION_THRESHOLD_DBM = -95.0
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """A deployed WiFi access point.
+
+    ``generation`` distinguishes an original AP from its replacement: when
+    network administrators swap hardware, the BSSID changes and the old
+    fingerprint dimension permanently reads "no signal" while a new
+    dimension lights up — exactly the catastrophic fingerprint change the
+    paper studies (Sec. IV.C). The replacement keeps the slot but changes
+    location/power, so we bump ``generation`` instead of allocating a new
+    column (the column count is fixed by the offline phase).
+    """
+
+    ap_id: int
+    location: tuple[float, float]
+    tx_power_dbm: float = -8.0
+    channel: int = 1
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ap_id < 0:
+            raise ValueError("ap_id must be non-negative")
+        if not -40.0 <= self.tx_power_dbm <= 0.0:
+            raise ValueError(
+                f"tx_power_dbm {self.tx_power_dbm} outside plausible [-40, 0] range"
+            )
+
+    def replaced(
+        self,
+        *,
+        location: Optional[tuple[float, float]] = None,
+        tx_power_dbm: Optional[float] = None,
+        channel: Optional[int] = None,
+    ) -> "AccessPoint":
+        """A next-generation AP occupying the same fingerprint slot."""
+        return replace(
+            self,
+            location=location if location is not None else self.location,
+            tx_power_dbm=tx_power_dbm if tx_power_dbm is not None else self.tx_power_dbm,
+            channel=channel if channel is not None else self.channel,
+            generation=self.generation + 1,
+        )
+
+
+def place_access_points(
+    floorplan: Floorplan,
+    n_aps: int,
+    rng: np.random.Generator,
+    *,
+    tx_power_dbm: tuple[float, float] = (-14.0, -2.0),
+    indoor_fraction: float = 0.7,
+    outside_margin: float = 6.0,
+) -> list[AccessPoint]:
+    """Scatter ``n_aps`` access points in and around a floorplan.
+
+    Real buildings see APs both on the surveyed floor and in neighbouring
+    spaces (other floors, adjacent wings) whose signals bleed in weakly;
+    ``indoor_fraction`` of APs land inside the bounds, the rest in a margin
+    band around them. Channels cycle over the 2.4 GHz non-overlapping set.
+    """
+    if n_aps <= 0:
+        raise ValueError("n_aps must be positive")
+    if not 0.0 <= indoor_fraction <= 1.0:
+        raise ValueError("indoor_fraction must be in [0, 1]")
+    aps: list[AccessPoint] = []
+    n_inside = int(round(n_aps * indoor_fraction))
+    for ap_id in range(n_aps):
+        if ap_id < n_inside:
+            x = rng.uniform(0.0, floorplan.width)
+            y = rng.uniform(0.0, floorplan.height)
+        else:
+            # Ring around the floorplan: offset one side at random.
+            side = rng.integers(0, 4)
+            if side == 0:
+                x = rng.uniform(-outside_margin, 0.0)
+                y = rng.uniform(-outside_margin, floorplan.height + outside_margin)
+            elif side == 1:
+                x = rng.uniform(floorplan.width, floorplan.width + outside_margin)
+                y = rng.uniform(-outside_margin, floorplan.height + outside_margin)
+            elif side == 2:
+                x = rng.uniform(-outside_margin, floorplan.width + outside_margin)
+                y = rng.uniform(-outside_margin, 0.0)
+            else:
+                x = rng.uniform(-outside_margin, floorplan.width + outside_margin)
+                y = rng.uniform(floorplan.height, floorplan.height + outside_margin)
+        power = rng.uniform(*tx_power_dbm)
+        channel = (1, 6, 11)[ap_id % 3]
+        aps.append(
+            AccessPoint(
+                ap_id=ap_id,
+                location=(float(x), float(y)),
+                tx_power_dbm=float(power),
+                channel=channel,
+            )
+        )
+    return aps
+
+
+def ap_locations(aps: Sequence[AccessPoint]) -> np.ndarray:
+    """``(n_aps, 2)`` array of AP coordinates."""
+    return np.array([ap.location for ap in aps], dtype=np.float64)

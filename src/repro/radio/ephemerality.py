@@ -1,0 +1,184 @@
+"""AP removal/replacement schedules (fingerprint "ephemerality").
+
+The paper's Fig. 4 plots which APs are visible at each collection
+instance: visibility is stable early, then ~20% of APs disappear after
+CI:11 on the measured paths, while the UJI dataset loses/changes ~50% of
+its APs around month 11 (Sec. V.A.2). These schedules reproduce that
+structure, plus the low-level "flicker" of weak APs that drop in and out
+of individual scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class APStatus(Enum):
+    """Lifecycle state of an AP at a given epoch."""
+
+    ACTIVE = "active"
+    REMOVED = "removed"
+    REPLACED = "replaced"
+
+
+@dataclass
+class EphemeralitySchedule:
+    """Per-epoch AP lifecycle matrix.
+
+    ``status[e, a]`` gives the :class:`APStatus` of AP ``a`` during epoch
+    ``e`` (an epoch is a CI for the measured paths, a month for UJI).
+    ``REMOVED`` APs read no-signal forever after; ``REPLACED`` APs keep
+    transmitting but with new hardware — new location/power/spatial
+    pattern — so the old fingerprint dimension changes character rather
+    than going dark.
+    """
+
+    status: np.ndarray  # (n_epochs, n_aps) of APStatus
+
+    def __post_init__(self) -> None:
+        self.status = np.asarray(self.status, dtype=object)
+        if self.status.ndim != 2:
+            raise ValueError("status must be (n_epochs, n_aps)")
+
+    @property
+    def n_epochs(self) -> int:
+        return int(self.status.shape[0])
+
+    @property
+    def n_aps(self) -> int:
+        return int(self.status.shape[1])
+
+    def is_active(self, epoch: int, ap_id: int) -> bool:
+        return self.status[epoch, ap_id] is not APStatus.REMOVED
+
+    def generation(self, epoch: int, ap_id: int) -> int:
+        """How many times AP ``ap_id`` has been replaced by ``epoch``."""
+        col = self.status[: epoch + 1, ap_id]
+        gen = 0
+        prev_replaced = False
+        for s in col:
+            replaced = s is APStatus.REPLACED
+            if replaced and not prev_replaced:
+                gen += 1
+            prev_replaced = replaced
+        return gen
+
+    def visibility_matrix(self) -> np.ndarray:
+        """Boolean (n_epochs, n_aps): True where the AP transmits (Fig. 4)."""
+        return np.vectorize(lambda s: s is not APStatus.REMOVED)(self.status)
+
+    def removed_fraction(self, epoch: int) -> float:
+        """Fraction of APs not transmitting at ``epoch``."""
+        row = self.status[epoch]
+        removed = sum(1 for s in row if s is APStatus.REMOVED)
+        return removed / self.n_aps
+
+
+def stable_schedule(n_epochs: int, n_aps: int) -> EphemeralitySchedule:
+    """All APs active at every epoch (control condition)."""
+    status = np.full((n_epochs, n_aps), APStatus.ACTIVE, dtype=object)
+    return EphemeralitySchedule(status)
+
+
+def office_like_schedule(
+    n_aps: int,
+    rng: np.random.Generator,
+    *,
+    n_epochs: int = 16,
+    drop_after_epoch: int = 11,
+    drop_fraction: float = 0.20,
+    sporadic_rate: float = 0.02,
+) -> EphemeralitySchedule:
+    """Fig. 4-style schedule for the measured paths.
+
+    Stable visibility up to ``drop_after_epoch``; beyond it,
+    ``drop_fraction`` of APs are permanently removed (the paper: "beyond
+    [CI:11], ~20% of WiFi APs become unavailable"). ``sporadic_rate``
+    adds the occasional one-epoch outage of a random AP, which Fig. 4
+    also shows as isolated black marks before CI:11.
+    """
+    if not 0.0 <= drop_fraction <= 1.0:
+        raise ValueError("drop_fraction must be in [0, 1]")
+    if not 0 <= drop_after_epoch < n_epochs:
+        raise ValueError("drop_after_epoch must be a valid epoch")
+    status = np.full((n_epochs, n_aps), APStatus.ACTIVE, dtype=object)
+    n_drop = int(round(n_aps * drop_fraction))
+    dropped = rng.choice(n_aps, size=n_drop, replace=False)
+    for ap in dropped:
+        # Removal epoch staggered over the post-CI:11 window.
+        start = int(rng.integers(drop_after_epoch + 1, n_epochs))
+        status[start:, ap] = APStatus.REMOVED
+    for epoch in range(n_epochs):
+        for ap in range(n_aps):
+            if status[epoch, ap] is APStatus.ACTIVE and rng.random() < sporadic_rate:
+                status[epoch, ap] = APStatus.REMOVED
+    return EphemeralitySchedule(status)
+
+
+def uji_like_schedule(
+    n_aps: int,
+    rng: np.random.Generator,
+    *,
+    n_epochs: int = 16,
+    change_epoch: int = 11,
+    change_fraction: float = 0.50,
+    replace_share: float = 0.5,
+    sporadic_rate: float = 0.01,
+) -> EphemeralitySchedule:
+    """UJI-style schedule: ~50% of APs change around month 11.
+
+    Epoch 0 is the training month. Of the changed APs, ``replace_share``
+    are *replaced* (new hardware, same slot) and the rest are *removed*
+    outright — the paper's Sec. II notes the UJI change includes both.
+    """
+    if not 0.0 <= change_fraction <= 1.0 or not 0.0 <= replace_share <= 1.0:
+        raise ValueError("fractions must be in [0, 1]")
+    if not 0 <= change_epoch < n_epochs:
+        raise ValueError("change_epoch must be a valid epoch")
+    status = np.full((n_epochs, n_aps), APStatus.ACTIVE, dtype=object)
+    n_change = int(round(n_aps * change_fraction))
+    changed = rng.choice(n_aps, size=n_change, replace=False)
+    n_replace = int(round(n_change * replace_share))
+    for idx, ap in enumerate(changed):
+        start = int(
+            np.clip(change_epoch + rng.integers(0, 2), 0, n_epochs - 1)
+        )
+        if idx < n_replace:
+            status[start:, ap] = APStatus.REPLACED
+        else:
+            status[start:, ap] = APStatus.REMOVED
+    for epoch in range(n_epochs):
+        for ap in range(n_aps):
+            if status[epoch, ap] is APStatus.ACTIVE and rng.random() < sporadic_rate:
+                status[epoch, ap] = APStatus.REMOVED
+    return EphemeralitySchedule(status)
+
+
+def ephemerality_report(
+    schedule: EphemeralitySchedule, epoch_labels: Optional[Sequence[str]] = None
+) -> str:
+    """ASCII rendition of Fig. 4: rows = epochs, columns = APs.
+
+    ``#`` marks an AP that is *not* observed (matching the figure's black
+    marks), ``.`` an active AP, ``R`` a replaced one.
+    """
+    lines = []
+    labels = epoch_labels or [f"e{e:02d}" for e in range(schedule.n_epochs)]
+    if len(labels) != schedule.n_epochs:
+        raise ValueError("epoch_labels length must match n_epochs")
+    for e in range(schedule.n_epochs):
+        row = []
+        for a in range(schedule.n_aps):
+            s = schedule.status[e, a]
+            if s is APStatus.REMOVED:
+                row.append("#")
+            elif s is APStatus.REPLACED:
+                row.append("R")
+            else:
+                row.append(".")
+        lines.append(f"{labels[e]:>6} |{''.join(row)}|")
+    return "\n".join(lines)

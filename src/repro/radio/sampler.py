@@ -1,0 +1,339 @@
+"""Fingerprint sampling: the full simulated measurement chain.
+
+``RadioEnvironment`` composes floorplan geometry, AP deployment,
+propagation, shadowing, temporal variation, the AP lifecycle schedule and
+a device profile into a single object whose :meth:`scan` produces one WiFi
+scan — the (n_aps,) RSSI vector in dBm with -100 for unobserved APs —
+exactly the raw record the paper's offline/online phases capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..geometry.floorplan import Floorplan
+from .access_point import NO_SIGNAL_DBM, AccessPoint
+from .device import DeviceProfile
+from .ephemerality import EphemeralitySchedule
+from .propagation import MultiWallPropagation
+from .seeding import stable_seed
+from .shadowing import ShadowingModel
+from .temporal import TemporalModel
+from .time import SimTime
+
+
+@dataclass
+class RadioEnvironment:
+    """A fully specified simulated radio deployment.
+
+    ``fading_std_db`` is the small-scale (per-scan) fading magnitude; the
+    per-scan noise also includes device noise, co-channel interference,
+    and the activity-dependent component from the temporal model, all
+    added in quadrature.
+    """
+
+    floorplan: Floorplan
+    access_points: list[AccessPoint]
+    propagation: MultiWallPropagation
+    shadowing: ShadowingModel
+    temporal: TemporalModel
+    device: DeviceProfile = field(default_factory=DeviceProfile)
+    schedule: Optional[EphemeralitySchedule] = None
+    fading_std_db: float = 1.5
+    base_seed: int = 0
+    _replacements: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.fading_std_db < 0:
+            raise ValueError("fading_std_db must be non-negative")
+        if not self.access_points:
+            raise ValueError("environment needs at least one access point")
+        if self.schedule is not None and self.schedule.n_aps != len(self.access_points):
+            raise ValueError(
+                f"schedule covers {self.schedule.n_aps} APs but deployment has "
+                f"{len(self.access_points)}"
+            )
+
+    @property
+    def n_aps(self) -> int:
+        return len(self.access_points)
+
+    # -- AP lifecycle -----------------------------------------------------------
+
+    def _effective_ap(self, ap_id: int, epoch: Optional[int]) -> Optional[AccessPoint]:
+        """The AP transmitting in slot ``ap_id`` at ``epoch`` (None if removed)."""
+        ap = self.access_points[ap_id]
+        if self.schedule is None or epoch is None:
+            return ap
+        if not self.schedule.is_active(epoch, ap_id):
+            return None
+        gen = self.schedule.generation(epoch, ap_id)
+        if gen == 0:
+            return ap
+        key = (ap_id, gen)
+        replacement = self._replacements.get(key)
+        if replacement is None:
+            rng = np.random.default_rng(stable_seed(self.base_seed, "replace", ap_id, gen))
+            # Replacement hardware: nearby but not identical placement,
+            # fresh transmit power, new generation tag (new shadow field).
+            dx, dy = rng.normal(0.0, 3.0, size=2)
+            x = float(np.clip(ap.location[0] + dx, 0.0, self.floorplan.width))
+            y = float(np.clip(ap.location[1] + dy, 0.0, self.floorplan.height))
+            replacement = ap.replaced(
+                location=(x, y),
+                tx_power_dbm=float(np.clip(rng.uniform(-14.0, -2.0), -40.0, 0.0)),
+            )
+            replacement = AccessPoint(
+                ap_id=ap.ap_id,
+                location=replacement.location,
+                tx_power_dbm=replacement.tx_power_dbm,
+                channel=replacement.channel,
+                generation=gen,
+            )
+            self._replacements[key] = replacement
+        return replacement
+
+    # -- signal chain ----------------------------------------------------------
+
+    def mean_rssi_dbm(
+        self,
+        ap_id: int,
+        location: Sequence[float],
+        time: SimTime,
+        *,
+        epoch: Optional[int] = None,
+    ) -> float:
+        """Expected received power before per-scan noise and detection.
+
+        Includes path loss, walls, spatial shadowing (with the furniture
+        layer at its current weight), slow drift, and the mean activity
+        attenuation. Returns ``NO_SIGNAL_DBM`` when the AP is removed.
+        """
+        ap = self._effective_ap(ap_id, epoch)
+        if ap is None:
+            return NO_SIGNAL_DBM
+        x, y = float(location[0]), float(location[1])
+        rssi = self.propagation.mean_rssi_dbm(ap.tx_power_dbm, ap.location, (x, y))
+        rssi += self.shadowing.shadow_db(
+            ap_id,
+            x,
+            y,
+            furniture_weight=self.temporal.furniture_weight(time),
+            generation=ap.generation,
+        )
+        rssi += self.temporal.drift_db(ap_id, time)
+        rssi -= self._activity_sensitivity(ap_id, x, y) * (
+            self.temporal.activity_attenuation_db(time)
+        )
+        return float(rssi)
+
+    def _activity_sensitivity(self, ap_id: int, x: float, y: float) -> float:
+        """How strongly human activity attenuates one AP at one spot.
+
+        Crowds block some AP->receiver paths and not others (a body in the
+        Fresnel zone of one link leaves another untouched). A logistic
+        squash of an independent shadowing layer gives a per-(AP, place)
+        sensitivity in (0, 1) that is stable in space and across time —
+        the *pattern* of busy-hour attenuation repeats daily, which is
+        exactly why morning-trained models mislocate in the afternoon.
+        """
+        fld = self.shadowing.field_for(ap_id, layer=7777)
+        raw = fld.value_db(x, y) / max(self.shadowing.sigma_db, 1e-9)
+        return float(1.0 / (1.0 + np.exp(-2.0 * raw)))
+
+    def scan_noise_std_db(self, time: SimTime) -> float:
+        """Total per-scan noise sigma at ``time`` (quadrature sum)."""
+        parts = np.array(
+            [
+                self.fading_std_db,
+                self.device.noise_std_db,
+                self.temporal.interference_std_db(),
+                self.temporal.activity_noise_std_db(time),
+            ]
+        )
+        return float(np.sqrt((parts**2).sum()))
+
+    def scan(
+        self,
+        location: Sequence[float],
+        time: SimTime,
+        rng: np.random.Generator,
+        *,
+        epoch: Optional[int] = None,
+    ) -> np.ndarray:
+        """One WiFi scan: ``(n_aps,)`` RSSI in dBm, -100 for unobserved.
+
+        The device's detection threshold is applied after noise, so weak
+        APs flicker between scans — the short-term variability STONE's
+        Gaussian-noise input layer is designed to absorb.
+        """
+        fading_sigma = float(
+            np.sqrt(
+                self.fading_std_db**2
+                + self.temporal.interference_std_db() ** 2
+                + self.temporal.activity_noise_std_db(time) ** 2
+            )
+        )
+        out = np.full(self.n_aps, NO_SIGNAL_DBM, dtype=np.float64)
+        for ap_id in range(self.n_aps):
+            mean = self.mean_rssi_dbm(ap_id, location, time, epoch=epoch)
+            if mean <= NO_SIGNAL_DBM:
+                continue
+            true_power = mean + rng.normal(0.0, fading_sigma)
+            out[ap_id] = self.device.measure(true_power, rng)
+        return out
+
+    # -- vectorized RP fast path --------------------------------------------
+
+    def _epoch_arrays(
+        self, epoch: Optional[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Effective (locations, tx powers, generations, active mask) per epoch.
+
+        Cached: the AP lifecycle only changes between epochs, never within
+        one, so dataset generation reuses these arrays for every scan of a
+        collection instance.
+        """
+        key = ("epoch", epoch)
+        hit = self._replacements.get(key)
+        if hit is not None:
+            return hit
+        locs = np.empty((self.n_aps, 2), dtype=np.float64)
+        tx = np.empty(self.n_aps, dtype=np.float64)
+        gens = np.zeros(self.n_aps, dtype=np.int64)
+        active = np.ones(self.n_aps, dtype=bool)
+        for ap_id in range(self.n_aps):
+            ap = self._effective_ap(ap_id, epoch)
+            if ap is None:
+                active[ap_id] = False
+                locs[ap_id] = self.access_points[ap_id].location
+                tx[ap_id] = NO_SIGNAL_DBM
+                continue
+            locs[ap_id] = ap.location
+            tx[ap_id] = ap.tx_power_dbm
+            gens[ap_id] = ap.generation
+        result = (locs, tx, gens, active)
+        self._replacements[key] = result
+        return result
+
+    def _structure_db(
+        self, rp_index: int, epoch: Optional[int], furniture_weight: float
+    ) -> np.ndarray:
+        """Wall attenuation + shadowing vector at an RP, cached.
+
+        Walls and shadowing are evaluated at the exact RP location; the
+        sub-meter capture jitter is folded into the fading noise instead,
+        which preserves the scan statistics while making the expensive
+        geometric terms cacheable.
+        """
+        weight_key = round(furniture_weight, 3)
+        key = ("structure", rp_index, epoch, weight_key)
+        hit = self._replacements.get(key)
+        if hit is not None:
+            return hit
+        locs, _, gens, active = self._epoch_arrays(epoch)
+        rp_loc = self.floorplan.reference_points[rp_index]
+        out = np.zeros(self.n_aps, dtype=np.float64)
+        for ap_id in range(self.n_aps):
+            if not active[ap_id]:
+                continue
+            wall = min(
+                self.floorplan.attenuation_db(locs[ap_id], rp_loc),
+                self.propagation.wall_loss_cap_db,
+            )
+            shadow = self.shadowing.shadow_db(
+                ap_id,
+                float(rp_loc[0]),
+                float(rp_loc[1]),
+                furniture_weight=furniture_weight,
+                generation=int(gens[ap_id]),
+            )
+            out[ap_id] = shadow - wall
+        self._replacements[key] = out
+        return out
+
+    def _activity_sens_vector(self, rp_index: int) -> np.ndarray:
+        """Per-AP activity sensitivity at an RP (cached; epoch-invariant)."""
+        key = ("act-sens", rp_index)
+        hit = self._replacements.get(key)
+        if hit is not None:
+            return hit
+        rp_loc = self.floorplan.reference_points[rp_index]
+        out = np.array(
+            [
+                self._activity_sensitivity(ap_id, float(rp_loc[0]), float(rp_loc[1]))
+                for ap_id in range(self.n_aps)
+            ]
+        )
+        self._replacements[key] = out
+        return out
+
+    def _drift_vector(self, time: SimTime) -> np.ndarray:
+        """Per-AP slow-drift offsets at ``time``, cached per query time."""
+        key = ("drift", round(time.hours, 6))
+        hit = self._replacements.get(key)
+        if hit is not None:
+            return hit
+        out = np.array(
+            [self.temporal.drift_db(ap_id, time) for ap_id in range(self.n_aps)]
+        )
+        self._replacements[key] = out
+        return out
+
+    def scan_at_rp(
+        self,
+        rp_index: int,
+        time: SimTime,
+        rng: np.random.Generator,
+        *,
+        epoch: Optional[int] = None,
+        position_jitter_m: float = 0.15,
+    ) -> np.ndarray:
+        """A scan captured while standing at RP ``rp_index`` (vectorized).
+
+        Surveyors do not stand on the exact same square centimetre twice;
+        ``position_jitter_m`` wiggles the path-loss distance accordingly
+        (walls/shadowing use the nominal RP location — a sub-meter
+        approximation that keeps those terms cacheable).
+        """
+        locs, tx, _, active = self._epoch_arrays(epoch)
+        rp_loc = self.floorplan.rp_location(rp_index)
+        if position_jitter_m > 0:
+            rp_loc = rp_loc + rng.normal(0.0, position_jitter_m, size=2)
+        diff = locs - rp_loc[None, :]
+        dist = np.sqrt((diff * diff).sum(axis=1))
+        pl = self.propagation.path_loss.loss_db_array(dist)
+        weight = self.temporal.furniture_weight(time)
+        structure = self._structure_db(rp_index, epoch, weight)
+        mean = tx - pl + structure + self._drift_vector(time)
+        mean -= self._activity_sens_vector(rp_index) * (
+            self.temporal.activity_attenuation_db(time)
+        )
+        fading_sigma = float(
+            np.sqrt(
+                self.fading_std_db**2
+                + self.temporal.interference_std_db() ** 2
+                + self.temporal.activity_noise_std_db(time) ** 2
+            )
+        )
+        true_power = mean + rng.normal(0.0, fading_sigma, size=self.n_aps)
+        out = self.device.measure_array(true_power, rng)
+        out[~active] = NO_SIGNAL_DBM
+        return out
+
+    def visible_ap_count(self, time: SimTime, *, epoch: Optional[int] = None) -> int:
+        """APs with detectable mean power at any RP — Fig. 3's annotation."""
+        count = 0
+        threshold = self.device.detection_threshold_dbm
+        for ap_id in range(self.n_aps):
+            for rp in range(self.floorplan.n_reference_points):
+                mean = self.mean_rssi_dbm(
+                    ap_id, self.floorplan.reference_points[rp], time, epoch=epoch
+                )
+                if mean > threshold:
+                    count += 1
+                    break
+        return count

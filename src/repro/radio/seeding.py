@@ -1,0 +1,23 @@
+"""Stable seed derivation for named random streams.
+
+Python's built-in ``hash`` is randomized per process for strings
+(PYTHONHASHSEED), so ``hash((seed, "drift", ap_id))`` would give each
+*process* a different simulation — silently breaking cross-run
+reproducibility. ``stable_seed`` derives a 32-bit seed from its arguments
+with CRC32, which is deterministic everywhere.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Union
+
+Token = Union[int, str]
+
+
+def stable_seed(*tokens: Token) -> int:
+    """A deterministic 32-bit seed from a sequence of ints/strings."""
+    payload = "\x1f".join(
+        f"i{t}" if isinstance(t, int) else f"s{t}" for t in tokens
+    ).encode("utf-8")
+    return zlib.crc32(payload) & 0xFFFFFFFF

@@ -1,0 +1,59 @@
+"""Online-phase trajectory tracking on top of scan-level localization.
+
+The paper's deployment target is a *moving* smartphone user (Sec. IV.A's
+online phase). This package simulates such walks against the radio
+substrate and provides temporal smoothers — a reference-point HMM
+(filtering, forward-backward, Viterbi), a particle filter, and an EMA
+control — that turn any :class:`~repro.baselines.base.Localizer`'s
+scan-by-scan output into a coherent track.
+"""
+
+from .emissions import CoordinateEmission, EmbeddingEmission, EmissionModel
+from .filters import (
+    ExponentialSmoother,
+    FilterResult,
+    ParticleFilter,
+    systematic_resample,
+)
+from .hmm import HiddenMarkovSmoother, HMMResult, motion_transition_matrix
+from .metrics import TrackingSummary, rp_hit_rate, tracking_errors
+from .pipeline import (
+    TRACKING_METHODS,
+    compare_tracking_methods,
+    make_emission,
+    track_trajectory,
+)
+from .trajectory import (
+    Trajectory,
+    interpolate_path,
+    random_waypoints,
+    simulate_path_walk,
+    simulate_random_walk,
+    simulate_walk,
+)
+
+__all__ = [
+    "CoordinateEmission",
+    "EmbeddingEmission",
+    "EmissionModel",
+    "ExponentialSmoother",
+    "FilterResult",
+    "HMMResult",
+    "HiddenMarkovSmoother",
+    "ParticleFilter",
+    "TRACKING_METHODS",
+    "TrackingSummary",
+    "Trajectory",
+    "compare_tracking_methods",
+    "interpolate_path",
+    "make_emission",
+    "motion_transition_matrix",
+    "random_waypoints",
+    "rp_hit_rate",
+    "simulate_path_walk",
+    "simulate_random_walk",
+    "simulate_walk",
+    "systematic_resample",
+    "track_trajectory",
+    "tracking_errors",
+]

@@ -1,0 +1,106 @@
+"""Per-scan emission likelihoods over reference points.
+
+A temporal smoother needs ``P(scan | user at RP)`` for every RP, not
+just a hard per-scan prediction. Two adapters provide that for the
+frameworks in this repository:
+
+- :class:`EmbeddingEmission` — for STONE (or any localizer exposing
+  ``embed_rssi`` plus a fitted :class:`~repro.core.knn_head.KNNHead`):
+  softmax of negative squared embedding distance to each RP's closest
+  reference fingerprint.
+- :class:`CoordinateEmission` — for any :class:`~repro.baselines.base.
+  Localizer`: an isotropic Gaussian kernel around the framework's point
+  estimate, evaluated at every RP coordinate. Coarser, but universal.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..baselines.base import Localizer
+from ..geometry.floorplan import Floorplan
+
+
+class EmissionModel(Protocol):
+    """Anything that scores scans against every reference point."""
+
+    #: RP labels corresponding to the columns of ``log_probabilities``.
+    rp_labels: np.ndarray
+
+    def log_probabilities(self, rssi: np.ndarray) -> np.ndarray:
+        """``(n_scans, n_rps)`` log P(scan | RP), rows normalized."""
+        ...
+
+
+def _normalize_log_rows(scores: np.ndarray) -> np.ndarray:
+    """Shift-and-normalize rows of unnormalized log scores."""
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    return shifted - log_z
+
+
+class EmbeddingEmission:
+    """Soft RP scores from a Siamese-embedding localizer.
+
+    ``temperature`` controls how peaked the per-scan posterior is: the
+    log-likelihood of RP ``r`` is ``-d_r^2 / temperature`` where ``d_r``
+    is the distance from the query embedding to the nearest reference
+    embedding of ``r``. Embeddings live on the unit sphere, so squared
+    distances fall in [0, 4] and a temperature around 0.1 gives usefully
+    contrasting scores.
+    """
+
+    def __init__(self, localizer, *, temperature: float = 0.1) -> None:
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if not hasattr(localizer, "embed_rssi") or not hasattr(localizer, "knn"):
+            raise TypeError(
+                "EmbeddingEmission needs a localizer with embed_rssi() and a "
+                "fitted KNN head (e.g. StoneLocalizer)"
+            )
+        self.localizer = localizer
+        self.temperature = float(temperature)
+        self.rp_labels = localizer.knn.rp_labels
+
+    def log_probabilities(self, rssi: np.ndarray) -> np.ndarray:
+        embeddings = self.localizer.embed_rssi(rssi)
+        labels, distances = self.localizer.knn.per_rp_distances(embeddings)
+        if not np.array_equal(labels, self.rp_labels):  # pragma: no cover
+            raise RuntimeError("KNN reference set changed after construction")
+        return _normalize_log_rows(-(distances**2) / self.temperature)
+
+
+class CoordinateEmission:
+    """Gaussian kernel around any framework's per-scan point estimate.
+
+    ``sigma_m`` is the assumed standard deviation of the framework's
+    scan-level error in meters; RPs within about one sigma of the point
+    estimate receive most of the probability mass.
+    """
+
+    def __init__(
+        self,
+        localizer: Localizer,
+        floorplan: Floorplan,
+        *,
+        sigma_m: float = 3.0,
+    ) -> None:
+        if sigma_m <= 0:
+            raise ValueError("sigma_m must be positive")
+        self.localizer = localizer
+        self.floorplan = floorplan
+        self.sigma_m = float(sigma_m)
+        self.rp_labels = np.arange(floorplan.n_reference_points, dtype=np.int64)
+
+    def log_probabilities(self, rssi: np.ndarray) -> np.ndarray:
+        predicted = self.localizer.predict(rssi)
+        rps = self.floorplan.reference_points
+        d2 = (
+            (predicted**2).sum(axis=1)[:, None]
+            + (rps**2).sum(axis=1)[None, :]
+            - 2.0 * predicted @ rps.T
+        )
+        np.maximum(d2, 0.0, out=d2)
+        return _normalize_log_rows(-d2 / (2.0 * self.sigma_m**2))

@@ -1,0 +1,204 @@
+"""Continuous-state trajectory filters.
+
+Complements the discrete HMM (:mod:`repro.tracking.hmm`) with two
+smoothers operating directly on coordinates:
+
+- :class:`ParticleFilter` — sequential Monte Carlo over the user's
+  (x, y): a random-walk motion prior scaled to walking speed, weighted
+  by the emission model's RP likelihoods at each particle's nearest RP,
+  with systematic resampling.
+- :class:`ExponentialSmoother` — the cheapest possible baseline, an EMA
+  over per-scan point estimates; useful as the "does fancy smoothing
+  even help" control in the tracking benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.floorplan import Floorplan
+from .emissions import EmissionModel
+
+
+@dataclass
+class FilterResult:
+    """Per-step location estimates from a continuous filter."""
+
+    locations: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.locations = np.asarray(self.locations, dtype=np.float64)
+        if self.locations.ndim != 2 or self.locations.shape[1] != 2:
+            raise ValueError("locations must be (n_steps, 2)")
+
+
+def systematic_resample(
+    weights: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Systematic (low-variance) resampling: indices drawn ∝ weights."""
+    weights = np.asarray(weights, dtype=np.float64)
+    n = weights.shape[0]
+    if n == 0:
+        raise ValueError("cannot resample zero particles")
+    total = weights.sum()
+    if total <= 0 or not np.isfinite(total):
+        return np.arange(n)
+    positions = (rng.random() + np.arange(n)) / n
+    cumulative = np.cumsum(weights / total)
+    cumulative[-1] = 1.0
+    return np.searchsorted(cumulative, positions)
+
+
+class ParticleFilter:
+    """Bootstrap particle filter over user coordinates.
+
+    Parameters
+    ----------
+    floorplan:
+        Bounds particles and maps them onto RPs for emission scoring.
+    emission:
+        Per-scan RP likelihoods; a particle is scored by the likelihood
+        of its nearest RP.
+    n_particles:
+        Sample count; a few hundred is plenty for single-floor spaces.
+    speed_mps, scan_interval_s:
+        Set the motion noise scale (one scan's worth of walking).
+    resample_threshold:
+        Resample when the effective sample size falls below this
+        fraction of ``n_particles``.
+    recovery_fraction:
+        Fraction of particles re-seeded from the *current* scan's
+        emission at every step (sensor resetting). Rescues the filter
+        after a stretch of consistently misleading scans, where pure
+        bootstrap filtering collapses onto the wrong mode for good.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        emission: EmissionModel,
+        *,
+        n_particles: int = 300,
+        speed_mps: float = 1.2,
+        scan_interval_s: float = 2.0,
+        resample_threshold: float = 0.5,
+        recovery_fraction: float = 0.05,
+    ) -> None:
+        if n_particles <= 0:
+            raise ValueError("n_particles must be positive")
+        if not 0.0 < resample_threshold <= 1.0:
+            raise ValueError("resample_threshold must be in (0, 1]")
+        if speed_mps <= 0 or scan_interval_s <= 0:
+            raise ValueError("speed and scan interval must be positive")
+        if not 0.0 <= recovery_fraction < 1.0:
+            raise ValueError("recovery_fraction must be in [0, 1)")
+        self.floorplan = floorplan
+        self.emission = emission
+        self.n_particles = int(n_particles)
+        self.step_m = speed_mps * scan_interval_s
+        self.resample_threshold = float(resample_threshold)
+        self.recovery_fraction = float(recovery_fraction)
+        self._label_to_col = {
+            int(label): col for col, label in enumerate(emission.rp_labels)
+        }
+
+    # -- internals ----------------------------------------------------------
+
+    def _nearest_state_cols(self, particles: np.ndarray) -> np.ndarray:
+        """Column (state) index of the nearest *scored* RP per particle."""
+        rps = self.floorplan.reference_points[
+            np.asarray(self.emission.rp_labels, dtype=np.int64)
+        ]
+        d2 = (
+            (particles**2).sum(axis=1)[:, None]
+            + (rps**2).sum(axis=1)[None, :]
+            - 2.0 * particles @ rps.T
+        )
+        return d2.argmin(axis=1)
+
+    def _clip(self, particles: np.ndarray) -> np.ndarray:
+        particles[:, 0] = np.clip(particles[:, 0], 0.0, self.floorplan.width)
+        particles[:, 1] = np.clip(particles[:, 1], 0.0, self.floorplan.height)
+        return particles
+
+    # -- inference ----------------------------------------------------------
+
+    def run(
+        self, rssi: np.ndarray, *, rng: Optional[np.random.Generator] = None
+    ) -> FilterResult:
+        """Filter a whole scan sequence; returns per-step mean estimates."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        log_e = self.emission.log_probabilities(rssi)
+        n_steps = log_e.shape[0]
+        # Bootstrap from the first scan: sample scored RPs proportionally
+        # to their emission likelihood and jitter around them. A uniform
+        # cloud over the bounding box wastes most particles off the
+        # surveyed space and starves the filter on path-shaped floorplans.
+        scored_rps = self.floorplan.reference_points[
+            np.asarray(self.emission.rp_labels, dtype=np.int64)
+        ]
+
+        def seed_from_emission(log_probs: np.ndarray, count: int) -> np.ndarray:
+            p = np.exp(log_probs - log_probs.max())
+            p /= p.sum()
+            seeds = rng.choice(scored_rps.shape[0], size=count, p=p)
+            return self._clip(
+                scored_rps[seeds] + rng.normal(0.0, 1.0, size=(count, 2))
+            )
+
+        particles = seed_from_emission(log_e[0], self.n_particles)
+        weights = np.full(self.n_particles, 1.0 / self.n_particles)
+        estimates = np.empty((n_steps, 2), dtype=np.float64)
+        for t in range(n_steps):
+            if t > 0:
+                particles = self._clip(
+                    particles
+                    + rng.normal(0.0, self.step_m, size=particles.shape)
+                )
+                n_recover = int(round(self.recovery_fraction * self.n_particles))
+                if n_recover:
+                    replace = rng.choice(
+                        self.n_particles, size=n_recover, replace=False
+                    )
+                    particles[replace] = seed_from_emission(log_e[t], n_recover)
+            cols = self._nearest_state_cols(particles)
+            log_w = np.log(weights + 1e-300) + log_e[t, cols]
+            log_w -= log_w.max()
+            weights = np.exp(log_w)
+            weights /= weights.sum()
+            estimates[t] = (weights[:, None] * particles).sum(axis=0)
+            ess = 1.0 / (weights**2).sum()
+            if ess < self.resample_threshold * self.n_particles:
+                idx = systematic_resample(weights, rng)
+                particles = particles[idx]
+                weights = np.full(self.n_particles, 1.0 / self.n_particles)
+        return FilterResult(locations=estimates)
+
+
+class ExponentialSmoother:
+    """EMA over scan-level point estimates (control smoother).
+
+    ``alpha`` is the weight of the newest estimate; ``alpha=1`` is no
+    smoothing at all, small alphas trade responsiveness for stability.
+    """
+
+    def __init__(self, *, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+
+    def run(self, point_estimates: np.ndarray) -> FilterResult:
+        """Smooth an ``(n_steps, 2)`` sequence of per-scan estimates."""
+        points = np.asarray(point_estimates, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError("point_estimates must be (n_steps, 2)")
+        out = np.empty_like(points)
+        if points.shape[0] == 0:
+            return FilterResult(locations=out)
+        out[0] = points[0]
+        for t in range(1, points.shape[0]):
+            out[t] = self.alpha * points[t] + (1.0 - self.alpha) * out[t - 1]
+        return FilterResult(locations=out)

@@ -1,0 +1,214 @@
+"""Hidden-Markov smoothing of scan-level localization.
+
+The hidden state is the user's reference point; the transition prior
+encodes "people walk at finite speed" (an RP ``d`` meters away is
+reachable in one scan interval only if ``d`` is commensurate with
+walking speed); emissions come from any :class:`~repro.tracking.
+emissions.EmissionModel`. Forward filtering gives the real-time
+(online) estimate; Viterbi and forward-backward give the best
+retrospective track. This mirrors the HMM post-processing the paper's
+group applies to fingerprinting pipelines [24].
+
+Everything is computed in log space to survive long trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.floorplan import Floorplan
+from .emissions import EmissionModel
+
+
+def _logsumexp(a: np.ndarray, axis: int = -1) -> np.ndarray:
+    m = a.max(axis=axis, keepdims=True)
+    out = np.log(np.exp(a - m).sum(axis=axis, keepdims=True)) + m
+    return np.squeeze(out, axis=axis)
+
+
+def motion_transition_matrix(
+    floorplan: Floorplan,
+    *,
+    speed_mps: float = 1.2,
+    scan_interval_s: float = 2.0,
+    stay_probability: float = 0.1,
+    slack: float = 2.5,
+    uniform_mixture: float = 0.0,
+) -> np.ndarray:
+    """Row-stochastic RP-to-RP transition matrix for a walking user.
+
+    Between scans the user covers about ``speed * interval`` meters, so
+    transitions get a half-Gaussian penalty on the distance moved, with
+    scale ``speed * interval`` and hard support up to ``slack`` times
+    that (sprinting between scans is ruled out, stalling is not — the
+    penalty peaks at zero displacement and decays smoothly). A
+    ``stay_probability`` floor is then mixed onto the diagonal so the
+    chain never starves a stationary user, and a small
+    ``uniform_mixture`` leaks probability to *every* RP so a causal
+    filter that committed to the wrong region can recover in bounded
+    time instead of never (set it to 0 for a hard-constrained chain).
+    """
+    if speed_mps <= 0 or scan_interval_s <= 0:
+        raise ValueError("speed and scan interval must be positive")
+    if not 0.0 <= stay_probability < 1.0:
+        raise ValueError("stay_probability must be in [0, 1)")
+    if slack <= 0:
+        raise ValueError("slack must be positive")
+    if not 0.0 <= uniform_mixture < 1.0:
+        raise ValueError("uniform_mixture must be in [0, 1)")
+    dist = floorplan.rp_distance_matrix()
+    step = speed_mps * scan_interval_s
+    weights = np.exp(-(dist**2) / (2.0 * step**2))
+    weights[dist > slack * step] = 0.0
+    # Every RP can at least stay put, so rows never sum to zero.
+    np.fill_diagonal(weights, np.maximum(np.diag(weights), 1.0))
+    matrix = weights / weights.sum(axis=1, keepdims=True)
+    if stay_probability > 0.0:
+        matrix = (1.0 - stay_probability) * matrix
+        matrix[np.diag_indices_from(matrix)] += stay_probability
+    if uniform_mixture > 0.0:
+        n = matrix.shape[0]
+        matrix = (1.0 - uniform_mixture) * matrix + uniform_mixture / n
+    return matrix
+
+
+@dataclass
+class HMMResult:
+    """Output of one smoothing pass.
+
+    ``rp_path`` holds RP *labels* (not column indices) so it can be
+    compared directly against :class:`~repro.tracking.trajectory.
+    Trajectory.rp_indices`.
+    """
+
+    rp_path: np.ndarray
+    locations: np.ndarray
+    log_posterior: np.ndarray
+    rp_labels: np.ndarray
+
+
+class HiddenMarkovSmoother:
+    """Forward / Viterbi / forward-backward smoothing over RPs.
+
+    Parameters
+    ----------
+    floorplan:
+        Supplies RP coordinates for turning label paths into locations.
+    emission:
+        Scan scorer. Its ``rp_labels`` define the state space, which may
+        be a subset of the floorplan's RPs (e.g. when the offline set
+        missed some RPs).
+    transition:
+        Optional pre-built row-stochastic matrix over the emission's
+        state space; built from :func:`motion_transition_matrix`
+        restricted to the emission's labels when omitted.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        emission: EmissionModel,
+        *,
+        transition: Optional[np.ndarray] = None,
+        speed_mps: float = 1.2,
+        scan_interval_s: float = 2.0,
+        uniform_mixture: float = 0.0,
+    ) -> None:
+        self.floorplan = floorplan
+        self.emission = emission
+        self.rp_labels = np.asarray(emission.rp_labels, dtype=np.int64)
+        n = self.rp_labels.shape[0]
+        if transition is None:
+            full = motion_transition_matrix(
+                floorplan,
+                speed_mps=speed_mps,
+                scan_interval_s=scan_interval_s,
+                uniform_mixture=uniform_mixture,
+            )
+            sub = full[np.ix_(self.rp_labels, self.rp_labels)]
+            transition = sub / sub.sum(axis=1, keepdims=True)
+        transition = np.asarray(transition, dtype=np.float64)
+        if transition.shape != (n, n):
+            raise ValueError(f"transition must be ({n}, {n})")
+        rows = transition.sum(axis=1)
+        if not np.allclose(rows, 1.0, atol=1e-8):
+            raise ValueError("transition rows must sum to 1")
+        if (transition < 0).any():
+            raise ValueError("transition probabilities must be non-negative")
+        with np.errstate(divide="ignore"):
+            self._log_t = np.log(transition)
+        self._log_prior = np.full(n, -np.log(n))
+
+    # -- inference ----------------------------------------------------------
+
+    def filter(self, rssi: np.ndarray) -> HMMResult:
+        """Online (causal) posterior: P(state_t | scans up to t)."""
+        log_e = self.emission.log_probabilities(rssi)
+        n_steps = log_e.shape[0]
+        alpha = np.empty_like(log_e)
+        alpha[0] = self._log_prior + log_e[0]
+        alpha[0] -= _logsumexp(alpha[0])
+        for t in range(1, n_steps):
+            propagated = _logsumexp(alpha[t - 1][:, None] + self._log_t, axis=0)
+            alpha[t] = propagated + log_e[t]
+            alpha[t] -= _logsumexp(alpha[t])
+        return self._result(alpha)
+
+    def smooth(self, rssi: np.ndarray) -> HMMResult:
+        """Offline posterior: P(state_t | all scans), forward-backward."""
+        log_e = self.emission.log_probabilities(rssi)
+        n_steps = log_e.shape[0]
+        alpha = np.empty_like(log_e)
+        alpha[0] = self._log_prior + log_e[0]
+        for t in range(1, n_steps):
+            alpha[t] = (
+                _logsumexp(alpha[t - 1][:, None] + self._log_t, axis=0) + log_e[t]
+            )
+        beta = np.zeros_like(log_e)
+        for t in range(n_steps - 2, -1, -1):
+            beta[t] = _logsumexp(
+                self._log_t + (log_e[t + 1] + beta[t + 1])[None, :], axis=1
+            )
+        posterior = alpha + beta
+        posterior -= _logsumexp(posterior, axis=1)[:, None]
+        return self._result(posterior)
+
+    def viterbi(self, rssi: np.ndarray) -> HMMResult:
+        """Most likely state *sequence* (maximum a posteriori path)."""
+        log_e = self.emission.log_probabilities(rssi)
+        n_steps, n_states = log_e.shape
+        delta = self._log_prior + log_e[0]
+        backpointers = np.empty((n_steps, n_states), dtype=np.int64)
+        deltas = np.empty_like(log_e)
+        deltas[0] = delta
+        for t in range(1, n_steps):
+            scores = delta[:, None] + self._log_t
+            backpointers[t] = scores.argmax(axis=0)
+            delta = scores.max(axis=0) + log_e[t]
+            deltas[t] = delta
+        path = np.empty(n_steps, dtype=np.int64)
+        path[-1] = int(delta.argmax())
+        for t in range(n_steps - 2, -1, -1):
+            path[t] = backpointers[t + 1, path[t + 1]]
+        posterior = deltas - _logsumexp(deltas, axis=1)[:, None]
+        return HMMResult(
+            rp_path=self.rp_labels[path],
+            locations=self.floorplan.reference_points[self.rp_labels[path]],
+            log_posterior=posterior,
+            rp_labels=self.rp_labels,
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _result(self, log_posterior: np.ndarray) -> HMMResult:
+        cols = log_posterior.argmax(axis=1)
+        labels = self.rp_labels[cols]
+        return HMMResult(
+            rp_path=labels,
+            locations=self.floorplan.reference_points[labels],
+            log_posterior=log_posterior,
+            rp_labels=self.rp_labels,
+        )

@@ -1,0 +1,68 @@
+"""Trajectory-level accuracy metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def tracking_errors(
+    predicted: np.ndarray, actual: np.ndarray
+) -> np.ndarray:
+    """Per-step Euclidean error in meters between two (n, 2) tracks."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape or predicted.ndim != 2:
+        raise ValueError(
+            f"tracks must share an (n, 2) shape, got {predicted.shape} "
+            f"vs {actual.shape}"
+        )
+    return np.linalg.norm(predicted - actual, axis=1)
+
+
+@dataclass(frozen=True)
+class TrackingSummary:
+    """Aggregate track accuracy: the numbers a tracking table reports."""
+
+    mean_m: float
+    median_m: float
+    rmse_m: float
+    p95_m: float
+    max_m: float
+    n_steps: int
+
+    @classmethod
+    def from_tracks(
+        cls, predicted: np.ndarray, actual: np.ndarray
+    ) -> "TrackingSummary":
+        errors = tracking_errors(predicted, actual)
+        if errors.shape[0] == 0:
+            raise ValueError("cannot summarize an empty track")
+        return cls(
+            mean_m=float(errors.mean()),
+            median_m=float(np.median(errors)),
+            rmse_m=float(np.sqrt((errors**2).mean())),
+            p95_m=float(np.percentile(errors, 95)),
+            max_m=float(errors.max()),
+            n_steps=int(errors.shape[0]),
+        )
+
+    def as_row(self) -> str:
+        """One fixed-width report row."""
+        return (
+            f"mean {self.mean_m:6.2f}  median {self.median_m:6.2f}  "
+            f"rmse {self.rmse_m:6.2f}  p95 {self.p95_m:6.2f}  "
+            f"max {self.max_m:6.2f}  (n={self.n_steps})"
+        )
+
+
+def rp_hit_rate(predicted_rps: np.ndarray, actual_rps: np.ndarray) -> float:
+    """Fraction of steps whose predicted RP label is exactly right."""
+    predicted_rps = np.asarray(predicted_rps)
+    actual_rps = np.asarray(actual_rps)
+    if predicted_rps.shape != actual_rps.shape:
+        raise ValueError("RP sequences must have identical shapes")
+    if predicted_rps.shape[0] == 0:
+        raise ValueError("cannot score an empty sequence")
+    return float((predicted_rps == actual_rps).mean())

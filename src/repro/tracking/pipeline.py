@@ -1,0 +1,121 @@
+"""One-call tracking pipeline: localizer + smoother -> track estimates.
+
+Glues the pieces of :mod:`repro.tracking` together so examples and
+benchmarks can compare smoothing strategies with a single call per
+method. ``"raw"`` is the unsmoothed scan-by-scan framework output every
+other method is judged against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..baselines.base import Localizer
+from ..geometry.floorplan import Floorplan
+from .emissions import CoordinateEmission, EmbeddingEmission, EmissionModel
+from .filters import ExponentialSmoother, ParticleFilter
+from .hmm import HiddenMarkovSmoother
+from .metrics import TrackingSummary
+from .trajectory import Trajectory
+
+#: Smoothing strategies accepted by :func:`track_trajectory`.
+TRACKING_METHODS = ("raw", "ema", "filter", "smooth", "viterbi", "particle")
+
+
+def make_emission(
+    localizer: Localizer,
+    floorplan: Floorplan,
+    *,
+    temperature: float = 0.1,
+    sigma_m: float = 3.0,
+) -> EmissionModel:
+    """Best available emission model for ``localizer``.
+
+    Embedding-based localizers (STONE) get the sharp embedding-distance
+    emission; everything else falls back to the Gaussian kernel around
+    point estimates.
+    """
+    if hasattr(localizer, "embed_rssi") and hasattr(localizer, "knn"):
+        return EmbeddingEmission(localizer, temperature=temperature)
+    return CoordinateEmission(localizer, floorplan, sigma_m=sigma_m)
+
+
+def track_trajectory(
+    localizer: Localizer,
+    trajectory: Trajectory,
+    floorplan: Floorplan,
+    *,
+    method: str = "viterbi",
+    emission: Optional[EmissionModel] = None,
+    ema_alpha: float = 0.5,
+    n_particles: int = 300,
+    rng: Optional[np.random.Generator] = None,
+) -> tuple[np.ndarray, TrackingSummary]:
+    """Estimate the walk and score it against ground truth.
+
+    Returns ``(locations, summary)`` where ``locations`` is the
+    ``(n_steps, 2)`` estimated track.
+    """
+    if method not in TRACKING_METHODS:
+        raise ValueError(
+            f"method must be one of {TRACKING_METHODS}, got {method!r}"
+        )
+    scan_interval_s = max(trajectory.scan_interval_s, 0.5)
+    if method == "raw":
+        locations = localizer.predict(trajectory.rssi)
+    elif method == "ema":
+        raw = localizer.predict(trajectory.rssi)
+        locations = ExponentialSmoother(alpha=ema_alpha).run(raw).locations
+    else:
+        emission = emission or make_emission(localizer, floorplan)
+        if method == "particle":
+            pf = ParticleFilter(
+                floorplan,
+                emission,
+                n_particles=n_particles,
+                speed_mps=trajectory.speed_mps,
+                scan_interval_s=scan_interval_s,
+            )
+            locations = pf.run(trajectory.rssi, rng=rng).locations
+        else:
+            # The causal filter gets a small teleport leak so a belief
+            # committed to the wrong region recovers in bounded time;
+            # retrospective passes see future evidence and don't need it.
+            hmm = HiddenMarkovSmoother(
+                floorplan,
+                emission,
+                speed_mps=trajectory.speed_mps,
+                scan_interval_s=scan_interval_s,
+                uniform_mixture=0.02 if method == "filter" else 0.0,
+            )
+            result = getattr(hmm, method)(trajectory.rssi)
+            locations = result.locations
+    summary = TrackingSummary.from_tracks(locations, trajectory.locations)
+    return locations, summary
+
+
+def compare_tracking_methods(
+    localizer: Localizer,
+    trajectory: Trajectory,
+    floorplan: Floorplan,
+    *,
+    methods: Optional[list[str]] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> dict[str, TrackingSummary]:
+    """Run several smoothing strategies on one walk; summaries by name."""
+    methods = methods or list(TRACKING_METHODS)
+    emission = make_emission(localizer, floorplan)
+    out: dict[str, TrackingSummary] = {}
+    for method in methods:
+        _, summary = track_trajectory(
+            localizer,
+            trajectory,
+            floorplan,
+            method=method,
+            emission=emission if method not in ("raw", "ema") else None,
+            rng=rng,
+        )
+        out[method] = summary
+    return out

@@ -1,0 +1,264 @@
+"""Simulated user trajectories for the online tracking phase.
+
+The paper's online phase (Sec. IV.A, Fig. 2) localizes a *moving* user
+scan by scan. GIFT [9] even defines its fingerprints over movement
+vectors, and the authors' related work smooths scan-level predictions
+with temporal models [24]. This module produces the ground truth such a
+phase operates on: a user walking between waypoints on the floorplan at
+a realistic speed, capturing one WiFi scan every few seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..geometry.floorplan import Floorplan
+from ..radio.sampler import RadioEnvironment
+from ..radio.time import SimTime
+
+
+@dataclass
+class Trajectory:
+    """One walk through the floorplan with its captured scans.
+
+    Attributes
+    ----------
+    locations:
+        ``(n_steps, 2)`` ground-truth user coordinates at each scan.
+    times_hours:
+        ``(n_steps,)`` capture time of each scan (hours since deployment).
+    rp_indices:
+        ``(n_steps,)`` nearest reference point at each step — the label a
+        per-scan classifier should output.
+    rssi:
+        ``(n_steps, n_aps)`` captured RSSI in dBm (-100 = unobserved).
+    speed_mps:
+        Walking speed the trajectory was generated with.
+    """
+
+    locations: np.ndarray
+    times_hours: np.ndarray
+    rp_indices: np.ndarray
+    rssi: np.ndarray
+    speed_mps: float
+
+    def __post_init__(self) -> None:
+        self.locations = np.asarray(self.locations, dtype=np.float64)
+        self.times_hours = np.asarray(self.times_hours, dtype=np.float64)
+        self.rp_indices = np.asarray(self.rp_indices, dtype=np.int64)
+        self.rssi = np.asarray(self.rssi, dtype=np.float64)
+        n = self.locations.shape[0]
+        if self.locations.ndim != 2 or self.locations.shape[1] != 2:
+            raise ValueError("locations must be (n_steps, 2)")
+        if self.times_hours.shape != (n,) or self.rp_indices.shape != (n,):
+            raise ValueError("times/rp_indices must align with locations")
+        if self.rssi.ndim != 2 or self.rssi.shape[0] != n:
+            raise ValueError("rssi must be (n_steps, n_aps)")
+        if n and np.any(np.diff(self.times_hours) < 0):
+            raise ValueError("times must be non-decreasing")
+        if self.speed_mps <= 0:
+            raise ValueError("speed must be positive")
+
+    @property
+    def n_steps(self) -> int:
+        """Number of scans along the walk."""
+        return int(self.locations.shape[0])
+
+    @property
+    def scan_interval_s(self) -> float:
+        """Median spacing between consecutive scans, in seconds."""
+        if self.n_steps < 2:
+            return 0.0
+        return float(np.median(np.diff(self.times_hours)) * 3600.0)
+
+    def path_length_m(self) -> float:
+        """Total distance walked, in meters."""
+        if self.n_steps < 2:
+            return 0.0
+        steps = np.diff(self.locations, axis=0)
+        return float(np.linalg.norm(steps, axis=1).sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trajectory(steps={self.n_steps}, "
+            f"length={self.path_length_m():.1f} m, "
+            f"speed={self.speed_mps:g} m/s)"
+        )
+
+
+def interpolate_path(
+    waypoints: np.ndarray, step_m: float
+) -> np.ndarray:
+    """Densify a polyline so consecutive points are ``step_m`` apart.
+
+    The returned array starts at the first waypoint and walks the
+    polyline at constant arc-length increments; the final waypoint is
+    always included (possibly closer than ``step_m`` to its predecessor).
+    """
+    waypoints = np.asarray(waypoints, dtype=np.float64)
+    if waypoints.ndim != 2 or waypoints.shape[1] != 2:
+        raise ValueError("waypoints must be (n, 2)")
+    if waypoints.shape[0] < 2:
+        return waypoints.copy()
+    if step_m <= 0:
+        raise ValueError("step_m must be positive")
+    segments = np.diff(waypoints, axis=0)
+    seg_len = np.linalg.norm(segments, axis=1)
+    total = float(seg_len.sum())
+    if total == 0.0:
+        return waypoints[:1].copy()
+    arc = np.concatenate([[0.0], np.cumsum(seg_len)])
+    samples = np.arange(0.0, total, step_m)
+    points = np.empty((samples.shape[0], 2), dtype=np.float64)
+    seg = 0
+    for i, s in enumerate(samples):
+        while seg < seg_len.shape[0] - 1 and s > arc[seg + 1]:
+            seg += 1
+        denom = seg_len[seg] if seg_len[seg] > 0 else 1.0
+        frac = (s - arc[seg]) / denom
+        points[i] = waypoints[seg] + frac * segments[seg]
+    if not np.allclose(points[-1], waypoints[-1]):
+        points = np.vstack([points, waypoints[-1]])
+    return points
+
+
+def random_waypoints(
+    floorplan: Floorplan,
+    n_waypoints: int,
+    rng: np.random.Generator,
+    *,
+    min_leg_m: float = 3.0,
+) -> np.ndarray:
+    """Pick ``n_waypoints`` RP coordinates forming a plausible walk.
+
+    Waypoints are drawn from the floorplan's reference points so the
+    walk stays on surveyed space (corridor paths have no off-path RPs).
+    Consecutive waypoints are forced at least ``min_leg_m`` apart so the
+    user actually moves.
+    """
+    if n_waypoints < 2:
+        raise ValueError("a walk needs at least two waypoints")
+    rps = floorplan.reference_points
+    dist = floorplan.rp_distance_matrix()
+    current = int(rng.integers(rps.shape[0]))
+    picked = [current]
+    for _ in range(n_waypoints - 1):
+        far = np.flatnonzero(dist[current] >= min_leg_m)
+        if far.size == 0:
+            far = np.flatnonzero(dist[current] > 0)
+        if far.size == 0:
+            far = np.arange(rps.shape[0])
+        current = int(rng.choice(far))
+        picked.append(current)
+    return rps[np.asarray(picked)]
+
+
+def simulate_walk(
+    env: RadioEnvironment,
+    waypoints: Sequence[Sequence[float]],
+    *,
+    speed_mps: float = 1.2,
+    scan_interval_s: float = 2.0,
+    start_time: Optional[SimTime] = None,
+    epoch: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Trajectory:
+    """Walk the waypoint polyline and capture a scan every interval.
+
+    The user moves at ``speed_mps`` (1.2 m/s is a casual indoor walking
+    pace), so consecutive scans are ``speed * interval`` meters apart.
+    Each scan goes through the full simulated measurement chain of
+    ``env`` — per-scan fading, device detection threshold, the AP
+    lifecycle of ``epoch`` — exactly like the stationary fingerprints.
+    """
+    if speed_mps <= 0 or scan_interval_s <= 0:
+        raise ValueError("speed and scan interval must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    start = start_time if start_time is not None else SimTime(0.0)
+    step_m = speed_mps * scan_interval_s
+    points = interpolate_path(np.asarray(waypoints, dtype=np.float64), step_m)
+    n = points.shape[0]
+    times = start.hours + np.arange(n) * (scan_interval_s / 3600.0)
+    rssi = np.empty((n, env.n_aps), dtype=np.float64)
+    rp_idx = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        rssi[i] = env.scan(points[i], SimTime(times[i]), rng, epoch=epoch)
+        rp_idx[i] = env.floorplan.nearest_rp(points[i])
+    return Trajectory(
+        locations=points,
+        times_hours=times,
+        rp_indices=rp_idx,
+        rssi=rssi,
+        speed_mps=speed_mps,
+    )
+
+
+def simulate_path_walk(
+    env: RadioEnvironment,
+    *,
+    start_rp: Optional[int] = None,
+    end_rp: Optional[int] = None,
+    speed_mps: float = 1.2,
+    scan_interval_s: float = 2.0,
+    start_time: Optional[SimTime] = None,
+    epoch: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Trajectory:
+    """Walk the surveyed path itself, RP by RP.
+
+    The Office/Basement floorplans are *paths*: their reference points
+    are ordered along the corridor, 1 m apart. Real users walk that
+    corridor — a straight line between two random RPs would cut through
+    walls. This walk visits every intermediate RP between ``start_rp``
+    and ``end_rp`` (defaults: one random endpoint-ish span covering at
+    least half the path), which also keeps the nearest-RP ground-truth
+    sequence contiguous, the regime temporal smoothers assume.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    n_rp = env.floorplan.n_reference_points
+    if start_rp is None or end_rp is None:
+        half = max(2, n_rp // 2)
+        start_rp = int(rng.integers(0, max(1, n_rp - half)))
+        end_rp = min(n_rp - 1, start_rp + half + int(rng.integers(0, half)))
+    if not (0 <= start_rp < n_rp and 0 <= end_rp < n_rp):
+        raise ValueError(f"RP endpoints must be in 0..{n_rp - 1}")
+    if start_rp == end_rp:
+        raise ValueError("a walk needs two distinct endpoint RPs")
+    step = 1 if end_rp > start_rp else -1
+    waypoints = env.floorplan.reference_points[start_rp : end_rp + step : step]
+    return simulate_walk(
+        env,
+        waypoints,
+        speed_mps=speed_mps,
+        scan_interval_s=scan_interval_s,
+        start_time=start_time,
+        epoch=epoch,
+        rng=rng,
+    )
+
+
+def simulate_random_walk(
+    env: RadioEnvironment,
+    *,
+    n_waypoints: int = 5,
+    speed_mps: float = 1.2,
+    scan_interval_s: float = 2.0,
+    start_time: Optional[SimTime] = None,
+    epoch: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Trajectory:
+    """Random-waypoint walk: convenience over :func:`simulate_walk`."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    waypoints = random_waypoints(env.floorplan, n_waypoints, rng)
+    return simulate_walk(
+        env,
+        waypoints,
+        speed_mps=speed_mps,
+        scan_interval_s=scan_interval_s,
+        start_time=start_time,
+        epoch=epoch,
+        rng=rng,
+    )

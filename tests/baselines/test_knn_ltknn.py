@@ -1,0 +1,146 @@
+"""Tests for the KNN and LT-KNN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KNNLocalizer, LTKNNLocalizer, RidgeImputer
+from repro.core import simulate_ap_removal
+from repro.geometry import build_grid_floorplan
+
+from ..conftest import make_synthetic_dataset
+
+
+@pytest.fixture()
+def floorplan():
+    return build_grid_floorplan("t", width=8, height=6, rp_spacing=2.0, margin=1.0)
+
+
+@pytest.fixture()
+def train():
+    return make_synthetic_dataset(n_rps=6, fpr=4, n_aps=16, seed=8)
+
+
+class TestKNN:
+    def test_recalls_training_points(self, train, floorplan):
+        knn = KNNLocalizer(k=1).fit(train, floorplan)
+        pred = knn.predict(train.rssi)
+        np.testing.assert_allclose(pred, train.locations, atol=1e-6)
+
+    def test_weighted_interpolates(self, train, floorplan):
+        knn = KNNLocalizer(k=3, weighted=True).fit(train, floorplan)
+        noisy = np.clip(train.rssi[:4] + 1.0, -100, 0)
+        pred = knn.predict(noisy)
+        err = np.linalg.norm(pred - train.locations[:4], axis=1)
+        assert err.max() < 2.0
+
+    def test_unweighted_variant(self, train, floorplan):
+        knn = KNNLocalizer(k=3, weighted=False).fit(train, floorplan)
+        assert knn.predict(train.rssi[:2]).shape == (2, 2)
+
+    def test_single_row_query(self, train, floorplan):
+        knn = KNNLocalizer().fit(train, floorplan)
+        assert knn.predict(train.rssi[0]).shape == (1, 2)
+
+    def test_no_retraining_flag(self):
+        assert KNNLocalizer().requires_retraining is False
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KNNLocalizer().predict(np.zeros((1, 4)))
+
+    def test_empty_train_rejected(self, train, floorplan):
+        empty = train.select(np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            KNNLocalizer().fit(empty, floorplan)
+
+
+class TestRidgeImputer:
+    def test_recovers_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-90, -30, size=(200, 5))
+        w = np.array([0.3, -0.2, 0.5, 0.1, -0.4])
+        y = np.clip(x @ w * 0.1 - 50 + rng.normal(0, 0.1, 200), -100, 0)
+        imputer = RidgeImputer(alpha=1e-3).fit(x, y)
+        pred = imputer.predict(x)
+        assert np.abs(pred - y).mean() < 0.5
+
+    def test_prediction_clipped_to_rssi_range(self):
+        x = np.full((10, 3), -50.0)
+        y = np.full(10, -60.0)
+        imputer = RidgeImputer().fit(x, y)
+        out = imputer.predict(np.full((2, 3), 500.0))
+        assert (out <= 0.0).all() and (out >= -100.0).all()
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RidgeImputer().predict(np.zeros((1, 3)))
+
+    def test_sample_mismatch(self):
+        with pytest.raises(ValueError):
+            RidgeImputer().fit(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestLTKNN:
+    def test_matches_knn_when_no_aps_missing(self, train, floorplan):
+        lt = LTKNNLocalizer(k=3).fit(train, floorplan)
+        knn = KNNLocalizer(k=3).fit(train, floorplan)
+        lt.begin_epoch(0, train.rssi)
+        np.testing.assert_allclose(
+            lt.predict(train.rssi[:5]), knn.predict(train.rssi[:5])
+        )
+        assert lt.refit_count == 0  # nothing vanished, no maintenance
+
+    def test_detects_missing_aps_and_refits(self, train, floorplan):
+        lt = LTKNNLocalizer(k=3).fit(train, floorplan)
+        removed = simulate_ap_removal(train.rssi, 0.25, np.random.default_rng(1))
+        lt.begin_epoch(1, removed)
+        assert lt.refit_count == 1
+        assert lt._current_missing.size > 0
+
+    def test_imputation_beats_naive_knn_under_removal(self, floorplan):
+        """The point of LT-KNN: with dead AP columns, imputing them
+        recovers accuracy that naive KNN loses."""
+        train = make_synthetic_dataset(n_rps=9, fpr=6, n_aps=24, seed=9, spacing=3.0)
+        rng = np.random.default_rng(2)
+        test_rssi = np.clip(train.rssi + rng.normal(0, 1.0, train.rssi.shape), -100, 0)
+        broken = simulate_ap_removal(test_rssi, 0.4, rng)
+        knn = KNNLocalizer(k=3).fit(train, floorplan)
+        lt = LTKNNLocalizer(k=3).fit(train, floorplan)
+        lt.begin_epoch(1, broken)
+        knn_err = np.linalg.norm(knn.predict(broken) - train.locations, axis=1).mean()
+        lt_err = np.linalg.norm(lt.predict(broken) - train.locations, axis=1).mean()
+        assert lt_err < knn_err
+
+    def test_no_refit_when_population_stable(self, train, floorplan):
+        lt = LTKNNLocalizer().fit(train, floorplan)
+        removed = simulate_ap_removal(train.rssi, 0.25, np.random.default_rng(3))
+        lt.begin_epoch(1, removed)
+        count = lt.refit_count
+        lt.begin_epoch(2, removed)  # same missing set
+        assert lt.refit_count == count
+
+    def test_impute_fills_missing_columns(self, train, floorplan):
+        lt = LTKNNLocalizer().fit(train, floorplan)
+        rng = np.random.default_rng(4)
+        broken = simulate_ap_removal(train.rssi, 0.3, rng)
+        lt.begin_epoch(1, broken)
+        filled = lt.impute(broken[:5])
+        missing = lt._current_missing
+        assert missing.size > 0
+        # imputed columns are no longer stuck at -100 everywhere
+        assert (filled[:, missing] > -100.0).any()
+
+    def test_requires_retraining_flag(self):
+        assert LTKNNLocalizer().requires_retraining is True
+
+    def test_refit_resets_on_fit(self, train, floorplan):
+        lt = LTKNNLocalizer().fit(train, floorplan)
+        removed = simulate_ap_removal(train.rssi, 0.25, np.random.default_rng(5))
+        lt.begin_epoch(1, removed)
+        lt.fit(train, floorplan)
+        assert lt.refit_count == 0
+        assert lt._current_missing.size == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            LTKNNLocalizer(missing_threshold=2.0)

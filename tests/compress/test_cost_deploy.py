@@ -1,0 +1,108 @@
+"""Tests for the cost analysis and deployment model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    DEVICE_PRESETS,
+    DeviceSpec,
+    deployment_table,
+    estimate_deployment,
+    get_device,
+    model_cost,
+    quantize_model,
+)
+from repro.nn.layers.activations import ReLU
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.reshape import Flatten
+from repro.nn.model import Sequential
+
+
+def tiny_cnn(seed: int = 0) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Conv2D(1, 4, (2, 2), rng=rng, name="conv"),
+            ReLU(name="relu"),
+            Flatten(name="flat"),
+            Dense(4 * 3 * 3, 10, rng=rng, name="fc"),
+        ]
+    )
+
+
+class TestModelCost:
+    def test_analytic_mac_counts(self):
+        cost = model_cost(tiny_cnn(), (1, 4, 4))
+        by_name = {l.name: l for l in cost.layers}
+        # Conv: 3x3 output, 4 out channels, 1 in channel, 2x2 kernel.
+        assert by_name["conv"].macs == 3 * 3 * 4 * 1 * 2 * 2
+        assert by_name["fc"].macs == 36 * 10
+        assert by_name["relu"].macs == 0
+        assert by_name["relu"].elementwise_ops == 4 * 3 * 3
+
+    def test_params_match_model(self):
+        model = tiny_cnn()
+        cost = model_cost(model, (1, 4, 4))
+        assert cost.total_params == model.n_params()
+
+    def test_activation_accounting(self):
+        cost = model_cost(tiny_cnn(), (1, 4, 4))
+        by_name = {l.name: l for l in cost.layers}
+        assert by_name["conv"].activation_elems == 4 * 3 * 3
+        assert by_name["fc"].activation_elems == 10
+        assert cost.weight_bytes() == cost.total_params * 4
+
+    def test_table_renders(self):
+        table = model_cost(tiny_cnn(), (1, 4, 4)).table()
+        assert "conv" in table and "total" in table
+
+
+class TestDeviceSpecs:
+    def test_presets_resolve(self):
+        for name in DEVICE_PRESETS:
+            assert get_device(name).name == name
+
+    def test_spec_passthrough(self):
+        spec = DeviceSpec("x", 1.0, 1.0, 1.0, 1.0)
+        assert get_device(spec) is spec
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError):
+            get_device("cray-1")
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 0.0, 1.0, 1.0, 1.0)
+
+
+class TestEstimateDeployment:
+    def test_faster_device_lower_latency(self):
+        cost = model_cost(tiny_cnn(), (1, 4, 4))
+        slow = estimate_deployment(cost, "mcu")
+        fast = estimate_deployment(cost, "modern-phone")
+        assert fast.latency_ms < slow.latency_ms
+        assert fast.energy_mj < slow.energy_mj
+
+    def test_quantized_weights_reduce_energy(self):
+        model = tiny_cnn()
+        cost = model_cost(model, (1, 4, 4))
+        packed = quantize_model(model, min_size=1).storage_bytes()
+        full = estimate_deployment(cost, "lg-v20")
+        small = estimate_deployment(cost, "lg-v20", weight_bytes=packed)
+        assert small.weight_bytes < full.weight_bytes
+        assert small.energy_mj < full.energy_mj
+
+    def test_latency_positive_and_bound_flag_consistent(self):
+        cost = model_cost(tiny_cnn(), (1, 4, 4))
+        est = estimate_deployment(cost, "lg-v20")
+        assert est.latency_ms > 0
+        assert isinstance(est.compute_bound, bool)
+
+    def test_table_has_all_devices(self):
+        cost = model_cost(tiny_cnn(), (1, 4, 4))
+        table = deployment_table(cost)
+        for name in DEVICE_PRESETS:
+            assert name in table

@@ -1,0 +1,72 @@
+"""Property tests for the roofline deployment model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import (
+    DeviceSpec,
+    estimate_deployment,
+    model_cost,
+)
+from repro.nn.layers.dense import Dense
+from repro.nn.model import Sequential
+
+
+def linear_model(width: int) -> Sequential:
+    rng = np.random.default_rng(0)
+    return Sequential([Dense(width, width, rng=rng), Dense(width, 4, rng=rng)])
+
+
+class TestRooflineProperties:
+    @given(
+        gmacs=st.floats(min_value=0.1, max_value=100.0),
+        bw=st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_latency_is_max_of_compute_and_memory(self, gmacs, bw):
+        cost = model_cost(linear_model(32), (32,))
+        spec = DeviceSpec("x", gmacs, bw, 1.0, 1.0)
+        est = estimate_deployment(cost, spec)
+        compute_ms = cost.total_macs / (gmacs * 1e9) * 1e3
+        bytes_moved = cost.weight_bytes() + 2 * cost.activation_bytes()
+        memory_ms = bytes_moved / (bw * 1e9) * 1e3
+        assert est.latency_ms == pytest.approx(max(compute_ms, memory_ms))
+        assert est.compute_bound == (compute_ms >= memory_ms)
+
+    @given(scale=st.floats(min_value=1.5, max_value=10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_compute_throughput_never_hurts(self, scale):
+        cost = model_cost(linear_model(64), (64,))
+        base = DeviceSpec("slow", 1.0, 1.0, 1.0, 1.0)
+        fast = DeviceSpec("fast", scale, 1.0, 1.0, 1.0)
+        assert (
+            estimate_deployment(cost, fast).latency_ms
+            <= estimate_deployment(cost, base).latency_ms
+        )
+
+    @given(width=st.sampled_from([8, 16, 64, 128]))
+    @settings(max_examples=10, deadline=None)
+    def test_bigger_model_costs_more(self, width):
+        small = model_cost(linear_model(width), (width,))
+        big = model_cost(linear_model(width * 2), (width * 2,))
+        assert big.total_macs > small.total_macs
+        assert big.weight_bytes() > small.weight_bytes()
+        spec = DeviceSpec("x", 1.0, 1.0, 1.0, 1.0)
+        assert (
+            estimate_deployment(big, spec).energy_mj
+            > estimate_deployment(small, spec).energy_mj
+        )
+
+    def test_smaller_weight_bytes_never_raises_latency(self):
+        cost = model_cost(linear_model(64), (64,))
+        spec = DeviceSpec("x", 1.0, 1.0, 1.0, 1.0)
+        full = estimate_deployment(cost, spec)
+        packed = estimate_deployment(
+            cost, spec, weight_bytes=cost.weight_bytes() // 4
+        )
+        assert packed.latency_ms <= full.latency_ms
+        assert packed.energy_mj < full.energy_mj

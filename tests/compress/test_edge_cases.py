@@ -1,0 +1,94 @@
+"""Edge cases across the compression stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    QuantizationSpec,
+    model_cost,
+    quantize_model,
+    quantize_tensor,
+)
+from repro.nn.layers.activations import ReLU
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.normalization import BatchNorm
+from repro.nn.layers.reshape import Flatten
+from repro.nn.model import Sequential
+
+
+class TestQuantizeEdges:
+    def test_all_params_below_min_size_kept_float(self):
+        model = Sequential([Dense(4, 4, rng=np.random.default_rng(0))])
+        qm = quantize_model(model, min_size=1000)
+        assert not qm.tensors
+        assert qm.compression_ratio() == pytest.approx(1.0)
+        x = np.zeros((2, 4), dtype=np.float32)
+        assert np.allclose(qm.dequantized_model().predict(x), model.predict(x))
+
+    def test_per_channel_conv_kernel_axis(self):
+        rng = np.random.default_rng(1)
+        # Conv kernels are 4-D; per-channel must quantize along axis 0.
+        w = rng.normal(size=(8, 3, 2, 2)) * np.arange(1, 9).reshape(8, 1, 1, 1)
+        qt = quantize_tensor(w, QuantizationSpec(per_channel=True), channel_axis=0)
+        assert qt.scale.shape == (8,)
+        # Scales track channel magnitude: the 8x channel needs a much
+        # coarser grid than the 1x channel.
+        assert qt.scale[7] > qt.scale[0] * 3
+
+    def test_quantized_model_on_batchnorm_model(self):
+        rng = np.random.default_rng(2)
+        model = Sequential(
+            [
+                Dense(16, 300, rng=rng),
+                BatchNorm(300),
+                ReLU(),
+                Dense(300, 4, rng=rng),
+            ]
+        )
+        x = rng.normal(size=(32, 16)).astype(np.float32)
+        # Populate BN running stats with a few training passes.
+        for _ in range(3):
+            out = x
+            caches = []
+            for layer in model.layers:
+                out, cache = layer.forward(
+                    out, training=True, rng=np.random.default_rng(0)
+                )
+                caches.append(cache)
+        qm = quantize_model(model)
+        drift = np.abs(qm.dequantized_model().predict(x) - model.predict(x))
+        assert drift.max() < 0.5
+
+    def test_negative_channel_axis(self):
+        w = np.random.default_rng(3).normal(size=(10, 6))
+        qt = quantize_tensor(w, channel_axis=-1)
+        assert qt.scale.shape == (6,)
+        assert np.abs(qt.dequantize() - w).max() < qt.scale.max()
+
+
+class TestCostEdges:
+    def test_dense_only_model(self):
+        model = Sequential([Dense(8, 3, rng=np.random.default_rng(0))])
+        cost = model_cost(model, (8,))
+        assert cost.total_macs == 24
+        assert cost.total_params == 8 * 3 + 3
+
+    def test_conv_without_bias(self):
+        model = Sequential(
+            [
+                Conv2D(1, 2, (2, 2), use_bias=False, rng=np.random.default_rng(0)),
+                Flatten(),
+            ]
+        )
+        cost = model_cost(model, (1, 3, 3))
+        conv = cost.layers[0]
+        assert conv.elementwise_ops == 0
+        assert conv.params == 2 * 1 * 2 * 2
+
+    def test_empty_model(self):
+        cost = model_cost(Sequential([]), (4,))
+        assert cost.total_macs == 0
+        assert cost.layers == []

@@ -1,0 +1,129 @@
+"""Tests for magnitude pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import magnitude_prune, model_sparsity
+from repro.nn.layers.activations import ReLU
+from repro.nn.layers.dense import Dense
+from repro.nn.model import Sequential
+
+
+def small_model(seed: int = 0) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Dense(20, 40, rng=rng, name="fc1"),
+            ReLU(name="relu"),
+            Dense(40, 5, rng=rng, name="fc2"),
+        ]
+    )
+
+
+class TestMagnitudePrune:
+    @given(
+        sparsity=st.floats(min_value=0.0, max_value=0.95),
+        scope=st.sampled_from(["global", "layer"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_achieved_sparsity_close_to_target(self, sparsity, scope):
+        _, report = magnitude_prune(small_model(), sparsity, scope=scope)
+        assert report.overall_sparsity == pytest.approx(sparsity, abs=0.02)
+
+    def test_zero_sparsity_is_identity(self):
+        model = small_model(1)
+        pruned, report = magnitude_prune(model, 0.0)
+        assert report.overall_sparsity == 0.0
+        for k, v in model.parameters().items():
+            assert np.array_equal(pruned.parameters()[k], v)
+
+    def test_largest_weights_survive_global(self):
+        model = small_model(2)
+        pruned, _ = magnitude_prune(model, 0.5, scope="global")
+        orig = np.concatenate(
+            [
+                np.abs(v).ravel()
+                for k, v in model.parameters().items()
+                if k.endswith(".W")
+            ]
+        )
+        surv = np.concatenate(
+            [
+                v.ravel()
+                for k, v in pruned.parameters().items()
+                if k.endswith(".W")
+            ]
+        )
+        threshold = np.median(orig)
+        # Everything comfortably above the median magnitude must survive.
+        big = orig > threshold * 1.5
+        assert (np.abs(surv)[big] > 0).all()
+
+    def test_biases_untouched(self):
+        model = small_model(3)
+        pruned, report = magnitude_prune(model, 0.9)
+        for k, v in model.parameters().items():
+            if k.endswith(".b"):
+                assert np.array_equal(pruned.parameters()[k], v)
+        assert all(p.param.endswith(".W") for p in report.per_param)
+
+    def test_layer_scope_prunes_each_tensor(self):
+        _, report = magnitude_prune(small_model(4), 0.5, scope="layer")
+        for p in report.per_param:
+            assert p.sparsity == pytest.approx(0.5, abs=0.05)
+
+    def test_original_untouched(self):
+        model = small_model(5)
+        before = {k: v.copy() for k, v in model.parameters().items()}
+        magnitude_prune(model, 0.8)
+        for k, v in model.parameters().items():
+            assert np.array_equal(v, before[k])
+
+    def test_pruned_model_still_predicts(self):
+        model = small_model(6)
+        pruned, _ = magnitude_prune(model, 0.7)
+        x = np.random.default_rng(0).normal(size=(4, 20)).astype(np.float32)
+        out = pruned.predict(x)
+        assert out.shape == (4, 5)
+        assert np.isfinite(out).all()
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            magnitude_prune(small_model(), -0.1)
+        with pytest.raises(ValueError):
+            magnitude_prune(small_model(), 1.0)
+        with pytest.raises(ValueError):
+            magnitude_prune(small_model(), 0.5, scope="channel")
+
+    def test_model_without_weights_rejected(self):
+        with pytest.raises(ValueError):
+            magnitude_prune(Sequential([ReLU()]), 0.5)
+
+
+class TestReportsAndSparsity:
+    def test_model_sparsity_matches_report(self):
+        pruned, report = magnitude_prune(small_model(7), 0.6)
+        assert model_sparsity(pruned) == pytest.approx(
+            report.overall_sparsity, abs=1e-9
+        )
+
+    def test_compression_ratio_grows_with_sparsity(self):
+        model = small_model(8)
+        _, lo = magnitude_prune(model, 0.3)
+        _, hi = magnitude_prune(model, 0.9)
+        assert hi.compression_ratio() > lo.compression_ratio()
+
+    def test_describe_contains_params(self):
+        _, report = magnitude_prune(small_model(9), 0.5)
+        text = report.describe()
+        assert "0.W" in text and "overall" in text
+
+    def test_unpruned_model_sparsity_zero(self):
+        assert model_sparsity(small_model(10)) == pytest.approx(0.0, abs=0.01)
+
+    def test_empty_model_sparsity(self):
+        assert model_sparsity(Sequential([ReLU()])) == 0.0

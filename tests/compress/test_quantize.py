@@ -1,0 +1,168 @@
+"""Tests for post-training quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import (
+    ActivationQuantizer,
+    QuantizationSpec,
+    quantize_model,
+    quantize_tensor,
+)
+from repro.nn.layers.activations import ReLU
+from repro.nn.layers.dense import Dense
+from repro.nn.model import Sequential
+
+
+def small_model(seed: int = 0) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Dense(32, 64, rng=rng, name="fc1"),
+            ReLU(name="relu"),
+            Dense(64, 8, rng=rng, name="fc2"),
+        ]
+    )
+
+
+class TestQuantizationSpec:
+    def test_defaults(self):
+        spec = QuantizationSpec()
+        assert spec.bits == 8
+        assert spec.q_levels == 256
+        assert spec.storage_bytes_per_value == 1.0
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizationSpec(bits=1)
+        with pytest.raises(ValueError):
+            QuantizationSpec(bits=32)
+
+
+class TestQuantizeTensor:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        bits=st.sampled_from([4, 8, 16]),
+        symmetric=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_error_bounded_by_half_step(self, seed, bits, symmetric):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0.0, 1.0, size=(16, 8))
+        spec = QuantizationSpec(bits=bits, symmetric=symmetric)
+        qt = quantize_tensor(values, spec)
+        err = np.abs(qt.dequantize() - values)
+        # Symmetric error is at most half a step; asymmetric adds up to
+        # another half step from the rounded zero point at range edges.
+        bound = 0.5 if symmetric else 1.0
+        assert err.max() <= qt.scale.max() * bound + 1e-9
+
+    def test_symmetric_represents_zero_exactly(self):
+        values = np.array([[-1.0, 0.0, 0.5, 1.0]])
+        qt = quantize_tensor(values, QuantizationSpec(symmetric=True))
+        deq = qt.dequantize()
+        assert deq[0, 1] == 0.0
+
+    def test_per_channel_no_worse_than_per_tensor(self):
+        rng = np.random.default_rng(7)
+        # Channels with wildly different dynamic ranges.
+        values = rng.normal(size=(4, 100)) * np.array([[0.01], [0.1], [1.0], [10.0]])
+        spec = QuantizationSpec(bits=8)
+        per_tensor = quantize_tensor(values, spec)
+        per_channel = quantize_tensor(values, spec, channel_axis=0)
+        err_t = np.abs(per_tensor.dequantize() - values).max()
+        err_c = np.abs(per_channel.dequantize() - values).max()
+        assert err_c <= err_t
+
+    def test_asymmetric_handles_shifted_ranges(self):
+        values = np.full((4, 4), 5.0) + np.arange(16).reshape(4, 4) * 0.01
+        spec = QuantizationSpec(symmetric=False)
+        qt = quantize_tensor(values, spec)
+        assert np.abs(qt.dequantize() - values).max() < 0.01
+
+    def test_constant_tensor_safe(self):
+        values = np.zeros((3, 3))
+        qt = quantize_tensor(values)
+        assert np.allclose(qt.dequantize(), 0.0)
+
+    def test_bad_channel_axis_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.zeros((2, 2)), channel_axis=5)
+
+    def test_storage_accounting(self):
+        values = np.random.default_rng(0).normal(size=(100, 10))
+        qt = quantize_tensor(values, QuantizationSpec(bits=8))
+        # 1000 int8 codes + scale + zero point floats.
+        assert qt.storage_bytes() == 1000 + 2 * 4
+
+    def test_four_bit_packs_half(self):
+        values = np.random.default_rng(0).normal(size=(100, 10))
+        qt = quantize_tensor(values, QuantizationSpec(bits=4))
+        assert qt.storage_bytes() == 500 + 2 * 4
+
+
+class TestQuantizeModel:
+    def test_small_params_stay_float(self):
+        model = small_model()
+        qm = quantize_model(model, min_size=256)
+        # Biases (64 and 8 entries) are below min_size.
+        assert any(name.endswith(".b") for name in qm.kept_float)
+        assert all(not name.endswith(".b") for name in qm.tensors)
+
+    def test_compression_ratio_near_four_for_int8(self):
+        model = small_model()
+        qm = quantize_model(model, min_size=1)
+        assert 3.0 < qm.compression_ratio() <= 4.0
+
+    def test_dequantized_model_predicts_close(self):
+        model = small_model(3)
+        qm = quantize_model(model)
+        x = np.random.default_rng(5).normal(size=(10, 32)).astype(np.float32)
+        drift = np.abs(qm.dequantized_model().predict(x) - model.predict(x))
+        assert drift.max() < 0.15
+
+    def test_original_model_untouched(self):
+        model = small_model(4)
+        before = {k: v.copy() for k, v in model.parameters().items()}
+        quantize_model(model)
+        for k, v in model.parameters().items():
+            assert np.array_equal(v, before[k])
+
+    def test_max_abs_weight_error_small(self):
+        qm = quantize_model(small_model(6))
+        scale = max(qt.scale.max() for qt in qm.tensors.values())
+        assert qm.max_abs_weight_error() <= scale * 0.5 + 1e-9
+
+    def test_lower_bits_larger_error(self):
+        model = small_model(8)
+        err8 = quantize_model(model, QuantizationSpec(bits=8)).max_abs_weight_error()
+        err4 = quantize_model(model, QuantizationSpec(bits=4)).max_abs_weight_error()
+        assert err4 > err8
+
+
+class TestActivationQuantizer:
+    def test_requires_calibration(self):
+        aq = ActivationQuantizer(small_model())
+        with pytest.raises(RuntimeError):
+            aq.predict(np.zeros((1, 32), dtype=np.float32))
+
+    def test_predictions_close_after_calibration(self):
+        model = small_model(9)
+        x = np.random.default_rng(2).normal(size=(32, 32)).astype(np.float32)
+        aq = ActivationQuantizer(model).calibrate(x)
+        drift = np.abs(aq.predict(x) - model.predict(x))
+        assert drift.max() < 0.2
+
+    def test_outputs_snap_to_code_grid(self):
+        model = small_model(10)
+        x = np.random.default_rng(3).normal(size=(8, 32)).astype(np.float32)
+        aq = ActivationQuantizer(model).calibrate(x)
+        out = aq.predict(x)
+        # With 8-bit codes there can be at most 256 distinct output values
+        # per column.
+        for col in range(out.shape[1]):
+            assert np.unique(out[:, col]).size <= 256

@@ -1,0 +1,206 @@
+"""Tests for the turn-off augmentation (Sec. IV.C) and triplet selection
+(Sec. IV.E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FloorplanTripletSelector,
+    TurnOffAugmentation,
+    UniformTripletSelector,
+    make_selector,
+    simulate_ap_removal,
+)
+from repro.geometry import build_grid_floorplan
+
+
+def rng():
+    return np.random.default_rng(21)
+
+
+def _batch(n=20, f=36, density=0.6, seed=21):
+    r = np.random.default_rng(seed)
+    batch = r.uniform(0.1, 1.0, size=(n, f)).astype(np.float32)
+    batch[r.random((n, f)) > density] = 0.0
+    return batch
+
+
+class TestTurnOffAugmentation:
+    def test_p_zero_is_identity(self):
+        batch = _batch()
+        out = TurnOffAugmentation(0.0)(batch, rng())
+        np.testing.assert_array_equal(out, batch)
+
+    def test_input_not_mutated(self):
+        batch = _batch()
+        before = batch.copy()
+        TurnOffAugmentation(0.9)(batch, rng())
+        np.testing.assert_array_equal(batch, before)
+
+    def test_only_turns_off_never_on(self):
+        batch = _batch()
+        out = TurnOffAugmentation(0.9)(batch, rng())
+        # every changed entry went to exactly zero
+        changed = out != batch
+        assert (out[changed] == 0.0).all()
+        # zeros stayed zero
+        assert (out[batch == 0.0] == 0.0).all()
+
+    def test_expected_fraction(self):
+        assert TurnOffAugmentation(0.9).expected_turned_off_fraction() == 0.45
+
+    def test_statistical_turn_off_rate(self):
+        batch = np.ones((400, 64), np.float32)
+        out = TurnOffAugmentation(0.9)(batch, rng())
+        off_frac = (out == 0).mean()
+        # E[U(0, .9)] = .45, averaged over many rows
+        assert 0.38 < off_frac < 0.52
+
+    def test_images_supported(self):
+        imgs = _batch(8, 36).reshape(8, 1, 6, 6)
+        out = TurnOffAugmentation(0.5)(imgs, rng())
+        assert out.shape == imgs.shape
+
+    def test_invalid_p_upper(self):
+        with pytest.raises(ValueError):
+            TurnOffAugmentation(1.2)
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_off_fraction_bounded_by_p_upper(self, p):
+        batch = np.ones((30, 25), np.float32)
+        out = TurnOffAugmentation(p)(batch, np.random.default_rng(5))
+        per_row_off = (out == 0).mean(axis=1)
+        # each row turns off at most ~p of its pixels (+rounding slack)
+        assert (per_row_off <= p + 0.05).all()
+
+
+class TestSimulateAPRemoval:
+    def test_removes_whole_columns(self):
+        rssi = np.full((10, 20), -50.0)
+        out = simulate_ap_removal(rssi, 0.25, rng())
+        removed_cols = (out == -100.0).all(axis=0)
+        assert removed_cols.sum() == 5
+        assert ((out == -50.0).all(axis=0) | removed_cols).all()
+
+    def test_zero_fraction_noop(self):
+        rssi = np.full((3, 8), -40.0)
+        np.testing.assert_array_equal(simulate_ap_removal(rssi, 0.0, rng()), rssi)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            simulate_ap_removal(np.zeros((1, 4)), 1.5, rng())
+
+
+class TestSelectors:
+    def _floorplan(self):
+        return build_grid_floorplan("t", width=12, height=12, rp_spacing=2.0, margin=2.0)
+
+    def _rp_indices(self, n_rps, fpr=3):
+        return np.repeat(np.arange(n_rps), fpr)
+
+    def test_uniform_negative_never_anchor(self):
+        sel = UniformTripletSelector(self._rp_indices(8))
+        batch = sel.sample(200, rng())
+        a_rp = sel.rp_indices[batch.anchor]
+        n_rp = sel.rp_indices[batch.negative]
+        assert (a_rp != n_rp).all()
+
+    def test_positive_same_rp_as_anchor(self):
+        sel = UniformTripletSelector(self._rp_indices(8))
+        batch = sel.sample(200, rng())
+        a_rp = sel.rp_indices[batch.anchor]
+        p_rp = sel.rp_indices[batch.positive]
+        assert (a_rp == p_rp).all()
+
+    def test_positive_differs_from_anchor_row_when_possible(self):
+        sel = UniformTripletSelector(self._rp_indices(8, fpr=3))
+        batch = sel.sample(300, rng())
+        assert (batch.anchor != batch.positive).all()
+
+    def test_fpr1_positive_degenerates_to_anchor(self):
+        sel = UniformTripletSelector(self._rp_indices(5, fpr=1))
+        batch = sel.sample(50, rng())
+        assert (batch.anchor == batch.positive).all()
+
+    def test_single_rp_rejected(self):
+        with pytest.raises(ValueError):
+            UniformTripletSelector(np.zeros(4, dtype=np.int64))
+
+    def test_floorplan_selector_zero_self_probability(self):
+        fp = self._floorplan()
+        sel = FloorplanTripletSelector(
+            self._rp_indices(fp.n_reference_points), fp, sigma_m=3.0
+        )
+        for rp in (0, 5, fp.n_reference_points - 1):
+            probs = sel.negative_distribution(rp)
+            row = int(np.flatnonzero(sel.rp_labels == rp)[0])
+            assert probs[row] == 0.0
+            assert probs.sum() == pytest.approx(1.0)
+
+    def test_floorplan_selector_prefers_nearby(self):
+        fp = self._floorplan()
+        sel = FloorplanTripletSelector(
+            self._rp_indices(fp.n_reference_points), fp, sigma_m=2.0
+        )
+        anchor = 0
+        probs = sel.negative_distribution(anchor)
+        d = fp.rp_distance_matrix()[anchor]
+        nearest = np.argsort(d)[1]
+        farthest = np.argsort(d)[-1]
+        assert probs[nearest] > probs[farthest]
+
+    def test_floorplan_selector_empirical_bias(self):
+        fp = self._floorplan()
+        sel = FloorplanTripletSelector(
+            self._rp_indices(fp.n_reference_points), fp, sigma_m=2.0
+        )
+        batch = sel.sample(3000, rng())
+        a_rp = sel.rp_indices[batch.anchor]
+        n_rp = sel.rp_indices[batch.negative]
+        d = fp.rp_distance_matrix()
+        dists = np.array([d[a, n] for a, n in zip(a_rp, n_rp)])
+        # mean selected-negative distance well below the floor's mean RP distance
+        assert dists.mean() < d.mean() * 0.8
+
+    def test_floorplan_selector_wide_sigma_approaches_uniform(self):
+        fp = self._floorplan()
+        sel = FloorplanTripletSelector(
+            self._rp_indices(fp.n_reference_points), fp, sigma_m=1e4
+        )
+        probs = sel.negative_distribution(0)
+        nonzero = probs[probs > 0]
+        assert nonzero.max() / nonzero.min() < 1.001
+
+    def test_subset_of_rps_supported(self):
+        """Training data may cover only some of the floorplan's RPs."""
+        fp = self._floorplan()
+        labels = np.array([0, 0, 3, 3, 7, 7])
+        sel = FloorplanTripletSelector(labels, fp, sigma_m=3.0)
+        batch = sel.sample(100, rng())
+        assert set(np.unique(sel.rp_indices[batch.anchor])) <= {0, 3, 7}
+
+    def test_rp_outside_floorplan_rejected(self):
+        fp = self._floorplan()
+        bad = np.array([0, 1, fp.n_reference_points + 5])
+        with pytest.raises(ValueError, match="outside"):
+            FloorplanTripletSelector(bad, fp)
+
+    def test_factory(self):
+        fp = self._floorplan()
+        labels = self._rp_indices(fp.n_reference_points)
+        assert isinstance(make_selector("uniform", labels), UniformTripletSelector)
+        assert isinstance(
+            make_selector("floorplan", labels, fp), FloorplanTripletSelector
+        )
+        with pytest.raises(ValueError):
+            make_selector("floorplan", labels)  # floorplan missing
+        with pytest.raises(KeyError):
+            make_selector("hardest", labels, fp)
+
+    def test_batch_size_validation(self):
+        sel = UniformTripletSelector(self._rp_indices(4))
+        with pytest.raises(ValueError):
+            sel.sample(0, rng())

@@ -1,0 +1,89 @@
+"""Tests for the embedding-dimension calibration sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    StoneConfig,
+    holdout_split,
+    select_embedding_dim,
+)
+from repro.geometry import build_grid_floorplan
+
+from ..conftest import make_synthetic_dataset
+
+FAST = StoneConfig(epochs=3, steps_per_epoch=6, batch_size=16)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    train = make_synthetic_dataset(n_rps=6, fpr=4, n_aps=12, seed=3)
+    fp = build_grid_floorplan("c", width=8, height=6, rp_spacing=2.0, margin=1.0)
+    return train, fp
+
+
+class TestHoldoutSplit:
+    def test_one_holdout_per_rp(self, setup):
+        train, _ = setup
+        fit, val = holdout_split(train, np.random.default_rng(0))
+        assert val.n_samples == train.rp_set.size
+        assert fit.n_samples + val.n_samples == train.n_samples
+        # Every RP still has fit samples.
+        assert set(fit.rp_set.tolist()) == set(train.rp_set.tolist())
+
+    def test_single_sample_rps_stay_in_fit(self):
+        train = make_synthetic_dataset(n_rps=4, fpr=1, n_aps=8, seed=1)
+        extra = make_synthetic_dataset(n_rps=4, fpr=2, n_aps=8, seed=2)
+        merged = train.merge(extra)
+        fit, val = holdout_split(merged, np.random.default_rng(0))
+        # fpr=1 rows cannot be held out; only the fpr=2 RPs contribute.
+        assert val.n_samples == 4
+
+    def test_all_singletons_rejected(self):
+        train = make_synthetic_dataset(n_rps=4, fpr=1, n_aps=8, seed=1)
+        with pytest.raises(ValueError):
+            holdout_split(train, np.random.default_rng(0))
+
+
+class TestSelectEmbeddingDim:
+    def test_sweep_returns_all_points(self, setup):
+        train, fp = setup
+        result = select_embedding_dim(
+            train,
+            fp,
+            dims=(3, 5),
+            base_config=FAST,
+            rng=np.random.default_rng(0),
+        )
+        assert [p.embedding_dim for p in result.points] == [3, 5]
+        for p in result.points:
+            assert np.isfinite(p.val_error_m)
+            assert np.isfinite(p.final_loss)
+
+    def test_best_is_minimum(self, setup):
+        train, fp = setup
+        result = select_embedding_dim(
+            train,
+            fp,
+            dims=(3, 5, 8),
+            base_config=FAST,
+            rng=np.random.default_rng(1),
+        )
+        assert result.best.val_error_m == min(
+            p.val_error_m for p in result.points
+        )
+
+    def test_table_marks_best(self, setup):
+        train, fp = setup
+        result = select_embedding_dim(
+            train, fp, dims=(3, 5), base_config=FAST,
+            rng=np.random.default_rng(2),
+        )
+        assert "<- best" in result.table()
+
+    def test_empty_dims_rejected(self, setup):
+        train, fp = setup
+        with pytest.raises(ValueError):
+            select_embedding_dim(train, fp, dims=())

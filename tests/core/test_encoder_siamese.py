@@ -1,0 +1,196 @@
+"""Tests for the encoder architecture, Siamese training and KNN head."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EncoderConfig,
+    KNNHead,
+    SiameseTrainer,
+    TurnOffAugmentation,
+    UniformTripletSelector,
+    build_encoder,
+    embed,
+)
+from repro.nn import Adam, TripletLoss
+
+
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestEncoderArchitecture:
+    def test_output_is_unit_normalized(self):
+        model = build_encoder(6, EncoderConfig(embedding_dim=4), rng=rng())
+        x = rng().random((10, 1, 6, 6)).astype(np.float32)
+        out = model.predict(x)
+        assert out.shape == (10, 4)
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), 1.0, rtol=1e-5)
+
+    def test_paper_architecture_layers(self):
+        model = build_encoder(8, EncoderConfig(), rng=rng())
+        names = [layer.__class__.__name__ for layer in model.layers]
+        assert names == [
+            "GaussianNoise",
+            "Conv2D",
+            "ReLU",
+            "Dropout",
+            "Conv2D",
+            "ReLU",
+            "Dropout",
+            "Flatten",
+            "Dense",
+            "ReLU",
+            "Dense",
+            "L2Normalize",
+        ]
+        conv1, conv2 = model.layers[1], model.layers[4]
+        assert conv1.out_channels == 64 and conv2.out_channels == 128
+        assert conv1.kernel_size == (2, 2) and conv1.stride == (1, 1)
+
+    def test_inference_is_deterministic(self):
+        model = build_encoder(6, EncoderConfig(dropout_rate=0.5), rng=rng())
+        x = rng().random((4, 1, 6, 6)).astype(np.float32)
+        np.testing.assert_array_equal(model.predict(x), model.predict(x))
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ValueError):
+            build_encoder(2)
+
+    def test_embedding_dim_validation(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(embedding_dim=1)
+
+    def test_embed_helper_batches(self):
+        model = build_encoder(6, EncoderConfig(embedding_dim=3), rng=rng())
+        x = rng().random((700, 1, 6, 6)).astype(np.float32)
+        out = embed(model, x, batch_size=256)
+        assert out.shape == (700, 3)
+
+
+class TestSiameseTraining:
+    def _separable_images(self, n_rps=4, fpr=6, side=5, seed=31):
+        """RP-dependent blob patterns that a working encoder separates."""
+        r = np.random.default_rng(seed)
+        prototypes = r.random((n_rps, side * side)).astype(np.float32)
+        images, labels = [], []
+        for rp in range(n_rps):
+            for _ in range(fpr):
+                sample = prototypes[rp] + r.normal(0, 0.05, side * side)
+                images.append(np.clip(sample, 0, 1))
+                labels.append(rp)
+        images = np.array(images, np.float32).reshape(-1, 1, side, side)
+        return images, np.array(labels)
+
+    def test_loss_decreases(self):
+        images, labels = self._separable_images()
+        model = build_encoder(5, EncoderConfig(embedding_dim=4, dropout_rate=0.0,
+                                               input_noise_sigma=0.01), rng=rng())
+        trainer = SiameseTrainer(
+            model,
+            TripletLoss(0.2),
+            Adam(2e-3),
+            UniformTripletSelector(labels),
+        )
+        history = trainer.fit(
+            images, epochs=8, steps_per_epoch=10, batch_size=24, rng=rng()
+        )
+        assert history.loss[-1] < history.loss[0]
+        assert len(history.loss) == 8
+        assert all(0.0 <= f <= 1.0 for f in history.active_fraction)
+
+    def test_training_separates_classes(self):
+        images, labels = self._separable_images()
+        model = build_encoder(5, EncoderConfig(embedding_dim=4, dropout_rate=0.0,
+                                               input_noise_sigma=0.01), rng=rng())
+        trainer = SiameseTrainer(
+            model, TripletLoss(0.2), Adam(2e-3), UniformTripletSelector(labels)
+        )
+        trainer.fit(images, epochs=15, steps_per_epoch=10, batch_size=24, rng=rng())
+        emb = model.predict(images)
+        # intra-class distances < inter-class distances on average
+        intra, inter = [], []
+        for i in range(len(labels)):
+            for j in range(i + 1, len(labels)):
+                d = float(((emb[i] - emb[j]) ** 2).sum())
+                (intra if labels[i] == labels[j] else inter).append(d)
+        assert np.mean(intra) < np.mean(inter)
+
+    def test_augmentation_branch_independent(self):
+        images, labels = self._separable_images()
+        model = build_encoder(5, EncoderConfig(embedding_dim=3), rng=rng())
+        trainer = SiameseTrainer(
+            model,
+            TripletLoss(0.2),
+            Adam(1e-3),
+            UniformTripletSelector(labels),
+            augmentation=TurnOffAugmentation(0.9),
+        )
+        loss, active = trainer.train_step(images, 16, rng())
+        assert np.isfinite(loss)
+        assert 0.0 <= active <= 1.0
+
+    def test_invalid_fit_args(self):
+        images, labels = self._separable_images()
+        model = build_encoder(5, EncoderConfig(embedding_dim=3), rng=rng())
+        trainer = SiameseTrainer(
+            model, TripletLoss(0.2), Adam(1e-3), UniformTripletSelector(labels)
+        )
+        with pytest.raises(ValueError):
+            trainer.fit(images, epochs=0, steps_per_epoch=5)
+
+
+class TestKNNHead:
+    def test_exact_match_k1(self):
+        emb = np.eye(4)
+        locs = np.array([[0, 0], [1, 0], [0, 1], [1, 1]], dtype=float)
+        head = KNNHead(k=1).fit(emb, np.arange(4), locs)
+        pred = head.predict_location(emb[2][None, :])
+        np.testing.assert_array_equal(pred, [[0, 1]])
+
+    def test_majority_vote(self):
+        # Two references of RP 7 near the query, one of RP 2 farther.
+        emb = np.array([[0.0], [0.1], [5.0]])
+        rps = np.array([7, 7, 2])
+        locs = np.array([[1.0, 1.0], [1.0, 1.0], [9.0, 9.0]])
+        head = KNNHead(k=3).fit(emb, rps, locs)
+        assert head.predict_rp(np.array([[0.05]]))[0] == 7
+
+    def test_tie_breaks_to_nearest(self):
+        emb = np.array([[0.0], [1.0]])
+        rps = np.array([1, 2])
+        locs = np.array([[0.0, 0.0], [5.0, 5.0]])
+        head = KNNHead(k=2).fit(emb, rps, locs)
+        assert head.predict_rp(np.array([[0.2]]))[0] == 1
+
+    def test_regress_mode_averages(self):
+        emb = np.array([[0.0], [1.0]])
+        rps = np.array([0, 1])
+        locs = np.array([[0.0, 0.0], [2.0, 2.0]])
+        head = KNNHead(k=2, mode="regress").fit(emb, rps, locs)
+        np.testing.assert_allclose(
+            head.predict_location(np.array([[0.5]])), [[1.0, 1.0]]
+        )
+
+    def test_k_larger_than_references(self):
+        emb = np.array([[0.0], [1.0]])
+        head = KNNHead(k=10).fit(emb, np.array([0, 1]), np.zeros((2, 2)))
+        assert head.predict_rp(np.array([[0.0]])).shape == (1,)
+
+    def test_kneighbors_sorted(self):
+        emb = np.array([[0.0], [1.0], [2.0], [3.0]])
+        head = KNNHead(k=3).fit(emb, np.arange(4), np.zeros((4, 2)))
+        dist, idx = head.kneighbors(np.array([[1.8]]))
+        assert (np.diff(dist[0]) >= 0).all()
+        assert idx[0, 0] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNHead(k=0)
+        with pytest.raises(ValueError):
+            KNNHead(mode="wat")
+        head = KNNHead()
+        with pytest.raises(RuntimeError):
+            head.predict_rp(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            head.fit(np.zeros((3, 2)), np.zeros(2), np.zeros((3, 2)))

@@ -1,0 +1,75 @@
+"""Tests for the KNN head's soft-score surface (per-RP distances)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KNNHead
+
+
+def fitted_head(seed: int = 0, n_rps: int = 4, per_rp: int = 3, dim: int = 5):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_rps, dim))
+    embeddings = np.repeat(centers, per_rp, axis=0) + rng.normal(
+        0.0, 0.05, size=(n_rps * per_rp, dim)
+    )
+    labels = np.repeat(np.arange(n_rps), per_rp)
+    locations = np.column_stack(
+        [np.repeat(np.arange(n_rps, dtype=float), per_rp), np.zeros(n_rps * per_rp)]
+    )
+    head = KNNHead(k=3).fit(embeddings, labels, locations)
+    return head, centers
+
+
+class TestRpLabels:
+    def test_sorted_unique(self):
+        head, _ = fitted_head()
+        assert head.rp_labels.tolist() == [0, 1, 2, 3]
+
+    def test_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            KNNHead().rp_labels
+
+
+class TestPerRpDistances:
+    def test_shape_and_alignment(self):
+        head, centers = fitted_head()
+        labels, distances = head.per_rp_distances(centers)
+        assert labels.tolist() == [0, 1, 2, 3]
+        assert distances.shape == (4, 4)
+
+    def test_own_center_is_nearest(self):
+        head, centers = fitted_head()
+        _, distances = head.per_rp_distances(centers)
+        assert (distances.argmin(axis=1) == np.arange(4)).all()
+
+    def test_min_over_references_not_mean(self):
+        # One RP with two references, one close and one far: the per-RP
+        # distance must be the close one's.
+        embeddings = np.array([[0.0, 0.0], [10.0, 0.0]])
+        head = KNNHead(k=1).fit(
+            embeddings, np.array([7, 7]), np.zeros((2, 2))
+        )
+        labels, distances = head.per_rp_distances(np.array([[0.1, 0.0]]))
+        assert labels.tolist() == [7]
+        assert distances[0, 0] == pytest.approx(0.1, abs=1e-9)
+
+    def test_single_query_vector_promoted(self):
+        head, centers = fitted_head()
+        _, distances = head.per_rp_distances(centers[0])
+        assert distances.shape == (1, 4)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_distances_nonnegative_and_consistent_with_kneighbors(self, seed):
+        head, _ = fitted_head(seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        queries = rng.normal(size=(3, 5))
+        _, distances = head.per_rp_distances(queries)
+        assert (distances >= 0).all()
+        # The global nearest neighbour's distance equals the min over RPs.
+        knn_dist, _ = head.kneighbors(queries)
+        assert np.allclose(distances.min(axis=1), knn_dist[:, 0], atol=1e-9)

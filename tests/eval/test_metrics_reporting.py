@@ -1,0 +1,124 @@
+"""Tests for evaluation metrics and ASCII reporting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    ErrorSummary,
+    comparison_table,
+    error_cdf,
+    format_table,
+    heatmap,
+    improvement_percent,
+    line_chart,
+    localization_errors,
+    mean_error,
+    visibility_matrix_chart,
+)
+
+
+class TestMetrics:
+    def test_localization_errors(self):
+        pred = np.array([[0.0, 0.0], [1.0, 1.0]])
+        true = np.array([[3.0, 4.0], [1.0, 1.0]])
+        np.testing.assert_allclose(localization_errors(pred, true), [5.0, 0.0])
+
+    def test_mean_error(self):
+        pred = np.array([[0.0, 0.0], [0.0, 0.0]])
+        true = np.array([[0.0, 2.0], [0.0, 4.0]])
+        assert mean_error(pred, true) == pytest.approx(3.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            localization_errors(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_summary_fields(self):
+        errors = np.array([1.0, 2.0, 3.0, 4.0])
+        summary = ErrorSummary.from_errors(errors)
+        assert summary.mean_m == pytest.approx(2.5)
+        assert summary.median_m == pytest.approx(2.5)
+        assert summary.max_m == 4.0
+        assert summary.n_samples == 4
+        assert "2.50" in summary.as_row()
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorSummary.from_errors(np.array([]))
+
+    def test_cdf_monotone_and_bounded(self):
+        errors = np.array([0.5, 1.0, 2.0, 4.0])
+        grid = np.linspace(0, 5, 11)
+        cdf = error_cdf(errors, grid)
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[0] == 0.0
+        assert cdf[-1] == 1.0
+
+    def test_improvement_percent(self):
+        assert improvement_percent(2.0, 1.0) == pytest.approx(50.0)
+        assert improvement_percent(1.0, 1.4) == pytest.approx(-40.0)
+
+    def test_improvement_requires_positive_baseline(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0.0, 1.0)
+
+    @given(
+        st.lists(st.floats(0.1, 50.0), min_size=1, max_size=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_summary_ordering(self, errors):
+        summary = ErrorSummary.from_errors(np.array(errors))
+        assert summary.median_m <= summary.p75_m <= summary.p95_m <= summary.max_m
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1.0, 2.5], [10.25, 3.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "10.25" in table
+
+    def test_line_chart_contains_series_marks(self):
+        chart = line_chart(
+            {"STONE": np.array([1.0, 2.0]), "KNN": np.array([2.0, 1.0])},
+            x_labels=["a", "b"],
+            title="t",
+        )
+        assert "legend" in chart
+        assert "*=STONE" in chart
+        assert "o=KNN" in chart
+
+    def test_line_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_line_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": np.array([1.0]), "b": np.array([1.0, 2.0])})
+
+    def test_heatmap_renders_values(self):
+        text = heatmap(
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+            row_labels=["r1", "r2"],
+            col_labels=["c1", "c2"],
+        )
+        assert "1.00" in text and "4.00" in text
+
+    def test_heatmap_shape_validation(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((2, 2)), row_labels=["a"], col_labels=["b", "c"])
+
+    def test_visibility_chart_marks_missing(self):
+        matrix = np.array([[True, False], [True, True]])
+        text = visibility_matrix_chart(matrix, row_labels=["e0", "e1"])
+        assert "#" in text
+        assert text.splitlines()[0].count(".") == 1
+
+    def test_comparison_table_has_mean_row(self):
+        table = comparison_table(
+            {"A": np.array([1.0, 3.0]), "B": np.array([2.0, 2.0])},
+            x_labels=["e0", "e1"],
+        )
+        assert "MEAN" in table
+        assert "2.00" in table

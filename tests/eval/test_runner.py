@@ -1,0 +1,134 @@
+"""Tests for the longitudinal evaluation runner (protocol correctness)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import Localizer
+from repro.eval import Comparison, compare_frameworks, evaluate_localizer
+from repro.eval.runner import FrameworkResult
+
+
+class OracleLocalizer(Localizer):
+    """Test double: remembers protocol calls, predicts a fixed offset."""
+
+    name = "oracle"
+
+    def __init__(self, offset=0.0):
+        super().__init__()
+        self.offset = offset
+        self.begin_epoch_calls = []
+        self.fit_called = False
+
+    def fit(self, train, floorplan, *, rng=None):
+        self.fit_called = True
+        self._train = train
+        self._fitted = True
+        return self
+
+    def begin_epoch(self, epoch, unlabeled_rssi):
+        self.begin_epoch_calls.append((epoch, unlabeled_rssi.shape))
+
+    def predict(self, rssi):
+        # cheat: look up the true locations by matching scan rows
+        out = np.zeros((rssi.shape[0], 2))
+        out[:] = self._current_truth + self.offset
+        return out
+
+    def set_truth(self, locations):
+        self._current_truth = locations
+
+
+class TestEvaluateLocalizer:
+    def _run(self, suite, offset=0.0):
+        localizer = OracleLocalizer(offset)
+
+        # Wire the oracle so each epoch predicts truth + offset.
+        original_begin = localizer.begin_epoch
+
+        def begin_epoch(epoch, unlabeled):
+            original_begin(epoch, unlabeled)
+            localizer.set_truth(suite.test_epochs[epoch].locations)
+
+        localizer.begin_epoch = begin_epoch
+        return localizer, evaluate_localizer(localizer, suite)
+
+    def test_protocol_calls_in_order(self, tiny_suite):
+        localizer, result = self._run(tiny_suite)
+        assert localizer.fit_called
+        epochs_seen = [e for e, _ in localizer.begin_epoch_calls]
+        assert epochs_seen == list(range(tiny_suite.n_epochs))
+        # begin_epoch received the epoch's scans (unlabeled shape matches)
+        for (epoch, shape) in localizer.begin_epoch_calls:
+            assert shape == tiny_suite.test_epochs[epoch].rssi.shape
+
+    def test_perfect_predictor_zero_error(self, tiny_suite):
+        _, result = self._run(tiny_suite, offset=0.0)
+        np.testing.assert_allclose(result.mean_errors(), 0.0, atol=1e-12)
+
+    def test_offset_predictor_constant_error(self, tiny_suite):
+        _, result = self._run(tiny_suite, offset=3.0)
+        expected = 3.0 * np.sqrt(2)
+        np.testing.assert_allclose(result.mean_errors(), expected, rtol=1e-9)
+        assert result.overall_mean() == pytest.approx(expected)
+
+    def test_result_labels_match_suite(self, tiny_suite):
+        _, result = self._run(tiny_suite)
+        assert result.labels() == tiny_suite.epoch_labels
+
+    def test_fit_seconds_recorded(self, tiny_suite):
+        _, result = self._run(tiny_suite)
+        assert result.fit_seconds >= 0.0
+
+    def test_fit_false_reuses_trained_localizer(self, tiny_suite):
+        # A pre-fitted localizer evaluated with fit=False must not be
+        # re-fitted (the compression benches depend on this).
+        localizer = OracleLocalizer()
+        localizer.fit(tiny_suite.train, tiny_suite.floorplan)
+        localizer.fit_called = False
+
+        original_begin = localizer.begin_epoch
+
+        def begin_epoch(epoch, unlabeled):
+            original_begin(epoch, unlabeled)
+            localizer.set_truth(tiny_suite.test_epochs[epoch].locations)
+
+        localizer.begin_epoch = begin_epoch
+        result = evaluate_localizer(localizer, tiny_suite, fit=False)
+        assert not localizer.fit_called
+        assert result.fit_seconds == 0.0
+        np.testing.assert_allclose(result.mean_errors(), 0.0, atol=1e-12)
+
+
+class TestComparison:
+    def test_compare_frameworks_fast(self, tiny_suite):
+        comparison = compare_frameworks(
+            tiny_suite, ("KNN", "GIFT"), seed=0, fast=True
+        )
+        assert set(comparison.frameworks()) == {"KNN", "GIFT"}
+        series = comparison.series()
+        for name, errors in series.items():
+            assert errors.shape == (tiny_suite.n_epochs,)
+            assert np.isfinite(errors).all()
+
+    def test_best_prior_work(self):
+        comparison = Comparison(suite="t")
+        for name, mean in (("STONE", 0.5), ("KNN", 2.0), ("LT-KNN", 1.0)):
+            result = FrameworkResult(framework=name, suite="t")
+            from repro.eval.metrics import ErrorSummary
+            from repro.eval.runner import EpochResult
+
+            errors = np.array([mean])
+            result.epochs.append(
+                EpochResult(
+                    label="e0",
+                    summary=ErrorSummary.from_errors(errors),
+                    errors=errors,
+                )
+            )
+            comparison.results[name] = result
+        assert comparison.best_prior_work() == "LT-KNN"
+
+    def test_best_prior_requires_candidates(self):
+        comparison = Comparison(suite="t")
+        with pytest.raises(ValueError):
+            comparison.best_prior_work()

@@ -1,0 +1,97 @@
+"""Tests for bootstrap confidence intervals and paired comparisons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    BootstrapCI,
+    bootstrap_mean_ci,
+    epochwise_cis,
+    paired_bootstrap_pvalue,
+)
+
+
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_for_large_sample(self):
+        errors = rng().exponential(2.0, size=2000)
+        ci = bootstrap_mean_ci(errors, rng=rng())
+        assert ci.low <= errors.mean() <= ci.high
+        assert 2.0 in ci or abs(ci.mean - 2.0) < 0.3
+
+    def test_interval_ordering(self):
+        ci = bootstrap_mean_ci(rng().normal(5, 1, 100), rng=rng())
+        assert ci.low <= ci.mean <= ci.high
+
+    def test_degenerate_sample_collapses(self):
+        ci = bootstrap_mean_ci(np.full(50, 3.0), rng=rng())
+        assert ci.low == ci.high == ci.mean == 3.0
+
+    def test_narrower_with_more_data(self):
+        small = bootstrap_mean_ci(rng().normal(0, 1, 20), rng=rng())
+        large = bootstrap_mean_ci(rng().normal(0, 1, 2000), rng=rng())
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.array([1.0]), confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.array([1.0]), n_boot=0)
+
+    @given(st.floats(0.5, 0.99))
+    @settings(max_examples=10, deadline=None)
+    def test_property_wider_at_higher_confidence(self, confidence):
+        errors = np.random.default_rng(3).normal(0, 1, 200)
+        narrow = bootstrap_mean_ci(
+            errors, confidence=0.5, rng=np.random.default_rng(1)
+        )
+        wide = bootstrap_mean_ci(
+            errors, confidence=max(confidence, 0.51), rng=np.random.default_rng(1)
+        )
+        assert (wide.high - wide.low) >= (narrow.high - narrow.low) - 1e-12
+
+    def test_str_rendering(self):
+        text = str(BootstrapCI(mean=1.0, low=0.8, high=1.2, confidence=0.95))
+        assert "95%" in text
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_small_pvalue(self):
+        r = rng()
+        b = r.exponential(2.0, 500)
+        a = b * 0.5  # paired: A is half of B on every sample
+        assert paired_bootstrap_pvalue(a, b, rng=r) < 0.01
+
+    def test_identical_distributions_large_pvalue(self):
+        r = rng()
+        a = r.normal(5, 1, 500)
+        p = paired_bootstrap_pvalue(a, a + r.normal(0, 0.01, 500), rng=r)
+        assert p > 0.05
+
+    def test_reversed_comparison(self):
+        r = rng()
+        b = r.exponential(2.0, 500)
+        a = b * 2.0
+        assert paired_bootstrap_pvalue(a, b, rng=r) > 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_pvalue(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            paired_bootstrap_pvalue(np.array([]), np.array([]))
+
+
+class TestEpochwiseCIs:
+    def test_one_ci_per_epoch(self):
+        per_epoch = [rng().exponential(1.0, 50) for _ in range(4)]
+        cis = epochwise_cis(per_epoch, rng=rng())
+        assert len(cis) == 4
+        for ci, errs in zip(cis, per_epoch):
+            assert ci.mean == pytest.approx(errs.mean())

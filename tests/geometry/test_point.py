@@ -1,0 +1,103 @@
+"""Tests for repro.geometry.point."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    as_point,
+    as_points,
+    centroid,
+    distances_to,
+    euclidean,
+    interpolate_path,
+    pairwise_distances,
+    path_length,
+)
+
+coord = st.floats(-100, 100, allow_nan=False, width=64)
+
+
+class TestCoercion:
+    def test_as_point_from_list(self):
+        np.testing.assert_array_equal(as_point([1.0, 2.0]), [1.0, 2.0])
+
+    def test_as_point_rejects_3d(self):
+        with pytest.raises(ValueError):
+            as_point([1.0, 2.0, 3.0])
+
+    def test_as_points_promotes_single(self):
+        assert as_points([1.0, 2.0]).shape == (1, 2)
+
+    def test_as_points_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            as_points(np.zeros((3, 3)))
+
+
+class TestDistances:
+    def test_euclidean_345(self):
+        assert euclidean([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    @given(st.tuples(coord, coord), st.tuples(coord, coord))
+    @settings(max_examples=50, deadline=None)
+    def test_property_symmetry(self, a, b):
+        assert euclidean(a, b) == pytest.approx(euclidean(b, a))
+
+    @given(
+        st.tuples(coord, coord),
+        st.tuples(coord, coord),
+        st.tuples(coord, coord),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_triangle_inequality(self, a, b, c):
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-9
+
+    def test_pairwise_shape_and_values(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        d = pairwise_distances(a, b)
+        assert d.shape == (2, 1)
+        assert d[0, 0] == pytest.approx(1.0)
+        assert d[1, 0] == pytest.approx(np.sqrt(2))
+
+    def test_distances_to(self):
+        d = distances_to([0, 0], [[3, 4], [6, 8]])
+        np.testing.assert_allclose(d, [5.0, 10.0])
+
+    def test_centroid(self):
+        c = centroid([[0, 0], [2, 0], [1, 3]])
+        np.testing.assert_allclose(c, [1.0, 1.0])
+
+
+class TestPaths:
+    def test_path_length_l_shape(self):
+        assert path_length([[0, 0], [3, 0], [3, 4]]) == pytest.approx(7.0)
+
+    def test_path_length_single_point(self):
+        assert path_length([[1, 1]]) == 0.0
+
+    def test_interpolate_spacing(self):
+        pts = interpolate_path([[0, 0], [10, 0]], spacing=1.0)
+        assert pts.shape == (11, 2)
+        np.testing.assert_allclose(np.diff(pts[:, 0]), 1.0)
+
+    def test_interpolate_covers_corner(self):
+        pts = interpolate_path([[0, 0], [2, 0], [2, 2]], spacing=1.0)
+        assert pts.shape[0] == 5
+        np.testing.assert_allclose(pts[2], [2.0, 0.0])
+        np.testing.assert_allclose(pts[-1], [2.0, 2.0])
+
+    def test_interpolate_rejects_nonpositive_spacing(self):
+        with pytest.raises(ValueError):
+            interpolate_path([[0, 0], [1, 0]], spacing=0.0)
+
+    @given(st.floats(0.3, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_consecutive_spacing_constant(self, spacing):
+        pts = interpolate_path([[0, 0], [7.3, 0], [7.3, 5.1]], spacing)
+        gaps = np.sqrt((np.diff(pts, axis=0) ** 2).sum(axis=1))
+        # all gaps equal the requested spacing (the polyline is unbent
+        # except at the corner, where the gap can only shrink)
+        assert (gaps <= spacing + 1e-9).all()
+        assert (gaps[:-1] >= spacing * 0.5).all()

@@ -1,0 +1,164 @@
+"""Tests for walls, floorplans and the parametric builders."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    MATERIAL_LOSS_DB,
+    Floorplan,
+    Wall,
+    WallSet,
+    build_basement_path,
+    build_corridor_floorplan,
+    build_grid_floorplan,
+    build_office_path,
+    build_uji_library_floor,
+    count_wall_crossings,
+    path_length,
+    segments_intersect,
+    wall_attenuation_db,
+)
+
+
+class TestSegmentIntersection:
+    def test_crossing_segments(self):
+        assert segments_intersect([0, 0], [2, 2], [0, 2], [2, 0])
+
+    def test_parallel_segments(self):
+        assert not segments_intersect([0, 0], [1, 0], [0, 1], [1, 1])
+
+    def test_disjoint_collinear(self):
+        assert not segments_intersect([0, 0], [1, 0], [2, 0], [3, 0])
+
+    def test_touching_endpoint(self):
+        assert segments_intersect([0, 0], [1, 1], [1, 1], [2, 0])
+
+    def test_t_junction(self):
+        assert segments_intersect([0, 0], [2, 0], [1, -1], [1, 0])
+
+
+class TestWalls:
+    def test_material_validation(self):
+        with pytest.raises(ValueError, match="unknown material"):
+            Wall((0, 0), (1, 0), "adamantium")
+
+    def test_degenerate_wall_rejected(self):
+        with pytest.raises(ValueError):
+            Wall((1, 1), (1, 1))
+
+    def test_loss_lookup(self):
+        assert Wall((0, 0), (1, 0), "metal").loss_db == MATERIAL_LOSS_DB["metal"]
+
+    def test_wall_length(self):
+        assert Wall((0, 0), (3, 4)).length == pytest.approx(5.0)
+
+    def test_crossing_count(self):
+        walls = [
+            Wall((1, -1), (1, 1), "drywall"),
+            Wall((2, -1), (2, 1), "concrete"),
+            Wall((5, -1), (5, 1), "metal"),  # beyond the ray
+        ]
+        assert count_wall_crossings([0, 0], [3, 0], walls) == 2
+
+    def test_attenuation_sums_crossed_losses(self):
+        walls = [
+            Wall((1, -1), (1, 1), "drywall"),
+            Wall((2, -1), (2, 1), "concrete"),
+        ]
+        expected = MATERIAL_LOSS_DB["drywall"] + MATERIAL_LOSS_DB["concrete"]
+        assert wall_attenuation_db([0, 0], [3, 0], walls) == pytest.approx(expected)
+
+    def test_wallset_cache_consistency(self):
+        ws = WallSet([Wall((1, -1), (1, 1), "brick")])
+        first = ws.attenuation_db([0, 0], [2, 0])
+        second = ws.attenuation_db([0, 0], [2, 0])  # cached path
+        assert first == second == MATERIAL_LOSS_DB["brick"]
+
+    def test_wallset_cache_invalidation_on_add(self):
+        ws = WallSet([])
+        assert ws.attenuation_db([0, 0], [2, 0]) == 0.0
+        ws.add(Wall((1, -1), (1, 1), "metal"))
+        assert ws.attenuation_db([0, 0], [2, 0]) == MATERIAL_LOSS_DB["metal"]
+
+
+class TestFloorplan:
+    def _fp(self):
+        rps = np.array([[1.0, 1.0], [3.0, 1.0], [1.0, 3.0]])
+        return Floorplan("t", 5.0, 5.0, rps)
+
+    def test_out_of_bounds_rp_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            Floorplan("bad", 2.0, 2.0, np.array([[3.0, 1.0]]))
+
+    def test_empty_rps_rejected(self):
+        with pytest.raises(ValueError):
+            Floorplan("bad", 2.0, 2.0, np.zeros((0, 2)))
+
+    def test_distance_matrix_symmetric_zero_diag(self):
+        fp = self._fp()
+        d = fp.rp_distance_matrix()
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+        assert d[0, 1] == pytest.approx(2.0)
+
+    def test_nearest_rp(self):
+        fp = self._fp()
+        assert fp.nearest_rp([2.8, 1.2]) == 1
+
+    def test_neighbors_within(self):
+        fp = self._fp()
+        near = fp.neighbors_within(0, 2.1)
+        assert set(near.tolist()) == {1, 2}
+        assert fp.neighbors_within(0, 1.0).size == 0
+
+    def test_describe_mentions_counts(self):
+        text = self._fp().describe()
+        assert "3 RPs" in text
+
+
+class TestBuilders:
+    def test_grid_floorplan_layout(self):
+        fp = build_grid_floorplan(width=10, height=8, rp_spacing=2.0, margin=1.0)
+        assert fp.n_reference_points == 5 * 4
+        assert fp.rp_spacing == 2.0
+
+    def test_grid_margin_validation(self):
+        with pytest.raises(ValueError):
+            build_grid_floorplan(width=4, height=4, margin=2.0)
+
+    def test_office_path_is_48m(self):
+        fp = build_office_path()
+        # RPs every 1 m along a 48 m path -> 49 RPs.
+        assert fp.n_reference_points == 49
+        assert fp.name == "office"
+
+    def test_basement_path_is_61m(self):
+        fp = build_basement_path()
+        assert fp.n_reference_points == 62
+
+    def test_rp_spacing_along_paths(self):
+        for fp in (build_office_path(), build_basement_path()):
+            d = fp.rp_distance_matrix()
+            # consecutive RPs along the polyline are <= 1 m apart
+            consecutive = np.array([d[i, i + 1] for i in range(fp.n_reference_points - 1)])
+            assert consecutive.max() <= 1.0 + 1e-9
+
+    def test_uji_floor_is_open_grid(self):
+        fp = build_uji_library_floor()
+        assert fp.n_reference_points > 40
+        # open hall: far fewer walls than the corridors relative to area
+        office = build_office_path()
+        assert len(fp.walls) < len(office.walls)
+
+    def test_corridor_walls_flank_path(self):
+        waypoints = np.array([[2.0, 2.0], [10.0, 2.0]])
+        fp = build_corridor_floorplan(
+            "c", waypoints, width=14, height=8, corridor_halfwidth=1.0
+        )
+        # A ray from the corridor center to beyond the side walls crosses them.
+        atten = fp.attenuation_db([6.0, 2.0], [6.0, 7.5])
+        assert atten > 0
+
+    def test_custom_rp_spacing(self):
+        fp = build_office_path(rp_spacing=2.0)
+        assert fp.n_reference_points == 25

@@ -1,0 +1,70 @@
+"""End-to-end integration tests: dataset -> training -> longitudinal eval.
+
+These run the real pipeline on miniature suites — the same code paths the
+figure benches use at full scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KNNLocalizer, LTKNNLocalizer
+from repro.core import StoneConfig, StoneLocalizer
+from repro.eval import evaluate_localizer, run_fig3
+from repro.eval.experiments import run_fig4
+
+FAST_STONE = dict(epochs=6, steps_per_epoch=12, batch_size=32)
+
+
+class TestStonePipeline:
+    def test_stone_full_pipeline_on_tiny_suite(self, tiny_suite):
+        stone = StoneLocalizer(StoneConfig(**FAST_STONE, seed=0))
+        result = evaluate_localizer(
+            stone, tiny_suite, rng=np.random.default_rng(0)
+        )
+        errors = result.mean_errors()
+        assert errors.shape == (tiny_suite.n_epochs,)
+        assert np.isfinite(errors).all()
+        # even a lightly trained encoder localizes on the path scale
+        floor_diag = np.hypot(
+            tiny_suite.floorplan.width, tiny_suite.floorplan.height
+        )
+        assert errors.mean() < floor_diag / 2
+
+    def test_stone_vs_knn_same_protocol(self, tiny_suite):
+        rng = np.random.default_rng(1)
+        stone_result = evaluate_localizer(
+            StoneLocalizer(StoneConfig(**FAST_STONE, seed=1)), tiny_suite, rng=rng
+        )
+        knn_result = evaluate_localizer(KNNLocalizer(), tiny_suite)
+        assert stone_result.labels() == knn_result.labels()
+        # KNN is near-perfect on epoch 0 (same-morning held-out scans)
+        assert knn_result.mean_errors()[0] < 2.0
+
+    def test_ltknn_adapts_across_epochs(self, tiny_suite):
+        lt = LTKNNLocalizer()
+        result = evaluate_localizer(lt, tiny_suite)
+        assert np.isfinite(result.mean_errors()).all()
+        assert result.requires_retraining
+
+    def test_deterministic_end_to_end(self, tiny_suite):
+        errs = []
+        for _ in range(2):
+            stone = StoneLocalizer(StoneConfig(**FAST_STONE, seed=5))
+            result = evaluate_localizer(
+                stone, tiny_suite, rng=np.random.default_rng(5)
+            )
+            errs.append(result.mean_errors())
+        np.testing.assert_array_equal(errs[0], errs[1])
+
+
+class TestFigureSmoke:
+    def test_fig3_renders(self):
+        result = run_fig3(seed=0)
+        assert "office" in result.rendered
+        assert result.series["office"]["n_rps"] == 49
+
+    @pytest.mark.slow
+    def test_fig4_renders(self):
+        result = run_fig4(seed=0, kinds=("office",))
+        assert "#" in result.rendered
+        assert result.series["office"].shape[0] == 16

@@ -1,0 +1,79 @@
+"""Integration: the extension subsystems composed, end to end.
+
+One miniature deployment drives STONE through compression and tracking
+together — the workflow a real on-device deployment would use: train,
+quantize for the phone, then smooth a walk months later.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compress import QuantizationSpec, quantize_model
+from repro.core import StoneConfig, StoneLocalizer
+from repro.datasets import SuiteConfig, generate_path_suite
+from repro.radio.time import SimTime
+from repro.tracking import (
+    TrackingSummary,
+    simulate_path_walk,
+    track_trajectory,
+)
+
+FAST = dict(epochs=5, steps_per_epoch=10, batch_size=32)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    suite = generate_path_suite(
+        "office",
+        seed=21,
+        config=SuiteConfig(n_aps=24, fpr=4, train_fpr=3),
+        n_cis=6,
+    )
+    stone = StoneLocalizer(StoneConfig.for_suite("office", **FAST))
+    stone.fit(suite.train, suite.floorplan, rng=np.random.default_rng(0))
+    return suite, stone
+
+
+class TestCompressedTracking:
+    def test_quantized_stone_tracks_a_walk(self, deployment):
+        suite, stone = deployment
+        quantized = quantize_model(stone.encoder, QuantizationSpec(bits=8))
+        stone.set_encoder(quantized.dequantized_model())
+        env = suite.metadata["environment"]
+        walk = simulate_path_walk(
+            env,
+            start_rp=0,
+            end_rp=20,
+            epoch=3,
+            start_time=SimTime(suite.metadata["ci_hours"][3]),
+            rng=np.random.default_rng(4),
+        )
+        locations, summary = track_trajectory(
+            stone, walk, suite.floorplan, method="viterbi"
+        )
+        assert isinstance(summary, TrackingSummary)
+        assert locations.shape == (walk.n_steps, 2)
+        # The quantized encoder must still localize the walk coherently
+        # on a fresh-ish deployment (generous bound; tiny training).
+        assert summary.mean_m < 8.0
+
+    def test_smoothing_consistency_across_methods(self, deployment):
+        suite, stone = deployment
+        env = suite.metadata["environment"]
+        walk = simulate_path_walk(
+            env, start_rp=5, end_rp=25, epoch=1, rng=np.random.default_rng(9)
+        )
+        raw, raw_summary = track_trajectory(
+            stone, walk, suite.floorplan, method="raw"
+        )
+        smooth, smooth_summary = track_trajectory(
+            stone, walk, suite.floorplan, method="smooth"
+        )
+        assert raw.shape == smooth.shape
+        # Smoothed tracks move less between steps than raw per-scan
+        # output (that is what the motion prior buys).
+        raw_jumps = np.linalg.norm(np.diff(raw, axis=0), axis=1).mean()
+        smooth_jumps = np.linalg.norm(np.diff(smooth, axis=0), axis=1).mean()
+        assert smooth_jumps <= raw_jumps + 0.5

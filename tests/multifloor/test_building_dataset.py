@@ -1,0 +1,153 @@
+"""Tests for the building model and multi-floor containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.fingerprint import FingerprintDataset
+from repro.geometry import build_grid_floorplan
+from repro.multifloor import (
+    Building,
+    MultiFloorDataset,
+    MultiFloorSuite,
+    SlabModel,
+)
+
+
+def grid(name="f"):
+    return build_grid_floorplan(name, width=12.0, height=10.0, rp_spacing=2.0)
+
+
+def tiny_mf_dataset(n_floors=2, rows_per_floor=4, n_aps=6):
+    n = n_floors * rows_per_floor
+    fingerprints = FingerprintDataset(
+        rssi=np.full((n, n_aps), -60.0),
+        rp_indices=np.arange(n, dtype=np.int64),
+        locations=np.zeros((n, 2)),
+        times_hours=np.zeros(n),
+        epochs=np.zeros(n, dtype=np.int64),
+    )
+    floors = np.repeat(np.arange(n_floors), rows_per_floor)
+    return MultiFloorDataset(fingerprints=fingerprints, floor_indices=floors)
+
+
+class TestSlabModel:
+    def test_zero_slabs_zero_attenuation(self):
+        rng = np.random.default_rng(0)
+        assert SlabModel().attenuation_db(0, rng) == 0.0
+
+    @given(n=st.integers(min_value=1, max_value=5), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_attenuation_nonnegative_and_grows(self, n, seed):
+        slab = SlabModel(per_slab_db=18.0, jitter_db=2.0)
+        rng = np.random.default_rng(seed)
+        att = slab.attenuation_db(n, rng)
+        assert att >= 0.0
+        # n slabs should attenuate at least as much as the jitter allows
+        # below the deterministic bulk.
+        assert att >= 18.0 * n - 5 * 2.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            SlabModel(per_slab_db=0.0)
+        with pytest.raises(ValueError):
+            SlabModel(jitter_db=-1.0)
+        with pytest.raises(ValueError):
+            SlabModel().attenuation_db(-1, np.random.default_rng(0))
+
+
+class TestBuilding:
+    def test_floor_access_and_slabs(self):
+        b = Building("b", [grid("f0"), grid("f1"), grid("f2")])
+        assert b.n_floors == 3
+        assert b.floor(1).name == "f1"
+        assert b.slabs_between(0, 2) == 2
+        assert b.slabs_between(2, 2) == 0
+
+    def test_out_of_range_floor_rejected(self):
+        b = Building("b", [grid()])
+        with pytest.raises(IndexError):
+            b.floor(1)
+        with pytest.raises(IndexError):
+            b.floor(-1)
+
+    def test_empty_building_rejected(self):
+        with pytest.raises(ValueError):
+            Building("b", [])
+
+    def test_describe_mentions_floors(self):
+        b = Building("lib", [grid("f0"), grid("f1")])
+        text = b.describe()
+        assert "2 floors" in text and "f1" in text
+
+
+class TestMultiFloorDataset:
+    def test_floor_slice_selects_rows(self):
+        ds = tiny_mf_dataset(n_floors=3, rows_per_floor=5)
+        sliced = ds.floor_slice(1)
+        assert sliced.n_samples == 5
+        assert np.array_equal(sliced.rp_indices, np.arange(5, 10))
+
+    def test_floor_set(self):
+        ds = tiny_mf_dataset(n_floors=3)
+        assert ds.floor_set.tolist() == [0, 1, 2]
+
+    def test_select_preserves_floors(self):
+        ds = tiny_mf_dataset()
+        sub = ds.select(np.array([0, 5]))
+        assert sub.floor_indices.tolist() == [0, 1]
+
+    def test_misaligned_floors_rejected(self):
+        ds = tiny_mf_dataset()
+        with pytest.raises(ValueError):
+            MultiFloorDataset(
+                fingerprints=ds.fingerprints,
+                floor_indices=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_negative_floor_rejected(self):
+        ds = tiny_mf_dataset()
+        with pytest.raises(ValueError):
+            MultiFloorDataset(
+                fingerprints=ds.fingerprints,
+                floor_indices=np.full(ds.n_samples, -1, dtype=np.int64),
+            )
+
+
+class TestMultiFloorSuite:
+    def test_label_count_enforced(self):
+        ds = tiny_mf_dataset()
+        b = Building("b", [grid("f0"), grid("f1")])
+        with pytest.raises(ValueError):
+            MultiFloorSuite(
+                name="s",
+                building=b,
+                train=ds,
+                test_epochs=[ds],
+                epoch_labels=["a", "b"],
+            )
+
+    def test_ap_mismatch_rejected(self):
+        ds = tiny_mf_dataset(n_aps=6)
+        other = tiny_mf_dataset(n_aps=8)
+        b = Building("b", [grid("f0"), grid("f1")])
+        with pytest.raises(ValueError):
+            MultiFloorSuite(
+                name="s",
+                building=b,
+                train=ds,
+                test_epochs=[other],
+                epoch_labels=["m1"],
+            )
+
+    def test_describe(self):
+        ds = tiny_mf_dataset()
+        b = Building("b", [grid("f0"), grid("f1")])
+        suite = MultiFloorSuite(
+            name="s", building=b, train=ds, test_epochs=[ds], epoch_labels=["m1"]
+        )
+        assert "2 floors" in suite.describe()
+        assert suite.n_epochs == 1

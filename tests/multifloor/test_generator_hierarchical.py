@@ -1,0 +1,157 @@
+"""Tests for the multi-floor generator, floor classifier and
+hierarchical localizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import KNNLocalizer
+from repro.multifloor import (
+    FloorClassifier,
+    HierarchicalLocalizer,
+    MultiFloorConfig,
+    evaluate_multifloor,
+    floor_hit_rate,
+    combined_error_m,
+    generate_multifloor_suite,
+)
+from repro.radio.access_point import NO_SIGNAL_DBM
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    return generate_multifloor_suite(
+        3,
+        config=MultiFloorConfig(
+            aps_per_floor=12, train_fpr=3, test_fpr=1, n_months=2
+        ),
+    )
+
+
+class TestGenerator:
+    def test_shapes_and_namespace(self, mini_suite):
+        assert mini_suite.train.n_aps == 24  # 12 per floor x 2 floors
+        assert mini_suite.building.n_floors == 2
+        assert mini_suite.n_epochs == 2
+
+    def test_global_rp_labels_disjoint_across_floors(self, mini_suite):
+        f0 = mini_suite.train.floor_slice(0)
+        f1 = mini_suite.train.floor_slice(1)
+        assert set(f0.rp_set.tolist()).isdisjoint(f1.rp_set.tolist())
+
+    def test_cross_floor_signal_weaker(self, mini_suite):
+        # Rows captured on floor 0: their own 12 AP columns must carry
+        # more energy than the other floor's columns on average.
+        train = mini_suite.train
+        f0_rows = train.floor_slice(0).rssi
+        own = f0_rows[:, :12]
+        other = f0_rows[:, 12:]
+        own_mean = own[own > NO_SIGNAL_DBM].mean()
+        other_heard = other[other > NO_SIGNAL_DBM]
+        if other_heard.size:
+            assert own_mean > other_heard.mean()
+        # And far fewer cross-floor APs are heard at all.
+        assert (own > NO_SIGNAL_DBM).mean() > (other > NO_SIGNAL_DBM).mean()
+
+    def test_deterministic_under_seed(self):
+        cfg = MultiFloorConfig(
+            aps_per_floor=8, train_fpr=2, test_fpr=1, n_months=1
+        )
+        a = generate_multifloor_suite(9, config=cfg)
+        b = generate_multifloor_suite(9, config=cfg)
+        assert np.array_equal(a.train.fingerprints.rssi, b.train.fingerprints.rssi)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MultiFloorConfig(n_floors=1)
+        with pytest.raises(ValueError):
+            MultiFloorConfig(aps_per_floor=0)
+        with pytest.raises(ValueError):
+            MultiFloorConfig(n_months=0)
+
+
+class TestFloorClassifier:
+    def test_separates_floors_on_suite(self, mini_suite):
+        clf = FloorClassifier(k=3).fit(
+            mini_suite.train.fingerprints.rssi, mini_suite.train.floor_indices
+        )
+        test = mini_suite.test_epochs[0]
+        predicted = clf.predict(test.fingerprints.rssi)
+        assert floor_hit_rate(predicted, test.floor_indices) > 0.9
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            FloorClassifier().predict(np.full((1, 4), -60.0))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            FloorClassifier(k=0)
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            FloorClassifier().fit(
+                np.full((4, 6), -60.0), np.zeros(3, dtype=np.int64)
+            )
+
+
+class TestHierarchicalLocalizer:
+    def test_end_to_end(self, mini_suite):
+        hl = HierarchicalLocalizer(lambda floor: KNNLocalizer())
+        results = evaluate_multifloor(
+            hl, mini_suite, rng=np.random.default_rng(0)
+        )
+        assert len(results) == mini_suite.n_epochs
+        for r in results:
+            assert r.floor_hit_rate > 0.8
+            assert r.mean_combined_m >= r.mean_2d_m - 1e-9
+            assert "floor" in r.as_row()
+
+    def test_predict_before_fit_rejected(self):
+        hl = HierarchicalLocalizer(lambda floor: KNNLocalizer())
+        with pytest.raises(RuntimeError):
+            hl.predict(np.full((1, 24), -60.0))
+
+    def test_one_localizer_per_floor(self, mini_suite):
+        hl = HierarchicalLocalizer(lambda floor: KNNLocalizer())
+        hl.fit(mini_suite.train, mini_suite.building)
+        assert sorted(hl.per_floor) == [0, 1]
+
+    def test_floor_routing_matches_classifier(self, mini_suite):
+        hl = HierarchicalLocalizer(lambda floor: KNNLocalizer())
+        hl.fit(mini_suite.train, mini_suite.building)
+        rssi = mini_suite.test_epochs[0].fingerprints.rssi[:10]
+        floors, coords = hl.predict(rssi)
+        assert floors.shape == (10,)
+        assert coords.shape == (10, 2)
+        assert set(np.unique(floors).tolist()) <= {0, 1}
+
+
+class TestMetrics:
+    def test_combined_error_floor_penalty(self):
+        xy = np.zeros((2, 2))
+        errors = combined_error_m(
+            predicted_floors=np.array([0, 1]),
+            predicted_xy=xy,
+            actual_floors=np.array([0, 0]),
+            actual_xy=xy,
+            floor_height_m=3.5,
+        )
+        assert errors[0] == 0.0
+        assert errors[1] == pytest.approx(3.5)
+
+    def test_combined_error_pythagoras(self):
+        errors = combined_error_m(
+            predicted_floors=np.array([1]),
+            predicted_xy=np.array([[3.0, 0.0]]),
+            actual_floors=np.array([0]),
+            actual_xy=np.array([[0.0, 0.0]]),
+            floor_height_m=4.0,
+        )
+        assert errors[0] == pytest.approx(5.0)
+
+    def test_floor_hit_rate_validation(self):
+        with pytest.raises(ValueError):
+            floor_hit_rate(np.array([0]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            floor_hit_rate(np.array([]), np.array([]))

@@ -1,0 +1,97 @@
+"""Tests for repro.nn.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import initializers as init
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestBasicInitializers:
+    def test_zeros(self, rng):
+        arr = init.zeros((3, 4), rng)
+        assert arr.shape == (3, 4)
+        assert arr.dtype == np.float32
+        assert (arr == 0).all()
+
+    def test_ones(self, rng):
+        arr = init.ones((5,), rng)
+        assert (arr == 1).all()
+
+    def test_normal_std(self, rng):
+        arr = init.normal((200, 200), rng, std=0.05)
+        assert abs(float(arr.std()) - 0.05) < 0.005
+
+    def test_uniform_limits(self, rng):
+        arr = init.uniform((100, 100), rng, limit=0.2)
+        assert float(arr.min()) >= -0.2
+        assert float(arr.max()) <= 0.2
+
+
+class TestFanBasedInitializers:
+    def test_he_normal_std_matches_fan_in(self, rng):
+        fan_in = 400
+        arr = init.he_normal((fan_in, 300), rng)
+        expected = np.sqrt(2.0 / fan_in)
+        assert abs(float(arr.std()) - expected) / expected < 0.05
+
+    def test_glorot_uniform_limit(self, rng):
+        arr = init.glorot_uniform((100, 100), rng)
+        limit = np.sqrt(6.0 / 200)
+        assert float(np.abs(arr).max()) <= limit + 1e-6
+
+    def test_conv_kernel_fans(self):
+        fan_in, fan_out = init._fan_in_out((64, 32, 2, 2))
+        assert fan_in == 32 * 4
+        assert fan_out == 64 * 4
+
+    def test_dense_fans(self):
+        assert init._fan_in_out((10, 20)) == (10, 20)
+
+    def test_vector_fans(self):
+        assert init._fan_in_out((7,)) == (7, 7)
+
+    def test_lecun_normal_std(self, rng):
+        arr = init.lecun_normal((500, 100), rng)
+        expected = np.sqrt(1.0 / 500)
+        assert abs(float(arr.std()) - expected) / expected < 0.05
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            init._fan_in_out(())
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert init.get_initializer("he_normal") is init.he_normal
+
+    def test_xavier_alias(self):
+        assert init.get_initializer("xavier_uniform") is init.glorot_uniform
+
+    def test_callable_passthrough(self):
+        fn = lambda shape, rng: np.zeros(shape, dtype=np.float32)  # noqa: E731
+        assert init.get_initializer(fn) is fn
+
+    def test_unknown_name_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="he_normal"):
+            init.get_initializer("not_an_init")
+
+    def test_available_list_sorted(self):
+        names = init.available_initializers()
+        assert names == sorted(names)
+        assert "glorot_uniform" in names
+
+    def test_all_registered_produce_correct_shape(self, rng):
+        for name in init.available_initializers():
+            arr = init.get_initializer(name)((4, 6), rng)
+            assert arr.shape == (4, 6)
+            assert arr.dtype == np.float32
+
+    def test_determinism_under_seed(self):
+        a = init.he_normal((5, 5), np.random.default_rng(42))
+        b = init.he_normal((5, 5), np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,258 @@
+"""Tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import (
+    BatchHardTripletLoss,
+    ContrastiveLoss,
+    MSELoss,
+    SoftmaxCrossEntropy,
+    TripletLoss,
+    check_loss_grad,
+    pairwise_squared_distances,
+)
+
+TOL = 5e-3
+
+
+def rng():
+    return np.random.default_rng(11)
+
+
+def _emb(n=6, d=4, scale=1.0, seed=11):
+    return (np.random.default_rng(seed).normal(size=(n, d)) * scale).astype(
+        np.float32
+    )
+
+
+class TestTripletLoss:
+    def test_zero_when_well_separated(self):
+        a = np.array([[1.0, 0.0]], np.float32)
+        p = np.array([[1.0, 0.05]], np.float32)
+        n = np.array([[-1.0, 0.0]], np.float32)
+        assert TripletLoss(margin=0.2).value(a, p, n) == 0.0
+
+    def test_positive_when_violated(self):
+        a = np.array([[1.0, 0.0]], np.float32)
+        p = np.array([[-1.0, 0.0]], np.float32)  # positive far away
+        n = np.array([[1.0, 0.1]], np.float32)  # negative close
+        assert TripletLoss(margin=0.2).value(a, p, n) > 0.0
+
+    def test_margin_value_at_equal_distances(self):
+        a = np.array([[0.0, 0.0]], np.float32)
+        p = np.array([[1.0, 0.0]], np.float32)
+        n = np.array([[0.0, 1.0]], np.float32)
+        assert TripletLoss(margin=0.3).value(a, p, n) == pytest.approx(0.3)
+
+    def test_gradients_match_numerical(self):
+        loss = TripletLoss(0.5)
+        a, p, n = _emb(seed=1), _emb(seed=2), _emb(seed=3)
+        for which in range(3):
+            def value(x):
+                args = [a, p, n]
+                args[which] = x
+                return loss.value(*args)
+
+            def grad(x):
+                args = [a, p, n]
+                args[which] = x
+                return loss.grad(*args)[which]
+
+            err = check_loss_grad(value, grad, [a, p, n][which])
+            assert err < TOL, f"branch {which} gradient mismatch: {err}"
+
+    def test_active_fraction_bounds(self):
+        loss = TripletLoss(0.2)
+        a, p, n = _emb(seed=1), _emb(seed=2), _emb(seed=3)
+        frac = loss.active_fraction(a, p, n)
+        assert 0.0 <= frac <= 1.0
+
+    def test_inactive_triplets_get_zero_gradient(self):
+        a = np.array([[1.0, 0.0]], np.float32)
+        p = np.array([[1.0, 0.0]], np.float32)
+        n = np.array([[-1.0, 0.0]], np.float32)
+        da, dp, dn = TripletLoss(0.1).grad(a, p, n)
+        assert (da == 0).all() and (dp == 0).all() and (dn == 0).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TripletLoss().value(_emb(4), _emb(4), _emb(5))
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            TripletLoss(-0.1)
+
+    @given(
+        arrays(np.float32, (4, 3), elements=st.floats(-2, 2, width=32)),
+        arrays(np.float32, (4, 3), elements=st.floats(-2, 2, width=32)),
+        arrays(np.float32, (4, 3), elements=st.floats(-2, 2, width=32)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_loss_nonnegative(self, a, p, n):
+        assert TripletLoss(0.2).value(a, p, n) >= 0.0
+
+    @given(st.floats(0.0, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_loss_monotone_in_margin(self, margin):
+        a, p, n = _emb(seed=4), _emb(seed=5), _emb(seed=6)
+        small = TripletLoss(0.0).value(a, p, n)
+        large = TripletLoss(margin).value(a, p, n)
+        assert large >= small
+
+
+class TestContrastiveLoss:
+    def test_similar_pair_penalizes_distance(self):
+        x1 = np.array([[0.0, 0.0]], np.float32)
+        x2 = np.array([[3.0, 4.0]], np.float32)
+        loss = ContrastiveLoss(margin=1.0)
+        assert loss.value(x1, x2, np.array([1.0])) == pytest.approx(25.0, rel=1e-4)
+
+    def test_dissimilar_pair_beyond_margin_is_free(self):
+        x1 = np.array([[0.0, 0.0]], np.float32)
+        x2 = np.array([[5.0, 0.0]], np.float32)
+        loss = ContrastiveLoss(margin=1.0)
+        assert loss.value(x1, x2, np.array([0.0])) == pytest.approx(0.0, abs=1e-6)
+
+    def test_dissimilar_pair_inside_margin_penalized(self):
+        x1 = np.array([[0.0, 0.0]], np.float32)
+        x2 = np.array([[0.5, 0.0]], np.float32)
+        loss = ContrastiveLoss(margin=1.0)
+        assert loss.value(x1, x2, np.array([0.0])) == pytest.approx(0.25, rel=1e-3)
+
+    def test_gradient_matches_numerical(self):
+        loss = ContrastiveLoss(1.0)
+        x1, x2 = _emb(seed=7), _emb(seed=8)
+        y = (np.arange(6) % 2).astype(np.float32)
+        err = check_loss_grad(
+            lambda x: loss.value(x, x2, y),
+            lambda x: loss.grad(x, x2, y)[0],
+            x1,
+            eps=1e-2,
+        )
+        assert err < TOL
+
+    def test_grad_antisymmetry(self):
+        loss = ContrastiveLoss(1.0)
+        x1, x2 = _emb(seed=7), _emb(seed=8)
+        y = np.ones(6, np.float32)
+        g1, g2 = loss.grad(x1, x2, y)
+        np.testing.assert_allclose(g1, -g2, rtol=1e-5)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]], np.float32)
+        labels = np.array([0, 1])
+        assert SoftmaxCrossEntropy().value(logits, labels) < 1e-4
+
+    def test_uniform_prediction_log_k(self):
+        logits = np.zeros((3, 5), np.float32)
+        labels = np.array([0, 2, 4])
+        assert SoftmaxCrossEntropy().value(logits, labels) == pytest.approx(
+            np.log(5), rel=1e-4
+        )
+
+    def test_gradient_matches_numerical(self):
+        loss = SoftmaxCrossEntropy()
+        logits = _emb(5, 4, seed=9)
+        labels = np.array([0, 1, 2, 3, 0])
+        err = check_loss_grad(
+            lambda x: loss.value(x, labels),
+            lambda x: loss.grad(x, labels),
+            logits,
+            eps=1e-2,
+        )
+        assert err < TOL
+
+    def test_gradient_rows_sum_to_zero(self):
+        logits = _emb(5, 4, seed=9)
+        grad = SoftmaxCrossEntropy().grad(logits, np.array([0, 1, 2, 3, 0]))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_label_smoothing_softens_loss(self):
+        logits = np.array([[8.0, -8.0]], np.float32)
+        labels = np.array([0])
+        plain = SoftmaxCrossEntropy().value(logits, labels)
+        smoothed = SoftmaxCrossEntropy(0.2).value(logits, labels)
+        assert smoothed > plain
+
+    def test_out_of_range_labels_rejected(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().value(np.zeros((2, 3), np.float32), np.array([0, 3]))
+
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [1.0, 0.0]], np.float32)
+        acc = SoftmaxCrossEntropy().accuracy(logits, np.array([0, 1, 1]))
+        assert acc == pytest.approx(2 / 3)
+
+
+class TestMSELoss:
+    def test_zero_for_identical(self):
+        x = _emb(seed=10)
+        assert MSELoss().value(x, x) == 0.0
+
+    def test_known_value(self):
+        pred = np.array([[1.0, 2.0]], np.float32)
+        target = np.array([[0.0, 0.0]], np.float32)
+        assert MSELoss().value(pred, target) == pytest.approx(2.5)
+
+    def test_gradient_matches_numerical(self):
+        target = _emb(seed=12)
+        pred = _emb(seed=13)
+        loss = MSELoss()
+        err = check_loss_grad(
+            lambda x: loss.value(x, target),
+            lambda x: loss.grad(x, target),
+            pred,
+            eps=1e-2,
+        )
+        assert err < TOL
+
+
+class TestPairwiseDistances:
+    def test_symmetry_and_zero_diagonal(self):
+        d2 = pairwise_squared_distances(_emb(seed=14))
+        np.testing.assert_allclose(d2, d2.T, atol=1e-5)
+        np.testing.assert_allclose(np.diag(d2), 0.0, atol=1e-5)
+
+    def test_matches_direct_computation(self):
+        x = _emb(5, 3, seed=15)
+        d2 = pairwise_squared_distances(x)
+        direct = ((x[:, None, :] - x[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(d2, direct, atol=1e-4)
+
+    @given(arrays(np.float32, (5, 3), elements=st.floats(-5, 5, width=32)))
+    @settings(max_examples=30, deadline=None)
+    def test_property_nonnegative(self, x):
+        assert (pairwise_squared_distances(x) >= 0).all()
+
+
+class TestBatchHardTripletLoss:
+    def _labeled_batch(self):
+        emb = _emb(8, 4, seed=16)
+        labels = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        return emb, labels
+
+    def test_value_nonnegative(self):
+        emb, labels = self._labeled_batch()
+        assert BatchHardTripletLoss(0.2).value(emb, labels) >= 0.0
+
+    def test_gradient_matches_numerical(self):
+        emb, labels = self._labeled_batch()
+        loss = BatchHardTripletLoss(0.5)
+        err = check_loss_grad(
+            lambda x: loss.value(x, labels),
+            lambda x: loss.grad(x, labels),
+            emb,
+            eps=1e-2,
+        )
+        assert err < TOL
+
+    def test_requires_positives_and_negatives(self):
+        emb = _emb(4, 3, seed=17)
+        with pytest.raises(ValueError, match="positive"):
+            BatchHardTripletLoss().value(emb, np.array([0, 1, 2, 3]))

@@ -1,0 +1,239 @@
+"""Tests for Sequential, Trainer, and the Siamese shared-weight property."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Conv2D,
+    Dense,
+    Dropout,
+    EarlyStopping,
+    Flatten,
+    L2Normalize,
+    MSELoss,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropy,
+    Trainer,
+    TripletLoss,
+    iterate_minibatches,
+    schedules,
+)
+
+
+def rng():
+    return np.random.default_rng(5)
+
+
+def small_mlp(in_f=4, out_f=3, seed=5):
+    r = np.random.default_rng(seed)
+    return Sequential(
+        [Dense(in_f, 8, rng=r), ReLU(), Dense(8, out_f, rng=r)]
+    )
+
+
+class TestSequential:
+    def test_parameter_keys_are_indexed(self):
+        model = small_mlp()
+        keys = set(model.parameters())
+        assert keys == {"0.W", "0.b", "2.W", "2.b"}
+
+    def test_n_params(self):
+        model = small_mlp()
+        assert model.n_params() == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_forward_backward_shapes(self):
+        model = small_mlp()
+        x = rng().normal(size=(6, 4)).astype(np.float32)
+        y, caches = model.forward(x)
+        assert y.shape == (6, 3)
+        dx, grads = model.backward(np.ones_like(y), caches)
+        assert dx.shape == x.shape
+        assert set(grads) == set(model.parameters())
+
+    def test_predict_batched_equals_single(self):
+        model = small_mlp()
+        x = rng().normal(size=(500, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            model.predict(x, batch_size=64), model.predict(x, batch_size=1000),
+            rtol=1e-5,
+        )
+
+    def test_output_shape_propagation(self):
+        model = Sequential(
+            [
+                Conv2D(1, 4, (2, 2), rng=rng()),
+                ReLU(),
+                Flatten(),
+                Dense(4 * 4 * 4, 7, rng=rng()),
+            ]
+        )
+        assert model.output_shape((1, 5, 5)) == (7,)
+
+    def test_summary_mentions_total(self):
+        text = small_mlp().summary((4,))
+        assert "total params" in text
+
+    def test_cache_count_mismatch_raises(self):
+        model = small_mlp()
+        with pytest.raises(ValueError):
+            model.backward(np.zeros((1, 3), np.float32), [None])
+
+    def test_set_parameters_strict(self):
+        model = small_mlp()
+        with pytest.raises(KeyError):
+            model.set_parameters({"0.W": np.zeros((4, 8), np.float32)})
+
+    def test_save_load_roundtrip(self, tmp_path):
+        model = Sequential(
+            [
+                Conv2D(1, 3, (2, 2), rng=rng()),
+                ReLU(),
+                Flatten(),
+                Dense(3 * 3 * 3, 5, rng=rng()),
+                L2Normalize(),
+            ]
+        )
+        x = rng().normal(size=(4, 1, 4, 4)).astype(np.float32)
+        expected = model.predict(x)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        loaded = Sequential.load(path)
+        np.testing.assert_allclose(loaded.predict(x), expected, rtol=1e-6)
+
+    def test_add_rejects_non_layer(self):
+        with pytest.raises(TypeError):
+            Sequential().add("not a layer")
+
+
+class TestSharedWeightTripletBackward:
+    """The property Siamese training relies on: multiple forwards through
+    one weight set, then multiple backwards with gradient accumulation,
+    must equal the sum of independent per-branch gradients."""
+
+    def test_accumulated_equals_sum_of_branches(self):
+        model = small_mlp(out_f=4)
+        loss = TripletLoss(0.5)
+        xa = rng().normal(size=(5, 4)).astype(np.float32)
+        xp = xa + 0.1
+        xn = -xa
+        ea, ca = model.forward(xa)
+        ep, cp = model.forward(xp)
+        en, cn = model.forward(xn)
+        da, dp, dn = loss.grad(ea, ep, en)
+        total = model.zero_grads()
+        for dy, cache in ((da, ca), (dp, cp), (dn, cn)):
+            _, g = model.backward(dy, cache)
+            model.accumulate_grads(total, g)
+        # Independent recomputation branch by branch.
+        for key in total:
+            parts = []
+            for dy, x in ((da, xa), (dp, xp), (dn, xn)):
+                _, caches = model.forward(x)
+                _, g = model.backward(dy, caches)
+                parts.append(g[key])
+            np.testing.assert_allclose(
+                total[key], sum(parts), rtol=1e-4, atol=1e-6
+            )
+
+    def test_caches_are_independent_across_forwards(self):
+        # A dropout layer must not share masks between branch forwards.
+        model = Sequential([Dense(4, 4, rng=rng()), Dropout(0.5)])
+        r = rng()
+        x = np.ones((64, 4), np.float32)
+        y1, c1 = model.forward(x, training=True, rng=r)
+        y2, c2 = model.forward(x, training=True, rng=r)
+        assert not np.allclose(y1, y2)  # different masks drawn
+        dx1, _ = model.backward(np.ones_like(y1), c1)
+        dx2, _ = model.backward(np.ones_like(y2), c2)
+        assert not np.allclose(dx1, dx2)
+
+
+class TestTrainer:
+    def test_learns_linear_regression(self):
+        r = rng()
+        x = r.normal(size=(256, 3)).astype(np.float32)
+        true_w = np.array([[1.0], [-2.0], [0.5]], np.float32)
+        y = x @ true_w
+        model = Sequential([Dense(3, 1, rng=r)])
+        trainer = Trainer(model, MSELoss(), Adam(0.05))
+        history = trainer.fit(x, y, epochs=60, batch_size=32, rng=r)
+        assert history.loss[-1] < 1e-3
+        np.testing.assert_allclose(model.parameters()["0.W"], true_w, atol=0.05)
+
+    def test_learns_classification(self):
+        r = rng()
+        x = r.normal(size=(300, 2)).astype(np.float32)
+        labels = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        model = Sequential([Dense(2, 16, rng=r), ReLU(), Dense(16, 2, rng=r)])
+        loss = SoftmaxCrossEntropy()
+        trainer = Trainer(model, loss, Adam(0.01))
+        trainer.fit(x, labels, epochs=40, batch_size=32, rng=r)
+        acc = loss.accuracy(model.predict(x), labels)
+        assert acc > 0.95
+
+    def test_validation_curve_recorded(self):
+        r = rng()
+        x = r.normal(size=(64, 3)).astype(np.float32)
+        y = x.sum(axis=1, keepdims=True)
+        model = Sequential([Dense(3, 1, rng=r)])
+        trainer = Trainer(model, MSELoss(), Adam(0.01))
+        history = trainer.fit(
+            x, y, epochs=5, batch_size=16, rng=r, validation=(x, y)
+        )
+        assert len(history.val_loss) == 5
+        assert history.best_val_loss == min(history.val_loss)
+
+    def test_schedule_sets_lr(self):
+        r = rng()
+        x = r.normal(size=(32, 2)).astype(np.float32)
+        y = x[:, :1]
+        model = Sequential([Dense(2, 1, rng=r)])
+        opt = Adam(1.0)
+        trainer = Trainer(
+            model, MSELoss(), opt, schedule=schedules.step_decay(0.1, drop=0.5, every=1)
+        )
+        history = trainer.fit(x, y, epochs=3, batch_size=16, rng=r)
+        np.testing.assert_allclose(history.lr, [0.1, 0.05, 0.025])
+
+    def test_early_stopping_halts(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.update(1.0)
+        assert not stopper.update(1.0)  # stale 1
+        assert stopper.update(1.0)  # stale 2 -> stop
+
+    def test_early_stopping_resets_on_improvement(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0)
+        stopper.update(1.0)
+        assert not stopper.update(0.5)
+        assert not stopper.update(0.6)
+
+    def test_mismatched_xy_rejected(self):
+        model = small_mlp()
+        trainer = Trainer(model, MSELoss(), Adam())
+        with pytest.raises(ValueError):
+            trainer.fit(
+                np.zeros((4, 4), np.float32), np.zeros((5, 3)), epochs=1
+            )
+
+
+class TestMinibatches:
+    def test_covers_all_indices(self):
+        batches = list(iterate_minibatches(10, 3, rng()))
+        seen = np.concatenate(batches)
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_drop_last(self):
+        batches = list(iterate_minibatches(10, 3, rng(), drop_last=True))
+        assert all(b.shape[0] == 3 for b in batches)
+        assert len(batches) == 3
+
+    def test_no_shuffle_is_ordered(self):
+        batches = list(iterate_minibatches(6, 2, rng(), shuffle=False))
+        np.testing.assert_array_equal(np.concatenate(batches), np.arange(6))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(10, 0, rng()))

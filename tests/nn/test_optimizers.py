@@ -1,0 +1,191 @@
+"""Tests for repro.nn.optimizers and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    AdaGrad,
+    Adam,
+    AdamW,
+    Momentum,
+    RMSProp,
+    clip_grads_by_norm,
+    get_optimizer,
+)
+from repro.nn import schedules
+
+
+def _params(value=1.0):
+    return {"w": np.full((3,), value, dtype=np.float32)}
+
+
+def _grads(value=0.5):
+    return {"w": np.full((3,), value, dtype=np.float32)}
+
+
+class TestSGD:
+    def test_single_step(self):
+        params = _params(1.0)
+        SGD(lr=0.1).step(params, _grads(0.5))
+        np.testing.assert_allclose(params["w"], 0.95)
+
+    def test_weight_decay_coupled(self):
+        params = _params(1.0)
+        SGD(lr=0.1, weight_decay=0.1).step(params, _grads(0.0))
+        np.testing.assert_allclose(params["w"], 1.0 - 0.1 * 0.1, rtol=1e-6)
+
+    def test_missing_grad_raises(self):
+        with pytest.raises(KeyError):
+            SGD(lr=0.1).step(_params(), {})
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.1).step(_params(), {"w": np.zeros((4,), np.float32)})
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+
+
+class TestMomentum:
+    def test_velocity_accumulates(self):
+        params = _params(0.0)
+        opt = Momentum(lr=0.1, momentum=0.9)
+        opt.step(params, _grads(1.0))
+        first = params["w"].copy()
+        opt.step(params, _grads(1.0))
+        second_step = params["w"] - first
+        # Second step is larger in magnitude thanks to velocity.
+        assert float(np.abs(second_step).mean()) > float(np.abs(first).mean())
+
+    def test_nesterov_variant_differs(self):
+        p1, p2 = _params(0.0), _params(0.0)
+        Momentum(lr=0.1, momentum=0.9).step(p1, _grads(1.0))
+        Momentum(lr=0.1, momentum=0.9, nesterov=True).step(p2, _grads(1.0))
+        assert not np.allclose(p1["w"], p2["w"])
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            Momentum(momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, |first update| ~= lr regardless of grad scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            params = _params(0.0)
+            Adam(lr=0.01).step(params, _grads(scale))
+            np.testing.assert_allclose(np.abs(params["w"]), 0.01, rtol=1e-3)
+
+    def test_converges_on_quadratic(self):
+        w = {"w": np.array([5.0, -3.0], dtype=np.float32)}
+        opt = Adam(lr=0.1)
+        for _ in range(500):
+            opt.step(w, {"w": 2.0 * w["w"]})
+        assert float(np.abs(w["w"]).max()) < 1e-2
+
+    def test_adamw_decay_decoupled_from_moments(self):
+        # With zero gradient, AdamW still decays weights; Adam's coupled
+        # decay feeds through the moment estimates instead.
+        params = _params(1.0)
+        AdamW(lr=0.1, weight_decay=0.5).step(params, _grads(0.0))
+        np.testing.assert_allclose(params["w"], 1.0 - 0.1 * 0.5 * 1.0, rtol=1e-5)
+
+    def test_state_keys_after_step(self):
+        opt = Adam()
+        opt.step(_params(), _grads())
+        assert list(opt.state_keys()) == ["w"]
+
+
+class TestRMSPropAdaGrad:
+    def test_rmsprop_converges_on_quadratic(self):
+        w = {"w": np.array([4.0], dtype=np.float32)}
+        opt = RMSProp(lr=0.05)
+        for _ in range(400):
+            opt.step(w, {"w": 2.0 * w["w"]})
+        assert abs(float(w["w"][0])) < 0.05
+
+    def test_adagrad_learning_rate_shrinks(self):
+        params = _params(0.0)
+        opt = AdaGrad(lr=0.5)
+        opt.step(params, _grads(1.0))
+        first = abs(float(params["w"][0]))
+        prev = params["w"].copy()
+        opt.step(params, _grads(1.0))
+        second = abs(float(params["w"][0] - prev[0]))
+        assert second < first
+
+
+class TestFactoryAndClipping:
+    def test_get_optimizer_by_name(self):
+        assert isinstance(get_optimizer("adam", 1e-3), Adam)
+        assert isinstance(get_optimizer("SGD", 0.1), SGD)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_optimizer("lion")
+
+    def test_clip_noop_below_threshold(self):
+        grads = {"a": np.array([0.3, 0.4], np.float32)}
+        clipped, norm = clip_grads_by_norm(grads, 1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_array_equal(clipped["a"], grads["a"])
+
+    def test_clip_rescales_to_max_norm(self):
+        grads = {"a": np.array([3.0, 4.0], np.float32)}
+        clipped, norm = clip_grads_by_norm(grads, 1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt((clipped["a"] ** 2).sum())
+        assert total == pytest.approx(1.0, rel=1e-5)
+
+    def test_clip_spans_multiple_tensors(self):
+        grads = {
+            "a": np.array([3.0], np.float32),
+            "b": np.array([4.0], np.float32),
+        }
+        clipped, norm = clip_grads_by_norm(grads, 1.0)
+        assert norm == pytest.approx(5.0)
+        got = np.sqrt(sum(float((g**2).sum()) for g in clipped.values()))
+        assert got == pytest.approx(1.0, rel=1e-5)
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = schedules.constant(0.1)
+        assert sched(0) == sched(100) == 0.1
+
+    def test_step_decay(self):
+        sched = schedules.step_decay(1.0, drop=0.5, every=10)
+        assert sched(0) == 1.0
+        assert sched(10) == 0.5
+        assert sched(25) == 0.25
+
+    def test_exponential(self):
+        sched = schedules.exponential_decay(1.0, gamma=0.9)
+        assert sched(2) == pytest.approx(0.81)
+
+    def test_cosine_endpoints(self):
+        sched = schedules.cosine_decay(1.0, total_epochs=10, min_lr=0.1)
+        assert sched(0) == pytest.approx(1.0)
+        assert sched(10) == pytest.approx(0.1)
+        assert 0.1 < sched(5) < 1.0
+
+    def test_warmup_ramps(self):
+        base = schedules.constant(1.0)
+        sched = schedules.warmup(base, warmup_epochs=10, start_factor=0.1)
+        assert sched(0) == pytest.approx(0.1)
+        assert sched(5) == pytest.approx(0.55)
+        assert sched(10) == 1.0
+
+    def test_piecewise(self):
+        sched = schedules.piecewise([5, 10], [1.0, 0.1, 0.01])
+        assert sched(0) == 1.0
+        assert sched(7) == 0.1
+        assert sched(50) == 0.01
+
+    def test_piecewise_validation(self):
+        with pytest.raises(ValueError):
+            schedules.piecewise([5], [1.0])
+        with pytest.raises(ValueError):
+            schedules.piecewise([10, 5], [1.0, 0.5, 0.1])

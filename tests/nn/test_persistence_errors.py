@@ -1,0 +1,71 @@
+"""Failure-injection tests for model persistence and optimizer state."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Dense, ReLU, Sequential
+
+
+def _model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+
+
+class TestPersistenceFailures:
+    def test_load_unknown_layer_class(self, tmp_path):
+        model = _model()
+        path = tmp_path / "m.npz"
+        model.save(path)
+        # Corrupt the architecture blob with a bogus layer class.
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arch = json.loads(bytes(arrays["__architecture__"]).decode())
+        arch[0]["class"] = "QuantumLayer"
+        arrays["__architecture__"] = np.frombuffer(
+            json.dumps(arch).encode(), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="unknown layer class"):
+            Sequential.load(path)
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        model = _model()
+        path = tmp_path / "deep" / "nested" / "m.npz"
+        model.save(path)
+        assert path.exists()
+
+    def test_loaded_model_trains_further(self, tmp_path):
+        """A restored model must be optimizable, not just inferable."""
+        model = _model()
+        path = tmp_path / "m.npz"
+        model.save(path)
+        restored = Sequential.load(path)
+        x = np.random.default_rng(1).normal(size=(8, 4)).astype(np.float32)
+        y, caches = restored.forward(x, training=True)
+        _, grads = restored.backward(np.ones_like(y), caches)
+        before = restored.parameters()["0.W"].copy()
+        Adam(0.1).step(restored.parameters(), grads)
+        assert not np.allclose(before, restored.parameters()["0.W"])
+
+
+class TestOptimizerStateIsolation:
+    def test_separate_optimizers_do_not_share_state(self):
+        p1 = {"w": np.ones(3, dtype=np.float32)}
+        p2 = {"w": np.ones(3, dtype=np.float32)}
+        g = {"w": np.ones(3, dtype=np.float32)}
+        o1, o2 = Adam(0.1), Adam(0.1)
+        o1.step(p1, g)
+        o1.step(p1, g)
+        o2.step(p2, g)
+        # o2 is one step behind: parameters must differ
+        assert not np.allclose(p1["w"], p2["w"])
+
+    def test_iterations_counter(self):
+        opt = Adam(0.1)
+        p = {"w": np.ones(2, dtype=np.float32)}
+        g = {"w": np.ones(2, dtype=np.float32)}
+        for expected in range(1, 4):
+            opt.step(p, g)
+            assert opt.iterations == expected

@@ -1,0 +1,191 @@
+"""Tests for path loss, shadowing, and device models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Wall, build_grid_floorplan
+from repro.radio import (
+    DEVICE_PRESETS,
+    ENVIRONMENT_PRESETS,
+    DeviceProfile,
+    LogDistancePathLoss,
+    MultiWallPropagation,
+    ShadowingField,
+    ShadowingModel,
+    make_propagation,
+)
+from repro.radio.access_point import NO_SIGNAL_DBM
+
+
+class TestLogDistancePathLoss:
+    def test_loss_at_reference_distance(self):
+        model = LogDistancePathLoss(exponent=2.0, reference_loss_db=40.0)
+        assert model.loss_db(1.0) == pytest.approx(40.0)
+
+    def test_free_space_slope(self):
+        model = LogDistancePathLoss(exponent=2.0, reference_loss_db=40.0)
+        assert model.loss_db(10.0) == pytest.approx(60.0)
+        assert model.loss_db(100.0) == pytest.approx(80.0)
+
+    @given(st.floats(0.6, 80.0), st.floats(1.0, 79.0))
+    @settings(max_examples=50, deadline=None)
+    def test_property_monotone_in_distance(self, d1, delta):
+        model = LogDistancePathLoss(exponent=2.8)
+        assert model.loss_db(d1 + delta) > model.loss_db(d1)
+
+    def test_near_field_clamp(self):
+        model = LogDistancePathLoss(min_distance_m=0.5)
+        assert model.loss_db(0.01) == model.loss_db(0.5)
+
+    def test_vectorized_matches_scalar(self):
+        model = LogDistancePathLoss()
+        dists = np.array([1.0, 5.0, 20.0])
+        vec = model.loss_db_array(dists)
+        for d, v in zip(dists, vec):
+            assert v == pytest.approx(model.loss_db(d))
+
+    def test_inverse(self):
+        model = LogDistancePathLoss(exponent=3.0)
+        d = 12.5
+        assert model.distance_for_loss(model.loss_db(d)) == pytest.approx(d)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(exponent=0.5)
+
+    def test_presets_ordering(self):
+        # Harsher environments attenuate faster.
+        assert (
+            ENVIRONMENT_PRESETS["open"].exponent
+            < ENVIRONMENT_PRESETS["office"].exponent
+            < ENVIRONMENT_PRESETS["basement"].exponent
+        )
+
+
+class TestMultiWallPropagation:
+    def test_wall_adds_attenuation(self):
+        fp = build_grid_floorplan(width=10, height=10, rp_spacing=2.0, margin=1.0)
+        no_walls = MultiWallPropagation(LogDistancePathLoss())
+        with_walls = MultiWallPropagation(LogDistancePathLoss(), fp)
+        fp.add_walls([Wall((5, 0), (5, 10), "concrete")])
+        clear = no_walls.mean_rssi_dbm(-8.0, (1, 5), (9, 5))
+        blocked = with_walls.mean_rssi_dbm(-8.0, (1, 5), (9, 5))
+        assert blocked < clear
+
+    def test_wall_loss_capped(self):
+        fp = build_grid_floorplan(width=10, height=10, rp_spacing=2.0, margin=1.0)
+        for x in range(1, 10):
+            fp.add_walls([Wall((float(x), 0), (float(x), 10), "metal")])
+        prop = MultiWallPropagation(LogDistancePathLoss(), fp, wall_loss_cap_db=20.0)
+        rssi = prop.mean_rssi_dbm(-8.0, (0.5, 5), (9.5, 5))
+        free = MultiWallPropagation(LogDistancePathLoss()).mean_rssi_dbm(
+            -8.0, (0.5, 5), (9.5, 5)
+        )
+        assert rssi >= free - 20.0 - 1e-9
+
+    def test_make_propagation_unknown_env(self):
+        with pytest.raises(KeyError):
+            make_propagation("underwater")
+
+
+class TestShadowing:
+    def test_field_determinism(self):
+        f1 = ShadowingField(20, 20, sigma_db=4.0, correlation_m=5.0, seed=9)
+        f2 = ShadowingField(20, 20, sigma_db=4.0, correlation_m=5.0, seed=9)
+        assert f1.value_db(3.3, 7.7) == f2.value_db(3.3, 7.7)
+
+    def test_spatial_correlation_decays(self):
+        field = ShadowingField(60, 60, sigma_db=4.0, correlation_m=5.0, seed=1)
+        rng = np.random.default_rng(0)
+        near_diffs, far_diffs = [], []
+        for _ in range(300):
+            x, y = rng.uniform(5, 55, size=2)
+            base = field.value_db(x, y)
+            near_diffs.append(abs(field.value_db(x + 0.5, y) - base))
+            far_diffs.append(abs(field.value_db(x + 25, y) - base))
+        assert np.mean(near_diffs) < np.mean(far_diffs)
+
+    def test_field_variance_scale(self):
+        field = ShadowingField(100, 100, sigma_db=4.0, correlation_m=3.0, seed=2)
+        rng = np.random.default_rng(1)
+        samples = [
+            field.value_db(*rng.uniform(5, 95, size=2)) for _ in range(800)
+        ]
+        # Bilinear interpolation shrinks variance a bit below sigma^2.
+        assert 2.0 < np.std(samples) < 4.5
+
+    def test_model_distinct_fields_per_ap(self):
+        model = ShadowingModel(20, 20, base_seed=5)
+        a = model.shadow_db(0, 3.0, 3.0)
+        b = model.shadow_db(1, 3.0, 3.0)
+        assert a != b
+
+    def test_generation_changes_pattern(self):
+        model = ShadowingModel(20, 20, base_seed=5)
+        orig = model.shadow_db(0, 3.0, 3.0, generation=0)
+        repl = model.shadow_db(0, 3.0, 3.0, generation=1)
+        assert orig != repl
+
+    def test_furniture_blend_preserves_scale(self):
+        model = ShadowingModel(40, 40, sigma_db=4.0, base_seed=6)
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(5, 35, size=(500, 2))
+        for w in (0.0, 0.5, 1.0):
+            vals = [model.shadow_db(0, x, y, furniture_weight=w) for x, y in pts]
+            assert 1.5 < np.std(vals) < 5.0
+
+    def test_furniture_weight_validation(self):
+        model = ShadowingModel(20, 20)
+        with pytest.raises(ValueError):
+            model.shadow_db(0, 1, 1, furniture_weight=1.5)
+
+    def test_invalid_field_params(self):
+        with pytest.raises(ValueError):
+            ShadowingField(10, 10, sigma_db=-1, correlation_m=5, seed=0)
+        with pytest.raises(ValueError):
+            ShadowingField(10, 10, sigma_db=1, correlation_m=0, seed=0)
+
+
+class TestDeviceProfile:
+    def test_below_threshold_reads_no_signal(self):
+        device = DeviceProfile(noise_std_db=0.0)
+        assert device.measure(-99.0, np.random.default_rng(0)) == NO_SIGNAL_DBM
+
+    def test_strong_signal_quantized(self):
+        device = DeviceProfile(noise_std_db=0.0)
+        reading = device.measure(-50.4, np.random.default_rng(0))
+        assert reading == pytest.approx(round(-50.4))
+
+    def test_reading_clipped_to_range(self):
+        device = DeviceProfile(noise_std_db=0.0, rssi_offset_db=30.0)
+        rng = np.random.default_rng(0)
+        assert device.measure(-10.0, rng) <= 0.0
+
+    def test_gain_slope_anchored_at_minus70(self):
+        device = DeviceProfile(noise_std_db=0.0, gain_slope=0.9)
+        assert device.measure(-70.0, np.random.default_rng(0)) == pytest.approx(-70.0)
+
+    def test_measure_array_matches_scalar_statistics(self):
+        device = DeviceProfile()
+        rng = np.random.default_rng(3)
+        true = np.full(4000, -60.0)
+        readings = device.measure_array(true, rng)
+        assert abs(float(readings.mean()) + 60.0) < 0.2
+        assert (readings > NO_SIGNAL_DBM).all()
+
+    def test_measure_array_threshold(self):
+        device = DeviceProfile(noise_std_db=0.0)
+        out = device.measure_array(np.array([-99.0, -50.0]), np.random.default_rng(0))
+        assert out[0] == NO_SIGNAL_DBM
+        assert out[1] == pytest.approx(-50.0)
+
+    def test_presets_sane(self):
+        for name, device in DEVICE_PRESETS.items():
+            assert device.name == name
+            assert device.gain_slope > 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(detection_threshold_dbm=-150.0)

@@ -1,0 +1,195 @@
+"""Tests for temporal variation models and AP lifecycle schedules."""
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    APStatus,
+    OUDrift,
+    SimTime,
+    TemporalConfig,
+    TemporalModel,
+    ephemerality_report,
+    occupancy,
+    office_like_schedule,
+    stable_schedule,
+    uji_like_schedule,
+)
+
+
+class TestOccupancy:
+    def test_bounds(self):
+        for h in np.linspace(0, 24, 49):
+            assert 0.0 <= occupancy(h) <= 1.0
+
+    def test_night_quieter_than_midday(self):
+        assert occupancy(3.0) < occupancy(13.0)
+
+    def test_morning_ramp(self):
+        assert occupancy(8.0) < occupancy(11.0)
+
+    def test_periodic(self):
+        assert occupancy(25.0) == pytest.approx(occupancy(1.0))
+
+
+class TestOUDrift:
+    def test_deterministic_per_seed(self):
+        d1 = OUDrift(sigma_db=3.0, tau_days=30.0, seed=4)
+        d2 = OUDrift(sigma_db=3.0, tau_days=30.0, seed=4)
+        t = SimTime.at(days=45.5)
+        assert d1.value_db(t) == d2.value_db(t)
+
+    def test_starts_at_zero(self):
+        d = OUDrift(sigma_db=3.0, tau_days=30.0, seed=4)
+        assert d.value_db(SimTime(0.0)) == 0.0
+
+    def test_stationary_variance_bounded(self):
+        values = [
+            OUDrift(sigma_db=3.0, tau_days=20.0, seed=s).value_db(SimTime.at(months=6))
+            for s in range(300)
+        ]
+        std = float(np.std(values))
+        assert 2.0 < std < 4.0  # ~ sigma once mixed
+
+    def test_interpolation_between_days(self):
+        d = OUDrift(sigma_db=3.0, tau_days=30.0, seed=4)
+        v0 = d.value_db(SimTime.at(days=3))
+        v1 = d.value_db(SimTime.at(days=4))
+        mid = d.value_db(SimTime.at(days=3.5))
+        assert min(v0, v1) - 1e-9 <= mid <= max(v0, v1) + 1e-9
+
+    def test_zero_sigma_short_circuit(self):
+        d = OUDrift(sigma_db=0.0, tau_days=30.0, seed=4)
+        assert d.value_db(SimTime.at(months=3)) == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            OUDrift(sigma_db=-1, tau_days=30, seed=0)
+        with pytest.raises(ValueError):
+            OUDrift(sigma_db=1, tau_days=0, seed=0)
+
+
+class TestTemporalModel:
+    def _model(self, **kw):
+        return TemporalModel(TemporalConfig(**kw), base_seed=3)
+
+    def test_drift_deterministic(self):
+        t = SimTime.at(months=2)
+        assert self._model().drift_db(5, t) == self._model().drift_db(5, t)
+
+    def test_drift_differs_across_aps(self):
+        model = self._model()
+        t = SimTime.at(months=2)
+        assert model.drift_db(1, t) != model.drift_db(2, t)
+
+    def test_trend_zero_by_default(self):
+        model = self._model(trend_sigma_db_per_month=0.0)
+        assert model.trend_db(0, SimTime.at(months=5)) == 0.0
+
+    def test_trend_saturates(self):
+        model = self._model(trend_sigma_db_per_month=1.0)
+        late = model.trend_db(0, SimTime.at(months=20), saturation_months=10)
+        at_sat = model.trend_db(0, SimTime.at(months=10), saturation_months=10)
+        assert late == pytest.approx(at_sat)
+
+    def test_activity_attenuation_follows_occupancy(self):
+        model = self._model(activity_atten_db=6.0)
+        morning = model.activity_attenuation_db(SimTime(0.0))  # 8 AM
+        midday = model.activity_attenuation_db(SimTime(6.0))  # 2 PM
+        assert midday > morning
+
+    def test_furniture_weight_monotone_and_capped(self):
+        model = self._model(
+            furniture_rate_per_month=2.0,
+            furniture_weight_step=0.3,
+            furniture_weight_max=0.8,
+        )
+        weights = [
+            model.furniture_weight(SimTime.at(months=m)) for m in range(0, 13, 2)
+        ]
+        assert all(b >= a for a, b in zip(weights, weights[1:]))
+        assert weights[-1] <= 0.8
+
+    def test_furniture_zero_rate(self):
+        model = self._model(furniture_rate_per_month=0.0)
+        assert model.furniture_weight(SimTime.at(months=12)) == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TemporalConfig(drift_sigma_db=-1)
+        with pytest.raises(ValueError):
+            TemporalConfig(furniture_weight_max=1.5)
+
+
+class TestEphemeralitySchedules:
+    def test_stable_schedule_all_active(self):
+        sched = stable_schedule(10, 20)
+        assert sched.visibility_matrix().all()
+        assert sched.removed_fraction(9) == 0.0
+
+    def test_office_like_drop_after_epoch(self):
+        rng = np.random.default_rng(0)
+        sched = office_like_schedule(
+            100, rng, drop_after_epoch=11, drop_fraction=0.2, sporadic_rate=0.0
+        )
+        assert sched.removed_fraction(0) == 0.0
+        assert sched.removed_fraction(11) == 0.0
+        assert sched.removed_fraction(15) == pytest.approx(0.2, abs=0.02)
+
+    def test_office_like_removals_permanent(self):
+        rng = np.random.default_rng(1)
+        sched = office_like_schedule(60, rng, sporadic_rate=0.0)
+        vis = sched.visibility_matrix()
+        for ap in range(60):
+            col = vis[:, ap]
+            if not col.all():
+                first_gone = int(np.argmin(col))
+                assert not col[first_gone:].any()
+
+    def test_uji_like_change_magnitude(self):
+        rng = np.random.default_rng(2)
+        sched = uji_like_schedule(
+            100, rng, change_epoch=11, change_fraction=0.5, sporadic_rate=0.0
+        )
+        changed = sum(
+            1
+            for ap in range(100)
+            if sched.status[15, ap] is not APStatus.ACTIVE
+        )
+        assert changed == pytest.approx(50, abs=2)
+
+    def test_uji_like_mixes_removal_and_replacement(self):
+        rng = np.random.default_rng(3)
+        sched = uji_like_schedule(
+            100, rng, change_fraction=0.5, replace_share=0.5, sporadic_rate=0.0
+        )
+        last = sched.status[15]
+        n_removed = sum(1 for s in last if s is APStatus.REMOVED)
+        n_replaced = sum(1 for s in last if s is APStatus.REPLACED)
+        assert n_removed > 10
+        assert n_replaced > 10
+
+    def test_generation_counting(self):
+        sched = stable_schedule(5, 2)
+        sched.status[2:, 0] = APStatus.REPLACED
+        assert sched.generation(1, 0) == 0
+        assert sched.generation(3, 0) == 1
+
+    def test_report_renders_marks(self):
+        rng = np.random.default_rng(4)
+        sched = office_like_schedule(20, rng, n_epochs=4, drop_after_epoch=1, drop_fraction=0.5)
+        text = ephemerality_report(sched)
+        assert "#" in text
+        assert len(text.splitlines()) == 4
+
+    def test_report_label_validation(self):
+        sched = stable_schedule(3, 5)
+        with pytest.raises(ValueError):
+            ephemerality_report(sched, epoch_labels=["only-one"])
+
+    def test_schedule_validation(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            office_like_schedule(10, rng, drop_fraction=1.5)
+        with pytest.raises(ValueError):
+            uji_like_schedule(10, rng, change_epoch=99)

@@ -1,0 +1,126 @@
+"""Tests for the simulation time model and AP deployment."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import build_grid_floorplan
+from repro.radio import (
+    AccessPoint,
+    SimTime,
+    ap_locations,
+    collection_instance_times,
+    monthly_times,
+    place_access_points,
+)
+
+
+class TestSimTime:
+    def test_unit_conversions(self):
+        t = SimTime.at(months=1, days=2, hours=3)
+        assert t.hours == pytest.approx(30 * 24 + 48 + 3)
+        assert t.days == pytest.approx(t.hours / 24)
+        assert t.months == pytest.approx(t.hours / 720)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            SimTime(-1.0)
+
+    def test_hour_of_day_starts_8am(self):
+        assert SimTime(0.0).hour_of_day == pytest.approx(8.0)
+        assert SimTime(20.0).hour_of_day == pytest.approx(4.0)
+
+    def test_addition(self):
+        assert (SimTime(1.0) + 2.5).hours == pytest.approx(3.5)
+
+    def test_ordering(self):
+        assert SimTime(1.0) < SimTime(2.0)
+
+
+class TestSchedules:
+    def test_ci_schedule_matches_paper(self):
+        times = collection_instance_times(16)
+        assert len(times) == 16
+        # CIs 0-2: same day, 6 h apart.
+        assert times[1].hours - times[0].hours == pytest.approx(6.0)
+        assert times[2].hours - times[1].hours == pytest.approx(6.0)
+        # CIs 3-8: daily.
+        for ci in range(3, 9):
+            assert times[ci].days == pytest.approx(float(ci - 2))
+        # CIs 9-15: ~monthly.
+        assert times[9].months >= 1.0
+        assert times[15].months - times[14].months == pytest.approx(1.0)
+
+    def test_ci_schedule_monotone(self):
+        times = collection_instance_times(16)
+        hours = [t.hours for t in times]
+        assert hours == sorted(hours)
+
+    def test_monthly_times(self):
+        times = monthly_times(15)
+        assert len(times) == 15
+        assert times[0].months >= 1.0
+        assert times[-1].months >= 15.0
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            collection_instance_times(0)
+        with pytest.raises(ValueError):
+            monthly_times(0)
+
+
+class TestAccessPoints:
+    def test_ap_validation(self):
+        with pytest.raises(ValueError):
+            AccessPoint(ap_id=-1, location=(0, 0))
+        with pytest.raises(ValueError):
+            AccessPoint(ap_id=0, location=(0, 0), tx_power_dbm=5.0)
+
+    def test_replacement_bumps_generation(self):
+        ap = AccessPoint(ap_id=3, location=(1, 1), tx_power_dbm=-8.0)
+        new = ap.replaced(location=(2, 2))
+        assert new.generation == 1
+        assert new.ap_id == 3
+        assert new.location == (2, 2)
+        assert ap.generation == 0  # original untouched
+
+    def test_placement_counts_and_ids(self):
+        fp = build_grid_floorplan(width=20, height=20, rp_spacing=5.0)
+        aps = place_access_points(fp, 30, np.random.default_rng(0))
+        assert len(aps) == 30
+        assert [ap.ap_id for ap in aps] == list(range(30))
+
+    def test_placement_indoor_fraction(self):
+        fp = build_grid_floorplan(width=20, height=20, rp_spacing=5.0)
+        aps = place_access_points(
+            fp, 40, np.random.default_rng(1), indoor_fraction=1.0
+        )
+        locs = ap_locations(aps)
+        assert (locs[:, 0] >= 0).all() and (locs[:, 0] <= 20).all()
+        assert (locs[:, 1] >= 0).all() and (locs[:, 1] <= 20).all()
+
+    def test_placement_outside_band(self):
+        fp = build_grid_floorplan(width=20, height=20, rp_spacing=5.0)
+        aps = place_access_points(
+            fp, 40, np.random.default_rng(2), indoor_fraction=0.0, outside_margin=5.0
+        )
+        locs = ap_locations(aps)
+        outside = (
+            (locs[:, 0] < 0)
+            | (locs[:, 0] > 20)
+            | (locs[:, 1] < 0)
+            | (locs[:, 1] > 20)
+        )
+        assert outside.all()
+
+    def test_placement_determinism(self):
+        fp = build_grid_floorplan(width=20, height=20, rp_spacing=5.0)
+        a = place_access_points(fp, 10, np.random.default_rng(3))
+        b = place_access_points(fp, 10, np.random.default_rng(3))
+        np.testing.assert_array_equal(ap_locations(a), ap_locations(b))
+
+    def test_invalid_args(self):
+        fp = build_grid_floorplan(width=20, height=20, rp_spacing=5.0)
+        with pytest.raises(ValueError):
+            place_access_points(fp, 0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            place_access_points(fp, 5, np.random.default_rng(0), indoor_fraction=1.5)

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_command_parses(self):
+        args = build_parser().parse_args(["figure", "FIG3", "--seed", "3"])
+        assert args.id == "FIG3"
+        assert args.seed == 3
+        assert not args.fast
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare", "office"])
+        assert "STONE" in args.frameworks
+
+    def test_suite_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "mall"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExtendedParsers:
+    def test_track_defaults(self):
+        args = build_parser().parse_args(["track", "office"])
+        assert args.framework == "STONE"
+        assert args.epoch == 0
+
+    def test_compress_flags(self):
+        args = build_parser().parse_args(
+            ["compress", "uji", "--bits", "4", "--sparsity", "0.5"]
+        )
+        assert args.bits == 4
+        assert args.sparsity == 0.5
+
+    def test_multifloor_defaults(self):
+        args = build_parser().parse_args(["multifloor", "--months", "3"])
+        assert args.months == 3
+        assert args.framework == "KNN"
+
+
+class TestCommands:
+    def test_figure_fig3_runs(self, capsys):
+        code = main(["figure", "FIG3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "office" in out
+
+    def test_figure_unknown_id(self, capsys):
+        code = main(["figure", "FIG99"])
+        assert code == 2
+        assert "unknown figure" in capsys.readouterr().out
+
+    def test_figure_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "fig3.txt"
+        code = main(["figure", "FIG3", "--out", str(out_file)])
+        assert code == 0
+        assert "office" in out_file.read_text()
+
+    @pytest.mark.slow
+    def test_compare_runs_fast(self, capsys):
+        code = main(
+            ["compare", "office", "--frameworks", "KNN,GIFT", "--fast"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MEAN" in out
+        assert "KNN" in out
+
+    @pytest.mark.slow
+    def test_suite_describe_and_save(self, tmp_path, capsys):
+        out_file = tmp_path / "train.npz"
+        code = main(["suite", "office", "--out", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        from repro.datasets import FingerprintDataset
+
+        ds = FingerprintDataset.load(out_file)
+        assert ds.n_samples > 0
+
+    @pytest.mark.slow
+    def test_track_runs_fast(self, capsys):
+        code = main(["track", "office", "--framework", "KNN", "--fast"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "viterbi" in out
+        assert "walk:" in out
+
+    @pytest.mark.slow
+    def test_multifloor_runs_fast(self, capsys):
+        code = main(
+            [
+                "multifloor",
+                "--months",
+                "2",
+                "--aps-per-floor",
+                "10",
+                "--fast",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "floor" in out

@@ -1,0 +1,204 @@
+"""Tests for emission models and the tracking pipeline facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import Localizer
+from repro.core.knn_head import KNNHead
+from repro.geometry import build_grid_floorplan
+from repro.tracking import (
+    CoordinateEmission,
+    EmbeddingEmission,
+    TRACKING_METHODS,
+    Trajectory,
+    compare_tracking_methods,
+    make_emission,
+    track_trajectory,
+)
+
+
+class OracleLocalizer(Localizer):
+    """Predicts the true location plus fixed per-scan noise.
+
+    The "truth" is smuggled in through the RSSI matrix: each scan's
+    first two columns carry the (x, y) the oracle should output (offset
+    to keep the values in valid dBm range).
+    """
+
+    name = "oracle"
+
+    def __init__(self, noise_std: float = 0.0, seed: int = 0):
+        super().__init__()
+        self.noise_std = noise_std
+        self._rng = np.random.default_rng(seed)
+
+    def fit(self, train, floorplan, *, rng=None):
+        self._fitted = True
+        return self
+
+    def predict(self, rssi):
+        rssi = np.atleast_2d(np.asarray(rssi, dtype=np.float64))
+        coords = rssi[:, :2] + 50.0
+        if self.noise_std:
+            coords = coords + self._rng.normal(0.0, self.noise_std, coords.shape)
+        return coords
+
+
+def encode_coords_as_rssi(locations: np.ndarray, n_aps: int = 6) -> np.ndarray:
+    """Inverse of OracleLocalizer's trick: coords -> fake scans."""
+    rssi = np.full((locations.shape[0], n_aps), -80.0)
+    rssi[:, :2] = locations - 50.0
+    return rssi
+
+
+class EmbeddingStone:
+    """Minimal stand-in exposing the StoneLocalizer embedding surface."""
+
+    def __init__(self, reference, labels, locations):
+        self.knn = KNNHead(k=1).fit(reference, labels, locations)
+
+    def embed_rssi(self, rssi):
+        # "Embedding" = first 2 columns, L2-normalized.
+        raw = np.atleast_2d(np.asarray(rssi, dtype=np.float64))[:, :2]
+        norms = np.linalg.norm(raw, axis=1, keepdims=True)
+        return raw / np.maximum(norms, 1e-12)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return build_grid_floorplan("emission-grid", width=8.0, height=6.0, rp_spacing=2.0)
+
+
+class TestCoordinateEmission:
+    def test_rows_normalized(self, grid):
+        loc = OracleLocalizer()
+        loc.fit(None, grid)
+        emission = CoordinateEmission(loc, grid, sigma_m=2.0)
+        rssi = encode_coords_as_rssi(np.array([[1.0, 1.0], [7.0, 5.0]]))
+        log_p = emission.log_probabilities(rssi)
+        assert log_p.shape == (2, grid.n_reference_points)
+        assert np.allclose(np.exp(log_p).sum(axis=1), 1.0)
+
+    def test_peak_at_nearest_rp(self, grid):
+        loc = OracleLocalizer()
+        loc.fit(None, grid)
+        emission = CoordinateEmission(loc, grid, sigma_m=1.0)
+        target_rp = 3
+        target = grid.reference_points[target_rp]
+        log_p = emission.log_probabilities(
+            encode_coords_as_rssi(target[None, :])
+        )
+        assert log_p[0].argmax() == target_rp
+
+    def test_invalid_sigma_rejected(self, grid):
+        with pytest.raises(ValueError):
+            CoordinateEmission(OracleLocalizer(), grid, sigma_m=0.0)
+
+
+class TestEmbeddingEmission:
+    def _stone(self):
+        angles = np.linspace(0.0, np.pi / 2, 4)
+        reference = np.column_stack([np.cos(angles), np.sin(angles)])
+        labels = np.arange(4)
+        locations = np.column_stack([np.arange(4.0), np.zeros(4)])
+        return EmbeddingStone(reference, labels, locations)
+
+    def test_rows_normalized_and_peaked(self):
+        stone = self._stone()
+        emission = EmbeddingEmission(stone, temperature=0.05)
+        # A scan whose "embedding" equals reference 2 exactly.
+        rssi = np.zeros((1, 6))
+        rssi[0, :2] = [np.cos(np.linspace(0, np.pi / 2, 4)[2]),
+                       np.sin(np.linspace(0, np.pi / 2, 4)[2])]
+        log_p = emission.log_probabilities(rssi)
+        assert np.allclose(np.exp(log_p).sum(axis=1), 1.0)
+        assert log_p[0].argmax() == 2
+
+    def test_temperature_controls_sharpness(self):
+        stone = self._stone()
+        rssi = np.zeros((1, 6))
+        rssi[0, :2] = [1.0, 0.05]
+        sharp = EmbeddingEmission(stone, temperature=0.01).log_probabilities(rssi)
+        flat = EmbeddingEmission(stone, temperature=10.0).log_probabilities(rssi)
+        assert np.exp(sharp[0]).max() > np.exp(flat[0]).max()
+
+    def test_requires_embedding_surface(self, grid):
+        with pytest.raises(TypeError):
+            EmbeddingEmission(OracleLocalizer())
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingEmission(self._stone(), temperature=0.0)
+
+
+class TestMakeEmission:
+    def test_coordinate_fallback(self, grid):
+        loc = OracleLocalizer()
+        loc.fit(None, grid)
+        emission = make_emission(loc, grid)
+        assert isinstance(emission, CoordinateEmission)
+
+    def test_embedding_preferred(self, grid):
+        angles = np.linspace(0.0, np.pi / 2, 4)
+        stone = EmbeddingStone(
+            np.column_stack([np.cos(angles), np.sin(angles)]),
+            np.arange(4),
+            np.column_stack([np.arange(4.0), np.zeros(4)]),
+        )
+        assert isinstance(make_emission(stone, grid), EmbeddingEmission)
+
+
+def make_trajectory(grid, noise=0.0, n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    xs = np.linspace(0.5, grid.width - 0.5, n)
+    locations = np.column_stack([xs, np.full(n, 2.0)])
+    rp = np.array([grid.nearest_rp(p) for p in locations])
+    return Trajectory(
+        locations=locations,
+        times_hours=np.arange(n) * (2.0 / 3600.0),
+        rp_indices=rp,
+        rssi=encode_coords_as_rssi(
+            locations + rng.normal(0.0, noise, locations.shape)
+        ),
+        speed_mps=1.2,
+    )
+
+
+class TestTrackTrajectory:
+    def test_all_methods_run_and_score(self, grid):
+        loc = OracleLocalizer(noise_std=1.0, seed=3)
+        loc.fit(None, grid)
+        traj = make_trajectory(grid)
+        results = compare_tracking_methods(
+            loc, traj, grid, rng=np.random.default_rng(4)
+        )
+        assert set(results) == set(TRACKING_METHODS)
+        for summary in results.values():
+            assert summary.n_steps == traj.n_steps
+            assert summary.mean_m >= 0.0
+
+    def test_raw_is_exact_for_noiseless_oracle(self, grid):
+        loc = OracleLocalizer(noise_std=0.0)
+        loc.fit(None, grid)
+        traj = make_trajectory(grid)
+        locations, summary = track_trajectory(loc, traj, grid, method="raw")
+        assert summary.mean_m == pytest.approx(0.0, abs=1e-9)
+        assert np.allclose(locations, traj.locations)
+
+    def test_viterbi_beats_raw_under_heavy_noise(self, grid):
+        loc = OracleLocalizer(noise_std=3.0, seed=11)
+        loc.fit(None, grid)
+        traj = make_trajectory(grid, n=30)
+        _, raw = track_trajectory(loc, traj, grid, method="raw")
+        loc2 = OracleLocalizer(noise_std=3.0, seed=11)
+        loc2.fit(None, grid)
+        _, viterbi = track_trajectory(loc2, traj, grid, method="viterbi")
+        assert viterbi.mean_m <= raw.mean_m + 0.5
+
+    def test_unknown_method_rejected(self, grid):
+        loc = OracleLocalizer()
+        loc.fit(None, grid)
+        with pytest.raises(ValueError):
+            track_trajectory(loc, make_trajectory(grid), grid, method="kalman")

@@ -1,0 +1,149 @@
+"""Tests for the particle filter and EMA smoother."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import build_grid_floorplan
+from repro.tracking import (
+    ExponentialSmoother,
+    ParticleFilter,
+    systematic_resample,
+)
+
+
+class StubEmission:
+    def __init__(self, log_probs, rp_labels=None):
+        self.log_probs = np.asarray(log_probs, dtype=np.float64)
+        n_states = self.log_probs.shape[1]
+        self.rp_labels = (
+            np.arange(n_states, dtype=np.int64)
+            if rp_labels is None
+            else np.asarray(rp_labels, dtype=np.int64)
+        )
+
+    def log_probabilities(self, rssi):
+        return self.log_probs[: np.atleast_2d(rssi).shape[0]]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return build_grid_floorplan("pf-grid", width=8.0, height=6.0, rp_spacing=2.0)
+
+
+class TestSystematicResample:
+    def test_uniform_weights_identity_cardinality(self):
+        rng = np.random.default_rng(0)
+        idx = systematic_resample(np.full(10, 0.1), rng)
+        assert idx.shape == (10,)
+        assert set(idx.tolist()) <= set(range(10))
+
+    def test_degenerate_weight_wins_everything(self):
+        rng = np.random.default_rng(1)
+        weights = np.zeros(8)
+        weights[3] = 1.0
+        idx = systematic_resample(weights, rng)
+        assert (idx == 3).all()
+
+    def test_zero_total_weight_falls_back_to_identity(self):
+        rng = np.random.default_rng(2)
+        idx = systematic_resample(np.zeros(5), rng)
+        assert np.array_equal(idx, np.arange(5))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            systematic_resample(np.zeros(0), np.random.default_rng(0))
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_proportional_to_weights(self, seed):
+        rng = np.random.default_rng(seed)
+        weights = np.array([0.7, 0.2, 0.1])
+        idx = systematic_resample(weights, rng)
+        counts = np.bincount(idx, minlength=3)
+        # Systematic resampling guarantees floor(n*w) copies minimum.
+        assert counts[0] >= 2
+        assert counts.sum() == 3
+
+
+class TestParticleFilter:
+    def test_estimates_within_bounds(self, grid):
+        n = grid.n_reference_points
+        rng = np.random.default_rng(4)
+        log_e = np.log(rng.dirichlet(np.ones(n), size=10))
+        pf = ParticleFilter(grid, StubEmission(log_e), n_particles=100)
+        result = pf.run(np.zeros((10, 1)), rng=np.random.default_rng(5))
+        assert result.locations.shape == (10, 2)
+        assert (result.locations[:, 0] >= 0).all()
+        assert (result.locations[:, 0] <= grid.width).all()
+        assert (result.locations[:, 1] >= 0).all()
+        assert (result.locations[:, 1] <= grid.height).all()
+
+    def test_converges_to_strong_static_evidence(self, grid):
+        # All scans point at one RP; the filter should end up near it.
+        n = grid.n_reference_points
+        target = 4
+        log_e = np.full((15, n), -12.0)
+        log_e[:, target] = 0.0
+        pf = ParticleFilter(
+            grid, StubEmission(log_e), n_particles=400, speed_mps=1.0
+        )
+        result = pf.run(np.zeros((15, 1)), rng=np.random.default_rng(6))
+        final_err = np.linalg.norm(
+            result.locations[-1] - grid.reference_points[target]
+        )
+        assert final_err < 1.5
+
+    def test_deterministic_under_seed(self, grid):
+        n = grid.n_reference_points
+        log_e = np.log(
+            np.random.default_rng(7).dirichlet(np.ones(n), size=5)
+        )
+        pf = ParticleFilter(grid, StubEmission(log_e), n_particles=64)
+        a = pf.run(np.zeros((5, 1)), rng=np.random.default_rng(8)).locations
+        b = pf.run(np.zeros((5, 1)), rng=np.random.default_rng(8)).locations
+        assert np.array_equal(a, b)
+
+    def test_invalid_params_rejected(self, grid):
+        emission = StubEmission(np.zeros((2, grid.n_reference_points)))
+        with pytest.raises(ValueError):
+            ParticleFilter(grid, emission, n_particles=0)
+        with pytest.raises(ValueError):
+            ParticleFilter(grid, emission, resample_threshold=0.0)
+        with pytest.raises(ValueError):
+            ParticleFilter(grid, emission, speed_mps=-1.0)
+
+
+class TestExponentialSmoother:
+    def test_alpha_one_is_identity(self):
+        points = np.random.default_rng(0).normal(size=(6, 2))
+        out = ExponentialSmoother(alpha=1.0).run(points)
+        assert np.allclose(out.locations, points)
+
+    def test_constant_input_is_fixed_point(self):
+        points = np.tile([2.0, 3.0], (5, 1))
+        out = ExponentialSmoother(alpha=0.3).run(points)
+        assert np.allclose(out.locations, points)
+
+    def test_smoothing_reduces_variance(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(0.0, 1.0, size=(200, 2))
+        out = ExponentialSmoother(alpha=0.2).run(points)
+        assert out.locations.var() < points.var()
+
+    def test_empty_input_ok(self):
+        out = ExponentialSmoother().run(np.zeros((0, 2)))
+        assert out.locations.shape == (0, 2)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoother(alpha=0.0)
+        with pytest.raises(ValueError):
+            ExponentialSmoother(alpha=1.5)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoother().run(np.zeros((3, 3)))

@@ -1,0 +1,244 @@
+"""Tests for the RP hidden-Markov smoother, including a brute-force
+Viterbi cross-check on small chains."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import build_grid_floorplan
+from repro.tracking import HiddenMarkovSmoother, motion_transition_matrix
+
+
+class StubEmission:
+    """Fixed log-probability table standing in for a localizer."""
+
+    def __init__(self, log_probs: np.ndarray, rp_labels=None):
+        self.log_probs = np.asarray(log_probs, dtype=np.float64)
+        n_states = self.log_probs.shape[1]
+        self.rp_labels = (
+            np.arange(n_states, dtype=np.int64)
+            if rp_labels is None
+            else np.asarray(rp_labels, dtype=np.int64)
+        )
+
+    def log_probabilities(self, rssi):
+        return self.log_probs[: np.atleast_2d(rssi).shape[0]]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return build_grid_floorplan("hmm-grid", width=8.0, height=6.0, rp_spacing=2.0)
+
+
+class TestMotionTransitionMatrix:
+    def test_rows_are_distributions(self, grid):
+        t = motion_transition_matrix(grid)
+        assert np.allclose(t.sum(axis=1), 1.0)
+        assert (t >= 0).all()
+
+    def test_far_jumps_forbidden(self, grid):
+        t = motion_transition_matrix(
+            grid, speed_mps=1.0, scan_interval_s=1.0, slack=2.0
+        )
+        dist = grid.rp_distance_matrix()
+        assert (t[dist > 2.0] == 0).all()
+
+    def test_stay_probability_floor(self, grid):
+        t = motion_transition_matrix(grid, stay_probability=0.4)
+        assert (np.diag(t) >= 0.4).all()
+
+    def test_nearer_rp_more_likely(self, grid):
+        t = motion_transition_matrix(grid, stay_probability=0.0)
+        dist = grid.rp_distance_matrix()
+        i = 0
+        order = np.argsort(dist[i])
+        near, far = order[1], order[-1]
+        assert t[i, near] > t[i, far]
+
+    def test_invalid_args_rejected(self, grid):
+        with pytest.raises(ValueError):
+            motion_transition_matrix(grid, speed_mps=0.0)
+        with pytest.raises(ValueError):
+            motion_transition_matrix(grid, stay_probability=1.0)
+        with pytest.raises(ValueError):
+            motion_transition_matrix(grid, slack=0.0)
+
+
+def brute_force_viterbi(log_prior, log_t, log_e):
+    """Exhaustive max over all state sequences (tiny cases only)."""
+    n_steps, n_states = log_e.shape
+    best_path, best_score = None, -np.inf
+    for path in itertools.product(range(n_states), repeat=n_steps):
+        score = log_prior[path[0]] + log_e[0, path[0]]
+        for t in range(1, n_steps):
+            score += log_t[path[t - 1], path[t]] + log_e[t, path[t]]
+        if score > best_score:
+            best_score, best_path = score, path
+    return np.asarray(best_path)
+
+
+class TestViterbi:
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        floorplan = build_grid_floorplan(
+            "v", width=8.0, height=6.0, rp_spacing=2.0
+        )  # small grid, 6 RPs
+        n_states = floorplan.n_reference_points
+        log_e = np.log(rng.dirichlet(np.ones(n_states), size=4))
+        hmm = HiddenMarkovSmoother(floorplan, StubEmission(log_e))
+        result = hmm.viterbi(np.zeros((4, 1)))
+        expected = brute_force_viterbi(
+            hmm._log_prior, hmm._log_t, log_e
+        )
+        assert np.array_equal(result.rp_path, expected)
+
+    def test_impossible_transitions_avoided(self, grid):
+        # Emissions scream "far corner" on step 2, but the motion model
+        # forbids teleporting; Viterbi must pick a reachable state.
+        n = grid.n_reference_points
+        dist = grid.rp_distance_matrix()
+        far = int(dist[0].argmax())
+        log_e = np.full((2, n), -20.0)
+        log_e[0, 0] = 0.0
+        log_e[1, far] = 0.0
+        hmm = HiddenMarkovSmoother(
+            grid,
+            StubEmission(log_e),
+            speed_mps=0.5,
+            scan_interval_s=1.0,
+        )
+        result = hmm.viterbi(np.zeros((2, 1)))
+        assert result.rp_path[0] == 0
+        assert result.rp_path[1] != far
+
+
+class TestFilterAndSmooth:
+    def test_posteriors_normalized(self, grid):
+        rng = np.random.default_rng(3)
+        n = grid.n_reference_points
+        log_e = np.log(rng.dirichlet(np.ones(n), size=6))
+        hmm = HiddenMarkovSmoother(grid, StubEmission(log_e))
+        for method in (hmm.filter, hmm.smooth):
+            result = method(np.zeros((6, 1)))
+            sums = np.exp(result.log_posterior).sum(axis=1)
+            assert np.allclose(sums, 1.0, atol=1e-8)
+
+    def test_smooth_uses_future_evidence(self, grid):
+        # Ambiguous first scan, decisive second: smoothing should pull
+        # step 0 toward a state consistent with step 1.
+        n = grid.n_reference_points
+        neighbors = grid.neighbors_within(0, radius=2.5)
+        target = int(neighbors[0])
+        log_e = np.full((2, n), np.log(1.0 / n))
+        log_e[1] = -30.0
+        log_e[1, target] = 0.0
+        hmm = hmm_for(grid, log_e)
+        filtered = hmm.filter(np.zeros((2, 1)))
+        smoothed = hmm.smooth(np.zeros((2, 1)))
+        post_f = np.exp(filtered.log_posterior[0])
+        post_s = np.exp(smoothed.log_posterior[0])
+        reachable = np.exp(hmm._log_t[:, hmm.rp_labels.tolist().index(target)])
+        # Mass on states that can reach the target must grow.
+        assert post_s[reachable > 0].sum() > post_f[reachable > 0].sum() - 1e-12
+
+    def test_noisy_emissions_are_cleaned_up(self, grid):
+        # A walker moves along RP 0 -> 1 -> 2 ... but 30% of scans point
+        # at a random far state; the HMM should beat argmax-per-scan.
+        rng = np.random.default_rng(9)
+        n = grid.n_reference_points
+        truth = np.arange(8) % n
+        log_e = np.full((8, n), -6.0)
+        for t, state in enumerate(truth):
+            log_e[t, state] = -0.5
+        corrupted = [2, 5]
+        for t in corrupted:
+            log_e[t] = -6.0
+            log_e[t, (truth[t] + n // 2) % n] = -0.5
+        hmm = hmm_for(grid, log_e, speed=2.5)
+        result = hmm.viterbi(np.zeros((8, 1)))
+        raw = log_e.argmax(axis=1)
+        hmm_hits = (result.rp_path == truth).sum()
+        raw_hits = (raw == truth).sum()
+        assert hmm_hits >= raw_hits
+
+    @given(seed=st.integers(min_value=0, max_value=150))
+    @settings(max_examples=25, deadline=None)
+    def test_smoothed_equals_filtered_at_last_step(self, seed):
+        # Forward-backward with beta_T = 1 must reproduce the filtered
+        # posterior at the final step: P(s_T | y_1..T) either way.
+        grid = build_grid_floorplan(
+            "ident", width=8.0, height=6.0, rp_spacing=2.0
+        )
+        rng = np.random.default_rng(seed)
+        n = grid.n_reference_points
+        log_e = np.log(rng.dirichlet(np.ones(n), size=5))
+        hmm = HiddenMarkovSmoother(grid, StubEmission(log_e))
+        filtered = hmm.filter(np.zeros((5, 1)))
+        smoothed = hmm.smooth(np.zeros((5, 1)))
+        assert np.allclose(
+            filtered.log_posterior[-1], smoothed.log_posterior[-1], atol=1e-8
+        )
+
+    def test_uniform_mixture_allows_mixed_paths(self, grid):
+        # Evidence: step 0 at RP 0, steps 1-2 at the far corner. A hard
+        # motion model cannot explain [0, far, far] (the jump has zero
+        # probability) so Viterbi must sacrifice an emission and sit
+        # still; the teleport leak makes the mixed path representable.
+        n = grid.n_reference_points
+        dist = grid.rp_distance_matrix()
+        far = int(dist[0].argmax())
+        log_e = np.full((3, n), -30.0)
+        log_e[0, 0] = 0.0
+        log_e[1, far] = 0.0
+        log_e[2, far] = 0.0
+        strict = HiddenMarkovSmoother(
+            grid, StubEmission(log_e), speed_mps=0.5, scan_interval_s=1.0
+        )
+        leaky = HiddenMarkovSmoother(
+            grid,
+            StubEmission(log_e),
+            speed_mps=0.5,
+            scan_interval_s=1.0,
+            uniform_mixture=0.05,
+        )
+        strict_path = strict.viterbi(np.zeros((3, 1))).rp_path
+        leaky_path = leaky.viterbi(np.zeros((3, 1))).rp_path
+        # Hard constraints: the walker cannot both start at 0 and reach
+        # the far corner; it stays wherever it starts.
+        assert strict_path[0] == strict_path[1] == strict_path[2]
+        # With the leak the full-evidence path becomes optimal.
+        assert leaky_path.tolist() == [0, far, far]
+
+    def test_label_subset_state_space(self, grid):
+        labels = np.array([1, 3, 5], dtype=np.int64)
+        log_e = np.log(np.full((3, 3), 1.0 / 3.0))
+        hmm = HiddenMarkovSmoother(grid, StubEmission(log_e, rp_labels=labels))
+        result = hmm.filter(np.zeros((3, 1)))
+        assert set(result.rp_path.tolist()) <= set(labels.tolist())
+        assert np.allclose(
+            result.locations, grid.reference_points[result.rp_path]
+        )
+
+    def test_bad_transition_shapes_rejected(self, grid):
+        emission = StubEmission(np.zeros((2, grid.n_reference_points)))
+        with pytest.raises(ValueError):
+            HiddenMarkovSmoother(grid, emission, transition=np.eye(3))
+
+    def test_non_stochastic_transition_rejected(self, grid):
+        n = grid.n_reference_points
+        emission = StubEmission(np.zeros((2, n)))
+        with pytest.raises(ValueError):
+            HiddenMarkovSmoother(grid, emission, transition=np.ones((n, n)))
+
+
+def hmm_for(grid, log_e, speed=1.2):
+    return HiddenMarkovSmoother(
+        grid, StubEmission(log_e), speed_mps=speed, scan_interval_s=2.0
+    )

@@ -1,0 +1,71 @@
+"""Tests for tracking metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tracking import TrackingSummary, rp_hit_rate, tracking_errors
+
+
+class TestTrackingErrors:
+    def test_known_distances(self):
+        pred = np.array([[0.0, 0.0], [3.0, 4.0]])
+        actual = np.array([[0.0, 0.0], [0.0, 0.0]])
+        assert np.allclose(tracking_errors(pred, actual), [0.0, 5.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            tracking_errors(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry_and_nonnegativity(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(7, 2))
+        b = rng.normal(size=(7, 2))
+        ab = tracking_errors(a, b)
+        ba = tracking_errors(b, a)
+        assert np.allclose(ab, ba)
+        assert (ab >= 0).all()
+
+
+class TestTrackingSummary:
+    def test_perfect_track(self):
+        track = np.random.default_rng(0).normal(size=(10, 2))
+        summary = TrackingSummary.from_tracks(track, track)
+        assert summary.mean_m == 0.0
+        assert summary.max_m == 0.0
+        assert summary.n_steps == 10
+
+    def test_ordering_invariants(self):
+        rng = np.random.default_rng(1)
+        pred = rng.normal(size=(50, 2))
+        actual = rng.normal(size=(50, 2))
+        s = TrackingSummary.from_tracks(pred, actual)
+        assert s.median_m <= s.p95_m <= s.max_m
+        assert s.mean_m <= s.rmse_m + 1e-12  # Jensen
+        assert "mean" in s.as_row()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrackingSummary.from_tracks(np.zeros((0, 2)), np.zeros((0, 2)))
+
+
+class TestRpHitRate:
+    def test_all_correct(self):
+        seq = np.array([1, 2, 3])
+        assert rp_hit_rate(seq, seq) == 1.0
+
+    def test_partial(self):
+        assert rp_hit_rate(np.array([1, 2, 3, 4]), np.array([1, 0, 3, 0])) == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rp_hit_rate(np.array([1]), np.array([1, 2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rp_hit_rate(np.array([]), np.array([]))

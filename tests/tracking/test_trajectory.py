@@ -1,0 +1,233 @@
+"""Tests for trajectory simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.generators import build_environment
+from repro.radio.access_point import NO_SIGNAL_DBM
+from repro.radio.time import SimTime
+from repro.tracking import (
+    Trajectory,
+    interpolate_path,
+    random_waypoints,
+    simulate_path_walk,
+    simulate_random_walk,
+    simulate_walk,
+)
+
+
+@pytest.fixture(scope="module")
+def small_env():
+    return build_environment("office", seed=3, n_aps=20)
+
+
+class TestInterpolatePath:
+    def test_endpoints_preserved(self):
+        waypoints = np.array([[0.0, 0.0], [10.0, 0.0]])
+        points = interpolate_path(waypoints, 1.5)
+        assert np.allclose(points[0], waypoints[0])
+        assert np.allclose(points[-1], waypoints[-1])
+
+    def test_straight_line_spacing(self):
+        points = interpolate_path(np.array([[0.0, 0.0], [9.0, 0.0]]), 3.0)
+        gaps = np.linalg.norm(np.diff(points, axis=0), axis=1)
+        assert np.all(gaps <= 3.0 + 1e-9)
+
+    def test_corner_is_traversed(self):
+        waypoints = np.array([[0.0, 0.0], [4.0, 0.0], [4.0, 4.0]])
+        points = interpolate_path(waypoints, 1.0)
+        # The corner leg must produce points with both x=4 and varying y.
+        on_vertical = points[np.isclose(points[:, 0], 4.0)]
+        assert on_vertical.shape[0] >= 2
+
+    def test_single_waypoint_passthrough(self):
+        single = np.array([[2.0, 3.0]])
+        assert np.allclose(interpolate_path(single, 1.0), single)
+
+    def test_zero_length_polyline(self):
+        waypoints = np.array([[1.0, 1.0], [1.0, 1.0]])
+        points = interpolate_path(waypoints, 0.5)
+        assert points.shape == (1, 2)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            interpolate_path(np.array([[0.0, 0.0], [1.0, 0.0]]), 0.0)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            interpolate_path(np.zeros((3, 3)), 1.0)
+
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        step=st.floats(min_value=0.2, max_value=5.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_spacing_never_exceeds_step(self, n, step, seed):
+        rng = np.random.default_rng(seed)
+        waypoints = rng.uniform(0.0, 20.0, size=(n, 2))
+        points = interpolate_path(waypoints, step)
+        gaps = np.linalg.norm(np.diff(points, axis=0), axis=1)
+        # Arc-length steps bound the chord length between samples.
+        assert np.all(gaps <= step + 1e-6)
+
+
+class TestRandomWaypoints:
+    def test_count_and_bounds(self, small_env):
+        rng = np.random.default_rng(0)
+        pts = random_waypoints(small_env.floorplan, 4, rng)
+        assert pts.shape == (4, 2)
+        assert (pts[:, 0] >= 0).all() and (pts[:, 0] <= small_env.floorplan.width).all()
+
+    def test_legs_respect_minimum(self, small_env):
+        rng = np.random.default_rng(1)
+        pts = random_waypoints(small_env.floorplan, 5, rng, min_leg_m=3.0)
+        legs = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+        assert (legs >= 3.0 - 1e-9).all()
+
+    def test_too_few_waypoints_rejected(self, small_env):
+        with pytest.raises(ValueError):
+            random_waypoints(small_env.floorplan, 1, np.random.default_rng(0))
+
+
+class TestSimulateWalk:
+    def test_shapes_and_monotone_time(self, small_env):
+        traj = simulate_walk(
+            small_env,
+            [[1.0, 1.0], [10.0, 1.0]],
+            rng=np.random.default_rng(5),
+            epoch=0,
+        )
+        assert traj.rssi.shape == (traj.n_steps, small_env.n_aps)
+        assert (np.diff(traj.times_hours) > 0).all()
+        assert traj.rp_indices.min() >= 0
+
+    def test_scan_interval_matches_request(self, small_env):
+        traj = simulate_walk(
+            small_env,
+            [[1.0, 1.0], [20.0, 1.0]],
+            scan_interval_s=4.0,
+            rng=np.random.default_rng(5),
+        )
+        assert traj.scan_interval_s == pytest.approx(4.0, rel=1e-6)
+
+    def test_rssi_in_valid_range(self, small_env):
+        traj = simulate_walk(
+            small_env,
+            [[1.0, 1.0], [15.0, 1.0]],
+            rng=np.random.default_rng(6),
+            epoch=0,
+        )
+        assert (traj.rssi >= NO_SIGNAL_DBM).all()
+        assert (traj.rssi <= 0).all()
+
+    def test_start_time_respected(self, small_env):
+        traj = simulate_walk(
+            small_env,
+            [[1.0, 1.0], [5.0, 1.0]],
+            start_time=SimTime(100.0),
+            rng=np.random.default_rng(7),
+        )
+        assert traj.times_hours[0] == pytest.approx(100.0)
+
+    def test_path_length_close_to_polyline(self, small_env):
+        traj = simulate_walk(
+            small_env,
+            [[1.0, 1.0], [21.0, 1.0]],
+            rng=np.random.default_rng(8),
+        )
+        assert traj.path_length_m() == pytest.approx(20.0, abs=0.5)
+
+    def test_invalid_speed_rejected(self, small_env):
+        with pytest.raises(ValueError):
+            simulate_walk(small_env, [[0.0, 0.0], [1.0, 0.0]], speed_mps=0.0)
+
+    def test_random_walk_deterministic_under_seed(self, small_env):
+        a = simulate_random_walk(small_env, rng=np.random.default_rng(9))
+        b = simulate_random_walk(small_env, rng=np.random.default_rng(9))
+        assert np.array_equal(a.rssi, b.rssi)
+        assert np.array_equal(a.locations, b.locations)
+
+
+class TestSimulatePathWalk:
+    def test_visits_every_intermediate_rp(self, small_env):
+        traj = simulate_path_walk(
+            small_env,
+            start_rp=2,
+            end_rp=10,
+            rng=np.random.default_rng(1),
+        )
+        # Walking RP 2..10 at 1 m spacing covers 8 m of path.
+        assert traj.path_length_m() == pytest.approx(8.0, abs=0.5)
+        # The nearest-RP ground truth never jumps more than the spacing
+        # allows between scans (the regime smoothers assume).
+        dist = small_env.floorplan.rp_distance_matrix()
+        jumps = [
+            dist[traj.rp_indices[t], traj.rp_indices[t + 1]]
+            for t in range(traj.n_steps - 1)
+        ]
+        assert max(jumps) <= 4.0
+
+    def test_reverse_direction(self, small_env):
+        traj = simulate_path_walk(
+            small_env, start_rp=10, end_rp=2, rng=np.random.default_rng(2)
+        )
+        assert traj.rp_indices[0] == 10
+        assert traj.rp_indices[-1] == 2
+
+    def test_random_span_default(self, small_env):
+        traj = simulate_path_walk(small_env, rng=np.random.default_rng(3))
+        n_rp = small_env.floorplan.n_reference_points
+        # Default span covers at least half the path.
+        assert traj.path_length_m() >= (n_rp // 2) - 1.0
+
+    def test_invalid_endpoints_rejected(self, small_env):
+        with pytest.raises(ValueError):
+            simulate_path_walk(small_env, start_rp=0, end_rp=0)
+        with pytest.raises(ValueError):
+            simulate_path_walk(small_env, start_rp=0, end_rp=9999)
+
+
+class TestTrajectoryValidation:
+    def _kwargs(self, **overrides):
+        base = dict(
+            locations=np.zeros((3, 2)),
+            times_hours=np.array([0.0, 1.0, 2.0]),
+            rp_indices=np.zeros(3, dtype=np.int64),
+            rssi=np.full((3, 4), -60.0),
+            speed_mps=1.0,
+        )
+        base.update(overrides)
+        return base
+
+    def test_valid_accepts(self):
+        traj = Trajectory(**self._kwargs())
+        assert traj.n_steps == 3
+
+    def test_decreasing_time_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(**self._kwargs(times_hours=np.array([2.0, 1.0, 0.0])))
+
+    def test_misaligned_rssi_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(**self._kwargs(rssi=np.full((2, 4), -60.0)))
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(**self._kwargs(speed_mps=0.0))
+
+    def test_empty_trajectory_properties(self):
+        traj = Trajectory(
+            locations=np.zeros((0, 2)),
+            times_hours=np.zeros(0),
+            rp_indices=np.zeros(0, dtype=np.int64),
+            rssi=np.zeros((0, 4)),
+            speed_mps=1.0,
+        )
+        assert traj.n_steps == 0
+        assert traj.path_length_m() == 0.0
+        assert traj.scan_interval_s == 0.0
