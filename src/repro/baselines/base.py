@@ -34,6 +34,13 @@ class Localizer(ABC):
     #: central axis of the paper's comparison.
     requires_retraining: bool = False
 
+    #: Whether ``predict`` treats query rows independently, so a batched
+    #: call equals the row-by-row calls concatenated. Frameworks whose
+    #: online phase is stateful over the scan sequence (GIFT's walk
+    #: decoding) must leave this False; the evaluation engine then feeds
+    #: each epoch as one ordered sequence instead of chunking it.
+    batched_inference: bool = False
+
     def __init__(self) -> None:
         self._fitted = False
 
@@ -79,3 +86,42 @@ class Localizer(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+class BatchedLocalizer(Localizer):
+    """A localizer whose ``predict`` is row-independent and batch-safe.
+
+    The contract: for any ``(n, n_aps)`` query matrix,
+    ``predict(queries)`` equals the per-row predictions stacked, and an
+    empty ``(0, n_aps)`` matrix yields ``(0, 2)``. Subclasses implement
+    ``predict`` fully vectorized; :meth:`predict_batched` adds uniform
+    empty-input handling and optional memory-bounding chunking on top.
+    """
+
+    batched_inference = True
+
+    def predict_batched(
+        self, rssi: np.ndarray, *, chunk_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Batched prediction with bounded peak memory.
+
+        ``chunk_size`` caps how many query rows hit ``predict`` at once;
+        ``None`` sends the whole batch through in one call.
+        """
+        self._check_fitted()
+        rssi = np.asarray(rssi, dtype=np.float64)
+        if rssi.ndim == 1:
+            rssi = rssi[None, :]
+        if rssi.shape[0] == 0:
+            return np.empty((0, 2), dtype=np.float64)
+        if chunk_size is None or rssi.shape[0] <= chunk_size:
+            return self.predict(rssi)
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        return np.concatenate(
+            [
+                self.predict(rssi[i : i + chunk_size])
+                for i in range(0, rssi.shape[0], chunk_size)
+            ],
+            axis=0,
+        )

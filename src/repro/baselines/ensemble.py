@@ -34,7 +34,7 @@ from ..nn.losses import SoftmaxCrossEntropy
 from ..nn.model import Sequential
 from ..nn.optimizers import Adam
 from ..nn.trainer import Trainer
-from .base import Localizer
+from .base import BatchedLocalizer
 
 
 @dataclass(frozen=True)
@@ -69,7 +69,7 @@ class EnsembleConfig:
             raise ValueError("training settings must be positive")
 
 
-class PseudoLabelEnsembleLocalizer(Localizer):
+class PseudoLabelEnsembleLocalizer(BatchedLocalizer):
     """Bootstrap MLP ensemble with per-epoch pseudo-label refitting."""
 
     name = "PL-Ensemble"
@@ -148,16 +148,19 @@ class PseudoLabelEnsembleLocalizer(Localizer):
         )
 
     def _majority(self, votes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Per-scan (winning class, agreeing fraction)."""
-        n_scans = votes.shape[1]
-        winners = np.empty(n_scans, dtype=np.int64)
-        fractions = np.empty(n_scans, dtype=np.float64)
-        for j in range(n_scans):
-            values, counts = np.unique(votes[:, j], return_counts=True)
-            best = counts.argmax()
-            winners[j] = values[best]
-            fractions[j] = counts[best] / votes.shape[0]
-        return winners, fractions
+        """Per-scan (winning class, agreeing fraction), loop-free.
+
+        Votes are tallied into an (n_classes, n_scans) count matrix in
+        one scatter-add; argmax over classes picks the smallest winning
+        class index on ties, matching the old per-scan ``np.unique``
+        tally exactly.
+        """
+        n_members, n_scans = votes.shape
+        counts = np.zeros((self._labels.size, n_scans), dtype=np.int64)
+        np.add.at(counts, (votes, np.arange(n_scans)[None, :]), 1)
+        winners = counts.argmax(axis=0)
+        fractions = counts.max(axis=0) / n_members
+        return winners.astype(np.int64), fractions.astype(np.float64)
 
     # -- online phase ------------------------------------------------------------
 
@@ -197,6 +200,8 @@ class PseudoLabelEnsembleLocalizer(Localizer):
         """Ensemble majority-vote class index per scan."""
         self._check_fitted()
         vectors = normalize_rssi(self._check_rssi(rssi, self._n_aps))
+        if vectors.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
         winners, _ = self._majority(self._member_votes(vectors))
         return winners
 

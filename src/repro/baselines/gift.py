@@ -40,10 +40,19 @@ NO_SIGNAL = -100.0
 
 
 class GIFTLocalizer(Localizer):
-    """Gradient-fingerprint localization with movement-vector matching."""
+    """Gradient-fingerprint localization with movement-vector matching.
+
+    GIFT's online phase decodes a *walk*: every estimate conditions on
+    the previous one, so rows of a query batch are not independent and
+    ``batched_inference`` stays False. The evaluation engine therefore
+    feeds each epoch as one ordered sequence; within a call, the
+    absolute-matching distances for every scan are still computed in a
+    single vectorized block before the sequential decode.
+    """
 
     name = "GIFT"
     requires_retraining = False
+    batched_inference = False
 
     def __init__(
         self,
@@ -99,11 +108,6 @@ class GIFTLocalizer(Localizer):
 
     # -- online ------------------------------------------------------------
 
-    def _locate_first(self, scan: np.ndarray) -> int:
-        """Absolute match of the walk's first scan (nearest mean RP)."""
-        d = ((self._rp_means - scan) ** 2).sum(axis=1)
-        return int(d.argmin())
-
     def _step(self, prev_rp_row: int, gradient: np.ndarray) -> int:
         """Best gradient-map entry starting near the previous estimate."""
         prev_loc = self._rp_locations[prev_rp_row]
@@ -123,23 +127,32 @@ class GIFTLocalizer(Localizer):
         """Locate a walk: rows of ``rssi`` are consecutive scans."""
         self._check_fitted()
         scans = np.clip(self._check_rssi(rssi, self._n_aps), NO_SIGNAL, 0.0)
+        if scans.shape[0] == 0:
+            return np.empty((0, 2), dtype=np.float64)
+        # Absolute matching for the whole walk in one distance block:
+        # (T, n_rps) squared distances to every RP's mean fingerprint.
+        d2_all = (
+            (scans * scans).sum(axis=1)[:, None]
+            + (self._rp_means * self._rp_means).sum(axis=1)[None, :]
+            - 2.0 * (scans @ self._rp_means.T)
+        )
+        np.maximum(d2_all, 0.0, out=d2_all)
+        abs_rows = d2_all.argmin(axis=1)
+        gradients = np.diff(scans, axis=0)
         out = np.empty((scans.shape[0], 2), dtype=np.float64)
-        prev_row = self._locate_first(scans[0])
+        prev_row = int(abs_rows[0])
         out[0] = self._rp_locations[prev_row]
         for t in range(1, scans.shape[0]):
-            gradient = scans[t] - scans[t - 1]
-            grad_row = self._step(prev_row, gradient)
+            grad_row = self._step(prev_row, gradients[t - 1])
             # Confidence check: if the walk estimate's reference
             # fingerprint explains the scan much worse than the best
             # absolute match, the track has been lost — re-anchor.
             # (Shu et al. combine GIFT with absolute observations the
             # same way; without this the walk locks into a wrong region
             # after its first large error.)
-            d_grad = float(((self._rp_means[grad_row] - scans[t]) ** 2).sum())
-            abs_row = self._locate_first(scans[t])
-            d_abs = float(((self._rp_means[abs_row] - scans[t]) ** 2).sum())
-            if d_grad > self.reanchor_factor * d_abs:
-                prev_row = abs_row
+            d_grad = float(d2_all[t, grad_row])
+            if d_grad > self.reanchor_factor * float(d2_all[t, abs_rows[t]]):
+                prev_row = int(abs_rows[t])
             else:
                 prev_row = grad_row
             out[t] = self._rp_locations[prev_row]

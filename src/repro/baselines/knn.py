@@ -11,30 +11,43 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.knn_head import KNNHead
 from ..datasets.fingerprint import FingerprintDataset
 from ..geometry.floorplan import Floorplan
-from .base import Localizer
+from .base import BatchedLocalizer
 
 
-class KNNLocalizer(Localizer):
+class KNNLocalizer(BatchedLocalizer):
     """Plain K-nearest-neighbour matching on raw RSSI vectors.
 
     ``weighted=True`` uses inverse-distance weighting of the neighbour
     locations (the LearnLoc paper's refinement); ``False`` is a plain
-    neighbour-average.
+    neighbour-average. The chunked distance/top-k machinery is
+    :class:`~repro.core.knn_head.KNNHead`'s, fitted on raw RSSI instead
+    of embeddings.
     """
 
     name = "KNN"
     requires_retraining = False
 
-    def __init__(self, k: int = 3, *, weighted: bool = True) -> None:
+    def __init__(
+        self,
+        k: int = 3,
+        *,
+        weighted: bool = True,
+        chunk_size: Optional[int] = None,
+    ) -> None:
         super().__init__()
         if k <= 0:
             raise ValueError("k must be positive")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
         self.k = int(k)
         self.weighted = bool(weighted)
+        self.chunk_size = chunk_size
         self._train_rssi: Optional[np.ndarray] = None
         self._train_locations: Optional[np.ndarray] = None
+        self._head: Optional[KNNHead] = None
 
     def fit(
         self,
@@ -49,29 +62,23 @@ class KNNLocalizer(Localizer):
             raise ValueError("empty training set")
         self._train_rssi = np.clip(train.rssi, -100.0, 0.0)
         self._train_locations = train.locations.copy()
+        self._head = KNNHead(k=self.k, chunk_size=self.chunk_size).fit(
+            self._train_rssi,
+            np.arange(train.n_samples),
+            self._train_locations,
+        )
         self._fitted = True
         return self
 
     def _kneighbors(self, rssi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        refs = self._train_rssi
-        q = np.clip(rssi, -100.0, 0.0)
-        d2 = (
-            (q * q).sum(axis=1)[:, None]
-            + (refs * refs).sum(axis=1)[None, :]
-            - 2.0 * (q @ refs.T)
-        )
-        np.maximum(d2, 0.0, out=d2)
-        k = min(self.k, refs.shape[0])
-        idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
-        rows = np.arange(q.shape[0])[:, None]
-        order = np.argsort(d2[rows, idx], axis=1)
-        idx = idx[rows, order]
-        return np.sqrt(d2[rows, idx]), idx
+        return self._head.kneighbors(np.clip(rssi, -100.0, 0.0))
 
     def predict(self, rssi: np.ndarray) -> np.ndarray:
         """Match scans to the K nearest stored fingerprints."""
         self._check_fitted()
         rssi = self._check_rssi(rssi, self._train_rssi.shape[1])
+        if rssi.shape[0] == 0:
+            return np.empty((0, 2), dtype=np.float64)
         dist, idx = self._kneighbors(rssi)
         neigh = self._train_locations[idx]  # (n, k, 2)
         if not self.weighted:

@@ -28,7 +28,7 @@ import numpy as np
 
 from ..datasets.fingerprint import FingerprintDataset
 from ..geometry.floorplan import Floorplan
-from .base import Localizer
+from .base import BatchedLocalizer
 from .knn import KNNLocalizer
 
 NO_SIGNAL = -100.0
@@ -69,7 +69,7 @@ class RidgeImputer:
         return np.clip(x @ self.weights + self.bias, NO_SIGNAL, 0.0)
 
 
-class LTKNNLocalizer(Localizer):
+class LTKNNLocalizer(BatchedLocalizer):
     """Long-Term KNN: per-epoch missing-AP detection + scan imputation."""
 
     name = "LT-KNN"
@@ -95,6 +95,10 @@ class LTKNNLocalizer(Localizer):
         self._train_visible: Optional[np.ndarray] = None
         self._current_missing: np.ndarray = np.array([], dtype=np.int64)
         self._imputers: dict[int, RidgeImputer] = {}
+        # Stacked imputer coefficients: one matmul fills every missing
+        # column of a whole scan batch at once.
+        self._imputer_weights: Optional[np.ndarray] = None
+        self._imputer_bias: Optional[np.ndarray] = None
         #: Number of maintenance refits performed post-deployment — the
         #: overhead counter reports surface next to accuracy.
         self.refit_count = 0
@@ -157,21 +161,50 @@ class LTKNNLocalizer(Localizer):
             )
             for ap in self._current_missing
         }
+        if self._imputers:
+            self._imputer_weights = np.stack(
+                [self._imputers[int(ap)].weights for ap in self._current_missing]
+            )
+            self._imputer_bias = np.array(
+                [self._imputers[int(ap)].bias for ap in self._current_missing]
+            )
+        else:
+            self._imputer_weights = None
+            self._imputer_bias = None
 
     # -- online ------------------------------------------------------------
 
     def impute(self, rssi: np.ndarray) -> np.ndarray:
-        """Fill the currently-missing AP columns of online scans."""
+        """Fill the currently-missing AP columns of online scans.
+
+        In the normal case (alive and missing columns disjoint) all
+        missing columns of the whole batch are reconstructed by a
+        single stacked matmul; when every train-visible AP is missing
+        the imputations chain and fall back to the sequential loop.
+        """
         scans = np.clip(np.array(rssi, copy=True), NO_SIGNAL, 0.0)
-        if self._current_missing.size == 0:
+        if self._current_missing.size == 0 or scans.shape[0] == 0:
             return scans
         alive = self._alive_columns()
-        for ap in self._current_missing:
-            scans[:, ap] = self._imputers[int(ap)].predict(scans[:, alive])
+        if np.intersect1d(alive, self._current_missing).size:
+            # Degenerate epoch (every train-visible AP missing): the
+            # imputers read columns they also write, so earlier
+            # imputations feed later ones — keep the sequential
+            # reference semantics here instead of the one-shot matmul.
+            for ap in self._current_missing:
+                scans[:, ap] = self._imputers[int(ap)].predict(scans[:, alive])
+            return scans
+        scans[:, self._current_missing] = np.clip(
+            scans[:, alive] @ self._imputer_weights.T + self._imputer_bias,
+            NO_SIGNAL,
+            0.0,
+        )
         return scans
 
     def predict(self, rssi: np.ndarray) -> np.ndarray:
         """Impute currently-missing AP columns, then KNN-match."""
         self._check_fitted()
         rssi = self._check_rssi(rssi, self._train.n_aps)
+        if rssi.shape[0] == 0:
+            return np.empty((0, 2), dtype=np.float64)
         return self._knn.predict(self.impute(rssi))

@@ -9,9 +9,11 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from dataclasses import dataclass
+
 from ..core.config import StoneConfig
 from ..core.stone import StoneLocalizer
-from .base import Localizer
+from .base import BatchedLocalizer, Localizer
 from .gift import GIFTLocalizer
 from .knn import KNNLocalizer
 from .ltknn import LTKNNLocalizer
@@ -27,6 +29,67 @@ PAPER_FRAMEWORKS = ("STONE", "KNN", "LT-KNN", "GIFT", "SCNN")
 #: Related-work frameworks beyond the paper's four comparison points.
 EXTENDED_FRAMEWORKS = ("SELE", "WiDeep", "PL-Ensemble")
 
+ALL_FRAMEWORKS = PAPER_FRAMEWORKS + EXTENDED_FRAMEWORKS
+
+#: Canonical name -> implementing class, for capability inspection
+#: without building (and hence configuring) an instance.
+_FRAMEWORK_CLASSES: dict[str, type] = {
+    "STONE": StoneLocalizer,
+    "KNN": KNNLocalizer,
+    "LT-KNN": LTKNNLocalizer,
+    "GIFT": GIFTLocalizer,
+    "SCNN": SCNNLocalizer,
+    "SELE": SELELocalizer,
+    "WiDeep": WiDeepLocalizer,
+    "PL-Ensemble": PseudoLabelEnsembleLocalizer,
+}
+
+_ALIASES = {
+    "LTKNN": "LT-KNN",
+    "WIDEEP": "WiDeep",
+    "ENSEMBLE": "PL-Ensemble",
+    "PLENSEMBLE": "PL-Ensemble",
+    "PL-ENSEMBLE": "PL-Ensemble",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a registry name or alias to its canonical framework name."""
+    key = name.strip().upper()
+    if key in _ALIASES:
+        return _ALIASES[key]
+    for canonical in _FRAMEWORK_CLASSES:
+        if key == canonical.upper():
+            return canonical
+    raise KeyError(f"unknown framework {name!r}; known: {ALL_FRAMEWORKS}")
+
+
+@dataclass(frozen=True)
+class FrameworkCapabilities:
+    """Static facts the evaluation engine needs before building a model."""
+
+    name: str
+    batched_inference: bool
+    requires_retraining: bool
+
+
+def framework_capabilities(name: str) -> FrameworkCapabilities:
+    """Capability flags of a framework, resolved without instantiation."""
+    canonical = canonical_name(name)
+    cls = _FRAMEWORK_CLASSES[canonical]
+    return FrameworkCapabilities(
+        name=canonical,
+        batched_inference=bool(getattr(cls, "batched_inference", False)),
+        requires_retraining=bool(getattr(cls, "requires_retraining", False)),
+    )
+
+
+def supports_batched_inference(name: str) -> bool:
+    """True when the framework's predict is row-independent (batch-safe)."""
+    return issubclass(
+        _FRAMEWORK_CLASSES[canonical_name(name)], BatchedLocalizer
+    )
+
 
 def make_localizer(
     name: str,
@@ -40,7 +103,7 @@ def make_localizer(
     shrinks the trained models' schedules for CI-scale runs (tests and
     smoke benches); figure-quality runs leave it False.
     """
-    key = name.strip().upper()
+    key = canonical_name(name)
     if key == "STONE":
         config = StoneConfig.for_suite(suite_name or "office")
         if fast:
@@ -53,7 +116,7 @@ def make_localizer(
         return StoneLocalizer(config)
     if key == "KNN":
         return KNNLocalizer()
-    if key in ("LT-KNN", "LTKNN"):
+    if key == "LT-KNN":
         return LTKNNLocalizer()
     if key == "GIFT":
         return GIFTLocalizer()
@@ -63,21 +126,20 @@ def make_localizer(
     if key == "SELE":
         config = SELEConfig(epochs=8, steps_per_epoch=15) if fast else SELEConfig()
         return SELELocalizer(config)
-    if key == "WIDEEP":
+    if key == "WiDeep":
         config = (
             WiDeepConfig(ae_epochs=15, classifier_epochs=30, n_corruptions=4)
             if fast
             else WiDeepConfig()
         )
         return WiDeepLocalizer(config)
-    if key in ("PL-ENSEMBLE", "ENSEMBLE", "PLENSEMBLE"):
+    if key == "PL-Ensemble":
         config = (
             EnsembleConfig(n_members=3, epochs=30, refit_epochs=5, agreement=0.66)
             if fast
             else EnsembleConfig()
         )
         return PseudoLabelEnsembleLocalizer(config)
-    raise KeyError(
-        f"unknown framework {name!r}; known: "
-        f"{PAPER_FRAMEWORKS + EXTENDED_FRAMEWORKS}"
+    raise AssertionError(
+        f"{key!r} is registered but has no builder in make_localizer"
     )

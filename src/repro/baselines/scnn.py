@@ -32,7 +32,7 @@ from ..nn.losses import SoftmaxCrossEntropy
 from ..nn.model import Sequential
 from ..nn.optimizers import Adam
 from ..nn.trainer import Trainer
-from .base import Localizer
+from .base import BatchedLocalizer
 
 
 @dataclass(frozen=True)
@@ -57,7 +57,7 @@ class SCNNConfig:
             raise ValueError("training settings must be positive")
 
 
-class SCNNLocalizer(Localizer):
+class SCNNLocalizer(BatchedLocalizer):
     """CNN classifier over fingerprint images -> RP label -> coordinates."""
 
     name = "SCNN"
@@ -130,6 +130,8 @@ class SCNNLocalizer(Localizer):
         """Argmax class index (row into the fitted label set) per scan."""
         self._check_fitted()
         rssi = self._check_rssi(rssi, self.preprocessor.n_aps)
+        if rssi.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
         images = self.preprocessor.transform(rssi)
         logits = self.model.predict(images)
         return logits.argmax(axis=1)

@@ -27,7 +27,7 @@ from ..datasets.fingerprint import FingerprintDataset
 from ..geometry.floorplan import Floorplan
 from ..nn.losses import ContrastiveLoss
 from ..nn.optimizers import Adam, clip_grads_by_norm
-from .base import Localizer
+from .base import BatchedLocalizer
 
 
 @dataclass(frozen=True)
@@ -53,7 +53,7 @@ class SELEConfig:
             raise ValueError("margin and learning_rate must be positive")
 
 
-class SELELocalizer(Localizer):
+class SELELocalizer(BatchedLocalizer):
     """Contrastive-pair Siamese embedding + KNN head."""
 
     name = "SELE"
@@ -143,6 +143,8 @@ class SELELocalizer(Localizer):
         """Embed scans and KNN-vote a reference point."""
         self._check_fitted()
         rssi = self._check_rssi(rssi, self.preprocessor.n_aps)
+        if rssi.shape[0] == 0:
+            return np.empty((0, 2), dtype=np.float64)
         return self.knn.predict_location(
             embed(self.encoder, self.preprocessor.transform(rssi))
         )

@@ -30,7 +30,7 @@ from ..nn.losses import MSELoss, SoftmaxCrossEntropy
 from ..nn.model import Sequential
 from ..nn.optimizers import Adam
 from ..nn.trainer import Trainer
-from .base import Localizer
+from .base import BatchedLocalizer
 
 
 @dataclass(frozen=True)
@@ -61,7 +61,7 @@ class WiDeepConfig:
             raise ValueError("training settings must be positive")
 
 
-class WiDeepLocalizer(Localizer):
+class WiDeepLocalizer(BatchedLocalizer):
     """Denoising-autoencoder-pretrained RP classifier."""
 
     name = "WiDeep"
@@ -153,6 +153,8 @@ class WiDeepLocalizer(Localizer):
         """Argmax class index per scan."""
         self._check_fitted()
         rssi = self._check_rssi(rssi, self._n_aps)
+        if rssi.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
         logits = self.model.predict(normalize_rssi(rssi))
         return logits.argmax(axis=1)
 

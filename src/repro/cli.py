@@ -3,8 +3,9 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro.cli figure FIG5 --seed 0
-    python -m repro.cli figure FIG6B --fast
+    python -m repro.cli figure FIG6B --fast --jobs 4 --cache-dir .repro-cache
     python -m repro.cli compare office --frameworks STONE,LT-KNN --fast
+    python -m repro.cli compare office --jobs 4 --chunk-size 1024
     python -m repro.cli suite basement --out basement.npz
     python -m repro.cli track office --framework STONE --fast
     python -m repro.cli compress office --bits 8 --sparsity 0.5 --fast
@@ -32,13 +33,65 @@ from .eval import (
 )
 
 _FIGURES = {
-    "FIG3": lambda seed, fast: run_fig3(seed),
-    "FIG4": lambda seed, fast: run_fig4(seed),
-    "FIG5": lambda seed, fast: run_fig5(seed, fast=fast),
-    "FIG6A": lambda seed, fast: run_fig6("basement", seed, fast=fast),
-    "FIG6B": lambda seed, fast: run_fig6("office", seed, fast=fast),
-    "FIG7": lambda seed, fast: run_fig7("office", seed, fast=fast),
-    "SEC5C-CLAIM": lambda seed, fast: run_headline_claims(seed, fast=fast),
+    "FIG3": lambda seed, fast, opts: run_fig3(seed),
+    "FIG4": lambda seed, fast, opts: run_fig4(seed),
+    "FIG5": lambda seed, fast, opts: run_fig5(seed, fast=fast, **opts),
+    "FIG6A": lambda seed, fast, opts: run_fig6("basement", seed, fast=fast, **opts),
+    "FIG6B": lambda seed, fast, opts: run_fig6("office", seed, fast=fast, **opts),
+    # Fig. 7 parallelizes its (FPR x repeat) grid cells; each cell is a
+    # fresh STONE fit so the framework-trace cache does not apply.
+    "FIG7": lambda seed, fast, opts: run_fig7(
+        "office",
+        seed,
+        fast=fast,
+        jobs=opts.get("jobs", 1),
+        chunk_size=opts.get("chunk_size"),
+    ),
+    "SEC5C-CLAIM": lambda seed, fast, opts: run_headline_claims(
+        seed, fast=fast, **opts
+    ),
+}
+
+
+def _engine_opts(args: argparse.Namespace) -> dict:
+    """Collect the evaluation-engine flags shared by figure/compare."""
+    return {
+        "jobs": args.jobs,
+        "chunk_size": args.chunk_size,
+        "cache_dir": args.cache_dir,
+    }
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the evaluation fan-out "
+            "(default: 1, serial; 0 = one per available CPU)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="queries per inference block (bounds memory; default: unchunked)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="memoize finished framework traces here; repeated runs skip fits",
+    )
+
+
+#: Engine flags a figure cannot use: FIG3/FIG4 run no framework
+#: evaluations, and FIG7's grid cells each train a fresh model so there
+#: is no framework trace to cache.
+_ENGINE_FLAGS_IGNORED = {
+    "FIG3": ("--jobs", "--chunk-size", "--cache-dir"),
+    "FIG4": ("--jobs", "--chunk-size", "--cache-dir"),
+    "FIG7": ("--cache-dir",),
 }
 
 
@@ -48,7 +101,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if runner is None:
         print(f"unknown figure {args.id!r}; known: {', '.join(_FIGURES)}")
         return 2
-    result = runner(args.seed, args.fast)
+    given = {
+        "--jobs": args.jobs != 1,
+        "--chunk-size": args.chunk_size is not None,
+        "--cache-dir": args.cache_dir is not None,
+    }
+    for flag in _ENGINE_FLAGS_IGNORED.get(figure_id, ()):
+        if given[flag]:
+            print(f"note: {flag} has no effect for {figure_id}")
+    result = runner(args.seed, args.fast, _engine_opts(args))
     print(result.rendered)
     for note in result.notes:
         print(f"note: {note}")
@@ -65,7 +126,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     else:
         suite = generate_path_suite(args.suite, args.seed)
     frameworks = [f.strip() for f in args.frameworks.split(",") if f.strip()]
-    comparison = compare_frameworks(suite, frameworks, seed=args.seed, fast=args.fast)
+    comparison = compare_frameworks(
+        suite,
+        frameworks,
+        seed=args.seed,
+        fast=args.fast,
+        **_engine_opts(args),
+    )
     series = comparison.series()
     print(line_chart(series, x_labels=comparison.labels(),
                      title=f"{args.suite}: mean localization error"))
@@ -235,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--seed", type=int, default=0)
     p_fig.add_argument("--fast", action="store_true", help="smoke-scale models")
     p_fig.add_argument("--out", help="also write the artefact to this file")
+    _add_engine_flags(p_fig)
     p_fig.set_defaults(fn=_cmd_figure)
 
     p_cmp = sub.add_parser("compare", help="compare frameworks on a suite")
@@ -246,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument("--fast", action="store_true")
+    _add_engine_flags(p_cmp)
     p_cmp.set_defaults(fn=_cmd_compare)
 
     p_suite = sub.add_parser("suite", help="generate and describe a dataset suite")

@@ -6,6 +6,13 @@ set. Online, a query embedding is matched to its K nearest reference
 embeddings; the predicted location is the majority-vote RP's coordinates
 (classification, the paper's formulation) or the mean of the neighbours'
 coordinates (regression variant, kept for ablations).
+
+All query paths are fully batched: an ``(n, d)`` query matrix is
+processed without per-row Python loops, in distance blocks of at most
+``chunk_size`` queries so the ``(chunk, n_refs)`` distance matrix never
+exceeds a bounded footprint. ``fit()`` precomputes the reference-side
+tables (squared norms, RP label codes, first-row coordinates and the
+per-RP column grouping) so every ``predict`` call is pure ndarray work.
 """
 
 from __future__ import annotations
@@ -14,20 +21,39 @@ from typing import Optional
 
 import numpy as np
 
+#: Queries per distance block; bounds the (chunk, n_refs) scratch matrix.
+DEFAULT_CHUNK_SIZE = 2048
+
 
 class KNNHead:
     """K-nearest-neighbour localization head in embedding space."""
 
-    def __init__(self, k: int = 3, *, mode: str = "classify") -> None:
+    def __init__(
+        self,
+        k: int = 3,
+        *,
+        mode: str = "classify",
+        chunk_size: Optional[int] = None,
+    ) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
         if mode not in ("classify", "regress"):
             raise ValueError("mode must be 'classify' or 'regress'")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
         self.k = int(k)
         self.mode = mode
+        self.chunk_size = int(chunk_size) if chunk_size else DEFAULT_CHUNK_SIZE
         self._embeddings: Optional[np.ndarray] = None
         self._rp_indices: Optional[np.ndarray] = None
         self._locations: Optional[np.ndarray] = None
+        # Precomputed in fit(); make every predict call loop-free.
+        self._ref_sq_norms: Optional[np.ndarray] = None
+        self._rp_labels: Optional[np.ndarray] = None
+        self._ref_codes: Optional[np.ndarray] = None
+        self._rp_coords: Optional[np.ndarray] = None
+        self._rp_col_order: Optional[np.ndarray] = None
+        self._rp_col_starts: Optional[np.ndarray] = None
 
     def fit(
         self,
@@ -35,7 +61,7 @@ class KNNHead:
         rp_indices: np.ndarray,
         locations: np.ndarray,
     ) -> "KNNHead":
-        """Store the reference set."""
+        """Store the reference set and build the per-RP index tables."""
         embeddings = np.asarray(embeddings, dtype=np.float64)
         rp_indices = np.asarray(rp_indices, dtype=np.int64)
         locations = np.asarray(locations, dtype=np.float64)
@@ -48,6 +74,23 @@ class KNNHead:
         self._embeddings = embeddings
         self._rp_indices = rp_indices
         self._locations = locations
+        self._ref_sq_norms = (embeddings * embeddings).sum(axis=1)
+        # RP label codes: reference row -> dense [0, n_rps) code.
+        labels, first_rows, codes = np.unique(
+            rp_indices, return_index=True, return_inverse=True
+        )
+        self._rp_labels = labels
+        self._ref_codes = codes.astype(np.int64)
+        # Each RP's representative coordinates: its first reference row
+        # (matches the pre-vectorization behaviour exactly).
+        self._rp_coords = locations[first_rows]
+        # Column grouping for per-RP min reductions: reference columns
+        # sorted by RP code, plus each group's start offset.
+        order = np.argsort(codes, kind="stable")
+        self._rp_col_order = order
+        self._rp_col_starts = np.searchsorted(
+            codes[order], np.arange(labels.shape[0])
+        )
         return self
 
     def _require_fitted(self) -> None:
@@ -58,43 +101,81 @@ class KNNHead:
     def rp_labels(self) -> np.ndarray:
         """Sorted unique RP labels of the reference set."""
         self._require_fitted()
-        return np.unique(self._rp_indices)
+        return self._rp_labels
+
+    @property
+    def n_references(self) -> int:
+        self._require_fitted()
+        return int(self._embeddings.shape[0])
+
+    # -- distance blocks ----------------------------------------------------
+
+    def _as_queries(self, queries: np.ndarray) -> np.ndarray:
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if q.ndim != 2 or (q.shape[0] and q.shape[1] != self._embeddings.shape[1]):
+            raise ValueError(
+                f"queries must be (n, {self._embeddings.shape[1]}), got {q.shape}"
+            )
+        return q
+
+    def _sq_distances(self, q: np.ndarray) -> np.ndarray:
+        """(n, n_refs) squared Euclidean distances, clipped at zero."""
+        refs = self._embeddings
+        d2 = (
+            (q * q).sum(axis=1)[:, None]
+            + self._ref_sq_norms[None, :]
+            - 2.0 * (q @ refs.T)
+        )
+        np.maximum(d2, 0.0, out=d2)
+        return d2
+
+    def _chunks(self, n: int):
+        step = self.chunk_size
+        for start in range(0, n, step):
+            yield start, min(start + step, n)
 
     def kneighbors(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """(distances, indices) of the K nearest references per query."""
         self._require_fitted()
-        q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        refs = self._embeddings
-        d2 = (
-            (q * q).sum(axis=1)[:, None]
-            + (refs * refs).sum(axis=1)[None, :]
-            - 2.0 * (q @ refs.T)
-        )
-        np.maximum(d2, 0.0, out=d2)
-        k = min(self.k, refs.shape[0])
-        idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
-        rows = np.arange(q.shape[0])[:, None]
-        order = np.argsort(d2[rows, idx], axis=1)
-        idx = idx[rows, order]
-        return np.sqrt(d2[rows, idx]), idx
+        q = self._as_queries(queries)
+        k = min(self.k, self._embeddings.shape[0])
+        dist = np.empty((q.shape[0], k), dtype=np.float64)
+        idx = np.empty((q.shape[0], k), dtype=np.int64)
+        for start, stop in self._chunks(q.shape[0]):
+            d2 = self._sq_distances(q[start:stop])
+            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            rows = np.arange(d2.shape[0])[:, None]
+            order = np.argsort(d2[rows, part], axis=1)
+            block_idx = part[rows, order]
+            idx[start:stop] = block_idx
+            dist[start:stop] = np.sqrt(d2[rows, block_idx])
+        return dist, idx
+
+    # -- batched voting -----------------------------------------------------
+
+    def _vote_codes(self, idx: np.ndarray) -> np.ndarray:
+        """Majority-vote RP *code* per query row, loop-free.
+
+        Tie-break: the closest neighbour whose label's count equals the
+        row maximum — identical to the per-row reference semantics
+        (``kneighbors`` columns are distance-sorted).
+        """
+        codes = self._ref_codes[idx]  # (n, k) dense RP codes
+        n, k = codes.shape
+        counts = np.zeros((n, self._rp_labels.shape[0]), dtype=np.int64)
+        np.add.at(counts, (np.arange(n)[:, None], codes), 1)
+        max_count = counts.max(axis=1, keepdims=True)
+        own_count = np.take_along_axis(counts, codes, axis=1)
+        # First distance-sorted position whose label is a max-count winner.
+        winner_pos = np.argmax(own_count == max_count, axis=1)
+        return codes[np.arange(n), winner_pos]
 
     def predict_rp(self, queries: np.ndarray) -> np.ndarray:
         """Majority-vote RP label per query (ties -> nearest neighbour's RP)."""
-        dist, idx = self.kneighbors(queries)
-        labels = self._rp_indices[idx]
-        out = np.empty(labels.shape[0], dtype=np.int64)
-        for i in range(labels.shape[0]):
-            values, counts = np.unique(labels[i], return_counts=True)
-            winners = values[counts == counts.max()]
-            if winners.size == 1:
-                out[i] = winners[0]
-            else:
-                # Tie break: the closest neighbour whose label is a winner.
-                for j in range(labels.shape[1]):
-                    if labels[i, j] in winners:
-                        out[i] = labels[i, j]
-                        break
-        return out
+        _, idx = self.kneighbors(queries)
+        if idx.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._rp_labels[self._vote_codes(idx)]
 
     def per_rp_distances(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Distance from each query to the closest reference of every RP.
@@ -106,31 +187,26 @@ class KNNHead:
         fingerprints of an RP mean the user is more plausibly there.
         """
         self._require_fitted()
-        q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        refs = self._embeddings
-        d2 = (
-            (q * q).sum(axis=1)[:, None]
-            + (refs * refs).sum(axis=1)[None, :]
-            - 2.0 * (q @ refs.T)
-        )
-        np.maximum(d2, 0.0, out=d2)
-        labels = np.unique(self._rp_indices)
+        q = self._as_queries(queries)
+        labels = self._rp_labels
         out = np.empty((q.shape[0], labels.shape[0]), dtype=np.float64)
-        for j, rp in enumerate(labels):
-            cols = self._rp_indices == rp
-            out[:, j] = d2[:, cols].min(axis=1)
+        for start, stop in self._chunks(q.shape[0]):
+            d2 = self._sq_distances(q[start:stop])
+            if d2.shape[0]:
+                out[start:stop] = np.minimum.reduceat(
+                    d2[:, self._rp_col_order], self._rp_col_starts, axis=1
+                )
         return labels, np.sqrt(out)
 
     def predict_location(self, queries: np.ndarray) -> np.ndarray:
         """(n, 2) coordinates per query, by vote or neighbour averaging."""
         self._require_fitted()
         if self.mode == "classify":
-            rps = self.predict_rp(queries)
-            # Map each winning RP to (one of) its reference coordinates.
-            coords = np.empty((rps.shape[0], 2), dtype=np.float64)
-            for i, rp in enumerate(rps):
-                row = np.flatnonzero(self._rp_indices == rp)[0]
-                coords[i] = self._locations[row]
-            return coords
+            _, idx = self.kneighbors(queries)
+            if idx.shape[0] == 0:
+                return np.empty((0, 2), dtype=np.float64)
+            return self._rp_coords[self._vote_codes(idx)]
         _, idx = self.kneighbors(queries)
+        if idx.shape[0] == 0:
+            return np.empty((0, 2), dtype=np.float64)
         return self._locations[idx].mean(axis=1)

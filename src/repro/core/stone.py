@@ -16,7 +16,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..baselines.base import Localizer
+from ..baselines.base import BatchedLocalizer
 from ..datasets.fingerprint import FingerprintDataset
 from ..geometry.floorplan import Floorplan
 from ..nn.losses import TripletLoss
@@ -31,18 +31,32 @@ from .siamese import SiameseHistory, SiameseTrainer
 from .triplets import make_selector
 
 
-class StoneLocalizer(Localizer):
+class StoneLocalizer(BatchedLocalizer):
     """STONE: Siamese neural encoder + KNN head, re-training-free."""
 
     name = "STONE"
     requires_retraining = False
 
-    def __init__(self, config: Optional[StoneConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[StoneConfig] = None,
+        *,
+        chunk_size: Optional[int] = None,
+    ) -> None:
         super().__init__()
         self.config = config or StoneConfig()
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        #: Queries per inference block, bounding both the encoder's
+        #: activation memory and the KNN head's distance matrices.
+        self.chunk_size = int(chunk_size) if chunk_size else 512
         self.preprocessor = FingerprintImagePreprocessor()
         self.encoder: Optional[Sequential] = None
-        self.knn = KNNHead(k=self.config.knn_k, mode=self.config.knn_mode)
+        self.knn = KNNHead(
+            k=self.config.knn_k,
+            mode=self.config.knn_mode,
+            chunk_size=self.chunk_size,
+        )
         self.history: Optional[SiameseHistory] = None
 
     # -- offline phase -----------------------------------------------------
@@ -121,10 +135,14 @@ class StoneLocalizer(Localizer):
         self._check_fitted()
         rssi = self._check_rssi(rssi, self.preprocessor.n_aps)
         images = self.preprocessor.transform(rssi)
-        return embed(self.encoder, images)
+        return embed(self.encoder, images, batch_size=self.chunk_size)
 
     def predict(self, rssi: np.ndarray) -> np.ndarray:
         """Raw dBm scans -> (n, 2) estimated coordinates."""
+        self._check_fitted()
+        rssi = self._check_rssi(rssi, self.preprocessor.n_aps)
+        if rssi.shape[0] == 0:
+            return np.empty((0, 2), dtype=np.float64)
         return self.knn.predict_location(self.embed_rssi(rssi))
 
     def predict_rp(self, rssi: np.ndarray) -> np.ndarray:

@@ -39,6 +39,14 @@ from .runner import (
     compare_frameworks,
     evaluate_localizer,
 )
+from .engine import (
+    EvalTask,
+    ParallelRunner,
+    ResultCache,
+    available_cpus,
+    run_task,
+    suite_fingerprint,
+)
 
 __all__ = [
     "localization_errors",
@@ -51,6 +59,12 @@ __all__ = [
     "Comparison",
     "evaluate_localizer",
     "compare_frameworks",
+    "EvalTask",
+    "ParallelRunner",
+    "ResultCache",
+    "available_cpus",
+    "run_task",
+    "suite_fingerprint",
     "format_table",
     "line_chart",
     "heatmap",

@@ -1,0 +1,345 @@
+"""Unified batched-inference / parallel evaluation engine.
+
+The longitudinal protocol itself lives in :mod:`repro.eval.runner`
+(fit once, walk the test epochs); this module is the layer that scales
+it:
+
+* :class:`ParallelRunner` fans (framework x suite) evaluation tasks out
+  over a process pool with *deterministic per-task seeding* — a parallel
+  run produces bit-identical results to the serial walk, in any
+  completion order, because every task's RNG is derived from
+  ``(seed, framework_index)`` exactly as the serial loop derives it.
+* :class:`ResultCache` memoizes finished :class:`FrameworkResult` traces
+  on disk, keyed by a content hash of the suite's arrays plus the task
+  configuration, so regenerating a figure after an unrelated change
+  skips every fit that is already on disk.
+
+Every figure/ablation path (``repro.eval.experiments``, ``repro.cli``)
+drives evaluation through this engine; ``jobs=1`` without a cache
+degenerates to the plain serial protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..baselines.registry import canonical_name, make_localizer
+from ..datasets.fingerprint import LongitudinalSuite
+from .runner import Comparison, FrameworkResult, evaluate_localizer
+
+#: Bumped when the evaluation protocol changes in a way that invalidates
+#: previously cached traces.
+CACHE_SCHEMA_VERSION = 1
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    In containers/cgroups ``os.cpu_count()`` reports the host's cores;
+    the scheduler affinity mask is what bounds real parallelism.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+# -- content hashing ----------------------------------------------------------
+
+
+def _update_array(digest: "hashlib._Hash", arr: np.ndarray) -> None:
+    arr = np.ascontiguousarray(arr)
+    digest.update(str(arr.dtype).encode())
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+
+
+def suite_fingerprint(suite: LongitudinalSuite) -> str:
+    """Content hash of everything in a suite that can affect results."""
+    digest = hashlib.sha256()
+    digest.update(suite.name.encode())
+    # The floorplan feeds fit() (STONE's floorplan-aware triplets), so
+    # its geometry is result-affecting state like the arrays are.
+    fp = suite.floorplan
+    digest.update(fp.name.encode())
+    digest.update(f"{fp.width}:{fp.height}:{fp.rp_spacing}".encode())
+    _update_array(digest, fp.reference_points)
+    for wall in fp.walls.walls:
+        digest.update(
+            f"{tuple(wall.a)}:{tuple(wall.b)}:{wall.material}".encode()
+        )
+    for arr in (
+        suite.train.rssi,
+        suite.train.rp_indices,
+        suite.train.locations,
+    ):
+        _update_array(digest, arr)
+    for label, ds in zip(suite.epoch_labels, suite.test_epochs):
+        digest.update(label.encode())
+        _update_array(digest, ds.rssi)
+        _update_array(digest, ds.locations)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One (framework, suite) evaluation unit of the fan-out."""
+
+    framework: str
+    suite_name: str
+    seed: int
+    seed_index: int
+    fast: bool
+    chunk_size: Optional[int] = None
+
+    def cache_key(self, suite_hash: str) -> str:
+        """Digest identifying this task's *result* (chunking excluded:
+        it bounds memory, not values)."""
+        digest = hashlib.sha256()
+        digest.update(f"v{CACHE_SCHEMA_VERSION}".encode())
+        digest.update(suite_hash.encode())
+        digest.update(canonical_name(self.framework).encode())
+        digest.update(f"{self.seed}:{self.seed_index}:{self.fast}".encode())
+        return digest.hexdigest()
+
+
+# -- result cache -------------------------------------------------------------
+
+
+class ResultCache:
+    """Disk memo of finished framework traces, one pickle per task.
+
+    The key is a content hash (see :meth:`EvalTask.cache_key`), so a
+    hit is only possible when the suite's arrays, the framework, the
+    seed and the fast flag all match — there is no staleness to manage,
+    only disk space.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[FrameworkResult]:
+        path = self._path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            # A truncated or stale-schema entry is a miss, not an error.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: FrameworkResult) -> None:
+        tmp = self._path(key).with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(self._path(key))
+
+    def clear(self) -> int:
+        """Delete all cached entries; returns how many were removed."""
+        n = 0
+        for path in self.cache_dir.glob("*.pkl"):
+            path.unlink()
+            n += 1
+        return n
+
+
+# -- task execution -----------------------------------------------------------
+
+
+def run_task(task: EvalTask, suite: LongitudinalSuite) -> FrameworkResult:
+    """Fit + longitudinally evaluate one framework (process-pool safe).
+
+    The RNG is seeded from ``(seed, seed_index)`` exactly as the serial
+    comparison loop seeds it, so results are independent of *where* and
+    *when* the task runs.
+    """
+    localizer = make_localizer(
+        task.framework, suite_name=suite.name, fast=task.fast
+    )
+    rng = np.random.default_rng([task.seed, task.seed_index])
+    return evaluate_localizer(
+        localizer, suite, rng=rng, chunk_size=task.chunk_size
+    )
+
+
+#: Per-worker suite registry, populated once by the pool initializer so
+#: each task payload is just the (tiny) EvalTask instead of re-pickling
+#: the suite's arrays for every task.
+_WORKER_SUITES: dict[str, LongitudinalSuite] = {}
+
+
+def _init_worker(suites: dict[str, LongitudinalSuite]) -> None:
+    global _WORKER_SUITES
+    _WORKER_SUITES = suites
+
+
+def _run_task_in_worker(task: EvalTask) -> FrameworkResult:
+    return run_task(task, _WORKER_SUITES[task.suite_name])
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class ParallelRunner:
+    """Fan (framework x suite) evaluations out over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count. ``1`` (default) runs everything inline —
+        no pool, no pickling — and is the reference serial behaviour.
+        ``0`` means *auto*: use every CPU the process is allowed to run
+        on (affinity-aware, so a 1-CPU container stays serial instead of
+        paying pool overhead for no parallelism). An explicit ``N > 1``
+        is honoured as given.
+    chunk_size:
+        Per-predict query block size forwarded to batch-safe
+        localizers; bounds peak inference memory on huge epochs.
+    cache_dir:
+        When set, finished traces are memoized here and repeated runs
+        with identical inputs skip the fit entirely.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if jobs < 0:
+            raise ValueError("jobs must be positive, or 0 for auto")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.jobs = int(jobs) if jobs else available_cpus()
+        self.chunk_size = chunk_size
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if cache_dir else None
+        )
+
+    # -- single suite ------------------------------------------------------
+
+    def run(
+        self,
+        suite: LongitudinalSuite,
+        framework_names: Sequence[str],
+        *,
+        seed: int = 0,
+        fast: bool = False,
+    ) -> Comparison:
+        """Evaluate several frameworks on one suite (the Fig. 5/6 shape)."""
+        return self.run_suites([suite], framework_names, seed=seed, fast=fast)[
+            suite.name
+        ]
+
+    # -- frameworks x suites ----------------------------------------------
+
+    def run_suites(
+        self,
+        suites: Sequence[LongitudinalSuite],
+        framework_names: Sequence[str],
+        *,
+        seed: int = 0,
+        fast: bool = False,
+    ) -> dict[str, Comparison]:
+        """Evaluate the full frameworks x suites grid.
+
+        Returns ``{suite.name: Comparison}`` with framework order
+        preserved. Task seeding is per (suite, framework-index), so each
+        suite's comparison is bit-identical to a serial
+        ``compare_frameworks`` call on that suite.
+        """
+        names = [suite.name for suite in suites]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"suite names must be unique within one run, got {names}"
+            )
+        tasks: list[tuple[EvalTask, LongitudinalSuite]] = []
+        for suite in suites:
+            for i, name in enumerate(framework_names):
+                tasks.append(
+                    (
+                        EvalTask(
+                            framework=name,
+                            suite_name=suite.name,
+                            seed=seed,
+                            seed_index=i,
+                            fast=fast,
+                            chunk_size=self.chunk_size,
+                        ),
+                        suite,
+                    )
+                )
+        results = self._execute(tasks)
+        comparisons: dict[str, Comparison] = {}
+        for (task, suite), result in zip(tasks, results):
+            comparison = comparisons.setdefault(
+                suite.name, Comparison(suite=suite.name)
+            )
+            comparison.results[result.framework] = result
+        return comparisons
+
+    # -- execution core ----------------------------------------------------
+
+    def _execute(
+        self, tasks: Sequence[tuple[EvalTask, LongitudinalSuite]]
+    ) -> list[FrameworkResult]:
+        results: list[Optional[FrameworkResult]] = [None] * len(tasks)
+        pending: list[int] = []
+        suite_hashes: dict[int, str] = {}
+        for pos, (task, suite) in enumerate(tasks):
+            if self.cache is not None:
+                suite_hash = suite_hashes.setdefault(
+                    id(suite), suite_fingerprint(suite)
+                )
+                cached = self.cache.get(task.cache_key(suite_hash))
+                if cached is not None:
+                    results[pos] = cached
+                    continue
+            pending.append(pos)
+        if pending:
+            workers = min(self.jobs, len(pending))
+            if workers > 1:
+                # Each worker receives the suites once (initializer)
+                # rather than once per task; payloads stay tiny.
+                suites = {tasks[pos][1].name: tasks[pos][1] for pos in pending}
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(suites,),
+                ) as pool:
+                    fresh = list(
+                        pool.map(
+                            _run_task_in_worker,
+                            [tasks[pos][0] for pos in pending],
+                        )
+                    )
+            else:
+                fresh = [run_task(*tasks[pos]) for pos in pending]
+            for pos, result in zip(pending, fresh):
+                results[pos] = result
+                if self.cache is not None:
+                    task, suite = tasks[pos]
+                    self.cache.put(
+                        task.cache_key(suite_hashes[id(suite)]), result
+                    )
+        return results  # type: ignore[return-value]

@@ -9,8 +9,10 @@ modules under ``benchmarks/`` are thin wrappers over these.
 from __future__ import annotations
 
 import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -20,6 +22,7 @@ from ..core.stone import StoneLocalizer
 from ..datasets.fingerprint import LongitudinalSuite
 from ..datasets.generators import SuiteConfig, generate_path_suite, generate_uji_suite
 from ..datasets.statistics import observed_visibility_matrix
+from ..eval.engine import available_cpus
 from ..eval.metrics import improvement_percent
 from ..eval.reporting import (
     comparison_table,
@@ -124,8 +127,19 @@ def _comparison_figure(
     seed: int,
     fast: bool,
     title: str,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> tuple[FigureResult, Comparison]:
-    comparison = compare_frameworks(suite, frameworks, seed=seed, fast=fast)
+    comparison = compare_frameworks(
+        suite,
+        frameworks,
+        seed=seed,
+        fast=fast,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        cache_dir=cache_dir,
+    )
     series = comparison.series()
     rendered = (
         line_chart(series, x_labels=comparison.labels(), title=title)
@@ -161,6 +175,9 @@ def run_fig5(
     *,
     frameworks: Sequence[str] = PAPER_FRAMEWORKS,
     fast: Optional[bool] = None,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> FigureResult:
     """Fig. 5 — UJI: mean error over 15 months for all five frameworks."""
     fast = is_fast_mode() if fast is None else fast
@@ -172,6 +189,9 @@ def run_fig5(
         seed=seed,
         fast=fast,
         title="UJI path: mean localization error over 15 months",
+        jobs=jobs,
+        chunk_size=chunk_size,
+        cache_dir=cache_dir,
     )
     return result
 
@@ -181,6 +201,9 @@ def run_fig6(
     *,
     frameworks: Sequence[str] = PAPER_FRAMEWORKS,
     fast: Optional[bool] = None,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> FigureResult:
     """Fig. 6(a/b) — Basement/Office: mean error over 16 CIs."""
     if kind not in ("basement", "office"):
@@ -195,11 +218,64 @@ def run_fig6(
         seed=seed,
         fast=fast,
         title=f"{kind} path: mean localization error over 16 CIs",
+        jobs=jobs,
+        chunk_size=chunk_size,
+        cache_dir=cache_dir,
     )
     return result
 
 
 # -- Fig. 7: FPR sensitivity ---------------------------------------------------
+
+
+#: Per-worker base suite for the Fig. 7 grid, set once by the pool
+#: initializer so cell payloads don't each re-pickle the suite's arrays.
+_FIG7_SUITE: Optional[LongitudinalSuite] = None
+
+
+def _init_fig7_worker(base_suite: LongitudinalSuite) -> None:
+    global _FIG7_SUITE
+    _FIG7_SUITE = base_suite
+
+
+def _fig7_cell_in_worker(
+    payload: tuple[int, int, int, bool, Optional[int]],
+) -> np.ndarray:
+    return _fig7_cell(_FIG7_SUITE, payload)
+
+
+def _fig7_cell(
+    base_suite: LongitudinalSuite,
+    payload: tuple[int, int, int, bool, Optional[int]],
+) -> np.ndarray:
+    """One (FPR, repeat) cell of the Fig. 7 grid (process-pool safe).
+
+    The cell RNG is derived from ``(seed, fpr, rep)``, so the grid is
+    bit-identical however the cells are scheduled.
+    """
+    fpr, rep, seed, fast, chunk_size = payload
+    rng = np.random.default_rng([seed, fpr, rep])
+    train = base_suite.train.subsample_fpr(fpr, rng)
+    # The grid trains (FPR values x repeats) separate encoders, so
+    # each cell gets a reduced-but-sufficient schedule; the shape
+    # (FPR=1 worst, saturation near 4) is stable well before full
+    # convergence.
+    config = StoneConfig.for_suite(base_suite.name, epochs=20)
+    if fast:
+        config = StoneConfig.for_suite(
+            base_suite.name, epochs=8, steps_per_epoch=15, batch_size=64
+        )
+    suite = LongitudinalSuite(
+        name=base_suite.name,
+        floorplan=base_suite.floorplan,
+        train=train,
+        test_epochs=base_suite.test_epochs,
+        epoch_labels=base_suite.epoch_labels,
+    )
+    result = evaluate_localizer(
+        StoneLocalizer(config), suite, rng=rng, chunk_size=chunk_size
+    )
+    return result.mean_errors()
 
 
 def run_fig7(
@@ -210,6 +286,8 @@ def run_fig7(
     n_repeats: Optional[int] = None,
     fast: Optional[bool] = None,
     epoch_stride: int = 3,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 7 — STONE's sensitivity to fingerprints-per-RP.
 
@@ -248,29 +326,23 @@ def run_fig7(
     fpr_values = [f for f in fpr_values if f <= max_fpr]
     epoch_cols = list(range(0, base_suite.n_epochs, epoch_stride))
     grid = np.zeros((len(fpr_values), len(epoch_cols) + 1))
-    for row, fpr in enumerate(fpr_values):
-        repeat_errors = []
-        for rep in range(n_repeats):
-            rng = np.random.default_rng([seed, fpr, rep])
-            train = base_suite.train.subsample_fpr(fpr, rng)
-            # The grid trains (FPR values x repeats) separate encoders, so
-            # each cell gets a reduced-but-sufficient schedule; the shape
-            # (FPR=1 worst, saturation near 4) is stable well before full
-            # convergence.
-            config = StoneConfig.for_suite(base_suite.name, epochs=20)
-            if fast:
-                config = StoneConfig.for_suite(
-                    base_suite.name, epochs=8, steps_per_epoch=15, batch_size=64
-                )
-            suite = LongitudinalSuite(
-                name=base_suite.name,
-                floorplan=base_suite.floorplan,
-                train=train,
-                test_epochs=base_suite.test_epochs,
-                epoch_labels=base_suite.epoch_labels,
-            )
-            result = evaluate_localizer(StoneLocalizer(config), suite, rng=rng)
-            repeat_errors.append(result.mean_errors())
+    cells = [
+        (fpr, rep, seed, fast, chunk_size)
+        for fpr in fpr_values
+        for rep in range(n_repeats)
+    ]
+    workers = min(jobs if jobs else available_cpus(), len(cells))
+    if workers > 1:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_fig7_worker,
+            initargs=(base_suite,),
+        ) as pool:
+            curves = list(pool.map(_fig7_cell_in_worker, cells))
+    else:
+        curves = [_fig7_cell(base_suite, cell) for cell in cells]
+    for row in range(len(fpr_values)):
+        repeat_errors = curves[row * n_repeats : (row + 1) * n_repeats]
         mean_curve = np.mean(repeat_errors, axis=0)
         grid[row, :-1] = mean_curve[epoch_cols]
         grid[row, -1] = float(mean_curve.mean())
@@ -296,7 +368,14 @@ def run_fig7(
 # -- Sec. V headline claims ------------------------------------------------------
 
 
-def run_headline_claims(seed: int = 0, *, fast: Optional[bool] = None) -> FigureResult:
+def run_headline_claims(
+    seed: int = 0,
+    *,
+    fast: Optional[bool] = None,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> FigureResult:
     """Sec. I / V.B / V.C numeric claims, recomputed on our substrate.
 
     - deployment-day error vs worst post-deployment error (the paper's
@@ -313,7 +392,13 @@ def run_headline_claims(seed: int = 0, *, fast: Optional[bool] = None) -> Figure
     for kind in ("office",):
         suite = generate_path_suite(kind, seed)
         comparison = compare_frameworks(
-            suite, ("STONE", "LT-KNN", "SCNN"), seed=seed, fast=fast
+            suite,
+            ("STONE", "LT-KNN", "SCNN"),
+            seed=seed,
+            fast=fast,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            cache_dir=cache_dir,
         )
         stone = comparison.results["STONE"].mean_errors()
         lt = comparison.results["LT-KNN"].mean_errors()

@@ -5,18 +5,22 @@ walk the test epochs in order. Before each epoch's predictions, the
 framework receives that epoch's scans *without labels* (the anonymous
 fingerprints LT-KNN refits on); then the mean localization error of the
 epoch is recorded.
+
+Scaling concerns — parallel fan-out over frameworks/suites and result
+caching — live in :mod:`repro.eval.engine`; this module stays the
+single, serial reference implementation of the protocol.
 """
 
 from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from ..baselines.base import Localizer
-from ..baselines.registry import make_localizer
+from ..baselines.base import BatchedLocalizer, Localizer
 from ..datasets.fingerprint import LongitudinalSuite
 from .metrics import ErrorSummary, localization_errors
 
@@ -62,8 +66,14 @@ def evaluate_localizer(
     *,
     rng: Optional[np.random.Generator] = None,
     fit: bool = True,
+    chunk_size: Optional[int] = None,
 ) -> FrameworkResult:
-    """Run the full longitudinal protocol for one framework."""
+    """Run the full longitudinal protocol for one framework.
+
+    ``chunk_size`` bounds per-predict memory for batch-safe localizers
+    (queries per distance/forward block); sequential decoders like GIFT
+    always receive each epoch as one ordered sequence.
+    """
     rng = rng or np.random.default_rng(0)
     result = FrameworkResult(
         framework=localizer.name,
@@ -74,11 +84,15 @@ def evaluate_localizer(
         t0 = _time.perf_counter()
         localizer.fit(suite.train, suite.floorplan, rng=rng)
         result.fit_seconds = _time.perf_counter() - t0
+    batched = chunk_size is not None and isinstance(localizer, BatchedLocalizer)
     for epoch_idx, (label, ds) in enumerate(
         zip(suite.epoch_labels, suite.test_epochs)
     ):
         localizer.begin_epoch(epoch_idx, ds.rssi)
-        predicted = localizer.predict(ds.rssi)
+        if batched:
+            predicted = localizer.predict_batched(ds.rssi, chunk_size=chunk_size)
+        else:
+            predicted = localizer.predict(ds.rssi)
         errors = localization_errors(predicted, ds.locations)
         result.epochs.append(
             EpochResult(
@@ -124,13 +138,18 @@ def compare_frameworks(
     *,
     seed: int = 0,
     fast: bool = False,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> Comparison:
-    """Evaluate several frameworks (by registry name) on one suite."""
-    comparison = Comparison(suite=suite.name)
-    for i, name in enumerate(framework_names):
-        localizer = make_localizer(name, suite_name=suite.name, fast=fast)
-        rng = np.random.default_rng([seed, i])
-        comparison.results[localizer.name] = evaluate_localizer(
-            localizer, suite, rng=rng
-        )
-    return comparison
+    """Evaluate several frameworks (by registry name) on one suite.
+
+    A thin wrapper over :class:`repro.eval.engine.ParallelRunner`:
+    ``jobs`` fans frameworks out over a process pool, ``chunk_size``
+    bounds per-predict memory and ``cache_dir`` memoizes finished
+    traces. The defaults reproduce the serial protocol exactly.
+    """
+    from .engine import ParallelRunner  # local: engine imports this module
+
+    runner = ParallelRunner(jobs=jobs, chunk_size=chunk_size, cache_dir=cache_dir)
+    return runner.run(suite, framework_names, seed=seed, fast=fast)

@@ -83,16 +83,28 @@ class Sequential:
             caches.append(cache)
         return out, caches
 
-    def predict(self, x: np.ndarray, *, batch_size: int = 256) -> np.ndarray:
-        """Inference-mode forward pass, batched to bound memory."""
+    def predict(
+        self, x: np.ndarray, *, batch_size: Optional[int] = 256
+    ) -> np.ndarray:
+        """Inference-mode forward pass, batched to bound memory.
+
+        ``batch_size=None`` runs the whole input in one pass. Chunked
+        passes write into a preallocated output so peak memory is one
+        chunk's activations plus the result, never 2x the result.
+        """
         x = np.asarray(x, dtype=DTYPE)
-        if x.shape[0] <= batch_size:
+        if batch_size is None or x.shape[0] <= batch_size:
             return self.forward(x, training=False)[0]
-        outs = [
-            self.forward(x[i : i + batch_size], training=False)[0]
-            for i in range(0, x.shape[0], batch_size)
-        ]
-        return np.concatenate(outs, axis=0)
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        first = self.forward(x[:batch_size], training=False)[0]
+        out = np.empty((x.shape[0],) + first.shape[1:], dtype=first.dtype)
+        out[:batch_size] = first
+        for i in range(batch_size, x.shape[0], batch_size):
+            out[i : i + batch_size] = self.forward(
+                x[i : i + batch_size], training=False
+            )[0]
+        return out
 
     def backward(
         self, dy: np.ndarray, caches: Sequence[Any]

@@ -130,6 +130,29 @@ class TestLTKNN:
         # imputed columns are no longer stuck at -100 everywhere
         assert (filled[:, missing] > -100.0).any()
 
+    def test_all_missing_epoch_matches_sequential_reference(
+        self, train, floorplan
+    ):
+        # Degenerate epoch: every train-visible AP reads as dead, so
+        # _alive_columns() falls back to the full visible set and the
+        # imputers read columns they also write. The vectorized impute
+        # must keep the sequential chaining semantics here.
+        lt = LTKNNLocalizer(k=3).fit(train, floorplan)
+        all_dead = np.full_like(train.rssi, -100.0)
+        lt.begin_epoch(1, all_dead)
+        assert np.intersect1d(
+            lt._alive_columns(), lt._current_missing
+        ).size > 0
+        scans = train.rssi[:5]
+        filled = lt.impute(scans)
+        reference = np.clip(np.array(scans, copy=True), -100.0, 0.0)
+        alive = lt._alive_columns()
+        for ap in lt._current_missing:
+            reference[:, ap] = lt._imputers[int(ap)].predict(
+                reference[:, alive]
+            )
+        np.testing.assert_array_equal(filled, reference)
+
     def test_requires_retraining_flag(self):
         assert LTKNNLocalizer().requires_retraining is True
 

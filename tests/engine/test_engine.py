@@ -1,0 +1,176 @@
+"""Tests for the parallel evaluation engine and its result cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    EvalTask,
+    ParallelRunner,
+    ResultCache,
+    available_cpus,
+    compare_frameworks,
+    run_task,
+    suite_fingerprint,
+)
+
+FRAMEWORKS = ("KNN", "LT-KNN", "GIFT")
+
+
+@pytest.fixture(scope="module")
+def serial_reference(tiny_suite):
+    return compare_frameworks(tiny_suite, FRAMEWORKS, seed=0, fast=True)
+
+
+def _assert_same_comparison(a, b):
+    assert a.frameworks() == b.frameworks()
+    for name in a.frameworks():
+        np.testing.assert_array_equal(
+            a.results[name].mean_errors(), b.results[name].mean_errors()
+        )
+
+
+class TestParallelRunner:
+    def test_serial_runner_matches_compare_frameworks(
+        self, tiny_suite, serial_reference
+    ):
+        runner = ParallelRunner(jobs=1)
+        _assert_same_comparison(
+            runner.run(tiny_suite, FRAMEWORKS, seed=0, fast=True),
+            serial_reference,
+        )
+
+    def test_process_pool_matches_serial(self, tiny_suite, serial_reference):
+        runner = ParallelRunner(jobs=2)
+        _assert_same_comparison(
+            runner.run(tiny_suite, FRAMEWORKS, seed=0, fast=True),
+            serial_reference,
+        )
+
+    def test_chunked_inference_matches_serial(self, tiny_suite, serial_reference):
+        runner = ParallelRunner(jobs=1, chunk_size=5)
+        _assert_same_comparison(
+            runner.run(tiny_suite, FRAMEWORKS, seed=0, fast=True),
+            serial_reference,
+        )
+
+    def test_run_suites_grid(self, tiny_suite):
+        runner = ParallelRunner(jobs=1)
+        grid = runner.run_suites([tiny_suite], ("KNN",), seed=0, fast=True)
+        assert list(grid) == [tiny_suite.name]
+        assert grid[tiny_suite.name].frameworks() == ["KNN"]
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=-1)
+        with pytest.raises(ValueError):
+            ParallelRunner(chunk_size=0)
+
+    def test_jobs_zero_means_auto(self, tiny_suite, serial_reference):
+        runner = ParallelRunner(jobs=0)
+        assert runner.jobs == available_cpus()
+        assert runner.jobs >= 1
+        _assert_same_comparison(
+            runner.run(tiny_suite, FRAMEWORKS, seed=0, fast=True),
+            serial_reference,
+        )
+
+    def test_duplicate_suite_names_rejected(self, tiny_suite):
+        runner = ParallelRunner(jobs=1)
+        with pytest.raises(ValueError, match="unique"):
+            runner.run_suites(
+                [tiny_suite, tiny_suite], ("KNN",), seed=0, fast=True
+            )
+
+    def test_seeding_is_positional(self, tiny_suite):
+        # Framework at index i always gets rng([seed, i]) — reordering
+        # the list changes each framework's rng, like the serial loop.
+        runner = ParallelRunner(jobs=1)
+        forward = runner.run(tiny_suite, ("KNN", "GIFT"), seed=0, fast=True)
+        task = EvalTask(
+            framework="GIFT",
+            suite_name=tiny_suite.name,
+            seed=0,
+            seed_index=1,
+            fast=True,
+        )
+        direct = run_task(task, tiny_suite)
+        np.testing.assert_array_equal(
+            forward.results["GIFT"].mean_errors(), direct.mean_errors()
+        )
+
+
+class TestResultCache:
+    def test_second_run_hits_cache(self, tiny_suite, tmp_path, serial_reference):
+        runner = ParallelRunner(cache_dir=tmp_path / "cache")
+        first = runner.run(tiny_suite, FRAMEWORKS, seed=0, fast=True)
+        assert runner.cache.misses == len(FRAMEWORKS)
+        second = runner.run(tiny_suite, FRAMEWORKS, seed=0, fast=True)
+        assert runner.cache.hits == len(FRAMEWORKS)
+        _assert_same_comparison(first, second)
+        _assert_same_comparison(second, serial_reference)
+
+    def test_seed_changes_miss(self, tiny_suite, tmp_path):
+        runner = ParallelRunner(cache_dir=tmp_path / "cache")
+        runner.run(tiny_suite, ("KNN",), seed=0, fast=True)
+        runner.run(tiny_suite, ("KNN",), seed=1, fast=True)
+        assert runner.cache.hits == 0
+        assert runner.cache.misses == 2
+
+    def test_suite_content_changes_miss(self, tiny_suite, tmp_path):
+        import dataclasses
+
+        runner = ParallelRunner(cache_dir=tmp_path / "cache")
+        runner.run(tiny_suite, ("KNN",), seed=0, fast=True)
+        perturbed = dataclasses.replace(
+            tiny_suite,
+            train=tiny_suite.train.select(
+                np.arange(tiny_suite.train.n_samples - 1)
+            ),
+        )
+        runner.run(perturbed, ("KNN",), seed=0, fast=True)
+        assert runner.cache.hits == 0
+
+    def test_corrupt_entry_is_a_miss(self, tiny_suite, tmp_path):
+        cache_dir = tmp_path / "cache"
+        runner = ParallelRunner(cache_dir=cache_dir)
+        runner.run(tiny_suite, ("KNN",), seed=0, fast=True)
+        for path in cache_dir.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        rerun = ParallelRunner(cache_dir=cache_dir)
+        result = rerun.run(tiny_suite, ("KNN",), seed=0, fast=True)
+        assert rerun.cache.hits == 0
+        assert result.frameworks() == ["KNN"]
+
+    def test_clear(self, tiny_suite, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = ParallelRunner(cache_dir=tmp_path / "cache")
+        runner.run(tiny_suite, ("KNN", "GIFT"), seed=0, fast=True)
+        assert cache.clear() == 2
+        assert cache.clear() == 0
+
+
+class TestSuiteFingerprint:
+    def test_deterministic(self, tiny_suite):
+        assert suite_fingerprint(tiny_suite) == suite_fingerprint(tiny_suite)
+
+    def test_sensitive_to_labels(self, tiny_suite):
+        import dataclasses
+
+        renamed = dataclasses.replace(
+            tiny_suite, epoch_labels=[l + "x" for l in tiny_suite.epoch_labels]
+        )
+        assert suite_fingerprint(renamed) != suite_fingerprint(tiny_suite)
+
+    def test_sensitive_to_floorplan(self, tiny_suite):
+        # fit() consumes the floorplan (STONE's floorplan-aware
+        # triplets), so changing its geometry must change the key.
+        import dataclasses
+
+        fp = tiny_suite.floorplan
+        wider = dataclasses.replace(
+            tiny_suite,
+            floorplan=dataclasses.replace(fp, width=fp.width + 1.0),
+        )
+        assert suite_fingerprint(wider) != suite_fingerprint(tiny_suite)
