@@ -13,7 +13,13 @@ from .ensemble import EnsembleConfig, PseudoLabelEnsembleLocalizer
 from .gift import GIFTLocalizer
 from .knn import KNNLocalizer
 from .ltknn import LTKNNLocalizer, RidgeImputer
-from .registry import EXTENDED_FRAMEWORKS, PAPER_FRAMEWORKS, make_localizer
+from .registry import (
+    EXTENDED_FRAMEWORKS,
+    PAPER_FRAMEWORKS,
+    framework_capabilities,
+    framework_class,
+    make_localizer,
+)
 from .scnn import SCNNConfig, SCNNLocalizer
 from .sele import SELEConfig, SELELocalizer
 from .widep import WiDeepConfig, WiDeepLocalizer
@@ -33,6 +39,8 @@ __all__ = [
     "PseudoLabelEnsembleLocalizer",
     "EnsembleConfig",
     "make_localizer",
+    "framework_capabilities",
+    "framework_class",
     "PAPER_FRAMEWORKS",
     "EXTENDED_FRAMEWORKS",
 ]

@@ -38,7 +38,9 @@ class Localizer(ABC):
     #: call equals the row-by-row calls concatenated. Frameworks whose
     #: online phase is stateful over the scan sequence (GIFT's walk
     #: decoding) must leave this False; the evaluation engine then feeds
-    #: each epoch as one ordered sequence instead of chunking it.
+    #: each epoch as one ordered sequence instead of chunking it, and
+    #: the serving layer dispatches requests one at a time instead of
+    #: micro-batching them across clients.
     batched_inference: bool = False
 
     def __init__(self) -> None:
@@ -96,6 +98,11 @@ class BatchedLocalizer(Localizer):
     empty ``(0, n_aps)`` matrix yields ``(0, 2)``. Subclasses implement
     ``predict`` fully vectorized; :meth:`predict_batched` adds uniform
     empty-input handling and optional memory-bounding chunking on top.
+
+    This single guarantee carries the scaling stack: the evaluation
+    engine chunks huge epochs and the serving dispatcher coalesces
+    concurrent clients' scans into one call, both bit-identical to the
+    unchunked/uncoalesced answers (see ``docs/architecture.md``).
     """
 
     batched_inference = True

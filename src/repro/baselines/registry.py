@@ -84,6 +84,17 @@ def framework_capabilities(name: str) -> FrameworkCapabilities:
     )
 
 
+def framework_class(name: str) -> type:
+    """Implementing class of a framework, resolved without instantiation.
+
+    The serving layer's warm-load path uses this to validate that a
+    fitted artifact deserialized from disk really is an instance of the
+    framework it claims to be — a stale pickle from before a refactor
+    (or a mislabeled file) is rejected instead of served.
+    """
+    return _FRAMEWORK_CLASSES[canonical_name(name)]
+
+
 def supports_batched_inference(name: str) -> bool:
     """True when the framework's predict is row-independent (batch-safe)."""
     return issubclass(

@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli compare office --frameworks STONE,LT-KNN --fast
     python -m repro.cli compare office --jobs 4 --chunk-size 1024
     python -m repro.cli suite basement --out basement.npz
+    python -m repro.cli serve office --framework KNN --port 8000 --fast
     python -m repro.cli track office --framework STONE --fast
     python -m repro.cli compress office --bits 8 --sparsity 0.5 --fast
     python -m repro.cli multifloor --months 4 --fast
@@ -53,6 +54,19 @@ _FIGURES = {
 }
 
 
+def _suite_for(name: str, seed: int):
+    """Build the named dataset suite (uji is the open-grid generator)."""
+    if name == "uji":
+        return generate_uji_suite(seed)
+    return generate_path_suite(name, seed)
+
+
+_CHUNK_SIZE_HELP = (
+    "max query rows per inference block; bounds peak memory, "
+    "never changes results (default: unchunked)"
+)
+
+
 def _engine_opts(args: argparse.Namespace) -> dict:
     """Collect the evaluation-engine flags shared by figure/compare."""
     return {
@@ -76,12 +90,16 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--chunk-size",
         type=int,
         default=None,
-        help="queries per inference block (bounds memory; default: unchunked)",
+        help=_CHUNK_SIZE_HELP,
     )
     parser.add_argument(
         "--cache-dir",
         default=None,
-        help="memoize finished framework traces here; repeated runs skip fits",
+        help=(
+            "memoize finished framework traces in this directory; "
+            "repeated runs with identical inputs skip fits "
+            "(default: no cache)"
+        ),
     )
 
 
@@ -121,10 +139,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    if args.suite == "uji":
-        suite = generate_uji_suite(args.seed)
-    else:
-        suite = generate_path_suite(args.suite, args.seed)
+    suite = _suite_for(args.suite, args.seed)
     frameworks = [f.strip() for f in args.frameworks.split(",") if f.strip()]
     comparison = compare_frameworks(
         suite,
@@ -142,10 +157,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    if args.suite == "uji":
-        suite = generate_uji_suite(args.seed)
-    else:
-        suite = generate_path_suite(args.suite, args.seed)
+    suite = _suite_for(args.suite, args.seed)
     print(suite.describe())
     print()
     print(suite_summary_table(suite))
@@ -153,6 +165,38 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         suite.train.save(args.out)
         print(f"\nsaved offline training set: {args.out}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .baselines.registry import framework_capabilities
+    from .serve import BatchingDispatcher, LocalizationServer, ModelStore
+
+    suite = _suite_for(args.suite, args.seed)
+    caps = framework_capabilities(args.framework)
+    store = ModelStore(args.model_dir)
+    entry = store.get_or_fit(
+        args.framework, suite, seed=args.seed, fast=args.fast
+    )
+    if entry.source == "disk":
+        print(f"{caps.name}: warm-loaded fitted model from {args.model_dir}")
+    else:
+        print(f"{caps.name}: fitted in {entry.fit_seconds:.1f}s", end="")
+        print(f" (persisted to {args.model_dir})" if args.model_dir else "")
+    if not caps.batched_inference:
+        print(
+            f"note: {caps.name} decodes scan sequences statefully — "
+            "requests dispatch one at a time (no cross-request batching)"
+        )
+    dispatcher = BatchingDispatcher(
+        entry.localizer,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        chunk_size=args.chunk_size,
+    )
+    server = LocalizationServer(
+        entry, dispatcher, store=store, host=args.host, port=args.port
+    )
+    return server.run()
 
 
 def _cmd_track(args: argparse.Namespace) -> int:
@@ -167,10 +211,7 @@ def _cmd_track(args: argparse.Namespace) -> int:
         simulate_random_walk,
     )
 
-    if args.suite == "uji":
-        suite = generate_uji_suite(args.seed)
-    else:
-        suite = generate_path_suite(args.suite, args.seed)
+    suite = _suite_for(args.suite, args.seed)
     env = suite.metadata["environment"]
     localizer = make_localizer(
         args.framework, suite_name=suite.name, fast=args.fast
@@ -225,11 +266,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     )
     from .eval import evaluate_localizer
 
-    suite = (
-        generate_uji_suite(args.seed)
-        if args.suite == "uji"
-        else generate_path_suite(args.suite, args.seed)
-    )
+    suite = _suite_for(args.suite, args.seed)
     rng = np.random.default_rng(args.seed)
     stone = make_localizer("STONE", suite_name=suite.name, fast=args.fast)
     stone.fit(suite.train, suite.floorplan, rng=rng)
@@ -322,6 +359,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--seed", type=int, default=0)
     p_suite.add_argument("--out", help="save the offline training set (.npz)")
     p_suite.set_defaults(fn=_cmd_suite)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve a long-lived fitted localizer over HTTP (micro-batched)",
+    )
+    p_srv.add_argument("suite", choices=("office", "basement", "uji"))
+    p_srv.add_argument("--framework", default="STONE")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=8000, help="0 = ephemeral port"
+    )
+    p_srv.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help=(
+            "how long the first queued request waits for co-batchable "
+            "traffic before dispatch (default: 2.0)"
+        ),
+    )
+    p_srv.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="dispatch immediately at this many pending rows (default: 256)",
+    )
+    p_srv.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help=_CHUNK_SIZE_HELP,
+    )
+    p_srv.add_argument(
+        "--model-dir",
+        default=None,
+        help=(
+            "persist fitted models here so a server restart warm-loads "
+            "instead of refitting (default: fit in-process only)"
+        ),
+    )
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--fast", action="store_true", help="smoke-scale models")
+    p_srv.set_defaults(fn=_cmd_serve)
 
     p_track = sub.add_parser(
         "track", help="compare trajectory smoothing strategies on a walk"

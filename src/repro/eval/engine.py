@@ -17,6 +17,11 @@ it:
 Every figure/ablation path (``repro.eval.experiments``, ``repro.cli``)
 drives evaluation through this engine; ``jobs=1`` without a cache
 degenerates to the plain serial protocol.
+
+The content-hash helpers (:func:`suite_fingerprint`,
+:func:`train_fingerprint`, :func:`task_fingerprint`) are shared with
+the serving layer's :class:`repro.serve.store.ModelStore`, so artifact
+identity is computed one way everywhere.
 """
 
 from __future__ import annotations
@@ -62,10 +67,7 @@ def _update_array(digest: "hashlib._Hash", arr: np.ndarray) -> None:
     digest.update(arr.tobytes())
 
 
-def suite_fingerprint(suite: LongitudinalSuite) -> str:
-    """Content hash of everything in a suite that can affect results."""
-    digest = hashlib.sha256()
-    digest.update(suite.name.encode())
+def _update_floorplan(digest: "hashlib._Hash", suite: LongitudinalSuite) -> None:
     # The floorplan feeds fit() (STONE's floorplan-aware triplets), so
     # its geometry is result-affecting state like the arrays are.
     fp = suite.floorplan
@@ -76,16 +78,74 @@ def suite_fingerprint(suite: LongitudinalSuite) -> str:
         digest.update(
             f"{tuple(wall.a)}:{tuple(wall.b)}:{wall.material}".encode()
         )
+
+
+def _update_train(digest: "hashlib._Hash", suite: LongitudinalSuite) -> None:
+    digest.update(suite.name.encode())
+    _update_floorplan(digest, suite)
     for arr in (
         suite.train.rssi,
         suite.train.rp_indices,
         suite.train.locations,
     ):
         _update_array(digest, arr)
+
+
+def train_fingerprint(suite: LongitudinalSuite) -> str:
+    """Content hash of everything that can affect a *fitted model*.
+
+    Covers the suite name (it selects per-floorplan configuration), the
+    floorplan geometry and the offline training arrays — but *not* the
+    test epochs, which only matter to evaluation traces. This is the
+    artifact-identity key the serving layer's ``ModelStore`` uses: two
+    suites with identical offline data produce interchangeable fitted
+    localizers even when their longitudinal test sequences differ.
+    """
+    digest = hashlib.sha256()
+    _update_train(digest, suite)
+    return digest.hexdigest()
+
+
+def suite_fingerprint(suite: LongitudinalSuite) -> str:
+    """Content hash of everything in a suite that can affect results."""
+    digest = hashlib.sha256()
+    _update_train(digest, suite)
     for label, ds in zip(suite.epoch_labels, suite.test_epochs):
         digest.update(label.encode())
         _update_array(digest, ds.rssi)
         _update_array(digest, ds.locations)
+    return digest.hexdigest()
+
+
+def task_fingerprint(
+    framework: str,
+    data_hash: str,
+    *,
+    seed: int,
+    fast: bool,
+    seed_index: int = 0,
+    schema_tag: Optional[str] = None,
+) -> str:
+    """Digest identifying one deterministic (framework, data, config) unit.
+
+    The shared cache-key helper: :meth:`EvalTask.cache_key` feeds it the
+    full :func:`suite_fingerprint` (traces depend on the test epochs);
+    the serving layer's ``ModelStore`` feeds it :func:`train_fingerprint`
+    (fitted state depends only on the offline data). ``framework`` may
+    be an alias; it is canonicalized before hashing. ``seed_index`` is
+    the positional component of the engine's per-task seeding
+    (``rng([seed, seed_index])``); single-model consumers leave it 0.
+
+    ``schema_tag`` names the artifact layout the key addresses; the
+    default is this module's result-trace schema. Consumers with their
+    own payload format (the model store) pass their own tag so bumping
+    one schema never invalidates the other's artifacts.
+    """
+    digest = hashlib.sha256()
+    digest.update((schema_tag or f"v{CACHE_SCHEMA_VERSION}").encode())
+    digest.update(data_hash.encode())
+    digest.update(canonical_name(framework).encode())
+    digest.update(f"{seed}:{seed_index}:{fast}".encode())
     return digest.hexdigest()
 
 
@@ -103,12 +163,13 @@ class EvalTask:
     def cache_key(self, suite_hash: str) -> str:
         """Digest identifying this task's *result* (chunking excluded:
         it bounds memory, not values)."""
-        digest = hashlib.sha256()
-        digest.update(f"v{CACHE_SCHEMA_VERSION}".encode())
-        digest.update(suite_hash.encode())
-        digest.update(canonical_name(self.framework).encode())
-        digest.update(f"{self.seed}:{self.seed_index}:{self.fast}".encode())
-        return digest.hexdigest()
+        return task_fingerprint(
+            self.framework,
+            suite_hash,
+            seed=self.seed,
+            fast=self.fast,
+            seed_index=self.seed_index,
+        )
 
 
 # -- result cache -------------------------------------------------------------
@@ -133,6 +194,11 @@ class ResultCache:
         return self.cache_dir / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[FrameworkResult]:
+        """Cached trace for ``key``, or ``None`` on a miss.
+
+        A corrupt or unreadable entry (truncated pickle, stale schema)
+        counts as a miss — the caller recomputes and overwrites it.
+        """
         path = self._path(key)
         if not path.exists():
             self.misses += 1
@@ -140,7 +206,8 @@ class ResultCache:
         try:
             with path.open("rb") as fh:
                 result = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ValueError, IndexError, ImportError):
             # A truncated or stale-schema entry is a miss, not an error.
             self.misses += 1
             return None
@@ -148,6 +215,7 @@ class ResultCache:
         return result
 
     def put(self, key: str, result: FrameworkResult) -> None:
+        """Store a finished trace under ``key`` (atomic rename write)."""
         tmp = self._path(key).with_suffix(".tmp")
         with tmp.open("wb") as fh:
             pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)

@@ -1,0 +1,258 @@
+"""Async micro-batching request dispatcher.
+
+The serving hot path: many concurrent clients each submit one
+``(n_aps,)`` scan, but the fitted models are dramatically faster per
+query when driven through ``predict_batched`` on a coalesced
+``(n, n_aps)`` matrix (PR 1's batched contract — one distance/forward
+block instead of n tiny ones). The :class:`BatchingDispatcher` bridges
+the two:
+
+* Requests enqueue into a pending list. The first arrival arms a flush
+  timer of ``batch_window_ms``; the batch flushes early the moment
+  ``max_batch`` rows are pending. Everything in one flush rides a
+  single ``predict_batched`` call, then results are split back to the
+  awaiting futures row-for-row.
+* Because ``BatchedLocalizer.predict`` is row-independent by contract,
+  the coalesced answer is **bit-identical** to dispatching each request
+  alone — micro-batching changes latency and throughput, never values
+  (``tests/serve/test_dispatcher.py`` asserts this).
+* Frameworks whose online phase is stateful over the scan sequence
+  (GIFT's walk decoding — ``batched_inference`` is False) cannot be
+  coalesced across clients: interleaving two users' scans into one
+  "walk" would corrupt both. Those fall back to **per-request
+  dispatch**, each request's rows handled as one ordered sequence, in
+  arrival order.
+
+Inference runs on a single worker thread (``run_in_executor``), so the
+event loop keeps accepting and coalescing new arrivals while a batch
+computes — that overlap is where micro-batching throughput comes from.
+The single worker also serializes sequential-framework requests without
+extra locking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..baselines.base import BatchedLocalizer, Localizer
+
+
+@dataclass
+class DispatchStats:
+    """Counters the health/models endpoints surface."""
+
+    requests: int = 0
+    rows: int = 0
+    batches: int = 0
+    max_batch_rows: int = 0
+    sequential_requests: int = 0
+    errors: int = 0
+
+    def record_batch(self, n_requests: int, n_rows: int) -> None:
+        """Account one coalesced flush of ``n_requests`` requests."""
+        self.batches += 1
+        self.rows += n_rows
+        self.max_batch_rows = max(self.max_batch_rows, n_rows)
+
+    def mean_batch_rows(self) -> float:
+        """Average coalesced rows per dispatch (1.0 = no coalescing)."""
+        return self.rows / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot."""
+        return {
+            "requests": self.requests,
+            "rows": self.rows,
+            "batches": self.batches,
+            "mean_batch_rows": round(self.mean_batch_rows(), 2),
+            "max_batch_rows": self.max_batch_rows,
+            "sequential_requests": self.sequential_requests,
+            "errors": self.errors,
+        }
+
+
+class BatchingDispatcher:
+    """Coalesce concurrent localization requests into batched inference.
+
+    Parameters
+    ----------
+    localizer:
+        A *fitted* localizer. Batch-safe ones (``BatchedLocalizer``)
+        get micro-batching; sequential decoders get ordered per-request
+        dispatch.
+    batch_window_ms:
+        How long the first request of a batch waits for company before
+        flushing. ``0`` still coalesces arrivals of the same event-loop
+        tick. Trade-off: larger windows raise throughput under load and
+        add up to that much idle latency when traffic is sparse.
+    max_batch:
+        Flush immediately once this many rows are pending. Bounds how
+        stale the window can let a batch get; does not split a single
+        larger-than-``max_batch`` request (use ``chunk_size`` to bound
+        its memory instead).
+    chunk_size:
+        Forwarded to ``predict_batched`` — caps rows per inference
+        block; changes peak memory, never values.
+    """
+
+    def __init__(
+        self,
+        localizer: Localizer,
+        *,
+        batch_window_ms: float = 2.0,
+        max_batch: int = 256,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.localizer = localizer
+        self.batched = isinstance(localizer, BatchedLocalizer)
+        self.batch_window_ms = float(batch_window_ms)
+        self.max_batch = int(max_batch)
+        self.chunk_size = chunk_size
+        self.stats = DispatchStats()
+        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self._pending_rows = 0
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-predict"
+        )
+        self._closed = False
+
+    # -- public API --------------------------------------------------------
+
+    async def localize(self, rssi: np.ndarray) -> np.ndarray:
+        """Resolve ``(n, n_aps)`` (or a single ``(n_aps,)``) scan rows.
+
+        Awaits until the request's batch is dispatched and returns the
+        ``(n, 2)`` coordinates for exactly the submitted rows. Raises
+        whatever the underlying ``predict`` raises. A failed dispatch
+        rejects every future of its batch; it never corrupts results of
+        other batches. (The HTTP layer validates shapes per request
+        before enqueueing, so one client's malformed scan cannot fail a
+        co-batched client.)
+        """
+        if self._closed:
+            raise RuntimeError("dispatcher is closed")
+        rssi = np.asarray(rssi, dtype=np.float64)
+        if rssi.ndim == 1:
+            rssi = rssi[None, :]
+        if rssi.ndim != 2 or rssi.shape[0] == 0:
+            raise ValueError(f"expected (n>=1, n_aps) scans, got {rssi.shape}")
+        self.stats.requests += 1
+        if not self.batched:
+            return await self._dispatch_sequential(rssi)
+        return await self._enqueue(rssi)
+
+    def close(self) -> None:
+        """Fail pending requests and release the inference thread."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        pending, self._pending = self._pending, []
+        self._pending_rows = 0
+        for _, fut in pending:
+            if not fut.done():
+                fut.set_exception(RuntimeError("dispatcher closed"))
+        self._executor.shutdown(wait=False)
+
+    # -- sequential fallback -----------------------------------------------
+
+    async def _dispatch_sequential(self, rssi: np.ndarray) -> np.ndarray:
+        # The single-worker executor serializes requests in submission
+        # order; each request's rows stay one ordered walk.
+        self.stats.sequential_requests += 1
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._executor, self.localizer.predict, rssi
+            )
+        except Exception:
+            self.stats.errors += 1
+            raise
+        self.stats.record_batch(1, rssi.shape[0])
+        return result
+
+    # -- micro-batching core -----------------------------------------------
+
+    async def _enqueue(self, rssi: np.ndarray) -> np.ndarray:
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        self._pending.append((rssi, fut))
+        self._pending_rows += rssi.shape[0]
+        if self._pending_rows >= self.max_batch:
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(
+                self.batch_window_ms / 1000.0, self._flush
+            )
+        return await fut
+
+    def _flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        batch, self._pending = self._pending, []
+        self._pending_rows = 0
+        if not batch:
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            # Raises when direct API callers coalesce inconsistent row
+            # widths; fail this batch rather than hang its futures.
+            matrix = (
+                batch[0][0]
+                if len(batch) == 1
+                else np.concatenate([rows for rows, _ in batch], axis=0)
+            )
+            job = loop.run_in_executor(self._executor, self._predict, matrix)
+        except Exception as exc:
+            self.stats.errors += len(batch)
+            for _, fut in batch:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        job.add_done_callback(lambda done: self._deliver(batch, done))
+
+    def _predict(self, matrix: np.ndarray) -> np.ndarray:
+        assert isinstance(self.localizer, BatchedLocalizer)
+        return self.localizer.predict_batched(
+            matrix, chunk_size=self.chunk_size
+        )
+
+    def _deliver(
+        self,
+        batch: list[tuple[np.ndarray, asyncio.Future]],
+        done: asyncio.Future,
+    ) -> None:
+        exc = done.exception()
+        if exc is not None:
+            self.stats.errors += len(batch)
+            for _, fut in batch:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        coords = done.result()
+        # Counted only on success (like the sequential path), so the
+        # /healthz batch counters reflect completed work.
+        self.stats.record_batch(
+            len(batch), sum(rows.shape[0] for rows, _ in batch)
+        )
+        offset = 0
+        for rows, fut in batch:
+            n = rows.shape[0]
+            if not fut.done():
+                fut.set_result(np.array(coords[offset : offset + n]))
+            offset += n

@@ -1,0 +1,136 @@
+"""Wire protocol of the serving layer: JSON schemas + validation.
+
+Every endpoint speaks JSON over HTTP. The request/response shapes are
+deliberately tiny so any client — curl, a phone SDK, the load generator
+in ``examples/serving_load.py`` — can speak them without a schema
+library:
+
+``POST /localize``
+    request:  ``{"rssi": [f0, f1, ..., f{n_aps-1}]}``
+    response: ``{"location": [x_m, y_m]}``
+
+``POST /localize_batch``
+    request:  ``{"rssi": [[...], [...], ...]}`` — ``(n, n_aps)`` rows
+    response: ``{"locations": [[x, y], ...], "n": n}``
+
+Validation is strict on *shape* (row length must equal the fitted
+model's AP count) and lenient on *range*: finite RSSI values outside the
+physical ``[NO_SIGNAL_DBM, 0]`` dBm band are clipped, mirroring what the
+localizers themselves do with out-of-band scans. Non-finite values,
+non-numeric entries and ragged rows are rejected with a 400.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from ..radio.access_point import NO_SIGNAL_DBM
+
+#: Upper bound on rows accepted in one ``/localize_batch`` request;
+#: keeps a single request from monopolizing the dispatcher.
+MAX_BATCH_ROWS = 10_000
+
+#: Upper bound on request body size the server will read.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class RequestError(ValueError):
+    """A malformed client request; maps to an HTTP 4xx response."""
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.message = message
+        self.status = status
+
+
+def parse_json_body(body: bytes) -> dict:
+    """Decode a request body into a JSON object, or raise RequestError."""
+    if not body:
+        raise RequestError("empty request body; expected a JSON object")
+    try:
+        payload = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise RequestError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise RequestError("request body must be a JSON object")
+    return payload
+
+
+def _as_rssi_matrix(rows: Any, n_aps: int) -> np.ndarray:
+    try:
+        matrix = np.asarray(rows, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"rssi must be numeric: {exc}") from exc
+    if matrix.ndim != 2 or matrix.shape[1] != n_aps:
+        raise RequestError(
+            f"expected rssi rows of length {n_aps}, got shape {matrix.shape}"
+        )
+    if not np.isfinite(matrix).all():
+        raise RequestError("rssi values must be finite numbers")
+    # Out-of-band but finite readings are clipped, not rejected — real
+    # hardware reports the occasional -104 dBm.
+    return np.clip(matrix, NO_SIGNAL_DBM, 0.0)
+
+
+def parse_localize(payload: dict, n_aps: int) -> np.ndarray:
+    """Validate a ``/localize`` payload into a ``(1, n_aps)`` matrix."""
+    rssi = payload.get("rssi")
+    if rssi is None:
+        raise RequestError('missing required field "rssi"')
+    if not isinstance(rssi, (list, tuple)):
+        raise RequestError('"rssi" must be a flat list of dBm values')
+    if any(isinstance(v, (list, tuple)) for v in rssi):
+        raise RequestError(
+            '"rssi" must be a flat list for /localize; '
+            "use /localize_batch for multiple scans"
+        )
+    return _as_rssi_matrix([rssi], n_aps)
+
+
+def parse_localize_batch(payload: dict, n_aps: int) -> np.ndarray:
+    """Validate a ``/localize_batch`` payload into an ``(n, n_aps)`` matrix."""
+    rssi = payload.get("rssi")
+    if rssi is None:
+        raise RequestError('missing required field "rssi"')
+    if not isinstance(rssi, (list, tuple)) or not all(
+        isinstance(row, (list, tuple)) for row in rssi
+    ):
+        raise RequestError('"rssi" must be a list of scan rows')
+    if len(rssi) == 0:
+        raise RequestError('"rssi" must contain at least one scan row')
+    if len(rssi) > MAX_BATCH_ROWS:
+        raise RequestError(
+            f"batch too large: {len(rssi)} rows > {MAX_BATCH_ROWS} max"
+        )
+    lengths = {len(row) for row in rssi}
+    if lengths != {n_aps}:
+        raise RequestError(
+            f"every rssi row must have length {n_aps}, got lengths {sorted(lengths)}"
+        )
+    return _as_rssi_matrix(rssi, n_aps)
+
+
+def location_response(coords: np.ndarray) -> dict:
+    """``/localize`` response body for a single ``(1, 2)`` prediction."""
+    return {"location": [float(coords[0, 0]), float(coords[0, 1])]}
+
+
+def locations_response(coords: np.ndarray) -> dict:
+    """``/localize_batch`` response body for an ``(n, 2)`` prediction."""
+    return {
+        "locations": [[float(x), float(y)] for x, y in coords],
+        "n": int(coords.shape[0]),
+    }
+
+
+def error_response(message: str) -> dict:
+    """Uniform error body: ``{"error": message}``."""
+    return {"error": message}
+
+
+def encode_json(payload: dict) -> bytes:
+    """Serialize a response body (compact separators, UTF-8)."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")

@@ -1,0 +1,329 @@
+"""Stdlib-only asyncio HTTP/JSON server for long-lived localizers.
+
+No web framework, no new runtime dependency: a minimal HTTP/1.1
+implementation over ``asyncio.start_server``, just enough for the four
+endpoints the serving layer exposes:
+
+====================  ======  ================================================
+endpoint              method  semantics
+====================  ======  ================================================
+``/localize``         POST    one scan → one coordinate (micro-batched)
+``/localize_batch``   POST    ``(n, n_aps)`` scans → ``(n, 2)`` coordinates
+``/healthz``          GET     liveness + uptime + dispatcher counters
+``/models``           GET     warm :class:`~repro.serve.store.ModelStore`
+                              entries and provenance
+====================  ======  ================================================
+
+Request/response JSON shapes live in :mod:`repro.serve.protocol`.
+Responses are ``Connection: close`` — one request per connection keeps
+the parser trivial; throughput comes from the dispatcher's coalescing,
+not connection reuse.
+
+Run blocking (:meth:`LocalizationServer.run`, what ``repro serve``
+does), or in a daemon thread (:meth:`LocalizationServer.start_background`,
+what the tests, the load example and the CI smoke step use).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Callable, Optional
+
+from .dispatcher import BatchingDispatcher
+from .protocol import (
+    MAX_BODY_BYTES,
+    RequestError,
+    encode_json,
+    error_response,
+    location_response,
+    locations_response,
+    parse_json_body,
+    parse_localize,
+    parse_localize_batch,
+)
+from .store import ModelStore, StoreEntry
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: Seconds a client may dawdle sending its request before the
+#: connection is dropped.
+_READ_TIMEOUT_S = 30.0
+
+
+class BackgroundServer:
+    """Handle on a server running in a daemon thread (tests/benches)."""
+
+    def __init__(self, thread: threading.Thread, loop: asyncio.AbstractEventLoop,
+                 stop: asyncio.Event, port: int) -> None:
+        self._thread = thread
+        self._loop = loop
+        self._stop = stop
+        self.port = port
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Signal the serving loop to exit and join its thread."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(timeout)
+
+
+class LocalizationServer:
+    """HTTP front-end over one warm model and its dispatcher.
+
+    Parameters
+    ----------
+    entry:
+        The warm :class:`~repro.serve.store.StoreEntry` to serve.
+    dispatcher:
+        The :class:`~repro.serve.dispatcher.BatchingDispatcher` wrapping
+        ``entry.localizer``.
+    store:
+        Optional :class:`~repro.serve.store.ModelStore` backing
+        ``/models``; without it the endpoint reports just this entry.
+    host / port:
+        Bind address. ``port=0`` picks an ephemeral port; the bound
+        port is written back to ``self.port`` once listening.
+    """
+
+    def __init__(
+        self,
+        entry: StoreEntry,
+        dispatcher: BatchingDispatcher,
+        *,
+        store: Optional[ModelStore] = None,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+    ) -> None:
+        self.entry = entry
+        self.dispatcher = dispatcher
+        self.store = store
+        self.host = host
+        self.port = port
+        self.requests_served = 0
+        self._started_at = time.monotonic()
+
+    # -- request handling --------------------------------------------------
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        """Parse one request into ``(method, path, body)``."""
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise RequestError("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        path = target.split("?", 1)[0]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError as exc:
+                    raise RequestError("invalid Content-Length") from exc
+        if content_length > MAX_BODY_BYTES:
+            raise RequestError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes", status=413
+            )
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return method, path, body
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        """Dispatch one parsed request to its endpoint handler."""
+        if path == "/healthz":
+            if method != "GET":
+                return 405, error_response("use GET /healthz")
+            return 200, self._healthz()
+        if path == "/models":
+            if method != "GET":
+                return 405, error_response("use GET /models")
+            return 200, self._models()
+        if path == "/localize":
+            if method != "POST":
+                return 405, error_response("use POST /localize")
+            queries = parse_localize(parse_json_body(body), self.entry.n_aps)
+            coords = await self.dispatcher.localize(queries)
+            return 200, location_response(coords)
+        if path == "/localize_batch":
+            if method != "POST":
+                return 405, error_response("use POST /localize_batch")
+            queries = parse_localize_batch(
+                parse_json_body(body), self.entry.n_aps
+            )
+            coords = await self.dispatcher.localize(queries)
+            return 200, locations_response(coords)
+        return 404, error_response(f"unknown endpoint {path!r}")
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "framework": self.entry.key.framework,
+            "suite": self.entry.suite_name,
+            "n_aps": self.entry.n_aps,
+            "model_source": self.entry.source,
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "requests_served": self.requests_served,
+            "dispatcher": self.dispatcher.stats.as_dict(),
+        }
+
+    def _models(self) -> dict:
+        if self.store is not None:
+            payload = self.store.describe()
+        else:
+            payload = {"models": [self.entry.describe()]}
+        payload["dispatcher"] = self.dispatcher.stats.as_dict()
+        return payload
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, payload = 500, error_response("internal error")
+        try:
+            method, path, body = await asyncio.wait_for(
+                self._read_request(reader), timeout=_READ_TIMEOUT_S
+            )
+            status, payload = await self._route(method, path, body)
+        except RequestError as exc:
+            status, payload = exc.status, error_response(exc.message)
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+        ):
+            writer.close()
+            return
+        except ValueError as exc:
+            # predict()-level rejections (shape mismatch) are client errors
+            status, payload = 400, error_response(str(exc))
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            status, payload = 500, error_response(
+                f"{type(exc).__name__}: {exc}"
+            )
+        self.requests_served += 1
+        data = encode_json(payload)
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + data)
+            await writer.drain()
+            writer.close()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def serve(
+        self,
+        stop: Optional[asyncio.Event] = None,
+        *,
+        on_ready: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Bind and serve until ``stop`` is set (forever when ``None``).
+
+        ``on_ready`` fires once the socket is bound and ``self.port``
+        holds the resolved port (meaningful with ``port=0``).
+        """
+        server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        if on_ready is not None:
+            on_ready()
+        try:
+            async with server:
+                if stop is None:
+                    await server.serve_forever()
+                else:
+                    await stop.wait()
+        finally:
+            self.dispatcher.close()
+
+    def run(self) -> int:
+        """Blocking entry point (``repro serve``); returns an exit code.
+
+        SIGINT/SIGTERM trigger a clean shutdown with exit code 0.
+        """
+        import signal
+
+        def _announce() -> None:
+            print(
+                f"serving {self.entry.key.framework} "
+                f"({self.entry.suite_name}, {self.entry.source}) "
+                f"on http://{self.host}:{self.port}",
+                flush=True,
+            )
+
+        async def _main() -> None:
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except NotImplementedError:  # pragma: no cover - non-Unix
+                    pass
+            await self.serve(stop, on_ready=_announce)
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+            pass
+        print("shutdown complete", flush=True)
+        return 0
+
+    def start_background(self) -> BackgroundServer:
+        """Serve from a daemon thread; returns a stoppable handle.
+
+        Blocks until the socket is bound so the caller can connect
+        immediately; ``handle.port`` carries the resolved port (useful
+        with ``port=0``).
+        """
+        ready = threading.Event()
+        box: dict = {}
+
+        def _thread_main() -> None:
+            async def _main() -> None:
+                stop = asyncio.Event()
+                box["loop"] = asyncio.get_running_loop()
+                box["stop"] = stop
+                await self.serve(stop, on_ready=ready.set)
+
+            try:
+                asyncio.run(_main())
+            except BaseException as exc:  # surfaced to the waiting caller
+                box["error"] = exc
+                raise
+
+        thread = threading.Thread(
+            target=_thread_main, name="repro-serve", daemon=True
+        )
+        thread.start()
+        deadline = time.monotonic() + 30.0
+        while not ready.wait(timeout=0.05):
+            if not thread.is_alive():
+                raise RuntimeError(
+                    "server thread died during startup"
+                ) from box.get("error")
+            if time.monotonic() > deadline:
+                raise RuntimeError("server failed to start within 30s")
+        return BackgroundServer(thread, box["loop"], box["stop"], self.port)

@@ -1,0 +1,276 @@
+"""Long-lived fitted-model store for the serving layer.
+
+A server process fits (or loads) each localizer exactly once and keeps
+it warm; every request after that is pure inference. The
+:class:`ModelStore` owns that lifecycle:
+
+* **Identity.** A fitted model is keyed by
+  :class:`ModelKey` — ``(framework, train-content-hash, seed, fast)``.
+  The hash is :func:`repro.eval.engine.train_fingerprint`: the suite
+  name, floorplan geometry and offline training arrays, but *not* the
+  test epochs, which never feed ``fit``. The digest reuses the same
+  :func:`repro.eval.engine.task_fingerprint` scheme as the evaluation
+  engine's :class:`~repro.eval.engine.ResultCache`, so artifact identity
+  is content-addressed everywhere: identical inputs, identical key.
+* **Warm memory cache.** ``get_or_fit`` returns the same fitted
+  instance for repeated calls with the same key — one fit per process
+  lifetime.
+* **Disk persistence.** With a ``model_dir``, fitted state is pickled
+  to ``<digest>.pkl`` after a fit and re-loaded on the next process
+  start, so a server restart skips the refit entirely. Loaded artifacts
+  are validated against the registry
+  (:func:`repro.baselines.registry.framework_class`) before they are
+  served: a payload whose localizer is not an instance of the registered
+  class — a stale pickle from before a refactor, a mislabeled file — is
+  treated as a miss and refit, never served.
+
+Pickles execute code on load; point ``model_dir`` only at directories
+you trust (the same caveat as the engine's result cache).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..baselines.base import Localizer
+from ..baselines.registry import canonical_name, framework_class, make_localizer
+from ..datasets.fingerprint import LongitudinalSuite
+from ..eval.engine import task_fingerprint, train_fingerprint
+
+#: Bumped when the on-disk fitted-model payload layout changes.
+STORE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """Content-addressed identity of one fitted localizer."""
+
+    framework: str
+    train_hash: str
+    seed: int
+    fast: bool
+
+    @property
+    def digest(self) -> str:
+        """Hex digest used as the memory-cache key and disk filename.
+
+        Tagged with the *store's* schema version, so engine result-cache
+        schema bumps never orphan persisted fitted models (and vice
+        versa).
+        """
+        return task_fingerprint(
+            self.framework,
+            self.train_hash,
+            seed=self.seed,
+            fast=self.fast,
+            schema_tag=f"store-v{STORE_SCHEMA_VERSION}",
+        )
+
+
+@dataclass
+class StoreEntry:
+    """One warm model plus its provenance."""
+
+    key: ModelKey
+    localizer: Localizer
+    suite_name: str
+    n_aps: int
+    #: ``"fitted"`` (trained in this process) or ``"disk"`` (loaded).
+    source: str
+    #: Wall-clock seconds spent fitting (0.0 when loaded from disk).
+    fit_seconds: float = 0.0
+    #: How often ``get_or_fit`` returned this entry after creation.
+    hits: int = field(default=0)
+
+    def describe(self) -> dict:
+        """JSON-ready summary for the ``/models`` endpoint."""
+        return {
+            "framework": self.key.framework,
+            "suite": self.suite_name,
+            "n_aps": self.n_aps,
+            "train_hash": self.key.train_hash[:16],
+            "digest": self.key.digest[:16],
+            "seed": self.key.seed,
+            "fast": self.key.fast,
+            "source": self.source,
+            "fit_seconds": round(self.fit_seconds, 3),
+            "hits": self.hits,
+        }
+
+
+class ModelStore:
+    """Fit/load localizers once and keep them warm, keyed by content.
+
+    Parameters
+    ----------
+    model_dir:
+        When set, fitted state is persisted here (one pickle per
+        :class:`ModelKey` digest) and future stores pointed at the same
+        directory warm-load instead of refitting.
+    """
+
+    def __init__(self, model_dir: Optional[Union[str, Path]] = None) -> None:
+        self.model_dir = Path(model_dir) if model_dir else None
+        if self.model_dir is not None:
+            self.model_dir.mkdir(parents=True, exist_ok=True)
+        self._entries: dict[str, StoreEntry] = {}
+        self.fits = 0
+        self.loads = 0
+
+    # -- identity ----------------------------------------------------------
+
+    def key_for(
+        self,
+        framework: str,
+        suite: LongitudinalSuite,
+        *,
+        seed: int = 0,
+        fast: bool = False,
+    ) -> ModelKey:
+        """The content-addressed key this store would use for a fit."""
+        return ModelKey(
+            framework=canonical_name(framework),
+            train_hash=train_fingerprint(suite),
+            seed=seed,
+            fast=fast,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def get_or_fit(
+        self,
+        framework: str,
+        suite: LongitudinalSuite,
+        *,
+        seed: int = 0,
+        fast: bool = False,
+    ) -> StoreEntry:
+        """Return a warm fitted model, loading or fitting only on miss.
+
+        Resolution order: in-memory entry → ``model_dir`` pickle
+        (validated against the registry) → fresh ``fit``. The fit RNG is
+        ``default_rng([seed, 0])`` — exactly the evaluation engine's
+        per-task seeding at framework index 0, so a served model is
+        bit-identical to the model the engine fits for the first
+        framework of a comparison with the same seed.
+        """
+        key = self.key_for(framework, suite, seed=seed, fast=fast)
+        entry = self._entries.get(key.digest)
+        if entry is not None:
+            entry.hits += 1
+            return entry
+        entry = self._load(key, suite)
+        if entry is None:
+            entry = self._fit(key, suite)
+        self._entries[key.digest] = entry
+        return entry
+
+    def _fit(self, key: ModelKey, suite: LongitudinalSuite) -> StoreEntry:
+        localizer = make_localizer(
+            key.framework, suite_name=suite.name, fast=key.fast
+        )
+        rng = np.random.default_rng([key.seed, 0])
+        t0 = time.perf_counter()
+        localizer.fit(suite.train, suite.floorplan, rng=rng)
+        fit_seconds = time.perf_counter() - t0
+        self.fits += 1
+        entry = StoreEntry(
+            key=key,
+            localizer=localizer,
+            suite_name=suite.name,
+            n_aps=suite.n_aps,
+            source="fitted",
+            fit_seconds=fit_seconds,
+        )
+        if self.model_dir is not None:
+            self._save(entry)
+        return entry
+
+    # -- persistence -------------------------------------------------------
+
+    def _path(self, key: ModelKey) -> Path:
+        assert self.model_dir is not None
+        return self.model_dir / f"{key.digest}.pkl"
+
+    def _save(self, entry: StoreEntry) -> None:
+        payload = {
+            "schema": STORE_SCHEMA_VERSION,
+            "framework": entry.key.framework,
+            "train_hash": entry.key.train_hash,
+            "seed": entry.key.seed,
+            "fast": entry.key.fast,
+            "suite_name": entry.suite_name,
+            "n_aps": entry.n_aps,
+            "localizer": entry.localizer,
+        }
+        tmp = self._path(entry.key).with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(self._path(entry.key))
+
+    def _load(
+        self, key: ModelKey, suite: LongitudinalSuite
+    ) -> Optional[StoreEntry]:
+        if self.model_dir is None:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ValueError, IndexError, ImportError):
+            return None  # corrupt/stale artifact: refit instead
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != STORE_SCHEMA_VERSION:
+            return None
+        # The filename already encodes the full key, but a renamed or
+        # mislabeled artifact must not slip through: every key field is
+        # re-checked against the payload's own record.
+        if (
+            payload.get("framework") != key.framework
+            or payload.get("train_hash") != key.train_hash
+            or payload.get("seed") != key.seed
+            or payload.get("fast") != key.fast
+        ):
+            return None
+        localizer = payload.get("localizer")
+        # Warm-load validation hook: the artifact must be an instance of
+        # the class the registry maps this framework name to *today*.
+        if not isinstance(localizer, framework_class(key.framework)):
+            return None
+        if not getattr(localizer, "_fitted", False):
+            return None
+        if payload.get("n_aps") != suite.n_aps:
+            return None
+        self.loads += 1
+        return StoreEntry(
+            key=key,
+            localizer=localizer,
+            suite_name=str(payload.get("suite_name", suite.name)),
+            n_aps=suite.n_aps,
+            source="disk",
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def entries(self) -> list[StoreEntry]:
+        """All warm entries, in insertion order."""
+        return list(self._entries.values())
+
+    def describe(self) -> dict:
+        """JSON-ready store summary for the ``/models`` endpoint."""
+        return {
+            "models": [entry.describe() for entry in self.entries()],
+            "fits": self.fits,
+            "disk_loads": self.loads,
+            "model_dir": str(self.model_dir) if self.model_dir else None,
+        }

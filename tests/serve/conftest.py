@@ -1,0 +1,31 @@
+"""Serving-layer fixtures: warm fitted models on the tiny suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelStore
+
+
+@pytest.fixture(scope="session")
+def serve_store():
+    return ModelStore()
+
+
+@pytest.fixture(scope="session")
+def knn_entry(serve_store, tiny_suite):
+    """A warm batch-safe model (KNN) for dispatcher/server tests."""
+    return serve_store.get_or_fit("KNN", tiny_suite, seed=0, fast=True)
+
+
+@pytest.fixture(scope="session")
+def gift_entry(serve_store, tiny_suite):
+    """A warm sequential-decoder model (GIFT) for fallback tests."""
+    return serve_store.get_or_fit("GIFT", tiny_suite, seed=0, fast=True)
+
+
+@pytest.fixture(scope="session")
+def query_rows(tiny_suite):
+    """A pool of real test-epoch scans to serve as request payloads."""
+    return np.vstack([ds.rssi for ds in tiny_suite.test_epochs])[:48]

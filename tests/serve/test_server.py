@@ -1,0 +1,187 @@
+"""HTTP endpoint tests: healthz, localize, batch, malformed requests."""
+
+from __future__ import annotations
+
+import json
+import http.client
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchingDispatcher, LocalizationServer
+
+
+@pytest.fixture(scope="module")
+def server(knn_entry, serve_store):
+    dispatcher = BatchingDispatcher(
+        knn_entry.localizer, batch_window_ms=1.0, max_batch=256
+    )
+    srv = LocalizationServer(
+        knn_entry, dispatcher, store=serve_store, port=0
+    )
+    handle = srv.start_background()
+    yield srv
+    handle.shutdown()
+
+
+def _request(server, method, path, payload=None, raw_body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    body = raw_body if raw_body is not None else (
+        json.dumps(payload) if payload is not None else None
+    )
+    conn.request(method, path, body=body)
+    response = conn.getresponse()
+    data = response.read()
+    conn.close()
+    return response.status, json.loads(data)
+
+
+class TestHealthz:
+    def test_ok(self, server):
+        status, body = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["framework"] == "KNN"
+        assert body["uptime_seconds"] >= 0
+        assert "dispatcher" in body
+
+    def test_wrong_method(self, server):
+        status, body = _request(server, "POST", "/healthz", payload={})
+        assert status == 405
+        assert "error" in body
+
+
+class TestModels:
+    def test_lists_warm_models(self, server):
+        status, body = _request(server, "GET", "/models")
+        assert status == 200
+        assert any(m["framework"] == "KNN" for m in body["models"])
+
+
+class TestLocalize:
+    def test_single_scan_matches_predict(self, server, knn_entry, query_rows):
+        row = query_rows[0]
+        status, body = _request(
+            server, "POST", "/localize", payload={"rssi": row.tolist()}
+        )
+        assert status == 200
+        expected = knn_entry.localizer.predict_batched(row[None, :])
+        np.testing.assert_array_equal(
+            np.asarray(body["location"]), expected[0]
+        )
+
+    def test_batch_matches_predict_batched_bit_identically(
+        self, server, knn_entry, query_rows
+    ):
+        rows = query_rows[:16]
+        status, body = _request(
+            server,
+            "POST",
+            "/localize_batch",
+            payload={"rssi": rows.tolist()},
+        )
+        assert status == 200
+        assert body["n"] == len(rows)
+        np.testing.assert_array_equal(
+            np.asarray(body["locations"]),
+            knn_entry.localizer.predict_batched(rows),
+        )
+
+    def test_nested_rssi_rejected_on_single_endpoint(self, server, query_rows):
+        status, body = _request(
+            server,
+            "POST",
+            "/localize",
+            payload={"rssi": query_rows[:2].tolist()},
+        )
+        assert status == 400
+        assert "flat list" in body["error"]
+
+
+class TestMalformedRequests:
+    def test_invalid_json(self, server):
+        status, body = _request(
+            server, "POST", "/localize", raw_body="{not json"
+        )
+        assert status == 400
+        assert "invalid JSON" in body["error"]
+
+    def test_empty_body(self, server):
+        status, body = _request(server, "POST", "/localize")
+        assert status == 400
+        assert "empty request body" in body["error"]
+
+    def test_missing_rssi_field(self, server):
+        status, body = _request(
+            server, "POST", "/localize", payload={"scan": [1, 2]}
+        )
+        assert status == 400
+        assert "rssi" in body["error"]
+
+    def test_wrong_row_width(self, server, tiny_suite):
+        status, body = _request(
+            server, "POST", "/localize", payload={"rssi": [-50.0, -60.0]}
+        )
+        assert status == 400
+        assert str(tiny_suite.n_aps) in body["error"]
+
+    def test_non_numeric_values(self, server, tiny_suite):
+        scan = ["loud"] * tiny_suite.n_aps
+        status, body = _request(
+            server, "POST", "/localize", payload={"rssi": scan}
+        )
+        assert status == 400
+
+    def test_non_finite_values(self, server, tiny_suite):
+        scan = [float("nan")] * tiny_suite.n_aps
+        status, body = _request(
+            server, "POST", "/localize", payload={"rssi": scan}
+        )
+        assert status == 400
+        assert "finite" in body["error"]
+
+    def test_empty_batch(self, server):
+        status, body = _request(
+            server, "POST", "/localize_batch", payload={"rssi": []}
+        )
+        assert status == 400
+
+    def test_ragged_batch(self, server, tiny_suite):
+        n = tiny_suite.n_aps
+        status, body = _request(
+            server,
+            "POST",
+            "/localize_batch",
+            payload={"rssi": [[-50.0] * n, [-50.0] * (n - 1)]},
+        )
+        assert status == 400
+
+    def test_unknown_path(self, server):
+        status, body = _request(server, "GET", "/teleport")
+        assert status == 404
+
+    def test_wrong_method_on_localize(self, server):
+        status, body = _request(server, "GET", "/localize")
+        assert status == 405
+
+    def test_request_counter_advances(self, server):
+        before = server.requests_served
+        _request(server, "GET", "/healthz")
+        assert server.requests_served == before + 1
+
+
+class TestOutOfBandClipping:
+    def test_out_of_band_rssi_clipped_not_rejected(
+        self, server, knn_entry, tiny_suite
+    ):
+        # -104 dBm from real hardware clips to the NO_SIGNAL floor.
+        scan = [-104.0] * tiny_suite.n_aps
+        status, body = _request(
+            server, "POST", "/localize", payload={"rssi": scan}
+        )
+        assert status == 200
+        clipped = np.full((1, tiny_suite.n_aps), -100.0)
+        np.testing.assert_array_equal(
+            np.asarray(body["location"]),
+            knn_entry.localizer.predict_batched(clipped)[0],
+        )

@@ -27,6 +27,38 @@ class TestParser:
 
 
 class TestExtendedParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "office"])
+        assert args.framework == "STONE"
+        assert args.port == 8000
+        assert args.batch_window_ms == 2.0
+        assert args.max_batch == 256
+        assert args.model_dir is None
+        assert args.chunk_size is None
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "uji",
+                "--framework",
+                "KNN",
+                "--port",
+                "0",
+                "--batch-window-ms",
+                "5.5",
+                "--max-batch",
+                "64",
+                "--model-dir",
+                "/tmp/models",
+            ]
+        )
+        assert args.suite == "uji"
+        assert args.port == 0
+        assert args.batch_window_ms == 5.5
+        assert args.max_batch == 64
+        assert args.model_dir == "/tmp/models"
+
     def test_track_defaults(self):
         args = build_parser().parse_args(["track", "office"])
         assert args.framework == "STONE"

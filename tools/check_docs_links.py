@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Check that intra-repo markdown links in README.md and docs/ resolve.
+
+Stdlib-only (runs in the CI docs job and locally):
+
+    python tools/check_docs_links.py
+
+For every ``[text](target)`` link in the checked files it verifies that
+
+* relative file targets exist on disk (external http(s)/mailto links
+  are skipped),
+* ``#anchor`` fragments — standalone or attached to a file target —
+  match a heading in the target document, using GitHub's slugging
+  rules (lowercase, punctuation stripped, spaces to hyphens).
+
+Exit status 0 when every link resolves, 1 otherwise (one line per
+broken link).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files whose links are checked: the README plus every docs page.
+CHECKED = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+_LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = heading.strip().lower()
+    text = text.replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    content = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(m.group(1)) for m in _HEADING_RE.finditer(content)}
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    content = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK_RE.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (
+            path if not file_part else (path.parent / file_part).resolve()
+        )
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(REPO_ROOT)}: broken link {target!r}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_slug(anchor) not in anchors_of(resolved):
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: missing anchor {target!r}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in CHECKED:
+        if not path.exists():
+            problems.append(f"checked file missing: {path}")
+            continue
+        problems.extend(check_file(path))
+    if problems:
+        print("\n".join(problems))
+        print(f"\n{len(problems)} broken link(s)")
+        return 1
+    print(f"all intra-repo links resolve ({len(CHECKED)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

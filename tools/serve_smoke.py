@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Smoke-test `repro serve` as a real subprocess (the CI docs job).
+
+Starts the server (fast-scale KNN on the office suite), waits for the
+listening line, hits ``/healthz`` and one ``/localize`` request, then
+sends SIGINT and verifies the process exits cleanly with code 0.
+
+    python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+STARTUP_TIMEOUT_S = 180.0
+
+
+def wait_for_port(process) -> int:
+    """Block until the server prints its listening line; return the port.
+
+    A watchdog kills the subprocess at the deadline, which turns the
+    blocking readline() into EOF — so a silently hung server fails the
+    smoke in minutes, not at the CI job timeout. (select() on the pipe
+    would miss lines already sitting in the reader's buffer.)
+    """
+    timed_out = threading.Event()
+
+    def _watchdog() -> None:
+        timed_out.set()
+        process.kill()
+
+    watchdog = threading.Timer(STARTUP_TIMEOUT_S, _watchdog)
+    watchdog.start()
+    try:
+        while True:
+            line = process.stdout.readline()
+            if not line:
+                # EOF: the server died (or the watchdog killed it).
+                code = process.wait()
+                if timed_out.is_set():
+                    raise TimeoutError("server did not start in time")
+                raise RuntimeError(
+                    f"server exited with {code} before starting"
+                )
+            print(f"[server] {line.rstrip()}")
+            if "serving" in line and "http://" in line:
+                return int(line.rsplit(":", 1)[1])
+    finally:
+        watchdog.cancel()
+
+
+def get_json(port: int, method: str, path: str, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    body = json.dumps(payload) if payload is not None else None
+    conn.request(method, path, body=body)
+    response = conn.getresponse()
+    data = json.loads(response.read())
+    conn.close()
+    return response.status, data
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{REPO_ROOT / 'src'}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else str(REPO_ROOT / "src")
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", "office",
+            "--framework", "KNN", "--fast", "--port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        port = wait_for_port(process)
+
+        status, health = get_json(port, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok", health
+        print(f"healthz ok: {health['framework']} on {health['suite']}")
+
+        scan = [-60.0] * health["n_aps"]
+        status, answer = get_json(
+            port, "POST", "/localize", payload={"rssi": scan}
+        )
+        assert status == 200 and len(answer["location"]) == 2, answer
+        print(f"localize ok: {answer['location']}")
+
+        process.send_signal(signal.SIGINT)
+        code = process.wait(timeout=60)
+        remainder = process.stdout.read()
+        for line in remainder.splitlines():
+            print(f"[server] {line}")
+        assert code == 0, f"server exited with {code}"
+        assert "shutdown complete" in remainder, "no clean-shutdown marker"
+        print("clean shutdown ok")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
