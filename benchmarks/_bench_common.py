@@ -1,0 +1,41 @@
+"""Helpers shared by the perf benches (timing + the JSON gate contract).
+
+The ``--json`` payload written here is what
+``tools/check_bench_regression.py`` consumes: one file per bench with a
+top-level ``bench`` name (matched against ``BENCH_<name>.json``
+baselines) and a flat ``metrics`` dict — numeric entries are
+higher-is-better ratios, boolean entries are identity gates. Keeping
+the writer in one place keeps every bench on the same contract.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+
+def timeit(fn, *, repeats: int = 3) -> float:
+    """Best-of-N wall-clock seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def write_json_report(
+    path: str, *, bench: str, quick: bool, metrics: dict, info: dict
+) -> None:
+    """Write one bench's gate metrics where the CI regression gate looks."""
+    payload = {
+        "bench": bench,
+        "quick": bool(quick),
+        "metrics": metrics,
+        "info": info,
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")

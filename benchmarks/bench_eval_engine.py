@@ -31,6 +31,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
+from _bench_common import timeit, write_json_report
 
 from repro.baselines.base import BatchedLocalizer
 from repro.baselines.registry import make_localizer
@@ -38,18 +39,14 @@ from repro.datasets import SuiteConfig, generate_path_suite
 from repro.eval import ParallelRunner, available_cpus, compare_frameworks
 
 
-def _timeit(fn, *, repeats: int = 3) -> float:
-    """Best-of-N wall-clock seconds."""
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+def bench_batched_predict(
+    suite, frameworks, *, n_queries: int, fast: bool, speedups=None
+) -> bool:
+    """Per-framework batched vs per-row predict; returns overall pass.
 
-
-def bench_batched_predict(suite, frameworks, *, n_queries: int, fast: bool) -> bool:
-    """Per-framework batched vs per-row predict; returns overall pass."""
+    ``speedups``, when given, is filled with ``{framework: speedup}``
+    for the JSON report.
+    """
     rng = np.random.default_rng(0)
     # Query pool: resampled test scans, large enough to measure.
     pool = np.vstack([ds.rssi for ds in suite.test_epochs])
@@ -63,8 +60,8 @@ def bench_batched_predict(suite, frameworks, *, n_queries: int, fast: bool) -> b
             print(f"{name:<12} {'—':>10} {'—':>10} {'—':>9}  (sequential decoder)")
             continue
         localizer.fit(suite.train, suite.floorplan, rng=np.random.default_rng(0))
-        batched_s = _timeit(lambda: localizer.predict(queries))
-        loop_s = _timeit(
+        batched_s = timeit(lambda: localizer.predict(queries))
+        loop_s = timeit(
             lambda: np.vstack([localizer.predict(q[None, :]) for q in queries]),
             repeats=1,
         )
@@ -73,6 +70,8 @@ def bench_batched_predict(suite, frameworks, *, n_queries: int, fast: bool) -> b
         same = bool(np.allclose(batch_out, loop_out, rtol=1e-9, atol=1e-9))
         ok = ok and same
         speedup = loop_s / batched_s if batched_s > 0 else float("inf")
+        if speedups is not None:
+            speedups[name] = speedup
         print(
             f"{name:<12} {batched_s * 1e3:>8.1f}ms {loop_s * 1e3:>8.1f}ms "
             f"{speedup:>8.1f}x  {same}"
@@ -148,6 +147,10 @@ def main(argv=None) -> int:
         help="pool size for the parallel bench (0 = one per available CPU)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write gate metrics as JSON (CI regression harness)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -167,14 +170,30 @@ def main(argv=None) -> int:
         n_queries = 5000
 
     print(suite.describe())
-    ok = bench_batched_predict(
-        suite, throughput_frameworks, n_queries=n_queries, fast=True
+    speedups: dict = {}
+    batched_ok = bench_batched_predict(
+        suite, throughput_frameworks, n_queries=n_queries, fast=True,
+        speedups=speedups,
     )
-    ok = bench_parallel_runner(
+    parallel_ok = bench_parallel_runner(
         suite, parallel_frameworks, jobs=args.jobs, fast=True
-    ) and ok
-    ok = bench_result_cache(suite, parallel_frameworks, fast=True) and ok
+    )
+    cache_ok = bench_result_cache(suite, parallel_frameworks, fast=True)
+    ok = batched_ok and parallel_ok and cache_ok
     print(f"\n{'PASS' if ok else 'FAIL'}: engine consistency checks")
+    if args.json:
+        write_json_report(
+            args.json,
+            bench="eval_engine",
+            quick=args.quick,
+            metrics={
+                "knn_batched_speedup": round(speedups.get("KNN", 0.0), 3),
+                "batched_identical": batched_ok,
+                "parallel_identical": parallel_ok,
+                "cache_all_hits": cache_ok,
+            },
+            info={"frameworks": list(throughput_frameworks)},
+        )
     return 0 if ok else 1
 
 

@@ -4,7 +4,6 @@ Expected shape (paper Sec. V.A.2): AP visibility is roughly stable up to
 CI:11, then ~20% of APs become unavailable.
 """
 
-import numpy as np
 
 from repro.eval.experiments import run_fig4
 

@@ -1,0 +1,277 @@
+#!/usr/bin/env python
+"""Benchmark the sharded radio-map index (``repro.index``).
+
+Three measurements, printed as one report:
+
+1. **Query speedup vs. reference-set size** — KNN top-k throughput on
+   synthetic radio maps of growing size, exhaustive vs. sharded with
+   ``n_probe < n_shards``. Sharding is sub-linear candidate selection,
+   so the speedup should *grow* with the reference set.
+2. **Recall/error tradeoff of probing** — at the largest size, sweep
+   ``n_probe``: top-k recall against exhaustive search, the fraction of
+   queries whose predicted coordinates move at all, and the mean
+   coordinate deviation.
+3. **Bit-identity gate** — ``n_probe = n_shards`` must reproduce the
+   exhaustive neighbour indices *and* distances exactly (the index's
+   correctness bar; partial probing only ever trades recall).
+
+Exit status is non-zero unless the largest reference set shows
+``>= --min-speedup`` (default 2x) with partial probing AND the
+full-probe identity gate holds.
+
+``--json PATH`` additionally writes the gate metrics as JSON for
+``tools/check_bench_regression.py`` (the CI perf-regression harness).
+
+Run standalone (pytest does not collect ``bench_*`` files)::
+
+    PYTHONPATH=src python benchmarks/bench_index.py --quick
+    PYTHONPATH=src python benchmarks/bench_index.py --kind region --n-shards 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+from _bench_common import timeit, write_json_report
+
+from repro.core.knn_head import KNNHead
+from repro.index import IndexConfig
+
+#: Synthetic space extents (meters) and AP count of the fake radio maps.
+_SPACE = (120.0, 80.0)
+
+
+def synthetic_radio_map(
+    n_refs: int, n_queries: int, *, n_aps: int, seed: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A spatially-correlated fake radio map: (refs, locations, queries).
+
+    RSSI follows a log-distance decay from randomly placed APs plus
+    noise, so physically close fingerprints are radio-similar — the
+    structure both partitioners exploit (and real radio maps have).
+    """
+    rng = np.random.default_rng(seed)
+    w, h = _SPACE
+    aps = rng.uniform((0, 0), (w, h), size=(n_aps, 2))
+
+    def scans(points: np.ndarray) -> np.ndarray:
+        d = np.linalg.norm(points[:, None, :] - aps[None, :, :], axis=2)
+        rssi = -30.0 - 25.0 * np.log10(d + 1.0)
+        rssi += rng.normal(0.0, 2.0, size=rssi.shape)
+        return np.clip(rssi, -100.0, 0.0)
+
+    ref_locs = rng.uniform((0, 0), (w, h), size=(n_refs, 2))
+    query_locs = rng.uniform((0, 0), (w, h), size=(n_queries, 2))
+    return scans(ref_locs), ref_locs, scans(query_locs)
+
+
+def _fit_head(
+    refs: np.ndarray, locs: np.ndarray, index: IndexConfig | None, k: int
+) -> KNNHead:
+    return KNNHead(k=k, index=index).fit(
+        refs, np.arange(refs.shape[0]), locs
+    )
+
+
+def bench_speedup(
+    sizes: list[int],
+    *,
+    n_queries: int,
+    n_aps: int,
+    kind: str,
+    n_shards: int,
+    n_probe: int,
+    k: int,
+    seed: int,
+) -> float:
+    """Sharded vs. exhaustive throughput per size; returns the largest-size speedup."""
+    print(
+        f"\n== query speedup vs reference-set size "
+        f"({kind}, {n_shards} shards, probe {n_probe}, k={k}) =="
+    )
+    print(
+        f"{'n_refs':>9} {'exhaustive':>12} {'sharded':>12} {'speedup':>9}"
+    )
+    speedup = 0.0
+    for n_refs in sizes:
+        refs, locs, queries = synthetic_radio_map(
+            n_refs, n_queries, n_aps=n_aps, seed=seed
+        )
+        exhaustive = _fit_head(refs, locs, None, k)
+        sharded = _fit_head(
+            refs,
+            locs,
+            IndexConfig(kind=kind, n_shards=n_shards, n_probe=n_probe, seed=seed),
+            k,
+        )
+        t_ex = timeit(lambda: exhaustive.predict_location(queries))
+        t_sh = timeit(lambda: sharded.predict_location(queries))
+        speedup = t_ex / t_sh if t_sh > 0 else float("inf")
+        print(
+            f"{n_refs:>9} {t_ex * 1e3:>10.1f}ms {t_sh * 1e3:>10.1f}ms "
+            f"{speedup:>8.1f}x"
+        )
+    return speedup
+
+
+def bench_probe_tradeoff(
+    n_refs: int,
+    *,
+    n_queries: int,
+    n_aps: int,
+    kind: str,
+    n_shards: int,
+    k: int,
+    seed: int,
+) -> tuple[bool, float]:
+    """Sweep n_probe; returns (full-probe identity, recall at half probe).
+
+    "Recall" is top-k recall: the fraction of the exhaustive k nearest
+    neighbours a probed search recovers, averaged over queries.
+    """
+    refs, locs, queries = synthetic_radio_map(
+        n_refs, n_queries, n_aps=n_aps, seed=seed
+    )
+    exhaustive = _fit_head(refs, locs, None, k)
+    dist_ref, idx_ref = exhaustive.kneighbors(queries)
+    coords_ref = exhaustive.predict_location(queries)
+    ref_sets = [set(row) for row in idx_ref]
+
+    print(
+        f"\n== probing tradeoff at n_refs={n_refs} "
+        f"({kind}, {n_shards} shards, k={k}) =="
+    )
+    print(
+        f"{'n_probe':>8} {'recall@k':>9} {'moved':>8} {'mean-dev':>10}  identical"
+    )
+    identical_full = False
+    recall_mid = 0.0
+    probes = sorted(
+        {1, 2, max(1, n_shards // 8), max(1, n_shards // 2), n_shards}
+    )
+    for n_probe in probes:
+        sharded = _fit_head(
+            refs,
+            locs,
+            IndexConfig(kind=kind, n_shards=n_shards, n_probe=n_probe, seed=seed),
+            k,
+        )
+        dist, idx = sharded.kneighbors(queries)
+        coords = sharded.predict_location(queries)
+        recall = float(
+            np.mean(
+                [len(set(row) & ref_sets[i]) / k for i, row in enumerate(idx)]
+            )
+        )
+        dev = np.linalg.norm(coords - coords_ref, axis=1)
+        moved = float((dev > 0).mean())
+        identical = bool(
+            np.array_equal(idx, idx_ref) and np.array_equal(dist, dist_ref)
+        )
+        if n_probe == n_shards:
+            identical_full = identical
+        if n_probe == max(1, n_shards // 2):
+            recall_mid = recall
+        print(
+            f"{n_probe:>8} {recall:>9.3f} {moved:>7.1%} {dev.mean():>9.3f}m"
+            f"  {identical}"
+        )
+    return identical_full, recall_mid
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke scale: smaller maps"
+    )
+    parser.add_argument(
+        "--kind", choices=("region", "kmeans"), default="kmeans",
+        help="partitioner to benchmark (default: kmeans)",
+    )
+    parser.add_argument("--n-shards", type=int, default=0,
+                        help="shard count (0 = auto: 32 quick, 64 full)")
+    parser.add_argument("--n-probe", type=int, default=4)
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--n-aps", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help=(
+            "fail unless the largest reference set shows this speedup "
+            "with partial probing (0 disables; the full-probe "
+            "bit-identity gate always applies)"
+        ),
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write gate metrics as JSON (CI regression harness)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes = [2_000, 8_000, 24_000]
+        n_queries = 1_500
+    else:
+        sizes = [10_000, 40_000, 160_000]
+        n_queries = 4_000
+    n_shards = args.n_shards or (32 if args.quick else 64)
+
+    speedup = bench_speedup(
+        sizes,
+        n_queries=n_queries,
+        n_aps=args.n_aps,
+        kind=args.kind,
+        n_shards=n_shards,
+        n_probe=args.n_probe,
+        k=args.k,
+        seed=args.seed,
+    )
+    identical_full, recall_mid = bench_probe_tradeoff(
+        sizes[-1],
+        n_queries=min(n_queries, 1_000),
+        n_aps=args.n_aps,
+        kind=args.kind,
+        n_shards=n_shards,
+        k=args.k,
+        seed=args.seed,
+    )
+
+    ok = identical_full and (
+        args.min_speedup <= 0 or speedup >= args.min_speedup
+    )
+    print(
+        f"\nlargest-set speedup: {speedup:.1f}x "
+        f"(probe {args.n_probe}/{n_shards}); "
+        f"full-probe bit-identical: {identical_full}"
+    )
+    print(f"{'PASS' if ok else 'FAIL'}: index speedup/identity checks")
+
+    if args.json:
+        write_json_report(
+            args.json,
+            bench="index",
+            quick=args.quick,
+            metrics={
+                "speedup_largest": round(speedup, 3),
+                "recall_at_half_probe": round(recall_mid, 4),
+                "full_probe_identical": identical_full,
+            },
+            info={
+                "kind": args.kind,
+                "sizes": sizes,
+                "n_shards": n_shards,
+                "n_probe": args.n_probe,
+                "k": args.k,
+                "n_queries": n_queries,
+            },
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

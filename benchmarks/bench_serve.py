@@ -38,6 +38,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
+from _bench_common import write_json_report
 
 from repro.datasets import SuiteConfig, generate_path_suite
 from repro.serve import BatchingDispatcher, ModelStore
@@ -105,6 +106,10 @@ def main(argv=None) -> int:
             "the bit-identity gate always applies)"
         ),
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write gate metrics as JSON (CI regression harness)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -122,9 +127,10 @@ def main(argv=None) -> int:
     store = ModelStore()
     entry = store.get_or_fit(args.framework, suite, seed=args.seed, fast=True)
     print(suite.describe())
+    batched = getattr(entry.localizer, "batched_inference", False)
     print(
         f"\nmodel: {entry.key.framework} "
-        f"(fit {entry.fit_seconds:.2f}s, batched={getattr(entry.localizer, 'batched_inference', False)})"
+        f"(fit {entry.fit_seconds:.2f}s, batched={batched})"
     )
     print(
         f"load: {args.clients} closed-loop clients x {n_requests} "
@@ -186,6 +192,21 @@ def main(argv=None) -> int:
     )
     ok = speedup >= args.min_speedup and identical
     print(f"{'PASS' if ok else 'FAIL'}: serving consistency/throughput checks")
+    if args.json:
+        write_json_report(
+            args.json,
+            bench="serve",
+            quick=args.quick,
+            metrics={
+                "microbatch_speedup": round(speedup, 3),
+                "coalesced_identical": identical,
+            },
+            info={
+                "framework": args.framework,
+                "clients": args.clients,
+                "requests_per_client": n_requests,
+            },
+        )
     return 0 if ok else 1
 
 

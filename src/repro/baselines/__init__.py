@@ -19,6 +19,7 @@ from .registry import (
     framework_capabilities,
     framework_class,
     make_localizer,
+    supports_candidate_index,
 )
 from .scnn import SCNNConfig, SCNNLocalizer
 from .sele import SELEConfig, SELELocalizer
@@ -41,6 +42,7 @@ __all__ = [
     "make_localizer",
     "framework_capabilities",
     "framework_class",
+    "supports_candidate_index",
     "PAPER_FRAMEWORKS",
     "EXTENDED_FRAMEWORKS",
 ]

@@ -43,6 +43,14 @@ class Localizer(ABC):
     #: micro-batching them across clients.
     batched_inference: bool = False
 
+    #: Whether the framework's reference radio map can be sharded with a
+    #: :class:`repro.index.IndexConfig` (``index=`` constructor arg).
+    #: True for the frameworks whose online phase is nearest-neighbour
+    #: search over a stored reference set (STONE, KNN, LT-KNN); False
+    #: for pure forward-pass models (SCNN, WiDeep, PL-Ensemble) and
+    #: sequential decoders (GIFT), which have no radio map to shard.
+    supports_index: bool = False
+
     def __init__(self) -> None:
         self._fitted = False
 
@@ -70,6 +78,23 @@ class Localizer(ABC):
     @abstractmethod
     def predict(self, rssi: np.ndarray) -> np.ndarray:
         """Estimate ``(n, 2)`` coordinates for raw ``(n, n_aps)`` dBm scans."""
+
+    # -- index introspection -------------------------------------------------
+
+    def shard_routes(self, rssi: np.ndarray) -> Optional[np.ndarray]:
+        """Primary probed shard id per scan, or ``None``.
+
+        ``None`` means the framework has no sharded radio-map index (no
+        index configured, exhaustive config, or ``supports_index`` is
+        False) — the serving dispatcher then skips shard-aware request
+        grouping. Index-capable subclasses override this.
+        """
+        del rssi
+        return None
+
+    def index_describe(self) -> Optional[dict]:
+        """JSON-ready shard statistics of the fitted index, or ``None``."""
+        return None
 
     # -- helpers -----------------------------------------------------------
 

@@ -14,6 +14,7 @@ import numpy as np
 from ..core.knn_head import KNNHead
 from ..datasets.fingerprint import FingerprintDataset
 from ..geometry.floorplan import Floorplan
+from ..index import IndexConfig
 from .base import BatchedLocalizer
 
 
@@ -24,11 +25,13 @@ class KNNLocalizer(BatchedLocalizer):
     locations (the LearnLoc paper's refinement); ``False`` is a plain
     neighbour-average. The chunked distance/top-k machinery is
     :class:`~repro.core.knn_head.KNNHead`'s, fitted on raw RSSI instead
-    of embeddings.
+    of embeddings. ``index`` shards the stored radio map
+    (:mod:`repro.index`) so each query scores only its probed shards.
     """
 
     name = "KNN"
     requires_retraining = False
+    supports_index = True
 
     def __init__(
         self,
@@ -36,6 +39,7 @@ class KNNLocalizer(BatchedLocalizer):
         *,
         weighted: bool = True,
         chunk_size: Optional[int] = None,
+        index: Optional[IndexConfig] = None,
     ) -> None:
         super().__init__()
         if k <= 0:
@@ -45,6 +49,7 @@ class KNNLocalizer(BatchedLocalizer):
         self.k = int(k)
         self.weighted = bool(weighted)
         self.chunk_size = chunk_size
+        self.index_config = index
         self._train_rssi: Optional[np.ndarray] = None
         self._train_locations: Optional[np.ndarray] = None
         self._head: Optional[KNNHead] = None
@@ -57,21 +62,41 @@ class KNNLocalizer(BatchedLocalizer):
         rng: Optional[np.random.Generator] = None,
     ) -> "KNNLocalizer":
         """Store the raw-RSSI reference set (no model to train)."""
-        del floorplan, rng
+        del rng
         if train.n_samples == 0:
             raise ValueError("empty training set")
         self._train_rssi = np.clip(train.rssi, -100.0, 0.0)
         self._train_locations = train.locations.copy()
-        self._head = KNNHead(k=self.k, chunk_size=self.chunk_size).fit(
+        self._head = KNNHead(
+            k=self.k, chunk_size=self.chunk_size, index=self.index_config
+        ).fit(
             self._train_rssi,
             np.arange(train.n_samples),
             self._train_locations,
+            floorplan=floorplan,
         )
         self._fitted = True
         return self
 
     def _kneighbors(self, rssi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return self._head.kneighbors(np.clip(rssi, -100.0, 0.0))
+
+    @property
+    def has_sharded_index(self) -> bool:
+        """True when the fitted head routes queries through shards."""
+        return self._head is not None and self._head.has_sharded_index
+
+    def shard_routes(self, rssi: np.ndarray) -> Optional[np.ndarray]:
+        """Primary probed shard per scan (None without a sharded index)."""
+        self._check_fitted()
+        if not self.has_sharded_index:
+            return None
+        rssi = self._check_rssi(rssi, self._train_rssi.shape[1])
+        return self._head.shard_routes(np.clip(rssi, -100.0, 0.0))
+
+    def index_describe(self) -> Optional[dict]:
+        """Shard statistics of the fitted radio-map index."""
+        return self._head.index_describe() if self._head else None
 
     def predict(self, rssi: np.ndarray) -> np.ndarray:
         """Match scans to the K nearest stored fingerprints."""

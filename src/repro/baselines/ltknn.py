@@ -28,6 +28,7 @@ import numpy as np
 
 from ..datasets.fingerprint import FingerprintDataset
 from ..geometry.floorplan import Floorplan
+from ..index import IndexConfig
 from .base import BatchedLocalizer
 from .knn import KNNLocalizer
 
@@ -74,6 +75,7 @@ class LTKNNLocalizer(BatchedLocalizer):
 
     name = "LT-KNN"
     requires_retraining = True
+    supports_index = True
 
     def __init__(
         self,
@@ -82,10 +84,12 @@ class LTKNNLocalizer(BatchedLocalizer):
         weighted: bool = True,
         ridge_alpha: float = 1.0,
         missing_threshold: float = 0.02,
+        index: Optional[IndexConfig] = None,
     ) -> None:
         super().__init__()
         self.k = int(k)
         self.weighted = bool(weighted)
+        self.index_config = index
         self.ridge_alpha = float(ridge_alpha)
         if not 0.0 <= missing_threshold <= 1.0:
             raise ValueError("missing_threshold must be in [0, 1]")
@@ -116,9 +120,9 @@ class LTKNNLocalizer(BatchedLocalizer):
         del rng
         self._train = train
         self._train_visible = train.visible_ap_union()
-        self._knn = KNNLocalizer(self.k, weighted=self.weighted).fit(
-            train, floorplan
-        )
+        self._knn = KNNLocalizer(
+            self.k, weighted=self.weighted, index=self.index_config
+        ).fit(train, floorplan)
         self._current_missing = np.array([], dtype=np.int64)
         self._imputers.clear()
         self.refit_count = 0
@@ -208,3 +212,20 @@ class LTKNNLocalizer(BatchedLocalizer):
         if rssi.shape[0] == 0:
             return np.empty((0, 2), dtype=np.float64)
         return self._knn.predict(self.impute(rssi))
+
+    def shard_routes(self, rssi: np.ndarray) -> Optional[np.ndarray]:
+        """Shard routing over the *imputed* scans (what KNN will match).
+
+        Bails out before imputing when the inner KNN has no sharded
+        index — otherwise every coalesced serving batch would pay a
+        full ridge-imputation pass just to learn that routing is off.
+        """
+        self._check_fitted()
+        if not self._knn.has_sharded_index:
+            return None
+        rssi = self._check_rssi(rssi, self._train.n_aps)
+        return self._knn.shard_routes(self.impute(rssi))
+
+    def index_describe(self) -> Optional[dict]:
+        """Shard statistics of the inner KNN's radio-map index."""
+        return self._knn.index_describe() if self._knn else None

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..core.config import StoneConfig
 from ..core.stone import StoneLocalizer
+from ..index import IndexConfig
 from .base import BatchedLocalizer, Localizer
 from .gift import GIFTLocalizer
 from .knn import KNNLocalizer
@@ -71,6 +72,7 @@ class FrameworkCapabilities:
     name: str
     batched_inference: bool
     requires_retraining: bool
+    supports_index: bool
 
 
 def framework_capabilities(name: str) -> FrameworkCapabilities:
@@ -81,6 +83,14 @@ def framework_capabilities(name: str) -> FrameworkCapabilities:
         name=canonical,
         batched_inference=bool(getattr(cls, "batched_inference", False)),
         requires_retraining=bool(getattr(cls, "requires_retraining", False)),
+        supports_index=bool(getattr(cls, "supports_index", False)),
+    )
+
+
+def supports_candidate_index(name: str) -> bool:
+    """True when the framework's radio map can be sharded (``index=``)."""
+    return bool(
+        getattr(_FRAMEWORK_CLASSES[canonical_name(name)], "supports_index", False)
     )
 
 
@@ -107,14 +117,26 @@ def make_localizer(
     *,
     suite_name: Optional[str] = None,
     fast: bool = False,
+    index: Optional[IndexConfig] = None,
 ) -> Localizer:
     """Build a framework by its paper name.
 
     ``suite_name`` selects STONE's per-floorplan tuning. ``fast=True``
     shrinks the trained models' schedules for CI-scale runs (tests and
-    smoke benches); figure-quality runs leave it False.
+    smoke benches); figure-quality runs leave it False. ``index``
+    shards the framework's reference radio map (:mod:`repro.index`);
+    passing a non-exhaustive config to a framework whose
+    ``supports_index`` flag is False raises ``ValueError`` — callers
+    that sweep mixed framework sets filter on
+    :func:`framework_capabilities` first.
     """
     key = canonical_name(name)
+    if index is not None and not index.is_exhaustive and not supports_candidate_index(key):
+        raise ValueError(
+            f"{key} has no reference radio map to shard "
+            f"(supports_index is False); drop index= or pick one of the "
+            f"NN-search frameworks (STONE, KNN, LT-KNN)"
+        )
     if key == "STONE":
         config = StoneConfig.for_suite(suite_name or "office")
         if fast:
@@ -124,11 +146,11 @@ def make_localizer(
                 steps_per_epoch=15,
                 batch_size=64,
             )
-        return StoneLocalizer(config)
+        return StoneLocalizer(config, index=index)
     if key == "KNN":
-        return KNNLocalizer()
+        return KNNLocalizer(index=index)
     if key == "LT-KNN":
-        return LTKNNLocalizer()
+        return LTKNNLocalizer(index=index)
     if key == "GIFT":
         return GIFTLocalizer()
     if key == "SCNN":

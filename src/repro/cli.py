@@ -6,8 +6,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli figure FIG6B --fast --jobs 4 --cache-dir .repro-cache
     python -m repro.cli compare office --frameworks STONE,LT-KNN --fast
     python -m repro.cli compare office --jobs 4 --chunk-size 1024
+    python -m repro.cli compare office --index kmeans --n-shards 32 --n-probe 4
     python -m repro.cli suite basement --out basement.npz
     python -m repro.cli serve office --framework KNN --port 8000 --fast
+    python -m repro.cli serve office --framework KNN --index region --fast
     python -m repro.cli track office --framework STONE --fast
     python -m repro.cli compress office --bits 8 --sparsity 0.5 --fast
     python -m repro.cli multifloor --months 4 --fast
@@ -67,12 +69,32 @@ _CHUNK_SIZE_HELP = (
 )
 
 
+def _index_config(args: argparse.Namespace):
+    """Build the radio-map IndexConfig the CLI flags describe (or None)."""
+    if args.index == "exhaustive":
+        if args.n_shards != 16 or args.n_probe != 4:
+            print(
+                "note: --n-shards/--n-probe have no effect without "
+                "--index region|kmeans (the default is exhaustive search)"
+            )
+        return None
+    from .index import IndexConfig
+
+    return IndexConfig(
+        kind=args.index,
+        n_shards=args.n_shards,
+        n_probe=args.n_probe,
+        seed=args.seed,
+    )
+
+
 def _engine_opts(args: argparse.Namespace) -> dict:
     """Collect the evaluation-engine flags shared by figure/compare."""
     return {
         "jobs": args.jobs,
         "chunk_size": args.chunk_size,
         "cache_dir": args.cache_dir,
+        "index": _index_config(args),
     }
 
 
@@ -101,15 +123,49 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
             "(default: no cache)"
         ),
     )
+    _add_index_flags(parser)
+
+
+def _add_index_flags(parser: argparse.ArgumentParser) -> None:
+    """Radio-map index flags shared by figure/compare/serve."""
+    parser.add_argument(
+        "--index",
+        choices=("exhaustive", "region", "kmeans"),
+        default="exhaustive",
+        help=(
+            "shard the reference radio map so each query scores only "
+            "its probed shards: 'region' = floorplan grid cells, "
+            "'kmeans' = coarse quantizer over RSSI/embedding vectors "
+            "(default: exhaustive, score everything — today's exact "
+            "behaviour; applies to STONE/KNN/LT-KNN, other frameworks "
+            "run unchanged)"
+        ),
+    )
+    parser.add_argument(
+        "--n-shards",
+        type=int,
+        default=16,
+        help="target shard count for --index region/kmeans (default: 16)",
+    )
+    parser.add_argument(
+        "--n-probe",
+        type=int,
+        default=4,
+        help=(
+            "shards scored per query; n-probe >= n-shards is "
+            "bit-identical to exhaustive search (default: 4)"
+        ),
+    )
 
 
 #: Engine flags a figure cannot use: FIG3/FIG4 run no framework
 #: evaluations, and FIG7's grid cells each train a fresh model so there
-#: is no framework trace to cache.
+#: is no framework trace to cache (and its per-cell STONE fits stay
+#: exhaustive — the grid sweeps training data volume, not inference).
 _ENGINE_FLAGS_IGNORED = {
-    "FIG3": ("--jobs", "--chunk-size", "--cache-dir"),
-    "FIG4": ("--jobs", "--chunk-size", "--cache-dir"),
-    "FIG7": ("--cache-dir",),
+    "FIG3": ("--jobs", "--chunk-size", "--cache-dir", "--index"),
+    "FIG4": ("--jobs", "--chunk-size", "--cache-dir", "--index"),
+    "FIG7": ("--cache-dir", "--index"),
 }
 
 
@@ -123,6 +179,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "--jobs": args.jobs != 1,
         "--chunk-size": args.chunk_size is not None,
         "--cache-dir": args.cache_dir is not None,
+        "--index": args.index != "exhaustive",
     }
     for flag in _ENGINE_FLAGS_IGNORED.get(figure_id, ()):
         if given[flag]:
@@ -141,6 +198,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     suite = _suite_for(args.suite, args.seed)
     frameworks = [f.strip() for f in args.frameworks.split(",") if f.strip()]
+    if args.index != "exhaustive":
+        from .baselines.registry import supports_candidate_index
+
+        unsharded = [f for f in frameworks if not supports_candidate_index(f)]
+        if unsharded:
+            print(
+                f"note: --index {args.index} applies to the NN-search "
+                f"frameworks only; {', '.join(unsharded)} run unchanged"
+            )
     comparison = compare_frameworks(
         suite,
         frameworks,
@@ -173,15 +239,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     suite = _suite_for(args.suite, args.seed)
     caps = framework_capabilities(args.framework)
+    index = _index_config(args)
+    if index is not None and not caps.supports_index:
+        print(
+            f"note: {caps.name} has no reference radio map to shard — "
+            f"--index {args.index} ignored, serving unsharded"
+        )
+        index = None
     store = ModelStore(args.model_dir)
     entry = store.get_or_fit(
-        args.framework, suite, seed=args.seed, fast=args.fast
+        args.framework, suite, seed=args.seed, fast=args.fast, index=index
     )
     if entry.source == "disk":
         print(f"{caps.name}: warm-loaded fitted model from {args.model_dir}")
     else:
         print(f"{caps.name}: fitted in {entry.fit_seconds:.1f}s", end="")
         print(f" (persisted to {args.model_dir})" if args.model_dir else "")
+    index_stats = entry.localizer.index_describe()
+    if index_stats is not None and index_stats.get("kind") != "exhaustive":
+        rows = index_stats.get("rows_per_shard", {})
+        print(
+            f"index: {index_stats['kind']} — {index_stats['n_shards']} shards, "
+            f"probe {index_stats['n_probe']}, "
+            f"{rows.get('min')}–{rows.get('max')} rows/shard"
+        )
     if not caps.batched_inference:
         print(
             f"note: {caps.name} decodes scan sequences statefully — "
@@ -401,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument("--seed", type=int, default=0)
     p_srv.add_argument("--fast", action="store_true", help="smoke-scale models")
+    _add_index_flags(p_srv)
     p_srv.set_defaults(fn=_cmd_serve)
 
     p_track = sub.add_parser(

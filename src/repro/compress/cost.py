@@ -44,15 +44,15 @@ class ModelCost:
 
     @property
     def total_params(self) -> int:
-        return sum(l.params for l in self.layers)
+        return sum(layer.params for layer in self.layers)
 
     @property
     def total_macs(self) -> int:
-        return sum(l.macs for l in self.layers)
+        return sum(layer.macs for layer in self.layers)
 
     @property
     def total_elementwise_ops(self) -> int:
-        return sum(l.elementwise_ops for l in self.layers)
+        return sum(layer.elementwise_ops for layer in self.layers)
 
     def weight_bytes(self) -> int:
         """float32 storage of all parameters."""
@@ -60,7 +60,7 @@ class ModelCost:
 
     def activation_bytes(self) -> int:
         """Bytes written for every intermediate activation (one sample)."""
-        return sum(l.activation_bytes() for l in self.layers)
+        return sum(layer.activation_bytes() for layer in self.layers)
 
     def table(self) -> str:
         """Fixed-width per-layer breakdown."""
@@ -69,15 +69,15 @@ class ModelCost:
             f"{'act elems':>12}"
         )
         rows = [header, "-" * len(header)]
-        for l in self.layers:
+        for layer in self.layers:
             rows.append(
-                f"{l.name:<18}{l.kind:<12}{l.params:>10}{l.macs:>12}"
-                f"{l.activation_elems:>12}"
+                f"{layer.name:<18}{layer.kind:<12}{layer.params:>10}{layer.macs:>12}"
+                f"{layer.activation_elems:>12}"
             )
         rows.append("-" * len(header))
         rows.append(
             f"{'total':<30}{self.total_params:>10}{self.total_macs:>12}"
-            f"{sum(l.activation_elems for l in self.layers):>12}"
+            f"{sum(layer.activation_elems for layer in self.layers):>12}"
         )
         return "\n".join(rows)
 

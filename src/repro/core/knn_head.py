@@ -13,13 +13,27 @@ processed without per-row Python loops, in distance blocks of at most
 exceeds a bounded footprint. ``fit()`` precomputes the reference-side
 tables (squared norms, RP label codes, first-row coordinates and the
 per-RP column grouping) so every ``predict`` call is pure ndarray work.
+
+With an :class:`~repro.index.IndexConfig`, ``fit()`` additionally
+partitions the reference set into shards
+(:class:`~repro.index.ShardedRadioMap`) and ``kneighbors`` scores only
+the ``n_probe`` probed shards' rows per query instead of the full
+reference matrix — sub-linear distance work at a small recall cost.
+Probing ``n_probe >= n_shards`` shards covers every row and is
+bit-identical to exhaustive search; :meth:`per_rp_distances` always
+stays exhaustive (it needs the distance to *every* RP by definition).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 import numpy as np
+
+from ..index import ExhaustiveIndex, IndexConfig, build_index, squared_distances
+
+if TYPE_CHECKING:  # annotation-only: the head never constructs one
+    from ..geometry.floorplan import Floorplan
 
 #: Queries per distance block; bounds the (chunk, n_refs) scratch matrix.
 DEFAULT_CHUNK_SIZE = 2048
@@ -34,6 +48,7 @@ class KNNHead:
         *,
         mode: str = "classify",
         chunk_size: Optional[int] = None,
+        index: Optional[IndexConfig] = None,
     ) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
@@ -44,6 +59,8 @@ class KNNHead:
         self.k = int(k)
         self.mode = mode
         self.chunk_size = int(chunk_size) if chunk_size else DEFAULT_CHUNK_SIZE
+        self.index_config = index
+        self._index = None
         self._embeddings: Optional[np.ndarray] = None
         self._rp_indices: Optional[np.ndarray] = None
         self._locations: Optional[np.ndarray] = None
@@ -60,8 +77,15 @@ class KNNHead:
         embeddings: np.ndarray,
         rp_indices: np.ndarray,
         locations: np.ndarray,
+        *,
+        floorplan: Optional["Floorplan"] = None,
     ) -> "KNNHead":
-        """Store the reference set and build the per-RP index tables."""
+        """Store the reference set and build the per-RP index tables.
+
+        ``floorplan`` only matters with a ``region`` index config: it
+        supplies the grid bounds the partitioner cuts into cells
+        (without it, the bounding box of ``locations`` is used).
+        """
         embeddings = np.asarray(embeddings, dtype=np.float64)
         rp_indices = np.asarray(rp_indices, dtype=np.int64)
         locations = np.asarray(locations, dtype=np.float64)
@@ -90,6 +114,9 @@ class KNNHead:
         self._rp_col_order = order
         self._rp_col_starts = np.searchsorted(
             codes[order], np.arange(labels.shape[0])
+        )
+        self._index = build_index(
+            self.index_config, embeddings, locations, floorplan=floorplan
         )
         return self
 
@@ -120,14 +147,7 @@ class KNNHead:
 
     def _sq_distances(self, q: np.ndarray) -> np.ndarray:
         """(n, n_refs) squared Euclidean distances, clipped at zero."""
-        refs = self._embeddings
-        d2 = (
-            (q * q).sum(axis=1)[:, None]
-            + self._ref_sq_norms[None, :]
-            - 2.0 * (q @ refs.T)
-        )
-        np.maximum(d2, 0.0, out=d2)
-        return d2
+        return squared_distances(q, self._embeddings, self._ref_sq_norms)
 
     def _chunks(self, n: int):
         step = self.chunk_size
@@ -135,10 +155,17 @@ class KNNHead:
             yield start, min(start + step, n)
 
     def kneighbors(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """(distances, indices) of the K nearest references per query."""
+        """(distances, indices) of the K nearest references per query.
+
+        With a sharded index, only the probed shards' rows are scored
+        (see :meth:`_kneighbors_indexed`); otherwise the full reference
+        matrix is, in bounded-memory chunks.
+        """
         self._require_fitted()
         q = self._as_queries(queries)
         k = min(self.k, self._embeddings.shape[0])
+        if not isinstance(self._index, (type(None), ExhaustiveIndex)):
+            return self._kneighbors_indexed(q, k)
         dist = np.empty((q.shape[0], k), dtype=np.float64)
         idx = np.empty((q.shape[0], k), dtype=np.int64)
         for start, stop in self._chunks(q.shape[0]):
@@ -150,6 +177,79 @@ class KNNHead:
             idx[start:stop] = block_idx
             dist[start:stop] = np.sqrt(d2[rows, block_idx])
         return dist, idx
+
+    def _kneighbors_indexed(
+        self, q: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-k restricted to each query's probed shards.
+
+        Queries are grouped by their (canonically sorted) probe set, so
+        every group shares one candidate row list and one gathered
+        reference block. A group whose candidate union holds fewer than
+        ``k`` rows falls back to the full reference matrix — exact
+        results, never a short neighbour list. When probing covers all
+        shards the candidate set is the identity permutation and the
+        arithmetic matches the exhaustive path bit for bit.
+        """
+        n_refs = self._embeddings.shape[0]
+        dist = np.empty((q.shape[0], k), dtype=np.float64)
+        idx = np.empty((q.shape[0], k), dtype=np.int64)
+        if q.shape[0] == 0:
+            return dist, idx
+        shard_ids = self._index.probe(q)
+        combos, inverse = np.unique(shard_ids, axis=0, return_inverse=True)
+        for g in range(combos.shape[0]):
+            members = np.flatnonzero(inverse == g)
+            cand = self._index.rows_for(combos[g])
+            if cand.size < k:
+                cand = np.arange(n_refs, dtype=np.int64)
+            full = cand.size == n_refs
+            refs = self._embeddings if full else self._embeddings[cand]
+            ref_sq = self._ref_sq_norms if full else self._ref_sq_norms[cand]
+            for start, stop in self._chunks(members.shape[0]):
+                rows = members[start:stop]
+                d2 = squared_distances(q[rows], refs, ref_sq)
+                part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+                rr = np.arange(d2.shape[0])[:, None]
+                order = np.argsort(d2[rr, part], axis=1)
+                block_idx = part[rr, order]
+                idx[rows] = cand[block_idx]
+                dist[rows] = np.sqrt(d2[rr, block_idx])
+        return dist, idx
+
+    # -- index introspection ------------------------------------------------
+
+    @property
+    def candidate_index(self):
+        """The fitted :class:`~repro.index.CandidateIndex` (None pre-fit)."""
+        return self._index
+
+    @property
+    def has_sharded_index(self) -> bool:
+        """True when queries are routed through a sharded index.
+
+        Cheap capability probe — callers that must do work *before*
+        routing (LT-KNN imputes scans first) check this to skip that
+        work entirely when routing would return ``None`` anyway.
+        """
+        return not isinstance(self._index, (type(None), ExhaustiveIndex))
+
+    def shard_routes(self, queries: np.ndarray) -> Optional[np.ndarray]:
+        """Primary (nearest-centroid) shard id per query, or ``None``.
+
+        ``None`` when the head has no sharded index — callers use this
+        to decide whether shard-aware request grouping is meaningful.
+        """
+        if not self.has_sharded_index:
+            return None
+        q = self._as_queries(queries)
+        return self._index.primary_shard(q)
+
+    def index_describe(self) -> Optional[dict]:
+        """JSON-ready shard statistics, or ``None`` without an index."""
+        if self._index is None:
+            return None
+        return self._index.describe()
 
     # -- batched voting -----------------------------------------------------
 

@@ -19,6 +19,7 @@ import numpy as np
 from ..baselines.base import BatchedLocalizer
 from ..datasets.fingerprint import FingerprintDataset
 from ..geometry.floorplan import Floorplan
+from ..index import IndexConfig
 from ..nn.losses import TripletLoss
 from ..nn.model import Sequential
 from ..nn.optimizers import Adam
@@ -36,12 +37,14 @@ class StoneLocalizer(BatchedLocalizer):
 
     name = "STONE"
     requires_retraining = False
+    supports_index = True
 
     def __init__(
         self,
         config: Optional[StoneConfig] = None,
         *,
         chunk_size: Optional[int] = None,
+        index: Optional[IndexConfig] = None,
     ) -> None:
         super().__init__()
         self.config = config or StoneConfig()
@@ -52,10 +55,14 @@ class StoneLocalizer(BatchedLocalizer):
         self.chunk_size = int(chunk_size) if chunk_size else 512
         self.preprocessor = FingerprintImagePreprocessor()
         self.encoder: Optional[Sequential] = None
+        #: Sharding the *embedding* reference set: the index is rebuilt
+        #: from the embedded offline fingerprints at every (re)fit.
+        self.index_config = index
         self.knn = KNNHead(
             k=self.config.knn_k,
             mode=self.config.knn_mode,
             chunk_size=self.chunk_size,
+            index=index,
         )
         self.history: Optional[SiameseHistory] = None
 
@@ -101,12 +108,15 @@ class StoneLocalizer(BatchedLocalizer):
             rng=rng,
         )
         reference = embed(self.encoder, images)
-        self.knn.fit(reference, train.rp_indices, train.locations)
+        self.knn.fit(
+            reference, train.rp_indices, train.locations, floorplan=floorplan
+        )
         # Cached so a swapped-in (e.g. quantized) encoder can re-embed
         # the reference set without the caller re-supplying the data.
         self._reference_images = images
         self._reference_rp_indices = train.rp_indices.copy()
         self._reference_locations = train.locations.copy()
+        self._floorplan = floorplan
         self._fitted = True
         return self
 
@@ -125,6 +135,7 @@ class StoneLocalizer(BatchedLocalizer):
             embed(encoder, self._reference_images),
             self._reference_rp_indices,
             self._reference_locations,
+            floorplan=self._floorplan,
         )
         return self
 
@@ -157,19 +168,43 @@ class StoneLocalizer(BatchedLocalizer):
         self.encoder.save(path)
 
     def load_encoder(
-        self, path: Union[str, Path], train: FingerprintDataset
+        self,
+        path: Union[str, Path],
+        train: FingerprintDataset,
+        *,
+        floorplan: Optional[Floorplan] = None,
     ) -> "StoneLocalizer":
         """Restore an encoder and rebuild the KNN reference set.
 
         ``train`` must be the same offline dataset used when the encoder
         was saved (it defines the AP columns and the reference set).
+        ``floorplan`` only matters with a ``region`` index config.
         """
         self.preprocessor.fit(train.rssi)
         self.encoder = Sequential.load(path)
         images = self.preprocessor.transform(train.rssi)
-        self.knn.fit(embed(self.encoder, images), train.rp_indices, train.locations)
+        self.knn.fit(
+            embed(self.encoder, images),
+            train.rp_indices,
+            train.locations,
+            floorplan=floorplan,
+        )
         self._reference_images = images
         self._reference_rp_indices = train.rp_indices.copy()
         self._reference_locations = train.locations.copy()
+        self._floorplan = floorplan
         self._fitted = True
         return self
+
+    # -- index introspection ----------------------------------------------
+
+    def index_describe(self) -> Optional[dict]:
+        """Shard statistics of the embedding-space radio-map index.
+
+        STONE intentionally does *not* implement :meth:`shard_routes`:
+        routing a query to its probed shard requires the full encoder
+        forward pass — the dominant inference cost — so dispatcher-level
+        shard grouping would double the encode work for no savings. The
+        KNN head still groups embedded queries by probe set internally.
+        """
+        return self.knn.index_describe()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Union
 
 import numpy as np
 
@@ -95,7 +95,7 @@ class FingerprintDataset:
     def fingerprints_per_rp(self) -> dict[int, int]:
         """Sample count per RP label."""
         labels, counts = np.unique(self.rp_indices, return_counts=True)
-        return {int(l): int(c) for l, c in zip(labels, counts)}
+        return {int(label): int(c) for label, c in zip(labels, counts)}
 
     # -- selection ------------------------------------------------------------
 

@@ -23,7 +23,6 @@ from ..geometry.builders import (
     build_office_path,
     build_uji_library_floor,
 )
-from ..geometry.floorplan import Floorplan
 from ..radio.access_point import place_access_points
 from ..radio.device import DeviceProfile
 from ..radio.ephemerality import (
@@ -104,7 +103,9 @@ def build_environment(
     return RadioEnvironment(
         floorplan=floorplan,
         access_points=aps,
-        propagation=make_propagation(env_name if env_name in ("office", "basement") else "open", floorplan),
+        propagation=make_propagation(
+            env_name if env_name in ("office", "basement") else "open", floorplan
+        ),
         shadowing=ShadowingModel(
             floorplan.width,
             floorplan.height,

@@ -36,13 +36,19 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from ..baselines.registry import canonical_name, make_localizer
+from ..baselines.registry import (
+    canonical_name,
+    make_localizer,
+    supports_candidate_index,
+)
 from ..datasets.fingerprint import LongitudinalSuite
+from ..index import IndexConfig, index_tag
 from .runner import Comparison, FrameworkResult, evaluate_localizer
 
 #: Bumped when the evaluation protocol changes in a way that invalidates
-#: previously cached traces.
-CACHE_SCHEMA_VERSION = 1
+#: previously cached traces. v2: cache keys carry the radio-map index
+#: configuration, so sharded and exhaustive traces can never collide.
+CACHE_SCHEMA_VERSION = 2
 
 
 def available_cpus() -> int:
@@ -125,6 +131,7 @@ def task_fingerprint(
     fast: bool,
     seed_index: int = 0,
     schema_tag: Optional[str] = None,
+    index: Optional[IndexConfig] = None,
 ) -> str:
     """Digest identifying one deterministic (framework, data, config) unit.
 
@@ -136,6 +143,11 @@ def task_fingerprint(
     the positional component of the engine's per-task seeding
     (``rng([seed, seed_index])``); single-model consumers leave it 0.
 
+    ``index`` is the radio-map index configuration the model was (or
+    will be) fitted with — its canonical tag is part of the digest, so
+    a sharded fit and an exhaustive fit of the same suite address
+    different artifacts (``None`` hashes as ``"exhaustive"``).
+
     ``schema_tag`` names the artifact layout the key addresses; the
     default is this module's result-trace schema. Consumers with their
     own payload format (the model store) pass their own tag so bumping
@@ -146,12 +158,19 @@ def task_fingerprint(
     digest.update(data_hash.encode())
     digest.update(canonical_name(framework).encode())
     digest.update(f"{seed}:{seed_index}:{fast}".encode())
+    digest.update(index_tag(index).encode())
     return digest.hexdigest()
 
 
 @dataclass(frozen=True)
 class EvalTask:
-    """One (framework, suite) evaluation unit of the fan-out."""
+    """One (framework, suite) evaluation unit of the fan-out.
+
+    ``index`` is normalized at task-creation time: frameworks whose
+    ``supports_index`` capability is False always carry ``None`` here,
+    so their cache keys stay index-independent (a GIFT trace computed
+    during a sharded sweep is reusable in an exhaustive one).
+    """
 
     framework: str
     suite_name: str
@@ -159,16 +178,19 @@ class EvalTask:
     seed_index: int
     fast: bool
     chunk_size: Optional[int] = None
+    index: Optional[IndexConfig] = None
 
     def cache_key(self, suite_hash: str) -> str:
         """Digest identifying this task's *result* (chunking excluded:
-        it bounds memory, not values)."""
+        it bounds memory, not values; the index config is included —
+        probing changes values)."""
         return task_fingerprint(
             self.framework,
             suite_hash,
             seed=self.seed,
             fast=self.fast,
             seed_index=self.seed_index,
+            index=self.index,
         )
 
 
@@ -241,7 +263,7 @@ def run_task(task: EvalTask, suite: LongitudinalSuite) -> FrameworkResult:
     *when* the task runs.
     """
     localizer = make_localizer(
-        task.framework, suite_name=suite.name, fast=task.fast
+        task.framework, suite_name=suite.name, fast=task.fast, index=task.index
     )
     rng = np.random.default_rng([task.seed, task.seed_index])
     return evaluate_localizer(
@@ -285,6 +307,11 @@ class ParallelRunner:
     cache_dir:
         When set, finished traces are memoized here and repeated runs
         with identical inputs skip the fit entirely.
+    index:
+        Radio-map index configuration applied to every framework that
+        supports sharding (``supports_index`` capability flag);
+        frameworks without a reference radio map run unchanged. Cache
+        keys include the per-task (normalized) config.
     """
 
     def __init__(
@@ -293,6 +320,7 @@ class ParallelRunner:
         jobs: int = 1,
         chunk_size: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        index: Optional[IndexConfig] = None,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be positive, or 0 for auto")
@@ -300,6 +328,7 @@ class ParallelRunner:
             raise ValueError("chunk_size must be positive")
         self.jobs = int(jobs) if jobs else available_cpus()
         self.chunk_size = chunk_size
+        self.index = index
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if cache_dir else None
         )
@@ -344,6 +373,13 @@ class ParallelRunner:
         tasks: list[tuple[EvalTask, LongitudinalSuite]] = []
         for suite in suites:
             for i, name in enumerate(framework_names):
+                # Normalize per framework: index-less frameworks carry
+                # None so their cache keys stay index-independent.
+                task_index = (
+                    self.index
+                    if self.index is not None and supports_candidate_index(name)
+                    else None
+                )
                 tasks.append(
                     (
                         EvalTask(
@@ -353,6 +389,7 @@ class ParallelRunner:
                             seed_index=i,
                             fast=fast,
                             chunk_size=self.chunk_size,
+                            index=task_index,
                         ),
                         suite,
                     )

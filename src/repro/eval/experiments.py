@@ -130,6 +130,7 @@ def _comparison_figure(
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    index=None,
 ) -> tuple[FigureResult, Comparison]:
     comparison = compare_frameworks(
         suite,
@@ -139,6 +140,7 @@ def _comparison_figure(
         jobs=jobs,
         chunk_size=chunk_size,
         cache_dir=cache_dir,
+        index=index,
     )
     series = comparison.series()
     rendered = (
@@ -152,9 +154,9 @@ def _comparison_figure(
         lt = series["LT-KNN"]
         gain = improvement_percent(float(lt.mean()), float(stone.mean()))
         peak = max(
-            improvement_percent(float(l), float(s))
-            for l, s in zip(lt, stone)
-            if l > 0
+            improvement_percent(float(lt_m), float(s))
+            for lt_m, s in zip(lt, stone)
+            if lt_m > 0
         )
         notes.append(
             f"STONE vs LT-KNN: mean advantage {float(lt.mean() - stone.mean()):+.2f} m "
@@ -178,6 +180,7 @@ def run_fig5(
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    index=None,
 ) -> FigureResult:
     """Fig. 5 — UJI: mean error over 15 months for all five frameworks."""
     fast = is_fast_mode() if fast is None else fast
@@ -192,6 +195,7 @@ def run_fig5(
         jobs=jobs,
         chunk_size=chunk_size,
         cache_dir=cache_dir,
+        index=index,
     )
     return result
 
@@ -204,6 +208,7 @@ def run_fig6(
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    index=None,
 ) -> FigureResult:
     """Fig. 6(a/b) — Basement/Office: mean error over 16 CIs."""
     if kind not in ("basement", "office"):
@@ -221,6 +226,7 @@ def run_fig6(
         jobs=jobs,
         chunk_size=chunk_size,
         cache_dir=cache_dir,
+        index=index,
     )
     return result
 
@@ -375,6 +381,7 @@ def run_headline_claims(
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    index=None,
 ) -> FigureResult:
     """Sec. I / V.B / V.C numeric claims, recomputed on our substrate.
 
@@ -399,6 +406,7 @@ def run_headline_claims(
             jobs=jobs,
             chunk_size=chunk_size,
             cache_dir=cache_dir,
+            index=index,
         )
         stone = comparison.results["STONE"].mean_errors()
         lt = comparison.results["LT-KNN"].mean_errors()
@@ -408,7 +416,8 @@ def run_headline_claims(
             f"{kind}: SCNN degrades {scnn[0]:.2f} m (CI:0) -> "
             f"{scnn.max():.2f} m (worst CI); "
             f"STONE mean advantage over LT-KNN: {float(lt.mean() - stone.mean()):+.2f} m; "
-            f"peak improvement {max(improvement_percent(float(l), float(s)) for l, s in zip(lt, stone)):+.0f}%"
+            f"peak improvement "
+            f"{max(improvement_percent(float(lt_m), float(s)) for lt_m, s in zip(lt, stone)):+.0f}%"
         )
     return FigureResult(
         figure_id="SEC5C-CLAIM",

@@ -141,15 +141,20 @@ def compare_frameworks(
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    index=None,
 ) -> Comparison:
     """Evaluate several frameworks (by registry name) on one suite.
 
     A thin wrapper over :class:`repro.eval.engine.ParallelRunner`:
     ``jobs`` fans frameworks out over a process pool, ``chunk_size``
-    bounds per-predict memory and ``cache_dir`` memoizes finished
-    traces. The defaults reproduce the serial protocol exactly.
+    bounds per-predict memory, ``cache_dir`` memoizes finished traces
+    and ``index`` (an :class:`repro.index.IndexConfig`) shards the
+    radio map of every framework that supports it. The defaults
+    reproduce the serial protocol exactly.
     """
     from .engine import ParallelRunner  # local: engine imports this module
 
-    runner = ParallelRunner(jobs=jobs, chunk_size=chunk_size, cache_dir=cache_dir)
+    runner = ParallelRunner(
+        jobs=jobs, chunk_size=chunk_size, cache_dir=cache_dir, index=index
+    )
     return runner.run(suite, framework_names, seed=seed, fast=fast)

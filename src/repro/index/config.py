@@ -1,0 +1,91 @@
+"""Index configuration shared by every layer that names an index.
+
+One small frozen dataclass travels from the CLI down to the fitted
+:class:`~repro.core.knn_head.KNNHead`: it says *how* the reference
+radio map should be partitioned (``kind``), into how many shards
+(``n_shards``), how many shards a query probes (``n_probe``) and which
+seed drives the coarse quantizer's k-means. Its :meth:`tag` string is
+the canonical cache-key component — the evaluation engine's
+``ResultCache`` and the serving layer's ``ModelStore`` both hash it, so
+a sharded and an exhaustive fit of the same suite can never collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Index kinds the partitioner layer implements.
+INDEX_KINDS = ("exhaustive", "region", "kmeans")
+
+
+@dataclass(frozen=True)
+class IndexConfig:
+    """How the reference fingerprint set is partitioned and probed.
+
+    Attributes
+    ----------
+    kind:
+        ``"exhaustive"`` (score every reference row — today's behaviour,
+        bit-identical), ``"region"`` (floorplan grid-cell shards) or
+        ``"kmeans"`` (coarse quantizer over RSSI/embedding vectors).
+    n_shards:
+        Target shard count. Region partitioning may produce fewer
+        (empty grid cells are dropped); k-means may produce fewer when
+        clusters collapse.
+    n_probe:
+        Shards scored per query. ``n_probe >= n_shards`` degenerates to
+        exhaustive search (and is bit-identical to it); smaller values
+        trade a little recall for sub-linear distance work.
+    seed:
+        Seed for the coarse quantizer's k-means iterations (ignored by
+        the region partitioner).
+    """
+
+    kind: str = "exhaustive"
+    n_shards: int = 16
+    n_probe: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in INDEX_KINDS:
+            raise ValueError(
+                f"index kind must be one of {INDEX_KINDS}, got {self.kind!r}"
+            )
+        if self.n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if self.n_probe <= 0:
+            raise ValueError("n_probe must be positive")
+
+    @property
+    def is_exhaustive(self) -> bool:
+        """True when this configuration performs no sharding at all."""
+        return self.kind == "exhaustive"
+
+    def tag(self) -> str:
+        """Canonical string naming this configuration in cache keys.
+
+        Canonical means *behaviorally* normalized, so configs that
+        cannot differ in results share one tag (one refit, one cached
+        artifact): exhaustive configs all tag ``"exhaustive"``
+        regardless of the unused shard parameters, ``n_probe`` is
+        clamped to ``n_shards`` (the index clamps it the same way), and
+        the seed appears only for ``kmeans`` (the region partitioner
+        never reads it).
+        """
+        if self.is_exhaustive:
+            return "exhaustive"
+        probe = min(self.n_probe, self.n_shards)
+        tag = f"{self.kind}:s{self.n_shards}:p{probe}"
+        if self.kind == "kmeans":
+            tag += f":r{self.seed}"
+        return tag
+
+
+#: The do-nothing default: score the full reference matrix.
+EXHAUSTIVE = IndexConfig()
+
+
+def index_tag(config: Optional[IndexConfig]) -> str:
+    """Cache-key tag for an optional config (``None`` = exhaustive)."""
+    return (config or EXHAUSTIVE).tag()

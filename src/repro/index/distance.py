@@ -1,0 +1,37 @@
+"""The one squared-Euclidean-distance kernel every search path shares.
+
+The index layer's bit-identity guarantee (full-probe sharded search ==
+exhaustive search) holds because both paths run *the same float ops in
+the same order*. Keeping the kernel in exactly one place makes that
+provable: ``KNNHead``'s exhaustive and sharded paths, the shard
+centroid probing and the k-means partitioner all call this function,
+so a numeric tweak (dtype, clamp, BLAS ordering) can never drift one
+copy away from the others.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def squared_distances(
+    queries: np.ndarray,
+    refs: np.ndarray,
+    refs_sq: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``(n, m)`` squared Euclidean distances, clamped at zero.
+
+    ``refs_sq`` is the precomputed ``(refs * refs).sum(axis=1)`` —
+    pass it on hot paths to skip recomputing the reference norms.
+    """
+    if refs_sq is None:
+        refs_sq = (refs * refs).sum(axis=1)
+    d2 = (
+        (queries * queries).sum(axis=1)[:, None]
+        + refs_sq[None, :]
+        - 2.0 * (queries @ refs.T)
+    )
+    np.maximum(d2, 0.0, out=d2)
+    return d2

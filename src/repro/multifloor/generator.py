@@ -99,7 +99,6 @@ def _capture_epoch(
     rng: np.random.Generator,
 ) -> MultiFloorDataset:
     """``fpr`` fingerprints at every RP of every floor at one epoch."""
-    aps_per_floor = envs[0].n_aps
     rows: list[np.ndarray] = []
     rp_idx: list[int] = []
     locs: list[np.ndarray] = []

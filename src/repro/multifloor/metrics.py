@@ -7,7 +7,6 @@ from typing import Optional
 
 import numpy as np
 
-from .building import Building
 from .dataset import MultiFloorSuite
 from .hierarchical import HierarchicalLocalizer
 

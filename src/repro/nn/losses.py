@@ -7,7 +7,6 @@ are already averaged over the batch.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -52,6 +52,11 @@ class DispatchStats:
     max_batch_rows: int = 0
     sequential_requests: int = 0
     errors: int = 0
+    #: Flushes whose rows were regrouped by probed shard before
+    #: inference (only happens for models with a sharded index).
+    shard_grouped_batches: int = 0
+    #: Total distinct probed shards across those regrouped flushes.
+    shard_groups: int = 0
 
     def record_batch(self, n_requests: int, n_rows: int) -> None:
         """Account one coalesced flush of ``n_requests`` requests."""
@@ -73,6 +78,8 @@ class DispatchStats:
             "max_batch_rows": self.max_batch_rows,
             "sequential_requests": self.sequential_requests,
             "errors": self.errors,
+            "shard_grouped_batches": self.shard_grouped_batches,
+            "shard_groups": self.shard_groups,
         }
 
 
@@ -227,7 +234,39 @@ class BatchingDispatcher:
         job.add_done_callback(lambda done: self._deliver(batch, done))
 
     def _predict(self, matrix: np.ndarray) -> np.ndarray:
+        """Run one coalesced batch, regrouped by probed shard when possible.
+
+        Models serving a sharded radio map expose ``shard_routes``; the
+        coalesced rows are then sorted by their primary probed shard and
+        the predictions scattered back to arrival order. The KNN head
+        already groups queries by probe set order-independently, so this
+        is an *observability* move, not a throughput one: it feeds the
+        ``shard_grouped_batches``/``shard_groups`` counters (how shard-
+        concentrated live traffic is — the signal for sizing ``n_probe``
+        and future shard-local model placement) and hands the model a
+        deterministic shard-major row order. Routing costs one extra
+        pass per flush: a ``(rows, n_shards)`` centroid block for KNN,
+        plus a repeated imputation for LT-KNN (its routes are defined
+        over imputed scans) — acceptable at flush granularity, but the
+        reason routing is a per-model opt-in (``shard_routes`` returning
+        ``None`` skips all of it). Because ``predict`` is
+        row-independent (the ``BatchedLocalizer`` contract), answers are
+        bit-identical to the unsorted dispatch.
+        """
         assert isinstance(self.localizer, BatchedLocalizer)
+        if matrix.shape[0] > 1:
+            routes = self.localizer.shard_routes(matrix)
+            if routes is not None:
+                n_groups = int(np.unique(routes).size)
+                if n_groups > 1:
+                    order = np.argsort(routes, kind="stable")
+                    out = np.empty((matrix.shape[0], 2), dtype=np.float64)
+                    out[order] = self.localizer.predict_batched(
+                        matrix[order], chunk_size=self.chunk_size
+                    )
+                    self.stats.shard_grouped_batches += 1
+                    self.stats.shard_groups += n_groups
+                    return out
         return self.localizer.predict_batched(
             matrix, chunk_size=self.chunk_size
         )

@@ -42,19 +42,32 @@ from ..baselines.base import Localizer
 from ..baselines.registry import canonical_name, framework_class, make_localizer
 from ..datasets.fingerprint import LongitudinalSuite
 from ..eval.engine import task_fingerprint, train_fingerprint
+from ..index import IndexConfig, index_tag
 
 #: Bumped when the on-disk fitted-model payload layout changes.
-STORE_SCHEMA_VERSION = 1
+#: v2: keys and payloads carry the radio-map index configuration, so a
+#: sharded and an exhaustive fit of the same suite never collide.
+STORE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
 class ModelKey:
-    """Content-addressed identity of one fitted localizer."""
+    """Content-addressed identity of one fitted localizer.
+
+    ``index`` is the radio-map index configuration the model was fitted
+    with (``None`` = exhaustive); its canonical tag feeds the digest.
+    """
 
     framework: str
     train_hash: str
     seed: int
     fast: bool
+    index: Optional[IndexConfig] = None
+
+    @property
+    def index_tag(self) -> str:
+        """Canonical index tag (``"exhaustive"`` when unsharded)."""
+        return index_tag(self.index)
 
     @property
     def digest(self) -> str:
@@ -70,6 +83,7 @@ class ModelKey:
             seed=self.seed,
             fast=self.fast,
             schema_tag=f"store-v{STORE_SCHEMA_VERSION}",
+            index=self.index,
         )
 
 
@@ -101,6 +115,9 @@ class StoreEntry:
             "source": self.source,
             "fit_seconds": round(self.fit_seconds, 3),
             "hits": self.hits,
+            # Shard statistics of the warm model's radio-map index
+            # (None for frameworks without one).
+            "index": self.localizer.index_describe(),
         }
 
 
@@ -132,6 +149,7 @@ class ModelStore:
         *,
         seed: int = 0,
         fast: bool = False,
+        index: Optional[IndexConfig] = None,
     ) -> ModelKey:
         """The content-addressed key this store would use for a fit."""
         return ModelKey(
@@ -139,6 +157,7 @@ class ModelStore:
             train_hash=train_fingerprint(suite),
             seed=seed,
             fast=fast,
+            index=index if index is not None and not index.is_exhaustive else None,
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -150,6 +169,7 @@ class ModelStore:
         *,
         seed: int = 0,
         fast: bool = False,
+        index: Optional[IndexConfig] = None,
     ) -> StoreEntry:
         """Return a warm fitted model, loading or fitting only on miss.
 
@@ -159,8 +179,13 @@ class ModelStore:
         per-task seeding at framework index 0, so a served model is
         bit-identical to the model the engine fits for the first
         framework of a comparison with the same seed.
+
+        ``index`` shards the model's radio map; it is part of the key,
+        so sharded and exhaustive fits of the same suite live (and
+        persist) side by side. The fitted shard structures ride inside
+        the localizer, so a warm entry answers without rebuilding them.
         """
-        key = self.key_for(framework, suite, seed=seed, fast=fast)
+        key = self.key_for(framework, suite, seed=seed, fast=fast, index=index)
         entry = self._entries.get(key.digest)
         if entry is not None:
             entry.hits += 1
@@ -173,7 +198,7 @@ class ModelStore:
 
     def _fit(self, key: ModelKey, suite: LongitudinalSuite) -> StoreEntry:
         localizer = make_localizer(
-            key.framework, suite_name=suite.name, fast=key.fast
+            key.framework, suite_name=suite.name, fast=key.fast, index=key.index
         )
         rng = np.random.default_rng([key.seed, 0])
         t0 = time.perf_counter()
@@ -205,6 +230,7 @@ class ModelStore:
             "train_hash": entry.key.train_hash,
             "seed": entry.key.seed,
             "fast": entry.key.fast,
+            "index_tag": entry.key.index_tag,
             "suite_name": entry.suite_name,
             "n_aps": entry.n_aps,
             "localizer": entry.localizer,
@@ -240,6 +266,7 @@ class ModelStore:
             or payload.get("train_hash") != key.train_hash
             or payload.get("seed") != key.seed
             or payload.get("fast") != key.fast
+            or payload.get("index_tag") != key.index_tag
         ):
             return None
         localizer = payload.get("localizer")

@@ -36,7 +36,7 @@ def tiny_cnn(seed: int = 0) -> Sequential:
 class TestModelCost:
     def test_analytic_mac_counts(self):
         cost = model_cost(tiny_cnn(), (1, 4, 4))
-        by_name = {l.name: l for l in cost.layers}
+        by_name = {layer.name: layer for layer in cost.layers}
         # Conv: 3x3 output, 4 out channels, 1 in channel, 2x2 kernel.
         assert by_name["conv"].macs == 3 * 3 * 4 * 1 * 2 * 2
         assert by_name["fc"].macs == 36 * 10
@@ -50,7 +50,7 @@ class TestModelCost:
 
     def test_activation_accounting(self):
         cost = model_cost(tiny_cnn(), (1, 4, 4))
-        by_name = {l.name: l for l in cost.layers}
+        by_name = {layer.name: layer for layer in cost.layers}
         assert by_name["conv"].activation_elems == 4 * 3 * 3
         assert by_name["fc"].activation_elems == 10
         assert cost.weight_bytes() == cost.total_params * 4

@@ -159,7 +159,7 @@ class TestSuiteFingerprint:
         import dataclasses
 
         renamed = dataclasses.replace(
-            tiny_suite, epoch_labels=[l + "x" for l in tiny_suite.epoch_labels]
+            tiny_suite, epoch_labels=[label + "x" for label in tiny_suite.epoch_labels]
         )
         assert suite_fingerprint(renamed) != suite_fingerprint(tiny_suite)
 

@@ -27,7 +27,7 @@ class TestCdfChart:
         # Extract, per column, the row index of the mark; the CDF must be
         # non-decreasing left to right.
         grid_lines = [
-            l.split("|")[1] for l in chart.splitlines() if "|" in l
+            line.split("|")[1] for line in chart.splitlines() if "|" in line
         ]
         rows_per_col = []
         for col in range(20):

@@ -14,7 +14,6 @@ from repro.geometry import (
     build_office_path,
     build_uji_library_floor,
     count_wall_crossings,
-    path_length,
     segments_intersect,
     wall_attenuation_db,
 )

@@ -1,0 +1,130 @@
+"""Artifact identity must include the index configuration (schema v2).
+
+The regression these tests pin: before the v2 schema bump, a sharded
+fit and an exhaustive fit of the same suite would have hashed to the
+same ResultCache/ModelStore key — a warm cache could then silently
+serve approximate (probed) results to an exhaustive request, or vice
+versa.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import compare_frameworks
+from repro.eval.engine import (
+    CACHE_SCHEMA_VERSION,
+    EvalTask,
+    suite_fingerprint,
+    task_fingerprint,
+)
+from repro.index import IndexConfig
+from repro.serve import ModelStore
+from repro.serve.store import STORE_SCHEMA_VERSION
+
+
+@pytest.fixture(scope="module")
+def sharded_config():
+    return IndexConfig(kind="kmeans", n_shards=8, n_probe=2)
+
+
+class TestSchemaTags:
+    def test_schema_versions_bumped_for_index_keys(self):
+        assert CACHE_SCHEMA_VERSION >= 2
+        assert STORE_SCHEMA_VERSION >= 2
+
+    def test_task_fingerprint_separates_index_configs(self, sharded_config):
+        base = task_fingerprint("KNN", "datahash", seed=0, fast=True)
+        sharded = task_fingerprint(
+            "KNN", "datahash", seed=0, fast=True, index=sharded_config
+        )
+        assert base != sharded
+        # None and the explicit exhaustive config address the same artifact.
+        assert base == task_fingerprint(
+            "KNN", "datahash", seed=0, fast=True, index=IndexConfig()
+        )
+        # Probe count changes values, so it changes the key.
+        assert sharded != task_fingerprint(
+            "KNN", "datahash", seed=0, fast=True,
+            index=IndexConfig(kind="kmeans", n_shards=8, n_probe=4),
+        )
+
+
+class TestResultCacheKeys:
+    def test_eval_task_keys_never_collide(self, tiny_suite, sharded_config):
+        suite_hash = suite_fingerprint(tiny_suite)
+        kwargs = dict(
+            framework="KNN", suite_name=tiny_suite.name,
+            seed=0, seed_index=0, fast=True,
+        )
+        exhaustive = EvalTask(**kwargs)
+        sharded = EvalTask(**kwargs, index=sharded_config)
+        assert exhaustive.cache_key(suite_hash) != sharded.cache_key(suite_hash)
+
+    def test_sharded_run_does_not_poison_exhaustive_cache(
+        self, tiny_suite, sharded_config, tmp_path
+    ):
+        # Warm the cache with a sharded (approximate) trace, then ask
+        # for the exhaustive one: it must be recomputed, not served
+        # from the sharded entry.
+        sharded = compare_frameworks(
+            tiny_suite, ["KNN"], fast=True,
+            cache_dir=tmp_path, index=sharded_config,
+        ).results["KNN"]
+        exhaustive = compare_frameworks(
+            tiny_suite, ["KNN"], fast=True, cache_dir=tmp_path
+        ).results["KNN"]
+        uncached = compare_frameworks(
+            tiny_suite, ["KNN"], fast=True
+        ).results["KNN"]
+        assert np.array_equal(exhaustive.mean_errors(), uncached.mean_errors())
+        # ...and the sharded trace itself differs somewhere (probing is
+        # approximate on this suite) or at minimum was cached separately.
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
+        del sharded
+
+
+class TestModelStoreKeys:
+    def test_sharded_and_exhaustive_fits_never_collide(
+        self, tiny_suite, sharded_config, tmp_path
+    ):
+        store = ModelStore(tmp_path)
+        plain = store.get_or_fit("KNN", tiny_suite, fast=True)
+        sharded = store.get_or_fit(
+            "KNN", tiny_suite, fast=True, index=sharded_config
+        )
+        assert plain.key.digest != sharded.key.digest
+        assert store.fits == 2
+        assert plain.localizer is not sharded.localizer
+        # Both persisted side by side...
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
+        # ...and each warm-loads back under its own key only.
+        fresh = ModelStore(tmp_path)
+        again = fresh.get_or_fit(
+            "KNN", tiny_suite, fast=True, index=sharded_config
+        )
+        assert again.source == "disk"
+        assert again.localizer.index_describe()["kind"] == "kmeans"
+        plain_again = fresh.get_or_fit("KNN", tiny_suite, fast=True)
+        assert plain_again.source == "disk"
+        assert plain_again.localizer.index_describe()["kind"] == "exhaustive"
+
+    def test_explicit_exhaustive_config_shares_the_unsharded_key(
+        self, tiny_suite
+    ):
+        store = ModelStore()
+        a = store.get_or_fit("KNN", tiny_suite, fast=True)
+        b = store.get_or_fit("KNN", tiny_suite, fast=True, index=IndexConfig())
+        assert a.key.digest == b.key.digest
+        assert store.fits == 1
+
+    def test_describe_surfaces_shard_stats(self, tiny_suite, sharded_config):
+        store = ModelStore()
+        entry = store.get_or_fit(
+            "KNN", tiny_suite, fast=True, index=sharded_config
+        )
+        info = entry.describe()["index"]
+        assert info["kind"] == "kmeans"
+        assert info["n_probe"] == 2
+        assert info["rows_per_shard"]["min"] >= 1

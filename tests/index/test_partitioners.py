@@ -1,0 +1,196 @@
+"""Partitioner unit tests: shard structure, boundaries, degeneracies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import build_grid_floorplan
+from repro.index import (
+    IndexConfig,
+    build_index,
+    kmeans_partition,
+    region_partition,
+)
+from repro.index.sharded import ExhaustiveIndex, ShardedRadioMap
+
+
+def _assert_partition(shards, n_rows):
+    """Every row in exactly one shard; each shard sorted and non-empty."""
+    all_rows = np.concatenate(shards) if shards else np.array([], dtype=np.int64)
+    assert np.array_equal(np.sort(all_rows), np.arange(n_rows))
+    for rows in shards:
+        assert rows.size > 0
+        assert np.array_equal(rows, np.sort(rows))
+
+
+class TestRegionPartition:
+    def test_partitions_every_row_exactly_once(self):
+        rng = np.random.default_rng(0)
+        locations = rng.uniform((0, 0), (40, 30), size=(200, 2))
+        shards = region_partition(locations, 12)
+        _assert_partition(shards, 200)
+        assert 1 < len(shards) <= 12
+
+    def test_uses_floorplan_bounds(self):
+        fp = build_grid_floorplan("t", width=20.0, height=10.0, rp_spacing=2.0)
+        # All points huddle in one corner of the floorplan: with
+        # floorplan bounds they land in few cells; with bbox bounds the
+        # same points spread over the whole grid.
+        rng = np.random.default_rng(1)
+        locations = rng.uniform((0, 0), (2.0, 1.0), size=(120, 2))
+        with_fp = region_partition(locations, 16, floorplan=fp)
+        without_fp = region_partition(locations, 16)
+        assert len(with_fp) < len(without_fp)
+        _assert_partition(with_fp, 120)
+        _assert_partition(without_fp, 120)
+
+    def test_boundary_points_assigned_exactly_once(self):
+        # Points exactly on interior cell edges and on the outer
+        # boundary of the space (the clamp path).
+        locations = np.array(
+            [[0.0, 0.0], [5.0, 5.0], [10.0, 10.0], [5.0, 0.0], [0.0, 5.0],
+             [10.0, 0.0], [0.0, 10.0], [2.5, 2.5], [7.5, 7.5]]
+        )
+        shards = region_partition(locations, 4)
+        _assert_partition(shards, locations.shape[0])
+
+    def test_empty_input(self):
+        assert region_partition(np.empty((0, 2)), 4) == []
+
+    def test_singleton_shards_are_legal(self):
+        # Fewer points than requested shards: every non-empty cell is a
+        # singleton, empty cells are dropped.
+        locations = np.array([[0.5, 0.5], [9.5, 9.5]])
+        shards = region_partition(locations, 16)
+        _assert_partition(shards, 2)
+        assert all(rows.size == 1 for rows in shards)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            region_partition(np.zeros((3, 3)), 4)
+        with pytest.raises(ValueError):
+            region_partition(np.zeros((3, 2)), 0)
+
+
+class TestKMeansPartition:
+    def test_partitions_every_row_exactly_once(self):
+        rng = np.random.default_rng(2)
+        vectors = rng.normal(size=(150, 16))
+        shards = kmeans_partition(vectors, 8, seed=0)
+        _assert_partition(shards, 150)
+        assert 1 < len(shards) <= 8
+
+    def test_deterministic_for_fixed_seed(self):
+        rng = np.random.default_rng(3)
+        vectors = rng.normal(size=(80, 8))
+        a = kmeans_partition(vectors, 6, seed=5)
+        b = kmeans_partition(vectors, 6, seed=5)
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra, rb)
+
+    def test_separated_clusters_recovered(self):
+        # Two far-apart blobs must not share a shard.
+        rng = np.random.default_rng(4)
+        blob_a = rng.normal(0.0, 0.1, size=(30, 4))
+        blob_b = rng.normal(50.0, 0.1, size=(30, 4))
+        vectors = np.vstack([blob_a, blob_b])
+        shards = kmeans_partition(vectors, 2, seed=0)
+        assert len(shards) == 2
+        for rows in shards:
+            assert set(rows) <= set(range(30)) or set(rows) <= set(range(30, 60))
+
+    def test_identical_points_collapse_without_error(self):
+        vectors = np.ones((20, 5))
+        shards = kmeans_partition(vectors, 4, seed=0)
+        _assert_partition(shards, 20)
+
+    def test_empty_input(self):
+        assert kmeans_partition(np.empty((0, 8)), 4) == []
+
+
+class TestBuildIndex:
+    def test_exhaustive_config_builds_exhaustive_index(self):
+        vectors = np.random.default_rng(0).normal(size=(30, 4))
+        locations = np.zeros((30, 2))
+        idx = build_index(None, vectors, locations)
+        assert isinstance(idx, ExhaustiveIndex)
+        idx = build_index(IndexConfig(), vectors, locations)
+        assert isinstance(idx, ExhaustiveIndex)
+        assert np.array_equal(idx.rows_for([0]), np.arange(30))
+
+    def test_degenerate_partition_falls_back_to_exhaustive(self):
+        # All reference points identical: one cluster -> exhaustive.
+        vectors = np.ones((10, 4))
+        locations = np.ones((10, 2))
+        cfg = IndexConfig(kind="kmeans", n_shards=4, n_probe=1)
+        assert isinstance(build_index(cfg, vectors, locations), ExhaustiveIndex)
+
+    def test_sharded_index_probe_shapes_and_bounds(self):
+        rng = np.random.default_rng(5)
+        vectors = rng.normal(size=(100, 8))
+        locations = rng.uniform(size=(100, 2)) * 20
+        cfg = IndexConfig(kind="kmeans", n_shards=8, n_probe=3)
+        idx = build_index(cfg, vectors, locations)
+        assert isinstance(idx, ShardedRadioMap)
+        probed = idx.probe(vectors[:7])
+        assert probed.shape == (7, 3)
+        assert (probed >= 0).all() and (probed < idx.n_shards).all()
+        # rows ascend within each probe row (canonical grouping key)
+        assert (np.diff(probed, axis=1) > 0).all()
+        primary = idx.primary_shard(vectors[:7])
+        # the nearest shard is always among the probed ones
+        assert all(primary[i] in probed[i] for i in range(7))
+
+    def test_rows_for_full_coverage_is_identity_order(self):
+        rng = np.random.default_rng(6)
+        vectors = rng.normal(size=(50, 4))
+        cfg = IndexConfig(kind="kmeans", n_shards=5, n_probe=5)
+        idx = build_index(cfg, vectors, rng.uniform(size=(50, 2)))
+        assert np.array_equal(
+            idx.rows_for(range(idx.n_shards)), np.arange(50)
+        )
+
+    def test_describe_reports_shard_stats(self):
+        rng = np.random.default_rng(7)
+        vectors = rng.normal(size=(60, 8))
+        cfg = IndexConfig(kind="kmeans", n_shards=6, n_probe=2)
+        idx = build_index(cfg, vectors, rng.uniform(size=(60, 2)))
+        desc = idx.describe()
+        assert desc["kind"] == "kmeans"
+        assert desc["n_rows"] == 60
+        assert desc["rows_per_shard"]["min"] >= 1
+
+
+class TestIndexConfig:
+    def test_tags_are_canonical(self):
+        assert IndexConfig().tag() == "exhaustive"
+        assert (
+            IndexConfig(kind="kmeans", n_shards=8, n_probe=2, seed=3).tag()
+            == "kmeans:s8:p2:r3"
+        )
+
+    def test_tags_normalize_behavioral_equivalence(self):
+        # The region partitioner never reads the seed, so region tags
+        # omit it: different seeds address the same artifact.
+        assert (
+            IndexConfig(kind="region", n_shards=8, n_probe=2, seed=0).tag()
+            == IndexConfig(kind="region", n_shards=8, n_probe=2, seed=9).tag()
+            == "region:s8:p2"
+        )
+        # n_probe is clamped to n_shards by the index, so over-probing
+        # configs share the full-probe tag.
+        assert (
+            IndexConfig(kind="kmeans", n_shards=8, n_probe=8).tag()
+            == IndexConfig(kind="kmeans", n_shards=8, n_probe=32).tag()
+            == "kmeans:s8:p8:r0"
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IndexConfig(kind="nope")
+        with pytest.raises(ValueError):
+            IndexConfig(kind="kmeans", n_shards=0)
+        with pytest.raises(ValueError):
+            IndexConfig(kind="kmeans", n_probe=0)

@@ -47,7 +47,7 @@ class TestActivationGradients:
     @pytest.mark.parametrize(
         "layer",
         [LeakyReLU(0.1), Sigmoid(), Tanh(), ELU(0.7)],
-        ids=lambda l: l.__class__.__name__,
+        ids=lambda layer: layer.__class__.__name__,
     )
     def test_input_gradients(self, layer):
         assert check_layer_input_grad(layer, _x2d()) < TOL

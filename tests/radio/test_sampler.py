@@ -70,7 +70,9 @@ class TestScanBasics:
         t = SimTime(0.0)
         base = env.scan_at_rp(0, t, rng, epoch=0, position_jitter_m=0.0)
         near = env.scan_at_rp(1, t, rng, epoch=0, position_jitter_m=0.0)
-        far = env.scan_at_rp(env.floorplan.n_reference_points - 1, t, rng, epoch=0, position_jitter_m=0.0)
+        far = env.scan_at_rp(
+            env.floorplan.n_reference_points - 1, t, rng, epoch=0, position_jitter_m=0.0
+        )
         d_near = np.linalg.norm(base - near)
         d_far = np.linalg.norm(base - far)
         assert d_near < d_far

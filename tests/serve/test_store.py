@@ -63,7 +63,7 @@ class TestContentAddressing:
         key = store.key_for("KNN", tiny_suite, seed=0, fast=True)
         assert key.train_hash == train_fingerprint(tiny_suite)
         assert key.digest == task_fingerprint(
-            "KNN", key.train_hash, seed=0, fast=True, schema_tag="store-v1"
+            "KNN", key.train_hash, seed=0, fast=True, schema_tag="store-v2"
         )
         # ...but under the store's own schema tag, so engine cache-schema
         # bumps never orphan persisted models.

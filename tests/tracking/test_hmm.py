@@ -151,7 +151,6 @@ class TestFilterAndSmooth:
     def test_noisy_emissions_are_cleaned_up(self, grid):
         # A walker moves along RP 0 -> 1 -> 2 ... but 30% of scans point
         # at a random far state; the HMM should beat argmax-per-scan.
-        rng = np.random.default_rng(9)
         n = grid.n_reference_points
         truth = np.arange(8) % n
         log_e = np.full((8, n), -6.0)

@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over the benchmarks' ``--json`` output.
+
+Every perf bench (``benchmarks/bench_index.py``,
+``bench_eval_engine.py``, ``bench_serve.py``) can emit its gate metrics
+as JSON via ``--json PATH``. This tool compares a directory of such
+results against the committed baselines in ``benchmarks/baselines/``
+(one ``BENCH_<name>.json`` per bench) and fails CI when performance
+regresses:
+
+* **Numeric metrics** are throughput-style, higher-is-better
+  (speedups, recalls — ratios measured inside one process, so they are
+  far less machine-sensitive than absolute rps). A result below
+  ``baseline * (1 - tolerance)`` is a regression; the default
+  tolerance is 30%.
+* **Boolean metrics** are correctness gates (bit-identity between
+  sharded/batched/coalesced and reference execution). A ``true``
+  baseline that comes back ``false`` always fails, whatever the
+  tolerance — identity breaks are never noise.
+* Improvements never fail; re-baseline deliberately with ``--update``.
+
+The committed baselines are *conservative floors*, not records: when a
+bench legitimately gets faster, leave the baseline alone (headroom
+against CI scheduling noise) or bump it consciously in its own commit.
+
+Usage::
+
+    # run the benches first
+    python benchmarks/bench_index.py --quick --json bench-out/index.json
+    python benchmarks/bench_eval_engine.py --quick --json bench-out/eval_engine.json
+    python benchmarks/bench_serve.py --quick --min-speedup 1.5 --json bench-out/serve.json
+    # then gate
+    python tools/check_bench_regression.py bench-out
+    # refresh the committed floors from a trusted run
+    python tools/check_bench_regression.py bench-out --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}") from exc
+
+
+def compare(
+    name: str, baseline: dict, result: dict, tolerance: float
+) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    failures: list[str] = []
+    base_metrics = baseline.get("metrics", {})
+    got_metrics = result.get("metrics", {})
+    for metric, base_value in sorted(base_metrics.items()):
+        got = got_metrics.get(metric)
+        if got is None:
+            failures.append(f"{name}.{metric}: missing from result")
+            continue
+        if isinstance(base_value, bool):
+            if base_value and not got:
+                failures.append(
+                    f"{name}.{metric}: identity gate broke "
+                    f"(baseline true, got {got}) — never tolerated"
+                )
+            continue
+        floor = base_value * (1.0 - tolerance)
+        if float(got) < floor:
+            failures.append(
+                f"{name}.{metric}: {got:.3f} < {floor:.3f} "
+                f"(baseline {base_value:.3f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "results_dir",
+        help="directory of <name>.json files produced by the benches' --json",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(BASELINE_DIR),
+        help="directory of committed BENCH_<name>.json floors",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help=(
+            "allowed fractional drop of numeric (throughput) metrics "
+            "before failing (default: 0.30); identity breaks always fail"
+        ),
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baselines from the given results instead of gating",
+    )
+    parser.add_argument(
+        "--headroom",
+        type=float,
+        default=0.25,
+        help=(
+            "when updating, discount numeric metrics by this fraction so "
+            "the committed baselines stay conservative *floors* rather "
+            "than records of one machine's best run (default: 0.25)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    results_dir = Path(args.results_dir)
+    baseline_dir = Path(args.baseline_dir)
+    if not results_dir.is_dir():
+        raise SystemExit(f"error: results dir {results_dir} does not exist")
+
+    if args.update:
+        if not 0.0 <= args.headroom < 1.0:
+            raise SystemExit("error: --headroom must be in [0, 1)")
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        for path in sorted(results_dir.glob("*.json")):
+            result = load(path)
+            name = result.get("bench", path.stem)
+            out = baseline_dir / f"BENCH_{name}.json"
+            # Floors, not records: numeric metrics are discounted by
+            # the headroom so one fast machine's run doesn't set a bar
+            # slower CI runners then fail; booleans pass through.
+            metrics = {
+                k: (v if isinstance(v, bool) or not isinstance(v, (int, float))
+                    else round(v * (1.0 - args.headroom), 3))
+                for k, v in result.get("metrics", {}).items()
+            }
+            baseline = {"bench": name, "quick": result.get("quick")}
+            if out.exists():
+                old = load(out)
+                if "_comment" in old:  # keep the re-baselining guidance
+                    baseline["_comment"] = old["_comment"]
+            baseline["metrics"] = metrics
+            out.write_text(json.dumps(baseline, indent=2) + "\n")
+            shown = (
+                out.relative_to(REPO_ROOT) if out.is_relative_to(REPO_ROOT)
+                else out
+            )
+            print(
+                f"baselined {shown} "
+                f"(numeric floors = measured x {1.0 - args.headroom:g})"
+            )
+        return 0
+
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        raise SystemExit(f"error: no BENCH_*.json baselines in {baseline_dir}")
+
+    failures: list[str] = []
+    checked = 0
+    for baseline_path in baselines:
+        name = baseline_path.stem[len("BENCH_"):]
+        result_path = results_dir / f"{name}.json"
+        if not result_path.exists():
+            failures.append(
+                f"{name}: no result {result_path.name} in {results_dir} "
+                f"(did the bench run with --json?)"
+            )
+            continue
+        baseline = load(baseline_path)
+        result = load(result_path)
+        bench_failures = compare(name, baseline, result, args.tolerance)
+        status = "FAIL" if bench_failures else "ok"
+        metrics = ", ".join(
+            f"{k}={v}" for k, v in sorted(result.get("metrics", {}).items())
+        )
+        print(f"{name:<14} {status:<5} {metrics}")
+        failures.extend(bench_failures)
+        checked += 1
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nPASS: {checked} bench(es) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
