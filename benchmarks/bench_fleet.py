@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Benchmark the fleet layer: routing quality, identity, grouped speed.
+
+Builds a small multi-building fleet (KNN slots, generated suites), fires
+the mixed-building test traffic through the :class:`ScanRouter`, and
+gates on three things:
+
+1. **Oracle identity** — routing forced to the ground-truth slot must
+   be bit-identical to querying each slot's localizer directly (the
+   fleet acceptance bar; booleans in the JSON report are identity
+   gates for ``tools/check_bench_regression.py``).
+2. **Routing accuracy** — fraction of month-1 scans resolved to exactly
+   the right ``(building, floor)`` slot. Reported as a higher-is-better
+   ratio so accuracy regressions (a broken classifier, a namespace
+   stacking bug) fail CI like perf regressions do.
+3. **Slot-grouped batch speedup** — routed batch inference (rows
+   grouped per slot, one ``predict_batched`` per slot) vs routing the
+   same rows one at a time. This is the fleet analogue of the serving
+   layer's micro-batching win.
+
+Run standalone (pytest does not collect ``bench_*`` files)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+    PYTHONPATH=src python benchmarks/bench_fleet.py --spec "HQ:3,LAB:2,DC:2"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+from _bench_common import timeit, write_json_report
+
+from repro.fleet import FleetRegistry, ScanRouter, parse_fleet_spec
+from repro.fleet.experiment import fleet_epoch_traffic, run_fleet_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke scale: tiny fleet"
+    )
+    parser.add_argument(
+        "--spec", default=None,
+        help="fleet spec (default: HQ:2,LAB:2 quick / HQ:3,LAB:2 full)",
+    )
+    parser.add_argument("--framework", default="KNN")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--rows", type=int, default=0,
+        help="traffic rows for the speed comparison (0 = auto)",
+    )
+    parser.add_argument(
+        "--min-accuracy", type=float, default=0.9,
+        help="fail below this month-1 slot-routing accuracy (default: 0.9)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.5,
+        help=(
+            "fail unless slot-grouped batch routing beats row-at-a-time "
+            "routing by this factor (default: 1.5)"
+        ),
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write gate metrics as JSON (CI regression harness)",
+    )
+    args = parser.parse_args(argv)
+
+    spec = args.spec or ("HQ:2,LAB:2" if args.quick else "HQ:3,LAB:2")
+    gen = (
+        dict(months=2, aps_per_floor=12)
+        if args.quick
+        else dict(months=4, aps_per_floor=24)
+    )
+    registry = FleetRegistry.from_specs(
+        parse_fleet_spec(spec),
+        framework=args.framework,
+        seed=args.seed,
+        fast=True,
+        **gen,
+    )
+    print(registry.describe_text())
+    router = ScanRouter(registry)
+
+    scans, true_b, true_f, _ = fleet_epoch_traffic(registry, 0)
+    n_rows = args.rows or (256 if args.quick else 1024)
+    rng = np.random.default_rng(args.seed)
+    rows = rng.integers(0, scans.shape[0], size=n_rows)
+    traffic = scans[rows]
+    print(
+        f"\ntraffic: {n_rows} mixed rows over "
+        f"{registry.n_slots} slots ({registry.n_aps} AP columns)"
+    )
+
+    # 1. Oracle identity: forced routing == direct slot queries.
+    oracle = router.decide(true_b[rows], true_f[rows])
+    routed, _ = router.predict(traffic, decision=oracle)
+    direct = np.empty_like(routed)
+    for j, deployment in enumerate(registry.buildings):
+        for floor in deployment.floors:
+            mask = np.flatnonzero(
+                (true_b[rows] == j) & (true_f[rows] == floor)
+            )
+            if mask.shape[0]:
+                localizer = deployment.slots[floor].entry.localizer
+                direct[mask] = localizer.predict_batched(
+                    deployment.block(traffic[mask])
+                )
+    identical = bool(np.array_equal(routed, direct))
+    print(f"oracle-forced routing bit-identical to direct: {identical}")
+
+    # 2. Routing accuracy on month-1 traffic (the full epoch, not the
+    #    resampled speed traffic, so the ratio is deterministic).
+    decision = router.route(scans)
+    accuracy = float(
+        ((decision.building_idx == true_b) & (decision.floors == true_f)).mean()
+    )
+    print(f"month-1 slot-routing accuracy: {accuracy:.3f}")
+
+    # 3. Slot-grouped batch routing vs row-at-a-time routing.
+    grouped_s = timeit(lambda: router.predict(traffic))
+    single_s = timeit(
+        lambda: [router.predict(traffic[i : i + 1]) for i in range(n_rows)],
+        repeats=1,
+    )
+    speedup = single_s / grouped_s if grouped_s > 0 else float("inf")
+    print(
+        f"slot-grouped batch: {grouped_s * 1e3:7.1f} ms   "
+        f"row-at-a-time: {single_s * 1e3:7.1f} ms   "
+        f"speedup {speedup:.1f}x"
+    )
+
+    # Longitudinal sweep, for the human-readable trajectory.
+    print("\nlongitudinal routed-vs-oracle sweep:")
+    print(run_fleet_experiment(registry).rendered())
+
+    ok = (
+        identical
+        and accuracy >= args.min_accuracy
+        and speedup >= args.min_speedup
+    )
+    print(f"\n{'PASS' if ok else 'FAIL'}: fleet identity/accuracy/speed checks")
+    if args.json:
+        write_json_report(
+            args.json,
+            bench="fleet",
+            quick=args.quick,
+            metrics={
+                "routing_accuracy": round(accuracy, 4),
+                "slot_batch_speedup": round(speedup, 3),
+                "oracle_routed_identical": identical,
+            },
+            info={
+                "spec": spec,
+                "framework": args.framework,
+                "rows": n_rows,
+                "n_slots": registry.n_slots,
+            },
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

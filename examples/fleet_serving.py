@@ -1,0 +1,160 @@
+"""Serve a two-building fleet and fire mixed-floor traffic at it.
+
+End-to-end fleet walkthrough over real HTTP:
+
+1. Generate two multi-floor buildings (HQ sharded with a kmeans radio-map
+   index, LAB exhaustive), fit one warm KNN model per (building, floor)
+   slot out of a shared model store.
+2. Start the :class:`~repro.fleet.FleetServer` in a background thread.
+3. Fire a mix of every slot's test scans through ``POST /localize`` on
+   kept-alive connections — no routing hints, the server classifies
+   building then floor per scan.
+4. Print per-slot routing stats from ``GET /fleet`` next to the ground
+   truth, plus one forced-slot request to show routing pins.
+
+    python examples/fleet_serving.py
+    python examples/fleet_serving.py --threads 8 --spec "HQ:2,LAB:3"
+"""
+
+import argparse
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro.fleet import (
+    FleetDispatcher,
+    FleetRegistry,
+    FleetServer,
+    parse_fleet_spec,
+)
+from repro.fleet.experiment import fleet_epoch_traffic
+
+
+def fire_requests(port, scans, truths, replies, errors):
+    """One client thread: POST scans over a single kept-alive connection.
+
+    Each reply is recorded as ``(true_slot_label, routed_slot_label)``
+    so accuracy can be scored after the threads join, whatever order
+    replies landed in.
+    """
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    for scan, truth in zip(scans, truths):
+        try:
+            conn.request(
+                "POST", "/localize", body=json.dumps({"rssi": scan.tolist()})
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            if response.status == 200:
+                routing = payload["routing"]
+                replies.append(
+                    (truth, f"{routing['building']}/f{routing['floor']}")
+                )
+            else:
+                errors.append(payload)
+        except OSError as exc:
+            errors.append(str(exc))
+            conn.close()
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    conn.close()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec", default="HQ:2:kmeans,LAB:2")
+    parser.add_argument("--threads", type=int, default=6)
+    parser.add_argument("--requests", type=int, default=40, help="per thread")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"building fleet {args.spec!r} ...")
+    registry = FleetRegistry.from_specs(
+        parse_fleet_spec(args.spec),
+        framework="KNN",
+        seed=args.seed,
+        fast=True,
+        months=2,
+        aps_per_floor=16,
+    )
+    print(registry.describe_text())
+
+    dispatcher = FleetDispatcher(registry, batch_window_ms=2.0)
+    server = FleetServer(registry, dispatcher, port=0)
+    handle = server.start_background()
+    print(f"\nserving on http://127.0.0.1:{handle.port}\n")
+
+    # Mixed traffic: month-1 scans of every slot, shuffled across threads.
+    scans, true_b, true_f, _ = fleet_epoch_traffic(registry, 0)
+    rng = np.random.default_rng(args.seed)
+    names = [b.name for b in registry.buildings]
+    true_labels = [f"{names[b]}/f{f}" for b, f in zip(true_b, true_f)]
+
+    replies: list = []
+    errors: list = []
+    threads = []
+    t0 = time.perf_counter()
+    for _ in range(args.threads):
+        rows = rng.integers(0, scans.shape[0], size=args.requests)
+        thread = threading.Thread(
+            target=fire_requests,
+            args=(
+                handle.port,
+                scans[rows],
+                [true_labels[i] for i in rows],
+                replies,
+                errors,
+            ),
+        )
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    total = args.threads * args.requests
+    print(
+        f"{total} routed requests in {wall:.2f}s "
+        f"({total / wall:.0f} req/s, {len(errors)} errors)"
+    )
+
+    # Routing accuracy as observed by the clients themselves.
+    if replies:
+        hits = sum(truth == routed for truth, routed in replies)
+        print(f"client-observed routing accuracy: {hits / len(replies):.1%}\n")
+    else:
+        print(f"no successful replies; first errors: {errors[:3]}\n")
+
+    # Per-slot stats straight from the server.
+    conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=30)
+    conn.request("GET", "/fleet")
+    fleet = json.loads(conn.getresponse().read())
+    print("per-slot routing (server view):")
+    for label, stats in sorted(fleet["dispatch"]["slots"].items()):
+        routing = stats["routing"]
+        dispatch = stats["dispatcher"]
+        print(
+            f"  {label:<8} rows {routing['rows']:>5}  "
+            f"requests {routing['requests']:>5}  "
+            f"mean batch rows {dispatch['mean_batch_rows']:>5}"
+        )
+
+    # A pinned request: the phone already knows its building.
+    conn.request(
+        "POST",
+        "/localize",
+        body=json.dumps(
+            {"rssi": scans[0].tolist(), "building": names[0], "floor": 0}
+        ),
+    )
+    pinned = json.loads(conn.getresponse().read())
+    print(f"\npinned request routing: {pinned['routing']}")
+    conn.close()
+
+    handle.shutdown()
+    print("server shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,23 +24,31 @@ from repro.serve import BatchingDispatcher, LocalizationServer, ModelStore
 
 
 def fire_requests(port, scans, latencies, errors):
-    """One client thread: POST each scan, record wall latency."""
+    """One client thread: POST each scan, record wall latency.
+
+    The connection is opened once and kept alive across the whole scan
+    sequence (the server speaks persistent HTTP/1.1), so each request
+    pays inference + framing, not TCP setup. A dropped connection is
+    reopened and counted as an error for that scan.
+    """
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
     for scan in scans:
         body = json.dumps({"rssi": scan.tolist()})
         t0 = time.perf_counter()
         try:
-            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
             conn.request("POST", "/localize", body=body)
             response = conn.getresponse()
             payload = json.loads(response.read())
-            conn.close()
             if response.status != 200 or "location" not in payload:
                 errors.append(payload)
                 continue
         except OSError as exc:
             errors.append(str(exc))
+            conn.close()
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
             continue
         latencies.append(time.perf_counter() - t0)
+    conn.close()
 
 
 def main() -> None:

@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli suite basement --out basement.npz
     python -m repro.cli serve office --framework KNN --port 8000 --fast
     python -m repro.cli serve office --framework KNN --index region --fast
+    python -m repro.cli serve --fleet "HQ:2,LAB:3" --framework KNN --fast
+    python -m repro.cli fleet "HQ:2,LAB:3:kmeans" --fast --eval
     python -m repro.cli track office --framework STONE --fast
     python -m repro.cli compress office --bits 8 --sparsity 0.5 --fast
     python -m repro.cli multifloor --months 4 --fast
@@ -233,10 +235,78 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_fleet_registry(args: argparse.Namespace, spec: str):
+    """Generate and fit the fleet the given spec string describes."""
+    from .baselines.registry import framework_capabilities
+    from .fleet import FleetRegistry, parse_fleet_spec
+
+    specs = parse_fleet_spec(spec)
+    caps = framework_capabilities(args.framework)
+    index = _index_config(args)
+    if not caps.supports_index:
+        sharded = [s.name for s in specs if s.index_kind not in (None, "exhaustive")]
+        if index is not None or sharded:
+            print(
+                f"note: {caps.name} has no reference radio map to shard — "
+                f"index settings ignored, fleet slots serve unsharded"
+            )
+        index = None
+        specs = [
+            type(s)(name=s.name, n_floors=s.n_floors, index_kind=None)
+            for s in specs
+        ]
+    registry = FleetRegistry.from_specs(
+        specs,
+        framework=args.framework,
+        seed=args.seed,
+        fast=args.fast,
+        index=index,
+        months=args.fleet_months,
+        aps_per_floor=args.fleet_aps_per_floor,
+        model_dir=args.model_dir,
+    )
+    print(registry.describe_text())
+    return registry
+
+
+def _add_fleet_gen_flags(parser: argparse.ArgumentParser) -> None:
+    """Fleet-suite generation knobs shared by serve --fleet and fleet."""
+    parser.add_argument(
+        "--fleet-months",
+        type=int,
+        default=4,
+        help="longitudinal test months per generated building (default: 4)",
+    )
+    parser.add_argument(
+        "--fleet-aps-per-floor",
+        type=int,
+        default=24,
+        help="APs per generated floor (default: 24)",
+    )
+
+
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    from .fleet import FleetDispatcher, FleetServer
+
+    registry = _build_fleet_registry(args, args.fleet)
+    dispatcher_kwargs = dict(
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        chunk_size=args.chunk_size,
+    )
+    if args.max_pending_rows is not None:
+        dispatcher_kwargs["max_pending_rows"] = args.max_pending_rows
+    dispatcher = FleetDispatcher(registry, **dispatcher_kwargs)
+    server = FleetServer(registry, dispatcher, host=args.host, port=args.port)
+    return server.run()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .baselines.registry import framework_capabilities
     from .serve import BatchingDispatcher, LocalizationServer, ModelStore
 
+    if args.fleet:
+        return _cmd_serve_fleet(args)
     suite = _suite_for(args.suite, args.seed)
     caps = framework_capabilities(args.framework)
     index = _index_config(args)
@@ -278,6 +348,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         entry, dispatcher, store=store, host=args.host, port=args.port
     )
     return server.run()
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .fleet import run_fleet_experiment
+
+    registry = _build_fleet_registry(args, args.spec)
+    if args.eval:
+        print()
+        result = run_fleet_experiment(registry, max_epochs=args.max_epochs)
+        print(result.rendered())
+    return 0
 
 
 def _cmd_track(args: argparse.Namespace) -> int:
@@ -445,8 +526,36 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a long-lived fitted localizer over HTTP (micro-batched)",
     )
-    p_srv.add_argument("suite", choices=("office", "basement", "uji"))
+    p_srv.add_argument(
+        "suite",
+        nargs="?",
+        default="office",
+        choices=("office", "basement", "uji"),
+        help="dataset suite for single-model serving (ignored with --fleet)",
+    )
     p_srv.add_argument("--framework", default="STONE")
+    p_srv.add_argument(
+        "--fleet",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "serve a whole fleet instead of one model: comma-separated "
+            "buildings NAME:FLOORS[:INDEX_KIND], e.g. 'HQ:2,LAB:3:kmeans'; "
+            "scans route hierarchically to per-(building, floor) warm "
+            "models (the positional suite is ignored)"
+        ),
+    )
+    p_srv.add_argument(
+        "--max-pending-rows",
+        type=int,
+        default=None,
+        help=(
+            "fleet admission bound: rows in flight before new requests "
+            "get 429 (default: two protocol-maximum batches; fleet "
+            "mode only)"
+        ),
+    )
+    _add_fleet_gen_flags(p_srv)
     p_srv.add_argument("--host", default="127.0.0.1")
     p_srv.add_argument(
         "--port", type=int, default=8000, help="0 = ephemeral port"
@@ -484,6 +593,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--fast", action="store_true", help="smoke-scale models")
     _add_index_flags(p_srv)
     p_srv.set_defaults(fn=_cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="inspect (and optionally evaluate) a multi-building fleet",
+    )
+    p_fleet.add_argument(
+        "spec",
+        help="comma-separated buildings NAME:FLOORS[:INDEX_KIND]",
+    )
+    p_fleet.add_argument("--framework", default="KNN")
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument("--fast", action="store_true", help="smoke-scale models")
+    p_fleet.add_argument(
+        "--eval",
+        action="store_true",
+        help=(
+            "run the fleet experiment: routing accuracy and routed-vs-"
+            "oracle localization error across the test months"
+        ),
+    )
+    p_fleet.add_argument(
+        "--max-epochs",
+        type=int,
+        default=None,
+        help="cap evaluated test months (default: all generated)",
+    )
+    p_fleet.add_argument(
+        "--model-dir",
+        default=None,
+        help="persist/warm-load slot models here (shared fleet store)",
+    )
+    _add_fleet_gen_flags(p_fleet)
+    _add_index_flags(p_fleet)
+    p_fleet.set_defaults(fn=_cmd_fleet)
 
     p_track = sub.add_parser(
         "track", help="compare trajectory smoothing strategies on a walk"

@@ -1,0 +1,165 @@
+"""Fleet evaluation: routing accuracy and its end-to-end error cost.
+
+The single-deployment harness answers "how far off are the
+coordinates"; at fleet scale the question splits in two: *does the
+router pick the right deployment slot*, and *how much localization
+error does routing add over an oracle that always knows the slot*.
+:func:`run_fleet_experiment` sweeps both across the fleet's
+longitudinal test epochs — so routing degradation under AP churn (the
+paper's central stressor) shows up next to plain localization drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..radio.access_point import NO_SIGNAL_DBM
+from .registry import FleetRegistry
+from .router import ScanRouter
+
+
+@dataclass(frozen=True)
+class FleetEpochResult:
+    """One test epoch's fleet-wide routing and accuracy scores."""
+
+    label: str
+    building_accuracy: float
+    floor_accuracy: float
+    #: Fraction of scans routed to exactly the right slot (building AND
+    #: floor) — the headline routing metric.
+    routing_accuracy: float
+    #: Mean planar error with hierarchical routing (the served path).
+    mean_routed_m: float
+    #: Mean planar error with oracle (ground-truth) slot routing.
+    mean_oracle_m: float
+    n_scans: int
+
+    @property
+    def regret_m(self) -> float:
+        """Extra mean error the router costs over oracle routing."""
+        return self.mean_routed_m - self.mean_oracle_m
+
+    def as_row(self) -> str:
+        return (
+            f"{self.label:<10} route {self.routing_accuracy:6.1%} "
+            f"(bldg {self.building_accuracy:6.1%}, "
+            f"floor {self.floor_accuracy:6.1%})  "
+            f"routed {self.mean_routed_m:5.2f} m  "
+            f"oracle {self.mean_oracle_m:5.2f} m  "
+            f"regret {self.regret_m:+5.2f} m  (n={self.n_scans})"
+        )
+
+
+@dataclass
+class FleetExperimentResult:
+    """The longitudinal sweep: one :class:`FleetEpochResult` per epoch."""
+
+    epochs: list[FleetEpochResult]
+
+    def overall_routing_accuracy(self) -> float:
+        """Scan-weighted routing accuracy across every epoch."""
+        total = sum(e.n_scans for e in self.epochs)
+        return (
+            sum(e.routing_accuracy * e.n_scans for e in self.epochs) / total
+            if total
+            else 0.0
+        )
+
+    def mean_regret_m(self) -> float:
+        """Scan-weighted mean routing regret across every epoch."""
+        total = sum(e.n_scans for e in self.epochs)
+        return (
+            sum(e.regret_m * e.n_scans for e in self.epochs) / total
+            if total
+            else 0.0
+        )
+
+    def rendered(self) -> str:
+        lines = [e.as_row() for e in self.epochs]
+        lines.append(
+            f"overall    route {self.overall_routing_accuracy():6.1%}  "
+            f"mean regret {self.mean_regret_m():+5.2f} m"
+        )
+        return "\n".join(lines)
+
+
+def fleet_epoch_traffic(
+    registry: FleetRegistry, epoch: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Epoch ``epoch``'s mixed-fleet traffic with ground-truth labels.
+
+    Embeds every building's test scans into the fleet AP namespace
+    (other buildings' columns at the no-signal floor — buildings are
+    radio-isolated) and returns
+    ``(scans, true_building_idx, true_floors, true_xy)`` with rows in
+    building-block order. Routing is row-independent, so row order
+    never affects any metric.
+    """
+    blocks: list[np.ndarray] = []
+    true_b: list[np.ndarray] = []
+    true_f: list[np.ndarray] = []
+    true_xy: list[np.ndarray] = []
+    for j, deployment in enumerate(registry.buildings):
+        if epoch >= deployment.suite.n_epochs:
+            continue
+        ds = deployment.suite.test_epochs[epoch]
+        scans = np.full(
+            (ds.n_samples, registry.n_aps), NO_SIGNAL_DBM, dtype=np.float64
+        )
+        scans[:, deployment.ap_start : deployment.ap_stop] = ds.fingerprints.rssi
+        blocks.append(scans)
+        true_b.append(np.full(ds.n_samples, j, dtype=np.int64))
+        true_f.append(ds.floor_indices)
+        true_xy.append(ds.fingerprints.locations)
+    if not blocks:
+        raise ValueError(f"no building has a test epoch {epoch}")
+    return (
+        np.vstack(blocks),
+        np.concatenate(true_b),
+        np.concatenate(true_f),
+        np.vstack(true_xy),
+    )
+
+
+def run_fleet_experiment(
+    registry: FleetRegistry,
+    *,
+    max_epochs: int | None = None,
+) -> FleetExperimentResult:
+    """Sweep the fleet's test epochs: routed vs oracle-routed error.
+
+    For each epoch the mixed traffic of every building is routed two
+    ways — hierarchically (the served path) and with the ground-truth
+    slot forced (the oracle) — through the *same* warm slot models, so
+    the difference isolates exactly the router's contribution.
+    """
+    router = ScanRouter(registry)
+    n_epochs = min(b.suite.n_epochs for b in registry.buildings)
+    if max_epochs is not None:
+        n_epochs = min(n_epochs, max_epochs)
+    labels = registry.buildings[0].suite.epoch_labels
+    epochs: list[FleetEpochResult] = []
+    for epoch in range(n_epochs):
+        scans, true_b, true_f, true_xy = fleet_epoch_traffic(registry, epoch)
+        routed_xy, decision = router.predict(scans)
+        oracle_xy, _ = router.predict(
+            scans, decision=router.decide(true_b, true_f)
+        )
+        building_ok = decision.building_idx == true_b
+        floor_ok = decision.floors == true_f
+        routed_err = np.linalg.norm(routed_xy - true_xy, axis=1)
+        oracle_err = np.linalg.norm(oracle_xy - true_xy, axis=1)
+        epochs.append(
+            FleetEpochResult(
+                label=labels[epoch],
+                building_accuracy=float(building_ok.mean()),
+                floor_accuracy=float(floor_ok.mean()),
+                routing_accuracy=float((building_ok & floor_ok).mean()),
+                mean_routed_m=float(routed_err.mean()),
+                mean_oracle_m=float(oracle_err.mean()),
+                n_scans=int(scans.shape[0]),
+            )
+        )
+    return FleetExperimentResult(epochs=epochs)

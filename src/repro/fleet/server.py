@@ -1,0 +1,162 @@
+"""HTTP front-end over a whole fleet of deployment slots.
+
+Same stdlib plumbing as the single-model server
+(:class:`~repro.serve.server.JsonHttpServer` — persistent connections,
+background hosting), with the fleet semantics on top:
+
+==================  ======  ==============================================
+endpoint            method  semantics
+==================  ======  ==============================================
+``/localize``       POST    one fleet-wide scan → coordinate + routing
+``/localize_batch`` POST    ``(n, fleet_aps)`` scans → coordinates + routing
+``/healthz``        GET     liveness + admission-queue depth + counters
+``/models``         GET     shared store entries + per-slot shard/routing
+``/fleet``          GET     topology: buildings, AP blocks, slot table
+==================  ======  ==============================================
+
+``/localize*`` requests may pin routing with ``"building"`` (and
+optionally ``"floor"``) — see
+:func:`repro.serve.protocol.parse_routing_fields`; responses always
+carry a ``routing`` field naming the slot(s) that answered. When the
+fleet's bounded admission queue is full the response is **429** with a
+``Retry-After`` hint in the body; in-flight work is never disturbed.
+"""
+
+from __future__ import annotations
+
+from ..serve.protocol import (
+    error_response,
+    location_response,
+    locations_response,
+    parse_json_body,
+    parse_localize,
+    parse_localize_batch,
+    parse_routing_fields,
+)
+from ..serve.server import JsonHttpServer
+from .dispatch import FleetDispatcher, FleetOverloadError
+from .registry import FleetRegistry
+from .router import RoutingDecision
+
+
+class FleetServer(JsonHttpServer):
+    """HTTP/JSON API over a :class:`FleetDispatcher`.
+
+    Parameters
+    ----------
+    registry / dispatcher:
+        The fitted fleet and its admission-bounded dispatcher.
+    host / port:
+        Bind address (see :class:`~repro.serve.server.JsonHttpServer`).
+    """
+
+    def __init__(
+        self,
+        registry: FleetRegistry,
+        dispatcher: FleetDispatcher,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+    ) -> None:
+        super().__init__(host=host, port=port)
+        self.registry = registry
+        self.dispatcher = dispatcher
+
+    # -- routing helpers ---------------------------------------------------
+
+    def _routing_entries(self, decision: RoutingDecision) -> list[dict]:
+        return [
+            {
+                "building": slot.building,
+                "floor": slot.floor,
+                "forced": decision.forced,
+            }
+            for slot in decision.slot_ids(self.registry)
+        ]
+
+    async def _localize(self, body: bytes, batch: bool) -> tuple[int, dict]:
+        payload = parse_json_body(body)
+        parse = parse_localize_batch if batch else parse_localize
+        queries = parse(payload, self.registry.n_aps)
+        building, floor = parse_routing_fields(payload)
+        try:
+            coords, decision = await self.dispatcher.localize(
+                queries, building=building, floor=floor
+            )
+        except FleetOverloadError as exc:
+            return 429, {
+                "error": str(exc),
+                "retry_after_ms": 50,
+                "pending_rows": exc.pending_rows,
+                "max_pending_rows": exc.max_pending_rows,
+            }
+        except KeyError as exc:
+            # An unknown building/floor pin is a client error.
+            raise ValueError(
+                str(exc.args[0]) if exc.args else str(exc)
+            ) from exc
+        routing = self._routing_entries(decision)
+        if batch:
+            return 200, {**locations_response(coords), "routing": routing}
+        return 200, {**location_response(coords), "routing": routing[0]}
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, error_response("use GET /healthz")
+            return 200, self._healthz()
+        if path == "/models":
+            if method != "GET":
+                return 405, error_response("use GET /models")
+            return 200, self._models()
+        if path == "/fleet":
+            if method != "GET":
+                return 405, error_response("use GET /fleet")
+            return 200, self._fleet()
+        if path == "/localize":
+            if method != "POST":
+                return 405, error_response("use POST /localize")
+            return await self._localize(body, batch=False)
+        if path == "/localize_batch":
+            if method != "POST":
+                return 405, error_response("use POST /localize_batch")
+            return await self._localize(body, batch=True)
+        return 404, error_response(f"unknown endpoint {path!r}")
+
+    def _healthz(self) -> dict:
+        stats = self.dispatcher.describe()
+        return {
+            "status": "ok",
+            "mode": "fleet",
+            "n_buildings": len(self.registry.buildings),
+            "n_slots": self.registry.n_slots,
+            "n_aps": self.registry.n_aps,
+            "uptime_seconds": self.uptime_seconds(),
+            "requests_served": self.requests_served,
+            "admission": stats["admission"],
+            "fleet": stats["fleet"],
+        }
+
+    def _models(self) -> dict:
+        payload = self.registry.store.describe()
+        payload["slots"] = self.dispatcher.slot_stats()
+        payload["fleet"] = self.dispatcher.stats.as_dict()
+        return payload
+
+    def _fleet(self) -> dict:
+        payload = self.registry.describe()
+        payload["dispatch"] = self.dispatcher.describe()
+        return payload
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _banner(self) -> str:
+        return (
+            f"serving fleet of {len(self.registry.buildings)} buildings / "
+            f"{self.registry.n_slots} slots on http://{self.host}:{self.port}"
+        )
+
+    def _close_backend(self) -> None:
+        self.dispatcher.close()

@@ -1,0 +1,103 @@
+"""Building-spec grammar for fleet construction.
+
+A fleet is described by a tiny comma-separated string so it fits on a
+command line (``repro serve --fleet "HQ:2,LAB:3"``) and in CI configs::
+
+    SPEC     := BUILDING ("," BUILDING)*
+    BUILDING := NAME ":" N_FLOORS [":" INDEX_KIND]
+
+``NAME`` is any identifier-ish token (letters, digits, ``-``/``_``);
+``N_FLOORS`` is the number of stacked floors (the generator needs at
+least two — floors are what make a building a routing problem);
+``INDEX_KIND`` optionally shards that building's per-floor radio maps
+(``region`` or ``kmeans``, see :mod:`repro.index`). Buildings without a
+kind inherit the fleet-wide default the caller passes (usually the
+``--index`` flag).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..index import INDEX_KINDS
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_-]*$")
+
+#: Per-building floor ceiling — a typo like ``HQ:200`` should fail fast,
+#: not fit two hundred models.
+MAX_FLOORS = 32
+
+
+@dataclass(frozen=True)
+class BuildingSpec:
+    """One building's slice of a fleet spec string."""
+
+    name: str
+    n_floors: int
+    #: Radio-map index kind for this building's slots, or ``None`` to
+    #: inherit the fleet-wide default.
+    index_kind: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValueError(
+                f"building name {self.name!r} must be alphanumeric "
+                f"(plus '-'/'_')"
+            )
+        if not 2 <= self.n_floors <= MAX_FLOORS:
+            raise ValueError(
+                f"building {self.name!r}: n_floors must be in "
+                f"2..{MAX_FLOORS}, got {self.n_floors}"
+            )
+        if self.index_kind is not None and self.index_kind not in INDEX_KINDS:
+            raise ValueError(
+                f"building {self.name!r}: index kind must be one of "
+                f"{INDEX_KINDS}, got {self.index_kind!r}"
+            )
+
+
+def parse_fleet_spec(spec: str) -> list[BuildingSpec]:
+    """Parse ``"HQ:2,LAB:3:kmeans"`` into :class:`BuildingSpec` entries.
+
+    Raises ``ValueError`` with a pointed message on malformed tokens,
+    duplicate building names, or an empty spec.
+    """
+    tokens = [t.strip() for t in spec.split(",") if t.strip()]
+    if not tokens:
+        raise ValueError("fleet spec is empty; expected NAME:FLOORS[,...]")
+    buildings: list[BuildingSpec] = []
+    seen: set[str] = set()
+    for token in tokens:
+        parts = token.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"malformed building token {token!r}; "
+                f"expected NAME:FLOORS or NAME:FLOORS:INDEX_KIND"
+            )
+        name = parts[0].strip()
+        try:
+            n_floors = int(parts[1])
+        except ValueError as exc:
+            raise ValueError(
+                f"building {name!r}: floor count {parts[1]!r} is not an integer"
+            ) from exc
+        kind = parts[2].strip().lower() if len(parts) == 3 else None
+        building = BuildingSpec(name=name, n_floors=n_floors, index_kind=kind)
+        if building.name in seen:
+            raise ValueError(f"duplicate building name {building.name!r}")
+        seen.add(building.name)
+        buildings.append(building)
+    return buildings
+
+
+def format_fleet_spec(buildings: list[BuildingSpec]) -> str:
+    """Inverse of :func:`parse_fleet_spec` (canonical round-trip form)."""
+    out = []
+    for b in buildings:
+        token = f"{b.name}:{b.n_floors}"
+        if b.index_kind is not None:
+            token += f":{b.index_kind}"
+        out.append(token)
+    return ",".join(out)

@@ -8,8 +8,8 @@ framework, and EvAAL-style combined error metrics.
 """
 
 from .building import Building, SlabModel
-from .dataset import MultiFloorDataset, MultiFloorSuite
-from .generator import MultiFloorConfig, generate_multifloor_suite
+from .dataset import MultiFloorDataset, MultiFloorSuite, floor_local_dataset
+from .generator import MultiFloorConfig, floor_suite, generate_multifloor_suite
 from .hierarchical import FloorClassifier, HierarchicalLocalizer
 from .metrics import (
     MultiFloorEpochResult,
@@ -30,5 +30,7 @@ __all__ = [
     "combined_error_m",
     "evaluate_multifloor",
     "floor_hit_rate",
+    "floor_local_dataset",
+    "floor_suite",
     "generate_multifloor_suite",
 ]

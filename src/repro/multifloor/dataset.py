@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from ..datasets.fingerprint import FingerprintDataset
+from ..geometry.floorplan import Floorplan
 from .building import Building
 
 
@@ -60,6 +62,54 @@ class MultiFloorDataset:
             f"MultiFloorDataset(n={self.n_samples}, aps={self.n_aps}, "
             f"floors={self.floor_set.tolist()})"
         )
+
+
+def floor_local_dataset(
+    ds: MultiFloorDataset,
+    floor: int,
+    floorplan: Floorplan,
+    *,
+    rp_offset: Optional[int] = None,
+) -> FingerprintDataset:
+    """One floor's rows with RP labels remapped to floorplan-local indices.
+
+    The multi-floor containers label reference points *globally* (floor
+    1's RPs continue where floor 0's stopped); single-floor machinery —
+    STONE's triplet selector, the KNN heads, the serving stack — indexes
+    RPs against one floorplan. This helper bridges the two: it slices
+    ``floor``'s rows and subtracts the floor's global offset so labels
+    form a ``0..n_reference_points-1`` block aligned with ``floorplan``.
+
+    ``rp_offset`` pins the global offset explicitly. Leave it ``None``
+    to derive it from the slice itself (the minimum label present) —
+    correct whenever the floor's training survey covers RP 0, which the
+    generators guarantee. Pass the training slice's offset when
+    remapping a *test* epoch, so sparse epochs that miss RP 0 still land
+    on the same local labels.
+    """
+    sliced = ds.floor_slice(int(floor))
+    if sliced.n_samples == 0:
+        if rp_offset is None:
+            raise ValueError(
+                f"floor {floor}: no rows to derive the RP offset from; "
+                f"pass rp_offset to remap an empty slice"
+            )
+        return sliced  # empty; labels are vacuously floorplan-local
+    offset = int(sliced.rp_indices.min()) if rp_offset is None else int(rp_offset)
+    local = sliced.rp_indices - offset
+    if int(local.min()) < 0 or int(local.max()) >= floorplan.n_reference_points:
+        raise ValueError(
+            f"floor {floor}: RP labels are not a contiguous block "
+            f"aligned with the floorplan ({local.max() + 1} > "
+            f"{floorplan.n_reference_points})"
+        )
+    return FingerprintDataset(
+        rssi=sliced.rssi,
+        rp_indices=local,
+        locations=sliced.locations,
+        times_hours=sliced.times_hours,
+        epochs=sliced.epochs,
+    )
 
 
 @dataclass

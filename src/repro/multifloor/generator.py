@@ -15,14 +15,14 @@ from typing import Optional
 
 import numpy as np
 
-from ..datasets.fingerprint import FingerprintDataset
+from ..datasets.fingerprint import FingerprintDataset, LongitudinalSuite
 from ..datasets.generators import build_environment
 from ..radio.access_point import NO_SIGNAL_DBM
 from ..radio.ephemerality import uji_like_schedule
 from ..radio.sampler import RadioEnvironment
 from ..radio.time import SimTime, monthly_times
 from .building import Building, SlabModel
-from .dataset import MultiFloorDataset, MultiFloorSuite
+from .dataset import MultiFloorDataset, MultiFloorSuite, floor_local_dataset
 
 
 @dataclass(frozen=True)
@@ -126,6 +126,53 @@ def _capture_epoch(
     return MultiFloorDataset(
         fingerprints=fingerprints,
         floor_indices=np.asarray(floors, dtype=np.int64),
+    )
+
+
+def floor_suite(suite: MultiFloorSuite, floor: int) -> LongitudinalSuite:
+    """One floor of a multi-floor suite as a single-floor deployment.
+
+    The returned :class:`~repro.datasets.fingerprint.LongitudinalSuite`
+    is exactly what the single-floor stack (the evaluation engine, the
+    serving layer's :class:`~repro.serve.store.ModelStore`) consumes:
+    the floor's floorplan, its training slice with floorplan-local RP
+    labels, and its slice of every test epoch. This is the fleet layer's
+    deployment-slot unit — one warm model per ``(building, floor)``.
+
+    The AP columns stay *building-wide* (all floors of the building),
+    not floor-local: the slab-leaked signal from neighbouring floors is
+    a stable part of each floor's radio signature, and keeping the
+    columns shared means every slot of a building accepts the same scan
+    vector the building's floor classifier saw.
+
+    The training slice must cover the floor (the generators always do);
+    its global RP offset then anchors the remap of sparse test epochs.
+    """
+    floor = int(floor)
+    floorplan = suite.building.floor(floor)
+    # Offset from a label-array mask, not a full slice — the slice of
+    # every column happens once, inside floor_local_dataset.
+    on_floor = suite.train.floor_indices == floor
+    if not on_floor.any():
+        raise ValueError(f"floor {floor}: no training rows in {suite.name!r}")
+    offset = int(suite.train.fingerprints.rp_indices[on_floor].min())
+    train = floor_local_dataset(suite.train, floor, floorplan, rp_offset=offset)
+    test_epochs = [
+        floor_local_dataset(ds, floor, floorplan, rp_offset=offset)
+        for ds in suite.test_epochs
+    ]
+    return LongitudinalSuite(
+        name=f"{suite.name}/f{floor}",
+        floorplan=floorplan,
+        train=train,
+        test_epochs=test_epochs,
+        epoch_labels=list(suite.epoch_labels),
+        metadata={
+            "building": suite.building.name,
+            "floor": floor,
+            "rp_offset": offset,
+            "parent_suite": suite.name,
+        },
     )
 
 

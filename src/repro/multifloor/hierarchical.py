@@ -16,7 +16,7 @@ import numpy as np
 from ..baselines.base import Localizer
 from ..core.preprocessing import normalize_rssi
 from .building import Building
-from .dataset import MultiFloorDataset
+from .dataset import MultiFloorDataset, floor_local_dataset
 
 
 class FloorClassifier:
@@ -104,23 +104,8 @@ class HierarchicalLocalizer:
         self.floor_classifier.fit(train.fingerprints.rssi, train.floor_indices)
         self.per_floor = {}
         for floor in train.floor_set:
-            floor_train = train.floor_slice(int(floor))
             floorplan = building.floor(int(floor))
-            offset = int(floor_train.rp_indices.min())
-            local = floor_train.rp_indices - offset
-            if int(local.max()) >= floorplan.n_reference_points:
-                raise ValueError(
-                    f"floor {floor}: RP labels are not a contiguous block "
-                    f"aligned with the floorplan ({local.max() + 1} > "
-                    f"{floorplan.n_reference_points})"
-                )
-            floor_train = type(floor_train)(
-                rssi=floor_train.rssi,
-                rp_indices=local,
-                locations=floor_train.locations,
-                times_hours=floor_train.times_hours,
-                epochs=floor_train.epochs,
-            )
+            floor_train = floor_local_dataset(train, int(floor), floorplan)
             localizer = self.localizer_factory(int(floor))
             localizer.fit(floor_train, floorplan, rng=rng)
             self.per_floor[int(floor)] = localizer

@@ -26,7 +26,7 @@ from .protocol import (
     parse_localize,
     parse_localize_batch,
 )
-from .server import BackgroundServer, LocalizationServer
+from .server import BackgroundServer, JsonHttpServer, LocalizationServer
 from .store import ModelKey, ModelStore, StoreEntry
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "ModelKey",
     "ModelStore",
     "StoreEntry",
+    "JsonHttpServer",
     "LocalizationServer",
     "BackgroundServer",
     "RequestError",

@@ -113,6 +113,32 @@ def parse_localize_batch(payload: dict, n_aps: int) -> np.ndarray:
     return _as_rssi_matrix(rssi, n_aps)
 
 
+def parse_routing_fields(payload: dict) -> tuple[Any, Any]:
+    """Validate the optional ``building``/``floor`` routing pins.
+
+    Fleet clients that already know where a scan came from (a phone that
+    just read a building beacon, the oracle arm of an experiment) may
+    pin the deployment slot instead of letting the router classify::
+
+        {"rssi": [...], "building": "HQ", "floor": 1}
+
+    Returns ``(building, floor)`` with ``None`` for absent fields.
+    ``floor`` without ``building`` is rejected — a floor number is only
+    meaningful within a building. Whether the named slot *exists* is the
+    router's call, not the protocol's.
+    """
+    building = payload.get("building")
+    floor = payload.get("floor")
+    if building is not None and not isinstance(building, str):
+        raise RequestError('"building" must be a string building name')
+    if floor is not None:
+        if isinstance(floor, bool) or not isinstance(floor, int):
+            raise RequestError('"floor" must be an integer floor number')
+        if building is None:
+            raise RequestError('"floor" requires "building"')
+    return building, floor
+
+
 def location_response(coords: np.ndarray) -> dict:
     """``/localize`` response body for a single ``(1, 2)`` prediction."""
     return {"location": [float(coords[0, 0]), float(coords[0, 1])]}

@@ -1,27 +1,31 @@
 """Stdlib-only asyncio HTTP/JSON server for long-lived localizers.
 
 No web framework, no new runtime dependency: a minimal HTTP/1.1
-implementation over ``asyncio.start_server``, just enough for the four
-endpoints the serving layer exposes:
+implementation over ``asyncio.start_server``. The plumbing lives in
+:class:`JsonHttpServer` — request parsing, keep-alive connection
+handling, graceful shutdown, background-thread hosting — and concrete
+servers supply the endpoint table:
 
-====================  ======  ================================================
-endpoint              method  semantics
-====================  ======  ================================================
-``/localize``         POST    one scan → one coordinate (micro-batched)
-``/localize_batch``   POST    ``(n, n_aps)`` scans → ``(n, 2)`` coordinates
-``/healthz``          GET     liveness + uptime + dispatcher counters
-``/models``           GET     warm :class:`~repro.serve.store.ModelStore`
-                              entries and provenance
-====================  ======  ================================================
+* :class:`LocalizationServer` (this module): one warm model behind one
+  dispatcher — ``/localize``, ``/localize_batch``, ``/healthz``,
+  ``/models``.
+* :class:`repro.fleet.server.FleetServer`: many ``(building, floor)``
+  deployment slots behind a scan router — the same endpoints plus
+  ``/fleet``.
+
+Connections are **persistent** (HTTP/1.1 keep-alive): a client may pipe
+any number of request/response cycles through one TCP connection, which
+is what the load generator and fleet clients do to stop paying
+per-request TCP setup. ``Connection: close`` (and HTTP/1.0 without an
+explicit keep-alive) is honored — the response carries
+``Connection: close`` and the server ends the connection after it. An
+idle connection is dropped after ``_READ_TIMEOUT_S`` without a request.
 
 Request/response JSON shapes live in :mod:`repro.serve.protocol`.
-Responses are ``Connection: close`` — one request per connection keeps
-the parser trivial; throughput comes from the dispatcher's coalescing,
-not connection reuse.
 
-Run blocking (:meth:`LocalizationServer.run`, what ``repro serve``
-does), or in a daemon thread (:meth:`LocalizationServer.start_background`,
-what the tests, the load example and the CI smoke step use).
+Run blocking (:meth:`JsonHttpServer.run`, what ``repro serve`` does),
+or in a daemon thread (:meth:`JsonHttpServer.start_background`, what
+the tests, the load example and the CI smoke step use).
 """
 
 from __future__ import annotations
@@ -51,11 +55,13 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
 #: Seconds a client may dawdle sending its request before the
-#: connection is dropped.
+#: connection is dropped. On a kept-alive connection this doubles as
+#: the idle timeout between requests.
 _READ_TIMEOUT_S = 30.0
 
 
@@ -76,64 +82,94 @@ class BackgroundServer:
             self._thread.join(timeout)
 
 
-class LocalizationServer:
-    """HTTP front-end over one warm model and its dispatcher.
+class JsonHttpServer:
+    """HTTP/JSON plumbing shared by the single-model and fleet servers.
+
+    Subclasses implement :meth:`_route` (endpoint dispatch), and may
+    override :meth:`_banner` (the line printed when :meth:`run` binds)
+    and :meth:`_close_backend` (dispatcher teardown on shutdown).
 
     Parameters
     ----------
-    entry:
-        The warm :class:`~repro.serve.store.StoreEntry` to serve.
-    dispatcher:
-        The :class:`~repro.serve.dispatcher.BatchingDispatcher` wrapping
-        ``entry.localizer``.
-    store:
-        Optional :class:`~repro.serve.store.ModelStore` backing
-        ``/models``; without it the endpoint reports just this entry.
     host / port:
         Bind address. ``port=0`` picks an ephemeral port; the bound
         port is written back to ``self.port`` once listening.
     """
 
-    def __init__(
-        self,
-        entry: StoreEntry,
-        dispatcher: BatchingDispatcher,
-        *,
-        store: Optional[ModelStore] = None,
-        host: str = "127.0.0.1",
-        port: int = 8000,
-    ) -> None:
-        self.entry = entry
-        self.dispatcher = dispatcher
-        self.store = store
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 8000) -> None:
         self.host = host
         self.port = port
         self.requests_served = 0
         self._started_at = time.monotonic()
 
+    # -- endpoint hooks (subclass API) -------------------------------------
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        """Dispatch one parsed request to its endpoint handler."""
+        raise NotImplementedError
+
+    def _banner(self) -> str:
+        """One line announcing what is being served (printed by run())."""
+        return f"serving on http://{self.host}:{self.port}"
+
+    def _close_backend(self) -> None:
+        """Release model dispatchers etc. when the serve loop exits."""
+
     # -- request handling --------------------------------------------------
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes]:
-        """Parse one request into ``(method, path, body)``."""
-        request_line = await reader.readline()
+    ) -> Optional[tuple[str, str, bytes, bool]]:
+        """Parse one request into ``(method, path, body, keep_alive)``.
+
+        Returns ``None`` when the client closed the connection cleanly
+        (EOF before a request line — the normal end of a kept-alive
+        connection). A few bare CRLFs before the request line are
+        tolerated, per the HTTP robustness principle.
+        """
+        request_line = b"\r\n"
+        for _ in range(4):
+            if request_line not in (b"\r\n", b"\n"):
+                break
+            request_line = await reader.readline()
+        if request_line == b"":
+            return None
         parts = request_line.decode("latin-1").split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/"):
             raise RequestError("malformed request line")
-        method, target = parts[0].upper(), parts[1]
+        method, target, version = parts[0].upper(), parts[1], parts[2]
         path = target.split("?", 1)[0]
+        # HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+        keep_alive = version != "HTTP/1.0"
         content_length = 0
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError as exc:
                     raise RequestError("invalid Content-Length") from exc
+                if content_length < 0:
+                    raise RequestError("invalid Content-Length")
+            elif name == "connection":
+                tokens = {t.strip().lower() for t in value.split(",")}
+                if "close" in tokens:
+                    keep_alive = False
+                elif "keep-alive" in tokens:
+                    keep_alive = True
+            elif name == "transfer-encoding":
+                # Only Content-Length framing is implemented. A chunked
+                # body left unread would be parsed as the next request
+                # line on a kept-alive connection (desync), so reject
+                # and close instead.
+                raise RequestError(
+                    "Transfer-Encoding is not supported; "
+                    "frame the body with Content-Length"
+                )
         if content_length > MAX_BODY_BYTES:
             raise RequestError(
                 f"request body exceeds {MAX_BODY_BYTES} bytes", status=413
@@ -143,95 +179,87 @@ class LocalizationServer:
             if content_length
             else b""
         )
-        return method, path, body
+        return method, path, body, keep_alive
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
-        """Dispatch one parsed request to its endpoint handler."""
-        if path == "/healthz":
-            if method != "GET":
-                return 405, error_response("use GET /healthz")
-            return 200, self._healthz()
-        if path == "/models":
-            if method != "GET":
-                return 405, error_response("use GET /models")
-            return 200, self._models()
-        if path == "/localize":
-            if method != "POST":
-                return 405, error_response("use POST /localize")
-            queries = parse_localize(parse_json_body(body), self.entry.n_aps)
-            coords = await self.dispatcher.localize(queries)
-            return 200, location_response(coords)
-        if path == "/localize_batch":
-            if method != "POST":
-                return 405, error_response("use POST /localize_batch")
-            queries = parse_localize_batch(
-                parse_json_body(body), self.entry.n_aps
-            )
-            coords = await self.dispatcher.localize(queries)
-            return 200, locations_response(coords)
-        return 404, error_response(f"unknown endpoint {path!r}")
-
-    def _healthz(self) -> dict:
-        return {
-            "status": "ok",
-            "framework": self.entry.key.framework,
-            "suite": self.entry.suite_name,
-            "n_aps": self.entry.n_aps,
-            "model_source": self.entry.source,
-            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
-            "requests_served": self.requests_served,
-            "dispatcher": self.dispatcher.stats.as_dict(),
-        }
-
-    def _models(self) -> dict:
-        if self.store is not None:
-            payload = self.store.describe()
-        else:
-            payload = {"models": [self.entry.describe()]}
-        payload["dispatcher"] = self.dispatcher.stats.as_dict()
-        return payload
-
-    async def _handle(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        status, payload = 500, error_response("internal error")
-        try:
-            method, path, body = await asyncio.wait_for(
-                self._read_request(reader), timeout=_READ_TIMEOUT_S
-            )
-            status, payload = await self._route(method, path, body)
-        except RequestError as exc:
-            status, payload = exc.status, error_response(exc.message)
-        except (
-            asyncio.TimeoutError,
-            asyncio.IncompleteReadError,
-            ConnectionError,
-        ):
-            writer.close()
-            return
-        except ValueError as exc:
-            # predict()-level rejections (shape mismatch) are client errors
-            status, payload = 400, error_response(str(exc))
-        except Exception as exc:  # noqa: BLE001 - last-resort 500
-            status, payload = 500, error_response(
-                f"{type(exc).__name__}: {exc}"
-            )
-        self.requests_served += 1
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        keep_alive: bool,
+    ) -> bool:
         data = encode_json(payload)
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(data)}\r\n"
-            f"Connection: close\r\n\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
         ).encode("latin-1")
         try:
             writer.write(head + data)
             await writer.drain()
-            writer.close()
+            return True
         except ConnectionError:  # pragma: no cover - client went away
-            pass
+            return False
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one connection: a loop of request/response cycles."""
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), timeout=_READ_TIMEOUT_S
+                    )
+                except RequestError as exc:
+                    # The request framing cannot be trusted after a
+                    # malformed read; answer and end the connection.
+                    self.requests_served += 1
+                    await self._respond(
+                        writer, exc.status, error_response(exc.message),
+                        keep_alive=False,
+                    )
+                    return
+                except (
+                    asyncio.TimeoutError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                ):
+                    return  # idle or half-sent connection: drop silently
+                if request is None:
+                    return  # client closed between requests
+                method, path, body, keep_alive = request
+                try:
+                    status, payload = await self._route(method, path, body)
+                except RequestError as exc:
+                    status, payload = exc.status, error_response(exc.message)
+                except ValueError as exc:
+                    # predict()-level rejections (shape mismatch) are
+                    # client errors.
+                    status, payload = 400, error_response(str(exc))
+                except Exception as exc:  # noqa: BLE001 - last-resort 500
+                    status, payload = 500, error_response(
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                self.requests_served += 1
+                sent = await self._respond(
+                    writer, status, payload, keep_alive=keep_alive
+                )
+                if not sent or not keep_alive:
+                    return
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - teardown race
+                pass
 
     # -- lifecycle ---------------------------------------------------------
+
+    def uptime_seconds(self) -> float:
+        """Seconds since this server object was created."""
+        return round(time.monotonic() - self._started_at, 3)
 
     async def serve(
         self,
@@ -257,7 +285,7 @@ class LocalizationServer:
                 else:
                     await stop.wait()
         finally:
-            self.dispatcher.close()
+            self._close_backend()
 
     def run(self) -> int:
         """Blocking entry point (``repro serve``); returns an exit code.
@@ -267,12 +295,7 @@ class LocalizationServer:
         import signal
 
         def _announce() -> None:
-            print(
-                f"serving {self.entry.key.framework} "
-                f"({self.entry.suite_name}, {self.entry.source}) "
-                f"on http://{self.host}:{self.port}",
-                flush=True,
-            )
+            print(self._banner(), flush=True)
 
         async def _main() -> None:
             stop = asyncio.Event()
@@ -327,3 +350,90 @@ class LocalizationServer:
             if time.monotonic() > deadline:
                 raise RuntimeError("server failed to start within 30s")
         return BackgroundServer(thread, box["loop"], box["stop"], self.port)
+
+
+class LocalizationServer(JsonHttpServer):
+    """HTTP front-end over one warm model and its dispatcher.
+
+    Parameters
+    ----------
+    entry:
+        The warm :class:`~repro.serve.store.StoreEntry` to serve.
+    dispatcher:
+        The :class:`~repro.serve.dispatcher.BatchingDispatcher` wrapping
+        ``entry.localizer``.
+    store:
+        Optional :class:`~repro.serve.store.ModelStore` backing
+        ``/models``; without it the endpoint reports just this entry.
+    host / port:
+        Bind address (see :class:`JsonHttpServer`).
+    """
+
+    def __init__(
+        self,
+        entry: StoreEntry,
+        dispatcher: BatchingDispatcher,
+        *,
+        store: Optional[ModelStore] = None,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+    ) -> None:
+        super().__init__(host=host, port=port)
+        self.entry = entry
+        self.dispatcher = dispatcher
+        self.store = store
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, error_response("use GET /healthz")
+            return 200, self._healthz()
+        if path == "/models":
+            if method != "GET":
+                return 405, error_response("use GET /models")
+            return 200, self._models()
+        if path == "/localize":
+            if method != "POST":
+                return 405, error_response("use POST /localize")
+            queries = parse_localize(parse_json_body(body), self.entry.n_aps)
+            coords = await self.dispatcher.localize(queries)
+            return 200, location_response(coords)
+        if path == "/localize_batch":
+            if method != "POST":
+                return 405, error_response("use POST /localize_batch")
+            queries = parse_localize_batch(
+                parse_json_body(body), self.entry.n_aps
+            )
+            coords = await self.dispatcher.localize(queries)
+            return 200, locations_response(coords)
+        return 404, error_response(f"unknown endpoint {path!r}")
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "framework": self.entry.key.framework,
+            "suite": self.entry.suite_name,
+            "n_aps": self.entry.n_aps,
+            "model_source": self.entry.source,
+            "uptime_seconds": self.uptime_seconds(),
+            "requests_served": self.requests_served,
+            "dispatcher": self.dispatcher.stats.as_dict(),
+        }
+
+    def _models(self) -> dict:
+        if self.store is not None:
+            payload = self.store.describe()
+        else:
+            payload = {"models": [self.entry.describe()]}
+        payload["dispatcher"] = self.dispatcher.stats.as_dict()
+        return payload
+
+    def _banner(self) -> str:
+        return (
+            f"serving {self.entry.key.framework} "
+            f"({self.entry.suite_name}, {self.entry.source}) "
+            f"on http://{self.host}:{self.port}"
+        )
+
+    def _close_backend(self) -> None:
+        self.dispatcher.close()

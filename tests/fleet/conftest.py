@@ -1,0 +1,47 @@
+"""Fleet-layer fixtures: a small two-building fleet, warm and fitted."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetRegistry, ScanRouter, parse_fleet_spec
+from repro.fleet.experiment import fleet_epoch_traffic
+
+
+@pytest.fixture(scope="session")
+def fleet_registry():
+    """Two buildings x two floors; LAB's radio maps are kmeans-sharded."""
+    return FleetRegistry.from_specs(
+        parse_fleet_spec("HQ:2,LAB:2:kmeans"),
+        framework="KNN",
+        seed=0,
+        fast=True,
+        months=2,
+        aps_per_floor=12,
+    )
+
+
+@pytest.fixture(scope="session")
+def fleet_router(fleet_registry):
+    return ScanRouter(fleet_registry)
+
+
+@pytest.fixture(scope="session")
+def fleet_traffic(fleet_registry):
+    """Epoch-0 mixed traffic: (scans, true_building_idx, true_floors, xy)."""
+    return fleet_epoch_traffic(fleet_registry, 0)
+
+
+def direct_slot_predictions(registry, scans, building_idx, floors):
+    """Reference answers: query each target slot's localizer directly."""
+    coords = np.empty((scans.shape[0], 2), dtype=np.float64)
+    for j, deployment in enumerate(registry.buildings):
+        for floor in deployment.floors:
+            rows = np.flatnonzero((building_idx == j) & (floors == floor))
+            if rows.shape[0]:
+                localizer = deployment.slots[floor].entry.localizer
+                coords[rows] = localizer.predict_batched(
+                    deployment.block(scans[rows])
+                )
+    return coords

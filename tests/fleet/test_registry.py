@@ -1,0 +1,153 @@
+"""FleetRegistry: topology, shared warm store, per-slot index, persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetRegistry, parse_fleet_spec
+from repro.multifloor import floor_suite
+
+
+class TestTopology:
+    def test_ap_blocks_are_contiguous(self, fleet_registry):
+        buildings = fleet_registry.buildings
+        assert buildings[0].ap_start == 0
+        for prev, cur in zip(buildings, buildings[1:]):
+            assert cur.ap_start == prev.ap_stop
+        assert fleet_registry.n_aps == buildings[-1].ap_stop
+
+    def test_slot_count_and_order(self, fleet_registry):
+        slots = fleet_registry.slots()
+        assert fleet_registry.n_slots == len(slots) == 4
+        assert [s.slot.label for s in slots] == [
+            "HQ/f0", "HQ/f1", "LAB/f0", "LAB/f1",
+        ]
+
+    def test_lookup(self, fleet_registry):
+        slot = fleet_registry.slot("LAB", 1)
+        assert slot.slot.building == "LAB" and slot.slot.floor == 1
+        with pytest.raises(KeyError, match="no floor 7"):
+            fleet_registry.slot("LAB", 7)
+        with pytest.raises(KeyError, match="unknown building"):
+            fleet_registry.slot("ANNEX", 0)
+
+    def test_describe_is_json_ready(self, fleet_registry):
+        import json
+
+        payload = fleet_registry.describe()
+        assert json.loads(json.dumps(payload))["n_slots"] == 4
+        assert len(payload["buildings"]) == 2
+
+
+class TestPerSlotIndex:
+    def test_spec_index_kind_applies_per_building(self, fleet_registry):
+        for floor in (0, 1):
+            hq = fleet_registry.slot("HQ", floor).entry.localizer.index_describe()
+            lab = fleet_registry.slot("LAB", floor).entry.localizer.index_describe()
+            assert hq is None or hq.get("kind") == "exhaustive"
+            assert lab["kind"] == "kmeans"
+
+    def test_index_is_part_of_model_identity(self, fleet_registry):
+        digests = {s.entry.key.digest for s in fleet_registry.slots()}
+        assert len(digests) == 4  # four distinct fitted artifacts
+
+    def test_spec_kind_override_keeps_fleet_wide_shard_tuning(self):
+        # "HQ:2:region" with a fleet-wide kmeans config overrides only
+        # the *kind*; the user's n_shards/n_probe tuning must survive.
+        from repro.index import IndexConfig
+
+        registry = FleetRegistry.from_specs(
+            parse_fleet_spec("A:2:region"),
+            framework="KNN",
+            seed=0,
+            fast=True,
+            index=IndexConfig(kind="kmeans", n_shards=8, n_probe=3),
+            months=2,
+            aps_per_floor=10,
+        )
+        for slot in registry.slots():
+            assert slot.index.kind == "region"
+            assert slot.index.n_shards == 8
+            assert slot.index.n_probe == 3
+
+
+class TestSharedStore:
+    def test_all_slots_share_one_store(self, fleet_registry):
+        store_digests = {e.key.digest for e in fleet_registry.store.entries()}
+        slot_digests = {s.entry.key.digest for s in fleet_registry.slots()}
+        assert slot_digests <= store_digests
+
+    def test_duplicate_building_rejected(self, fleet_registry):
+        suite = fleet_registry.building("HQ").suite
+        with pytest.raises(ValueError, match="already registered"):
+            fleet_registry.add_building("HQ", suite)
+
+    def test_same_content_is_warm_not_refit(self, fleet_registry):
+        # Re-adding identical content under a new name reuses the warm
+        # fitted models (content-addressed store, not name-addressed).
+        fits_before = fleet_registry.store.fits
+        registry2 = FleetRegistry(store=fleet_registry.store)
+        registry2.add_building(
+            "HQ-COPY", fleet_registry.building("HQ").suite,
+            framework="KNN", seed=0, fast=True,
+        )
+        assert fleet_registry.store.fits == fits_before
+
+
+class TestPersistence:
+    def test_restart_warm_loads_every_slot(self, tmp_path):
+        spec = parse_fleet_spec("A:2")
+        kwargs = dict(
+            framework="KNN", seed=3, fast=True, months=2, aps_per_floor=10
+        )
+        first = FleetRegistry.from_specs(
+            spec, model_dir=tmp_path / "models", **kwargs
+        )
+        assert all(s.entry.source == "fitted" for s in first.slots())
+        second = FleetRegistry.from_specs(
+            spec, model_dir=tmp_path / "models", **kwargs
+        )
+        assert all(s.entry.source == "disk" for s in second.slots())
+        for a, b in zip(first.slots(), second.slots()):
+            assert a.entry.key.digest == b.entry.key.digest
+
+
+class TestFloorSuite:
+    def test_slot_suite_matches_building_floor(self, fleet_registry):
+        deployment = fleet_registry.building("HQ")
+        for floor in deployment.floors:
+            suite = floor_suite(deployment.suite, floor)
+            sliced = deployment.suite.train.floor_slice(floor)
+            np.testing.assert_array_equal(suite.train.rssi, sliced.rssi)
+            # Floorplan-local contiguous labels, building-wide AP columns.
+            assert int(suite.train.rp_indices.min()) == 0
+            assert (
+                int(suite.train.rp_indices.max())
+                < suite.floorplan.n_reference_points
+            )
+            assert suite.n_aps == deployment.suite.train.n_aps
+            assert suite.metadata["floor"] == floor
+
+    def test_test_epochs_use_train_offset(self, fleet_registry):
+        deployment = fleet_registry.building("LAB")
+        suite = floor_suite(deployment.suite, 1)
+        for ds in suite.test_epochs:
+            assert int(ds.rp_indices.min()) >= 0
+            assert int(ds.rp_indices.max()) < suite.floorplan.n_reference_points
+
+    def test_empty_epoch_slice_survives_with_pinned_offset(self, fleet_registry):
+        # A test month with zero scans on a floor must remap to an
+        # empty dataset, not crash slot construction (real corpora have
+        # unevenly surveyed months).
+        from repro.multifloor import floor_local_dataset
+
+        deployment = fleet_registry.building("HQ")
+        ds = deployment.suite.test_epochs[0]
+        only_f0 = ds.select(ds.floor_indices == 0)
+        floorplan = deployment.suite.building.floor(1)
+        empty = floor_local_dataset(only_f0, 1, floorplan, rp_offset=66)
+        assert empty.n_samples == 0
+        assert empty.n_aps == ds.n_aps
+        with pytest.raises(ValueError, match="rp_offset"):
+            floor_local_dataset(only_f0, 1, floorplan)

@@ -1,0 +1,141 @@
+"""ScanRouter: the oracle bit-identity property, accuracy, edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.access_point import NO_SIGNAL_DBM
+
+from .conftest import direct_slot_predictions
+
+
+class TestOracleBitIdentity:
+    """Acceptance bar: forced-oracle routing == direct slot queries."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_forced_routing_is_bit_identical_to_direct(
+        self, data, fleet_registry, fleet_router, fleet_traffic
+    ):
+        scans, true_b, true_f, _ = fleet_traffic
+        rows = data.draw(
+            st.lists(
+                st.integers(0, scans.shape[0] - 1),
+                min_size=1,
+                max_size=32,
+            )
+        )
+        rows = np.asarray(rows)
+        subset = scans[rows]
+        decision = fleet_router.decide(true_b[rows], true_f[rows])
+        routed, _ = fleet_router.predict(subset, decision=decision)
+        direct = direct_slot_predictions(
+            fleet_registry, subset, true_b[rows], true_f[rows]
+        )
+        np.testing.assert_array_equal(routed, direct)
+
+    def test_hierarchical_routing_matches_its_own_decision(
+        self, fleet_registry, fleet_router, fleet_traffic
+    ):
+        # Whatever the router decides, the grouped batch answers must be
+        # bit-identical to querying each *decided* slot directly.
+        scans = fleet_traffic[0]
+        routed, decision = fleet_router.predict(scans)
+        direct = direct_slot_predictions(
+            fleet_registry, scans, decision.building_idx, decision.floors
+        )
+        np.testing.assert_array_equal(routed, direct)
+
+
+class TestRoutingAccuracy:
+    def test_epoch0_routing_is_accurate(self, fleet_router, fleet_traffic):
+        scans, true_b, true_f, _ = fleet_traffic
+        decision = fleet_router.route(scans)
+        assert (decision.building_idx == true_b).mean() == 1.0
+        assert ((decision.floors == true_f) & (decision.building_idx == true_b)).mean() > 0.9
+
+    def test_decisions_are_deterministic(self, fleet_router, fleet_traffic):
+        scans = fleet_traffic[0][:64]
+        a = fleet_router.route(scans)
+        b = fleet_router.route(scans)
+        np.testing.assert_array_equal(a.building_idx, b.building_idx)
+        np.testing.assert_array_equal(a.floors, b.floors)
+
+
+class TestForcing:
+    def test_decide_flags_forced(self, fleet_router, fleet_traffic):
+        _, true_b, true_f, _ = fleet_traffic
+        assert fleet_router.decide(true_b[:4], true_f[:4]).forced
+        assert not fleet_router.route(fleet_traffic[0][:4]).forced
+
+    def test_decide_rejects_unknown_slots(self, fleet_router, fleet_traffic):
+        _, true_b, true_f, _ = fleet_traffic
+        with pytest.raises(ValueError, match="no fitted floor"):
+            fleet_router.decide(true_b[:2], np.array([9, 9]))
+        with pytest.raises(ValueError, match="building index"):
+            fleet_router.decide(np.array([5, 5]), true_f[:2])
+
+    def test_decide_slot_pins_every_row(self, fleet_registry, fleet_router):
+        decision = fleet_router.decide_slot("LAB", 1, n_rows=3)
+        assert decision.forced
+        assert set(decision.floors.tolist()) == {1}
+        labels = [s.label for s in decision.slot_ids(fleet_registry)]
+        assert labels == ["LAB/f1"] * 3
+        with pytest.raises(KeyError):
+            fleet_router.decide_slot("LAB", 9, n_rows=1)
+
+    def test_route_building_classifies_floor_only(
+        self, fleet_router, fleet_traffic
+    ):
+        scans, true_b, true_f, _ = fleet_traffic
+        rows = np.flatnonzero(true_b == 1)[:16]
+        decision = fleet_router.route_building(scans[rows], "LAB")
+        assert decision.forced
+        assert set(decision.building_idx.tolist()) == {1}
+        assert (decision.floors == true_f[rows]).mean() > 0.9
+
+
+class TestEdgeCases:
+    def test_all_silent_scan_routes_deterministically(
+        self, fleet_registry, fleet_router
+    ):
+        silent = np.full((1, fleet_registry.n_aps), NO_SIGNAL_DBM)
+        decision = fleet_router.route(silent)
+        assert decision.building_idx[0] == 0  # block-order tie-break
+        assert int(decision.floors[0]) in fleet_registry.buildings[0].floors
+        coords, _ = fleet_router.predict(silent)
+        assert coords.shape == (1, 2) and np.isfinite(coords).all()
+
+    def test_wrong_width_rejected(self, fleet_router):
+        with pytest.raises(ValueError, match="fleet-wide"):
+            fleet_router.check_scans(np.zeros((2, 3)))
+
+    def test_single_row_vector_accepted(self, fleet_registry, fleet_router):
+        row = np.full(fleet_registry.n_aps, NO_SIGNAL_DBM)
+        assert fleet_router.check_scans(row).shape == (1, fleet_registry.n_aps)
+
+    def test_stale_decision_size_rejected(self, fleet_router, fleet_traffic):
+        scans, true_b, true_f, _ = fleet_traffic
+        decision = fleet_router.decide(true_b[:3], true_f[:3])
+        with pytest.raises(ValueError, match="decision covers"):
+            fleet_router.predict(scans[:5], decision=decision)
+
+    def test_empty_batch_rejected_cleanly(self, fleet_registry, fleet_router):
+        with pytest.raises(ValueError, match="at least one scan row"):
+            fleet_router.route(np.empty((0, fleet_registry.n_aps)))
+
+    def test_hand_built_decision_with_unfitted_slot_rejected(
+        self, fleet_router, fleet_traffic
+    ):
+        # A decision naming a slot the fleet doesn't serve must raise,
+        # never return unwritten coordinate memory for the dropped rows.
+        from repro.fleet import RoutingDecision
+
+        decision = RoutingDecision(
+            building_idx=np.array([0, 0]), floors=np.array([0, 99])
+        )
+        with pytest.raises(ValueError, match="outside the fleet"):
+            fleet_router.predict(fleet_traffic[0][:2], decision=decision)

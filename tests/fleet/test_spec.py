@@ -1,0 +1,59 @@
+"""Building-spec grammar: parsing, round-trips, pointed errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import BuildingSpec, format_fleet_spec, parse_fleet_spec
+
+
+class TestParse:
+    def test_basic(self):
+        specs = parse_fleet_spec("HQ:2,LAB:3")
+        assert [(s.name, s.n_floors) for s in specs] == [("HQ", 2), ("LAB", 3)]
+        assert all(s.index_kind is None for s in specs)
+
+    def test_index_kind(self):
+        specs = parse_fleet_spec("HQ:2:kmeans,LAB:2:region")
+        assert [s.index_kind for s in specs] == ["kmeans", "region"]
+
+    def test_whitespace_and_case_tolerance(self):
+        specs = parse_fleet_spec("  HQ:2 , LAB:2:KMEANS ")
+        assert [s.name for s in specs] == ["HQ", "LAB"]
+        assert specs[1].index_kind == "kmeans"
+
+    def test_round_trip(self):
+        spec = "HQ:2,LAB:3:kmeans"
+        assert format_fleet_spec(parse_fleet_spec(spec)) == spec
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", ["", "  ", ","])
+    def test_empty(self, bad):
+        with pytest.raises(ValueError, match="empty"):
+            parse_fleet_spec(bad)
+
+    def test_malformed_token(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_fleet_spec("HQ")
+
+    def test_non_integer_floors(self):
+        with pytest.raises(ValueError, match="not an integer"):
+            parse_fleet_spec("HQ:two")
+
+    def test_duplicate_building(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_fleet_spec("HQ:2,HQ:3")
+
+    def test_unknown_index_kind(self):
+        with pytest.raises(ValueError, match="index kind"):
+            parse_fleet_spec("HQ:2:faiss")
+
+    @pytest.mark.parametrize("floors", [0, 1, -3, 999])
+    def test_floor_range(self, floors):
+        with pytest.raises(ValueError, match="n_floors"):
+            parse_fleet_spec(f"HQ:{floors}")
+
+    def test_bad_name(self):
+        with pytest.raises(ValueError, match="alphanumeric"):
+            BuildingSpec(name="a b", n_floors=2)

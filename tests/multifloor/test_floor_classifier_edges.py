@@ -1,0 +1,120 @@
+"""FloorClassifier edge cases: degenerate buildings, silent scans, ties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.multifloor import FloorClassifier
+from repro.radio.access_point import NO_SIGNAL_DBM
+
+
+def _refs(rng, n, n_aps):
+    return rng.uniform(-90.0, -30.0, size=(n, n_aps))
+
+
+class TestSingleFloorBuilding:
+    def test_any_scan_maps_to_the_only_floor(self):
+        rng = np.random.default_rng(0)
+        clf = FloorClassifier(k=3).fit(
+            _refs(rng, 8, 10), np.full(8, 2, dtype=np.int64)
+        )
+        queries = _refs(rng, 5, 10)
+        assert (clf.predict(queries) == 2).all()
+
+    def test_fewer_refs_than_k(self):
+        # k clamps to the reference count instead of failing.
+        rng = np.random.default_rng(1)
+        clf = FloorClassifier(k=10).fit(
+            _refs(rng, 3, 6), np.zeros(3, dtype=np.int64)
+        )
+        assert (clf.predict(_refs(rng, 4, 6)) == 0).all()
+
+
+class TestAllMissingScan:
+    def test_silent_scan_is_finite_and_deterministic(self):
+        rng = np.random.default_rng(2)
+        rssi = _refs(rng, 12, 8)
+        floors = np.repeat([0, 1], 6)
+        clf = FloorClassifier(k=5).fit(rssi, floors)
+        silent = np.full((1, 8), NO_SIGNAL_DBM)
+        first = clf.predict(silent)
+        assert first.shape == (1,)
+        assert int(first[0]) in (0, 1)
+        for _ in range(3):
+            np.testing.assert_array_equal(clf.predict(silent), first)
+
+    def test_all_missing_refs_and_scan(self):
+        # Degenerate but must not produce NaNs or crash: a building
+        # whose survey has a dead zone still classifies deterministically.
+        rssi = np.full((4, 6), NO_SIGNAL_DBM)
+        floors = np.array([0, 0, 1, 1])
+        clf = FloorClassifier(k=2).fit(rssi, floors)
+        out = clf.predict(np.full((2, 6), NO_SIGNAL_DBM))
+        np.testing.assert_array_equal(out, out.astype(np.int64))
+        # All distances tie exactly; the vote must break ties the same
+        # way every call (np.unique order: lowest label wins).
+        np.testing.assert_array_equal(out, [0, 0])
+
+
+class TestTieBreaking:
+    def _tied_classifier(self, k=4):
+        """Two identical reference pairs on floors 0 and 1: exact vote tie."""
+        base = np.array([-50.0, -60.0, -70.0, -80.0])
+        rssi = np.vstack([base, base, base, base])
+        floors = np.array([1, 0, 1, 0])  # scrambled label order on purpose
+        return FloorClassifier(k=k).fit(rssi, floors)
+
+    def test_exact_vote_tie_resolves_to_lowest_floor(self):
+        clf = self._tied_classifier()
+        query = np.array([[-50.0, -60.0, -70.0, -80.0]])
+        assert int(clf.predict(query)[0]) == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+    def test_tie_outcome_is_seed_independent(self, seed):
+        # Queries generated from different seeds, all exactly equidistant
+        # from both floors' references: the tie must always resolve the
+        # same way — there is no RNG anywhere in the classifier.
+        clf = self._tied_classifier()
+        rng = np.random.default_rng(seed)
+        offsets = rng.uniform(-5.0, 5.0, size=(6, 1))
+        queries = np.array([-50.0, -60.0, -70.0, -80.0]) + offsets
+        np.testing.assert_array_equal(
+            clf.predict(np.clip(queries, NO_SIGNAL_DBM, 0.0)),
+            np.zeros(6, dtype=np.int64),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_prediction_independent_of_reference_row_order(self, seed):
+        # Shuffling the training rows must not change majority votes on
+        # clearly-separated floors (distance ties aside, the vote is a
+        # set operation).
+        rng = np.random.default_rng(seed)
+        floor0 = rng.uniform(-60.0, -30.0, size=(10, 8))
+        floor1 = rng.uniform(-100.0, -85.0, size=(10, 8))
+        rssi = np.vstack([floor0, floor1])
+        floors = np.repeat([0, 1], 10)
+        queries = np.clip(floor0[:4] + rng.normal(0, 0.5, (4, 8)), -100, 0)
+        baseline = FloorClassifier(k=5).fit(rssi, floors).predict(queries)
+        perm = rng.permutation(20)
+        shuffled = FloorClassifier(k=5).fit(rssi[perm], floors[perm]).predict(queries)
+        np.testing.assert_array_equal(baseline, shuffled)
+        np.testing.assert_array_equal(baseline, np.zeros(4, dtype=np.int64))
+
+
+class TestValidation:
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FloorClassifier().fit(np.empty((0, 4)), np.empty(0, dtype=np.int64))
+
+    def test_fit_rejects_misaligned_floors(self):
+        with pytest.raises(ValueError, match="align"):
+            FloorClassifier().fit(np.zeros((3, 4)) - 50.0, np.zeros(2, dtype=np.int64))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            FloorClassifier().predict(np.zeros((1, 4)))
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            FloorClassifier(k=0)

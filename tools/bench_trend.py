@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Grow and render the perf trajectory from bench ``--json`` reports.
+
+``tools/check_bench_regression.py`` gates a single run against committed
+floors; this tool keeps the *history*: every run's metrics appended to
+one JSONL file per bench under ``benchmarks/history/``, and a
+markdown/text rendering of how each metric moved across runs.
+
+Two subcommands::
+
+    # after running the benches with --json into a results dir
+    python tools/bench_trend.py append bench-out --commit $(git rev-parse --short HEAD)
+    # render the trajectory (markdown table + unicode sparkline per metric)
+    python tools/bench_trend.py render --out bench-out/trend.md
+
+CI appends its run (commit-stamped) and uploads the rendered trajectory
+with the bench artifacts, so every main-branch commit's numbers are one
+artifact download away. The committed history seeds the trajectory;
+re-committing CI-appended entries is optional and deliberate, like
+re-baselining.
+
+History line schema (one JSON object per line)::
+
+    {"ts": <iso8601>, "commit": <sha-or-null>, "quick": <bool>,
+     "metrics": {<name>: <number-or-bool>, ...}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HISTORY_DIR = REPO_ROOT / "benchmarks" / "history"
+
+#: Eight-level bar for the sparkline rendering.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def _load_json(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}") from exc
+
+
+def append(args: argparse.Namespace) -> int:
+    """Append every ``<results_dir>/*.json`` report to its history file."""
+    results_dir = Path(args.results_dir)
+    if not results_dir.is_dir():
+        raise SystemExit(f"error: results dir {results_dir} does not exist")
+    history_dir = Path(args.history)
+    history_dir.mkdir(parents=True, exist_ok=True)
+    reports = sorted(results_dir.glob("*.json"))
+    if not reports:
+        raise SystemExit(f"error: no *.json bench reports in {results_dir}")
+    stamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    for path in reports:
+        report = _load_json(path)
+        name = report.get("bench", path.stem)
+        entry = {
+            "ts": stamp,
+            "commit": args.commit,
+            "quick": report.get("quick"),
+            "metrics": report.get("metrics", {}),
+        }
+        out = history_dir / f"{name}.jsonl"
+        with out.open("a") as fh:
+            fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        print(f"appended {name} -> {out}")
+    return 0
+
+
+def _sparkline(values: list[float]) -> str:
+    finite = [v for v in values if v is not None]
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in values:
+        if v is None:
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_SPARK[3])
+        else:
+            chars.append(_SPARK[round((v - lo) / span * (len(_SPARK) - 1))])
+    return "".join(chars)
+
+
+def _render_bench(name: str, entries: list[dict], last_n: int) -> list[str]:
+    entries = entries[-last_n:]
+    metrics: dict[str, list] = {}
+    for entry in entries:
+        for key in entry.get("metrics", {}):
+            metrics.setdefault(key, [])
+    for entry in entries:
+        for key, series in metrics.items():
+            series.append(entry.get("metrics", {}).get(key))
+    lines = [f"## {name}", ""]
+    lines.append("| metric | first | last | range | trend |")
+    lines.append("|---|---|---|---|---|")
+    for key in sorted(metrics):
+        series = metrics[key]
+        if any(isinstance(v, bool) for v in series if v is not None):
+            shown = "".join(
+                "?" if v is None else ("T" if v else "F") for v in series
+            )
+            # "last" reports the latest run's verdict; the T/F trend
+            # string still shows any historical breaks.
+            present = [v for v in series if v is not None]
+            ok = bool(present[-1]) if present else False
+            lines.append(
+                f"| {key} | — | {'ok' if ok else 'BROKEN'} | — | `{shown}` |"
+            )
+            continue
+        numeric = [float(v) if v is not None else None for v in series]
+        finite = [v for v in numeric if v is not None]
+        if not finite:
+            continue
+        lines.append(
+            f"| {key} | {finite[0]:g} | {finite[-1]:g} "
+            f"| {min(finite):g}..{max(finite):g} "
+            f"| `{_sparkline(numeric)}` |"
+        )
+    commits = [e.get("commit") or "?" for e in entries]
+    lines.append("")
+    lines.append(
+        f"{len(entries)} runs, newest commit: `{commits[-1]}` "
+        f"({entries[-1].get('ts', '?')})"
+    )
+    lines.append("")
+    return lines
+
+
+def render(args: argparse.Namespace) -> int:
+    """Render every history file into one markdown trajectory."""
+    history_dir = Path(args.history)
+    files = sorted(history_dir.glob("*.jsonl"))
+    if not files:
+        raise SystemExit(f"error: no *.jsonl history in {history_dir}")
+    lines = ["# Bench trajectory", ""]
+    for path in files:
+        entries = []
+        for raw in path.read_text().splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                entries.append(json.loads(raw))
+            except json.JSONDecodeError:
+                print(f"warning: skipping corrupt line in {path}", file=sys.stderr)
+        if entries:
+            lines.extend(_render_bench(path.stem, entries, args.last))
+    text = "\n".join(lines)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        try:
+            print(text)
+        except BrokenPipeError:  # piped into head etc.
+            pass
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser(
+        "append", help="append a results dir of bench JSON to the history"
+    )
+    p_append.add_argument(
+        "results_dir", help="directory of <name>.json produced by the benches"
+    )
+    p_append.add_argument(
+        "--history", default=str(HISTORY_DIR),
+        help="history directory (default: benchmarks/history)",
+    )
+    p_append.add_argument(
+        "--commit", default=None, help="commit SHA to stamp the entries with"
+    )
+    p_append.set_defaults(fn=append)
+
+    p_render = sub.add_parser(
+        "render", help="render the history as a markdown trajectory"
+    )
+    p_render.add_argument(
+        "--history", default=str(HISTORY_DIR),
+        help="history directory (default: benchmarks/history)",
+    )
+    p_render.add_argument(
+        "--last", type=int, default=30,
+        help="runs shown per bench (default: 30)",
+    )
+    p_render.add_argument(
+        "--out", default=None,
+        help="write markdown here instead of stdout",
+    )
+    p_render.set_defaults(fn=render)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
