@@ -13,11 +13,11 @@ stays the stability reference without any of that.
 
 import numpy as np
 
+from repro.datasets import generate_path_suite
 from repro.eval import compare_frameworks, comparison_table
 from repro.eval.experiments import is_fast_mode
 
 from .conftest import run_once, save_artifact
-from repro.datasets import generate_path_suite
 
 FRAMEWORKS = ("STONE", "LT-KNN", "WiDeep", "PL-Ensemble", "SELE")
 

@@ -2,12 +2,14 @@
 
 End-to-end fleet walkthrough over real HTTP:
 
-1. Generate two multi-floor buildings (HQ sharded with a kmeans radio-map
-   index, LAB exhaustive), fit one warm KNN model per (building, floor)
-   slot out of a shared model store.
+1. Describe the fleet with a :class:`repro.api.FleetSpec` (HQ sharded
+   with a kmeans radio-map index, LAB exhaustive) and build it — one
+   warm KNN model per (building, floor) slot out of a shared model
+   store.
 2. Start the :class:`~repro.fleet.FleetServer` in a background thread.
-3. Fire a mix of every slot's test scans through ``POST /localize`` on
-   kept-alive connections — no routing hints, the server classifies
+3. Fire a mix of every slot's test scans through ``POST /localize``
+   from per-thread :class:`repro.api.ReproClient` instances (kept-alive
+   connections, typed errors) — no routing hints, the server classifies
    building then floor per scan.
 4. Print per-slot routing stats from ``GET /fleet`` next to the ground
    truth, plus one forced-slot request to show routing pins.
@@ -17,49 +19,33 @@ End-to-end fleet walkthrough over real HTTP:
 """
 
 import argparse
-import http.client
-import json
 import threading
 import time
 
 import numpy as np
 
-from repro.fleet import (
-    FleetDispatcher,
-    FleetRegistry,
-    FleetServer,
-    parse_fleet_spec,
-)
+from repro.api import FleetSpec, ReproClient, ReproError
 from repro.fleet.experiment import fleet_epoch_traffic
 
 
 def fire_requests(port, scans, truths, replies, errors):
-    """One client thread: POST scans over a single kept-alive connection.
+    """One client thread: POST scans over a single kept-alive client.
 
     Each reply is recorded as ``(true_slot_label, routed_slot_label)``
     so accuracy can be scored after the threads join, whatever order
     replies landed in.
     """
-    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
-    for scan, truth in zip(scans, truths):
-        try:
-            conn.request(
-                "POST", "/localize", body=json.dumps({"rssi": scan.tolist()})
+    with ReproClient(port=port) as client:
+        for scan, truth in zip(scans, truths):
+            try:
+                result = client.localize(scan)
+            except ReproError as exc:
+                errors.append(str(exc))
+                continue
+            routing = result.routing
+            replies.append(
+                (truth, f"{routing['building']}/f{routing['floor']}")
             )
-            response = conn.getresponse()
-            payload = json.loads(response.read())
-            if response.status == 200:
-                routing = payload["routing"]
-                replies.append(
-                    (truth, f"{routing['building']}/f{routing['floor']}")
-                )
-            else:
-                errors.append(payload)
-        except OSError as exc:
-            errors.append(str(exc))
-            conn.close()
-            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
-    conn.close()
 
 
 def main() -> None:
@@ -71,18 +57,20 @@ def main() -> None:
     args = parser.parse_args()
 
     print(f"building fleet {args.spec!r} ...")
-    registry = FleetRegistry.from_specs(
-        parse_fleet_spec(args.spec),
+    fleet_spec = FleetSpec.from_string(
+        args.spec,
         framework="KNN",
         seed=args.seed,
         fast=True,
         months=2,
         aps_per_floor=16,
+        port=0,
+        batch_window_ms=2.0,
     )
+    registry = fleet_spec.build_registry()
     print(registry.describe_text())
 
-    dispatcher = FleetDispatcher(registry, batch_window_ms=2.0)
-    server = FleetServer(registry, dispatcher, port=0)
+    server = fleet_spec.build_server(registry)
     handle = server.start_background()
     print(f"\nserving on http://127.0.0.1:{handle.port}\n")
 
@@ -126,31 +114,22 @@ def main() -> None:
     else:
         print(f"no successful replies; first errors: {errors[:3]}\n")
 
-    # Per-slot stats straight from the server.
-    conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=30)
-    conn.request("GET", "/fleet")
-    fleet = json.loads(conn.getresponse().read())
-    print("per-slot routing (server view):")
-    for label, stats in sorted(fleet["dispatch"]["slots"].items()):
-        routing = stats["routing"]
-        dispatch = stats["dispatcher"]
-        print(
-            f"  {label:<8} rows {routing['rows']:>5}  "
-            f"requests {routing['requests']:>5}  "
-            f"mean batch rows {dispatch['mean_batch_rows']:>5}"
-        )
+    with ReproClient(port=handle.port) as client:
+        # Per-slot stats straight from the server.
+        fleet = client.fleet()
+        print("per-slot routing (server view):")
+        for label, stats in sorted(fleet["dispatch"]["slots"].items()):
+            routing = stats["routing"]
+            dispatch = stats["dispatcher"]
+            print(
+                f"  {label:<8} rows {routing['rows']:>5}  "
+                f"requests {routing['requests']:>5}  "
+                f"mean batch rows {dispatch['mean_batch_rows']:>5}"
+            )
 
-    # A pinned request: the phone already knows its building.
-    conn.request(
-        "POST",
-        "/localize",
-        body=json.dumps(
-            {"rssi": scans[0].tolist(), "building": names[0], "floor": 0}
-        ),
-    )
-    pinned = json.loads(conn.getresponse().read())
-    print(f"\npinned request routing: {pinned['routing']}")
-    conn.close()
+        # A pinned request: the phone already knows its building.
+        pinned = client.localize(scans[0], building=names[0], floor=0)
+        print(f"\npinned request routing: {pinned.routing}")
 
     handle.shutdown()
     print("server shut down cleanly")

@@ -3,52 +3,43 @@
 Starts a `repro.serve` server in-process (background thread), fits a
 KNN localizer on a small office deployment, then fires concurrent
 threads of single-scan ``POST /localize`` requests at it — the traffic
-shape of many phones sharing one deployed localizer. Prints p50/p99
-latency, throughput, and the dispatcher's coalescing counters, then
-shuts the server down cleanly.
+shape of many phones sharing one deployed localizer. Each thread is one
+:class:`repro.api.ReproClient` on a kept-alive connection (wire
+protocol v1, typed errors, automatic 429 backoff — no hand-rolled
+HTTP). Prints p50/p99 latency, throughput, and the dispatcher's
+coalescing counters, then shuts the server down cleanly.
 
     python examples/serving_load.py
     python examples/serving_load.py --threads 32 --requests 50 --window-ms 2
 """
 
 import argparse
-import http.client
-import json
 import threading
 import time
 
 import numpy as np
 
+from repro.api import LocalizerSpec, ReproClient, ReproError, ServeSpec
 from repro.datasets import SuiteConfig, generate_path_suite
-from repro.serve import BatchingDispatcher, LocalizationServer, ModelStore
 
 
 def fire_requests(port, scans, latencies, errors):
     """One client thread: POST each scan, record wall latency.
 
-    The connection is opened once and kept alive across the whole scan
-    sequence (the server speaks persistent HTTP/1.1), so each request
-    pays inference + framing, not TCP setup. A dropped connection is
-    reopened and counted as an error for that scan.
+    The client keeps its connection alive across the whole scan
+    sequence, so each request pays inference + framing, not TCP setup;
+    dropped connections and 429 backoff are the client's problem, not
+    ours — anything it still raises is recorded as an error.
     """
-    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
-    for scan in scans:
-        body = json.dumps({"rssi": scan.tolist()})
-        t0 = time.perf_counter()
-        try:
-            conn.request("POST", "/localize", body=body)
-            response = conn.getresponse()
-            payload = json.loads(response.read())
-            if response.status != 200 or "location" not in payload:
-                errors.append(payload)
+    with ReproClient(port=port) as client:
+        for scan in scans:
+            t0 = time.perf_counter()
+            try:
+                client.localize(scan)
+            except ReproError as exc:
+                errors.append(str(exc))
                 continue
-        except OSError as exc:
-            errors.append(str(exc))
-            conn.close()
-            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
-            continue
-        latencies.append(time.perf_counter() - t0)
-    conn.close()
+            latencies.append(time.perf_counter() - t0)
 
 
 def main() -> None:
@@ -60,22 +51,29 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    # A small office deployment and a warm fitted model.
+    # A small office deployment served through the public spec surface.
     suite = generate_path_suite(
         "office",
         seed=args.seed,
         config=SuiteConfig(n_aps=30, fpr=4, train_fpr=3),
         n_cis=6,
     )
-    store = ModelStore()
-    entry = store.get_or_fit(args.framework, suite, seed=args.seed, fast=True)
+    spec = ServeSpec(
+        localizer=LocalizerSpec(
+            framework=args.framework,
+            suite_name="office",
+            fast=True,
+            seed=args.seed,
+        ),
+        port=0,
+        batch_window_ms=args.window_ms,
+        max_batch=256,
+    )
+    server = spec.build(suite)
+    entry = server.entry
     print(f"fitted {entry.key.framework} on {suite.name} "
           f"({entry.fit_seconds:.2f}s, {entry.n_aps} APs)")
 
-    dispatcher = BatchingDispatcher(
-        entry.localizer, batch_window_ms=args.window_ms, max_batch=256
-    )
-    server = LocalizationServer(entry, dispatcher, store=store, port=0)
     handle = server.start_background()
     print(f"serving on http://127.0.0.1:{handle.port} "
           f"(window {args.window_ms:g} ms)\n")
@@ -104,7 +102,7 @@ def main() -> None:
     print(f"throughput: {total / wall:7.0f} req/s   errors: {len(errors)}")
     print(f"latency:    p50 {np.percentile(lat, 50):.2f} ms   "
           f"p99 {np.percentile(lat, 99):.2f} ms")
-    print(f"dispatcher: {dispatcher.stats.as_dict()}")
+    print(f"dispatcher: {server.dispatcher.stats.as_dict()}")
 
     handle.shutdown()
     print("server shut down cleanly")

@@ -3,6 +3,13 @@ Localization with Mobile Devices (Tiku & Pasricha, DATE 2022).
 
 Public API tour
 ---------------
+- ``repro.api`` — **the typed public surface**: spec dataclasses
+  (:class:`~repro.api.LocalizerSpec`, :class:`~repro.api.ServeSpec`,
+  :class:`~repro.api.FleetSpec`), the
+  :class:`~repro.api.LocalizationSession` facade (identical over local
+  and remote backends) and the :class:`~repro.api.ReproClient` HTTP
+  client. New code builds through this; everything below is subject to
+  change between releases.
 - ``repro.core`` — the STONE framework (:class:`~repro.core.StoneLocalizer`).
 - ``repro.baselines`` — KNN, LT-KNN, GIFT, SCNN prior works, plus
   SELE / WiDeep / PL-Ensemble from the surrounding literature.
@@ -30,6 +37,7 @@ Quickstart::
 """
 
 from . import (
+    api,
     baselines,
     compress,
     core,
@@ -42,9 +50,10 @@ from . import (
     tracking,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "api",
     "nn",
     "geometry",
     "radio",

@@ -1,0 +1,76 @@
+"""``repro.api`` — the one typed, versioned public surface.
+
+Everything a client builds against lives here; the layers underneath
+(:mod:`repro.eval`, :mod:`repro.serve`, :mod:`repro.fleet`) are
+implementation and may move between releases. The surface has four
+parts:
+
+* **Specs** (:mod:`~repro.api.config`) — frozen, typed descriptions of
+  what to build: :class:`LocalizerSpec`, :class:`IndexSpec`,
+  :class:`ServeSpec`, :class:`FleetSpec`. Every spec round-trips
+  through ``to_dict``/``from_dict`` and has a canonical
+  ``fingerprint()``; ``LocalizerSpec.model_key(suite)`` reproduces the
+  serving layer's content-addressed artifact identity exactly, so
+  pre-existing cached fits stay warm.
+* **Session** (:mod:`~repro.api.session`) —
+  :class:`LocalizationSession` exposes ``fit`` / ``localize`` /
+  ``localize_batch`` / ``stats`` identically over an in-process model
+  and a remote server; answers are bit-identical between the two.
+* **Client** (:mod:`~repro.api.client`) — :class:`ReproClient`, the
+  stdlib keep-alive HTTP client with typed errors and automatic
+  backoff on 429.
+* **Wire protocol v1** — :data:`API_VERSION`; requests declaring
+  ``api_version`` get versioned responses and structured error bodies,
+  version-less (legacy) requests keep the pre-v1 shapes bit-identically.
+
+Quickstart::
+
+    from repro.api import LocalizerSpec, LocalizationSession
+    from repro.datasets import generate_path_suite
+
+    suite = generate_path_suite("office", seed=0)
+    spec = LocalizerSpec(framework="KNN", suite_name="office", fast=True)
+    with LocalizationSession.local(spec, suite) as session:
+        print(session.localize(suite.test_epochs[0].rssi[0]))
+
+Legacy entry points (``repro.baselines.make_localizer``, raw version-
+less HTTP payloads) keep working for one release behind
+``DeprecationWarning`` shims; see ``docs/api.md`` for the migration
+table.
+"""
+
+from ..serve.protocol import API_VERSION
+from .client import (
+    LocalizeBatchResult,
+    LocalizeResult,
+    ReproAPIError,
+    ReproClient,
+    ReproConnectionError,
+    ReproError,
+    ReproOverloadError,
+)
+from .config import FleetSpec, IndexSpec, LocalizerSpec, ServeSpec, engine_index
+from .session import (
+    LocalizationSession,
+    LocalLocalizationSession,
+    RemoteLocalizationSession,
+)
+
+__all__ = [
+    "API_VERSION",
+    "FleetSpec",
+    "IndexSpec",
+    "LocalizeBatchResult",
+    "LocalizeResult",
+    "LocalizerSpec",
+    "LocalizationSession",
+    "LocalLocalizationSession",
+    "RemoteLocalizationSession",
+    "ReproAPIError",
+    "ReproClient",
+    "ReproConnectionError",
+    "ReproError",
+    "ReproOverloadError",
+    "ServeSpec",
+    "engine_index",
+]

@@ -1,0 +1,355 @@
+"""`ReproClient` — the typed stdlib HTTP client for the serving layer.
+
+One keep-alive connection, wire protocol v1, typed errors, and
+backoff-aware retry on 429 — everything the examples used to hand-roll
+with ``http.client``, in one place:
+
+    from repro.api import ReproClient
+
+    with ReproClient(port=8000) as client:
+        result = client.localize([-62.0, -71.5, -100.0, -55.2])
+        print(result.location)          # np.ndarray (2,), meters
+
+Every request declares ``api_version`` (wire protocol v1), so error
+responses arrive as the structured ``{"error": {"code", "message",
+"retryable"}}`` object and surface as :class:`ReproAPIError` (or the
+:class:`ReproOverloadError` subclass for 429, which the client retries
+automatically with the server's ``retry_after_ms`` hint before giving
+up). Transport failures raise :class:`ReproConnectionError`; a dropped
+keep-alive connection is reopened and the request retried once —
+``/localize`` is a pure function of its payload, so the retry is safe.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from ..serve.protocol import API_VERSION
+
+
+class ReproError(Exception):
+    """Base class of every error this client raises."""
+
+
+class ReproConnectionError(ReproError):
+    """The server could not be reached (or dropped mid-request)."""
+
+
+class ReproAPIError(ReproError):
+    """The server answered with a structured (non-2xx) error.
+
+    Attributes mirror wire protocol v1's error object: ``status`` is
+    the HTTP status, ``code`` the machine-readable error code,
+    ``retryable`` whether the identical request can succeed later, and
+    ``payload`` the full decoded response body.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retryable: bool = False,
+        payload: Optional[dict] = None,
+    ) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retryable = retryable
+        self.payload = payload or {}
+
+
+class ReproOverloadError(ReproAPIError):
+    """HTTP 429: the admission queue is full right now.
+
+    Raised only after the client's automatic retries are exhausted.
+    ``retry_after_ms`` carries the server's last backoff hint.
+    """
+
+    def __init__(self, status: int, code: str, message: str, *,
+                 payload: Optional[dict] = None) -> None:
+        super().__init__(
+            status, code, message, retryable=True, payload=payload
+        )
+        self.retry_after_ms = float((payload or {}).get("retry_after_ms", 50))
+
+
+@dataclass
+class LocalizeResult:
+    """One ``/localize`` answer: the coordinate plus fleet routing."""
+
+    location: np.ndarray
+    #: Fleet mode only: ``{"building", "floor", "forced"}``; ``None``
+    #: against a single-model server.
+    routing: Optional[dict] = None
+    raw: dict = field(default_factory=dict)
+
+
+@dataclass
+class LocalizeBatchResult:
+    """One ``/localize_batch`` answer: ``(n, 2)`` coordinates + routing."""
+
+    locations: np.ndarray
+    n: int
+    #: Fleet mode only: one routing entry per row.
+    routing: Optional[list] = None
+    raw: dict = field(default_factory=dict)
+
+
+def _error_fields(status: int, payload: dict) -> tuple[str, str, bool]:
+    """Extract (code, message, retryable) from either error shape."""
+    err = payload.get("error")
+    if isinstance(err, dict):  # wire protocol v1
+        return (
+            str(err.get("code", "error")),
+            str(err.get("message", "")),
+            bool(err.get("retryable", False)),
+        )
+    detail = payload.get("error_detail")
+    if isinstance(detail, dict):  # legacy body, structure alongside
+        return (
+            str(detail.get("code", "error")),
+            str(detail.get("message", err or "")),
+            bool(detail.get("retryable", False)),
+        )
+    return "error", str(err if err is not None else payload), status == 429
+
+
+class ReproClient:
+    """Keep-alive HTTP client for the single-model and fleet servers.
+
+    Parameters
+    ----------
+    host / port:
+        The server's bind address (``repro serve`` defaults).
+    timeout:
+        Socket timeout in seconds for each request.
+    max_retries:
+        How many times a 429 (or a dropped connection) is retried
+        before the error surfaces. ``0`` disables retrying.
+    retry_backoff_s:
+        Fallback sleep between 429 retries when the server sends no
+        ``retry_after_ms`` hint; each retry doubles it.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        *,
+        timeout: float = 30.0,
+        max_retries: int = 3,
+        retry_backoff_s: float = 0.05,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.retry_backoff_s = retry_backoff_s
+        self.api_version = API_VERSION
+        #: Requests that received an HTTP response (any status).
+        self.requests_sent = 0
+        #: Automatic retries performed (429 backoffs + reconnects).
+        self.retries = 0
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    @classmethod
+    def from_url(cls, url: str, **kwargs) -> "ReproClient":
+        """Build from ``"http://host:port"`` (scheme optional).
+
+        Only plain HTTP is spoken; an ``https://`` URL is rejected
+        rather than silently downgraded, and so is a URL with a path —
+        the servers route on absolute paths only.
+        """
+        stripped = url.strip()
+        if stripped.startswith("https://"):
+            raise ValueError(
+                f"{url!r}: https is not supported; the serving layer "
+                f"speaks plain HTTP (terminate TLS in front of it)"
+            )
+        if stripped.startswith("http://"):
+            stripped = stripped[len("http://"):]
+        stripped = stripped.rstrip("/")
+        if "/" in stripped:
+            raise ValueError(
+                f"{url!r}: URL paths are not supported; "
+                f"pass just http://host:port"
+            )
+        host, _, port = stripped.partition(":")
+        return cls(host=host or "127.0.0.1",
+                   port=int(port) if port else 8000, **kwargs)
+
+    # -- transport ---------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+            self._conn = None
+
+    def _once(self, method: str, path: str,
+              body: Optional[bytes]) -> tuple[int, dict]:
+        conn = self._connection()
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        data = response.read()
+        self.requests_sent += 1
+        try:
+            payload = json.loads(data) if data else {}
+        except json.JSONDecodeError as exc:
+            raise ReproConnectionError(
+                f"non-JSON response from {self.host}:{self.port}: {exc}"
+            ) from exc
+        return response.status, payload
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        """One request/response cycle with reconnect + 429 retry."""
+        body: Optional[bytes] = None
+        if payload is not None:
+            body = json.dumps(
+                {"api_version": self.api_version, **payload}
+            ).encode("utf-8")
+        attempts = self.max_retries + 1
+        backoff_s = self.retry_backoff_s
+        last_429: Optional[dict] = None
+        for attempt in range(attempts):
+            try:
+                status, answer = self._once(method, path, body)
+            except (OSError, http.client.HTTPException) as exc:
+                # A kept-alive connection the server idled out is the
+                # common cause; reopen and retry on a fresh socket.
+                self._drop_connection()
+                if attempt + 1 >= attempts:
+                    raise ReproConnectionError(
+                        f"request to http://{self.host}:{self.port}{path} "
+                        f"failed: {exc}"
+                    ) from exc
+                self.retries += 1
+                continue
+            if status == 429:
+                last_429 = answer
+                if attempt + 1 >= attempts:
+                    break
+                hint_ms = answer.get("retry_after_ms")
+                sleep_s = (
+                    float(hint_ms) / 1e3 if hint_ms is not None else backoff_s
+                )
+                backoff_s *= 2
+                self.retries += 1
+                time.sleep(sleep_s)
+                continue
+            if status >= 400:
+                code, message, retryable = _error_fields(status, answer)
+                raise ReproAPIError(
+                    status, code, message, retryable=retryable, payload=answer
+                )
+            return answer
+        code, message, _ = _error_fields(429, last_429 or {})
+        raise ReproOverloadError(429, code, message, payload=last_429)
+
+    # -- endpoints ---------------------------------------------------------
+
+    def localize(
+        self,
+        scan: Union[Sequence[float], np.ndarray],
+        *,
+        building: Optional[str] = None,
+        floor: Optional[int] = None,
+    ) -> LocalizeResult:
+        """``POST /localize``: one scan row → one coordinate.
+
+        ``building``/``floor`` pin fleet routing (fleet servers only);
+        a single-model server rejects unknown fields by ignoring them.
+        """
+        payload: dict[str, Any] = {"rssi": np.asarray(scan).tolist()}
+        if building is not None:
+            payload["building"] = building
+        if floor is not None:
+            payload["floor"] = floor
+        answer = self._request("POST", "/localize", payload)
+        return LocalizeResult(
+            location=np.asarray(answer["location"], dtype=np.float64),
+            routing=answer.get("routing"),
+            raw=answer,
+        )
+
+    def localize_batch(
+        self,
+        scans: Union[Sequence[Sequence[float]], np.ndarray],
+        *,
+        building: Optional[str] = None,
+        floor: Optional[int] = None,
+    ) -> LocalizeBatchResult:
+        """``POST /localize_batch``: ``(n, n_aps)`` scans → ``(n, 2)``."""
+        payload: dict[str, Any] = {"rssi": np.asarray(scans).tolist()}
+        if building is not None:
+            payload["building"] = building
+        if floor is not None:
+            payload["floor"] = floor
+        answer = self._request("POST", "/localize_batch", payload)
+        return LocalizeBatchResult(
+            locations=np.asarray(answer["locations"], dtype=np.float64),
+            n=int(answer["n"]),
+            routing=answer.get("routing"),
+            raw=answer,
+        )
+
+    def healthz(self) -> dict:
+        """``GET /healthz``: liveness, counters and ``api_version``."""
+        return self._request("GET", "/healthz")
+
+    def models(self) -> dict:
+        """``GET /models``: warm store entries + dispatcher counters."""
+        return self._request("GET", "/models")
+
+    def fleet(self) -> dict:
+        """``GET /fleet``: fleet topology (fleet servers only)."""
+        return self._request("GET", "/fleet")
+
+    def server_api_version(self) -> int:
+        """The wire-protocol version the server reports (negotiation)."""
+        return int(self.healthz().get("api_version", 0))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the kept-alive connection (the client stays usable)."""
+        self._drop_connection()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "ReproClient",
+    "ReproError",
+    "ReproConnectionError",
+    "ReproAPIError",
+    "ReproOverloadError",
+    "LocalizeResult",
+    "LocalizeBatchResult",
+]

@@ -1,0 +1,526 @@
+"""Typed, versioned configuration specs — the public construction surface.
+
+Four frozen dataclasses describe everything a client can ask this
+system to build, each with a ``to_dict``/``from_dict`` JSON round-trip
+and a canonical :meth:`fingerprint`:
+
+* :class:`IndexSpec` — how a reference radio map is sharded and probed
+  (the public face of :class:`repro.index.IndexConfig`).
+* :class:`LocalizerSpec` — one framework + its training configuration.
+  :meth:`LocalizerSpec.build` replaces the deprecated
+  ``make_localizer``; :meth:`LocalizerSpec.model_key` produces the
+  *exact* content-addressed :class:`~repro.serve.store.ModelKey` the
+  serving layer's ``ModelStore`` has always used, so artifacts fitted
+  before this API existed keep warm-loading.
+* :class:`ServeSpec` — a single-model HTTP deployment
+  (model + dispatcher + bind address), buildable into a running
+  :class:`~repro.serve.server.LocalizationServer`.
+* :class:`FleetSpec` — a multi-building deployment
+  (buildings grammar + fleet-wide tuning), buildable into a
+  :class:`~repro.fleet.registry.FleetRegistry` and
+  :class:`~repro.fleet.server.FleetServer`.
+
+Canonicalization happens at construction: framework aliases resolve to
+their registry names, and an exhaustive :class:`IndexSpec` is
+interchangeable with ``index=None`` everywhere (both fingerprint as
+``"exhaustive"``), mirroring the normalization the cache/store layers
+already apply. Two specs that cannot differ in behaviour therefore
+share one fingerprint — and one cached artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from ..baselines.base import Localizer
+from ..baselines.registry import (
+    build_localizer,
+    canonical_name,
+    supports_candidate_index,
+)
+from ..index import IndexConfig
+
+
+def _canonical_digest(payload: dict) -> str:
+    """SHA-256 over the canonical JSON rendering of a spec dict."""
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def _check_known_keys(cls: type, data: dict) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"{cls.__name__}.from_dict: unknown keys {unknown}; "
+            f"known keys: {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """How a reference radio map is partitioned and probed.
+
+    The typed public face of :class:`repro.index.IndexConfig` —
+    identical fields, identical validation, plus the dict round-trip.
+    ``kind="exhaustive"`` means *no sharding* and is behaviourally (and
+    fingerprint-) equivalent to passing no index at all.
+    """
+
+    kind: str = "exhaustive"
+    n_shards: int = 16
+    n_probe: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # IndexConfig owns the validation rules; constructing one here
+        # keeps the two surfaces impossible to drift apart.
+        self.to_config()
+
+    @property
+    def is_exhaustive(self) -> bool:
+        return self.kind == "exhaustive"
+
+    def to_config(self) -> IndexConfig:
+        """The internal :class:`~repro.index.IndexConfig` equivalent."""
+        return IndexConfig(
+            kind=self.kind,
+            n_shards=self.n_shards,
+            n_probe=self.n_probe,
+            seed=self.seed,
+        )
+
+    @classmethod
+    def from_config(cls, config: Optional[IndexConfig]) -> Optional["IndexSpec"]:
+        """Wrap an internal config (``None`` stays ``None``)."""
+        if config is None:
+            return None
+        return cls(
+            kind=config.kind,
+            n_shards=config.n_shards,
+            n_probe=config.n_probe,
+            seed=config.seed,
+        )
+
+    def fingerprint(self) -> str:
+        """Canonical identity — exactly ``IndexConfig.tag()``.
+
+        This *is* the cache-key component every layer already hashes
+        (engine result cache, model store), so spec-built artifacts
+        collide with — i.e. reuse — legacy-built ones by construction.
+        """
+        return self.to_config().tag()
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "n_shards": self.n_shards,
+            "n_probe": self.n_probe,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IndexSpec":
+        _check_known_keys(cls, data)
+        return cls(**data)
+
+
+def engine_index(spec: Optional[IndexSpec]) -> Optional[IndexConfig]:
+    """Normalize a spec to the engine's convention (``None`` = exhaustive).
+
+    The cache/store layers treat "no index" and "exhaustive index" as
+    one artifact; this is the single conversion point that keeps
+    spec-driven callers on that convention.
+    """
+    if spec is None or spec.is_exhaustive:
+        return None
+    return spec.to_config()
+
+
+@dataclass(frozen=True)
+class LocalizerSpec:
+    """One localization framework plus its training configuration.
+
+    ``framework`` accepts any registry name or alias and is stored
+    canonically (``LocalizerSpec(framework="ltknn")`` equals
+    ``LocalizerSpec(framework="LT-KNN")``). A non-exhaustive ``index``
+    on a framework without a shardable radio map raises ``ValueError``
+    at construction — the earliest possible moment.
+    """
+
+    framework: str
+    suite_name: Optional[str] = None
+    fast: bool = False
+    seed: int = 0
+    index: Optional[IndexSpec] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "framework", canonical_name(self.framework))
+        if (
+            self.index is not None
+            and not self.index.is_exhaustive
+            and not supports_candidate_index(self.framework)
+        ):
+            raise ValueError(
+                f"{self.framework} has no reference radio map to shard "
+                f"(supports_index is False); drop index= or pick one of "
+                f"the NN-search frameworks (STONE, KNN, LT-KNN)"
+            )
+
+    # -- construction ------------------------------------------------------
+
+    def build(self) -> Localizer:
+        """Build the (unfitted) localizer this spec describes.
+
+        Bit-identical to what the deprecated ``make_localizer`` builds
+        for the same arguments (both delegate to the same registry
+        kernel) — pinned by ``tests/api/test_shims.py``.
+        """
+        return build_localizer(
+            self.framework,
+            suite_name=self.suite_name,
+            fast=self.fast,
+            index=engine_index(self.index),
+        )
+
+    # -- identity ----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Canonical data-free digest of this spec's configuration.
+
+        Aliases, ``index=None`` vs an explicit exhaustive index, and
+        unused shard parameters are all normalized away first — equal
+        behaviour, equal fingerprint.
+        """
+        return _canonical_digest(
+            {
+                "spec": "localizer",
+                "framework": self.framework,
+                "suite_name": self.suite_name,
+                "fast": self.fast,
+                "seed": self.seed,
+                "index": self.index_tag,
+            }
+        )
+
+    @property
+    def index_tag(self) -> str:
+        """Canonical index tag (``"exhaustive"`` when unsharded)."""
+        config = engine_index(self.index)
+        return config.tag() if config is not None else "exhaustive"
+
+    def model_key(self, suite):
+        """The content-addressed serving identity for this spec + data.
+
+        Returns the exact :class:`~repro.serve.store.ModelKey` the
+        ``ModelStore`` computes today — same ``train_fingerprint``, same
+        digest — so every artifact persisted under the legacy scheme
+        stays addressable through the spec surface (fingerprint
+        subsumption is an equality, not a migration).
+        """
+        # Local import: repro.serve.store imports repro.eval.engine,
+        # which reaches back into this module lazily; importing it at
+        # module scope would freeze the cycle into import order.
+        from ..eval.engine import train_fingerprint
+        from ..serve.store import ModelKey
+
+        return ModelKey(
+            framework=self.framework,
+            train_hash=train_fingerprint(suite),
+            seed=self.seed,
+            fast=self.fast,
+            index=engine_index(self.index),
+        )
+
+    def task_key(self, suite_hash: str, *, seed_index: int = 0) -> str:
+        """The evaluation engine's result-cache key for this spec.
+
+        Identical to :meth:`repro.eval.engine.EvalTask.cache_key` for
+        the equivalent task — spec-driven sweeps hit traces cached by
+        pre-spec runs.
+        """
+        from ..eval.engine import task_fingerprint
+
+        return task_fingerprint(
+            self.framework,
+            suite_hash,
+            seed=self.seed,
+            fast=self.fast,
+            seed_index=seed_index,
+            index=engine_index(self.index),
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "framework": self.framework,
+            "suite_name": self.suite_name,
+            "fast": self.fast,
+            "seed": self.seed,
+            "index": self.index.to_dict() if self.index else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LocalizerSpec":
+        _check_known_keys(cls, data)
+        data = dict(data)
+        if data.get("index") is not None:
+            data["index"] = IndexSpec.from_dict(data["index"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """One single-model HTTP deployment: what to serve, and how.
+
+    ``localizer.suite_name`` names the dataset suite to fit on (the
+    CLI's positional argument); the remaining fields are the serving
+    knobs that used to live only in ``repro serve`` flags.
+    """
+
+    localizer: LocalizerSpec
+    host: str = "127.0.0.1"
+    port: int = 8000
+    batch_window_ms: float = 2.0
+    max_batch: int = 256
+    chunk_size: Optional[int] = None
+    model_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+
+    def build(self, suite, *, store=None):
+        """Fit (or warm-load) the model and assemble the HTTP server.
+
+        Returns an unstarted
+        :class:`~repro.serve.server.LocalizationServer`; call ``run()``
+        or ``start_background()`` on it. ``store`` overrides the
+        :class:`~repro.serve.store.ModelStore` (defaults to one rooted
+        at ``model_dir``).
+        """
+        from ..serve.dispatcher import BatchingDispatcher
+        from ..serve.server import LocalizationServer
+        from ..serve.store import ModelStore
+
+        store = store if store is not None else ModelStore(self.model_dir)
+        entry = store.get_or_fit(
+            self.localizer.framework,
+            suite,
+            seed=self.localizer.seed,
+            fast=self.localizer.fast,
+            index=engine_index(self.localizer.index),
+        )
+        dispatcher = BatchingDispatcher(
+            entry.localizer,
+            batch_window_ms=self.batch_window_ms,
+            max_batch=self.max_batch,
+            chunk_size=self.chunk_size,
+        )
+        return LocalizationServer(
+            entry, dispatcher, store=store, host=self.host, port=self.port
+        )
+
+    def fingerprint(self) -> str:
+        """Canonical digest of the whole deployment configuration."""
+        return _canonical_digest(
+            {
+                "spec": "serve",
+                "localizer": self.localizer.fingerprint(),
+                "host": self.host,
+                "port": self.port,
+                "batch_window_ms": self.batch_window_ms,
+                "max_batch": self.max_batch,
+                "chunk_size": self.chunk_size,
+                "model_dir": self.model_dir,
+            }
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "localizer": self.localizer.to_dict(),
+            "host": self.host,
+            "port": self.port,
+            "batch_window_ms": self.batch_window_ms,
+            "max_batch": self.max_batch,
+            "chunk_size": self.chunk_size,
+            "model_dir": self.model_dir,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeSpec":
+        _check_known_keys(cls, data)
+        data = dict(data)
+        data["localizer"] = LocalizerSpec.from_dict(data["localizer"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One multi-building fleet deployment.
+
+    ``buildings`` carries the same grammar as the CLI spec string
+    (``"HQ:2,LAB:3:kmeans"`` — see :mod:`repro.fleet.spec`), held as
+    parsed :class:`~repro.fleet.spec.BuildingSpec` entries; the
+    remaining fields are the fleet-wide generation and serving knobs.
+    """
+
+    buildings: tuple
+    framework: str = "KNN"
+    seed: int = 0
+    fast: bool = False
+    index: Optional[IndexSpec] = None
+    months: int = 4
+    aps_per_floor: int = 24
+    model_dir: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 8000
+    batch_window_ms: float = 2.0
+    max_batch: int = 256
+    chunk_size: Optional[int] = None
+    #: ``None`` = the dispatcher's default (two protocol-max batches).
+    max_pending_rows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "framework", canonical_name(self.framework))
+        object.__setattr__(self, "buildings", tuple(self.buildings))
+        if not self.buildings:
+            raise ValueError("FleetSpec needs at least one building")
+
+    @classmethod
+    def from_string(cls, spec: str, **kwargs) -> "FleetSpec":
+        """Parse the CLI grammar (``"HQ:2,LAB:3:kmeans"``) into a spec."""
+        from ..fleet.spec import parse_fleet_spec
+
+        return cls(buildings=tuple(parse_fleet_spec(spec)), **kwargs)
+
+    @property
+    def buildings_string(self) -> str:
+        """The canonical round-trip form of the buildings grammar."""
+        from ..fleet.spec import format_fleet_spec
+
+        return format_fleet_spec(list(self.buildings))
+
+    # -- construction ------------------------------------------------------
+
+    def build_registry(self, *, store=None):
+        """Generate, fit and register every building this spec names."""
+        from ..fleet.registry import FleetRegistry
+
+        return FleetRegistry.from_specs(
+            list(self.buildings),
+            framework=self.framework,
+            seed=self.seed,
+            fast=self.fast,
+            index=engine_index(self.index),
+            months=self.months,
+            aps_per_floor=self.aps_per_floor,
+            store=store,
+            model_dir=self.model_dir if store is None else None,
+        )
+
+    def build_server(self, registry=None, *, store=None):
+        """Assemble the fleet dispatcher + HTTP server (unstarted).
+
+        Pass a prebuilt ``registry`` to reuse already-warm slots;
+        otherwise :meth:`build_registry` runs first.
+        """
+        from ..fleet.dispatch import FleetDispatcher
+        from ..fleet.server import FleetServer
+
+        if registry is None:
+            registry = self.build_registry(store=store)
+        dispatcher_kwargs: dict = dict(
+            batch_window_ms=self.batch_window_ms,
+            max_batch=self.max_batch,
+            chunk_size=self.chunk_size,
+        )
+        if self.max_pending_rows is not None:
+            dispatcher_kwargs["max_pending_rows"] = self.max_pending_rows
+        dispatcher = FleetDispatcher(registry, **dispatcher_kwargs)
+        return FleetServer(
+            registry, dispatcher, host=self.host, port=self.port
+        )
+
+    # -- identity / serialization ------------------------------------------
+
+    def fingerprint(self) -> str:
+        return _canonical_digest(
+            {
+                "spec": "fleet",
+                "buildings": self.buildings_string,
+                "framework": self.framework,
+                "seed": self.seed,
+                "fast": self.fast,
+                "index": (
+                    engine_index(self.index).tag()
+                    if engine_index(self.index) is not None
+                    else "exhaustive"
+                ),
+                "months": self.months,
+                "aps_per_floor": self.aps_per_floor,
+                "model_dir": self.model_dir,
+                "host": self.host,
+                "port": self.port,
+                "batch_window_ms": self.batch_window_ms,
+                "max_batch": self.max_batch,
+                "chunk_size": self.chunk_size,
+                "max_pending_rows": self.max_pending_rows,
+            }
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "buildings": self.buildings_string,
+            "framework": self.framework,
+            "seed": self.seed,
+            "fast": self.fast,
+            "index": self.index.to_dict() if self.index else None,
+            "months": self.months,
+            "aps_per_floor": self.aps_per_floor,
+            "model_dir": self.model_dir,
+            "host": self.host,
+            "port": self.port,
+            "batch_window_ms": self.batch_window_ms,
+            "max_batch": self.max_batch,
+            "chunk_size": self.chunk_size,
+            "max_pending_rows": self.max_pending_rows,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetSpec":
+        _check_known_keys(cls, data)
+        data = dict(data)
+        if data.get("index") is not None:
+            data["index"] = IndexSpec.from_dict(data["index"])
+        buildings = data.pop("buildings")
+        if isinstance(buildings, str):
+            from ..fleet.spec import parse_fleet_spec
+
+            data["buildings"] = tuple(parse_fleet_spec(buildings))
+        else:
+            from ..fleet.spec import BuildingSpec
+
+            data["buildings"] = tuple(
+                b if isinstance(b, BuildingSpec) else BuildingSpec(**b)
+                for b in buildings
+            )
+        return cls(**data)
+
+
+__all__ = [
+    "IndexSpec",
+    "LocalizerSpec",
+    "ServeSpec",
+    "FleetSpec",
+    "engine_index",
+]

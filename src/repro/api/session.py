@@ -1,0 +1,213 @@
+"""`LocalizationSession` — one facade over local and remote inference.
+
+A session exposes the same four calls whether the model runs in this
+process or behind a ``repro serve`` HTTP endpoint:
+
+====================  ==================================================
+``fit()``             warm the backend (fit/load locally; handshake
+                      remotely) — idempotent
+``localize(scan)``    one ``(n_aps,)`` scan → ``(2,)`` coordinate
+``localize_batch(m)`` ``(n, n_aps)`` scans → ``(n, 2)`` coordinates
+``stats()``           JSON-ready backend state
+====================  ==================================================
+
+Construction goes through the factories::
+
+    session = LocalizationSession.local(LocalizerSpec(framework="KNN"), suite)
+    session = LocalizationSession.remote("http://127.0.0.1:8000")
+
+Both backends normalize scans through the *same* protocol kernel
+(:func:`repro.serve.protocol.as_scan_matrix` — the clipping rule the
+HTTP layer applies), and JSON float serialization is exact for float64,
+so a local session and a remote session over the same fitted model
+return **bit-identical** coordinates (pinned by
+``tests/api/test_session.py``). Code written against the facade can
+move between in-process and served deployments without a diff.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..baselines.base import BatchedLocalizer
+from ..serve.protocol import as_scan_matrix
+from .client import ReproClient
+from .config import LocalizerSpec, engine_index
+
+
+class LocalizationSession:
+    """Abstract facade; use :meth:`local` or :meth:`remote` to build."""
+
+    #: ``"local"`` or ``"remote"`` — which backend answers.
+    backend = "abstract"
+
+    @classmethod
+    def local(
+        cls,
+        spec: LocalizerSpec,
+        suite,
+        *,
+        store=None,
+        model_dir: Optional[str] = None,
+    ) -> "LocalLocalizationSession":
+        """A session over an in-process model (ModelStore-backed).
+
+        ``suite`` supplies the training data; ``model_dir`` (or a
+        shared ``store``) enables warm-loading fitted state across
+        processes exactly as ``repro serve --model-dir`` does.
+        """
+        return LocalLocalizationSession(
+            spec, suite, store=store, model_dir=model_dir
+        )
+
+    @classmethod
+    def remote(
+        cls,
+        url: Optional[str] = None,
+        *,
+        client: Optional[ReproClient] = None,
+        **client_kwargs,
+    ) -> "RemoteLocalizationSession":
+        """A session over a running server (URL or prebuilt client)."""
+        if client is None:
+            if url is None:
+                raise ValueError("remote() needs a url or a client")
+            client = ReproClient.from_url(url, **client_kwargs)
+        elif url is not None:
+            raise ValueError("pass either url or client, not both")
+        return RemoteLocalizationSession(client)
+
+    # -- the facade contract ----------------------------------------------
+
+    def fit(self) -> "LocalizationSession":
+        """Warm the backend; safe to call repeatedly."""
+        raise NotImplementedError
+
+    def localize(self, scan: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+        """One scan → one ``(2,)`` coordinate in meters."""
+        raise NotImplementedError
+
+    def localize_batch(
+        self, scans: Union[Sequence[Sequence[float]], np.ndarray]
+    ) -> np.ndarray:
+        """``(n, n_aps)`` scans → ``(n, 2)`` coordinates in meters."""
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        """JSON-ready backend state (always carries ``"backend"``)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources; the session is done."""
+
+    def __enter__(self) -> "LocalizationSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LocalLocalizationSession(LocalizationSession):
+    """In-process backend: the spec's model out of a ``ModelStore``."""
+
+    backend = "local"
+
+    def __init__(
+        self,
+        spec: LocalizerSpec,
+        suite,
+        *,
+        store=None,
+        model_dir: Optional[str] = None,
+    ) -> None:
+        from ..serve.store import ModelStore
+
+        self.spec = spec
+        self.suite = suite
+        self.store = store if store is not None else ModelStore(model_dir)
+        self._entry = None
+
+    def fit(self) -> "LocalLocalizationSession":
+        if self._entry is None:
+            self._entry = self.store.get_or_fit(
+                self.spec.framework,
+                self.suite,
+                seed=self.spec.seed,
+                fast=self.spec.fast,
+                index=engine_index(self.spec.index),
+            )
+        return self
+
+    @property
+    def entry(self):
+        """The warm :class:`~repro.serve.store.StoreEntry` (fits lazily)."""
+        self.fit()
+        return self._entry
+
+    def localize(self, scan: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+        return self.localize_batch([np.asarray(scan)])[0]
+
+    def localize_batch(
+        self, scans: Union[Sequence[Sequence[float]], np.ndarray]
+    ) -> np.ndarray:
+        entry = self.entry
+        matrix = as_scan_matrix(scans, entry.n_aps)
+        localizer = entry.localizer
+        # Mirror the dispatcher's backend selection: batch-safe models
+        # take the batched kernel, sequential decoders (GIFT) handle
+        # the rows as one ordered walk — identical to serving one
+        # /localize_batch request.
+        if isinstance(localizer, BatchedLocalizer):
+            return localizer.predict_batched(matrix)
+        return localizer.predict(matrix)
+
+    def stats(self) -> dict:
+        entry = self.entry
+        return {
+            "backend": "local",
+            "framework": entry.key.framework,
+            "suite": entry.suite_name,
+            "n_aps": entry.n_aps,
+            "model_source": entry.source,
+            "digest": entry.key.digest[:16],
+            "fit_seconds": round(entry.fit_seconds, 3),
+            "index": entry.localizer.index_describe(),
+        }
+
+
+class RemoteLocalizationSession(LocalizationSession):
+    """Remote backend: every call rides the :class:`ReproClient`."""
+
+    backend = "remote"
+
+    def __init__(self, client: ReproClient) -> None:
+        self.client = client
+
+    def fit(self) -> "RemoteLocalizationSession":
+        # The server fit (or warm-loaded) its model at startup; the
+        # session handshake just proves liveness + version compatibility.
+        self.client.healthz()
+        return self
+
+    def localize(self, scan: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+        return self.client.localize(scan).location
+
+    def localize_batch(
+        self, scans: Union[Sequence[Sequence[float]], np.ndarray]
+    ) -> np.ndarray:
+        return self.client.localize_batch(scans).locations
+
+    def stats(self) -> dict:
+        return {"backend": "remote", **self.client.healthz()}
+
+    def close(self) -> None:
+        self.client.close()
+
+
+__all__ = [
+    "LocalizationSession",
+    "LocalLocalizationSession",
+    "RemoteLocalizationSession",
+]

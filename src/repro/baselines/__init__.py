@@ -16,6 +16,7 @@ from .ltknn import LTKNNLocalizer, RidgeImputer
 from .registry import (
     EXTENDED_FRAMEWORKS,
     PAPER_FRAMEWORKS,
+    build_localizer,
     framework_capabilities,
     framework_class,
     make_localizer,
@@ -40,6 +41,7 @@ __all__ = [
     "PseudoLabelEnsembleLocalizer",
     "EnsembleConfig",
     "make_localizer",
+    "build_localizer",
     "framework_capabilities",
     "framework_class",
     "supports_candidate_index",

@@ -7,18 +7,18 @@ set compared in every figure matches the paper's five: STONE plus KNN
 
 from __future__ import annotations
 
-from typing import Callable, Optional
-
+import warnings
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..core.config import StoneConfig
 from ..core.stone import StoneLocalizer
 from ..index import IndexConfig
 from .base import BatchedLocalizer, Localizer
+from .ensemble import EnsembleConfig, PseudoLabelEnsembleLocalizer
 from .gift import GIFTLocalizer
 from .knn import KNNLocalizer
 from .ltknn import LTKNNLocalizer
-from .ensemble import EnsembleConfig, PseudoLabelEnsembleLocalizer
 from .scnn import SCNNConfig, SCNNLocalizer
 from .sele import SELEConfig, SELELocalizer
 from .widep import WiDeepConfig, WiDeepLocalizer
@@ -119,15 +119,46 @@ def make_localizer(
     fast: bool = False,
     index: Optional[IndexConfig] = None,
 ) -> Localizer:
+    """Build a framework by its paper name (deprecated entry point).
+
+    .. deprecated::
+        Construct through the typed public surface instead::
+
+            from repro.api import LocalizerSpec
+            LocalizerSpec(framework=name, suite_name=..., fast=...).build()
+
+        ``make_localizer`` remains a thin shim over the same builder
+        (:func:`build_localizer`) and returns bit-identical models; it
+        emits :class:`DeprecationWarning` and will be removed after one
+        release.
+    """
+    warnings.warn(
+        "make_localizer() is deprecated; build through "
+        "repro.api.LocalizerSpec(...).build() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_localizer(name, suite_name=suite_name, fast=fast, index=index)
+
+
+def build_localizer(
+    name: str,
+    *,
+    suite_name: Optional[str] = None,
+    fast: bool = False,
+    index: Optional[IndexConfig] = None,
+) -> Localizer:
     """Build a framework by its paper name.
 
-    ``suite_name`` selects STONE's per-floorplan tuning. ``fast=True``
-    shrinks the trained models' schedules for CI-scale runs (tests and
-    smoke benches); figure-quality runs leave it False. ``index``
-    shards the framework's reference radio map (:mod:`repro.index`);
-    passing a non-exhaustive config to a framework whose
-    ``supports_index`` flag is False raises ``ValueError`` — callers
-    that sweep mixed framework sets filter on
+    The construction kernel behind :meth:`repro.api.LocalizerSpec.build`
+    (the public entry point) and the deprecated :func:`make_localizer`
+    shim. ``suite_name`` selects STONE's per-floorplan tuning.
+    ``fast=True`` shrinks the trained models' schedules for CI-scale
+    runs (tests and smoke benches); figure-quality runs leave it False.
+    ``index`` shards the framework's reference radio map
+    (:mod:`repro.index`); passing a non-exhaustive config to a framework
+    whose ``supports_index`` flag is False raises ``ValueError`` —
+    callers that sweep mixed framework sets filter on
     :func:`framework_capabilities` first.
     """
     key = canonical_name(name)
@@ -174,5 +205,5 @@ def make_localizer(
         )
         return PseudoLabelEnsembleLocalizer(config)
     raise AssertionError(
-        f"{key!r} is registered but has no builder in make_localizer"
+        f"{key!r} is registered but has no builder in build_localizer"
     )

@@ -2,6 +2,7 @@
 
 Usage (after ``pip install -e .``)::
 
+    python -m repro.cli --version
     python -m repro.cli figure FIG5 --seed 0
     python -m repro.cli figure FIG6B --fast --jobs 4 --cache-dir .repro-cache
     python -m repro.cli compare office --frameworks STONE,LT-KNN --fast
@@ -71,8 +72,8 @@ _CHUNK_SIZE_HELP = (
 )
 
 
-def _index_config(args: argparse.Namespace):
-    """Build the radio-map IndexConfig the CLI flags describe (or None)."""
+def _index_spec(args: argparse.Namespace):
+    """Build the public IndexSpec the CLI flags describe (or None)."""
     if args.index == "exhaustive":
         if args.n_shards != 16 or args.n_probe != 4:
             print(
@@ -80,9 +81,9 @@ def _index_config(args: argparse.Namespace):
                 "--index region|kmeans (the default is exhaustive search)"
             )
         return None
-    from .index import IndexConfig
+    from .api import IndexSpec
 
-    return IndexConfig(
+    return IndexSpec(
         kind=args.index,
         n_shards=args.n_shards,
         n_probe=args.n_probe,
@@ -92,11 +93,13 @@ def _index_config(args: argparse.Namespace):
 
 def _engine_opts(args: argparse.Namespace) -> dict:
     """Collect the evaluation-engine flags shared by figure/compare."""
+    from .api import engine_index
+
     return {
         "jobs": args.jobs,
         "chunk_size": args.chunk_size,
         "cache_dir": args.cache_dir,
-        "index": _index_config(args),
+        "index": engine_index(_index_spec(args)),
     }
 
 
@@ -235,28 +238,31 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_fleet_registry(args: argparse.Namespace, spec: str):
-    """Generate and fit the fleet the given spec string describes."""
+def _fleet_spec(args: argparse.Namespace, spec_string: str):
+    """Build the public FleetSpec the CLI flags + spec string describe."""
+    from .api import FleetSpec
     from .baselines.registry import framework_capabilities
-    from .fleet import FleetRegistry, parse_fleet_spec
+    from .fleet import parse_fleet_spec
 
-    specs = parse_fleet_spec(spec)
+    buildings = parse_fleet_spec(spec_string)
     caps = framework_capabilities(args.framework)
-    index = _index_config(args)
+    index = _index_spec(args)
     if not caps.supports_index:
-        sharded = [s.name for s in specs if s.index_kind not in (None, "exhaustive")]
+        sharded = [
+            b.name for b in buildings if b.index_kind not in (None, "exhaustive")
+        ]
         if index is not None or sharded:
             print(
                 f"note: {caps.name} has no reference radio map to shard — "
                 f"index settings ignored, fleet slots serve unsharded"
             )
         index = None
-        specs = [
-            type(s)(name=s.name, n_floors=s.n_floors, index_kind=None)
-            for s in specs
+        buildings = [
+            type(b)(name=b.name, n_floors=b.n_floors, index_kind=None)
+            for b in buildings
         ]
-    registry = FleetRegistry.from_specs(
-        specs,
+    return FleetSpec(
+        buildings=tuple(buildings),
         framework=args.framework,
         seed=args.seed,
         fast=args.fast,
@@ -264,9 +270,15 @@ def _build_fleet_registry(args: argparse.Namespace, spec: str):
         months=args.fleet_months,
         aps_per_floor=args.fleet_aps_per_floor,
         model_dir=args.model_dir,
+        # The inspect-only `repro fleet` subcommand has no serving
+        # flags; the spec keeps its defaults there.
+        host=getattr(args, "host", "127.0.0.1"),
+        port=getattr(args, "port", 8000),
+        batch_window_ms=getattr(args, "batch_window_ms", 2.0),
+        max_batch=getattr(args, "max_batch", 256),
+        chunk_size=getattr(args, "chunk_size", None),
+        max_pending_rows=getattr(args, "max_pending_rows", None),
     )
-    print(registry.describe_text())
-    return registry
 
 
 def _add_fleet_gen_flags(parser: argparse.ArgumentParser) -> None:
@@ -286,40 +298,45 @@ def _add_fleet_gen_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_serve_fleet(args: argparse.Namespace) -> int:
-    from .fleet import FleetDispatcher, FleetServer
-
-    registry = _build_fleet_registry(args, args.fleet)
-    dispatcher_kwargs = dict(
-        batch_window_ms=args.batch_window_ms,
-        max_batch=args.max_batch,
-        chunk_size=args.chunk_size,
-    )
-    if args.max_pending_rows is not None:
-        dispatcher_kwargs["max_pending_rows"] = args.max_pending_rows
-    dispatcher = FleetDispatcher(registry, **dispatcher_kwargs)
-    server = FleetServer(registry, dispatcher, host=args.host, port=args.port)
+    fleet_spec = _fleet_spec(args, args.fleet)
+    registry = fleet_spec.build_registry()
+    print(registry.describe_text())
+    server = fleet_spec.build_server(registry)
     return server.run()
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api import LocalizerSpec, ServeSpec
     from .baselines.registry import framework_capabilities
-    from .serve import BatchingDispatcher, LocalizationServer, ModelStore
 
     if args.fleet:
         return _cmd_serve_fleet(args)
     suite = _suite_for(args.suite, args.seed)
     caps = framework_capabilities(args.framework)
-    index = _index_config(args)
+    index = _index_spec(args)
     if index is not None and not caps.supports_index:
         print(
             f"note: {caps.name} has no reference radio map to shard — "
             f"--index {args.index} ignored, serving unsharded"
         )
         index = None
-    store = ModelStore(args.model_dir)
-    entry = store.get_or_fit(
-        args.framework, suite, seed=args.seed, fast=args.fast, index=index
+    serve_spec = ServeSpec(
+        localizer=LocalizerSpec(
+            framework=args.framework,
+            suite_name=args.suite,
+            fast=args.fast,
+            seed=args.seed,
+            index=index,
+        ),
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        chunk_size=args.chunk_size,
+        model_dir=args.model_dir,
     )
+    server = serve_spec.build(suite)
+    entry = server.entry
     if entry.source == "disk":
         print(f"{caps.name}: warm-loaded fitted model from {args.model_dir}")
     else:
@@ -338,22 +355,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"note: {caps.name} decodes scan sequences statefully — "
             "requests dispatch one at a time (no cross-request batching)"
         )
-    dispatcher = BatchingDispatcher(
-        entry.localizer,
-        batch_window_ms=args.batch_window_ms,
-        max_batch=args.max_batch,
-        chunk_size=args.chunk_size,
-    )
-    server = LocalizationServer(
-        entry, dispatcher, store=store, host=args.host, port=args.port
-    )
     return server.run()
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from .fleet import run_fleet_experiment
 
-    registry = _build_fleet_registry(args, args.spec)
+    fleet_spec = _fleet_spec(args, args.spec)
+    registry = fleet_spec.build_registry()
+    print(registry.describe_text())
     if args.eval:
         print()
         result = run_fleet_experiment(registry, max_epochs=args.max_epochs)
@@ -364,7 +374,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 def _cmd_track(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from .baselines.registry import make_localizer
+    from .api import LocalizerSpec
     from .eval import format_table
     from .radio.time import SimTime
     from .tracking import (
@@ -375,9 +385,9 @@ def _cmd_track(args: argparse.Namespace) -> int:
 
     suite = _suite_for(args.suite, args.seed)
     env = suite.metadata["environment"]
-    localizer = make_localizer(
-        args.framework, suite_name=suite.name, fast=args.fast
-    )
+    localizer = LocalizerSpec(
+        framework=args.framework, suite_name=suite.name, fast=args.fast
+    ).build()
     rng = np.random.default_rng(args.seed)
     localizer.fit(suite.train, suite.floorplan, rng=rng)
     ci_hours = suite.metadata.get("ci_hours")
@@ -418,7 +428,7 @@ def _cmd_track(args: argparse.Namespace) -> int:
 def _cmd_compress(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from .baselines.registry import make_localizer
+    from .api import LocalizerSpec
     from .compress import (
         QuantizationSpec,
         deployment_table,
@@ -430,7 +440,9 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
     suite = _suite_for(args.suite, args.seed)
     rng = np.random.default_rng(args.seed)
-    stone = make_localizer("STONE", suite_name=suite.name, fast=args.fast)
+    stone = LocalizerSpec(
+        framework="STONE", suite_name=suite.name, fast=args.fast
+    ).build()
     stone.fit(suite.train, suite.floorplan, rng=rng)
     result = evaluate_localizer(stone, suite, rng=rng, fit=False)
     print(f"float32 STONE: overall mean {result.overall_mean():.2f} m")
@@ -461,7 +473,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 def _cmd_multifloor(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from .baselines.registry import make_localizer
+    from .api import LocalizerSpec
     from .multifloor import (
         HierarchicalLocalizer,
         MultiFloorConfig,
@@ -477,9 +489,10 @@ def _cmd_multifloor(args: argparse.Namespace) -> int:
     )
     suite = generate_multifloor_suite(args.seed, config=config)
     print(suite.describe())
-    localizer = HierarchicalLocalizer(
-        lambda floor: make_localizer(args.framework, suite_name="uji", fast=args.fast)
+    floor_spec = LocalizerSpec(
+        framework=args.framework, suite_name="uji", fast=args.fast
     )
+    localizer = HierarchicalLocalizer(lambda floor: floor_spec.build())
     results = evaluate_multifloor(
         localizer, suite, rng=np.random.default_rng(args.seed)
     )
@@ -490,9 +503,20 @@ def _cmd_multifloor(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro.cli`` argument parser."""
+    from . import __version__
+    from .serve.protocol import API_VERSION
+
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="STONE reproduction toolbox (DATE 2022)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        # api v{N} is the wire-protocol version servers/clients
+        # negotiate (the `api_version` field); see docs/api.md.
+        version=f"repro {__version__} (api v{API_VERSION})",
+        help="print package and wire-protocol versions, then exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -36,11 +36,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from ..baselines.registry import (
-    canonical_name,
-    make_localizer,
-    supports_candidate_index,
-)
+from ..baselines.registry import canonical_name, supports_candidate_index
 from ..datasets.fingerprint import LongitudinalSuite
 from ..index import IndexConfig, index_tag
 from .runner import Comparison, FrameworkResult, evaluate_localizer
@@ -180,6 +176,25 @@ class EvalTask:
     chunk_size: Optional[int] = None
     index: Optional[IndexConfig] = None
 
+    def spec(self):
+        """This task's public :class:`repro.api.LocalizerSpec` view.
+
+        The engine constructs its localizers through the same typed
+        spec clients use, so the two paths cannot drift.
+        """
+        # Local import: repro.api.session pulls in the serving layer,
+        # which imports this module — resolving the spec lazily keeps
+        # the import graph acyclic in both directions.
+        from ..api.config import IndexSpec, LocalizerSpec
+
+        return LocalizerSpec(
+            framework=self.framework,
+            suite_name=self.suite_name,
+            fast=self.fast,
+            seed=self.seed,
+            index=IndexSpec.from_config(self.index),
+        )
+
     def cache_key(self, suite_hash: str) -> str:
         """Digest identifying this task's *result* (chunking excluded:
         it bounds memory, not values; the index config is included —
@@ -262,9 +277,7 @@ def run_task(task: EvalTask, suite: LongitudinalSuite) -> FrameworkResult:
     comparison loop seeds it, so results are independent of *where* and
     *when* the task runs.
     """
-    localizer = make_localizer(
-        task.framework, suite_name=suite.name, fast=task.fast, index=task.index
-    )
+    localizer = task.spec().build()
     rng = np.random.default_rng([task.seed, task.seed_index])
     return evaluate_localizer(
         localizer, suite, rng=rng, chunk_size=task.chunk_size

@@ -30,10 +30,10 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..datasets.fingerprint import LongitudinalSuite
 from ..index import IndexConfig
 from ..multifloor import FloorClassifier, MultiFloorConfig, MultiFloorSuite
 from ..multifloor.generator import floor_suite, generate_multifloor_suite
-from ..datasets.fingerprint import LongitudinalSuite
 from ..serve.store import ModelStore, StoreEntry
 from .spec import BuildingSpec
 

@@ -25,13 +25,16 @@ fleet's bounded admission queue is full the response is **429** with a
 from __future__ import annotations
 
 from ..serve.protocol import (
-    error_response,
+    API_VERSION,
+    RequestContext,
+    RequestError,
+    error_payload,
     location_response,
     locations_response,
-    parse_json_body,
     parse_localize,
     parse_localize_batch,
     parse_routing_fields,
+    require_method,
 )
 from ..serve.server import JsonHttpServer
 from .dispatch import FleetDispatcher, FleetOverloadError
@@ -74,8 +77,10 @@ class FleetServer(JsonHttpServer):
             for slot in decision.slot_ids(self.registry)
         ]
 
-    async def _localize(self, body: bytes, batch: bool) -> tuple[int, dict]:
-        payload = parse_json_body(body)
+    async def _localize(
+        self, request: RequestContext, batch: bool
+    ) -> tuple[int, dict]:
+        payload = request.json()
         parse = parse_localize_batch if batch else parse_localize
         queries = parse(payload, self.registry.n_aps)
         building, floor = parse_routing_fields(payload)
@@ -84,12 +89,16 @@ class FleetServer(JsonHttpServer):
                 queries, building=building, floor=floor
             )
         except FleetOverloadError as exc:
-            return 429, {
-                "error": str(exc),
-                "retry_after_ms": 50,
-                "pending_rows": exc.pending_rows,
-                "max_pending_rows": exc.max_pending_rows,
-            }
+            body = error_payload(
+                str(exc), status=429, retryable=True,
+                versioned=request.versioned,
+            )
+            body.update(
+                retry_after_ms=50,
+                pending_rows=exc.pending_rows,
+                max_pending_rows=exc.max_pending_rows,
+            )
+            return 429, body
         except KeyError as exc:
             # An unknown building/floor pin is a client error.
             raise ValueError(
@@ -102,33 +111,30 @@ class FleetServer(JsonHttpServer):
 
     # -- endpoints ---------------------------------------------------------
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _route(self, request: RequestContext) -> tuple[int, dict]:
+        method, path = request.method, request.path
         if path == "/healthz":
-            if method != "GET":
-                return 405, error_response("use GET /healthz")
+            require_method(method, "GET", path)
             return 200, self._healthz()
         if path == "/models":
-            if method != "GET":
-                return 405, error_response("use GET /models")
+            require_method(method, "GET", path)
             return 200, self._models()
         if path == "/fleet":
-            if method != "GET":
-                return 405, error_response("use GET /fleet")
+            require_method(method, "GET", path)
             return 200, self._fleet()
         if path == "/localize":
-            if method != "POST":
-                return 405, error_response("use POST /localize")
-            return await self._localize(body, batch=False)
+            require_method(method, "POST", path)
+            return await self._localize(request, batch=False)
         if path == "/localize_batch":
-            if method != "POST":
-                return 405, error_response("use POST /localize_batch")
-            return await self._localize(body, batch=True)
-        return 404, error_response(f"unknown endpoint {path!r}")
+            require_method(method, "POST", path)
+            return await self._localize(request, batch=True)
+        raise RequestError(f"unknown endpoint {path!r}", status=404)
 
     def _healthz(self) -> dict:
         stats = self.dispatcher.describe()
         return {
             "status": "ok",
+            "api_version": API_VERSION,
             "mode": "fleet",
             "n_buildings": len(self.registry.buildings),
             "n_slots": self.registry.n_slots,

@@ -7,7 +7,6 @@ are already averaged over the batch.
 
 from __future__ import annotations
 
-
 import numpy as np
 
 from .initializers import DTYPE

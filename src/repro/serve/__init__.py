@@ -21,8 +21,11 @@ See ``docs/api.md`` for the JSON request/response schemas and
 
 from .dispatcher import BatchingDispatcher, DispatchStats
 from .protocol import (
+    API_VERSION,
     MAX_BATCH_ROWS,
+    RequestContext,
     RequestError,
+    as_scan_matrix,
     parse_localize,
     parse_localize_batch,
 )
@@ -30,6 +33,7 @@ from .server import BackgroundServer, JsonHttpServer, LocalizationServer
 from .store import ModelKey, ModelStore, StoreEntry
 
 __all__ = [
+    "API_VERSION",
     "BatchingDispatcher",
     "DispatchStats",
     "ModelKey",
@@ -38,8 +42,10 @@ __all__ = [
     "JsonHttpServer",
     "LocalizationServer",
     "BackgroundServer",
+    "RequestContext",
     "RequestError",
     "MAX_BATCH_ROWS",
+    "as_scan_matrix",
     "parse_localize",
     "parse_localize_batch",
 ]

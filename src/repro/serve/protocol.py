@@ -1,17 +1,31 @@
 """Wire protocol of the serving layer: JSON schemas + validation.
 
 Every endpoint speaks JSON over HTTP. The request/response shapes are
-deliberately tiny so any client — curl, a phone SDK, the load generator
-in ``examples/serving_load.py`` — can speak them without a schema
+deliberately tiny so any client — curl, a phone SDK,
+:class:`repro.api.ReproClient` — can speak them without a schema
 library:
 
 ``POST /localize``
-    request:  ``{"rssi": [f0, f1, ..., f{n_aps-1}]}``
-    response: ``{"location": [x_m, y_m]}``
+    request:  ``{"api_version": 1, "rssi": [f0, ..., f{n_aps-1}]}``
+    response: ``{"api_version": 1, "location": [x_m, y_m]}``
 
 ``POST /localize_batch``
-    request:  ``{"rssi": [[...], [...], ...]}`` — ``(n, n_aps)`` rows
-    response: ``{"locations": [[x, y], ...], "n": n}``
+    request:  ``{"api_version": 1, "rssi": [[...], ...]}`` — ``(n, n_aps)``
+    response: ``{"api_version": 1, "locations": [[x, y], ...], "n": n}``
+
+**Versioning (wire protocol v1).** A request that declares
+``"api_version": 1`` negotiates the v1 contract: the response carries
+``api_version`` and errors are the structured object
+``{"error": {"code", "message", "retryable"}}``. A request *without*
+``api_version`` is a legacy request — it is accepted unchanged and its
+success responses are bit-identical to the pre-v1 wire format (no
+``api_version`` field), so old clients never notice the upgrade. Legacy
+*error* responses keep the historical ``{"error": "<message>"}`` string
+and additionally carry the structured object under ``error_detail``
+(the string form is deprecated and kept for one release). Declaring a
+version this server does not speak is rejected with error code
+``unsupported_api_version``; ``GET /healthz`` always reports the
+server's ``api_version`` so clients can negotiate up front.
 
 Validation is strict on *shape* (row length must equal the fitted
 model's AP count) and lenient on *range*: finite RSSI values outside the
@@ -23,11 +37,16 @@ non-numeric entries and ragged rows are rejected with a 400.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
 
 from ..radio.access_point import NO_SIGNAL_DBM
+
+#: The wire-protocol version this server speaks. Clients negotiate by
+#: declaring ``"api_version"`` in request bodies (or reading it from
+#: ``GET /healthz``); absent means the legacy pre-v1 contract.
+API_VERSION = 1
 
 #: Upper bound on rows accepted in one ``/localize_batch`` request;
 #: keeps a single request from monopolizing the dispatcher.
@@ -36,14 +55,46 @@ MAX_BATCH_ROWS = 10_000
 #: Upper bound on request body size the server will read.
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
+#: Machine-readable error codes of wire protocol v1, by HTTP status.
+#: ``retryable`` says whether the same request can succeed later
+#: without modification (the client's backoff-and-retry signal).
+_STATUS_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    413: "payload_too_large",
+    429: "overloaded",
+    500: "internal",
+}
+
+
+def default_error_code(status: int) -> str:
+    """The v1 error code a bare HTTP status maps to."""
+    return _STATUS_CODES.get(status, "error")
+
 
 class RequestError(ValueError):
-    """A malformed client request; maps to an HTTP 4xx response."""
+    """A malformed client request; maps to an HTTP 4xx response.
 
-    def __init__(self, message: str, *, status: int = 400) -> None:
+    ``code`` is the machine-readable v1 error code (defaults to the
+    status's canonical code); ``retryable`` says whether the identical
+    request could succeed later (only true for transient conditions
+    like admission-queue overload).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 400,
+        code: Optional[str] = None,
+        retryable: bool = False,
+    ) -> None:
         super().__init__(message)
         self.message = message
         self.status = status
+        self.code = code or default_error_code(status)
+        self.retryable = retryable
 
 
 def parse_json_body(body: bytes) -> dict:
@@ -57,6 +108,67 @@ def parse_json_body(body: bytes) -> dict:
     if not isinstance(payload, dict):
         raise RequestError("request body must be a JSON object")
     return payload
+
+
+def parse_api_version(payload: dict) -> Optional[int]:
+    """The ``api_version`` a request declares, or ``None`` for legacy.
+
+    Declaring a version the server does not speak is a client error
+    with code ``unsupported_api_version`` — a client that negotiated
+    via ``GET /healthz`` never hits it.
+    """
+    declared = payload.get("api_version")
+    if declared is None:
+        return None
+    if (
+        isinstance(declared, bool)
+        or not isinstance(declared, int)
+        or not 1 <= declared <= API_VERSION
+    ):
+        raise RequestError(
+            f"unsupported api_version {declared!r}; "
+            f"this server speaks versions 1..{API_VERSION}",
+            code="unsupported_api_version",
+        )
+    return declared
+
+
+def require_method(method: str, expected: str, path: str) -> None:
+    """Raise the canonical 405 when an endpoint is hit the wrong way."""
+    if method != expected:
+        raise RequestError(f"use {expected} {path}", status=405)
+
+
+class RequestContext:
+    """One parsed HTTP request plus its negotiated protocol version.
+
+    The server's ``_route`` handlers receive one of these instead of a
+    raw body: :meth:`json` decodes the body exactly once (validating
+    any declared ``api_version`` as a side effect), and
+    :attr:`api_version` drives the response envelope — ``None`` until a
+    body successfully declares a version, so error responses for
+    unparseable or version-less requests stay in the legacy shape.
+    """
+
+    def __init__(self, method: str, path: str, body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.body = body
+        self.api_version: Optional[int] = None
+        self._payload: Optional[dict] = None
+
+    def json(self) -> dict:
+        """Decode (once) and return the request body as a JSON object."""
+        if self._payload is None:
+            payload = parse_json_body(self.body)
+            self.api_version = parse_api_version(payload)
+            self._payload = payload
+        return self._payload
+
+    @property
+    def versioned(self) -> bool:
+        """True when the request declared a (supported) api_version."""
+        return self.api_version is not None
 
 
 def _as_rssi_matrix(rows: Any, n_aps: int) -> np.ndarray:
@@ -73,6 +185,17 @@ def _as_rssi_matrix(rows: Any, n_aps: int) -> np.ndarray:
     # Out-of-band but finite readings are clipped, not rejected — real
     # hardware reports the occasional -104 dBm.
     return np.clip(matrix, NO_SIGNAL_DBM, 0.0)
+
+
+def as_scan_matrix(rows: Any, n_aps: int) -> np.ndarray:
+    """Validate/normalize scan rows exactly as the HTTP layer does.
+
+    The shared normalization kernel behind ``/localize`` parsing and
+    :class:`repro.api.LocalizationSession`'s local backend — one
+    clipping rule everywhere is what makes a local session bit-identical
+    to a remote one over the same fitted model.
+    """
+    return _as_rssi_matrix(rows, n_aps)
 
 
 def parse_localize(payload: dict, n_aps: int) -> np.ndarray:
@@ -153,8 +276,57 @@ def locations_response(coords: np.ndarray) -> dict:
 
 
 def error_response(message: str) -> dict:
-    """Uniform error body: ``{"error": message}``."""
+    """Legacy pre-v1 error body: ``{"error": message}``.
+
+    .. deprecated::
+        The servers now build error bodies through
+        :func:`error_payload`, which carries the structured v1 error
+        object. This shape survives only inside legacy-client
+        responses (as the ``error`` string kept alongside
+        ``error_detail``) for one release.
+    """
     return {"error": message}
+
+
+def error_payload(
+    message: str,
+    *,
+    status: int = 400,
+    code: Optional[str] = None,
+    retryable: bool = False,
+    versioned: bool = False,
+) -> dict:
+    """Build one error response body in the negotiated shape.
+
+    ``versioned=True`` (the request declared ``api_version``) yields the
+    canonical v1 body::
+
+        {"api_version": 1,
+         "error": {"code": "...", "message": "...", "retryable": false}}
+
+    Legacy requests keep the historical ``"error": "<message>"`` string
+    with the structured object alongside under ``error_detail`` — old
+    clients keep parsing, new information is already there.
+    """
+    detail = {
+        "code": code or default_error_code(status),
+        "message": message,
+        "retryable": retryable,
+    }
+    if versioned:
+        return {"api_version": API_VERSION, "error": detail}
+    return {"error": message, "error_detail": detail, "api_version": API_VERSION}
+
+
+def versioned_payload(payload: dict, *, versioned: bool) -> dict:
+    """Stamp ``api_version`` onto a success body for v1 clients.
+
+    Legacy (version-less) requests get the payload back untouched, so
+    their responses stay bit-identical to the pre-v1 wire format.
+    """
+    if not versioned or "api_version" in payload:
+        return payload
+    return {"api_version": API_VERSION, **payload}
 
 
 def encode_json(payload: dict) -> bytes:

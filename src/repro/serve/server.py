@@ -37,15 +37,18 @@ from typing import Callable, Optional
 
 from .dispatcher import BatchingDispatcher
 from .protocol import (
+    API_VERSION,
     MAX_BODY_BYTES,
+    RequestContext,
     RequestError,
     encode_json,
-    error_response,
+    error_payload,
     location_response,
     locations_response,
-    parse_json_body,
     parse_localize,
     parse_localize_batch,
+    require_method,
+    versioned_payload,
 )
 from .store import ModelStore, StoreEntry
 
@@ -104,8 +107,14 @@ class JsonHttpServer:
 
     # -- endpoint hooks (subclass API) -------------------------------------
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
-        """Dispatch one parsed request to its endpoint handler."""
+    async def _route(self, request: RequestContext) -> tuple[int, dict]:
+        """Dispatch one parsed request to its endpoint handler.
+
+        Handlers read the JSON body through ``request.json()`` (which
+        also negotiates ``api_version``) and signal client errors by
+        raising :class:`~repro.serve.protocol.RequestError` — the
+        connection loop renders them in the negotiated error shape.
+        """
         raise NotImplementedError
 
     def _banner(self) -> str:
@@ -218,7 +227,12 @@ class JsonHttpServer:
                     # malformed read; answer and end the connection.
                     self.requests_served += 1
                     await self._respond(
-                        writer, exc.status, error_response(exc.message),
+                        writer,
+                        exc.status,
+                        error_payload(
+                            exc.message, status=exc.status, code=exc.code,
+                            retryable=exc.retryable, versioned=False,
+                        ),
                         keep_alive=False,
                     )
                     return
@@ -231,17 +245,28 @@ class JsonHttpServer:
                 if request is None:
                     return  # client closed between requests
                 method, path, body, keep_alive = request
+                ctx = RequestContext(method, path, body)
                 try:
-                    status, payload = await self._route(method, path, body)
+                    status, payload = await self._route(ctx)
+                    if status == 200:
+                        payload = versioned_payload(
+                            payload, versioned=ctx.versioned
+                        )
                 except RequestError as exc:
-                    status, payload = exc.status, error_response(exc.message)
+                    status, payload = exc.status, error_payload(
+                        exc.message, status=exc.status, code=exc.code,
+                        retryable=exc.retryable, versioned=ctx.versioned,
+                    )
                 except ValueError as exc:
                     # predict()-level rejections (shape mismatch) are
                     # client errors.
-                    status, payload = 400, error_response(str(exc))
+                    status, payload = 400, error_payload(
+                        str(exc), status=400, versioned=ctx.versioned
+                    )
                 except Exception as exc:  # noqa: BLE001 - last-resort 500
-                    status, payload = 500, error_response(
-                        f"{type(exc).__name__}: {exc}"
+                    status, payload = 500, error_payload(
+                        f"{type(exc).__name__}: {exc}",
+                        status=500, versioned=ctx.versioned,
                     )
                 self.requests_served += 1
                 sent = await self._respond(
@@ -383,34 +408,32 @@ class LocalizationServer(JsonHttpServer):
         self.dispatcher = dispatcher
         self.store = store
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _route(self, request: RequestContext) -> tuple[int, dict]:
+        method, path = request.method, request.path
         if path == "/healthz":
-            if method != "GET":
-                return 405, error_response("use GET /healthz")
+            require_method(method, "GET", path)
             return 200, self._healthz()
         if path == "/models":
-            if method != "GET":
-                return 405, error_response("use GET /models")
+            require_method(method, "GET", path)
             return 200, self._models()
         if path == "/localize":
-            if method != "POST":
-                return 405, error_response("use POST /localize")
-            queries = parse_localize(parse_json_body(body), self.entry.n_aps)
+            require_method(method, "POST", path)
+            queries = parse_localize(request.json(), self.entry.n_aps)
             coords = await self.dispatcher.localize(queries)
             return 200, location_response(coords)
         if path == "/localize_batch":
-            if method != "POST":
-                return 405, error_response("use POST /localize_batch")
-            queries = parse_localize_batch(
-                parse_json_body(body), self.entry.n_aps
-            )
+            require_method(method, "POST", path)
+            queries = parse_localize_batch(request.json(), self.entry.n_aps)
             coords = await self.dispatcher.localize(queries)
             return 200, locations_response(coords)
-        return 404, error_response(f"unknown endpoint {path!r}")
+        raise RequestError(
+            f"unknown endpoint {path!r}", status=404
+        )
 
     def _healthz(self) -> dict:
         return {
             "status": "ok",
+            "api_version": API_VERSION,
             "framework": self.entry.key.framework,
             "suite": self.entry.suite_name,
             "n_aps": self.entry.n_aps,

@@ -39,7 +39,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..baselines.base import Localizer
-from ..baselines.registry import canonical_name, framework_class, make_localizer
+from ..baselines.registry import canonical_name, framework_class
 from ..datasets.fingerprint import LongitudinalSuite
 from ..eval.engine import task_fingerprint, train_fingerprint
 from ..index import IndexConfig, index_tag
@@ -197,9 +197,18 @@ class ModelStore:
         return entry
 
     def _fit(self, key: ModelKey, suite: LongitudinalSuite) -> StoreEntry:
-        localizer = make_localizer(
-            key.framework, suite_name=suite.name, fast=key.fast, index=key.index
-        )
+        # Local import: repro.api imports this module (session facade);
+        # constructing through the public spec here closes that loop,
+        # so the spec is resolved lazily.
+        from ..api.config import IndexSpec, LocalizerSpec
+
+        localizer = LocalizerSpec(
+            framework=key.framework,
+            suite_name=suite.name,
+            fast=key.fast,
+            seed=key.seed,
+            index=IndexSpec.from_config(key.index),
+        ).build()
         rng = np.random.default_rng([key.seed, 0])
         t0 = time.perf_counter()
         localizer.fit(suite.train, suite.floorplan, rng=rng)

@@ -1,0 +1,29 @@
+"""Fixtures for the public-surface tests: one tiny served deployment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import LocalizerSpec, ServeSpec
+
+
+@pytest.fixture(scope="module")
+def knn_spec():
+    return LocalizerSpec(framework="KNN", suite_name="office", fast=True)
+
+
+@pytest.fixture(scope="module")
+def query_rows(tiny_suite):
+    """A pool of real test-epoch scans to use as request payloads."""
+    return np.vstack([ds.rssi for ds in tiny_suite.test_epochs])[:48]
+
+
+@pytest.fixture(scope="module")
+def background_server(knn_spec, tiny_suite):
+    """A real LocalizationServer on an ephemeral port, KNN on tiny_suite."""
+    spec = ServeSpec(localizer=knn_spec, port=0, batch_window_ms=1.0)
+    server = spec.build(tiny_suite)
+    handle = server.start_background()
+    yield server
+    handle.shutdown()

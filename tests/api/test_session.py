@@ -1,0 +1,92 @@
+"""LocalizationSession: one facade, two backends, identical answers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import LocalizationSession, LocalizerSpec
+
+
+@pytest.fixture(scope="module")
+def local_session(knn_spec, tiny_suite):
+    return LocalizationSession.local(knn_spec, tiny_suite).fit()
+
+
+@pytest.fixture(scope="module")
+def remote_session(background_server):
+    session = LocalizationSession.remote(
+        f"http://127.0.0.1:{background_server.port}"
+    ).fit()
+    yield session
+    session.close()
+
+
+class TestLocalBackend:
+    def test_localize_single_scan(self, local_session, query_rows):
+        coords = local_session.localize(query_rows[0])
+        assert coords.shape == (2,)
+
+    def test_stats_shape(self, local_session):
+        stats = local_session.stats()
+        assert stats["backend"] == "local"
+        assert stats["framework"] == "KNN"
+        assert stats["n_aps"] > 0
+
+    def test_fit_is_idempotent(self, knn_spec, tiny_suite):
+        session = LocalizationSession.local(knn_spec, tiny_suite)
+        session.fit()
+        entry = session.entry
+        session.fit()
+        assert session.entry is entry
+        assert session.store.fits == 1
+
+    def test_scan_normalization_matches_protocol(self, local_session, tiny_suite):
+        # Out-of-band readings clip exactly as the HTTP layer clips.
+        hot = np.full(tiny_suite.n_aps, -104.0)
+        clipped = np.full(tiny_suite.n_aps, -100.0)
+        np.testing.assert_array_equal(
+            local_session.localize(hot), local_session.localize(clipped)
+        )
+
+    def test_sequential_framework_supported(self, tiny_suite):
+        spec = LocalizerSpec(framework="GIFT", suite_name=tiny_suite.name, fast=True)
+        with LocalizationSession.local(spec, tiny_suite) as session:
+            coords = session.localize_batch(tiny_suite.test_epochs[0].rssi[:4])
+            assert coords.shape == (4, 2)
+
+
+class TestRemoteBackend:
+    def test_stats_carry_server_health(self, remote_session):
+        stats = remote_session.stats()
+        assert stats["backend"] == "remote"
+        assert stats["status"] == "ok"
+        assert stats["api_version"] >= 1
+
+    def test_factory_validation(self):
+        with pytest.raises(ValueError, match="url or a client"):
+            LocalizationSession.remote()
+
+
+class TestLocalRemoteBitIdentity:
+    """The acceptance property: backends answer bit-identically."""
+
+    def test_single_scan(self, local_session, remote_session, query_rows):
+        np.testing.assert_array_equal(
+            local_session.localize(query_rows[0]),
+            remote_session.localize(query_rows[0]),
+        )
+
+    def test_batch(self, local_session, remote_session, query_rows):
+        rows = query_rows[:24]
+        np.testing.assert_array_equal(
+            local_session.localize_batch(rows),
+            remote_session.localize_batch(rows),
+        )
+
+    def test_out_of_band_scans(self, local_session, remote_session, tiny_suite):
+        hot = np.full((3, tiny_suite.n_aps), -104.0)
+        np.testing.assert_array_equal(
+            local_session.localize_batch(hot),
+            remote_session.localize_batch(hot),
+        )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from tests.conftest import make_synthetic_dataset
 
 from repro.baselines import (
     EXTENDED_FRAMEWORKS,
@@ -13,7 +14,6 @@ from repro.baselines import (
     WiDeepLocalizer,
     make_localizer,
 )
-from tests.conftest import make_synthetic_dataset
 
 
 @pytest.fixture(scope="module")

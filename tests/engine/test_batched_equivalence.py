@@ -21,9 +21,9 @@ from repro.baselines.registry import (
     supports_batched_inference,
 )
 from repro.core import KNNHead
+from repro.geometry import build_grid_floorplan
 
 from ..conftest import make_synthetic_dataset
-from repro.geometry import build_grid_floorplan
 
 #: Frameworks whose predict is row-independent (everything but GIFT).
 BATCHED = tuple(n for n in ALL_FRAMEWORKS if n != "GIFT")

@@ -1,0 +1,257 @@
+"""Wire protocol v1: version negotiation + error-shape compatibility.
+
+Two contracts are pinned here:
+
+* **v1 clients** (requests declaring ``api_version``) get versioned
+  responses and the structured error object.
+* **legacy clients** (version-less requests) get *byte-identical*
+  success bodies to the pre-v1 server, and error bodies that keep the
+  ``"error": "<message>"`` string (with the structured object alongside
+  under ``error_detail``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.serve import API_VERSION, BatchingDispatcher, LocalizationServer
+from repro.serve.protocol import (
+    RequestError,
+    default_error_code,
+    error_payload,
+    parse_api_version,
+    versioned_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def server(knn_entry, serve_store):
+    dispatcher = BatchingDispatcher(
+        knn_entry.localizer, batch_window_ms=1.0, max_batch=256
+    )
+    srv = LocalizationServer(knn_entry, dispatcher, store=serve_store, port=0)
+    handle = srv.start_background()
+    yield srv
+    handle.shutdown()
+
+
+def _request(server, method, path, payload=None, raw_body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    body = raw_body if raw_body is not None else (
+        json.dumps(payload) if payload is not None else None
+    )
+    conn.request(method, path, body=body)
+    response = conn.getresponse()
+    data = response.read()
+    conn.close()
+    return response.status, json.loads(data)
+
+
+class TestUnitHelpers:
+    def test_parse_api_version_absent_is_legacy(self):
+        assert parse_api_version({"rssi": []}) is None
+
+    def test_parse_api_version_current(self):
+        assert parse_api_version({"api_version": API_VERSION}) == API_VERSION
+
+    @pytest.mark.parametrize("bad", [0, API_VERSION + 1, "1", 1.5, True, -3])
+    def test_parse_api_version_rejects_unsupported(self, bad):
+        with pytest.raises(RequestError) as excinfo:
+            parse_api_version({"api_version": bad})
+        assert excinfo.value.code == "unsupported_api_version"
+
+    def test_error_payload_v1_shape(self):
+        body = error_payload("nope", status=404, versioned=True)
+        assert body == {
+            "api_version": API_VERSION,
+            "error": {"code": "not_found", "message": "nope",
+                      "retryable": False},
+        }
+
+    def test_error_payload_legacy_keeps_string(self):
+        body = error_payload("nope", status=429, retryable=True,
+                             versioned=False)
+        assert body["error"] == "nope"  # the legacy contract
+        assert body["error_detail"] == {
+            "code": "overloaded", "message": "nope", "retryable": True,
+        }
+
+    def test_default_codes(self):
+        assert default_error_code(400) == "bad_request"
+        assert default_error_code(405) == "method_not_allowed"
+        assert default_error_code(413) == "payload_too_large"
+        assert default_error_code(500) == "internal"
+        assert default_error_code(418) == "error"
+
+    def test_versioned_payload_is_identity_for_legacy(self):
+        payload = {"location": [1.0, 2.0]}
+        assert versioned_payload(payload, versioned=False) is payload
+        stamped = versioned_payload(payload, versioned=True)
+        assert stamped["api_version"] == API_VERSION
+        assert stamped["location"] == [1.0, 2.0]
+
+
+class TestLegacyRequestsBitIdentical:
+    """Version-less requests see the exact pre-v1 success wire format."""
+
+    def test_localize_body_has_no_version_field(self, server, query_rows):
+        status, body = _request(
+            server, "POST", "/localize",
+            payload={"rssi": query_rows[0].tolist()},
+        )
+        assert status == 200
+        assert set(body) == {"location"}  # nothing added
+
+    def test_batch_body_has_no_version_field(self, server, query_rows):
+        status, body = _request(
+            server, "POST", "/localize_batch",
+            payload={"rssi": query_rows[:4].tolist()},
+        )
+        assert status == 200
+        assert set(body) == {"locations", "n"}
+
+    def test_legacy_error_keeps_string_with_detail_alongside(self, server):
+        status, body = _request(
+            server, "POST", "/localize", payload={"scan": [1.0]}
+        )
+        assert status == 400
+        assert isinstance(body["error"], str)
+        assert body["error_detail"]["code"] == "bad_request"
+        assert body["error_detail"]["retryable"] is False
+
+
+class TestV1Requests:
+    def test_success_carries_api_version(self, server, query_rows):
+        status, body = _request(
+            server, "POST", "/localize",
+            payload={"api_version": 1, "rssi": query_rows[0].tolist()},
+        )
+        assert status == 200
+        assert body["api_version"] == API_VERSION
+        assert len(body["location"]) == 2
+
+    def test_v1_and_legacy_locations_bit_identical(self, server, query_rows):
+        row = query_rows[0].tolist()
+        _, legacy = _request(server, "POST", "/localize", payload={"rssi": row})
+        _, v1 = _request(
+            server, "POST", "/localize",
+            payload={"api_version": 1, "rssi": row},
+        )
+        assert legacy["location"] == v1["location"]
+
+    def test_error_is_structured_object(self, server):
+        status, body = _request(
+            server, "POST", "/localize",
+            payload={"api_version": 1, "rssi": "not-a-list"},
+        )
+        assert status == 400
+        assert body["api_version"] == API_VERSION
+        assert body["error"]["code"] == "bad_request"
+        assert isinstance(body["error"]["message"], str)
+        assert "error_detail" not in body
+
+    def test_unsupported_version_rejected(self, server):
+        status, body = _request(
+            server, "POST", "/localize",
+            payload={"api_version": 99, "rssi": [-50.0]},
+        )
+        assert status == 400
+        # The request never negotiated a valid version, so the error
+        # arrives in the legacy-compatible shape.
+        assert body["error_detail"]["code"] == "unsupported_api_version"
+
+    def test_healthz_reports_api_version(self, server):
+        status, body = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert body["api_version"] == API_VERSION
+
+    def test_unknown_endpoint_carries_structured_detail(self, server):
+        status, body = _request(server, "GET", "/teleport")
+        assert status == 404
+        assert body["error_detail"]["code"] == "not_found"
+
+
+class TestFleetV1:
+    @pytest.fixture(scope="class")
+    def fleet_server(self):
+        from repro.api import FleetSpec
+
+        spec = FleetSpec.from_string(
+            "HQ:2", fast=True, months=2, aps_per_floor=8, port=0
+        )
+        server = spec.build_server()
+        handle = server.start_background()
+        yield server
+        handle.shutdown()
+
+    def test_healthz_reports_api_version(self, fleet_server):
+        status, body = _request(fleet_server, "GET", "/healthz")
+        assert status == 200
+        assert body["api_version"] == API_VERSION
+        assert body["mode"] == "fleet"
+
+    def test_v1_routing_response(self, fleet_server):
+        n_aps = fleet_server.registry.n_aps
+        status, body = _request(
+            fleet_server, "POST", "/localize",
+            payload={"api_version": 1, "rssi": [-60.0] * n_aps},
+        )
+        assert status == 200
+        assert body["api_version"] == API_VERSION
+        assert "routing" in body
+
+    def test_v1_unknown_pin_is_structured(self, fleet_server):
+        n_aps = fleet_server.registry.n_aps
+        status, body = _request(
+            fleet_server, "POST", "/localize",
+            payload={"api_version": 1, "rssi": [-60.0] * n_aps,
+                     "building": "NOWHERE"},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+        assert "NOWHERE" in body["error"]["message"]
+
+    def test_legacy_unknown_pin_keeps_string(self, fleet_server):
+        n_aps = fleet_server.registry.n_aps
+        status, body = _request(
+            fleet_server, "POST", "/localize",
+            payload={"rssi": [-60.0] * n_aps, "building": "NOWHERE"},
+        )
+        assert status == 400
+        assert isinstance(body["error"], str)
+        assert body["error_detail"]["code"] == "bad_request"
+
+    def test_v1_429_overload_body(self, fleet_server):
+        """The 429 body keeps its retry hints in both shapes."""
+        from repro.api import ReproClient, ReproOverloadError
+        from repro.fleet.dispatch import FleetOverloadError
+
+        dispatcher = fleet_server.dispatcher
+
+        async def rejecting_localize(scans, **kwargs):
+            raise FleetOverloadError(10, 10, scans.shape[0])
+
+        original = dispatcher.localize
+        dispatcher.localize = rejecting_localize
+        try:
+            n_aps = fleet_server.registry.n_aps
+            status, body = _request(
+                fleet_server, "POST", "/localize",
+                payload={"api_version": 1, "rssi": [-60.0] * n_aps},
+            )
+            assert status == 429
+            assert body["error"]["code"] == "overloaded"
+            assert body["error"]["retryable"] is True
+            assert body["retry_after_ms"] > 0
+            assert body["max_pending_rows"] == 10
+
+            # And the typed client surfaces it after its retries.
+            client = ReproClient(port=fleet_server.port, max_retries=1)
+            with pytest.raises(ReproOverloadError):
+                client.localize([-60.0] * n_aps)
+            client.close()
+        finally:
+            dispatcher.localize = original

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-import json
 import http.client
+import json
 
 import numpy as np
 import pytest

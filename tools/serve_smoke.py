@@ -2,16 +2,16 @@
 """Smoke-test `repro serve` as a real subprocess (the CI docs job).
 
 Starts the server (fast-scale KNN on the office suite), waits for the
-listening line, hits ``/healthz`` and one ``/localize`` request, then
-sends SIGINT and verifies the process exits cleanly with code 0.
+listening line, hits ``/healthz`` and one ``/localize`` request through
+the public :class:`repro.api.ReproClient` (also asserting the wire
+``api_version`` negotiation), then sends SIGINT and verifies the
+process exits cleanly with code 0.
 
     python tools/serve_smoke.py
 """
 
 from __future__ import annotations
 
-import http.client
-import json
 import os
 import signal
 import subprocess
@@ -20,6 +20,10 @@ import threading
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import API_VERSION, ReproClient  # noqa: E402
+
 STARTUP_TIMEOUT_S = 180.0
 
 
@@ -57,16 +61,6 @@ def wait_for_port(process) -> int:
         watchdog.cancel()
 
 
-def get_json(port: int, method: str, path: str, payload=None):
-    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
-    body = json.dumps(payload) if payload is not None else None
-    conn.request(method, path, body=body)
-    response = conn.getresponse()
-    data = json.loads(response.read())
-    conn.close()
-    return response.status, data
-
-
 def main() -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = (
@@ -88,16 +82,18 @@ def main() -> int:
     try:
         port = wait_for_port(process)
 
-        status, health = get_json(port, "GET", "/healthz")
-        assert status == 200 and health["status"] == "ok", health
-        print(f"healthz ok: {health['framework']} on {health['suite']}")
+        with ReproClient(port=port) as client:
+            health = client.healthz()
+            assert health["status"] == "ok", health
+            assert health["api_version"] == API_VERSION, health
+            print(f"healthz ok: {health['framework']} on {health['suite']} "
+                  f"(api v{health['api_version']})")
 
-        scan = [-60.0] * health["n_aps"]
-        status, answer = get_json(
-            port, "POST", "/localize", payload={"rssi": scan}
-        )
-        assert status == 200 and len(answer["location"]) == 2, answer
-        print(f"localize ok: {answer['location']}")
+            scan = [-60.0] * health["n_aps"]
+            result = client.localize(scan)
+            assert result.location.shape == (2,), result
+            assert result.raw.get("api_version") == API_VERSION, result.raw
+            print(f"localize ok: {result.location.tolist()}")
 
         process.send_signal(signal.SIGINT)
         code = process.wait(timeout=60)
