@@ -43,10 +43,14 @@ def test_dense_forward_backward(benchmark, rng):
     benchmark(step)
 
 
-def test_encoder_inference(benchmark, rng):
+@pytest.mark.parametrize("backend", [None, "blas"])
+def test_encoder_inference(benchmark, rng, backend):
+    # backend=None is the plain layer-by-layer pass; "blas" routes the
+    # dense tail through the kernel seam's fused Dense(+ReLU) forward
+    # (bit-identical output — see benchmarks/bench_kernels.py).
     model = build_encoder(8, EncoderConfig(embedding_dim=6), rng=rng)
     x = rng.random((256, 1, 8, 8)).astype(np.float32)
-    benchmark(lambda: model.predict(x))
+    benchmark(lambda: model.predict(x, backend=backend))
 
 
 def test_triplet_loss_and_grad(benchmark, rng):

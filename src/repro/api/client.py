@@ -25,8 +25,9 @@ from __future__ import annotations
 import http.client
 import json
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Union
+from typing import Any
 
 import numpy as np
 
@@ -57,7 +58,7 @@ class ReproAPIError(ReproError):
         message: str,
         *,
         retryable: bool = False,
-        payload: Optional[dict] = None,
+        payload: dict | None = None,
     ) -> None:
         super().__init__(f"[{status} {code}] {message}")
         self.status = status
@@ -75,7 +76,7 @@ class ReproOverloadError(ReproAPIError):
     """
 
     def __init__(self, status: int, code: str, message: str, *,
-                 payload: Optional[dict] = None) -> None:
+                 payload: dict | None = None) -> None:
         super().__init__(
             status, code, message, retryable=True, payload=payload
         )
@@ -89,7 +90,7 @@ class LocalizeResult:
     location: np.ndarray
     #: Fleet mode only: ``{"building", "floor", "forced"}``; ``None``
     #: against a single-model server.
-    routing: Optional[dict] = None
+    routing: dict | None = None
     raw: dict = field(default_factory=dict)
 
 
@@ -100,7 +101,7 @@ class LocalizeBatchResult:
     locations: np.ndarray
     n: int
     #: Fleet mode only: one routing entry per row.
-    routing: Optional[list] = None
+    routing: list | None = None
     raw: dict = field(default_factory=dict)
 
 
@@ -161,10 +162,10 @@ class ReproClient:
         self.requests_sent = 0
         #: Automatic retries performed (429 backoffs + reconnects).
         self.retries = 0
-        self._conn: Optional[http.client.HTTPConnection] = None
+        self._conn: http.client.HTTPConnection | None = None
 
     @classmethod
-    def from_url(cls, url: str, **kwargs) -> "ReproClient":
+    def from_url(cls, url: str, **kwargs) -> ReproClient:
         """Build from ``"http://host:port"`` (scheme optional).
 
         Only plain HTTP is spoken; an ``https://`` URL is rejected
@@ -207,7 +208,7 @@ class ReproClient:
             self._conn = None
 
     def _once(self, method: str, path: str,
-              body: Optional[bytes]) -> tuple[int, dict]:
+              body: bytes | None) -> tuple[int, dict]:
         conn = self._connection()
         headers = {"Content-Type": "application/json"} if body else {}
         conn.request(method, path, body=body, headers=headers)
@@ -223,16 +224,16 @@ class ReproClient:
         return response.status, payload
 
     def _request(self, method: str, path: str,
-                 payload: Optional[dict] = None) -> dict:
+                 payload: dict | None = None) -> dict:
         """One request/response cycle with reconnect + 429 retry."""
-        body: Optional[bytes] = None
+        body: bytes | None = None
         if payload is not None:
             body = json.dumps(
                 {"api_version": self.api_version, **payload}
             ).encode("utf-8")
         attempts = self.max_retries + 1
         backoff_s = self.retry_backoff_s
-        last_429: Optional[dict] = None
+        last_429: dict | None = None
         for attempt in range(attempts):
             try:
                 status, answer = self._once(method, path, body)
@@ -272,10 +273,10 @@ class ReproClient:
 
     def localize(
         self,
-        scan: Union[Sequence[float], np.ndarray],
+        scan: Sequence[float] | np.ndarray,
         *,
-        building: Optional[str] = None,
-        floor: Optional[int] = None,
+        building: str | None = None,
+        floor: int | None = None,
     ) -> LocalizeResult:
         """``POST /localize``: one scan row → one coordinate.
 
@@ -296,10 +297,10 @@ class ReproClient:
 
     def localize_batch(
         self,
-        scans: Union[Sequence[Sequence[float]], np.ndarray],
+        scans: Sequence[Sequence[float]] | np.ndarray,
         *,
-        building: Optional[str] = None,
-        floor: Optional[int] = None,
+        building: str | None = None,
+        floor: int | None = None,
     ) -> LocalizeBatchResult:
         """``POST /localize_batch``: ``(n, n_aps)`` scans → ``(n, 2)``."""
         payload: dict[str, Any] = {"rssi": np.asarray(scans).tolist()}
@@ -337,7 +338,7 @@ class ReproClient:
         """Close the kept-alive connection (the client stays usable)."""
         self._drop_connection()
 
-    def __enter__(self) -> "ReproClient":
+    def __enter__(self) -> ReproClient:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -33,15 +33,16 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, fields
-from typing import Optional
 
 from ..baselines.base import Localizer
 from ..baselines.registry import (
     build_localizer,
     canonical_name,
     supports_candidate_index,
+    supports_kernel_backend,
 )
 from ..index import IndexConfig
+from ..kernels import backend_changes_results, resolve_backend_name
 
 
 def _canonical_digest(payload: dict) -> str:
@@ -75,11 +76,15 @@ class IndexSpec:
     n_shards: int = 16
     n_probe: int = 4
     seed: int = 0
+    #: Kernel backend for the probe distances (``None`` inherits the
+    #: owning head's backend); canonicalized at construction.
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         # IndexConfig owns the validation rules; constructing one here
         # keeps the two surfaces impossible to drift apart.
-        self.to_config()
+        config = self.to_config()
+        object.__setattr__(self, "backend", config.backend)
 
     @property
     def is_exhaustive(self) -> bool:
@@ -92,10 +97,11 @@ class IndexSpec:
             n_shards=self.n_shards,
             n_probe=self.n_probe,
             seed=self.seed,
+            backend=self.backend,
         )
 
     @classmethod
-    def from_config(cls, config: Optional[IndexConfig]) -> Optional["IndexSpec"]:
+    def from_config(cls, config: IndexConfig | None) -> IndexSpec | None:
         """Wrap an internal config (``None`` stays ``None``)."""
         if config is None:
             return None
@@ -104,6 +110,7 @@ class IndexSpec:
             n_shards=config.n_shards,
             n_probe=config.n_probe,
             seed=config.seed,
+            backend=config.backend,
         )
 
     def fingerprint(self) -> str:
@@ -121,15 +128,16 @@ class IndexSpec:
             "n_shards": self.n_shards,
             "n_probe": self.n_probe,
             "seed": self.seed,
+            "backend": self.backend,
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "IndexSpec":
+    def from_dict(cls, data: dict) -> IndexSpec:
         _check_known_keys(cls, data)
         return cls(**data)
 
 
-def engine_index(spec: Optional[IndexSpec]) -> Optional[IndexConfig]:
+def engine_index(spec: IndexSpec | None) -> IndexConfig | None:
     """Normalize a spec to the engine's convention (``None`` = exhaustive).
 
     The cache/store layers treat "no index" and "exhaustive index" as
@@ -150,13 +158,23 @@ class LocalizerSpec:
     ``LocalizerSpec(framework="LT-KNN")``). A non-exhaustive ``index``
     on a framework without a shardable radio map raises ``ValueError``
     at construction — the earliest possible moment.
+
+    ``backend`` selects the kernel backend (:mod:`repro.kernels`) for
+    the framework's hot distance/encoder path. ``None`` resolves
+    through ``$REPRO_KERNEL_BACKEND`` before defaulting to
+    ``"reference"``, so the stored spec always records the backend that
+    actually runs. An *explicit* result-changing backend on a framework
+    without the seam raises; an env-derived one silently normalizes to
+    ``"reference"`` (one exported variable must not break GIFT/SCNN
+    sweeps).
     """
 
     framework: str
-    suite_name: Optional[str] = None
+    suite_name: str | None = None
     fast: bool = False
     seed: int = 0
-    index: Optional[IndexSpec] = None
+    index: IndexSpec | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "framework", canonical_name(self.framework))
@@ -170,6 +188,20 @@ class LocalizerSpec:
                 f"(supports_index is False); drop index= or pick one of "
                 f"the NN-search frameworks (STONE, KNN, LT-KNN)"
             )
+        explicit = self.backend is not None
+        resolved = resolve_backend_name(self.backend)
+        if not supports_kernel_backend(self.framework) and backend_changes_results(
+            resolved
+        ):
+            if explicit:
+                raise ValueError(
+                    f"{self.framework} has no kernel-backend seam "
+                    f"(supports_kernel_backend is False); drop backend= "
+                    f"or pick one of the radio-map frameworks (STONE, "
+                    f"KNN, LT-KNN)"
+                )
+            resolved = "reference"
+        object.__setattr__(self, "backend", resolved)
 
     # -- construction ------------------------------------------------------
 
@@ -185,6 +217,7 @@ class LocalizerSpec:
             suite_name=self.suite_name,
             fast=self.fast,
             index=engine_index(self.index),
+            backend=self.backend,
         )
 
     # -- identity ----------------------------------------------------------
@@ -194,18 +227,21 @@ class LocalizerSpec:
 
         Aliases, ``index=None`` vs an explicit exhaustive index, and
         unused shard parameters are all normalized away first — equal
-        behaviour, equal fingerprint.
+        behaviour, equal fingerprint. The kernel backend joins the
+        payload only when it can change results: reference (and blas64)
+        specs keep their pre-seam fingerprints.
         """
-        return _canonical_digest(
-            {
-                "spec": "localizer",
-                "framework": self.framework,
-                "suite_name": self.suite_name,
-                "fast": self.fast,
-                "seed": self.seed,
-                "index": self.index_tag,
-            }
-        )
+        payload = {
+            "spec": "localizer",
+            "framework": self.framework,
+            "suite_name": self.suite_name,
+            "fast": self.fast,
+            "seed": self.seed,
+            "index": self.index_tag,
+        }
+        if backend_changes_results(self.backend):
+            payload["backend"] = self.backend
+        return _canonical_digest(payload)
 
     @property
     def index_tag(self) -> str:
@@ -234,6 +270,7 @@ class LocalizerSpec:
             seed=self.seed,
             fast=self.fast,
             index=engine_index(self.index),
+            backend=self.backend,
         )
 
     def task_key(self, suite_hash: str, *, seed_index: int = 0) -> str:
@@ -252,6 +289,7 @@ class LocalizerSpec:
             fast=self.fast,
             seed_index=seed_index,
             index=engine_index(self.index),
+            backend=self.backend,
         )
 
     # -- serialization -----------------------------------------------------
@@ -263,10 +301,11 @@ class LocalizerSpec:
             "fast": self.fast,
             "seed": self.seed,
             "index": self.index.to_dict() if self.index else None,
+            "backend": self.backend,
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "LocalizerSpec":
+    def from_dict(cls, data: dict) -> LocalizerSpec:
         _check_known_keys(cls, data)
         data = dict(data)
         if data.get("index") is not None:
@@ -288,8 +327,8 @@ class ServeSpec:
     port: int = 8000
     batch_window_ms: float = 2.0
     max_batch: int = 256
-    chunk_size: Optional[int] = None
-    model_dir: Optional[str] = None
+    chunk_size: int | None = None
+    model_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -319,6 +358,7 @@ class ServeSpec:
             seed=self.localizer.seed,
             fast=self.localizer.fast,
             index=engine_index(self.localizer.index),
+            backend=self.localizer.backend,
         )
         dispatcher = BatchingDispatcher(
             entry.localizer,
@@ -357,7 +397,7 @@ class ServeSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ServeSpec":
+    def from_dict(cls, data: dict) -> ServeSpec:
         _check_known_keys(cls, data)
         data = dict(data)
         data["localizer"] = LocalizerSpec.from_dict(data["localizer"])
@@ -378,26 +418,42 @@ class FleetSpec:
     framework: str = "KNN"
     seed: int = 0
     fast: bool = False
-    index: Optional[IndexSpec] = None
+    index: IndexSpec | None = None
+    backend: str | None = None
     months: int = 4
     aps_per_floor: int = 24
-    model_dir: Optional[str] = None
+    model_dir: str | None = None
     host: str = "127.0.0.1"
     port: int = 8000
     batch_window_ms: float = 2.0
     max_batch: int = 256
-    chunk_size: Optional[int] = None
+    chunk_size: int | None = None
     #: ``None`` = the dispatcher's default (two protocol-max batches).
-    max_pending_rows: Optional[int] = None
+    max_pending_rows: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "framework", canonical_name(self.framework))
         object.__setattr__(self, "buildings", tuple(self.buildings))
         if not self.buildings:
             raise ValueError("FleetSpec needs at least one building")
+        # Same resolution + gating rules as LocalizerSpec.backend.
+        explicit = self.backend is not None
+        resolved = resolve_backend_name(self.backend)
+        if not supports_kernel_backend(self.framework) and backend_changes_results(
+            resolved
+        ):
+            if explicit:
+                raise ValueError(
+                    f"{self.framework} has no kernel-backend seam "
+                    f"(supports_kernel_backend is False); drop backend= "
+                    f"or pick one of the radio-map frameworks (STONE, "
+                    f"KNN, LT-KNN)"
+                )
+            resolved = "reference"
+        object.__setattr__(self, "backend", resolved)
 
     @classmethod
-    def from_string(cls, spec: str, **kwargs) -> "FleetSpec":
+    def from_string(cls, spec: str, **kwargs) -> FleetSpec:
         """Parse the CLI grammar (``"HQ:2,LAB:3:kmeans"``) into a spec."""
         from ..fleet.spec import parse_fleet_spec
 
@@ -422,6 +478,7 @@ class FleetSpec:
             seed=self.seed,
             fast=self.fast,
             index=engine_index(self.index),
+            backend=self.backend,
             months=self.months,
             aps_per_floor=self.aps_per_floor,
             store=store,
@@ -454,8 +511,7 @@ class FleetSpec:
     # -- identity / serialization ------------------------------------------
 
     def fingerprint(self) -> str:
-        return _canonical_digest(
-            {
+        payload = {
                 "spec": "fleet",
                 "buildings": self.buildings_string,
                 "framework": self.framework,
@@ -475,8 +531,12 @@ class FleetSpec:
                 "max_batch": self.max_batch,
                 "chunk_size": self.chunk_size,
                 "max_pending_rows": self.max_pending_rows,
-            }
-        )
+        }
+        # Same rule as LocalizerSpec: only result-changing backends
+        # participate, so pre-seam fleet fingerprints stay valid.
+        if backend_changes_results(self.backend):
+            payload["backend"] = self.backend
+        return _canonical_digest(payload)
 
     def to_dict(self) -> dict:
         return {
@@ -485,6 +545,7 @@ class FleetSpec:
             "seed": self.seed,
             "fast": self.fast,
             "index": self.index.to_dict() if self.index else None,
+            "backend": self.backend,
             "months": self.months,
             "aps_per_floor": self.aps_per_floor,
             "model_dir": self.model_dir,
@@ -497,7 +558,7 @@ class FleetSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FleetSpec":
+    def from_dict(cls, data: dict) -> FleetSpec:
         _check_known_keys(cls, data)
         data = dict(data)
         if data.get("index") is not None:

@@ -27,7 +27,7 @@ move between in-process and served deployments without a diff.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -50,8 +50,8 @@ class LocalizationSession:
         suite,
         *,
         store=None,
-        model_dir: Optional[str] = None,
-    ) -> "LocalLocalizationSession":
+        model_dir: str | None = None,
+    ) -> LocalLocalizationSession:
         """A session over an in-process model (ModelStore-backed).
 
         ``suite`` supplies the training data; ``model_dir`` (or a
@@ -65,11 +65,11 @@ class LocalizationSession:
     @classmethod
     def remote(
         cls,
-        url: Optional[str] = None,
+        url: str | None = None,
         *,
-        client: Optional[ReproClient] = None,
+        client: ReproClient | None = None,
         **client_kwargs,
-    ) -> "RemoteLocalizationSession":
+    ) -> RemoteLocalizationSession:
         """A session over a running server (URL or prebuilt client)."""
         if client is None:
             if url is None:
@@ -81,16 +81,16 @@ class LocalizationSession:
 
     # -- the facade contract ----------------------------------------------
 
-    def fit(self) -> "LocalizationSession":
+    def fit(self) -> LocalizationSession:
         """Warm the backend; safe to call repeatedly."""
         raise NotImplementedError
 
-    def localize(self, scan: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+    def localize(self, scan: Sequence[float] | np.ndarray) -> np.ndarray:
         """One scan → one ``(2,)`` coordinate in meters."""
         raise NotImplementedError
 
     def localize_batch(
-        self, scans: Union[Sequence[Sequence[float]], np.ndarray]
+        self, scans: Sequence[Sequence[float]] | np.ndarray
     ) -> np.ndarray:
         """``(n, n_aps)`` scans → ``(n, 2)`` coordinates in meters."""
         raise NotImplementedError
@@ -102,7 +102,7 @@ class LocalizationSession:
     def close(self) -> None:
         """Release backend resources; the session is done."""
 
-    def __enter__(self) -> "LocalizationSession":
+    def __enter__(self) -> LocalizationSession:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -120,7 +120,7 @@ class LocalLocalizationSession(LocalizationSession):
         suite,
         *,
         store=None,
-        model_dir: Optional[str] = None,
+        model_dir: str | None = None,
     ) -> None:
         from ..serve.store import ModelStore
 
@@ -129,7 +129,7 @@ class LocalLocalizationSession(LocalizationSession):
         self.store = store if store is not None else ModelStore(model_dir)
         self._entry = None
 
-    def fit(self) -> "LocalLocalizationSession":
+    def fit(self) -> LocalLocalizationSession:
         if self._entry is None:
             self._entry = self.store.get_or_fit(
                 self.spec.framework,
@@ -146,11 +146,11 @@ class LocalLocalizationSession(LocalizationSession):
         self.fit()
         return self._entry
 
-    def localize(self, scan: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+    def localize(self, scan: Sequence[float] | np.ndarray) -> np.ndarray:
         return self.localize_batch([np.asarray(scan)])[0]
 
     def localize_batch(
-        self, scans: Union[Sequence[Sequence[float]], np.ndarray]
+        self, scans: Sequence[Sequence[float]] | np.ndarray
     ) -> np.ndarray:
         entry = self.entry
         matrix = as_scan_matrix(scans, entry.n_aps)
@@ -185,17 +185,17 @@ class RemoteLocalizationSession(LocalizationSession):
     def __init__(self, client: ReproClient) -> None:
         self.client = client
 
-    def fit(self) -> "RemoteLocalizationSession":
+    def fit(self) -> RemoteLocalizationSession:
         # The server fit (or warm-loaded) its model at startup; the
         # session handshake just proves liveness + version compatibility.
         self.client.healthz()
         return self
 
-    def localize(self, scan: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+    def localize(self, scan: Sequence[float] | np.ndarray) -> np.ndarray:
         return self.client.localize(scan).location
 
     def localize_batch(
-        self, scans: Union[Sequence[Sequence[float]], np.ndarray]
+        self, scans: Sequence[Sequence[float]] | np.ndarray
     ) -> np.ndarray:
         return self.client.localize_batch(scans).locations
 

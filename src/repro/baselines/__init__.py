@@ -21,6 +21,7 @@ from .registry import (
     framework_class,
     make_localizer,
     supports_candidate_index,
+    supports_kernel_backend,
 )
 from .scnn import SCNNConfig, SCNNLocalizer
 from .sele import SELEConfig, SELELocalizer
@@ -45,6 +46,7 @@ __all__ = [
     "framework_capabilities",
     "framework_class",
     "supports_candidate_index",
+    "supports_kernel_backend",
     "PAPER_FRAMEWORKS",
     "EXTENDED_FRAMEWORKS",
 ]

@@ -15,7 +15,6 @@ The evaluation protocol (``repro.eval.runner``) drives all five frameworks
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
 
 import numpy as np
 
@@ -51,6 +50,12 @@ class Localizer(ABC):
     #: sequential decoders (GIFT), which have no radio map to shard.
     supports_index: bool = False
 
+    #: Whether the framework's hot distance path runs through the
+    #: :mod:`repro.kernels` backend seam (``backend=`` constructor
+    #: arg). True exactly for the radio-map frameworks above; pure
+    #: forward-pass models always execute the reference arithmetic.
+    supports_kernel_backend: bool = False
+
     def __init__(self) -> None:
         self._fitted = False
 
@@ -62,8 +67,8 @@ class Localizer(ABC):
         train: FingerprintDataset,
         floorplan: Floorplan,
         *,
-        rng: Optional[np.random.Generator] = None,
-    ) -> "Localizer":
+        rng: np.random.Generator | None = None,
+    ) -> Localizer:
         """Train on the offline dataset. Returns self."""
 
     def begin_epoch(self, epoch: int, unlabeled_rssi: np.ndarray) -> None:
@@ -81,7 +86,7 @@ class Localizer(ABC):
 
     # -- index introspection -------------------------------------------------
 
-    def shard_routes(self, rssi: np.ndarray) -> Optional[np.ndarray]:
+    def shard_routes(self, rssi: np.ndarray) -> np.ndarray | None:
         """Primary probed shard id per scan, or ``None``.
 
         ``None`` means the framework has no sharded radio-map index (no
@@ -92,9 +97,19 @@ class Localizer(ABC):
         del rssi
         return None
 
-    def index_describe(self) -> Optional[dict]:
+    def index_describe(self) -> dict | None:
         """JSON-ready shard statistics of the fitted index, or ``None``."""
         return None
+
+    @property
+    def kernel_backend(self) -> str:
+        """Resolved kernel-backend name driving the hot distance path.
+
+        Frameworks without a backend seam always report ``"reference"``
+        — their arithmetic is the reference arithmetic by construction.
+        Seam-capable subclasses override this.
+        """
+        return "reference"
 
     # -- helpers -----------------------------------------------------------
 
@@ -133,7 +148,7 @@ class BatchedLocalizer(Localizer):
     batched_inference = True
 
     def predict_batched(
-        self, rssi: np.ndarray, *, chunk_size: Optional[int] = None
+        self, rssi: np.ndarray, *, chunk_size: int | None = None
     ) -> np.ndarray:
         """Batched prediction with bounded peak memory.
 

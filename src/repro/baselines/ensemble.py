@@ -20,7 +20,6 @@ data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -75,16 +74,16 @@ class PseudoLabelEnsembleLocalizer(BatchedLocalizer):
     name = "PL-Ensemble"
     requires_retraining = True
 
-    def __init__(self, config: Optional[EnsembleConfig] = None) -> None:
+    def __init__(self, config: EnsembleConfig | None = None) -> None:
         super().__init__()
         self.config = config or EnsembleConfig()
         self.members: list[Sequential] = []
-        self._rng: Optional[np.random.Generator] = None
-        self._n_aps: Optional[int] = None
-        self._labels: Optional[np.ndarray] = None
-        self._label_to_location: Optional[np.ndarray] = None
-        self._train_x: Optional[np.ndarray] = None
-        self._train_y: Optional[np.ndarray] = None
+        self._rng: np.random.Generator | None = None
+        self._n_aps: int | None = None
+        self._labels: np.ndarray | None = None
+        self._label_to_location: np.ndarray | None = None
+        self._train_x: np.ndarray | None = None
+        self._train_y: np.ndarray | None = None
         #: Pseudo-labels adopted per test epoch, for reporting.
         self.pseudo_counts: list[int] = []
 
@@ -108,8 +107,8 @@ class PseudoLabelEnsembleLocalizer(BatchedLocalizer):
         train: FingerprintDataset,
         floorplan: Floorplan,
         *,
-        rng: Optional[np.random.Generator] = None,
-    ) -> "PseudoLabelEnsembleLocalizer":
+        rng: np.random.Generator | None = None,
+    ) -> PseudoLabelEnsembleLocalizer:
         """Train every member on a bootstrap resample of the offline set."""
         del floorplan
         self._rng = rng or np.random.default_rng(0)

@@ -28,7 +28,6 @@ finds GIFT "provides the least temporal-resilience ... over time".
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -69,11 +68,11 @@ class GIFTLocalizer(Localizer):
         self.max_step_m = float(max_step_m)
         self.consistency_radius_m = float(consistency_radius_m)
         self.reanchor_factor = float(reanchor_factor)
-        self._rp_means: Optional[np.ndarray] = None
-        self._rp_locations: Optional[np.ndarray] = None
-        self._gradients: Optional[np.ndarray] = None
-        self._grad_from: Optional[np.ndarray] = None
-        self._grad_to: Optional[np.ndarray] = None
+        self._rp_means: np.ndarray | None = None
+        self._rp_locations: np.ndarray | None = None
+        self._gradients: np.ndarray | None = None
+        self._grad_from: np.ndarray | None = None
+        self._grad_to: np.ndarray | None = None
         self._n_aps: int = 0
 
     def fit(
@@ -81,8 +80,8 @@ class GIFTLocalizer(Localizer):
         train: FingerprintDataset,
         floorplan: Floorplan,
         *,
-        rng: Optional[np.random.Generator] = None,
-    ) -> "GIFTLocalizer":
+        rng: np.random.Generator | None = None,
+    ) -> GIFTLocalizer:
         """Build the gradient map from per-RP mean fingerprints."""
         del rng
         self._n_aps = train.n_aps

@@ -7,7 +7,6 @@ incognizant of temporal-variation" — raw RSSI vectors, no adaptation.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -26,20 +25,24 @@ class KNNLocalizer(BatchedLocalizer):
     neighbour-average. The chunked distance/top-k machinery is
     :class:`~repro.core.knn_head.KNNHead`'s, fitted on raw RSSI instead
     of embeddings. ``index`` shards the stored radio map
-    (:mod:`repro.index`) so each query scores only its probed shards.
+    (:mod:`repro.index`) so each query scores only its probed shards;
+    ``backend`` selects the distance-kernel backend
+    (:mod:`repro.kernels`) the radio map is packed for.
     """
 
     name = "KNN"
     requires_retraining = False
     supports_index = True
+    supports_kernel_backend = True
 
     def __init__(
         self,
         k: int = 3,
         *,
         weighted: bool = True,
-        chunk_size: Optional[int] = None,
-        index: Optional[IndexConfig] = None,
+        chunk_size: int | None = None,
+        index: IndexConfig | None = None,
+        backend: str | None = None,
     ) -> None:
         super().__init__()
         if k <= 0:
@@ -50,17 +53,18 @@ class KNNLocalizer(BatchedLocalizer):
         self.weighted = bool(weighted)
         self.chunk_size = chunk_size
         self.index_config = index
-        self._train_rssi: Optional[np.ndarray] = None
-        self._train_locations: Optional[np.ndarray] = None
-        self._head: Optional[KNNHead] = None
+        self.backend = backend
+        self._train_rssi: np.ndarray | None = None
+        self._train_locations: np.ndarray | None = None
+        self._head: KNNHead | None = None
 
     def fit(
         self,
         train: FingerprintDataset,
         floorplan: Floorplan,
         *,
-        rng: Optional[np.random.Generator] = None,
-    ) -> "KNNLocalizer":
+        rng: np.random.Generator | None = None,
+    ) -> KNNLocalizer:
         """Store the raw-RSSI reference set (no model to train)."""
         del rng
         if train.n_samples == 0:
@@ -68,7 +72,10 @@ class KNNLocalizer(BatchedLocalizer):
         self._train_rssi = np.clip(train.rssi, -100.0, 0.0)
         self._train_locations = train.locations.copy()
         self._head = KNNHead(
-            k=self.k, chunk_size=self.chunk_size, index=self.index_config
+            k=self.k,
+            chunk_size=self.chunk_size,
+            index=self.index_config,
+            backend=self.backend,
         ).fit(
             self._train_rssi,
             np.arange(train.n_samples),
@@ -82,11 +89,20 @@ class KNNLocalizer(BatchedLocalizer):
         return self._head.kneighbors(np.clip(rssi, -100.0, 0.0))
 
     @property
+    def kernel_backend(self) -> str:
+        """Resolved kernel-backend name the radio map is packed for."""
+        if self._head is not None:
+            return self._head.backend_name
+        from ..kernels import resolve_backend_name
+
+        return resolve_backend_name(self.backend)
+
+    @property
     def has_sharded_index(self) -> bool:
         """True when the fitted head routes queries through shards."""
         return self._head is not None and self._head.has_sharded_index
 
-    def shard_routes(self, rssi: np.ndarray) -> Optional[np.ndarray]:
+    def shard_routes(self, rssi: np.ndarray) -> np.ndarray | None:
         """Primary probed shard per scan (None without a sharded index)."""
         self._check_fitted()
         if not self.has_sharded_index:
@@ -94,7 +110,7 @@ class KNNLocalizer(BatchedLocalizer):
         rssi = self._check_rssi(rssi, self._train_rssi.shape[1])
         return self._head.shard_routes(np.clip(rssi, -100.0, 0.0))
 
-    def index_describe(self) -> Optional[dict]:
+    def index_describe(self) -> dict | None:
         """Shard statistics of the fitted radio-map index."""
         return self._head.index_describe() if self._head else None
 

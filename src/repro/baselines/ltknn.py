@@ -22,7 +22,6 @@ Mechanics of this reimplementation (following Montoliu et al., IPIN'18):
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -46,10 +45,10 @@ class RidgeImputer:
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
         self.alpha = float(alpha)
-        self.weights: Optional[np.ndarray] = None
+        self.weights: np.ndarray | None = None
         self.bias: float = NO_SIGNAL
 
-    def fit(self, x_alive: np.ndarray, y_missing: np.ndarray) -> "RidgeImputer":
+    def fit(self, x_alive: np.ndarray, y_missing: np.ndarray) -> RidgeImputer:
         x = np.asarray(x_alive, dtype=np.float64)
         y = np.asarray(y_missing, dtype=np.float64).reshape(-1)
         if x.shape[0] != y.shape[0]:
@@ -76,6 +75,7 @@ class LTKNNLocalizer(BatchedLocalizer):
     name = "LT-KNN"
     requires_retraining = True
     supports_index = True
+    supports_kernel_backend = True
 
     def __init__(
         self,
@@ -84,25 +84,27 @@ class LTKNNLocalizer(BatchedLocalizer):
         weighted: bool = True,
         ridge_alpha: float = 1.0,
         missing_threshold: float = 0.02,
-        index: Optional[IndexConfig] = None,
+        index: IndexConfig | None = None,
+        backend: str | None = None,
     ) -> None:
         super().__init__()
         self.k = int(k)
         self.weighted = bool(weighted)
         self.index_config = index
+        self.backend = backend
         self.ridge_alpha = float(ridge_alpha)
         if not 0.0 <= missing_threshold <= 1.0:
             raise ValueError("missing_threshold must be in [0, 1]")
         self.missing_threshold = float(missing_threshold)
-        self._train: Optional[FingerprintDataset] = None
-        self._knn: Optional[KNNLocalizer] = None
-        self._train_visible: Optional[np.ndarray] = None
+        self._train: FingerprintDataset | None = None
+        self._knn: KNNLocalizer | None = None
+        self._train_visible: np.ndarray | None = None
         self._current_missing: np.ndarray = np.array([], dtype=np.int64)
         self._imputers: dict[int, RidgeImputer] = {}
         # Stacked imputer coefficients: one matmul fills every missing
         # column of a whole scan batch at once.
-        self._imputer_weights: Optional[np.ndarray] = None
-        self._imputer_bias: Optional[np.ndarray] = None
+        self._imputer_weights: np.ndarray | None = None
+        self._imputer_bias: np.ndarray | None = None
         #: Number of maintenance refits performed post-deployment — the
         #: overhead counter reports surface next to accuracy.
         self.refit_count = 0
@@ -114,14 +116,17 @@ class LTKNNLocalizer(BatchedLocalizer):
         train: FingerprintDataset,
         floorplan: Floorplan,
         *,
-        rng: Optional[np.random.Generator] = None,
-    ) -> "LTKNNLocalizer":
+        rng: np.random.Generator | None = None,
+    ) -> LTKNNLocalizer:
         """Fit the base KNN and reset all maintenance state."""
         del rng
         self._train = train
         self._train_visible = train.visible_ap_union()
         self._knn = KNNLocalizer(
-            self.k, weighted=self.weighted, index=self.index_config
+            self.k,
+            weighted=self.weighted,
+            index=self.index_config,
+            backend=self.backend,
         ).fit(train, floorplan)
         self._current_missing = np.array([], dtype=np.int64)
         self._imputers.clear()
@@ -213,7 +218,7 @@ class LTKNNLocalizer(BatchedLocalizer):
             return np.empty((0, 2), dtype=np.float64)
         return self._knn.predict(self.impute(rssi))
 
-    def shard_routes(self, rssi: np.ndarray) -> Optional[np.ndarray]:
+    def shard_routes(self, rssi: np.ndarray) -> np.ndarray | None:
         """Shard routing over the *imputed* scans (what KNN will match).
 
         Bails out before imputing when the inner KNN has no sharded
@@ -226,6 +231,15 @@ class LTKNNLocalizer(BatchedLocalizer):
         rssi = self._check_rssi(rssi, self._train.n_aps)
         return self._knn.shard_routes(self.impute(rssi))
 
-    def index_describe(self) -> Optional[dict]:
+    def index_describe(self) -> dict | None:
         """Shard statistics of the inner KNN's radio-map index."""
         return self._knn.index_describe() if self._knn else None
+
+    @property
+    def kernel_backend(self) -> str:
+        """Resolved kernel-backend name of the inner KNN matcher."""
+        if self._knn is not None:
+            return self._knn.kernel_backend
+        from ..kernels import resolve_backend_name
+
+        return resolve_backend_name(self.backend)

@@ -8,8 +8,8 @@ set compared in every figure matches the paper's five: STONE plus KNN
 from __future__ import annotations
 
 import warnings
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Optional
 
 from ..core.config import StoneConfig
 from ..core.stone import StoneLocalizer
@@ -73,6 +73,7 @@ class FrameworkCapabilities:
     batched_inference: bool
     requires_retraining: bool
     supports_index: bool
+    supports_kernel_backend: bool
 
 
 def framework_capabilities(name: str) -> FrameworkCapabilities:
@@ -84,6 +85,9 @@ def framework_capabilities(name: str) -> FrameworkCapabilities:
         batched_inference=bool(getattr(cls, "batched_inference", False)),
         requires_retraining=bool(getattr(cls, "requires_retraining", False)),
         supports_index=bool(getattr(cls, "supports_index", False)),
+        supports_kernel_backend=bool(
+            getattr(cls, "supports_kernel_backend", False)
+        ),
     )
 
 
@@ -91,6 +95,17 @@ def supports_candidate_index(name: str) -> bool:
     """True when the framework's radio map can be sharded (``index=``)."""
     return bool(
         getattr(_FRAMEWORK_CLASSES[canonical_name(name)], "supports_index", False)
+    )
+
+
+def supports_kernel_backend(name: str) -> bool:
+    """True when the framework's hot path honours ``backend=``."""
+    return bool(
+        getattr(
+            _FRAMEWORK_CLASSES[canonical_name(name)],
+            "supports_kernel_backend",
+            False,
+        )
     )
 
 
@@ -115,9 +130,9 @@ def supports_batched_inference(name: str) -> bool:
 def make_localizer(
     name: str,
     *,
-    suite_name: Optional[str] = None,
+    suite_name: str | None = None,
     fast: bool = False,
-    index: Optional[IndexConfig] = None,
+    index: IndexConfig | None = None,
 ) -> Localizer:
     """Build a framework by its paper name (deprecated entry point).
 
@@ -144,9 +159,10 @@ def make_localizer(
 def build_localizer(
     name: str,
     *,
-    suite_name: Optional[str] = None,
+    suite_name: str | None = None,
     fast: bool = False,
-    index: Optional[IndexConfig] = None,
+    index: IndexConfig | None = None,
+    backend: str | None = None,
 ) -> Localizer:
     """Build a framework by its paper name.
 
@@ -159,7 +175,10 @@ def build_localizer(
     (:mod:`repro.index`); passing a non-exhaustive config to a framework
     whose ``supports_index`` flag is False raises ``ValueError`` —
     callers that sweep mixed framework sets filter on
-    :func:`framework_capabilities` first.
+    :func:`framework_capabilities` first. ``backend`` selects the
+    distance-kernel backend (:mod:`repro.kernels`) for the radio-map
+    frameworks; naming a result-changing backend for a framework
+    without the seam raises the same way.
     """
     key = canonical_name(name)
     if index is not None and not index.is_exhaustive and not supports_candidate_index(key):
@@ -168,6 +187,19 @@ def build_localizer(
             f"(supports_index is False); drop index= or pick one of the "
             f"NN-search frameworks (STONE, KNN, LT-KNN)"
         )
+    if backend is not None and not supports_kernel_backend(key):
+        from ..kernels import backend_changes_results, canonical_backend_name
+
+        backend = canonical_backend_name(backend)
+        if backend_changes_results(backend):
+            raise ValueError(
+                f"{key} has no kernel-backend seam "
+                f"(supports_kernel_backend is False); drop backend= or "
+                f"pick one of the radio-map frameworks (STONE, KNN, "
+                f"LT-KNN)"
+            )
+        # Bit-identical backends are the reference arithmetic anyway.
+        backend = None
     if key == "STONE":
         config = StoneConfig.for_suite(suite_name or "office")
         if fast:
@@ -177,11 +209,11 @@ def build_localizer(
                 steps_per_epoch=15,
                 batch_size=64,
             )
-        return StoneLocalizer(config, index=index)
+        return StoneLocalizer(config, index=index, backend=backend)
     if key == "KNN":
-        return KNNLocalizer(index=index)
+        return KNNLocalizer(index=index, backend=backend)
     if key == "LT-KNN":
-        return LTKNNLocalizer(index=index)
+        return LTKNNLocalizer(index=index, backend=backend)
     if key == "GIFT":
         return GIFTLocalizer()
     if key == "SCNN":

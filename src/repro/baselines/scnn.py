@@ -15,7 +15,6 @@ association STONE's Sec. III argues overfits the offline fingerprints.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -63,13 +62,13 @@ class SCNNLocalizer(BatchedLocalizer):
     name = "SCNN"
     requires_retraining = False
 
-    def __init__(self, config: Optional[SCNNConfig] = None) -> None:
+    def __init__(self, config: SCNNConfig | None = None) -> None:
         super().__init__()
         self.config = config or SCNNConfig()
         self.preprocessor = FingerprintImagePreprocessor()
-        self.model: Optional[Sequential] = None
-        self._label_to_location: Optional[np.ndarray] = None
-        self._labels: Optional[np.ndarray] = None
+        self.model: Sequential | None = None
+        self._label_to_location: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
 
     def _build(self, image_side: int, n_classes: int, rng: np.random.Generator) -> Sequential:
         cfg = self.config
@@ -96,8 +95,8 @@ class SCNNLocalizer(BatchedLocalizer):
         train: FingerprintDataset,
         floorplan: Floorplan,
         *,
-        rng: Optional[np.random.Generator] = None,
-    ) -> "SCNNLocalizer":
+        rng: np.random.Generator | None = None,
+    ) -> SCNNLocalizer:
         """Train the CNN classifier on (image, RP-label) pairs."""
         del floorplan
         rng = rng or np.random.default_rng(0)

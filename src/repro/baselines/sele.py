@@ -16,7 +16,6 @@ formulation, the triplet selection and the augmentation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -59,7 +58,7 @@ class SELELocalizer(BatchedLocalizer):
     name = "SELE"
     requires_retraining = True  # the cited work recalibrates monthly
 
-    def __init__(self, config: Optional[SELEConfig] = None) -> None:
+    def __init__(self, config: SELEConfig | None = None) -> None:
         super().__init__()
         self.config = config or SELEConfig()
         self.preprocessor = FingerprintImagePreprocessor()
@@ -100,8 +99,8 @@ class SELELocalizer(BatchedLocalizer):
         train: FingerprintDataset,
         floorplan: Floorplan,
         *,
-        rng: Optional[np.random.Generator] = None,
-    ) -> "SELELocalizer":
+        rng: np.random.Generator | None = None,
+    ) -> SELELocalizer:
         del floorplan  # no floorplan awareness: that is STONE's addition
         rng = rng or np.random.default_rng(self.config.seed)
         images = self.preprocessor.fit(train.rssi).transform(train.rssi)

@@ -17,7 +17,6 @@ augmentation — noise robustness without AP-removal robustness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -67,13 +66,13 @@ class WiDeepLocalizer(BatchedLocalizer):
     name = "WiDeep"
     requires_retraining = False
 
-    def __init__(self, config: Optional[WiDeepConfig] = None) -> None:
+    def __init__(self, config: WiDeepConfig | None = None) -> None:
         super().__init__()
         self.config = config or WiDeepConfig()
-        self.model: Optional[Sequential] = None
-        self._n_aps: Optional[int] = None
-        self._labels: Optional[np.ndarray] = None
-        self._label_to_location: Optional[np.ndarray] = None
+        self.model: Sequential | None = None
+        self._n_aps: int | None = None
+        self._labels: np.ndarray | None = None
+        self._label_to_location: np.ndarray | None = None
 
     # -- offline phase -------------------------------------------------------
 
@@ -112,8 +111,8 @@ class WiDeepLocalizer(BatchedLocalizer):
         train: FingerprintDataset,
         floorplan: Floorplan,
         *,
-        rng: Optional[np.random.Generator] = None,
-    ) -> "WiDeepLocalizer":
+        rng: np.random.Generator | None = None,
+    ) -> WiDeepLocalizer:
         """Two stages: denoising pretraining, then classifier fine-tune."""
         del floorplan
         rng = rng or np.random.default_rng(0)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from .baselines.registry import PAPER_FRAMEWORKS
 from .datasets import generate_path_suite, generate_uji_suite, suite_summary_table
@@ -129,6 +129,36 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         ),
     )
     _add_index_flags(parser)
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    """Kernel-backend flag shared by serve/fleet."""
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "kernel backend for the radio-map distance path: "
+            "'reference' (exact float64, the default), 'blas64' "
+            "(bit-identical, pinned through the seam), 'blas' "
+            "(float32 sgemm, ~2x faster, bounded error) or 'quantized' "
+            "(int8 codes, 8x smaller radio maps); unset falls back to "
+            "$REPRO_KERNEL_BACKEND, then 'reference' (applies to "
+            "STONE/KNN/LT-KNN, other frameworks run unchanged)"
+        ),
+    )
+
+
+def _backend_for(args: argparse.Namespace, caps) -> str | None:
+    """Resolve the --backend flag against a framework's capabilities."""
+    backend = getattr(args, "backend", None)
+    if backend is not None and not caps.supports_kernel_backend:
+        print(
+            f"note: {caps.name} has no kernel-backend seam — "
+            f"--backend {backend} ignored, serving the reference path"
+        )
+        return "reference"
+    return backend
 
 
 def _add_index_flags(parser: argparse.ArgumentParser) -> None:
@@ -247,6 +277,7 @@ def _fleet_spec(args: argparse.Namespace, spec_string: str):
     buildings = parse_fleet_spec(spec_string)
     caps = framework_capabilities(args.framework)
     index = _index_spec(args)
+    backend = _backend_for(args, caps)
     if not caps.supports_index:
         sharded = [
             b.name for b in buildings if b.index_kind not in (None, "exhaustive")
@@ -267,6 +298,7 @@ def _fleet_spec(args: argparse.Namespace, spec_string: str):
         seed=args.seed,
         fast=args.fast,
         index=index,
+        backend=backend,
         months=args.fleet_months,
         aps_per_floor=args.fleet_aps_per_floor,
         model_dir=args.model_dir,
@@ -314,6 +346,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     suite = _suite_for(args.suite, args.seed)
     caps = framework_capabilities(args.framework)
     index = _index_spec(args)
+    backend = _backend_for(args, caps)
     if index is not None and not caps.supports_index:
         print(
             f"note: {caps.name} has no reference radio map to shard — "
@@ -327,6 +360,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fast=args.fast,
             seed=args.seed,
             index=index,
+            backend=backend,
         ),
         host=args.host,
         port=args.port,
@@ -342,6 +376,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         print(f"{caps.name}: fitted in {entry.fit_seconds:.1f}s", end="")
         print(f" (persisted to {args.model_dir})" if args.model_dir else "")
+    backend_name = getattr(entry.localizer, "kernel_backend", "reference")
+    if backend_name != "reference":
+        print(f"kernel backend: {backend_name}")
     index_stats = entry.localizer.index_describe()
     if index_stats is not None and index_stats.get("kind") != "exhaustive":
         rows = index_stats.get("rows_per_shard", {})
@@ -616,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--seed", type=int, default=0)
     p_srv.add_argument("--fast", action="store_true", help="smoke-scale models")
     _add_index_flags(p_srv)
+    _add_backend_flag(p_srv)
     p_srv.set_defaults(fn=_cmd_serve)
 
     p_fleet = sub.add_parser(
@@ -650,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fleet_gen_flags(p_fleet)
     _add_index_flags(p_fleet)
+    _add_backend_flag(p_fleet)
     p_fleet.set_defaults(fn=_cmd_fleet)
 
     p_track = sub.add_parser(
@@ -686,7 +725,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     return args.fn(args)

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -70,7 +69,7 @@ class QuantizedTensor:
     scale: np.ndarray
     zero_point: np.ndarray
     spec: QuantizationSpec
-    channel_axis: Optional[int] = None
+    channel_axis: int | None = None
     shape: tuple = field(default_factory=tuple)
 
     def dequantize(self) -> np.ndarray:
@@ -94,7 +93,7 @@ class QuantizedTensor:
 
 
 def _ranges(
-    values: np.ndarray, spec: QuantizationSpec, channel_axis: Optional[int]
+    values: np.ndarray, spec: QuantizationSpec, channel_axis: int | None
 ) -> tuple[np.ndarray, np.ndarray]:
     """(min, max) per channel (or scalars for per-tensor)."""
     if channel_axis is None:
@@ -107,7 +106,7 @@ def quantize_tensor(
     values: np.ndarray,
     spec: QuantizationSpec = QuantizationSpec(),
     *,
-    channel_axis: Optional[int] = None,
+    channel_axis: int | None = None,
 ) -> QuantizedTensor:
     """Affine-quantize one array.
 
@@ -153,7 +152,7 @@ def quantize_tensor(
     )
 
 
-def _default_channel_axis(param_name: str, values: np.ndarray) -> Optional[int]:
+def _default_channel_axis(param_name: str, values: np.ndarray) -> int | None:
     """Per-channel axis convention: Conv kernels on axis 0 (out channels),
     Dense kernels on the last axis (output features), vectors per-tensor."""
     if param_name != "W" or values.ndim < 2:
@@ -247,15 +246,15 @@ class ActivationQuantizer:
     """
 
     def __init__(
-        self, model: Sequential, spec: Optional[QuantizationSpec] = None
+        self, model: Sequential, spec: QuantizationSpec | None = None
     ) -> None:
         # Activations are signed and roughly zero-centred after conv/FC;
         # asymmetric ranges capture ReLU outputs better.
         self.model = model
         self.spec = spec or QuantizationSpec(symmetric=False, per_channel=False)
-        self._ranges: Optional[list[tuple[float, float]]] = None
+        self._ranges: list[tuple[float, float]] | None = None
 
-    def calibrate(self, x: np.ndarray) -> "ActivationQuantizer":
+    def calibrate(self, x: np.ndarray) -> ActivationQuantizer:
         """Record per-layer activation min/max on calibration inputs."""
         ranges: list[tuple[float, float]] = []
         out = np.asarray(x)

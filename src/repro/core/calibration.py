@@ -10,8 +10,8 @@ fold, and picks the dimension with the lowest validation error.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 import numpy as np
 
@@ -82,8 +82,8 @@ def select_embedding_dim(
     floorplan: Floorplan,
     *,
     dims: Sequence[int] = (3, 5, 8, 10),
-    base_config: Optional[StoneConfig] = None,
-    rng: Optional[np.random.Generator] = None,
+    base_config: StoneConfig | None = None,
+    rng: np.random.Generator | None = None,
 ) -> CalibrationResult:
     """Sweep the encoder output length over ``dims`` (paper range 3-10).
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from .encoder import PER_SUITE_EMBEDDING_DIM, EncoderConfig
 
@@ -31,7 +30,7 @@ class StoneConfig:
     steps_per_epoch: int = 30
     batch_size: int = 96
     learning_rate: float = 2e-3
-    grad_clip_norm: Optional[float] = 5.0
+    grad_clip_norm: float | None = 5.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -48,12 +47,12 @@ class StoneConfig:
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
 
-    def with_embedding_dim(self, dim: int) -> "StoneConfig":
+    def with_embedding_dim(self, dim: int) -> StoneConfig:
         """Copy with a different encoder embedding dimension."""
         return replace(self, encoder=replace(self.encoder, embedding_dim=dim))
 
     @classmethod
-    def for_suite(cls, suite_name: str, **overrides) -> "StoneConfig":
+    def for_suite(cls, suite_name: str, **overrides) -> StoneConfig:
         """Per-floorplan tuned configuration.
 
         Mirrors the paper's practice of picking the embedding length "for

@@ -19,7 +19,6 @@ follow that guidance, and the ablation bench sweeps it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -64,9 +63,9 @@ PER_SUITE_EMBEDDING_DIM = {"uji": 10, "office": 10, "basement": 10}
 
 def build_encoder(
     image_side: int,
-    config: Optional[EncoderConfig] = None,
+    config: EncoderConfig | None = None,
     *,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
 ) -> Sequential:
     """Assemble the Fig. 1 encoder for ``image_side`` x ``image_side`` inputs."""
     if image_side < 3:
@@ -102,7 +101,21 @@ def build_encoder(
 
 
 def embed(
-    model: Sequential, images: np.ndarray, *, batch_size: int = 512
+    model: Sequential,
+    images: np.ndarray,
+    *,
+    batch_size: int = 512,
+    backend: str | None = None,
 ) -> np.ndarray:
-    """Inference-mode embeddings for a batch of fingerprint images."""
-    return model.predict(np.asarray(images, dtype=np.float32), batch_size=batch_size)
+    """Inference-mode embeddings for a batch of fingerprint images.
+
+    ``backend`` names a :mod:`repro.kernels` backend whose fused
+    ``dense_forward`` runs the encoder's dense(+ReLU) tail; ``None``
+    keeps the plain layer-by-layer pass (identical floats either way —
+    see :meth:`repro.nn.model.Sequential.predict`).
+    """
+    return model.predict(
+        np.asarray(images, dtype=np.float32),
+        batch_size=batch_size,
+        backend=backend,
+    )

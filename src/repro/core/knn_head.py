@@ -22,15 +22,23 @@ reference matrix — sub-linear distance work at a small recall cost.
 Probing ``n_probe >= n_shards`` shards covers every row and is
 bit-identical to exhaustive search; :meth:`per_rp_distances` always
 stays exhaustive (it needs the distance to *every* RP by definition).
+
+The distance arithmetic itself lives behind the kernel-backend seam
+(:mod:`repro.kernels`): ``fit()`` packs the reference set into the
+selected backend's resident representation (float64 rows, transposed
+float32, int8 codes) and every distance block — exhaustive, sharded and
+:meth:`per_rp_distances` — runs through that one backend. The default
+``reference`` backend is byte-for-byte the pre-seam float64 path.
 """
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..index import ExhaustiveIndex, IndexConfig, build_index, squared_distances
+from ..index import ExhaustiveIndex, IndexConfig, build_index
+from ..kernels import KernelBackend, resolve_backend
 
 if TYPE_CHECKING:  # annotation-only: the head never constructs one
     from ..geometry.floorplan import Floorplan
@@ -47,8 +55,9 @@ class KNNHead:
         k: int = 3,
         *,
         mode: str = "classify",
-        chunk_size: Optional[int] = None,
-        index: Optional[IndexConfig] = None,
+        chunk_size: int | None = None,
+        index: IndexConfig | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
@@ -60,17 +69,21 @@ class KNNHead:
         self.mode = mode
         self.chunk_size = int(chunk_size) if chunk_size else DEFAULT_CHUNK_SIZE
         self.index_config = index
+        # ``None`` resolves through $REPRO_KERNEL_BACKEND, then the
+        # bit-identical ``reference`` default (see repro.kernels).
+        self._backend = resolve_backend(backend)
+        self.backend_name = self._backend.name
         self._index = None
-        self._embeddings: Optional[np.ndarray] = None
-        self._rp_indices: Optional[np.ndarray] = None
-        self._locations: Optional[np.ndarray] = None
+        self._packed = None
+        self._embeddings: np.ndarray | None = None
+        self._rp_indices: np.ndarray | None = None
+        self._locations: np.ndarray | None = None
         # Precomputed in fit(); make every predict call loop-free.
-        self._ref_sq_norms: Optional[np.ndarray] = None
-        self._rp_labels: Optional[np.ndarray] = None
-        self._ref_codes: Optional[np.ndarray] = None
-        self._rp_coords: Optional[np.ndarray] = None
-        self._rp_col_order: Optional[np.ndarray] = None
-        self._rp_col_starts: Optional[np.ndarray] = None
+        self._rp_labels: np.ndarray | None = None
+        self._ref_codes: np.ndarray | None = None
+        self._rp_coords: np.ndarray | None = None
+        self._rp_col_order: np.ndarray | None = None
+        self._rp_col_starts: np.ndarray | None = None
 
     def fit(
         self,
@@ -78,8 +91,8 @@ class KNNHead:
         rp_indices: np.ndarray,
         locations: np.ndarray,
         *,
-        floorplan: Optional["Floorplan"] = None,
-    ) -> "KNNHead":
+        floorplan: "Floorplan" | None = None,
+    ) -> KNNHead:
         """Store the reference set and build the per-RP index tables.
 
         ``floorplan`` only matters with a ``region`` index config: it
@@ -95,10 +108,17 @@ class KNNHead:
             raise ValueError("rp_indices must align with embeddings")
         if locations.shape != (embeddings.shape[0], 2):
             raise ValueError("locations must be (n, 2)")
-        self._embeddings = embeddings
+        # The backend owns the resident representation. Exact backends
+        # pack the float64 matrix itself (no copy), so keeping the
+        # ``_embeddings`` alias costs nothing; bounded-error backends
+        # hold a smaller layout and drop the float64 original — that
+        # shrinkage is the quantized backend's whole point.
+        self._packed = self._backend.pack(embeddings)
+        self._embeddings = (
+            embeddings if not self._backend.changes_results else None
+        )
         self._rp_indices = rp_indices
         self._locations = locations
-        self._ref_sq_norms = (embeddings * embeddings).sum(axis=1)
         # RP label codes: reference row -> dense [0, n_rps) code.
         labels, first_rows, codes = np.unique(
             rp_indices, return_index=True, return_inverse=True
@@ -116,13 +136,27 @@ class KNNHead:
             codes[order], np.arange(labels.shape[0])
         )
         self._index = build_index(
-            self.index_config, embeddings, locations, floorplan=floorplan
+            self.index_config,
+            embeddings,
+            locations,
+            floorplan=floorplan,
+            backend=self.backend_name,
         )
         return self
 
     def _require_fitted(self) -> None:
-        if self._embeddings is None:
-            raise RuntimeError("KNNHead used before fit()")
+        if getattr(self, "_packed", None) is not None:
+            return
+        embeddings = getattr(self, "_embeddings", None)
+        if embeddings is not None:
+            # Pre-seam artifact (a warm-loaded pickle fitted before the
+            # kernel backends existed): adopt the bit-identical
+            # reference backend lazily from its stored float64 matrix.
+            self._backend = resolve_backend("reference")
+            self.backend_name = self._backend.name
+            self._packed = self._backend.pack(embeddings)
+            return
+        raise RuntimeError("KNNHead used before fit()")
 
     @property
     def rp_labels(self) -> np.ndarray:
@@ -133,21 +167,32 @@ class KNNHead:
     @property
     def n_references(self) -> int:
         self._require_fitted()
-        return int(self._embeddings.shape[0])
+        return int(self._packed.n_rows)
+
+    @property
+    def kernel_backend(self) -> str:
+        """Canonical name of the distance-kernel backend in use."""
+        return self.backend_name
+
+    @property
+    def packed_nbytes(self) -> int | None:
+        """Resident bytes of the packed reference set (None pre-fit)."""
+        packed = getattr(self, "_packed", None)
+        return packed.nbytes if packed is not None else None
 
     # -- distance blocks ----------------------------------------------------
 
     def _as_queries(self, queries: np.ndarray) -> np.ndarray:
         q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        if q.ndim != 2 or (q.shape[0] and q.shape[1] != self._embeddings.shape[1]):
+        if q.ndim != 2 or (q.shape[0] and q.shape[1] != self._packed.n_dims):
             raise ValueError(
-                f"queries must be (n, {self._embeddings.shape[1]}), got {q.shape}"
+                f"queries must be (n, {self._packed.n_dims}), got {q.shape}"
             )
         return q
 
     def _sq_distances(self, q: np.ndarray) -> np.ndarray:
         """(n, n_refs) squared Euclidean distances, clipped at zero."""
-        return squared_distances(q, self._embeddings, self._ref_sq_norms)
+        return self._backend.sq_distances(q, self._packed)
 
     def _chunks(self, n: int):
         step = self.chunk_size
@@ -163,7 +208,7 @@ class KNNHead:
         """
         self._require_fitted()
         q = self._as_queries(queries)
-        k = min(self.k, self._embeddings.shape[0])
+        k = min(self.k, self._packed.n_rows)
         if not isinstance(self._index, (type(None), ExhaustiveIndex)):
             return self._kneighbors_indexed(q, k)
         dist = np.empty((q.shape[0], k), dtype=np.float64)
@@ -191,7 +236,7 @@ class KNNHead:
         shards the candidate set is the identity permutation and the
         arithmetic matches the exhaustive path bit for bit.
         """
-        n_refs = self._embeddings.shape[0]
+        n_refs = self._packed.n_rows
         dist = np.empty((q.shape[0], k), dtype=np.float64)
         idx = np.empty((q.shape[0], k), dtype=np.int64)
         if q.shape[0] == 0:
@@ -204,11 +249,10 @@ class KNNHead:
             if cand.size < k:
                 cand = np.arange(n_refs, dtype=np.int64)
             full = cand.size == n_refs
-            refs = self._embeddings if full else self._embeddings[cand]
-            ref_sq = self._ref_sq_norms if full else self._ref_sq_norms[cand]
+            sub = self._packed if full else self._backend.take(self._packed, cand)
             for start, stop in self._chunks(members.shape[0]):
                 rows = members[start:stop]
-                d2 = squared_distances(q[rows], refs, ref_sq)
+                d2 = self._backend.sq_distances(q[rows], sub)
                 part = np.argpartition(d2, k - 1, axis=1)[:, :k]
                 rr = np.arange(d2.shape[0])[:, None]
                 order = np.argsort(d2[rr, part], axis=1)
@@ -234,7 +278,7 @@ class KNNHead:
         """
         return not isinstance(self._index, (type(None), ExhaustiveIndex))
 
-    def shard_routes(self, queries: np.ndarray) -> Optional[np.ndarray]:
+    def shard_routes(self, queries: np.ndarray) -> np.ndarray | None:
         """Primary (nearest-centroid) shard id per query, or ``None``.
 
         ``None`` when the head has no sharded index — callers use this
@@ -245,7 +289,7 @@ class KNNHead:
         q = self._as_queries(queries)
         return self._index.primary_shard(q)
 
-    def index_describe(self) -> Optional[dict]:
+    def index_describe(self) -> dict | None:
         """JSON-ready shard statistics, or ``None`` without an index."""
         if self._index is None:
             return None

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -64,10 +63,10 @@ class FingerprintImagePreprocessor:
     vector by construction, and APs disappearing later read -100).
     """
 
-    n_aps: Optional[int] = None
+    n_aps: int | None = None
     image_side: int = field(default=0, init=False)
 
-    def fit(self, rssi_dbm: np.ndarray) -> "FingerprintImagePreprocessor":
+    def fit(self, rssi_dbm: np.ndarray) -> FingerprintImagePreprocessor:
         """Lock the AP count / image geometry from the offline data."""
         rssi = np.atleast_2d(np.asarray(rssi_dbm))
         self.n_aps = int(rssi.shape[1])

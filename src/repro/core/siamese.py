@@ -13,7 +13,6 @@ One training step:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -64,8 +63,8 @@ class SiameseTrainer:
         optimizer: Optimizer,
         selector: TripletSelector,
         *,
-        augmentation: Optional[TurnOffAugmentation] = None,
-        grad_clip_norm: Optional[float] = 5.0,
+        augmentation: TurnOffAugmentation | None = None,
+        grad_clip_norm: float | None = 5.0,
     ) -> None:
         self.model = model
         self.loss = loss
@@ -115,7 +114,7 @@ class SiameseTrainer:
         epochs: int,
         steps_per_epoch: int,
         batch_size: int = 64,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
         verbose: bool = False,
     ) -> SiameseHistory:
         """Run ``epochs * steps_per_epoch`` triplet steps."""

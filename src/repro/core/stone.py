@@ -12,7 +12,6 @@ KNN head vote a reference point — no re-training, ever
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
 
 import numpy as np
 
@@ -38,13 +37,15 @@ class StoneLocalizer(BatchedLocalizer):
     name = "STONE"
     requires_retraining = False
     supports_index = True
+    supports_kernel_backend = True
 
     def __init__(
         self,
-        config: Optional[StoneConfig] = None,
+        config: StoneConfig | None = None,
         *,
-        chunk_size: Optional[int] = None,
-        index: Optional[IndexConfig] = None,
+        chunk_size: int | None = None,
+        index: IndexConfig | None = None,
+        backend: str | None = None,
     ) -> None:
         super().__init__()
         self.config = config or StoneConfig()
@@ -54,17 +55,21 @@ class StoneLocalizer(BatchedLocalizer):
         #: activation memory and the KNN head's distance matrices.
         self.chunk_size = int(chunk_size) if chunk_size else 512
         self.preprocessor = FingerprintImagePreprocessor()
-        self.encoder: Optional[Sequential] = None
+        self.encoder: Sequential | None = None
         #: Sharding the *embedding* reference set: the index is rebuilt
         #: from the embedded offline fingerprints at every (re)fit.
         self.index_config = index
+        #: Kernel backend for the embedding distance path AND the
+        #: encoder's fused dense forward (:mod:`repro.kernels`).
+        self.backend = backend
         self.knn = KNNHead(
             k=self.config.knn_k,
             mode=self.config.knn_mode,
             chunk_size=self.chunk_size,
             index=index,
+            backend=backend,
         )
-        self.history: Optional[SiameseHistory] = None
+        self.history: SiameseHistory | None = None
 
     # -- offline phase -----------------------------------------------------
 
@@ -73,8 +78,8 @@ class StoneLocalizer(BatchedLocalizer):
         train: FingerprintDataset,
         floorplan: Floorplan,
         *,
-        rng: Optional[np.random.Generator] = None,
-    ) -> "StoneLocalizer":
+        rng: np.random.Generator | None = None,
+    ) -> StoneLocalizer:
         """Offline phase: train encoder + KNN head on ``train``."""
         rng = rng or np.random.default_rng(self.config.seed)
         images = self.preprocessor.fit(train.rssi).transform(train.rssi)
@@ -107,7 +112,7 @@ class StoneLocalizer(BatchedLocalizer):
             batch_size=min(self.config.batch_size, max(2, train.n_samples)),
             rng=rng,
         )
-        reference = embed(self.encoder, images)
+        reference = embed(self.encoder, images, backend=self.backend)
         self.knn.fit(
             reference, train.rp_indices, train.locations, floorplan=floorplan
         )
@@ -120,7 +125,7 @@ class StoneLocalizer(BatchedLocalizer):
         self._fitted = True
         return self
 
-    def set_encoder(self, encoder: Sequential) -> "StoneLocalizer":
+    def set_encoder(self, encoder: Sequential) -> StoneLocalizer:
         """Swap the encoder and rebuild the KNN reference embeddings.
 
         The deployment-time hook for model compression: quantize or
@@ -132,7 +137,7 @@ class StoneLocalizer(BatchedLocalizer):
         self._check_fitted()
         self.encoder = encoder
         self.knn.fit(
-            embed(encoder, self._reference_images),
+            embed(encoder, self._reference_images, backend=self.backend),
             self._reference_rp_indices,
             self._reference_locations,
             floorplan=self._floorplan,
@@ -146,7 +151,12 @@ class StoneLocalizer(BatchedLocalizer):
         self._check_fitted()
         rssi = self._check_rssi(rssi, self.preprocessor.n_aps)
         images = self.preprocessor.transform(rssi)
-        return embed(self.encoder, images, batch_size=self.chunk_size)
+        return embed(
+            self.encoder,
+            images,
+            batch_size=self.chunk_size,
+            backend=self.backend,
+        )
 
     def predict(self, rssi: np.ndarray) -> np.ndarray:
         """Raw dBm scans -> (n, 2) estimated coordinates."""
@@ -162,18 +172,18 @@ class StoneLocalizer(BatchedLocalizer):
 
     # -- persistence ------------------------------------------------------
 
-    def save_encoder(self, path: Union[str, Path]) -> None:
+    def save_encoder(self, path: str | Path) -> None:
         """Persist the trained encoder weights+architecture (.npz)."""
         self._check_fitted()
         self.encoder.save(path)
 
     def load_encoder(
         self,
-        path: Union[str, Path],
+        path: str | Path,
         train: FingerprintDataset,
         *,
-        floorplan: Optional[Floorplan] = None,
-    ) -> "StoneLocalizer":
+        floorplan: Floorplan | None = None,
+    ) -> StoneLocalizer:
         """Restore an encoder and rebuild the KNN reference set.
 
         ``train`` must be the same offline dataset used when the encoder
@@ -184,7 +194,7 @@ class StoneLocalizer(BatchedLocalizer):
         self.encoder = Sequential.load(path)
         images = self.preprocessor.transform(train.rssi)
         self.knn.fit(
-            embed(self.encoder, images),
+            embed(self.encoder, images, backend=self.backend),
             train.rp_indices,
             train.locations,
             floorplan=floorplan,
@@ -198,7 +208,7 @@ class StoneLocalizer(BatchedLocalizer):
 
     # -- index introspection ----------------------------------------------
 
-    def index_describe(self) -> Optional[dict]:
+    def index_describe(self) -> dict | None:
         """Shard statistics of the embedding-space radio-map index.
 
         STONE intentionally does *not* implement :meth:`shard_routes`:
@@ -208,3 +218,8 @@ class StoneLocalizer(BatchedLocalizer):
         KNN head still groups embedded queries by probe set internally.
         """
         return self.knn.index_describe()
+
+    @property
+    def kernel_backend(self) -> str:
+        """Resolved kernel-backend name of the embedding KNN head."""
+        return self.knn.backend_name

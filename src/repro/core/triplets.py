@@ -15,7 +15,6 @@ mining (over embeddings, FaceNet-style) via ``repro.nn.losses``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -175,7 +174,7 @@ class FloorplanTripletSelector(TripletSelector):
 def make_selector(
     strategy: str,
     rp_indices: np.ndarray,
-    floorplan: Optional[Floorplan] = None,
+    floorplan: Floorplan | None = None,
     *,
     sigma_m: float = 3.0,
 ) -> TripletSelector:

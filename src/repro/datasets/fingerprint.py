@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
 
 import numpy as np
 
@@ -99,7 +98,7 @@ class FingerprintDataset:
 
     # -- selection ------------------------------------------------------------
 
-    def select(self, mask_or_indices: np.ndarray) -> "FingerprintDataset":
+    def select(self, mask_or_indices: np.ndarray) -> FingerprintDataset:
         """Row subset (boolean mask or index array)."""
         idx = np.asarray(mask_or_indices)
         return FingerprintDataset(
@@ -110,13 +109,13 @@ class FingerprintDataset:
             epochs=self.epochs[idx],
         )
 
-    def filter_epoch(self, epoch: int) -> "FingerprintDataset":
+    def filter_epoch(self, epoch: int) -> FingerprintDataset:
         """Rows captured during one epoch."""
         return self.select(self.epochs == epoch)
 
     def subsample_fpr(
         self, fpr: int, rng: np.random.Generator
-    ) -> "FingerprintDataset":
+    ) -> FingerprintDataset:
         """Keep at most ``fpr`` fingerprints per RP, chosen at random.
 
         This is the knob behind the paper's Fig. 7 sensitivity study
@@ -132,7 +131,7 @@ class FingerprintDataset:
             keep.append(np.sort(rows))
         return self.select(np.concatenate(keep))
 
-    def merge(self, other: "FingerprintDataset") -> "FingerprintDataset":
+    def merge(self, other: "FingerprintDataset") -> FingerprintDataset:
         """Row-wise concatenation (AP columns must match)."""
         if other.n_aps != self.n_aps:
             raise ValueError(
@@ -146,13 +145,13 @@ class FingerprintDataset:
             epochs=np.concatenate([self.epochs, other.epochs]),
         )
 
-    def shuffled(self, rng: np.random.Generator) -> "FingerprintDataset":
+    def shuffled(self, rng: np.random.Generator) -> FingerprintDataset:
         """Row-order permutation (used by the Fig. 7 repeat protocol)."""
         return self.select(rng.permutation(self.n_samples))
 
     # -- persistence --------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> None:
+    def save(self, path: str | Path) -> None:
         """Write to a compressed ``.npz``."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -166,7 +165,7 @@ class FingerprintDataset:
         )
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "FingerprintDataset":
+    def load(cls, path: str | Path) -> FingerprintDataset:
         with np.load(Path(path)) as data:
             return cls(
                 rssi=data["rssi"],

@@ -14,7 +14,6 @@ corpora (Sec. V.A) from the radio simulator:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -51,7 +50,7 @@ class SuiteConfig:
     fpr: int = 6
     train_fpr: int = 4
     position_jitter_m: float = 0.15
-    device: Optional[DeviceProfile] = None
+    device: DeviceProfile | None = None
 
     def __post_init__(self) -> None:
         if self.n_aps <= 0 or self.fpr <= 0 or self.train_fpr <= 0:
@@ -65,8 +64,8 @@ def build_environment(
     seed: int,
     *,
     n_aps: int = 60,
-    schedule: Optional[EphemeralitySchedule] = None,
-    device: Optional[DeviceProfile] = None,
+    schedule: EphemeralitySchedule | None = None,
+    device: DeviceProfile | None = None,
 ) -> RadioEnvironment:
     """A ready radio environment for ``kind`` in {office, basement, uji}.
 
@@ -161,7 +160,7 @@ def generate_path_suite(
     kind: str,
     seed: int = 0,
     *,
-    config: Optional[SuiteConfig] = None,
+    config: SuiteConfig | None = None,
     n_cis: int = 16,
 ) -> LongitudinalSuite:
     """Office/Basement longitudinal suite (paper Sec. V.A.2, Fig. 6).
@@ -221,7 +220,7 @@ def generate_uji_suite(
     train_fpr: int = 9,
     test_fpr: int = 3,
     n_months: int = 15,
-    device: Optional[DeviceProfile] = None,
+    device: DeviceProfile | None = None,
 ) -> LongitudinalSuite:
     """UJI-like longitudinal suite (paper Sec. V.A.1, Fig. 5).
 

@@ -10,14 +10,13 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Union
 
 import numpy as np
 
 from .fingerprint import FingerprintDataset
 
 
-def dataset_to_csv(ds: FingerprintDataset, path: Union[str, Path]) -> None:
+def dataset_to_csv(ds: FingerprintDataset, path: str | Path) -> None:
     """Write a dataset to CSV."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -37,7 +36,7 @@ def dataset_to_csv(ds: FingerprintDataset, path: Union[str, Path]) -> None:
             writer.writerow(row)
 
 
-def dataset_from_csv(path: Union[str, Path]) -> FingerprintDataset:
+def dataset_from_csv(path: str | Path) -> FingerprintDataset:
     """Read a dataset written by :func:`dataset_to_csv`."""
     path = Path(path)
     with open(path, newline="") as fh:

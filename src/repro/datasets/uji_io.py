@@ -23,8 +23,8 @@ are all accepted.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -36,7 +36,7 @@ from .fingerprint import FingerprintDataset, LongitudinalSuite
 UJI_NOT_DETECTED = 100
 
 
-def read_rss_csv(path: Union[str, Path]) -> np.ndarray:
+def read_rss_csv(path: str | Path) -> np.ndarray:
     """Parse an ``*rss.csv`` file to an ``(n, n_aps)`` dBm matrix.
 
     The ``100`` sentinel becomes :data:`NO_SIGNAL_DBM`; everything else
@@ -47,7 +47,7 @@ def read_rss_csv(path: Union[str, Path]) -> np.ndarray:
     return np.clip(rssi, NO_SIGNAL_DBM, 0.0)
 
 
-def read_crd_csv(path: Union[str, Path]) -> tuple[np.ndarray, np.ndarray]:
+def read_crd_csv(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
     """Parse a ``*crd.csv`` file to ``(locations (n, 2), floors (n,))``."""
     rows = _read_numeric_csv(path)
     if rows.shape[1] < 2:
@@ -61,7 +61,7 @@ def read_crd_csv(path: Union[str, Path]) -> tuple[np.ndarray, np.ndarray]:
     return locations, floors
 
 
-def _read_numeric_csv(path: Union[str, Path]) -> np.ndarray:
+def _read_numeric_csv(path: str | Path) -> np.ndarray:
     path = Path(path)
     rows: list[list[float]] = []
     with open(path) as fh:
@@ -82,7 +82,7 @@ def _read_numeric_csv(path: Union[str, Path]) -> np.ndarray:
 
 
 def load_uji_month(
-    month_dir: Union[str, Path],
+    month_dir: str | Path,
     *,
     split: str = "trn",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -124,10 +124,10 @@ def _assign_rp_indices(
 
 
 def load_uji_longterm(
-    root: Union[str, Path],
+    root: str | Path,
     *,
-    floor: Optional[int] = 3,
-    months: Optional[Sequence[str]] = None,
+    floor: int | None = 3,
+    months: Sequence[str] | None = None,
     rp_round_m: float = 0.5,
 ) -> LongitudinalSuite:
     """Assemble the full longitudinal suite from a corpus checkout.

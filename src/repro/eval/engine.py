@@ -29,10 +29,10 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -62,14 +62,14 @@ def available_cpus() -> int:
 # -- content hashing ----------------------------------------------------------
 
 
-def _update_array(digest: "hashlib._Hash", arr: np.ndarray) -> None:
+def _update_array(digest: hashlib._Hash, arr: np.ndarray) -> None:
     arr = np.ascontiguousarray(arr)
     digest.update(str(arr.dtype).encode())
     digest.update(str(arr.shape).encode())
     digest.update(arr.tobytes())
 
 
-def _update_floorplan(digest: "hashlib._Hash", suite: LongitudinalSuite) -> None:
+def _update_floorplan(digest: hashlib._Hash, suite: LongitudinalSuite) -> None:
     # The floorplan feeds fit() (STONE's floorplan-aware triplets), so
     # its geometry is result-affecting state like the arrays are.
     fp = suite.floorplan
@@ -82,7 +82,7 @@ def _update_floorplan(digest: "hashlib._Hash", suite: LongitudinalSuite) -> None
         )
 
 
-def _update_train(digest: "hashlib._Hash", suite: LongitudinalSuite) -> None:
+def _update_train(digest: hashlib._Hash, suite: LongitudinalSuite) -> None:
     digest.update(suite.name.encode())
     _update_floorplan(digest, suite)
     for arr in (
@@ -126,8 +126,9 @@ def task_fingerprint(
     seed: int,
     fast: bool,
     seed_index: int = 0,
-    schema_tag: Optional[str] = None,
-    index: Optional[IndexConfig] = None,
+    schema_tag: str | None = None,
+    index: IndexConfig | None = None,
+    backend: str | None = None,
 ) -> str:
     """Digest identifying one deterministic (framework, data, config) unit.
 
@@ -144,6 +145,12 @@ def task_fingerprint(
     a sharded fit and an exhaustive fit of the same suite address
     different artifacts (``None`` hashes as ``"exhaustive"``).
 
+    ``backend`` is the kernel backend (:mod:`repro.kernels`) the hot
+    distance path runs on. It feeds the digest *only when it can change
+    results*: bit-identical backends (``reference``, ``blas64``) hash
+    exactly like the pre-seam scheme, so every artifact computed before
+    the seam existed stays addressable.
+
     ``schema_tag`` names the artifact layout the key addresses; the
     default is this module's result-trace schema. Consumers with their
     own payload format (the model store) pass their own tag so bumping
@@ -155,6 +162,12 @@ def task_fingerprint(
     digest.update(canonical_name(framework).encode())
     digest.update(f"{seed}:{seed_index}:{fast}".encode())
     digest.update(index_tag(index).encode())
+    if backend is not None:
+        from ..kernels import backend_changes_results, canonical_backend_name
+
+        backend = canonical_backend_name(backend)
+        if backend_changes_results(backend):
+            digest.update(f"backend:{backend}".encode())
     return digest.hexdigest()
 
 
@@ -173,8 +186,8 @@ class EvalTask:
     seed: int
     seed_index: int
     fast: bool
-    chunk_size: Optional[int] = None
-    index: Optional[IndexConfig] = None
+    chunk_size: int | None = None
+    index: IndexConfig | None = None
 
     def spec(self):
         """This task's public :class:`repro.api.LocalizerSpec` view.
@@ -221,7 +234,7 @@ class ResultCache:
     only disk space.
     """
 
-    def __init__(self, cache_dir: Union[str, Path]) -> None:
+    def __init__(self, cache_dir: str | Path) -> None:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
@@ -230,7 +243,7 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.pkl"
 
-    def get(self, key: str) -> Optional[FrameworkResult]:
+    def get(self, key: str) -> FrameworkResult | None:
         """Cached trace for ``key``, or ``None`` on a miss.
 
         A corrupt or unreadable entry (truncated pickle, stale schema)
@@ -331,9 +344,9 @@ class ParallelRunner:
         self,
         *,
         jobs: int = 1,
-        chunk_size: Optional[int] = None,
-        cache_dir: Optional[Union[str, Path]] = None,
-        index: Optional[IndexConfig] = None,
+        chunk_size: int | None = None,
+        cache_dir: str | Path | None = None,
+        index: IndexConfig | None = None,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be positive, or 0 for auto")
@@ -342,7 +355,7 @@ class ParallelRunner:
         self.jobs = int(jobs) if jobs else available_cpus()
         self.chunk_size = chunk_size
         self.index = index
-        self.cache: Optional[ResultCache] = (
+        self.cache: ResultCache | None = (
             ResultCache(cache_dir) if cache_dir else None
         )
 
@@ -421,7 +434,7 @@ class ParallelRunner:
     def _execute(
         self, tasks: Sequence[tuple[EvalTask, LongitudinalSuite]]
     ) -> list[FrameworkResult]:
-        results: list[Optional[FrameworkResult]] = [None] * len(tasks)
+        results: list[FrameworkResult | None] = [None] * len(tasks)
         pending: list[int] = []
         suite_hashes: dict[int, str] = {}
         for pos, (task, suite) in enumerate(tasks):

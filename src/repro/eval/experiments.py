@@ -9,10 +9,10 @@ modules under ``benchmarks/`` are thin wrappers over these.
 from __future__ import annotations
 
 import os
+from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -128,8 +128,8 @@ def _comparison_figure(
     fast: bool,
     title: str,
     jobs: int = 1,
-    chunk_size: Optional[int] = None,
-    cache_dir: Optional[Union[str, Path]] = None,
+    chunk_size: int | None = None,
+    cache_dir: str | Path | None = None,
     index=None,
 ) -> tuple[FigureResult, Comparison]:
     comparison = compare_frameworks(
@@ -176,10 +176,10 @@ def run_fig5(
     seed: int = 0,
     *,
     frameworks: Sequence[str] = PAPER_FRAMEWORKS,
-    fast: Optional[bool] = None,
+    fast: bool | None = None,
     jobs: int = 1,
-    chunk_size: Optional[int] = None,
-    cache_dir: Optional[Union[str, Path]] = None,
+    chunk_size: int | None = None,
+    cache_dir: str | Path | None = None,
     index=None,
 ) -> FigureResult:
     """Fig. 5 — UJI: mean error over 15 months for all five frameworks."""
@@ -204,10 +204,10 @@ def run_fig6(
     seed: int = 0,
     *,
     frameworks: Sequence[str] = PAPER_FRAMEWORKS,
-    fast: Optional[bool] = None,
+    fast: bool | None = None,
     jobs: int = 1,
-    chunk_size: Optional[int] = None,
-    cache_dir: Optional[Union[str, Path]] = None,
+    chunk_size: int | None = None,
+    cache_dir: str | Path | None = None,
     index=None,
 ) -> FigureResult:
     """Fig. 6(a/b) — Basement/Office: mean error over 16 CIs."""
@@ -236,7 +236,7 @@ def run_fig6(
 
 #: Per-worker base suite for the Fig. 7 grid, set once by the pool
 #: initializer so cell payloads don't each re-pickle the suite's arrays.
-_FIG7_SUITE: Optional[LongitudinalSuite] = None
+_FIG7_SUITE: LongitudinalSuite | None = None
 
 
 def _init_fig7_worker(base_suite: LongitudinalSuite) -> None:
@@ -245,14 +245,14 @@ def _init_fig7_worker(base_suite: LongitudinalSuite) -> None:
 
 
 def _fig7_cell_in_worker(
-    payload: tuple[int, int, int, bool, Optional[int]],
+    payload: tuple[int, int, int, bool, int | None],
 ) -> np.ndarray:
     return _fig7_cell(_FIG7_SUITE, payload)
 
 
 def _fig7_cell(
     base_suite: LongitudinalSuite,
-    payload: tuple[int, int, int, bool, Optional[int]],
+    payload: tuple[int, int, int, bool, int | None],
 ) -> np.ndarray:
     """One (FPR, repeat) cell of the Fig. 7 grid (process-pool safe).
 
@@ -289,11 +289,11 @@ def run_fig7(
     seed: int = 0,
     *,
     fpr_values: Sequence[int] = (1, 2, 4, 6, 8),
-    n_repeats: Optional[int] = None,
-    fast: Optional[bool] = None,
+    n_repeats: int | None = None,
+    fast: bool | None = None,
     epoch_stride: int = 3,
     jobs: int = 1,
-    chunk_size: Optional[int] = None,
+    chunk_size: int | None = None,
 ) -> FigureResult:
     """Fig. 7 — STONE's sensitivity to fingerprints-per-RP.
 
@@ -377,10 +377,10 @@ def run_fig7(
 def run_headline_claims(
     seed: int = 0,
     *,
-    fast: Optional[bool] = None,
+    fast: bool | None = None,
     jobs: int = 1,
-    chunk_size: Optional[int] = None,
-    cache_dir: Optional[Union[str, Path]] = None,
+    chunk_size: int | None = None,
+    cache_dir: str | Path | None = None,
     index=None,
 ) -> FigureResult:
     """Sec. I / V.B / V.C numeric claims, recomputed on our substrate.

@@ -38,7 +38,7 @@ class ErrorSummary:
     n_samples: int
 
     @classmethod
-    def from_errors(cls, errors: np.ndarray) -> "ErrorSummary":
+    def from_errors(cls, errors: np.ndarray) -> ErrorSummary:
         errors = np.asarray(errors, dtype=np.float64)
         if errors.size == 0:
             raise ValueError("cannot summarise zero errors")

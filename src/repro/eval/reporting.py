@@ -8,7 +8,7 @@ from any terminal and easy to diff across runs.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -47,7 +47,7 @@ def format_table(
 def line_chart(
     series: Mapping[str, np.ndarray],
     *,
-    x_labels: Optional[Sequence[str]] = None,
+    x_labels: Sequence[str] | None = None,
     height: int = 16,
     title: str = "",
     y_unit: str = "m",
@@ -153,7 +153,7 @@ def visibility_matrix_chart(
 def cdf_chart(
     errors_by_name: Mapping[str, np.ndarray],
     *,
-    max_error_m: Optional[float] = None,
+    max_error_m: float | None = None,
     width: int = 60,
     height: int = 12,
     title: str = "",

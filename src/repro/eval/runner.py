@@ -14,9 +14,9 @@ single, serial reference implementation of the protocol.
 from __future__ import annotations
 
 import time as _time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -64,9 +64,9 @@ def evaluate_localizer(
     localizer: Localizer,
     suite: LongitudinalSuite,
     *,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
     fit: bool = True,
-    chunk_size: Optional[int] = None,
+    chunk_size: int | None = None,
 ) -> FrameworkResult:
     """Run the full longitudinal protocol for one framework.
 
@@ -139,8 +139,8 @@ def compare_frameworks(
     seed: int = 0,
     fast: bool = False,
     jobs: int = 1,
-    chunk_size: Optional[int] = None,
-    cache_dir: Optional[Union[str, Path]] = None,
+    chunk_size: int | None = None,
+    cache_dir: str | Path | None = None,
     index=None,
 ) -> Comparison:
     """Evaluate several frameworks (by registry name) on one suite.

@@ -9,7 +9,6 @@ for "framework A beats framework B on this epoch" claims.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -36,7 +35,7 @@ def bootstrap_mean_ci(
     *,
     n_boot: int = 2000,
     confidence: float = 0.95,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
 ) -> BootstrapCI:
     """Percentile-bootstrap CI of the mean of ``errors``."""
     errors = np.asarray(errors, dtype=np.float64).reshape(-1)
@@ -63,7 +62,7 @@ def paired_bootstrap_pvalue(
     errors_b: np.ndarray,
     *,
     n_boot: int = 2000,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
 ) -> float:
     """One-sided bootstrap p-value for ``mean(a) < mean(b)``.
 
@@ -88,8 +87,8 @@ def epochwise_cis(
     *,
     n_boot: int = 1000,
     confidence: float = 0.95,
-    rng: Optional[np.random.Generator] = None,
-) -> "list[BootstrapCI]":
+    rng: np.random.Generator | None = None,
+) -> list[BootstrapCI]:
     """One CI per epoch — the error bars a plotted Fig. 5/6 would carry."""
     rng = rng or np.random.default_rng(0)
     return [

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -106,7 +105,7 @@ class FleetDispatcher:
         *,
         batch_window_ms: float = 2.0,
         max_batch: int = 256,
-        chunk_size: Optional[int] = None,
+        chunk_size: int | None = None,
         max_pending_rows: int = DEFAULT_MAX_PENDING_ROWS,
     ) -> None:
         if max_pending_rows < 1:
@@ -142,9 +141,9 @@ class FleetDispatcher:
         self,
         scans: np.ndarray,
         *,
-        decision: Optional[RoutingDecision] = None,
-        building: Optional[str] = None,
-        floor: Optional[int] = None,
+        decision: RoutingDecision | None = None,
+        building: str | None = None,
+        floor: int | None = None,
     ) -> tuple[np.ndarray, RoutingDecision]:
         """Admit, route and answer one request's fleet-wide scan rows.
 

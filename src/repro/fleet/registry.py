@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
 
 import numpy as np
 
@@ -39,7 +38,7 @@ from .spec import BuildingSpec
 
 #: ``index=`` arguments accepted per building: one config for every
 #: floor, or a ``{floor: config}`` mapping for per-floor control.
-IndexArg = Union[IndexConfig, dict[int, Optional[IndexConfig]], None]
+IndexArg = IndexConfig | dict[int, IndexConfig | None] | None
 
 
 @dataclass(frozen=True)
@@ -61,7 +60,7 @@ class FleetSlot:
     slot: SlotId
     suite: LongitudinalSuite
     entry: StoreEntry
-    index: Optional[IndexConfig] = None
+    index: IndexConfig | None = None
 
     def describe(self) -> dict:
         """JSON-ready summary for the ``/fleet`` endpoint."""
@@ -75,6 +74,9 @@ class FleetSlot:
             "fit_seconds": round(self.entry.fit_seconds, 3),
             "n_rps": self.suite.floorplan.n_reference_points,
             "index": self.entry.localizer.index_describe(),
+            "backend": getattr(
+                self.entry.localizer, "kernel_backend", "reference"
+            ),
         }
 
 
@@ -129,8 +131,8 @@ class FleetRegistry:
     def __init__(
         self,
         *,
-        store: Optional[ModelStore] = None,
-        model_dir: Optional[Union[str, Path]] = None,
+        store: ModelStore | None = None,
+        model_dir: str | Path | None = None,
     ) -> None:
         self.store = store if store is not None else ModelStore(model_dir)
         self._buildings: dict[str, BuildingDeployment] = {}
@@ -147,15 +149,18 @@ class FleetRegistry:
         seed: int = 0,
         fast: bool = False,
         index: IndexArg = None,
+        backend: str | None = None,
         floor_k: int = 5,
     ) -> BuildingDeployment:
         """Register a building: fit its floor detector and every slot.
 
         ``index`` shards each slot's radio map — pass one
         :class:`~repro.index.IndexConfig` for all floors or a
-        ``{floor: config}`` mapping. Slots resolve through the shared
-        store, so re-adding an identical building (or restarting against
-        the same ``model_dir``) is warm, not a refit.
+        ``{floor: config}`` mapping. ``backend`` selects every slot's
+        kernel backend (:mod:`repro.kernels`). Slots resolve through
+        the shared store, so re-adding an identical building (or
+        restarting against the same ``model_dir``) is warm, not a
+        refit.
         """
         if name in self._buildings:
             raise ValueError(f"building {name!r} already registered")
@@ -176,7 +181,12 @@ class FleetRegistry:
             slot_suite = floor_suite(suite, floor)
             slot_index = index.get(floor) if isinstance(index, dict) else index
             entry = self.store.get_or_fit(
-                framework, slot_suite, seed=seed, fast=fast, index=slot_index
+                framework,
+                slot_suite,
+                seed=seed,
+                fast=fast,
+                index=slot_index,
+                backend=backend,
             )
             deployment.slots[floor] = FleetSlot(
                 slot=SlotId(building=name, floor=floor),
@@ -196,12 +206,13 @@ class FleetRegistry:
         framework: str = "KNN",
         seed: int = 0,
         fast: bool = False,
-        index: Optional[IndexConfig] = None,
+        index: IndexConfig | None = None,
+        backend: str | None = None,
         months: int = 4,
         aps_per_floor: int = 24,
-        store: Optional[ModelStore] = None,
-        model_dir: Optional[Union[str, Path]] = None,
-    ) -> "FleetRegistry":
+        store: ModelStore | None = None,
+        model_dir: str | Path | None = None,
+    ) -> FleetRegistry:
         """Generate one multi-floor suite per spec and register them all.
 
         Each building draws from an independent seed stream derived from
@@ -246,6 +257,7 @@ class FleetRegistry:
                 seed=seed,
                 fast=fast,
                 index=building_index,
+                backend=backend,
             )
         return registry
 

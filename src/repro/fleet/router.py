@@ -23,7 +23,6 @@ bit-identical to querying each target slot's localizer directly
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -243,8 +242,8 @@ class ScanRouter:
         self,
         scans: np.ndarray,
         *,
-        decision: Optional[RoutingDecision] = None,
-        chunk_size: Optional[int] = None,
+        decision: RoutingDecision | None = None,
+        chunk_size: int | None = None,
     ) -> tuple[np.ndarray, RoutingDecision]:
         """Route (or honor a forced decision) and run every slot model.
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Optional
 
 from ..index import INDEX_KINDS
 
@@ -38,7 +37,7 @@ class BuildingSpec:
     n_floors: int
     #: Radio-map index kind for this building's slots, or ``None`` to
     #: inherit the fleet-wide default.
-    index_kind: Optional[str] = None
+    index_kind: str | None = None
 
     def __post_init__(self) -> None:
         if not _NAME_RE.match(self.name):

@@ -8,8 +8,8 @@ paper Sec. IV.E).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
 
 import numpy as np
 
@@ -43,7 +43,7 @@ class Floorplan:
     reference_points: np.ndarray
     walls: WallSet = field(default_factory=WallSet)
     rp_spacing: float = 1.0
-    _rp_dist: Optional[np.ndarray] = field(default=None, repr=False)
+    _rp_dist: np.ndarray | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.width <= 0 or self.height <= 0:

@@ -7,11 +7,11 @@ All distances are in meters — the paper's localization error unit.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from collections.abc import Sequence
 
 import numpy as np
 
-PointLike = Union[Sequence[float], np.ndarray]
+PointLike = Sequence[float] | np.ndarray
 
 
 def as_point(p: PointLike) -> np.ndarray:

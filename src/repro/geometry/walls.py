@@ -9,8 +9,8 @@ through corridors flanked by offices and metal-heavy labs (Sec. V.A).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 import numpy as np
 

@@ -13,7 +13,6 @@ a sharded and an exhaustive fit of the same suite can never collide.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 #: Index kinds the partitioner layer implements.
 INDEX_KINDS = ("exhaustive", "region", "kmeans")
@@ -40,12 +39,18 @@ class IndexConfig:
     seed:
         Seed for the coarse quantizer's k-means iterations (ignored by
         the region partitioner).
+    backend:
+        Kernel backend (:mod:`repro.kernels`) for the *probe* distance
+        blocks — which shards a query scores. ``None`` inherits the
+        owning head's backend. Participates in :meth:`tag` only when it
+        can change results (a bit-identical backend probes identically).
     """
 
     kind: str = "exhaustive"
     n_shards: int = 16
     n_probe: int = 4
     seed: int = 0
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in INDEX_KINDS:
@@ -56,6 +61,16 @@ class IndexConfig:
             raise ValueError("n_shards must be positive")
         if self.n_probe <= 0:
             raise ValueError("n_probe must be positive")
+        if self.backend is not None:
+            # Canonicalize (and validate) eagerly so equal behaviour
+            # always means equal config objects and equal tags.
+            # Local import: repro.kernels reaches back into this
+            # package for the shared distance kernel.
+            from ..kernels import canonical_backend_name
+
+            object.__setattr__(
+                self, "backend", canonical_backend_name(self.backend)
+            )
 
     @property
     def is_exhaustive(self) -> bool:
@@ -79,6 +94,13 @@ class IndexConfig:
         tag = f"{self.kind}:s{self.n_shards}:p{probe}"
         if self.kind == "kmeans":
             tag += f":r{self.seed}"
+        if self.backend is not None:
+            from ..kernels import backend_changes_results
+
+            # Backend participates only when it can change which shards
+            # are probed; bit-identical backends share the legacy tag.
+            if backend_changes_results(self.backend):
+                tag += f":k{self.backend}"
         return tag
 
 
@@ -86,6 +108,6 @@ class IndexConfig:
 EXHAUSTIVE = IndexConfig()
 
 
-def index_tag(config: Optional[IndexConfig]) -> str:
+def index_tag(config: IndexConfig | None) -> str:
     """Cache-key tag for an optional config (``None`` = exhaustive)."""
     return (config or EXHAUSTIVE).tag()

@@ -11,7 +11,6 @@ copy away from the others.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -19,7 +18,7 @@ import numpy as np
 def squared_distances(
     queries: np.ndarray,
     refs: np.ndarray,
-    refs_sq: Optional[np.ndarray] = None,
+    refs_sq: np.ndarray | None = None,
 ) -> np.ndarray:
     """``(n, m)`` squared Euclidean distances, clamped at zero.
 

@@ -24,7 +24,6 @@ shards than requested; singleton shards are legal.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -49,7 +48,7 @@ def region_partition(
     locations: np.ndarray,
     n_shards: int,
     *,
-    floorplan: Optional[Floorplan] = None,
+    floorplan: Floorplan | None = None,
 ) -> list[np.ndarray]:
     """Partition reference rows into floorplan grid-cell shards.
 

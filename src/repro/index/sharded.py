@@ -27,7 +27,7 @@ stays in :class:`repro.core.knn_head.KNNHead`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -136,6 +136,11 @@ class ShardedRadioMap(CandidateIndex):
         Shards scored per query, clamped to the shard count.
     kind:
         Partitioner name, for reporting and cache tags.
+    backend:
+        Kernel-backend name (:mod:`repro.kernels`) for the centroid
+        probe distances; ``None`` is the bit-identical reference
+        kernel. Full probing never computes a distance, so it stays
+        identical across backends by construction.
     """
 
     def __init__(
@@ -145,6 +150,7 @@ class ShardedRadioMap(CandidateIndex):
         *,
         n_probe: int,
         kind: str,
+        backend: str | None = None,
     ) -> None:
         if not shard_rows:
             raise ValueError("a sharded index needs at least one shard")
@@ -167,6 +173,11 @@ class ShardedRadioMap(CandidateIndex):
             [vectors[rows].mean(axis=0) for rows in self._shard_rows]
         )
         self._centroid_sq = (self._centroids * self._centroids).sum(axis=1)
+        # Probe kernel seam. Lazy import: repro.kernels reaches back
+        # into this package for the shared distance function.
+        from ..kernels import resolve_backend_name
+
+        self._probe_backend = resolve_backend_name(backend)
 
     # -- geometry of the index ----------------------------------------------
 
@@ -197,9 +208,21 @@ class ShardedRadioMap(CandidateIndex):
         return q
 
     def _centroid_sq_distances(self, queries: np.ndarray) -> np.ndarray:
-        return squared_distances(
-            self._as_queries(queries), self._centroids, self._centroid_sq
-        )
+        # Pre-seam pickles lack the backend fields: fall back to the
+        # (bit-identical) shared reference kernel they were built on.
+        backend_name = getattr(self, "_probe_backend", None)
+        if backend_name is None or backend_name == "reference":
+            return squared_distances(
+                self._as_queries(queries), self._centroids, self._centroid_sq
+            )
+        from ..kernels import get_backend
+
+        backend = get_backend(backend_name)
+        packed = getattr(self, "_packed_centroids", None)
+        if packed is None or packed.backend != backend_name:
+            packed = backend.pack(self._centroids)
+            self._packed_centroids = packed
+        return backend.sq_distances(self._as_queries(queries), packed)
 
     def probe(self, queries: np.ndarray) -> np.ndarray:
         if self._n_probe >= self.n_shards:
@@ -240,6 +263,7 @@ class ShardedRadioMap(CandidateIndex):
             "n_shards": self.n_shards,
             "n_probe": self._n_probe,
             "n_rows": self._n_rows,
+            "probe_backend": getattr(self, "_probe_backend", "reference"),
             "rows_per_shard": {
                 "min": int(sizes.min()),
                 "mean": round(float(sizes.mean()), 1),
@@ -249,17 +273,20 @@ class ShardedRadioMap(CandidateIndex):
 
 
 def build_index(
-    config: Optional[IndexConfig],
+    config: IndexConfig | None,
     vectors: np.ndarray,
     locations: np.ndarray,
     *,
-    floorplan: Optional[Floorplan] = None,
+    floorplan: Floorplan | None = None,
+    backend: str | None = None,
 ) -> CandidateIndex:
     """Build the index an :class:`IndexConfig` describes over a reference set.
 
     ``vectors`` must be the same matrix queries are compared against
     (raw clipped RSSI or embeddings); ``locations`` are the rows'
     capture coordinates (used by the region partitioner only).
+    ``backend`` is the owning head's kernel backend, used for probe
+    distances unless the config names its own.
     """
     vectors = np.asarray(vectors, dtype=np.float64)
     if config is None or config.is_exhaustive:
@@ -279,5 +306,9 @@ def build_index(
         # exhaustive index is the honest description of what happens.
         return ExhaustiveIndex(vectors.shape[0])
     return ShardedRadioMap(
-        shards, vectors, n_probe=config.n_probe, kind=config.kind
+        shards,
+        vectors,
+        n_probe=config.n_probe,
+        kind=config.kind,
+        backend=config.backend if config.backend is not None else backend,
     )

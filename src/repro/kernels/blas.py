@@ -1,0 +1,93 @@
+"""``blas``: single-precision matmul-decomposed distances + fused dense.
+
+The distance kernel is bandwidth-bound: at serving scale the
+``(n_queries, n_refs)`` block dwarfs the operands, so halving every
+byte (float32 end to end) roughly doubles throughput before BLAS
+threading is even counted. The decomposition
+``|q|^2 + |r|^2 - 2 q @ r^T`` is evaluated with:
+
+* a resident **transposed, C-contiguous float32** reference layout
+  (packed once at fit) so the sgemm runs at full speed and the float64
+  radio map can be dropped — half the per-slot memory;
+* **cached float32 reference norms**;
+* **in-place accumulation** into the sgemm output (no ``(n, m)``
+  temporaries — the naive expression allocates three).
+
+Error is bounded: float32 rounding only, no quantization. Results are
+*not* bit-identical to ``reference`` (``changes_results = True``), so
+the backend name participates in fingerprints, and accuracy is gated on
+the eval suites by ``tests/kernels/test_backends.py``.
+
+``dense_forward`` is the fused encoder-side half: one contiguous gemm,
+bias added in place, ReLU folded in — arithmetic identical to running
+the ``Dense`` and ``ReLU`` layers back to back (weights are already
+float32), just without the intermediate allocations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import KernelBackend, PackedReferences
+
+
+class BlasBackend(KernelBackend):
+    """Float32 matmul-decomposed distance kernel (bounded-error)."""
+
+    name = "blas"
+    changes_results = True
+
+    def pack(self, refs: np.ndarray) -> PackedReferences:
+        refs32 = np.asarray(refs, dtype=np.float32)
+        # (d, n) C-contiguous: the sgemm's B operand in its natural
+        # orientation, and the only resident copy of the radio map.
+        refs_t = np.ascontiguousarray(refs32.T)
+        return PackedReferences(
+            backend=self.name,
+            n_rows=int(refs32.shape[0]),
+            n_dims=int(refs32.shape[1]),
+            arrays={
+                "refs_t": refs_t,
+                "refs_sq": (refs_t * refs_t).sum(axis=0),
+            },
+        )
+
+    def take(self, packed: PackedReferences, rows: np.ndarray) -> PackedReferences:
+        return PackedReferences(
+            backend=self.name,
+            n_rows=int(rows.shape[0]),
+            n_dims=packed.n_dims,
+            arrays={
+                "refs_t": packed.arrays["refs_t"][:, rows],
+                "refs_sq": packed.arrays["refs_sq"][rows],
+            },
+        )
+
+    def sq_distances(
+        self, queries: np.ndarray, packed: PackedReferences
+    ) -> np.ndarray:
+        q32 = np.ascontiguousarray(queries, dtype=np.float32)
+        d2 = q32 @ packed.arrays["refs_t"]
+        d2 *= -2.0
+        d2 += packed.arrays["refs_sq"][None, :]
+        d2 += np.einsum("ij,ij->i", q32, q32)[:, None]
+        # Numerical-noise guard: the decomposition rounds tiny true
+        # distances below zero; clamp before any caller reaches sqrt.
+        np.maximum(d2, 0.0, out=d2)
+        return d2
+
+    def dense_forward(self, x: np.ndarray, layer, *, fuse_relu: bool = False):
+        x = np.ascontiguousarray(x, dtype=layer.params["W"].dtype)
+        if x.ndim != 2 or x.shape[1] != layer.in_features:
+            raise ValueError(
+                f"{layer.name}: expected (batch, {layer.in_features}), "
+                f"got {x.shape}"
+            )
+        y = x @ layer.params["W"]
+        if layer.use_bias:
+            y += layer.params["b"]
+        if fuse_relu:
+            # Same arithmetic as the ReLU layer's `x * (x > 0)`, folded
+            # into the gemm output buffer.
+            y *= y > 0
+        return y

@@ -1,0 +1,99 @@
+"""``quantized``: int8-packed radio maps (memory-bound fleet density).
+
+Per-slot memory — not compute — is what caps how many buildings a
+single fleet process can keep warm, and the radio map is the dominant
+per-slot array. This backend stores it as **per-tensor symmetric int8
+codes** (built on :func:`repro.compress.quantize.quantize_tensor`, the
+same affine machinery the encoder-weight PTQ uses): 1 byte per value
+against the reference path's 8, an 8x packing of every warm slot.
+
+Distances are computed *in code space*. With one symmetric scale ``s``
+and zero point 0, quantizing queries onto the same grid gives::
+
+    ||x - y||^2  ~=  s^2 * ||q(x) - q(y)||^2
+
+so the kernel is the usual decomposition over the integer codes (cast
+to float32 for the sgemm — NumPy has no int8 GEMM), cached integer code
+norms, and a single ``s^2`` rescale at the end. Per-coordinate error is
+at most ``s/2`` plus clipping at the code range, which bounds the
+distance error by ``s * sqrt(d)`` per operand (pinned, together with
+the accuracy gates on the eval suites, in
+``tests/kernels/test_backends.py``).
+
+``dense_forward`` is inherited from the ``blas`` backend: this
+backend's quantization applies to the *radio map*; encoder-weight
+quantization stays in :mod:`repro.compress` where calibration lives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compress.quantize import QuantizationSpec, quantize_tensor
+from .base import PackedReferences
+from .blas import BlasBackend
+
+#: Radio-map code width. Per-tensor symmetric: zero point 0, the code
+#: grid is shared by references and queries.
+_SPEC = QuantizationSpec(bits=8, symmetric=True, per_channel=False)
+
+
+class QuantizedBackend(BlasBackend):
+    """Int8 reference codes + float32 code-space distance kernel."""
+
+    name = "quantized"
+    changes_results = True
+
+    def pack(self, refs: np.ndarray) -> PackedReferences:
+        qt = quantize_tensor(np.asarray(refs, dtype=np.float64), _SPEC)
+        codes = np.ascontiguousarray(qt.codes)  # (n, d) int8 — resident
+        codes_f = codes.astype(np.float32)
+        return PackedReferences(
+            backend=self.name,
+            n_rows=int(codes.shape[0]),
+            n_dims=int(codes.shape[1]),
+            arrays={
+                "codes": codes,
+                "codes_sq": np.einsum("ij,ij->i", codes_f, codes_f),
+                # 0-d float64 scale: kept out of nbytes-dominant arrays.
+                "scale": np.float64(qt.scale[0]),
+            },
+        )
+
+    def take(self, packed: PackedReferences, rows: np.ndarray) -> PackedReferences:
+        return PackedReferences(
+            backend=self.name,
+            n_rows=int(rows.shape[0]),
+            n_dims=packed.n_dims,
+            arrays={
+                "codes": packed.arrays["codes"][rows],
+                "codes_sq": packed.arrays["codes_sq"][rows],
+                "scale": packed.arrays["scale"],
+            },
+        )
+
+    def sq_distances(
+        self, queries: np.ndarray, packed: PackedReferences
+    ) -> np.ndarray:
+        scale = float(packed.arrays["scale"])
+        q_max = _SPEC.q_levels // 2 - 1
+        qc = np.clip(
+            np.rint(np.asarray(queries, dtype=np.float64) / scale),
+            -q_max,
+            q_max,
+        ).astype(np.float32)
+        rc = packed.arrays["codes"].astype(np.float32)
+        d2 = qc @ rc.T
+        d2 *= -2.0
+        d2 += packed.arrays["codes_sq"][None, :]
+        d2 += np.einsum("ij,ij->i", qc, qc)[:, None]
+        # Clamp in code space: rounding noise from the decomposition
+        # must never reach a sqrt as a negative value.
+        np.maximum(d2, 0.0, out=d2)
+        d2 *= np.float32(scale * scale)
+        return d2
+
+    def describe(self) -> dict:
+        facts = super().describe()
+        facts["bits"] = _SPEC.bits
+        return facts

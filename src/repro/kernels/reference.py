@@ -1,0 +1,73 @@
+"""The exact float64 backends: ``reference`` and ``blas64``.
+
+``reference`` is *today's* shipped arithmetic, verbatim: float64 rows,
+precomputed reference norms, and the one shared
+:func:`repro.index.distance.squared_distances` kernel — the path every
+bit-identity pin in the repo compares against.
+
+``blas64`` is the matmul-decomposed kernel at full precision. It runs
+the identical float64 ops in the identical order on the identical
+layouts, so it is bit-for-bit the reference path (hypothesis-pinned by
+``tests/kernels/test_backends.py``); it exists so the seam itself — the
+packing, the subset gathers, the dispatch — is pinned against drift
+independently of any precision change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..index.distance import squared_distances
+from .base import KernelBackend, PackedReferences
+
+
+class ReferenceBackend(KernelBackend):
+    """Shipped float64 arithmetic behind the seam (bit-identical)."""
+
+    name = "reference"
+    changes_results = False
+
+    def pack(self, refs: np.ndarray) -> PackedReferences:
+        refs = np.ascontiguousarray(refs, dtype=np.float64)
+        return PackedReferences(
+            backend=self.name,
+            n_rows=int(refs.shape[0]),
+            n_dims=int(refs.shape[1]),
+            arrays={
+                "refs": refs,
+                # The exact precomputation KNNHead.fit has always done.
+                "refs_sq": (refs * refs).sum(axis=1),
+            },
+        )
+
+    def take(self, packed: PackedReferences, rows: np.ndarray) -> PackedReferences:
+        return PackedReferences(
+            backend=self.name,
+            n_rows=int(rows.shape[0]),
+            n_dims=packed.n_dims,
+            arrays={
+                "refs": packed.arrays["refs"][rows],
+                "refs_sq": packed.arrays["refs_sq"][rows],
+            },
+        )
+
+    def sq_distances(
+        self, queries: np.ndarray, packed: PackedReferences
+    ) -> np.ndarray:
+        return squared_distances(
+            queries, packed.arrays["refs"], packed.arrays["refs_sq"]
+        )
+
+
+class Blas64Backend(ReferenceBackend):
+    """Full-precision matmul decomposition — bit-identical by contract.
+
+    Same float64 arrays, same op order, same clamp as ``reference``
+    (both bottom out in :func:`~repro.index.distance.squared_distances`,
+    whose ``q @ refs.T`` is already a BLAS dgemm); registering it
+    separately keeps the identity claim *testable* — the hypothesis
+    property compares two genuinely distinct registry entries.
+    """
+
+    name = "blas64"
+    changes_results = False

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -49,7 +48,7 @@ class MultiFloorDataset:
         mask = self.floor_indices == floor
         return self.fingerprints.select(mask)
 
-    def select(self, mask_or_indices: np.ndarray) -> "MultiFloorDataset":
+    def select(self, mask_or_indices: np.ndarray) -> MultiFloorDataset:
         """Row subset preserving floor labels."""
         idx = np.asarray(mask_or_indices)
         return MultiFloorDataset(
@@ -69,7 +68,7 @@ def floor_local_dataset(
     floor: int,
     floorplan: Floorplan,
     *,
-    rp_offset: Optional[int] = None,
+    rp_offset: int | None = None,
 ) -> FingerprintDataset:
     """One floor's rows with RP labels remapped to floorplan-local indices.
 

@@ -11,7 +11,6 @@ RSSI a usable floor signature.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -179,7 +178,7 @@ def floor_suite(suite: MultiFloorSuite, floor: int) -> LongitudinalSuite:
 def generate_multifloor_suite(
     seed: int = 0,
     *,
-    config: Optional[MultiFloorConfig] = None,
+    config: MultiFloorConfig | None = None,
 ) -> MultiFloorSuite:
     """UJI-like building with ``n_floors`` near-identical library floors.
 

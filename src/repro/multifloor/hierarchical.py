@@ -9,7 +9,7 @@ baseline for comparison.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 import numpy as np
 
@@ -32,10 +32,10 @@ class FloorClassifier:
         if k <= 0:
             raise ValueError("k must be positive")
         self.k = int(k)
-        self._vectors: Optional[np.ndarray] = None
-        self._floors: Optional[np.ndarray] = None
+        self._vectors: np.ndarray | None = None
+        self._floors: np.ndarray | None = None
 
-    def fit(self, rssi: np.ndarray, floors: np.ndarray) -> "FloorClassifier":
+    def fit(self, rssi: np.ndarray, floors: np.ndarray) -> FloorClassifier:
         rssi = np.asarray(rssi, dtype=np.float64)
         floors = np.asarray(floors, dtype=np.int64)
         if rssi.ndim != 2 or rssi.shape[0] == 0:
@@ -91,8 +91,8 @@ class HierarchicalLocalizer:
         train: MultiFloorDataset,
         building: Building,
         *,
-        rng: Optional[np.random.Generator] = None,
-    ) -> "HierarchicalLocalizer":
+        rng: np.random.Generator | None = None,
+    ) -> HierarchicalLocalizer:
         """Fit the floor detector, then every per-floor localizer.
 
         Global RP labels are remapped to floorplan-local indices before

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -73,7 +72,7 @@ def evaluate_multifloor(
     localizer: HierarchicalLocalizer,
     suite: MultiFloorSuite,
     *,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
 ) -> list[MultiFloorEpochResult]:
     """Fit on the suite's training month, sweep the test months.
 

@@ -7,7 +7,7 @@ Checks run in float64 to avoid drowning the comparison in float32 noise.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 import numpy as np
 
@@ -128,7 +128,7 @@ def check_loss_grad(
 
 
 def assert_close_gradients(
-    error: float, *, tol: float = 2e-3, context: Optional[str] = None
+    error: float, *, tol: float = 2e-3, context: str | None = None
 ) -> None:
     """Raise ``AssertionError`` when a gradcheck error exceeds ``tol``."""
     if error > tol:

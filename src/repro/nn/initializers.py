@@ -8,12 +8,12 @@ single precision for speed, matching common DL-framework defaults.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Union
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
 InitializerFn = Callable[[Sequence[int], np.random.Generator], np.ndarray]
-InitializerLike = Union[str, InitializerFn]
+InitializerLike = str | InitializerFn
 
 DTYPE = np.float32
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 
@@ -18,7 +18,7 @@ class ReLU(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         x = np.asarray(x, dtype=DTYPE)
@@ -35,7 +35,7 @@ class ReLU(Layer):
 class LeakyReLU(Layer):
     """Leaky ReLU, ``x if x > 0 else alpha * x``."""
 
-    def __init__(self, alpha: float = 0.01, *, name: Optional[str] = None) -> None:
+    def __init__(self, alpha: float = 0.01, *, name: str | None = None) -> None:
         super().__init__(name)
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
@@ -46,7 +46,7 @@ class LeakyReLU(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         x = np.asarray(x, dtype=DTYPE)
@@ -73,7 +73,7 @@ class Sigmoid(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         x = np.asarray(x, dtype=DTYPE)
@@ -100,7 +100,7 @@ class Tanh(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         y = np.tanh(np.asarray(x, dtype=DTYPE))
@@ -116,7 +116,7 @@ class Tanh(Layer):
 class ELU(Layer):
     """Exponential linear unit, ``x if x > 0 else alpha * (exp(x) - 1)``."""
 
-    def __init__(self, alpha: float = 1.0, *, name: Optional[str] = None) -> None:
+    def __init__(self, alpha: float = 1.0, *, name: str | None = None) -> None:
         super().__init__(name)
         self.alpha = float(alpha)
 
@@ -125,7 +125,7 @@ class ELU(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         x = np.asarray(x, dtype=DTYPE)
@@ -157,7 +157,7 @@ class Softmax(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         x = np.asarray(x, dtype=DTYPE)

@@ -21,7 +21,7 @@ them together without knowing layer internals.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 
@@ -36,7 +36,7 @@ class Layer:
     Stateless layers (activations, reshapes) simply keep ``params`` empty.
     """
 
-    def __init__(self, name: Optional[str] = None) -> None:
+    def __init__(self, name: str | None = None) -> None:
         self.name = name or self.__class__.__name__
         self.params: dict[str, np.ndarray] = {}
 
@@ -47,7 +47,7 @@ class Layer:
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         """Compute the layer output and a cache for ``backward``."""
         raise NotImplementedError

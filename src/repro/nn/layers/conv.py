@@ -9,14 +9,14 @@ pure-NumPy approach.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+from typing import Any
 
 import numpy as np
 
 from ..initializers import DTYPE, InitializerLike, get_initializer
 from .base import Cache, Layer
 
-PaddingLike = Union[str, int, tuple[int, int]]
+PaddingLike = str | int | tuple[int, int]
 
 
 def resolve_padding(
@@ -129,15 +129,15 @@ class Conv2D(Layer):
         self,
         in_channels: int,
         out_channels: int,
-        kernel_size: Union[int, tuple[int, int]] = (2, 2),
+        kernel_size: int | tuple[int, int] = (2, 2),
         *,
-        stride: Union[int, tuple[int, int]] = 1,
+        stride: int | tuple[int, int] = 1,
         padding: PaddingLike = "valid",
         use_bias: bool = True,
         kernel_init: InitializerLike = "he_normal",
         bias_init: InitializerLike = "zeros",
-        rng: Optional[np.random.Generator] = None,
-        name: Optional[str] = None,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
     ) -> None:
         super().__init__(name)
         if in_channels <= 0 or out_channels <= 0:
@@ -173,7 +173,7 @@ class Conv2D(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         if x.ndim != 4 or x.shape[1] != self.in_channels:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 
@@ -34,8 +34,8 @@ class Dense(Layer):
         use_bias: bool = True,
         kernel_init: InitializerLike = "he_normal",
         bias_init: InitializerLike = "zeros",
-        rng: Optional[np.random.Generator] = None,
-        name: Optional[str] = None,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
     ) -> None:
         super().__init__(name)
         if in_features <= 0 or out_features <= 0:
@@ -59,7 +59,7 @@ class Dense(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         if x.ndim != 2 or x.shape[1] != self.in_features:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 
@@ -19,7 +19,7 @@ class Dropout(Layer):
     (paper Sec. IV.D).
     """
 
-    def __init__(self, rate: float, *, name: Optional[str] = None) -> None:
+    def __init__(self, rate: float, *, name: str | None = None) -> None:
         super().__init__(name)
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
@@ -30,7 +30,7 @@ class Dropout(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         x = np.asarray(x, dtype=DTYPE)
         if not training or self.rate == 0.0:

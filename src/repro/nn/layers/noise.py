@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 
@@ -18,7 +18,7 @@ class GaussianNoise(Layer):
     The gradient is the identity: noise is constant w.r.t. the input.
     """
 
-    def __init__(self, sigma: float = 0.10, *, name: Optional[str] = None) -> None:
+    def __init__(self, sigma: float = 0.10, *, name: str | None = None) -> None:
         super().__init__(name)
         if sigma < 0:
             raise ValueError(f"sigma must be non-negative, got {sigma}")
@@ -29,7 +29,7 @@ class GaussianNoise(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         x = np.asarray(x, dtype=DTYPE)
         if not training or self.sigma == 0.0:
@@ -56,7 +56,7 @@ class GaussianDropout(Layer):
     encoder's regularization strategy.
     """
 
-    def __init__(self, sigma: float = 0.1, *, name: Optional[str] = None) -> None:
+    def __init__(self, sigma: float = 0.1, *, name: str | None = None) -> None:
         super().__init__(name)
         if sigma < 0:
             raise ValueError(f"sigma must be non-negative, got {sigma}")
@@ -67,7 +67,7 @@ class GaussianDropout(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         x = np.asarray(x, dtype=DTYPE)
         if not training or self.sigma == 0.0:

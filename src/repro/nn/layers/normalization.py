@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 
@@ -18,7 +18,7 @@ class L2Normalize(Layer):
     and the margin alpha has a scale-free meaning.
     """
 
-    def __init__(self, eps: float = 1e-8, *, name: Optional[str] = None) -> None:
+    def __init__(self, eps: float = 1e-8, *, name: str | None = None) -> None:
         super().__init__(name)
         if eps <= 0:
             raise ValueError("eps must be positive")
@@ -29,7 +29,7 @@ class L2Normalize(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         x = np.asarray(x, dtype=DTYPE)
@@ -67,7 +67,7 @@ class BatchNorm(Layer):
         *,
         momentum: float = 0.9,
         eps: float = 1e-5,
-        name: Optional[str] = None,
+        name: str | None = None,
     ) -> None:
         super().__init__(name)
         if num_features <= 0:
@@ -106,7 +106,7 @@ class BatchNorm(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del rng
         x = np.asarray(x, dtype=DTYPE)

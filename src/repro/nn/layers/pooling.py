@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+from typing import Any
 
 import numpy as np
 
@@ -11,7 +11,7 @@ from .base import Cache, Layer
 from .conv import conv_output_hw, im2col
 
 
-def _pair(v: Union[int, tuple[int, int]]) -> tuple[int, int]:
+def _pair(v: int | tuple[int, int]) -> tuple[int, int]:
     if isinstance(v, int):
         return (v, v)
     return (int(v[0]), int(v[1]))
@@ -22,10 +22,10 @@ class MaxPool2D(Layer):
 
     def __init__(
         self,
-        pool_size: Union[int, tuple[int, int]] = 2,
+        pool_size: int | tuple[int, int] = 2,
         *,
-        stride: Optional[Union[int, tuple[int, int]]] = None,
-        name: Optional[str] = None,
+        stride: int | tuple[int, int] | None = None,
+        name: str | None = None,
     ) -> None:
         super().__init__(name)
         self.pool_size = _pair(pool_size)
@@ -38,7 +38,7 @@ class MaxPool2D(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         x = np.asarray(x, dtype=DTYPE)
@@ -91,10 +91,10 @@ class AvgPool2D(Layer):
 
     def __init__(
         self,
-        pool_size: Union[int, tuple[int, int]] = 2,
+        pool_size: int | tuple[int, int] = 2,
         *,
-        stride: Optional[Union[int, tuple[int, int]]] = None,
-        name: Optional[str] = None,
+        stride: int | tuple[int, int] | None = None,
+        name: str | None = None,
     ) -> None:
         super().__init__(name)
         self.pool_size = _pair(pool_size)
@@ -107,7 +107,7 @@ class AvgPool2D(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         x = np.asarray(x, dtype=DTYPE)
@@ -158,7 +158,7 @@ class GlobalAvgPool2D(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         x = np.asarray(x, dtype=DTYPE)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -18,7 +19,7 @@ class Flatten(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         x = np.asarray(x, dtype=DTYPE)
@@ -38,7 +39,7 @@ class Reshape(Layer):
     """Reshape the non-batch dimensions to ``target_shape``."""
 
     def __init__(
-        self, target_shape: Sequence[int], *, name: Optional[str] = None
+        self, target_shape: Sequence[int], *, name: str | None = None
     ) -> None:
         super().__init__(name)
         self.target_shape = tuple(int(d) for d in target_shape)
@@ -50,7 +51,7 @@ class Reshape(Layer):
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, Cache]:
         del training, rng
         x = np.asarray(x, dtype=DTYPE)

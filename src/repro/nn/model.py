@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable, Sequence
 from pathlib import Path
-from typing import Any, Iterable, Optional, Sequence, Union
+from typing import Any
 
 import numpy as np
 
@@ -54,12 +55,12 @@ class Sequential:
     training depends on.
     """
 
-    def __init__(self, layers: Optional[Sequence[Layer]] = None) -> None:
+    def __init__(self, layers: Sequence[Layer] | None = None) -> None:
         self.layers: list[Layer] = list(layers) if layers else []
 
     # -- construction --------------------------------------------------------
 
-    def add(self, layer: Layer) -> "Sequential":
+    def add(self, layer: Layer) -> Sequential:
         """Append a layer; returns self for chaining."""
         if not isinstance(layer, Layer):
             raise TypeError(f"expected a Layer, got {type(layer).__name__}")
@@ -73,7 +74,7 @@ class Sequential:
         x: np.ndarray,
         *,
         training: bool = False,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, list[Any]]:
         """Run all layers; returns (output, caches) for a later backward."""
         caches: list[Any] = []
@@ -84,26 +85,63 @@ class Sequential:
         return out, caches
 
     def predict(
-        self, x: np.ndarray, *, batch_size: Optional[int] = 256
+        self,
+        x: np.ndarray,
+        *,
+        batch_size: int | None = 256,
+        backend: Any | None = None,
     ) -> np.ndarray:
         """Inference-mode forward pass, batched to bound memory.
 
         ``batch_size=None`` runs the whole input in one pass. Chunked
         passes write into a preallocated output so peak memory is one
         chunk's activations plus the result, never 2x the result.
+
+        ``backend`` (a :mod:`repro.kernels` backend name or instance)
+        routes every ``Dense`` layer — and a directly following
+        ``ReLU`` — through the backend's fused ``dense_forward``.
+        ``None`` keeps the layer-by-layer path. The fusion reuses the
+        gemm output buffer for bias and activation, so it is bitwise
+        identical to the unfused pass (``y + b`` and ``y += b`` produce
+        the same floats; ``ReLU`` is ``x * (x > 0)`` in both).
         """
         x = np.asarray(x, dtype=DTYPE)
+        if backend is not None:
+            from ..kernels import resolve_backend
+
+            backend = resolve_backend(backend)
         if batch_size is None or x.shape[0] <= batch_size:
-            return self.forward(x, training=False)[0]
+            return self._predict_block(x, backend)
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        first = self.forward(x[:batch_size], training=False)[0]
+        first = self._predict_block(x[:batch_size], backend)
         out = np.empty((x.shape[0],) + first.shape[1:], dtype=first.dtype)
         out[:batch_size] = first
         for i in range(batch_size, x.shape[0], batch_size):
-            out[i : i + batch_size] = self.forward(
-                x[i : i + batch_size], training=False
-            )[0]
+            out[i : i + batch_size] = self._predict_block(
+                x[i : i + batch_size], backend
+            )
+        return out
+
+    def _predict_block(self, x: np.ndarray, backend: Any | None) -> np.ndarray:
+        """One inference block, optionally Dense(+ReLU)-fused via ``backend``."""
+        if backend is None:
+            return self.forward(x, training=False)[0]
+        out = np.asarray(x, dtype=DTYPE)
+        skip_next = False
+        for idx, layer in enumerate(self.layers):
+            if skip_next:
+                skip_next = False
+                continue
+            if isinstance(layer, Dense):
+                fuse = (
+                    idx + 1 < len(self.layers)
+                    and type(self.layers[idx + 1]) is ReLU
+                )
+                out = backend.dense_forward(out, layer, fuse_relu=fuse)
+                skip_next = fuse
+            else:
+                out, _ = layer.forward(out, training=False)
         return out
 
     def backward(
@@ -172,7 +210,7 @@ class Sequential:
             shape = layer.output_shape(shape)
         return shape
 
-    def summary(self, input_shape: Optional[tuple[int, ...]] = None) -> str:
+    def summary(self, input_shape: tuple[int, ...] | None = None) -> str:
         """Human-readable architecture table."""
         lines = ["layer                     output shape        params"]
         shape = tuple(input_shape) if input_shape else None
@@ -191,7 +229,7 @@ class Sequential:
 
     # -- persistence ----------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> None:
+    def save(self, path: str | Path) -> None:
         """Serialize architecture + weights to a single ``.npz`` file."""
         path = Path(path)
         arch = [
@@ -212,7 +250,7 @@ class Sequential:
         np.savez(path, **arrays)
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "Sequential":
+    def load(cls, path: str | Path) -> Sequential:
         """Rebuild a model saved by :meth:`save`."""
         with np.load(Path(path)) as data:
             arch = json.loads(bytes(data["__architecture__"]).decode("utf-8"))

@@ -8,7 +8,7 @@ moments) is keyed the same way and survives across steps.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -218,7 +218,7 @@ _OPTIMIZERS = {
 }
 
 
-def get_optimizer(name: str, lr: Optional[float] = None, **kwargs) -> Optimizer:
+def get_optimizer(name: str, lr: float | None = None, **kwargs) -> Optimizer:
     """Build an optimizer by name, e.g. ``get_optimizer('adam', 1e-3)``."""
     try:
         cls = _OPTIMIZERS[name.lower()]

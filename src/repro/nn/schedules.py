@@ -8,7 +8,7 @@ value to ``optimizer.lr`` at the start of each epoch.
 from __future__ import annotations
 
 import math
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 Schedule = Callable[[int], float]
 

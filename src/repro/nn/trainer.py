@@ -7,8 +7,9 @@ in ``repro.core.siamese`` because it runs three forward passes per step.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Protocol
+from typing import Protocol
 
 import numpy as np
 
@@ -102,8 +103,8 @@ class Trainer:
         loss: SupervisedLoss,
         optimizer: Optimizer,
         *,
-        schedule: Optional[Schedule] = None,
-        grad_clip_norm: Optional[float] = None,
+        schedule: Schedule | None = None,
+        grad_clip_norm: float | None = None,
     ) -> None:
         self.model = model
         self.loss = loss
@@ -144,10 +145,10 @@ class Trainer:
         *,
         epochs: int,
         batch_size: int = 32,
-        rng: Optional[np.random.Generator] = None,
-        validation: Optional[tuple[np.ndarray, np.ndarray]] = None,
-        early_stopping: Optional[EarlyStopping] = None,
-        on_epoch_end: Optional[Callable[[int, History], None]] = None,
+        rng: np.random.Generator | None = None,
+        validation: tuple[np.ndarray, np.ndarray] | None = None,
+        early_stopping: EarlyStopping | None = None,
+        on_epoch_end: Callable[[int, History], None] | None = None,
         verbose: bool = False,
     ) -> History:
         """Train for ``epochs`` passes over ``(x, y)``; returns the history."""

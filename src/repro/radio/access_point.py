@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence
 
 import numpy as np
 
@@ -43,10 +43,10 @@ class AccessPoint:
     def replaced(
         self,
         *,
-        location: Optional[tuple[float, float]] = None,
-        tx_power_dbm: Optional[float] = None,
-        channel: Optional[int] = None,
-    ) -> "AccessPoint":
+        location: tuple[float, float] | None = None,
+        tx_power_dbm: float | None = None,
+        channel: int | None = None,
+    ) -> AccessPoint:
         """A next-generation AP occupying the same fingerprint slot."""
         return replace(
             self,

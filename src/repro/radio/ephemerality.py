@@ -10,9 +10,9 @@ of individual scans.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Sequence
 
 import numpy as np
 
@@ -159,7 +159,7 @@ def uji_like_schedule(
 
 
 def ephemerality_report(
-    schedule: EphemeralitySchedule, epoch_labels: Optional[Sequence[str]] = None
+    schedule: EphemeralitySchedule, epoch_labels: Sequence[str] | None = None
 ) -> str:
     """ASCII rendition of Fig. 4: rows = epochs, columns = APs.
 

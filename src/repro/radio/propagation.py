@@ -15,7 +15,6 @@ environments' distinct "environmental noise and multipath conditions"
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -90,7 +89,7 @@ class MultiWallPropagation:
     """
 
     path_loss: LogDistancePathLoss
-    floorplan: Optional[Floorplan] = None
+    floorplan: Floorplan | None = None
     wall_loss_cap_db: float = 30.0
 
     def mean_rssi_dbm(
@@ -115,7 +114,7 @@ class MultiWallPropagation:
 
 
 def make_propagation(
-    environment: str, floorplan: Optional[Floorplan] = None
+    environment: str, floorplan: Floorplan | None = None
 ) -> MultiWallPropagation:
     """Build a propagation model from an environment preset name."""
     try:

@@ -9,8 +9,8 @@ exactly the raw record the paper's offline/online phases capture.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
 
 import numpy as np
 
@@ -41,7 +41,7 @@ class RadioEnvironment:
     shadowing: ShadowingModel
     temporal: TemporalModel
     device: DeviceProfile = field(default_factory=DeviceProfile)
-    schedule: Optional[EphemeralitySchedule] = None
+    schedule: EphemeralitySchedule | None = None
     fading_std_db: float = 1.5
     base_seed: int = 0
     _replacements: dict = field(default_factory=dict, repr=False)
@@ -63,7 +63,7 @@ class RadioEnvironment:
 
     # -- AP lifecycle -----------------------------------------------------------
 
-    def _effective_ap(self, ap_id: int, epoch: Optional[int]) -> Optional[AccessPoint]:
+    def _effective_ap(self, ap_id: int, epoch: int | None) -> AccessPoint | None:
         """The AP transmitting in slot ``ap_id`` at ``epoch`` (None if removed)."""
         ap = self.access_points[ap_id]
         if self.schedule is None or epoch is None:
@@ -104,7 +104,7 @@ class RadioEnvironment:
         location: Sequence[float],
         time: SimTime,
         *,
-        epoch: Optional[int] = None,
+        epoch: int | None = None,
     ) -> float:
         """Expected received power before per-scan noise and detection.
 
@@ -162,7 +162,7 @@ class RadioEnvironment:
         time: SimTime,
         rng: np.random.Generator,
         *,
-        epoch: Optional[int] = None,
+        epoch: int | None = None,
     ) -> np.ndarray:
         """One WiFi scan: ``(n_aps,)`` RSSI in dBm, -100 for unobserved.
 
@@ -189,7 +189,7 @@ class RadioEnvironment:
     # -- vectorized RP fast path --------------------------------------------
 
     def _epoch_arrays(
-        self, epoch: Optional[int]
+        self, epoch: int | None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Effective (locations, tx powers, generations, active mask) per epoch.
 
@@ -220,7 +220,7 @@ class RadioEnvironment:
         return result
 
     def _structure_db(
-        self, rp_index: int, epoch: Optional[int], furniture_weight: float
+        self, rp_index: int, epoch: int | None, furniture_weight: float
     ) -> np.ndarray:
         """Wall attenuation + shadowing vector at an RP, cached.
 
@@ -289,7 +289,7 @@ class RadioEnvironment:
         time: SimTime,
         rng: np.random.Generator,
         *,
-        epoch: Optional[int] = None,
+        epoch: int | None = None,
         position_jitter_m: float = 0.15,
     ) -> np.ndarray:
         """A scan captured while standing at RP ``rp_index`` (vectorized).
@@ -324,7 +324,7 @@ class RadioEnvironment:
         out[~active] = NO_SIGNAL_DBM
         return out
 
-    def visible_ap_count(self, time: SimTime, *, epoch: Optional[int] = None) -> int:
+    def visible_ap_count(self, time: SimTime, *, epoch: int | None = None) -> int:
         """APs with detectable mean power at any RP — Fig. 3's annotation."""
         count = 0
         threshold = self.device.detection_threshold_dbm

@@ -10,9 +10,8 @@ with CRC32, which is deterministic everywhere.
 from __future__ import annotations
 
 import zlib
-from typing import Union
 
-Token = Union[int, str]
+Token = int | str
 
 
 def stable_seed(*tokens: Token) -> int:

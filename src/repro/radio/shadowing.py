@@ -11,7 +11,6 @@ cell size equals the decorrelation distance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -34,7 +33,7 @@ class ShadowingField:
     correlation_m: float
     seed: int
     margin: float = 10.0
-    _lattice: Optional[np.ndarray] = field(default=None, repr=False)
+    _lattice: np.ndarray | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.sigma_db < 0:

@@ -22,7 +22,6 @@ Components
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -57,7 +56,7 @@ class OUDrift:
     tau_days: float
     seed: int
     _samples: list[float] = field(default_factory=list, repr=False)
-    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
+    _rng: np.random.Generator | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.sigma_db < 0:
@@ -127,7 +126,7 @@ class TemporalModel:
         self.config = config
         self.base_seed = int(base_seed)
         self._drifts: dict[int, OUDrift] = {}
-        self._furniture_times: Optional[np.ndarray] = None
+        self._furniture_times: np.ndarray | None = None
 
     # -- slow drift ------------------------------------------------------------
 

@@ -41,11 +41,11 @@ class SimTime:
         return (8.0 + self.hours) % HOURS_PER_DAY
 
     @classmethod
-    def at(cls, *, months: float = 0.0, days: float = 0.0, hours: float = 0.0) -> "SimTime":
+    def at(cls, *, months: float = 0.0, days: float = 0.0, hours: float = 0.0) -> SimTime:
         """Build a time from mixed units."""
         return cls(months * HOURS_PER_MONTH + days * HOURS_PER_DAY + hours)
 
-    def __add__(self, other_hours: float) -> "SimTime":
+    def __add__(self, other_hours: float) -> SimTime:
         return SimTime(self.hours + float(other_hours))
 
 

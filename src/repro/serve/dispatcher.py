@@ -35,7 +35,6 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -113,7 +112,7 @@ class BatchingDispatcher:
         *,
         batch_window_ms: float = 2.0,
         max_batch: int = 256,
-        chunk_size: Optional[int] = None,
+        chunk_size: int | None = None,
     ) -> None:
         if batch_window_ms < 0:
             raise ValueError("batch_window_ms must be >= 0")
@@ -129,7 +128,7 @@ class BatchingDispatcher:
         self.stats = DispatchStats()
         self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
         self._pending_rows = 0
-        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._flush_handle: asyncio.TimerHandle | None = None
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-predict"
         )

@@ -37,7 +37,7 @@ non-numeric entries and ragged rows are rejected with a 400.
 from __future__ import annotations
 
 import json
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 
@@ -87,7 +87,7 @@ class RequestError(ValueError):
         message: str,
         *,
         status: int = 400,
-        code: Optional[str] = None,
+        code: str | None = None,
         retryable: bool = False,
     ) -> None:
         super().__init__(message)
@@ -110,7 +110,7 @@ def parse_json_body(body: bytes) -> dict:
     return payload
 
 
-def parse_api_version(payload: dict) -> Optional[int]:
+def parse_api_version(payload: dict) -> int | None:
     """The ``api_version`` a request declares, or ``None`` for legacy.
 
     Declaring a version the server does not speak is a client error
@@ -154,8 +154,8 @@ class RequestContext:
         self.method = method
         self.path = path
         self.body = body
-        self.api_version: Optional[int] = None
-        self._payload: Optional[dict] = None
+        self.api_version: int | None = None
+        self._payload: dict | None = None
 
     def json(self) -> dict:
         """Decode (once) and return the request body as a JSON object."""
@@ -292,7 +292,7 @@ def error_payload(
     message: str,
     *,
     status: int = 400,
-    code: Optional[str] = None,
+    code: str | None = None,
     retryable: bool = False,
     versioned: bool = False,
 ) -> dict:

@@ -33,7 +33,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from .dispatcher import BatchingDispatcher
 from .protocol import (
@@ -128,7 +128,7 @@ class JsonHttpServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[tuple[str, str, bytes, bool]]:
+    ) -> tuple[str, str, bytes, bool] | None:
         """Parse one request into ``(method, path, body, keep_alive)``.
 
         Returns ``None`` when the client closed the connection cleanly
@@ -288,9 +288,9 @@ class JsonHttpServer:
 
     async def serve(
         self,
-        stop: Optional[asyncio.Event] = None,
+        stop: asyncio.Event | None = None,
         *,
-        on_ready: Optional[Callable[[], None]] = None,
+        on_ready: Callable[[], None] | None = None,
     ) -> None:
         """Bind and serve until ``stop`` is set (forever when ``None``).
 
@@ -399,7 +399,7 @@ class LocalizationServer(JsonHttpServer):
         entry: StoreEntry,
         dispatcher: BatchingDispatcher,
         *,
-        store: Optional[ModelStore] = None,
+        store: ModelStore | None = None,
         host: str = "127.0.0.1",
         port: int = 8000,
     ) -> None:

@@ -34,7 +34,6 @@ import pickle
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
 
 import numpy as np
 
@@ -47,6 +46,9 @@ from ..index import IndexConfig, index_tag
 #: Bumped when the on-disk fitted-model payload layout changes.
 #: v2: keys and payloads carry the radio-map index configuration, so a
 #: sharded and an exhaustive fit of the same suite never collide.
+#: (The kernel-backend seam did NOT bump this: payloads grew optional
+#: ``backend``/``spec`` records that v2 readers and writers both
+#: tolerate, and bit-identical backends share the legacy digests.)
 STORE_SCHEMA_VERSION = 2
 
 
@@ -56,13 +58,17 @@ class ModelKey:
 
     ``index`` is the radio-map index configuration the model was fitted
     with (``None`` = exhaustive); its canonical tag feeds the digest.
+    ``backend`` is the kernel backend the radio map is packed for; it
+    feeds the digest only when it can change results, so reference (and
+    blas64) fits keep their pre-seam digests — and their artifacts.
     """
 
     framework: str
     train_hash: str
     seed: int
     fast: bool
-    index: Optional[IndexConfig] = None
+    index: IndexConfig | None = None
+    backend: str = "reference"
 
     @property
     def index_tag(self) -> str:
@@ -84,6 +90,7 @@ class ModelKey:
             fast=self.fast,
             schema_tag=f"store-v{STORE_SCHEMA_VERSION}",
             index=self.index,
+            backend=self.backend,
         )
 
 
@@ -101,6 +108,9 @@ class StoreEntry:
     fit_seconds: float = 0.0
     #: How often ``get_or_fit`` returned this entry after creation.
     hits: int = field(default=0)
+    #: The producing :class:`~repro.api.config.LocalizerSpec` as a
+    #: ``to_dict`` payload (None for artifacts persisted pre-seam).
+    spec: dict | None = None
 
     def describe(self) -> dict:
         """JSON-ready summary for the ``/models`` endpoint."""
@@ -112,6 +122,9 @@ class StoreEntry:
             "digest": self.key.digest[:16],
             "seed": self.key.seed,
             "fast": self.key.fast,
+            # The warm model's actual kernel backend (base-class
+            # "reference" for frameworks without the seam).
+            "backend": getattr(self.localizer, "kernel_backend", "reference"),
             "source": self.source,
             "fit_seconds": round(self.fit_seconds, 3),
             "hits": self.hits,
@@ -132,7 +145,7 @@ class ModelStore:
         directory warm-load instead of refitting.
     """
 
-    def __init__(self, model_dir: Optional[Union[str, Path]] = None) -> None:
+    def __init__(self, model_dir: str | Path | None = None) -> None:
         self.model_dir = Path(model_dir) if model_dir else None
         if self.model_dir is not None:
             self.model_dir.mkdir(parents=True, exist_ok=True)
@@ -149,15 +162,23 @@ class ModelStore:
         *,
         seed: int = 0,
         fast: bool = False,
-        index: Optional[IndexConfig] = None,
+        index: IndexConfig | None = None,
+        backend: str | None = None,
     ) -> ModelKey:
-        """The content-addressed key this store would use for a fit."""
+        """The content-addressed key this store would use for a fit.
+
+        ``backend=None`` resolves through ``$REPRO_KERNEL_BACKEND``
+        before defaulting to ``"reference"``, exactly like construction.
+        """
+        from ..kernels import resolve_backend_name
+
         return ModelKey(
             framework=canonical_name(framework),
             train_hash=train_fingerprint(suite),
             seed=seed,
             fast=fast,
             index=index if index is not None and not index.is_exhaustive else None,
+            backend=resolve_backend_name(backend),
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -169,7 +190,8 @@ class ModelStore:
         *,
         seed: int = 0,
         fast: bool = False,
-        index: Optional[IndexConfig] = None,
+        index: IndexConfig | None = None,
+        backend: str | None = None,
     ) -> StoreEntry:
         """Return a warm fitted model, loading or fitting only on miss.
 
@@ -184,8 +206,12 @@ class ModelStore:
         so sharded and exhaustive fits of the same suite live (and
         persist) side by side. The fitted shard structures ride inside
         the localizer, so a warm entry answers without rebuilding them.
+        ``backend`` selects the kernel backend the same way; backends
+        that cannot change results share the reference artifacts.
         """
-        key = self.key_for(framework, suite, seed=seed, fast=fast, index=index)
+        key = self.key_for(
+            framework, suite, seed=seed, fast=fast, index=index, backend=backend
+        )
         entry = self._entries.get(key.digest)
         if entry is not None:
             entry.hits += 1
@@ -202,13 +228,15 @@ class ModelStore:
         # so the spec is resolved lazily.
         from ..api.config import IndexSpec, LocalizerSpec
 
-        localizer = LocalizerSpec(
+        spec = LocalizerSpec(
             framework=key.framework,
             suite_name=suite.name,
             fast=key.fast,
             seed=key.seed,
             index=IndexSpec.from_config(key.index),
-        ).build()
+            backend=key.backend,
+        )
+        localizer = spec.build()
         rng = np.random.default_rng([key.seed, 0])
         t0 = time.perf_counter()
         localizer.fit(suite.train, suite.floorplan, rng=rng)
@@ -221,6 +249,7 @@ class ModelStore:
             n_aps=suite.n_aps,
             source="fitted",
             fit_seconds=fit_seconds,
+            spec=spec.to_dict(),
         )
         if self.model_dir is not None:
             self._save(entry)
@@ -240,6 +269,10 @@ class ModelStore:
             "seed": entry.key.seed,
             "fast": entry.key.fast,
             "index_tag": entry.key.index_tag,
+            "backend": entry.key.backend,
+            # The full producing spec, so an artifact is self-describing
+            # (audits and tooling never reverse-engineer the filename).
+            "spec": entry.spec,
             "suite_name": entry.suite_name,
             "n_aps": entry.n_aps,
             "localizer": entry.localizer,
@@ -251,7 +284,7 @@ class ModelStore:
 
     def _load(
         self, key: ModelKey, suite: LongitudinalSuite
-    ) -> Optional[StoreEntry]:
+    ) -> StoreEntry | None:
         if self.model_dir is None:
             return None
         path = self._path(key)
@@ -278,6 +311,21 @@ class ModelStore:
             or payload.get("index_tag") != key.index_tag
         ):
             return None
+        # Pre-seam payloads carry no backend record; they are reference
+        # fits, interchangeable with any bit-identical backend request
+        # (same digest). A *result-changing* mismatch is a mislabeled
+        # file: the digest would have differed.
+        from ..kernels import backend_changes_results
+
+        stored_backend = str(payload.get("backend", "reference"))
+        try:
+            stored_changes = backend_changes_results(stored_backend)
+        except KeyError:
+            return None  # unknown backend record: foreign artifact
+        if (
+            stored_changes or backend_changes_results(key.backend)
+        ) and stored_backend != key.backend:
+            return None
         localizer = payload.get("localizer")
         # Warm-load validation hook: the artifact must be an instance of
         # the class the registry maps this framework name to *today*.
@@ -294,6 +342,7 @@ class ModelStore:
             suite_name=str(payload.get("suite_name", suite.name)),
             n_aps=suite.n_aps,
             source="disk",
+            spec=payload.get("spec"),
         )
 
     # -- introspection -----------------------------------------------------

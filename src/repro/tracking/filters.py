@@ -15,7 +15,6 @@ smoothers operating directly on coordinates:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -127,7 +126,7 @@ class ParticleFilter:
     # -- inference ----------------------------------------------------------
 
     def run(
-        self, rssi: np.ndarray, *, rng: Optional[np.random.Generator] = None
+        self, rssi: np.ndarray, *, rng: np.random.Generator | None = None
     ) -> FilterResult:
         """Filter a whole scan sequence; returns per-step mean estimates."""
         rng = rng if rng is not None else np.random.default_rng(0)

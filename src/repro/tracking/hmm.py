@@ -15,7 +15,6 @@ Everything is computed in log space to survive long trajectories.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -112,7 +111,7 @@ class HiddenMarkovSmoother:
         floorplan: Floorplan,
         emission: EmissionModel,
         *,
-        transition: Optional[np.ndarray] = None,
+        transition: np.ndarray | None = None,
         speed_mps: float = 1.2,
         scan_interval_s: float = 2.0,
         uniform_mixture: float = 0.0,

@@ -35,7 +35,7 @@ class TrackingSummary:
     @classmethod
     def from_tracks(
         cls, predicted: np.ndarray, actual: np.ndarray
-    ) -> "TrackingSummary":
+    ) -> TrackingSummary:
         errors = tracking_errors(predicted, actual)
         if errors.shape[0] == 0:
             raise ValueError("cannot summarize an empty track")

@@ -8,7 +8,6 @@ other method is judged against.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -48,10 +47,10 @@ def track_trajectory(
     floorplan: Floorplan,
     *,
     method: str = "viterbi",
-    emission: Optional[EmissionModel] = None,
+    emission: EmissionModel | None = None,
     ema_alpha: float = 0.5,
     n_particles: int = 300,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
 ) -> tuple[np.ndarray, TrackingSummary]:
     """Estimate the walk and score it against ground truth.
 
@@ -101,8 +100,8 @@ def compare_tracking_methods(
     trajectory: Trajectory,
     floorplan: Floorplan,
     *,
-    methods: Optional[list[str]] = None,
-    rng: Optional[np.random.Generator] = None,
+    methods: list[str] | None = None,
+    rng: np.random.Generator | None = None,
 ) -> dict[str, TrackingSummary]:
     """Run several smoothing strategies on one walk; summaries by name."""
     methods = methods or list(TRACKING_METHODS)

@@ -10,8 +10,8 @@ a realistic speed, capturing one WiFi scan every few seconds.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 import numpy as np
 
@@ -162,9 +162,9 @@ def simulate_walk(
     *,
     speed_mps: float = 1.2,
     scan_interval_s: float = 2.0,
-    start_time: Optional[SimTime] = None,
-    epoch: Optional[int] = None,
-    rng: Optional[np.random.Generator] = None,
+    start_time: SimTime | None = None,
+    epoch: int | None = None,
+    rng: np.random.Generator | None = None,
 ) -> Trajectory:
     """Walk the waypoint polyline and capture a scan every interval.
 
@@ -199,13 +199,13 @@ def simulate_walk(
 def simulate_path_walk(
     env: RadioEnvironment,
     *,
-    start_rp: Optional[int] = None,
-    end_rp: Optional[int] = None,
+    start_rp: int | None = None,
+    end_rp: int | None = None,
     speed_mps: float = 1.2,
     scan_interval_s: float = 2.0,
-    start_time: Optional[SimTime] = None,
-    epoch: Optional[int] = None,
-    rng: Optional[np.random.Generator] = None,
+    start_time: SimTime | None = None,
+    epoch: int | None = None,
+    rng: np.random.Generator | None = None,
 ) -> Trajectory:
     """Walk the surveyed path itself, RP by RP.
 
@@ -246,9 +246,9 @@ def simulate_random_walk(
     n_waypoints: int = 5,
     speed_mps: float = 1.2,
     scan_interval_s: float = 2.0,
-    start_time: Optional[SimTime] = None,
-    epoch: Optional[int] = None,
-    rng: Optional[np.random.Generator] = None,
+    start_time: SimTime | None = None,
+    epoch: int | None = None,
+    rng: np.random.Generator | None = None,
 ) -> Trajectory:
     """Random-waypoint walk: convenience over :func:`simulate_walk`."""
     rng = rng if rng is not None else np.random.default_rng(0)
