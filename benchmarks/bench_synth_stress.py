@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Stress-bench the synthetic city: generation, fleet build, load, chaos.
+
+Materializes a :class:`repro.synth.ScenarioSpec` city end to end and
+gates on the full stack:
+
+1. **Determinism** — the same ``(spec, seed)`` generates bit-identical
+   suite content twice (and a different seed differs); an identity
+   gate, never tolerated.
+2. **Generation + fleet-build throughput** — vectorized suite rows/s
+   and fitted slots/s (higher-is-better ratios).
+3. **Serving under load** — a closed-loop run reports p50/p99/p999
+   latency and saturation rows/s; an open-loop overload probe checks
+   that excess offered load is shed as 429s with every request
+   accounted for; a chaos run checks hostile requests are rejected
+   cleanly while good traffic keeps flowing.
+
+``--quick`` is the CI gate scale (seconds); ``--full`` is the nightly
+100-building / 1000-slot city whose report lands in
+``benchmarks/history/synth.jsonl`` via ``tools/bench_trend.py``.
+
+Run standalone (pytest does not collect ``bench_*`` files)::
+
+    PYTHONPATH=src python benchmarks/bench_synth_stress.py --quick
+    PYTHONPATH=src python benchmarks/bench_synth_stress.py --full --duration 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _bench_common import write_json_report
+
+from repro.synth import (
+    ChaosSpec,
+    LoadSpec,
+    full_city,
+    generate_building_suite,
+    generate_fleet,
+    quick_city,
+    run_load,
+    suite_content_hash,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true", help="CI gate scale: small city"
+    )
+    mode.add_argument(
+        "--full", action="store_true",
+        help="nightly scale: 100 buildings x 10 floors = 1000 slots",
+    )
+    parser.add_argument("--buildings", type=int, default=None)
+    parser.add_argument("--floors", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="seconds per load phase (default 0.5 quick / 4.0 full)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=None,
+        help="closed-loop concurrency (default 8 quick / 16 full)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write gate metrics as JSON (CI regression harness)",
+    )
+    args = parser.parse_args(argv)
+
+    quick = not args.full
+    spec = quick_city() if quick else full_city()
+    if args.buildings:
+        spec = spec.scaled(n_buildings=args.buildings)
+    if args.floors:
+        spec = spec.scaled(floors_per_building=args.floors)
+    duration = args.duration or (0.5 if quick else 4.0)
+    clients = args.clients or (8 if quick else 16)
+    print(spec.describe())
+
+    # 1. Determinism: same (spec, seed) twice -> identical content; a
+    #    different seed -> different content. Identity gate.
+    h_a = suite_content_hash(generate_building_suite(spec, args.seed))
+    h_b = suite_content_hash(generate_building_suite(spec, args.seed))
+    h_other = suite_content_hash(generate_building_suite(spec, args.seed + 1))
+    deterministic = h_a == h_b and h_a != h_other
+    print(f"\nsuite content deterministic per (spec, seed): {deterministic}")
+
+    # 2. Generation throughput (vectorized radio model).
+    t0 = time.perf_counter()
+    probe = generate_building_suite(spec, args.seed)
+    gen_s = time.perf_counter() - t0
+    gen_rows = probe.train.n_samples + sum(
+        ds.n_samples for ds in probe.test_epochs
+    )
+    gen_rows_per_s = gen_rows / gen_s
+    print(
+        f"generation: {gen_rows} rows/building in {gen_s * 1e3:.1f} ms "
+        f"({gen_rows_per_s:,.0f} rows/s)"
+    )
+
+    # 3. Fleet build: every building generated + every slot fitted.
+    t0 = time.perf_counter()
+    registry = generate_fleet(spec, seed=args.seed, index="mixed", fast=True)
+    build_s = time.perf_counter() - t0
+    expected_slots = spec.n_buildings * spec.floors_per_building
+    fleet_built = registry.n_slots == expected_slots
+    slots_per_s = registry.n_slots / build_s
+    print(
+        f"fleet: {len(registry.buildings)} buildings / {registry.n_slots} "
+        f"slots / {registry.n_aps} APs in {build_s:.2f}s "
+        f"({slots_per_s:,.0f} slots/s) complete={fleet_built}"
+    )
+
+    # 4. Closed-loop latency + saturation throughput.
+    closed = run_load(
+        registry,
+        LoadSpec(
+            mode="closed", clients=clients, duration_s=duration,
+            batch_rows=8, zipf_s=1.1, pin_fraction=0.1, seed=args.seed,
+        ),
+    )
+    print("\n" + closed.describe())
+    lat = closed.latency_ms
+
+    # 5. Open-loop overload probe: offer ~4x the measured capacity into
+    #    a tiny admission queue; the fleet must shed with 429s and
+    #    account for every request (ok + shed == offered, nothing lost).
+    overload = run_load(
+        registry,
+        LoadSpec(
+            mode="open",
+            rate_rps=max(200.0, 4.0 * closed.throughput_rps),
+            burst=16, duration_s=duration, batch_rows=8, seed=args.seed,
+        ),
+        max_pending_rows=64,
+    )
+    print("\n" + overload.describe())
+    shed = overload.outcomes["overload"]
+    accounted = (
+        sum(overload.outcomes.values()) == overload.offered_requests
+        and overload.outcomes["ok"] > 0
+    )
+    print(f"overload probe: shed={shed} accounted={accounted}")
+
+    # 6. Chaos mix: hostile requests rejected cleanly, good traffic flows.
+    chaos = run_load(
+        registry,
+        LoadSpec(
+            mode="closed", clients=clients, duration_s=duration,
+            batch_rows=4, seed=args.seed,
+            chaos=ChaosSpec(malformed=0.1, oversized=0.05, misroute=0.1),
+        ),
+        max_pending_rows=512,
+    )
+    print("\n" + chaos.describe())
+    chaos_clean = (
+        chaos.outcomes["ok"] > 0
+        and chaos.outcomes["rejected"] > 0
+        and chaos.outcomes["unknown_slot"] > 0
+        and sum(chaos.outcomes.values()) == chaos.offered_requests
+    )
+    print(f"chaos probe: clean={chaos_clean}")
+
+    ok = deterministic and fleet_built and accounted and chaos_clean
+    print(f"\n{'PASS' if ok else 'FAIL'}: synth determinism/fleet/load checks")
+    if args.json:
+        write_json_report(
+            args.json,
+            bench="synth",
+            quick=quick,
+            metrics={
+                "suite_deterministic": deterministic,
+                "fleet_built": fleet_built,
+                "overload_accounted": accounted,
+                "chaos_rejected_cleanly": chaos_clean,
+                "gen_rows_per_s": round(gen_rows_per_s, 1),
+                "fleet_slots_per_s": round(slots_per_s, 2),
+                "load_rows_per_s": round(closed.rows_per_s, 1),
+                "saturation": round(closed.saturation, 4),
+                "p50_ms": round(lat["p50"], 3),
+                "p99_ms": round(lat["p99"], 3),
+                "p999_ms": round(lat["p999"], 3),
+            },
+            info={
+                "spec_fingerprint": spec.fingerprint(),
+                "n_buildings": spec.n_buildings,
+                "n_slots": registry.n_slots,
+                "n_aps": registry.n_aps,
+                "duration_s": duration,
+                "clients": clients,
+                "overload_outcomes": overload.outcomes,
+                "chaos_outcomes": chaos.outcomes,
+            },
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,7 @@ def main() -> None:
     for fraction in REMOVAL_FRACTIONS:
         damaged = simulate_ap_removal(test.rssi, fraction, rng)
         row = [f"{fraction:.0%} removed"]
-        for name, model in frameworks.items():
+        for model in frameworks.values():
             errors = localization_errors(model.predict(damaged), test.locations)
             row.append(float(errors.mean()))
         rows.append(row)

@@ -22,6 +22,10 @@ parts:
 * **Wire protocol v1** — :data:`API_VERSION`; requests declaring
   ``api_version`` get versioned responses and structured error bodies,
   version-less (legacy) requests keep the pre-v1 shapes bit-identically.
+* **Scenarios** (:mod:`repro.synth`) — :class:`ScenarioSpec` (with the
+  :func:`quick_city` / :func:`full_city` presets) describes a whole
+  synthetic city in the same frozen/fingerprinted spec grammar;
+  generation is deterministic per ``(spec.fingerprint(), seed)``.
 
 Quickstart::
 
@@ -40,6 +44,7 @@ table.
 """
 
 from ..serve.protocol import API_VERSION
+from ..synth.spec import ScenarioSpec, full_city, quick_city
 from .client import (
     LocalizeBatchResult,
     LocalizeResult,
@@ -71,6 +76,9 @@ __all__ = [
     "ReproConnectionError",
     "ReproError",
     "ReproOverloadError",
+    "ScenarioSpec",
     "ServeSpec",
     "engine_index",
+    "full_city",
+    "quick_city",
 ]

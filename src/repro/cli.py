@@ -538,6 +538,108 @@ def _cmd_multifloor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_synth(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .synth import (
+        ChaosSpec,
+        LoadSpec,
+        full_city,
+        generate_building_suite,
+        generate_fleet,
+        quick_city,
+        run_load,
+        suite_content_hash,
+    )
+
+    spec = full_city() if args.preset == "full" else quick_city()
+    overrides = {
+        "n_buildings": args.buildings,
+        "floors_per_building": args.floors,
+        "n_months": args.months,
+        "ap_density_per_100m2": args.ap_density,
+        "environment": args.environment,
+        "dropout_rate": args.dropout_rate,
+    }
+    spec = spec.scaled(**{k: v for k, v in overrides.items() if v is not None})
+    print(spec.describe())
+    print(f"fingerprint: {spec.fingerprint()}")
+
+    report: dict = {"spec": spec.to_dict(), "fingerprint": spec.fingerprint()}
+    probe = generate_building_suite(spec, args.seed)
+    content = suite_content_hash(probe)
+    print(
+        f"\n{probe.name}: {probe.train.n_samples} train rows, "
+        f"{len(probe.test_epochs)} test months — content {content[:16]}…"
+    )
+    report["building0_content_hash"] = content
+
+    registry = None
+    if args.fleet or args.load:
+        if args.index == "mixed":
+            index = "mixed"
+        elif args.index == "exhaustive":
+            index = None
+        else:
+            from .index import IndexConfig
+
+            index = IndexConfig(kind=args.index, seed=args.seed)
+
+        def progress(done: int, total: int) -> None:
+            if done == total or done % 10 == 0:
+                print(f"  fitted {done}/{total} buildings", flush=True)
+
+        t0 = time.perf_counter()
+        registry = generate_fleet(
+            spec,
+            seed=args.seed,
+            framework=args.framework,
+            fast=not args.full_models,
+            index=index,
+            model_dir=args.model_dir,
+            progress=progress if spec.n_buildings >= 20 else None,
+        )
+        build_s = time.perf_counter() - t0
+        print(f"\nfleet up in {build_s:.2f}s:")
+        print(registry.describe_text())
+        report["fleet"] = {
+            "n_buildings": len(registry.buildings),
+            "n_slots": registry.n_slots,
+            "n_aps": registry.n_aps,
+            "build_seconds": round(build_s, 3),
+        }
+
+    if args.load:
+        chaos = ChaosSpec(
+            malformed=args.chaos_malformed,
+            oversized=args.chaos_oversized,
+            misroute=args.chaos_misroute,
+        )
+        load = LoadSpec(
+            mode=args.load,
+            clients=args.clients,
+            rate_rps=args.rate,
+            burst=args.burst,
+            duration_s=args.duration,
+            batch_rows=args.batch_rows,
+            zipf_s=args.zipf,
+            pin_fraction=args.pin_fraction,
+            seed=args.seed,
+            chaos=chaos,
+        )
+        result = run_load(registry, load)
+        print()
+        print(result.describe())
+        report["load"] = result.to_dict()
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"\nwrote report: {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro.cli`` argument parser."""
     from . import __version__
@@ -721,6 +823,109 @@ def build_parser() -> argparse.ArgumentParser:
     p_mf.add_argument("--seed", type=int, default=0)
     p_mf.add_argument("--fast", action="store_true")
     p_mf.set_defaults(fn=_cmd_multifloor)
+
+    p_syn = sub.add_parser(
+        "synth",
+        help="generate a synthetic city, stand up its fleet, stress it",
+    )
+    p_syn.add_argument(
+        "--preset",
+        choices=("quick", "full"),
+        default="quick",
+        help=(
+            "base scenario: quick = 4 buildings x 2 floors (seconds), "
+            "full = 100 buildings x 10 floors = 1000 slots (default: quick)"
+        ),
+    )
+    p_syn.add_argument("--buildings", type=int, default=None)
+    p_syn.add_argument("--floors", type=int, default=None)
+    p_syn.add_argument(
+        "--months", type=int, default=None, help="longitudinal test months"
+    )
+    p_syn.add_argument(
+        "--ap-density",
+        type=float,
+        default=None,
+        help="access points per 100 m^2 of floor area",
+    )
+    p_syn.add_argument(
+        "--environment", choices=("open", "office", "basement"), default=None
+    )
+    p_syn.add_argument(
+        "--dropout-rate",
+        type=float,
+        default=None,
+        help="fraction of APs going dark per month (AP churn)",
+    )
+    p_syn.add_argument("--seed", type=int, default=0)
+    p_syn.add_argument(
+        "--fleet",
+        action="store_true",
+        help="also fit the whole city into a FleetRegistry",
+    )
+    p_syn.add_argument("--framework", default="KNN")
+    p_syn.add_argument(
+        "--full-models",
+        action="store_true",
+        help="fit full-scale slot models (default: fast smoke-scale)",
+    )
+    p_syn.add_argument(
+        "--index",
+        choices=("mixed", "exhaustive", "region", "kmeans"),
+        default="mixed",
+        help=(
+            "per-building index configs: 'mixed' rotates all kinds "
+            "across the city (default: mixed)"
+        ),
+    )
+    p_syn.add_argument(
+        "--model-dir",
+        default=None,
+        help="persist/warm-load slot models here (shared fleet store)",
+    )
+    p_syn.add_argument(
+        "--load",
+        choices=("closed", "open"),
+        default=None,
+        help=(
+            "run the load generator against the fleet (implies --fleet): "
+            "closed = N clients back-to-back, open = fixed-rate bursts"
+        ),
+    )
+    p_syn.add_argument("--duration", type=float, default=2.0, metavar="S")
+    p_syn.add_argument("--clients", type=int, default=8)
+    p_syn.add_argument(
+        "--rate", type=float, default=200.0, help="open-loop offered rps"
+    )
+    p_syn.add_argument(
+        "--burst", type=int, default=1, help="open-loop burst-train length"
+    )
+    p_syn.add_argument("--batch-rows", type=int, default=4)
+    p_syn.add_argument(
+        "--zipf",
+        type=float,
+        default=0.0,
+        help="hot-slot skew exponent (slot popularity ~ 1/rank^s)",
+    )
+    p_syn.add_argument(
+        "--pin-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of requests pinned to their true (building, floor)",
+    )
+    p_syn.add_argument(
+        "--chaos-malformed", type=float, default=0.0, metavar="FRAC"
+    )
+    p_syn.add_argument(
+        "--chaos-oversized", type=float, default=0.0, metavar="FRAC"
+    )
+    p_syn.add_argument(
+        "--chaos-misroute", type=float, default=0.0, metavar="FRAC"
+    )
+    p_syn.add_argument(
+        "--json", metavar="PATH", default=None, help="write the run report here"
+    )
+    p_syn.set_defaults(fn=_cmd_synth)
 
     return parser
 

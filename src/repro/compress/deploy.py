@@ -79,7 +79,9 @@ def get_device(name_or_spec) -> DeviceSpec:
         return DEVICE_PRESETS[name_or_spec]
     except KeyError:
         known = ", ".join(sorted(DEVICE_PRESETS))
-        raise KeyError(f"unknown device {name_or_spec!r}; presets: {known}")
+        raise KeyError(
+            f"unknown device {name_or_spec!r}; presets: {known}"
+        ) from None
 
 
 @dataclass(frozen=True)

@@ -104,7 +104,7 @@ def _ranges(
 
 def quantize_tensor(
     values: np.ndarray,
-    spec: QuantizationSpec = QuantizationSpec(),
+    spec: QuantizationSpec | None = None,
     *,
     channel_axis: int | None = None,
 ) -> QuantizedTensor:
@@ -114,6 +114,7 @@ def quantize_tensor(
     zero point 0 (so zero is exactly representable); asymmetric mode uses
     the full unsigned range with a per-(tensor|channel) zero point.
     """
+    spec = spec or QuantizationSpec()
     values = np.asarray(values, dtype=np.float64)
     if channel_axis is not None:
         if not -values.ndim <= channel_axis < values.ndim:
@@ -214,11 +215,12 @@ class QuantizedModel:
 
 def quantize_model(
     model: Sequential,
-    spec: QuantizationSpec = QuantizationSpec(),
+    spec: QuantizationSpec | None = None,
     *,
     min_size: int = 256,
 ) -> QuantizedModel:
     """Weights-only post-training quantization of a Sequential."""
+    spec = spec or QuantizationSpec()
     tensors: dict[str, QuantizedTensor] = {}
     kept: dict[str, np.ndarray] = {}
     for name, values in model.parameters().items():

@@ -422,7 +422,7 @@ class ParallelRunner:
                 )
         results = self._execute(tasks)
         comparisons: dict[str, Comparison] = {}
-        for (task, suite), result in zip(tasks, results):
+        for (_task, suite), result in zip(tasks, results):
             comparison = comparisons.setdefault(
                 suite.name, Comparison(suite=suite.name)
             )

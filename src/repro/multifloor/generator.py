@@ -192,7 +192,7 @@ def generate_multifloor_suite(
     floor_seeds = root.spawn(config.n_floors)
     envs: list[RadioEnvironment] = []
     change_epoch = max(1, int(round(0.7 * config.n_months)))
-    for i, seq in enumerate(floor_seeds):
+    for seq in floor_seeds:
         floor_seed = int(seq.generate_state(1)[0]) % (2**31)
         schedule = uji_like_schedule(
             config.aps_per_floor,

@@ -1,0 +1,75 @@
+"""`repro.synth` — synthetic city generator + fleet stress lab.
+
+Turn one declarative :class:`ScenarioSpec` (buildings x floors x AP
+density x path-loss regime x shadowing x device noise x per-month
+AP-dropout schedule x RP grid) into:
+
+* longitudinal suites (:func:`generate_suite`,
+  :func:`generate_building_suite`) via a vectorized log-distance
+  path-loss + lognormal-shadowing radio model, deterministic per
+  ``(spec.fingerprint(), seed)`` and bit-identical across processes;
+* whole fitted fleets (:func:`generate_fleet`) — 100-building /
+  1000-slot cities through ``FleetRegistry.add_building``;
+* stress workloads (:mod:`~repro.synth.loadgen`): open/closed-loop
+  arrivals, burst trains, hot-slot Zipf skew, chaos injection, with
+  p50/p99/p999 latency and saturation-throughput reporting;
+* hostile-ingress corpora (:mod:`~repro.synth.chaos`) replayable
+  against live servers.
+
+``benchmarks/bench_synth_stress.py`` drives all of it; ``repro synth``
+is the CLI face.
+"""
+
+from .chaos import (
+    ChaosCase,
+    ChaosOutcome,
+    chaos_corpus,
+    dropped_keepalive_bytes,
+    replay_case,
+    replay_corpus,
+)
+from .fleet import MIXED_INDEX_KINDS, building_index_configs, generate_fleet
+from .loadgen import (
+    ChaosSpec,
+    LoadReport,
+    LoadSpec,
+    TrafficPool,
+    run_load,
+    run_load_async,
+)
+from .radio import SynthRadioModel
+from .spec import ScenarioSpec, full_city, quick_city
+from .suite import (
+    build_radio_model,
+    building_seed_sequence,
+    generate_building_suite,
+    generate_suite,
+    suite_content_hash,
+)
+
+__all__ = [
+    "ChaosCase",
+    "ChaosOutcome",
+    "ChaosSpec",
+    "LoadReport",
+    "LoadSpec",
+    "MIXED_INDEX_KINDS",
+    "ScenarioSpec",
+    "SynthRadioModel",
+    "TrafficPool",
+    "build_radio_model",
+    "building_index_configs",
+    "building_seed_sequence",
+    "chaos_corpus",
+    "dropped_keepalive_bytes",
+    "full_city",
+    "generate_building_suite",
+    "generate_fleet",
+    "generate_suite",
+    "quick_city",
+    "replay_case",
+    "replay_corpus",
+    "run_load",
+    "run_load_async",
+    "suite_content_hash",
+]

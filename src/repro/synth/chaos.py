@@ -1,0 +1,301 @@
+"""Chaos corpus: hostile HTTP traffic with expected server reactions.
+
+Every entry is one raw HTTP/1.1 request (bytes on the wire, not a
+parsed payload — framing attacks live *below* JSON) paired with the
+error contract the serving layer promises:
+
+* malformed scans (ragged rows, wrong width, NaN, non-numeric, missing
+  fields, invalid JSON) → **400**, connection stays usable;
+* oversized declared bodies → **413**, connection closes;
+* broken framing (negative/garbage ``Content-Length``,
+  ``Transfer-Encoding``, garbage request line) → **400**, connection
+  closes (framing can't be trusted afterwards);
+* protocol misuse (oversized batches, wrong method, unknown endpoint,
+  unsupported ``api_version``) → 400/405/404 with the right envelope;
+* slot-pin misroutes (unknown building/floor, floor without building)
+  → **400**;
+* dropped keep-alives (half-sent request, then close) → silently
+  reaped, no desync, server stays healthy.
+
+:func:`replay_case` replays one entry over a real socket and reports
+what happened — including whether the connection stayed usable, probed
+with a follow-up ``GET /healthz`` on the *same* socket (the keep-alive
+desync detector). ``tests/fleet/test_chaos_ingress.py`` sweeps the
+corpus against a live :class:`~repro.fleet.server.FleetServer`; the
+load generator mixes the same payload-level malformations into its
+traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+
+from ..serve.protocol import MAX_BATCH_ROWS, MAX_BODY_BYTES
+
+
+def http_request(
+    path: str,
+    payload: dict | None = None,
+    *,
+    method: str = "POST",
+    body: bytes | None = None,
+    content_length: int | str | None = None,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """Assemble one raw HTTP/1.1 request (keep-alive by default)."""
+    if body is None:
+        body = json.dumps(payload).encode() if payload is not None else b""
+    length = len(body) if content_length is None else content_length
+    head = [f"{method} {path} HTTP/1.1", "Host: chaos"]
+    head.append(f"Content-Length: {length}")
+    for name, value in extra_headers:
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One hostile request plus the contract the server must honor."""
+
+    name: str
+    raw: bytes
+    expect_status: int
+    #: True when the server must close the connection after answering
+    #: (framing errors and 413s); False when keep-alive must survive.
+    expect_close: bool = False
+    #: True when the request declared api_version and the error must be
+    #: the structured v1 envelope {"api_version": 1, "error": {...}}.
+    versioned: bool = False
+
+
+def chaos_corpus(n_aps: int, *, building: str | None = None) -> list[ChaosCase]:
+    """The full corpus against a fleet (or single-model) server.
+
+    ``n_aps`` is the server's expected scan width; ``building`` (when
+    given) enables the slot-pin misroute cases.
+    """
+    ok_row = [-70.0] * n_aps
+    cases = [
+        ChaosCase(
+            "ragged-batch",
+            http_request("/localize_batch", {"rssi": [ok_row, ok_row + [-60.0]]}),
+            400,
+        ),
+        ChaosCase(
+            "wrong-width",
+            http_request("/localize", {"rssi": ok_row + [-70.0]}),
+            400,
+        ),
+        ChaosCase(
+            "nan-rssi",
+            http_request("/localize", {"rssi": [float("nan")] * n_aps}),
+            400,
+        ),
+        ChaosCase(
+            "non-numeric",
+            http_request("/localize", {"rssi": ["loud"] * n_aps}),
+            400,
+        ),
+        ChaosCase(
+            "nested-single",
+            http_request("/localize", {"rssi": [ok_row]}),
+            400,
+        ),
+        ChaosCase("missing-rssi", http_request("/localize", {"scan": ok_row}), 400),
+        ChaosCase("empty-batch", http_request("/localize_batch", {"rssi": []}), 400),
+        ChaosCase(
+            "invalid-json",
+            http_request("/localize", body=b"{not json"),
+            400,
+        ),
+        ChaosCase("empty-body", http_request("/localize", body=b""), 400),
+        ChaosCase(
+            "batch-too-large",
+            http_request(
+                "/localize_batch", {"rssi": [[0.0]] * (MAX_BATCH_ROWS + 1)}
+            ),
+            400,
+        ),
+        ChaosCase(
+            "oversized-body",
+            http_request(
+                "/localize", body=b"{}", content_length=MAX_BODY_BYTES + 1
+            ),
+            413,
+            expect_close=True,
+        ),
+        ChaosCase(
+            "negative-content-length",
+            http_request("/localize", body=b"{}", content_length=-5),
+            400,
+            expect_close=True,
+        ),
+        ChaosCase(
+            "garbage-content-length",
+            http_request("/localize", body=b"{}", content_length="banana"),
+            400,
+            expect_close=True,
+        ),
+        ChaosCase(
+            "transfer-encoding",
+            http_request(
+                "/localize",
+                body=b"{}",
+                extra_headers=(("Transfer-Encoding", "chunked"),),
+            ),
+            400,
+            expect_close=True,
+        ),
+        ChaosCase(
+            "garbage-request-line",
+            b"GARBAGE\r\n\r\n",
+            400,
+            expect_close=True,
+        ),
+        ChaosCase(
+            "wrong-method",
+            http_request("/localize", {"rssi": ok_row}, method="GET"),
+            405,
+        ),
+        ChaosCase(
+            "unknown-endpoint",
+            http_request("/teleport", {"rssi": ok_row}),
+            404,
+        ),
+        ChaosCase(
+            "unsupported-api-version",
+            http_request("/localize", {"api_version": 99, "rssi": ok_row}),
+            400,
+        ),
+        ChaosCase(
+            "versioned-malformed",
+            http_request("/localize", {"api_version": 1, "rssi": ok_row + [0.0]}),
+            400,
+            versioned=True,
+        ),
+    ]
+    if building is not None:
+        cases += [
+            ChaosCase(
+                "unknown-building-pin",
+                http_request(
+                    "/localize", {"rssi": ok_row, "building": "nowhere"}
+                ),
+                400,
+            ),
+            ChaosCase(
+                "unknown-floor-pin",
+                http_request(
+                    "/localize",
+                    {"rssi": ok_row, "building": building, "floor": 999},
+                ),
+                400,
+            ),
+            ChaosCase(
+                "floor-without-building",
+                http_request("/localize", {"rssi": ok_row, "floor": 0}),
+                400,
+            ),
+            ChaosCase(
+                "non-integer-floor",
+                http_request(
+                    "/localize",
+                    {"rssi": ok_row, "building": building, "floor": "up"},
+                ),
+                400,
+            ),
+        ]
+    return cases
+
+
+def dropped_keepalive_bytes(n_aps: int) -> bytes:
+    """A request whose body is half-sent (the client then hangs up).
+
+    The declared ``Content-Length`` exceeds what is sent; the server
+    must reap the connection silently without desyncing other traffic.
+    """
+    full = http_request("/localize", {"rssi": [-70.0] * n_aps})
+    return full[: len(full) - 10]
+
+
+# -- replay ----------------------------------------------------------------
+
+
+@dataclass
+class ChaosOutcome:
+    """What actually happened when one case hit a live server."""
+
+    case: str
+    status: int
+    payload: dict
+    #: A follow-up /healthz on the same socket answered 200 — the
+    #: connection survived and stayed in sync.
+    connection_reused: bool
+
+
+def _read_response(sock: socket.socket) -> tuple[int, dict] | None:
+    """Read one HTTP response; None when the peer closed instead."""
+    buf = b""
+    while b"\r\n\r\n" not in buf:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return None
+        buf += chunk
+    head, _, rest = buf.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        rest += chunk
+    payload = json.loads(rest[:length]) if rest[:length] else {}
+    return status, payload
+
+
+_HEALTHZ = b"GET /healthz HTTP/1.1\r\nHost: chaos\r\n\r\n"
+
+
+def replay_case(
+    host: str, port: int, case: ChaosCase, *, timeout: float = 10.0
+) -> ChaosOutcome:
+    """Replay one case on a fresh connection; probe keep-alive after."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(case.raw)
+        response = _read_response(sock)
+        if response is None:
+            return ChaosOutcome(case.name, 0, {}, connection_reused=False)
+        status, payload = response
+        reused = False
+        try:
+            sock.sendall(_HEALTHZ)
+            follow = _read_response(sock)
+            reused = follow is not None and follow[0] == 200
+        except OSError:
+            reused = False
+        return ChaosOutcome(case.name, status, payload, connection_reused=reused)
+
+
+def replay_corpus(
+    host: str, port: int, cases: list[ChaosCase], *, timeout: float = 10.0
+) -> list[ChaosOutcome]:
+    """Replay every case, one fresh connection each, in order."""
+    return [replay_case(host, port, case, timeout=timeout) for case in cases]
+
+
+__all__ = [
+    "ChaosCase",
+    "ChaosOutcome",
+    "chaos_corpus",
+    "dropped_keepalive_bytes",
+    "http_request",
+    "replay_case",
+    "replay_corpus",
+]

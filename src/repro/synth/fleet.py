@@ -1,0 +1,109 @@
+"""Stand up whole synthetic fleets from one `ScenarioSpec`.
+
+This is the bridge between the generator and the serving stack: every
+building of the city materializes through
+:func:`~repro.synth.suite.generate_building_suite` and registers into a
+:class:`~repro.fleet.registry.FleetRegistry` (one warm model per
+``(building, floor)`` slot, one stacked AP namespace). ``index="mixed"``
+exercises heterogeneous per-building index configs — a third of the
+city exhaustive, a third region-sharded, a third kmeans-sharded — which
+is what a real estate of small and large buildings looks like.
+
+Scale note: a :func:`~repro.synth.spec.full_city` spec is 100 buildings
+x 10 floors = 1000 slots; generation is vectorized per building and
+fitting rides the shared :class:`~repro.serve.store.ModelStore`, so the
+whole city stands up in seconds with ``fast=True`` KNN slots (the
+nightly bench's configuration).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from pathlib import Path
+
+from ..fleet.registry import FleetRegistry, IndexArg
+from ..index import IndexConfig
+from ..serve.store import ModelStore
+from .spec import ScenarioSpec
+from .suite import generate_building_suite
+
+#: The per-building index rotation ``index="mixed"`` cycles through.
+MIXED_INDEX_KINDS = ("exhaustive", "region", "kmeans")
+
+
+def building_index_configs(
+    spec: ScenarioSpec,
+    index: IndexArg | str = None,
+    *,
+    seed: int = 0,
+    n_shards: int = 4,
+    n_probe: int = 2,
+) -> list[IndexConfig | None]:
+    """Resolve the ``index`` argument into one config per building.
+
+    ``None`` or an :class:`~repro.index.IndexConfig` applies uniformly;
+    the string ``"mixed"`` cycles :data:`MIXED_INDEX_KINDS` across the
+    city so every index kind serves live traffic in one fleet.
+    """
+    if index == "mixed":
+        configs: list[IndexConfig | None] = []
+        for i in range(spec.n_buildings):
+            kind = MIXED_INDEX_KINDS[i % len(MIXED_INDEX_KINDS)]
+            if kind == "exhaustive":
+                configs.append(None)
+            else:
+                configs.append(
+                    IndexConfig(
+                        kind=kind, n_shards=n_shards, n_probe=n_probe, seed=seed
+                    )
+                )
+        return configs
+    if isinstance(index, str):
+        raise ValueError(
+            f"index must be an IndexConfig, a mapping, None or 'mixed'; "
+            f"got {index!r}"
+        )
+    return [index] * spec.n_buildings
+
+
+def generate_fleet(
+    spec: ScenarioSpec,
+    *,
+    seed: int = 0,
+    framework: str = "KNN",
+    fast: bool = True,
+    index: IndexArg | str = None,
+    backend: str | None = None,
+    floor_k: int = 5,
+    store: ModelStore | None = None,
+    model_dir: str | Path | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> FleetRegistry:
+    """Generate and fit every building of the city into one registry.
+
+    Deterministic per ``(spec.fingerprint(), seed)`` — building *i*
+    always regenerates the same suite, so a registry backed by a
+    ``model_dir`` warm-loads on the second run instead of refitting.
+    ``progress(done, total)`` fires after each building for long
+    builds (the CLI and the nightly bench pass a printer).
+    """
+    registry = FleetRegistry(store=store, model_dir=model_dir)
+    configs = building_index_configs(spec, index, seed=seed)
+    for i in range(spec.n_buildings):
+        suite = generate_building_suite(spec, seed, building=i)
+        registry.add_building(
+            suite.name,
+            suite,
+            framework=framework,
+            seed=seed,
+            fast=fast,
+            index=configs[i],
+            backend=backend,
+            floor_k=floor_k,
+        )
+        if progress is not None:
+            progress(i + 1, spec.n_buildings)
+    return registry
+
+
+__all__ = ["MIXED_INDEX_KINDS", "building_index_configs", "generate_fleet"]

@@ -1,0 +1,155 @@
+"""Vectorized building radio model for the synthetic-city generator.
+
+The existing :mod:`repro.radio.sampler` path simulates one scan at a
+time through a per-AP loop — faithful, but far too slow to materialize
+a city. This model trades the per-scan loop for one dense linear-algebra
+pass per building:
+
+* **Mean field** — a ``(n_rps, n_aps)`` matrix of mean RSSI from the
+  log-distance path loss (:data:`~repro.radio.propagation.
+  ENVIRONMENT_PRESETS` exponent tables) over *3-D* RP-AP distances
+  (horizontal offset plus ``floor_gap_m`` per floor crossed), minus
+  ``slab_db`` per concrete slab.
+* **Shadowing** — one static normal-in-dB ``(n_rps, n_aps)`` matrix
+  (lognormal shadowing), drawn once per building. Static is the point:
+  shadowing is the location texture that makes fingerprints
+  discriminative and keeps train and test epochs correlated.
+* **Per-scan noise** — fresh normal dB noise on every sampled row
+  (device/measurement noise).
+* **Dropout** — the spec's exact month-by-month schedule realized as a
+  growing prefix of one fixed AP permutation: a dark AP stays dark.
+
+Sampling a whole epoch is then ``means[rows] + noise`` plus masking —
+thousands of scans per millisecond, and every draw comes from
+:class:`numpy.random.Generator` streams spawned off a single
+``SeedSequence``, so generation is bit-identical across processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..radio.access_point import NO_SIGNAL_DBM
+from ..radio.propagation import ENVIRONMENT_PRESETS
+from .spec import ScenarioSpec
+
+
+class SynthRadioModel:
+    """One building's deterministic radio field.
+
+    Parameters
+    ----------
+    spec:
+        The scenario this building belongs to.
+    seed_seq:
+        This building's private ``SeedSequence`` (derive it from
+        ``(spec.fingerprint(), seed, building)`` — see
+        :func:`repro.synth.suite.building_seed_sequence`).
+    """
+
+    def __init__(self, spec: ScenarioSpec, seed_seq: np.random.SeedSequence) -> None:
+        self.spec = spec
+        self.floorplan = spec.build_floorplan()
+        self.n_floors = spec.floors_per_building
+        self.rps_per_floor = self.floorplan.n_reference_points
+        self.n_rps = self.rps_per_floor * self.n_floors
+        self.n_aps = spec.aps_per_building
+
+        ap_seq, shadow_seq, dropout_seq, scan_seq = seed_seq.spawn(4)
+        ap_rng = np.random.default_rng(ap_seq)
+        # APs scatter uniformly over each floor's full extent.
+        self.ap_xy = ap_rng.uniform(
+            low=[0.0, 0.0],
+            high=[spec.floor_width_m, spec.floor_height_m],
+            size=(self.n_aps, 2),
+        )
+        self.ap_floor = np.repeat(
+            np.arange(self.n_floors, dtype=np.int64), spec.aps_per_floor
+        )
+        #: Global RP index -> (floor, local RP) in floor-major order.
+        self.rp_floor = np.repeat(
+            np.arange(self.n_floors, dtype=np.int64), self.rps_per_floor
+        )
+        self.rp_xy = np.tile(
+            np.asarray(self.floorplan.reference_points, dtype=np.float64),
+            (self.n_floors, 1),
+        )
+
+        path_loss = ENVIRONMENT_PRESETS[spec.environment]
+        dx = self.rp_xy[:, 0:1] - self.ap_xy[None, :, 0]
+        dy = self.rp_xy[:, 1:2] - self.ap_xy[None, :, 1]
+        slabs = np.abs(self.rp_floor[:, None] - self.ap_floor[None, :])
+        dz = slabs * spec.floor_gap_m
+        distances = np.sqrt(dx * dx + dy * dy + dz * dz)
+        shadow_rng = np.random.default_rng(shadow_seq)
+        shadow = shadow_rng.normal(
+            0.0, spec.shadowing_sigma_db, size=(self.n_rps, self.n_aps)
+        )
+        #: Mean-plus-shadowing field, the per-(RP, AP) expected reading.
+        self.field_dbm = (
+            spec.tx_power_dbm
+            - path_loss.loss_db_array(distances)
+            - slabs * spec.slab_db
+            + shadow
+        )
+
+        dropout_rng = np.random.default_rng(dropout_seq)
+        #: Fixed dark-AP order; month ``m`` darkens the first
+        #: ``dropout_counts[m]`` entries (cumulative by construction).
+        self.dropout_order = dropout_rng.permutation(self.n_aps)
+        self.dropout_counts = spec.dropout_counts(self.n_aps)
+        # One pre-spawned stream per month: sampling order (or skipping
+        # a month) can never shift another month's draws.
+        self._scan_streams = scan_seq.spawn(spec.n_months + 1)
+
+    # -- schedule ----------------------------------------------------------
+
+    def dark_aps(self, month: int) -> np.ndarray:
+        """AP columns scheduled dark during ``month`` (sorted)."""
+        if not 0 <= month <= self.spec.n_months:
+            raise ValueError(f"month {month} not in 0..{self.spec.n_months}")
+        return np.sort(self.dropout_order[: self.dropout_counts[month]])
+
+    def scan_rng(self, month: int) -> np.random.Generator:
+        """The per-month scan-noise stream (independent across months)."""
+        if not 0 <= month <= self.spec.n_months:
+            raise ValueError(f"month {month} not in 0..{self.spec.n_months}")
+        return np.random.default_rng(self._scan_streams[month])
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample_epoch(
+        self, month: int, fpr: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``fpr`` scans at every RP of every floor during one month.
+
+        Returns ``(rssi, rp_global, locations, floors, times_hours,
+        epochs)`` in floor-major, RP-major, repeat-minor row order —
+        the same convention as the slow multi-floor generator. Months
+        are 730 simulated hours apart with scans spread over one day,
+        so epoch and time monotonicity hold by construction.
+        """
+        if fpr < 1:
+            raise ValueError("fpr must be >= 1")
+        rows = np.repeat(np.arange(self.n_rps, dtype=np.int64), fpr)
+        n = rows.shape[0]
+        rng = self.scan_rng(month)
+        rssi = self.field_dbm[rows] + rng.normal(
+            0.0, self.spec.noise_std_db, size=(n, self.n_aps)
+        )
+        dark = self.dropout_order[: self.dropout_counts[month]]
+        rssi[:, dark] = NO_SIGNAL_DBM
+        rssi[rssi < self.spec.detection_threshold_dbm] = NO_SIGNAL_DBM
+        np.clip(rssi, NO_SIGNAL_DBM, 0.0, out=rssi)
+        times = 730.0 * month + np.linspace(0.0, 24.0, num=n, endpoint=False)
+        return (
+            rssi,
+            rows,
+            self.rp_xy[rows],
+            self.rp_floor[rows],
+            times,
+            np.full(n, month, dtype=np.int64),
+        )
+
+
+__all__ = ["SynthRadioModel"]

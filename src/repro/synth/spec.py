@@ -1,0 +1,312 @@
+"""`ScenarioSpec` — the declarative grammar of a synthetic city.
+
+One frozen, fingerprintable dataclass describes everything the
+generator needs to materialize a city: how many buildings and floors,
+the RP survey grid, AP density, the path-loss regime (keyed into
+:data:`repro.radio.propagation.ENVIRONMENT_PRESETS`), shadowing and
+device-noise magnitudes, and the per-month AP-dropout schedule that
+makes the longitudinal epochs drift the way the paper's corpora do.
+
+The spec follows the :mod:`repro.api` conventions exactly: frozen
+dataclass, validation at construction, ``to_dict``/``from_dict`` with
+unknown-key rejection, and a canonical SHA-256 :meth:`fingerprint`
+(``{"spec": "scenario", ...}`` payload). Everything downstream —
+:func:`repro.synth.generate_suite`, :func:`repro.synth.generate_fleet`,
+the stress bench — derives its randomness from
+``(spec.fingerprint(), seed)``, so a spec *is* a reproducible dataset
+identity, not just a parameter bag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+
+from ..geometry.builders import build_grid_floorplan
+from ..geometry.floorplan import Floorplan
+from ..radio.access_point import DEFAULT_DETECTION_THRESHOLD_DBM, NO_SIGNAL_DBM
+from ..radio.propagation import ENVIRONMENT_PRESETS
+
+
+def _canonical_digest(payload: dict) -> str:
+    """SHA-256 over the canonical JSON rendering of a spec dict.
+
+    Same canonicalization as :mod:`repro.api.config` (sorted keys,
+    compact separators); duplicated here so :mod:`repro.synth` never
+    imports :mod:`repro.api` (which re-exports this module's spec).
+    """
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def _check_known_keys(cls: type, data: dict) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"{cls.__name__}.from_dict: unknown keys {unknown}; "
+            f"known keys: {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One synthetic city: geometry x radio regime x drift schedule.
+
+    Parameters
+    ----------
+    name:
+        City name; building/suite names derive from it.
+    n_buildings / floors_per_building:
+        Fleet topology. Every building is an identical stack of grid
+        floors (radio content still differs per building and floor —
+        AP placement, shadowing and dropout draw from independent
+        streams).
+    floor_width_m / floor_height_m / rp_spacing_m:
+        Per-floor survey geometry: an open grid floorplan with RPs
+        every ``rp_spacing_m`` meters inside a small margin.
+    floor_gap_m:
+        Vertical distance between adjacent floors (slab to slab).
+    ap_density_per_100m2:
+        APs per 100 m^2 of floor area; at least one AP per floor.
+    environment:
+        Path-loss regime, a key of
+        :data:`~repro.radio.propagation.ENVIRONMENT_PRESETS`
+        (``"open"``, ``"office"``, ``"basement"``).
+    tx_power_dbm:
+        AP transmit power.
+    shadowing_sigma_db:
+        Lognormal shadowing sigma — a *static* per-(RP, AP) dB offset,
+        the location texture fingerprinting exploits.
+    noise_std_db:
+        Per-scan device noise sigma (fresh every scan).
+    detection_threshold_dbm:
+        Receiver sensitivity; weaker signals read ``NO_SIGNAL_DBM``.
+    slab_db:
+        Attenuation per concrete slab a signal crosses between floors.
+    n_months:
+        Longitudinal horizon: train = month 0, test epochs = months
+        ``1..n_months``.
+    train_fpr / test_fpr:
+        Fingerprints per RP in the training survey / each test month.
+    dropout_start_month / dropout_rate:
+        AP-dropout schedule: from ``dropout_start_month`` on, a
+        cumulative ``dropout_rate`` fraction of each building's APs
+        goes permanently dark per month (see :meth:`dropout_counts` —
+        the schedule is exact, not probabilistic).
+    """
+
+    name: str = "city"
+    n_buildings: int = 4
+    floors_per_building: int = 2
+    floor_width_m: float = 24.0
+    floor_height_m: float = 16.0
+    rp_spacing_m: float = 4.0
+    floor_gap_m: float = 3.5
+    ap_density_per_100m2: float = 1.5
+    environment: str = "office"
+    tx_power_dbm: float = 18.0
+    shadowing_sigma_db: float = 3.0
+    noise_std_db: float = 2.0
+    detection_threshold_dbm: float = DEFAULT_DETECTION_THRESHOLD_DBM
+    slab_db: float = 18.0
+    n_months: int = 3
+    train_fpr: int = 4
+    test_fpr: int = 2
+    dropout_start_month: int = 1
+    dropout_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("name must be a non-empty string")
+        if self.n_buildings < 1:
+            raise ValueError("n_buildings must be >= 1")
+        if self.floors_per_building < 1:
+            raise ValueError("floors_per_building must be >= 1")
+        if min(self.floor_width_m, self.floor_height_m) < 4.0:
+            raise ValueError("floor dimensions must be >= 4 m")
+        if self.rp_spacing_m <= 0:
+            raise ValueError("rp_spacing_m must be positive")
+        if self.floor_gap_m <= 0:
+            raise ValueError("floor_gap_m must be positive")
+        if self.ap_density_per_100m2 <= 0:
+            raise ValueError("ap_density_per_100m2 must be positive")
+        if self.environment not in ENVIRONMENT_PRESETS:
+            raise ValueError(
+                f"unknown environment {self.environment!r}; "
+                f"choose from {sorted(ENVIRONMENT_PRESETS)}"
+            )
+        if not 0.0 <= self.tx_power_dbm <= 40.0:
+            raise ValueError("tx_power_dbm must be in [0, 40]")
+        if self.shadowing_sigma_db < 0:
+            raise ValueError("shadowing_sigma_db must be non-negative")
+        if self.noise_std_db < 0:
+            raise ValueError("noise_std_db must be non-negative")
+        if not NO_SIGNAL_DBM < self.detection_threshold_dbm <= 0.0:
+            raise ValueError(
+                f"detection_threshold_dbm must be in ({NO_SIGNAL_DBM}, 0]"
+            )
+        if self.slab_db <= 0:
+            raise ValueError("slab_db must be positive")
+        if self.n_months < 1:
+            raise ValueError("n_months must be >= 1")
+        if self.train_fpr < 1 or self.test_fpr < 1:
+            raise ValueError("train_fpr and test_fpr must be >= 1")
+        if self.dropout_start_month < 1:
+            raise ValueError("dropout_start_month must be >= 1")
+        if not 0.0 <= self.dropout_rate <= 1.0:
+            raise ValueError("dropout_rate must be in [0, 1]")
+
+    # -- derived geometry --------------------------------------------------
+
+    @property
+    def floor_area_m2(self) -> float:
+        return self.floor_width_m * self.floor_height_m
+
+    @property
+    def aps_per_floor(self) -> int:
+        """AP count per floor from the density knob (at least one)."""
+        return max(1, round(self.ap_density_per_100m2 * self.floor_area_m2 / 100.0))
+
+    @property
+    def aps_per_building(self) -> int:
+        return self.aps_per_floor * self.floors_per_building
+
+    @property
+    def margin_m(self) -> float:
+        """RP-grid margin, shrunk so tiny floors keep at least one RP."""
+        return min(2.0, self.floor_width_m / 4.0, self.floor_height_m / 4.0)
+
+    def build_floorplan(self) -> Floorplan:
+        """The (identical) grid floorplan every floor of the city uses."""
+        return build_grid_floorplan(
+            f"{self.name}-floor",
+            width=self.floor_width_m,
+            height=self.floor_height_m,
+            rp_spacing=self.rp_spacing_m,
+            margin=self.margin_m,
+        )
+
+    @property
+    def rps_per_floor(self) -> int:
+        return self.build_floorplan().n_reference_points
+
+    def building_name(self, building: int) -> str:
+        """Canonical name of building ``building`` (0-based)."""
+        if not 0 <= building < self.n_buildings:
+            raise ValueError(
+                f"building {building} not in 0..{self.n_buildings - 1}"
+            )
+        return f"{self.name}-B{building:03d}"
+
+    # -- dropout schedule --------------------------------------------------
+
+    def dropout_counts(self, n_aps: int) -> list[int]:
+        """Exact cumulative dark-AP count per month, ``month 0..n_months``.
+
+        Month 0 (the training survey) never drops. From
+        ``dropout_start_month`` on, the cumulative count is
+        ``round(n_aps * dropout_rate * months_elapsed)`` capped at
+        ``n_aps - 1`` — at least one AP stays alive, so a building
+        never goes fully dark. The sequence is non-decreasing, which is
+        what lets the generator realize it as a growing prefix of one
+        fixed permutation (a dark AP stays dark).
+        """
+        if n_aps < 1:
+            raise ValueError("n_aps must be >= 1")
+        counts = [0]
+        for month in range(1, self.n_months + 1):
+            if self.dropout_rate == 0.0 or month < self.dropout_start_month:
+                counts.append(counts[-1])
+                continue
+            elapsed = month - self.dropout_start_month + 1
+            scheduled = round(n_aps * self.dropout_rate * elapsed)
+            counts.append(min(n_aps - 1, max(counts[-1], scheduled)))
+        return counts
+
+    # -- identity / serialization ------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Canonical digest of the whole scenario configuration.
+
+        Every generated artifact (suites, fleets, bench workloads)
+        seeds from ``(fingerprint, seed)``, so two equal specs always
+        regenerate bit-identical data and two differing specs never
+        collide.
+        """
+        return _canonical_digest({"spec": "scenario", **self.to_dict()})
+
+    def scaled(self, **overrides) -> ScenarioSpec:
+        """A copy with fields replaced (``dataclasses.replace`` sugar)."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ScenarioSpec:
+        _check_known_keys(cls, data)
+        return cls(**data)
+
+    def describe(self) -> str:
+        """Multi-line console summary (``repro synth``)."""
+        return "\n".join(
+            [
+                f"scenario {self.name!r}: {self.n_buildings} buildings x "
+                f"{self.floors_per_building} floors "
+                f"({self.n_buildings * self.floors_per_building} slots)",
+                f"  floor: {self.floor_width_m:g}x{self.floor_height_m:g} m, "
+                f"RPs every {self.rp_spacing_m:g} m "
+                f"({self.rps_per_floor}/floor), "
+                f"{self.aps_per_floor} APs/floor",
+                f"  radio: {self.environment} regime, tx {self.tx_power_dbm:g} dBm, "
+                f"shadowing sigma {self.shadowing_sigma_db:g} dB, "
+                f"noise sigma {self.noise_std_db:g} dB",
+                f"  longitudinal: {self.n_months} months, "
+                f"train {self.train_fpr}/RP, test {self.test_fpr}/RP, "
+                f"dropout {self.dropout_rate:g}/month from month "
+                f"{self.dropout_start_month}",
+                f"  fingerprint: {self.fingerprint()[:16]}",
+            ]
+        )
+
+
+def quick_city(n_buildings: int = 4, floors_per_building: int = 2) -> ScenarioSpec:
+    """The small CI-scale city the quick stress bench and tests use."""
+    return ScenarioSpec(
+        name="quick-city",
+        n_buildings=n_buildings,
+        floors_per_building=floors_per_building,
+        floor_width_m=16.0,
+        floor_height_m=12.0,
+        rp_spacing_m=4.0,
+        n_months=2,
+        train_fpr=3,
+        test_fpr=2,
+        dropout_rate=0.1,
+        dropout_start_month=2,
+    )
+
+
+def full_city(
+    n_buildings: int = 100, floors_per_building: int = 10
+) -> ScenarioSpec:
+    """The nightly-scale city: 100 buildings x 10 floors = 1000 slots."""
+    return ScenarioSpec(
+        name="full-city",
+        n_buildings=n_buildings,
+        floors_per_building=floors_per_building,
+        floor_width_m=20.0,
+        floor_height_m=12.0,
+        rp_spacing_m=4.0,
+        n_months=2,
+        train_fpr=3,
+        test_fpr=1,
+        dropout_rate=0.05,
+        dropout_start_month=1,
+    )
+
+
+__all__ = ["ScenarioSpec", "quick_city", "full_city"]

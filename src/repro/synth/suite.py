@@ -1,0 +1,191 @@
+"""Materialize `ScenarioSpec`s into longitudinal suites.
+
+The generator contract: everything derives from
+``(spec.fingerprint(), seed, building)`` through
+``numpy.random.SeedSequence``, so the same inputs produce bit-identical
+suites in any process on any platform numpy supports —
+:func:`suite_content_hash` over two subprocess generations is the test.
+Different seeds (or any spec field change) shift the root entropy and
+produce distinct content.
+
+:func:`generate_building_suite` yields the fleet layer's unit (a
+:class:`~repro.multifloor.dataset.MultiFloorSuite` ready for
+``FleetRegistry.add_building``); :func:`generate_suite` carves one
+floor out as a plain
+:class:`~repro.datasets.fingerprint.LongitudinalSuite` for the
+single-floor stack (eval engine, serve layer, property tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..datasets.fingerprint import FingerprintDataset, LongitudinalSuite
+from ..multifloor.building import Building, SlabModel
+from ..multifloor.dataset import MultiFloorDataset, MultiFloorSuite
+from ..multifloor.generator import floor_suite
+from .radio import SynthRadioModel
+from .spec import ScenarioSpec
+
+
+def building_seed_sequence(
+    spec: ScenarioSpec, seed: int, building: int
+) -> np.random.SeedSequence:
+    """The root entropy of one building: ``(spec identity, seed, index)``.
+
+    The spec participates through its fingerprint (truncated to 64
+    bits), so *any* spec change — not just fields the radio model
+    happens to read — regenerates different data, exactly like a cache
+    key.
+    """
+    material = int(spec.fingerprint()[:16], 16)
+    return np.random.SeedSequence([material, int(seed), int(building)])
+
+
+def build_radio_model(
+    spec: ScenarioSpec, seed: int = 0, *, building: int = 0
+) -> SynthRadioModel:
+    """The deterministic radio field of one building of the city."""
+    if not 0 <= building < spec.n_buildings:
+        raise ValueError(f"building {building} not in 0..{spec.n_buildings - 1}")
+    return SynthRadioModel(spec, building_seed_sequence(spec, seed, building))
+
+
+def _epoch_dataset(
+    model: SynthRadioModel, month: int, fpr: int
+) -> MultiFloorDataset:
+    rssi, rp_global, locations, floors, times, epochs = model.sample_epoch(
+        month, fpr
+    )
+    return MultiFloorDataset(
+        fingerprints=FingerprintDataset(
+            rssi=rssi,
+            rp_indices=rp_global,
+            locations=locations,
+            times_hours=times,
+            epochs=epochs,
+        ),
+        floor_indices=floors,
+    )
+
+
+def generate_building_suite(
+    spec: ScenarioSpec, seed: int = 0, *, building: int = 0
+) -> MultiFloorSuite:
+    """One building's multi-floor longitudinal suite.
+
+    Train = month 0 at ``train_fpr`` per RP; test epochs = months
+    ``1..n_months`` at ``test_fpr``, with the spec's AP-dropout
+    schedule applied exactly (``metadata["dropout"]`` records the
+    realized dark sets so tests and audits never re-derive them).
+    """
+    model = build_radio_model(spec, seed, building=building)
+    train = _epoch_dataset(model, 0, spec.train_fpr)
+    test_epochs = [
+        _epoch_dataset(model, month, spec.test_fpr)
+        for month in range(1, spec.n_months + 1)
+    ]
+    name = spec.building_name(building)
+    building_obj = Building(
+        name=name,
+        floors=[model.floorplan] * spec.floors_per_building,
+        slab=SlabModel(per_slab_db=spec.slab_db, jitter_db=0.0),
+        floor_height_m=spec.floor_gap_m,
+    )
+    return MultiFloorSuite(
+        name=name,
+        building=building_obj,
+        train=train,
+        test_epochs=test_epochs,
+        epoch_labels=[f"month {m}" for m in range(1, spec.n_months + 1)],
+        metadata={
+            "generator": "synth-v1",
+            "spec": spec.to_dict(),
+            "spec_fingerprint": spec.fingerprint(),
+            "seed": int(seed),
+            "building": int(building),
+            "dropout": {
+                "counts": model.dropout_counts,
+                "dark_by_month": {
+                    month: model.dark_aps(month).tolist()
+                    for month in range(spec.n_months + 1)
+                },
+            },
+        },
+    )
+
+
+def generate_suite(
+    spec: ScenarioSpec, seed: int = 0, *, building: int = 0, floor: int = 0
+) -> LongitudinalSuite:
+    """One floor of the city as a single-floor longitudinal suite.
+
+    The slice keeps building-wide AP columns (slab-leaked neighbours
+    are part of a floor's signature) and floorplan-local RP labels —
+    exactly the shape the eval engine and serving stack consume. The
+    synthesis provenance (spec dict, fingerprint, dropout realization)
+    rides along in ``metadata``.
+    """
+    parent = generate_building_suite(spec, seed, building=building)
+    suite = floor_suite(parent, floor)
+    suite.metadata.update(
+        {k: v for k, v in parent.metadata.items() if k != "building"}
+    )
+    suite.metadata["building_index"] = int(building)
+    return suite
+
+
+def _hash_arrays(digest, arrays) -> None:
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+
+
+def _hash_fingerprints(digest, ds: FingerprintDataset) -> None:
+    _hash_arrays(
+        digest,
+        (ds.rssi, ds.rp_indices, ds.locations, ds.times_hours, ds.epochs),
+    )
+
+
+def suite_content_hash(suite: LongitudinalSuite | MultiFloorSuite) -> str:
+    """SHA-256 over a suite's full array content (bit-exact identity).
+
+    Raw ``tobytes`` hashing — not serialized-file bytes — because
+    container formats (``.npz`` zip members) carry timestamps and
+    compressor details that are not part of the data. Two suites share
+    a hash iff every sample, label, coordinate, timestamp, epoch (and
+    floor label, for multi-floor suites) is bit-identical.
+    """
+    digest = hashlib.sha256()
+    digest.update(suite.name.encode())
+    if isinstance(suite, MultiFloorSuite):
+        _hash_arrays(
+            digest, (np.asarray(suite.building.floor(0).reference_points),)
+        )
+        _hash_fingerprints(digest, suite.train.fingerprints)
+        _hash_arrays(digest, (suite.train.floor_indices,))
+        for label, ds in zip(suite.epoch_labels, suite.test_epochs):
+            digest.update(label.encode())
+            _hash_fingerprints(digest, ds.fingerprints)
+            _hash_arrays(digest, (ds.floor_indices,))
+    else:
+        _hash_arrays(digest, (np.asarray(suite.floorplan.reference_points),))
+        _hash_fingerprints(digest, suite.train)
+        for label, ds in zip(suite.epoch_labels, suite.test_epochs):
+            digest.update(label.encode())
+            _hash_fingerprints(digest, ds)
+    return digest.hexdigest()
+
+
+__all__ = [
+    "building_seed_sequence",
+    "build_radio_model",
+    "generate_building_suite",
+    "generate_suite",
+    "suite_content_hash",
+]

@@ -106,7 +106,7 @@ class TestComparison:
         )
         assert set(comparison.frameworks()) == {"KNN", "GIFT"}
         series = comparison.series()
-        for name, errors in series.items():
+        for errors in series.values():
             assert errors.shape == (tiny_suite.n_epochs,)
             assert np.isfinite(errors).all()
 

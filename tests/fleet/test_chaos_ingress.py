@@ -1,0 +1,115 @@
+"""Hostile-ingress sweep: the chaos corpus against a live FleetServer.
+
+Every :func:`repro.synth.chaos.chaos_corpus` case replays over a real
+socket and must get exactly the promised reaction: the right status
+code, the right error-envelope shape (versioned vs legacy), and the
+right keep-alive behavior — connections survive payload-level errors
+but close after framing errors and 413s, verified by a follow-up
+``/healthz`` on the *same* socket (the desync detector). A half-sent
+request that hangs up must be reaped silently with the server staying
+healthy.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.fleet import FleetDispatcher, FleetServer
+from repro.synth.chaos import (
+    chaos_corpus,
+    dropped_keepalive_bytes,
+    replay_case,
+    replay_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_server(fleet_registry):
+    dispatcher = FleetDispatcher(fleet_registry, batch_window_ms=1.0)
+    srv = FleetServer(fleet_registry, dispatcher, port=0)
+    handle = srv.start_background()
+    yield srv
+    handle.shutdown()
+
+
+@pytest.fixture(scope="module")
+def corpus(fleet_registry):
+    return chaos_corpus(
+        fleet_registry.n_aps, building=fleet_registry.buildings[0].name
+    )
+
+
+@pytest.fixture(scope="module")
+def outcomes(chaos_server, corpus):
+    results = replay_corpus("127.0.0.1", chaos_server.port, corpus)
+    return dict(zip((c.name for c in corpus), results))
+
+
+class TestStatusContract:
+    def test_every_case_gets_its_promised_status(self, corpus, outcomes):
+        mismatches = {
+            case.name: (case.expect_status, outcomes[case.name].status)
+            for case in corpus
+            if outcomes[case.name].status != case.expect_status
+        }
+        assert not mismatches
+
+    def test_nothing_ever_crashes_the_connection_unanswered(self, outcomes):
+        # Status 0 would mean the server hung up without responding.
+        assert all(outcome.status != 0 for outcome in outcomes.values())
+
+
+class TestKeepAliveContract:
+    def test_connection_survival_matches_contract(self, corpus, outcomes):
+        """Keep-alive survives payload errors, dies after framing ones."""
+        mismatches = {
+            case.name: outcomes[case.name].connection_reused
+            for case in corpus
+            if outcomes[case.name].connection_reused != (not case.expect_close)
+        }
+        assert not mismatches
+
+    def test_dropped_keepalive_reaped_silently(
+        self, chaos_server, fleet_registry, corpus
+    ):
+        # Half-send a request, hang up mid-body; the server must reap
+        # the connection without desyncing and keep serving others.
+        for _ in range(3):
+            with socket.create_connection(
+                ("127.0.0.1", chaos_server.port), timeout=10.0
+            ) as sock:
+                sock.sendall(dropped_keepalive_bytes(fleet_registry.n_aps))
+        probe = replay_case(
+            "127.0.0.1",
+            chaos_server.port,
+            next(c for c in corpus if c.name == "wrong-width"),
+        )
+        assert probe.status == 400
+        assert probe.connection_reused
+
+
+class TestErrorEnvelopes:
+    def test_legacy_errors_keep_legacy_shape(self, outcomes):
+        payload = outcomes["wrong-width"].payload
+        assert isinstance(payload["error"], str)
+        detail = payload["error_detail"]
+        assert detail["code"] and detail["message"]
+        assert detail["retryable"] is False
+
+    def test_versioned_errors_get_structured_envelope(self, outcomes):
+        payload = outcomes["versioned-malformed"].payload
+        assert payload["api_version"] == 1
+        error = payload["error"]
+        assert isinstance(error, dict)
+        assert error["code"] and error["message"]
+        assert error["retryable"] is False
+
+    def test_batch_too_large_is_terminal_not_retryable(self, outcomes):
+        # Structurally unservable: must read as a 400-class reject so
+        # clients don't retry-loop on it (429 would mean "try again").
+        assert outcomes["batch-too-large"].status == 400
+
+    def test_misroutes_name_the_unknown_slot(self, outcomes):
+        assert "nowhere" in outcomes["unknown-building-pin"].payload["error"]

@@ -52,12 +52,12 @@ class TestTripletLoss:
         loss = TripletLoss(0.5)
         a, p, n = _emb(seed=1), _emb(seed=2), _emb(seed=3)
         for which in range(3):
-            def value(x):
+            def value(x, which=which):
                 args = [a, p, n]
                 args[which] = x
                 return loss.value(*args)
 
-            def grad(x):
+            def grad(x, which=which):
                 args = [a, p, n]
                 args[which] = x
                 return loss.grad(*args)[which]

@@ -1,0 +1,24 @@
+"""Synth-layer fixtures: a tiny city, generated once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import generate_building_suite, generate_fleet, quick_city
+
+
+@pytest.fixture(scope="session")
+def tiny_city():
+    """Two buildings x two floors — seconds to generate and fit."""
+    return quick_city(n_buildings=2, floors_per_building=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_city_suite(tiny_city):
+    return generate_building_suite(tiny_city, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_fleet(tiny_city):
+    """The tiny city fitted into a registry (mixed index kinds)."""
+    return generate_fleet(tiny_city, seed=0, index="mixed", fast=True)

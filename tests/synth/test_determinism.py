@@ -1,0 +1,110 @@
+"""Generation identity: bit-identical per (spec, seed), distinct otherwise.
+
+The contract mirrors the artifact-identity tests in
+``tests/index/test_cache_keys.py``: the pair ``(spec.fingerprint(),
+seed)`` *is* the dataset identity. Same pair → bit-identical content in
+any process (the subprocess test below); any spec-field or seed change
+→ different content, so caches keyed on the pair can never serve the
+wrong city.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.synth import (
+    generate_building_suite,
+    generate_suite,
+    quick_city,
+    suite_content_hash,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _content(spec, seed, **kwargs) -> str:
+    return suite_content_hash(generate_building_suite(spec, seed, **kwargs))
+
+
+class TestInProcess:
+    def test_same_inputs_bit_identical(self, tiny_city):
+        assert _content(tiny_city, 0) == _content(tiny_city, 0)
+
+    def test_identity_matrix_never_collides(self, tiny_city):
+        """Seed, building and every spec knob shift the content."""
+        hashes = [
+            _content(tiny_city, 0),
+            _content(tiny_city, 1),
+            _content(tiny_city, 0, building=1),
+            _content(tiny_city.scaled(shadowing_sigma_db=5.0), 0),
+            _content(tiny_city.scaled(noise_std_db=0.5), 0),
+            _content(tiny_city.scaled(dropout_rate=0.3), 0),
+            _content(tiny_city.scaled(environment="basement"), 0),
+            _content(tiny_city.scaled(tx_power_dbm=10.0), 0),
+        ]
+        assert len(set(hashes)) == len(hashes)
+
+    def test_name_only_change_still_distinct(self, tiny_city):
+        # The fingerprint (not just radio-relevant fields) feeds the
+        # seed material: even a pure rename regenerates different data.
+        assert _content(tiny_city, 0) != _content(
+            tiny_city.scaled(name="renamed"), 0
+        )
+
+    def test_floor_slice_deterministic(self, tiny_city):
+        a = generate_suite(tiny_city, seed=0, building=1, floor=1)
+        b = generate_suite(tiny_city, seed=0, building=1, floor=1)
+        assert suite_content_hash(a) == suite_content_hash(b)
+        c = generate_suite(tiny_city, seed=0, building=1, floor=0)
+        assert suite_content_hash(a) != suite_content_hash(c)
+
+    def test_metadata_carries_provenance(self, tiny_city_suite, tiny_city):
+        md = tiny_city_suite.metadata
+        assert md["spec_fingerprint"] == tiny_city.fingerprint()
+        assert md["spec"] == tiny_city.to_dict()
+        assert md["seed"] == 0 and md["building"] == 0
+
+
+_SUBPROCESS_CODE = """\
+from repro.synth import generate_building_suite, quick_city, suite_content_hash
+spec = quick_city(n_buildings=1, floors_per_building=2)
+print(suite_content_hash(generate_building_suite(spec, seed={seed})))
+"""
+
+
+@pytest.mark.slow
+class TestCrossProcess:
+    def _hash_in_subprocess(self, seed: int, hash_seed: str) -> str:
+        result = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_CODE.format(seed=seed)],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONPATH": str(SRC),
+                "PYTHONHASHSEED": hash_seed,
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        if result.returncode != 0:
+            pytest.skip(f"subprocess unavailable: {result.stderr[:200]}")
+        return result.stdout.strip()
+
+    def test_bit_identical_across_processes(self):
+        """Fresh interpreters (different hash randomization) agree."""
+        hashes = {
+            self._hash_in_subprocess(0, hash_seed)
+            for hash_seed in ("0", "12345")
+        }
+        assert len(hashes) == 1
+        # And the parent process agrees with its children.
+        spec = quick_city(n_buildings=1, floors_per_building=2)
+        assert hashes == {_content(spec, 0)}
+
+    def test_different_seed_differs_across_processes(self):
+        assert self._hash_in_subprocess(0, "0") != self._hash_in_subprocess(
+            1, "0"
+        )

@@ -1,0 +1,145 @@
+"""Load generator: accounting, chaos taxonomy, skew, backpressure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth import ChaosSpec, LoadSpec, TrafficPool, run_load
+from repro.synth.loadgen import OUTCOMES
+
+
+def _quick(**overrides) -> LoadSpec:
+    base = dict(mode="closed", clients=4, duration_s=0.2, batch_rows=4, seed=0)
+    base.update(overrides)
+    return LoadSpec(**base)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "bursty"},
+            {"clients": 0},
+            {"rate_rps": 0.0},
+            {"burst": 0},
+            {"duration_s": 0.0},
+            {"batch_rows": 0},
+            {"zipf_s": -1.0},
+            {"pin_fraction": 1.5},
+        ],
+    )
+    def test_bad_load_spec(self, kwargs):
+        with pytest.raises(ValueError):
+            _quick(**kwargs)
+
+    def test_bad_chaos_spec(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(malformed=-0.1)
+        with pytest.raises(ValueError):
+            ChaosSpec(malformed=0.5, oversized=0.4, misroute=0.3)
+
+
+class TestTrafficPool:
+    def test_sample_shape_and_slot_truth(self, tiny_fleet):
+        pool = TrafficPool(tiny_fleet, epoch=0, zipf_s=0.0, seed=0)
+        scans, building, floor = pool.sample(6)
+        assert scans.shape == (6, tiny_fleet.n_aps)
+        assert building in [b.name for b in tiny_fleet.buildings]
+        assert 0 <= floor < len(tiny_fleet.buildings[0].floors)
+
+    def test_zipf_skew_concentrates_traffic(self, tiny_fleet):
+        uniform = TrafficPool(tiny_fleet, zipf_s=0.0, seed=0)
+        skewed = TrafficPool(tiny_fleet, zipf_s=3.0, seed=0)
+        assert uniform._p is None
+        # Under heavy skew the hottest slot takes most of the mass.
+        hot = [skewed.sample(1)[1] for _ in range(200)]
+        top_share = max(hot.count(name) for name in set(hot)) / len(hot)
+        assert top_share > 0.6
+
+
+class TestClosedLoop:
+    def test_accounting_and_latency(self, tiny_fleet):
+        report = run_load(tiny_fleet, _quick(zipf_s=1.1, pin_fraction=0.5))
+        assert report.mode == "closed"
+        assert sum(report.outcomes.values()) == report.offered_requests
+        assert set(report.outcomes) == set(OUTCOMES)
+        assert report.outcomes["ok"] == report.offered_requests  # no chaos
+        assert report.saturation == pytest.approx(1.0)
+        assert report.ok_rows == report.outcomes["ok"] * 4
+        lat = report.latency_ms
+        assert 0 < lat["p50"] <= lat["p99"] <= lat["p999"] <= lat["max"]
+        round_trip = report.to_dict()
+        assert round_trip["outcomes"] == report.outcomes
+
+    def test_deterministic_traffic_stream(self, tiny_fleet):
+        # Same seed → same sampled rows (timing differs, content not).
+        a = TrafficPool(tiny_fleet, zipf_s=1.5, seed=7)
+        b = TrafficPool(tiny_fleet, zipf_s=1.5, seed=7)
+        for _ in range(10):
+            sa, ba, fa = a.sample(3)
+            sb, bb, fb = b.sample(3)
+            assert np.array_equal(sa, sb) and ba == bb and fa == fb
+
+
+class TestChaosTaxonomy:
+    def test_all_malformed_all_rejected(self, tiny_fleet):
+        report = run_load(
+            tiny_fleet, _quick(chaos=ChaosSpec(malformed=1.0))
+        )
+        assert report.outcomes["rejected"] == report.offered_requests
+        assert report.outcomes["ok"] == 0
+        assert report.latency_ms["p50"] == 0.0  # no successful samples
+
+    def test_all_misroutes_all_unknown_slot(self, tiny_fleet):
+        report = run_load(
+            tiny_fleet, _quick(chaos=ChaosSpec(misroute=1.0))
+        )
+        assert report.outcomes["unknown_slot"] == report.offered_requests
+
+    def test_oversized_is_rejected_never_overload(self, tiny_fleet):
+        # A batch above max_pending_rows can never be admitted: it must
+        # surface as a 400-class reject (retrying would loop forever),
+        # not as a retryable 429.
+        report = run_load(
+            tiny_fleet,
+            _quick(chaos=ChaosSpec(oversized=1.0)),
+            max_pending_rows=32,
+        )
+        assert report.outcomes["rejected"] == report.offered_requests
+        assert report.outcomes["overload"] == 0
+
+    def test_mixed_chaos_good_traffic_still_flows(self, tiny_fleet):
+        report = run_load(
+            tiny_fleet,
+            _quick(
+                duration_s=0.4,
+                chaos=ChaosSpec(malformed=0.2, misroute=0.2),
+            ),
+        )
+        assert report.outcomes["ok"] > 0
+        assert report.outcomes["rejected"] > 0
+        assert report.outcomes["unknown_slot"] > 0
+        assert sum(report.outcomes.values()) == report.offered_requests
+
+
+class TestOpenLoop:
+    def test_overload_sheds_and_accounts(self, tiny_fleet):
+        # Offer far more than a 16-row admission queue can hold: the
+        # surplus must come back as overloads, with nothing lost.
+        report = run_load(
+            tiny_fleet,
+            LoadSpec(
+                mode="open",
+                rate_rps=2000.0,
+                burst=16,
+                duration_s=0.3,
+                batch_rows=8,
+                seed=0,
+            ),
+            max_pending_rows=16,
+        )
+        assert report.outcomes["overload"] > 0
+        assert report.outcomes["ok"] > 0
+        assert sum(report.outcomes.values()) == report.offered_requests
+        assert report.saturation < 1.0

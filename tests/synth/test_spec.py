@@ -1,0 +1,153 @@
+"""ScenarioSpec grammar: validation, round-trip, identity, schedule."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import ScenarioSpec, full_city, quick_city
+
+scenario_specs = st.builds(
+    ScenarioSpec,
+    name=st.sampled_from(("city", "campus", "estate")),
+    n_buildings=st.integers(min_value=1, max_value=8),
+    floors_per_building=st.integers(min_value=1, max_value=4),
+    floor_width_m=st.floats(min_value=8.0, max_value=40.0),
+    floor_height_m=st.floats(min_value=8.0, max_value=40.0),
+    rp_spacing_m=st.sampled_from((2.0, 4.0, 6.0)),
+    ap_density_per_100m2=st.floats(min_value=0.5, max_value=4.0),
+    environment=st.sampled_from(("open", "office", "basement")),
+    shadowing_sigma_db=st.floats(min_value=0.0, max_value=8.0),
+    noise_std_db=st.floats(min_value=0.0, max_value=4.0),
+    n_months=st.integers(min_value=1, max_value=6),
+    train_fpr=st.integers(min_value=1, max_value=4),
+    test_fpr=st.integers(min_value=1, max_value=3),
+    dropout_start_month=st.integers(min_value=1, max_value=3),
+    dropout_rate=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestRoundTrip:
+    @given(spec=scenario_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_dict_round_trip(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=scenario_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_stable_across_round_trip(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()).fingerprint() == (
+            spec.fingerprint()
+        )
+
+    def test_unknown_keys_rejected(self):
+        data = quick_city().to_dict()
+        data["walls"] = "brick"
+        with pytest.raises(ValueError, match="unknown keys"):
+            ScenarioSpec.from_dict(data)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("name", ""),
+            ("n_buildings", 0),
+            ("floors_per_building", 0),
+            ("floor_width_m", 2.0),
+            ("rp_spacing_m", 0.0),
+            ("floor_gap_m", -1.0),
+            ("ap_density_per_100m2", 0.0),
+            ("environment", "underwater"),
+            ("tx_power_dbm", 99.0),
+            ("shadowing_sigma_db", -0.1),
+            ("noise_std_db", -0.1),
+            ("detection_threshold_dbm", -120.0),
+            ("detection_threshold_dbm", 5.0),
+            ("slab_db", 0.0),
+            ("n_months", 0),
+            ("train_fpr", 0),
+            ("test_fpr", 0),
+            ("dropout_start_month", 0),
+            ("dropout_rate", 1.5),
+        ],
+    )
+    def test_bad_field_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            quick_city().scaled(**{field: value})
+
+
+class TestIdentity:
+    def test_any_field_change_changes_fingerprint(self):
+        base = quick_city()
+        variants = [
+            base.scaled(name="other"),
+            base.scaled(n_buildings=5),
+            base.scaled(floors_per_building=3),
+            base.scaled(rp_spacing_m=2.0),
+            base.scaled(ap_density_per_100m2=2.0),
+            base.scaled(environment="basement"),
+            base.scaled(shadowing_sigma_db=4.0),
+            base.scaled(noise_std_db=1.0),
+            base.scaled(n_months=3),
+            base.scaled(dropout_rate=0.2),
+            base.scaled(dropout_start_month=1),
+        ]
+        prints = {base.fingerprint()} | {v.fingerprint() for v in variants}
+        assert len(prints) == len(variants) + 1
+
+    def test_presets_are_distinct(self):
+        assert quick_city().fingerprint() != full_city().fingerprint()
+
+    def test_building_names_canonical(self):
+        spec = quick_city(n_buildings=3)
+        assert spec.building_name(0) == "quick-city-B000"
+        assert spec.building_name(2) == "quick-city-B002"
+        with pytest.raises(ValueError):
+            spec.building_name(3)
+
+
+class TestDerivedGeometry:
+    def test_ap_density_floor(self):
+        # Density low enough for zero APs still yields one per floor.
+        spec = quick_city().scaled(ap_density_per_100m2=0.01)
+        assert spec.aps_per_floor == 1
+
+    def test_tiny_floor_keeps_reference_points(self):
+        spec = quick_city().scaled(
+            floor_width_m=4.0, floor_height_m=4.0, rp_spacing_m=2.0
+        )
+        assert spec.rps_per_floor >= 1
+
+
+class TestDropoutSchedule:
+    @given(
+        spec=scenario_specs,
+        n_aps=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_counts_shape_and_bounds(self, spec, n_aps):
+        counts = spec.dropout_counts(n_aps)
+        assert len(counts) == spec.n_months + 1
+        assert counts[0] == 0  # the training survey never drops
+        assert all(0 <= c <= n_aps - 1 for c in counts)
+        assert counts == sorted(counts)  # cumulative: dark stays dark
+
+    def test_exact_schedule(self):
+        spec = quick_city().scaled(
+            n_months=4, dropout_rate=0.25, dropout_start_month=2
+        )
+        # months:   0  1  2            3            4
+        # elapsed:         1            2            3
+        assert spec.dropout_counts(8) == [0, 0, 2, 4, 6]
+
+    def test_zero_rate_never_drops(self):
+        spec = quick_city().scaled(dropout_rate=0.0)
+        assert spec.dropout_counts(10) == [0] * (spec.n_months + 1)
+
+    def test_full_rate_leaves_one_alive(self):
+        spec = quick_city().scaled(
+            dropout_rate=1.0, dropout_start_month=1, n_months=3
+        )
+        assert spec.dropout_counts(5) == [0, 4, 4, 4]

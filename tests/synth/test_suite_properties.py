@@ -1,0 +1,151 @@
+"""Generated-suite invariants, property-tested over the spec grammar.
+
+Hypothesis drives :func:`repro.synth.generate_building_suite` across
+the scenario grammar and checks the contracts every consumer leans on:
+RSSI stays finite and in-range (``NO_SIGNAL_DBM`` is the only "missing"
+marker, nothing reads between it and the detection threshold), the
+AP-dropout schedule is honored *exactly* month by month, every sampled
+location lies inside its floor, and epoch/time labels are monotone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.access_point import NO_SIGNAL_DBM
+from repro.synth import ScenarioSpec, generate_building_suite, quick_city
+
+# Small cities only: every example generates a full building suite.
+small_specs = st.builds(
+    ScenarioSpec,
+    n_buildings=st.integers(min_value=1, max_value=2),
+    floors_per_building=st.integers(min_value=1, max_value=3),
+    floor_width_m=st.sampled_from((10.0, 16.0)),
+    floor_height_m=st.sampled_from((8.0, 12.0)),
+    rp_spacing_m=st.just(4.0),
+    ap_density_per_100m2=st.floats(min_value=0.5, max_value=3.0),
+    environment=st.sampled_from(("open", "office", "basement")),
+    shadowing_sigma_db=st.floats(min_value=0.0, max_value=6.0),
+    noise_std_db=st.floats(min_value=0.0, max_value=3.0),
+    n_months=st.integers(min_value=1, max_value=3),
+    train_fpr=st.integers(min_value=1, max_value=2),
+    test_fpr=st.just(1),
+    dropout_start_month=st.integers(min_value=1, max_value=2),
+    dropout_rate=st.floats(min_value=0.0, max_value=0.6),
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _all_datasets(suite):
+    """(month, MultiFloorDataset) pairs: train month 0, tests 1..n."""
+    yield 0, suite.train
+    for month, ds in enumerate(suite.test_epochs, start=1):
+        yield month, ds
+
+
+class TestSignalRange:
+    @given(spec=small_specs, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_rssi_finite_and_in_band(self, spec, seed):
+        suite = generate_building_suite(spec, seed)
+        for _, ds in _all_datasets(suite):
+            rssi = ds.fingerprints.rssi
+            assert np.isfinite(rssi).all()  # NO_SIGNAL marks missing, not NaN
+            assert rssi.min() >= NO_SIGNAL_DBM
+            assert rssi.max() <= 0.0
+            # Nothing lives between the missing marker and the
+            # detection threshold — a reading is real or absent.
+            observed = rssi[rssi != NO_SIGNAL_DBM]
+            if observed.size:
+                assert observed.min() >= spec.detection_threshold_dbm
+
+
+class TestDropoutSchedule:
+    @given(spec=small_specs, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_schedule_honored_exactly(self, spec, seed):
+        suite = generate_building_suite(spec, seed)
+        n_aps = spec.aps_per_building
+        counts = spec.dropout_counts(n_aps)
+        dark_by_month = suite.metadata["dropout"]["dark_by_month"]
+        assert suite.metadata["dropout"]["counts"] == counts
+        previous: set[int] = set()
+        for month, ds in _all_datasets(suite):
+            dark = dark_by_month[month]
+            assert len(dark) == counts[month]
+            # Cumulative: a dark AP stays dark in every later month.
+            assert previous <= set(dark)
+            previous = set(dark)
+            if dark:
+                assert (
+                    ds.fingerprints.rssi[:, dark] == NO_SIGNAL_DBM
+                ).all()
+
+    def test_dropout_only_explains_fully_dark_columns(self):
+        # With a hot, noise-free radio every non-dark column must show
+        # signal somewhere — dropout is the *only* way to go all-dark.
+        spec = quick_city(n_buildings=1, floors_per_building=1).scaled(
+            dropout_rate=0.3,
+            dropout_start_month=1,
+            tx_power_dbm=30.0,
+            noise_std_db=0.0,
+            detection_threshold_dbm=-94.0,
+        )
+        suite = generate_building_suite(spec, seed=3)
+        for month, ds in _all_datasets(suite):
+            dark = set(suite.metadata["dropout"]["dark_by_month"][month])
+            fully_dark = {
+                int(col)
+                for col in np.flatnonzero(
+                    (ds.fingerprints.rssi == NO_SIGNAL_DBM).all(axis=0)
+                )
+            }
+            assert dark == fully_dark
+
+
+class TestGeometry:
+    @given(spec=small_specs, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_locations_inside_floor_bounds(self, spec, seed):
+        suite = generate_building_suite(spec, seed)
+        rps = np.asarray(suite.building.floor(0).reference_points)
+        for _, ds in _all_datasets(suite):
+            locations = ds.fingerprints.locations
+            assert locations[:, 0].min() >= 0.0
+            assert locations[:, 0].max() <= spec.floor_width_m
+            assert locations[:, 1].min() >= 0.0
+            assert locations[:, 1].max() <= spec.floor_height_m
+            # Every sample sits exactly on a surveyed reference point.
+            local_rp = ds.fingerprints.rp_indices % spec.rps_per_floor
+            assert np.array_equal(locations, rps[local_rp])
+            # Floor labels stay inside the building.
+            assert ds.floor_indices.min() >= 0
+            assert ds.floor_indices.max() < spec.floors_per_building
+
+
+class TestEpochMonotonicity:
+    @given(spec=small_specs, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_epochs_and_times_monotone(self, spec, seed):
+        suite = generate_building_suite(spec, seed)
+        last_time = -np.inf
+        for month, ds in _all_datasets(suite):
+            fp = ds.fingerprints
+            assert (fp.epochs == month).all()
+            times = fp.times_hours
+            assert (np.diff(times) > 0).all()  # strictly increasing
+            assert times[0] > last_time  # months never overlap
+            last_time = times[-1]
+
+    @given(spec=small_specs, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_row_counts_match_spec(self, spec, seed):
+        suite = generate_building_suite(spec, seed)
+        n_rps = spec.rps_per_floor * spec.floors_per_building
+        assert suite.train.n_samples == n_rps * spec.train_fpr
+        assert len(suite.test_epochs) == spec.n_months
+        for ds in suite.test_epochs:
+            assert ds.n_samples == n_rps * spec.test_fpr
