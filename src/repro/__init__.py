@@ -50,7 +50,7 @@ from . import (
     tracking,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "api",

@@ -19,9 +19,9 @@ parts:
 * **Client** (:mod:`~repro.api.client`) — :class:`ReproClient`, the
   stdlib keep-alive HTTP client with typed errors and automatic
   backoff on 429.
-* **Wire protocol v1** — :data:`API_VERSION`; requests declaring
-  ``api_version`` get versioned responses and structured error bodies,
-  version-less (legacy) requests keep the pre-v1 shapes bit-identically.
+* **Wire protocol v1** — :data:`API_VERSION`; every request declares
+  ``api_version`` and errors arrive as the structured envelope
+  (version-less legacy requests are rejected with a migration hint).
 * **Scenarios** (:mod:`repro.synth`) — :class:`ScenarioSpec` (with the
   :func:`quick_city` / :func:`full_city` presets) describes a whole
   synthetic city in the same frozen/fingerprinted spec grammar;

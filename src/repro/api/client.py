@@ -22,6 +22,7 @@ keep-alive connection is reopened and the request retried once —
 
 from __future__ import annotations
 
+import contextlib
 import http.client
 import json
 import time
@@ -106,20 +107,18 @@ class LocalizeBatchResult:
 
 
 def _error_fields(status: int, payload: dict) -> tuple[str, str, bool]:
-    """Extract (code, message, retryable) from either error shape."""
+    """Extract (code, message, retryable) from the v1 error object.
+
+    The structured object is the only shape the servers emit (the
+    legacy string/``error_detail`` forms are retired); the fallback
+    covers non-repro proxies answering in front of the server.
+    """
     err = payload.get("error")
-    if isinstance(err, dict):  # wire protocol v1
+    if isinstance(err, dict):
         return (
             str(err.get("code", "error")),
             str(err.get("message", "")),
             bool(err.get("retryable", False)),
-        )
-    detail = payload.get("error_detail")
-    if isinstance(detail, dict):  # legacy body, structure alongside
-        return (
-            str(detail.get("code", "error")),
-            str(detail.get("message", err or "")),
-            bool(detail.get("retryable", False)),
         )
     return "error", str(err if err is not None else payload), status == 429
 
@@ -134,10 +133,11 @@ class ReproClient:
     timeout:
         Socket timeout in seconds for each request.
     max_retries:
-        How many times a 429 (or a dropped connection) is retried
-        before the error surfaces. ``0`` disables retrying.
+        How many times a 429, a retryable 503 (fleet worker
+        respawning) or a dropped connection is retried before the
+        error surfaces. ``0`` disables retrying.
     retry_backoff_s:
-        Fallback sleep between 429 retries when the server sends no
+        Fallback sleep between retries when the server sends no
         ``retry_after_ms`` hint; each retry doubles it.
     """
 
@@ -201,10 +201,8 @@ class ReproClient:
 
     def _drop_connection(self) -> None:
         if self._conn is not None:
-            try:
+            with contextlib.suppress(OSError):  # pragma: no cover - teardown
                 self._conn.close()
-            except OSError:  # pragma: no cover - teardown race
-                pass
             self._conn = None
 
     def _once(self, method: str, path: str,
@@ -233,7 +231,8 @@ class ReproClient:
             ).encode("utf-8")
         attempts = self.max_retries + 1
         backoff_s = self.retry_backoff_s
-        last_429: dict | None = None
+        busy_status = 429
+        last_busy: dict | None = None
         for attempt in range(attempts):
             try:
                 status, answer = self._once(method, path, body)
@@ -248,8 +247,15 @@ class ReproClient:
                     ) from exc
                 self.retries += 1
                 continue
-            if status == 429:
-                last_429 = answer
+            # 429 (admission queue full) and retryable 503 (a fleet
+            # worker crashed; its slot is respawning warm) both mean
+            # "the identical request succeeds shortly" — back off with
+            # the server's hint and retry.
+            if status == 429 or (
+                status == 503
+                and bool((answer.get("error") or {}).get("retryable"))
+            ):
+                busy_status, last_busy = status, answer
                 if attempt + 1 >= attempts:
                     break
                 hint_ms = answer.get("retry_after_ms")
@@ -266,8 +272,12 @@ class ReproClient:
                     status, code, message, retryable=retryable, payload=answer
                 )
             return answer
-        code, message, _ = _error_fields(429, last_429 or {})
-        raise ReproOverloadError(429, code, message, payload=last_429)
+        code, message, _ = _error_fields(busy_status, last_busy or {})
+        if busy_status == 429:
+            raise ReproOverloadError(429, code, message, payload=last_busy)
+        raise ReproAPIError(
+            busy_status, code, message, retryable=True, payload=last_busy
+        )
 
     # -- endpoints ---------------------------------------------------------
 

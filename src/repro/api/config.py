@@ -430,12 +430,22 @@ class FleetSpec:
     chunk_size: int | None = None
     #: ``None`` = the dispatcher's default (two protocol-max batches).
     max_pending_rows: int | None = None
+    #: ``0`` = in-process slot execution (the default); ``N > 0`` runs
+    #: the slots in N worker processes sharing radio maps over
+    #: ``multiprocessing.shared_memory`` (answers are bit-identical).
+    workers: int = 0
+    #: Multiprocessing start method for worker processes (``"fork"`` /
+    #: ``"spawn"`` / ``"forkserver"``); ``None`` defers to the
+    #: ``REPRO_MP_START`` env var, then the platform default.
+    start_method: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "framework", canonical_name(self.framework))
         object.__setattr__(self, "buildings", tuple(self.buildings))
         if not self.buildings:
             raise ValueError("FleetSpec needs at least one building")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = in-process)")
         # Same resolution + gating rules as LocalizerSpec.backend.
         explicit = self.backend is not None
         resolved = resolve_backend_name(self.backend)
@@ -503,6 +513,9 @@ class FleetSpec:
         )
         if self.max_pending_rows is not None:
             dispatcher_kwargs["max_pending_rows"] = self.max_pending_rows
+        if self.workers:
+            dispatcher_kwargs["workers"] = self.workers
+            dispatcher_kwargs["start_method"] = self.start_method
         dispatcher = FleetDispatcher(registry, **dispatcher_kwargs)
         return FleetServer(
             registry, dispatcher, host=self.host, port=self.port
@@ -536,6 +549,12 @@ class FleetSpec:
         # participate, so pre-seam fleet fingerprints stay valid.
         if backend_changes_results(self.backend):
             payload["backend"] = self.backend
+        # Worker processes never change answers (bit-identity is the
+        # pool's contract), so — like exact backends — they join the
+        # fingerprint only when nonzero and single-process fleet
+        # fingerprints stay valid.
+        if self.workers:
+            payload["workers"] = self.workers
         return _canonical_digest(payload)
 
     def to_dict(self) -> dict:
@@ -555,6 +574,8 @@ class FleetSpec:
             "max_batch": self.max_batch,
             "chunk_size": self.chunk_size,
             "max_pending_rows": self.max_pending_rows,
+            "workers": self.workers,
+            "start_method": self.start_method,
         }
 
     @classmethod

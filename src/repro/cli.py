@@ -310,6 +310,7 @@ def _fleet_spec(args: argparse.Namespace, spec_string: str):
         max_batch=getattr(args, "max_batch", 256),
         chunk_size=getattr(args, "chunk_size", None),
         max_pending_rows=getattr(args, "max_pending_rows", None),
+        workers=getattr(args, "workers", 0),
     )
 
 
@@ -716,6 +717,16 @@ def build_parser() -> argparse.ArgumentParser:
             "fleet admission bound: rows in flight before new requests "
             "get 429 (default: two protocol-maximum batches; fleet "
             "mode only)"
+        ),
+    )
+    p_srv.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "run fleet slots in this many worker processes, radio maps "
+            "shared over shared memory; answers stay bit-identical "
+            "(default: 0 = in-process; fleet mode only)"
         ),
     )
     _add_fleet_gen_flags(p_srv)

@@ -39,6 +39,7 @@ import numpy as np
 from ..baselines.registry import canonical_name, supports_candidate_index
 from ..datasets.fingerprint import LongitudinalSuite
 from ..index import IndexConfig, index_tag
+from ..mp import mp_context
 from .runner import Comparison, FrameworkResult, evaluate_localizer
 
 #: Bumped when the evaluation protocol changes in a way that invalidates
@@ -453,8 +454,12 @@ class ParallelRunner:
                 # Each worker receives the suites once (initializer)
                 # rather than once per task; payloads stay tiny.
                 suites = {tasks[pos][1].name: tasks[pos][1] for pos in pending}
+                # The start method honors $REPRO_MP_START (see
+                # repro.mp) so CI exercises this fan-out under both
+                # fork and spawn, matching macOS/Windows defaults.
                 with ProcessPoolExecutor(
                     max_workers=workers,
+                    mp_context=mp_context(),
                     initializer=_init_worker,
                     initargs=(suites,),
                 ) as pool:

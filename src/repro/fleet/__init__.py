@@ -13,8 +13,13 @@ then floor classifier, then the slot's model:
   stacking, per-building floor classifiers, warm/persistent models.
 * :class:`ScanRouter` (``router.py``) — hierarchical classification and
   slot-grouped batch inference, bit-identical to direct slot queries.
-* :class:`FleetDispatcher` (``dispatch.py``) — per-slot micro-batching
-  behind one asyncio loop with bounded admission (429 on overload).
+* :class:`FleetDispatcher` (``frontend.py``) — the admission/routing
+  front-end: per-slot micro-batching behind one asyncio loop with
+  bounded admission (429 on overload), over a pluggable slot executor.
+* :class:`WorkerPool` (``worker.py``) + :class:`SlotPlacement`
+  (``placement.py``) — the multi-process executor: N worker processes
+  own slots by consistent hash and map the radio maps zero-copy from
+  shared memory (``repro serve --workers N``).
 * :func:`run_fleet_experiment` (``experiment.py``) — routing accuracy
   and routed-vs-oracle error across the longitudinal epochs.
 * :class:`FleetServer` (``server.py``) — the HTTP/JSON front-end
@@ -23,17 +28,25 @@ then floor classifier, then the slot's model:
 See ``docs/architecture.md`` (fleet layer) and ``docs/api.md``.
 """
 
-from .dispatch import FleetDispatcher, FleetOverloadError, FleetStats, SlotCounters
 from .experiment import (
     FleetEpochResult,
     FleetExperimentResult,
     fleet_epoch_traffic,
     run_fleet_experiment,
 )
+from .frontend import (
+    FleetDispatcher,
+    FleetOverloadError,
+    FleetStats,
+    LocalSlotExecutor,
+    SlotCounters,
+)
+from .placement import PlacementMove, SlotPlacement
 from .registry import BuildingDeployment, FleetRegistry, FleetSlot, SlotId
 from .router import RoutingDecision, ScanRouter
 from .server import FleetServer
 from .spec import BuildingSpec, format_fleet_spec, parse_fleet_spec
+from .worker import WorkerCrashedError, WorkerPool
 
 __all__ = [
     "BuildingDeployment",
@@ -46,10 +59,15 @@ __all__ = [
     "FleetServer",
     "FleetSlot",
     "FleetStats",
+    "LocalSlotExecutor",
+    "PlacementMove",
     "RoutingDecision",
     "ScanRouter",
     "SlotCounters",
     "SlotId",
+    "SlotPlacement",
+    "WorkerCrashedError",
+    "WorkerPool",
     "fleet_epoch_traffic",
     "format_fleet_spec",
     "parse_fleet_spec",

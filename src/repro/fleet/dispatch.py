@@ -1,274 +1,29 @@
-"""Fleet-wide async dispatch: per-slot micro-batching + admission control.
+"""Compatibility re-export: the dispatcher now lives in two halves.
 
-One asyncio event loop fronts the whole fleet. Each deployment slot
-keeps its own :class:`~repro.serve.dispatcher.BatchingDispatcher` (own
-single-thread inference executor, own micro-batching window), so two
-buildings' models compute concurrently while each slot still coalesces
-its *own* traffic into batched calls — routed rows from different
-client requests that resolve to the same slot ride one
-``predict_batched`` flush.
-
-Admission is **bounded**: the dispatcher tracks rows admitted but not
-yet answered, fleet-wide. A request that would push the total past
-``max_pending_rows`` is rejected *before* anything is enqueued —
-:class:`FleetOverloadError`, which the HTTP layer maps to 429. Rejection
-happens synchronously on the event loop (no awaits between the check
-and the reservation), so in-flight batches are never split, corrupted
-or partially admitted; admitted work always completes normally.
+The single-class fleet dispatcher grew into an admission/routing
+front-end (:mod:`repro.fleet.frontend`) over a pluggable slot executor
+— in-process micro-batching or a multi-process worker pool with
+shared-memory radio maps (:mod:`repro.fleet.worker`, placed by
+:mod:`repro.fleet.placement`). Import from those modules in new code;
+this module keeps the historical import path working.
 """
 
 from __future__ import annotations
 
-import asyncio
-from dataclasses import dataclass, field
+from .frontend import (
+    DEFAULT_MAX_PENDING_ROWS,
+    FleetDispatcher,
+    FleetOverloadError,
+    FleetStats,
+    LocalSlotExecutor,
+    SlotCounters,
+)
 
-import numpy as np
-
-from ..serve.dispatcher import BatchingDispatcher
-from ..serve.protocol import MAX_BATCH_ROWS
-from .registry import FleetRegistry
-from .router import RoutingDecision, ScanRouter
-
-#: Default admission bound: two protocol-maximum batches, so any batch
-#: the HTTP layer accepts (``MAX_BATCH_ROWS``) is admissible on an idle
-#: fleet and one giant request cannot monopolize the whole queue.
-DEFAULT_MAX_PENDING_ROWS = 2 * MAX_BATCH_ROWS
-
-
-class FleetOverloadError(RuntimeError):
-    """Admission queue full; the HTTP layer answers 429."""
-
-    def __init__(self, pending_rows: int, max_pending_rows: int, n_rows: int) -> None:
-        super().__init__(
-            f"fleet overloaded: {pending_rows} rows in flight + {n_rows} "
-            f"requested > {max_pending_rows} admitted max"
-        )
-        self.pending_rows = pending_rows
-        self.max_pending_rows = max_pending_rows
-
-
-@dataclass
-class SlotCounters:
-    """Per-slot routing/traffic counters for ``/fleet`` and ``/models``."""
-
-    requests: int = 0
-    rows: int = 0
-    forced_rows: int = 0
-
-    def as_dict(self) -> dict:
-        return {
-            "requests": self.requests,
-            "rows": self.rows,
-            "forced_rows": self.forced_rows,
-        }
-
-
-@dataclass
-class FleetStats:
-    """Fleet-level admission and routing counters."""
-
-    requests: int = 0
-    rows: int = 0
-    forced_requests: int = 0
-    rejected_requests: int = 0
-    errors: int = 0
-    per_slot: dict = field(default_factory=dict)
-
-    def as_dict(self) -> dict:
-        return {
-            "requests": self.requests,
-            "rows": self.rows,
-            "forced_requests": self.forced_requests,
-            "rejected_requests": self.rejected_requests,
-            "errors": self.errors,
-        }
-
-
-class FleetDispatcher:
-    """Route request rows to per-slot dispatchers behind one loop.
-
-    Parameters
-    ----------
-    registry:
-        The fitted fleet.
-    batch_window_ms / max_batch / chunk_size:
-        Forwarded to every slot's
-        :class:`~repro.serve.dispatcher.BatchingDispatcher`.
-    max_pending_rows:
-        Fleet-wide bound on rows admitted but not yet answered; the
-        backpressure knob (``repro serve --max-pending-rows``).
-    """
-
-    def __init__(
-        self,
-        registry: FleetRegistry,
-        *,
-        batch_window_ms: float = 2.0,
-        max_batch: int = 256,
-        chunk_size: int | None = None,
-        max_pending_rows: int = DEFAULT_MAX_PENDING_ROWS,
-    ) -> None:
-        if max_pending_rows < 1:
-            raise ValueError("max_pending_rows must be >= 1")
-        self.registry = registry
-        self.router = ScanRouter(registry)
-        self.max_pending_rows = int(max_pending_rows)
-        self.stats = FleetStats(
-            per_slot={
-                slot.slot.label: SlotCounters() for slot in registry.slots()
-            }
-        )
-        self._dispatchers: dict[tuple[int, int], BatchingDispatcher] = {}
-        for j, deployment in enumerate(registry.buildings):
-            for floor in deployment.floors:
-                self._dispatchers[(j, floor)] = BatchingDispatcher(
-                    deployment.slots[floor].entry.localizer,
-                    batch_window_ms=batch_window_ms,
-                    max_batch=max_batch,
-                    chunk_size=chunk_size,
-                )
-        self._pending_rows = 0
-        self._closed = False
-
-    @property
-    def pending_rows(self) -> int:
-        """Rows admitted and not yet answered (the queue depth)."""
-        return self._pending_rows
-
-    # -- dispatch ----------------------------------------------------------
-
-    async def localize(
-        self,
-        scans: np.ndarray,
-        *,
-        decision: RoutingDecision | None = None,
-        building: str | None = None,
-        floor: int | None = None,
-    ) -> tuple[np.ndarray, RoutingDecision]:
-        """Admit, route and answer one request's fleet-wide scan rows.
-
-        Routing resolves one of three ways: ``decision`` pins every row
-        outright; ``building`` (optionally with ``floor``) pins the
-        building and classifies only what's left; ``None`` classifies
-        hierarchically. Classification always runs *after* admission
-        (a rejected request never pays for it) and off the event loop.
-        Raises :class:`FleetOverloadError` when the admission bound
-        would be exceeded — before any row is enqueued — and
-        ``KeyError`` for a pin naming an unknown building/floor.
-        """
-        if self._closed:
-            raise RuntimeError("fleet dispatcher is closed")
-        if decision is not None and building is not None:
-            raise ValueError("pass either decision= or building=, not both")
-        if floor is not None and building is None:
-            raise ValueError("floor= requires building=")
-        scans = self.router.check_scans(scans)
-        n = scans.shape[0]
-        if n > self.max_pending_rows:
-            # Structurally unservable: no amount of retrying fits this
-            # batch under the bound. A client error (400), not a 429 —
-            # the retry hint would loop forever.
-            raise ValueError(
-                f"batch of {n} rows can never be admitted "
-                f"(max_pending_rows={self.max_pending_rows}); split it"
-            )
-        # Check + reserve with no await in between: on the single-threaded
-        # event loop this is atomic, so concurrent requests can never
-        # jointly overshoot the bound.
-        if self._pending_rows + n > self.max_pending_rows:
-            self.stats.rejected_requests += 1
-            raise FleetOverloadError(self._pending_rows, self.max_pending_rows, n)
-        self._pending_rows += n
-        try:
-            if decision is not None:
-                if decision.n_rows != n:
-                    raise ValueError(
-                        f"decision covers {decision.n_rows} rows, scans have {n}"
-                    )
-            elif building is not None and floor is not None:
-                decision = self.router.decide_slot(building, floor, n)
-            else:
-                # Classification is dense numpy work (O(rows x refs)
-                # distance blocks); run it off the loop so other
-                # requests keep being admitted and the slot micro-batch
-                # windows keep filling while this one classifies.
-                loop = asyncio.get_running_loop()
-                if building is not None:
-                    decision = await loop.run_in_executor(
-                        None, self.router.route_building, scans, building
-                    )
-                else:
-                    decision = await loop.run_in_executor(
-                        None, self.router.route, scans
-                    )
-            groups = self.router.group_rows(decision)
-            self.router.check_groups_cover(groups, n)
-            coords = np.empty((n, 2), dtype=np.float64)
-            names = [b.name for b in self.registry.buildings]
-
-            async def run_slot(slot_key: tuple[int, int], rows: np.ndarray) -> None:
-                deployment = self.registry.buildings[slot_key[0]]
-                block = deployment.block(scans[rows])
-                coords[rows] = await self._dispatchers[slot_key].localize(block)
-                counters = self.stats.per_slot[
-                    f"{names[slot_key[0]]}/f{slot_key[1]}"
-                ]
-                counters.requests += 1
-                counters.rows += rows.shape[0]
-                if decision.forced:
-                    counters.forced_rows += rows.shape[0]
-
-            # return_exceptions so every slot batch finishes before the
-            # admission reservation is released in the finally below —
-            # pending_rows must never under-count work still computing
-            # in a sibling slot's executor.
-            results = await asyncio.gather(
-                *(run_slot(key, rows) for key, rows in groups.items()),
-                return_exceptions=True,
-            )
-            errors = [r for r in results if isinstance(r, BaseException)]
-            if errors:
-                self.stats.errors += 1
-                raise errors[0]
-        finally:
-            self._pending_rows -= n
-        self.stats.requests += 1
-        self.stats.rows += n
-        if decision.forced:
-            self.stats.forced_requests += 1
-        return coords, decision
-
-    # -- lifecycle ---------------------------------------------------------
-
-    def close(self) -> None:
-        """Close every slot dispatcher (fails their pending requests)."""
-        if self._closed:
-            return
-        self._closed = True
-        for dispatcher in self._dispatchers.values():
-            dispatcher.close()
-
-    # -- introspection -----------------------------------------------------
-
-    def slot_stats(self) -> dict:
-        """Per-slot dispatcher + routing counters, keyed by slot label."""
-        out = {}
-        names = [b.name for b in self.registry.buildings]
-        for (j, floor), dispatcher in self._dispatchers.items():
-            label = f"{names[j]}/f{floor}"
-            out[label] = {
-                "routing": self.stats.per_slot[label].as_dict(),
-                "dispatcher": dispatcher.stats.as_dict(),
-            }
-        return out
-
-    def describe(self) -> dict:
-        """JSON-ready dispatch state for ``/fleet`` and ``/healthz``."""
-        return {
-            "admission": {
-                "max_pending_rows": self.max_pending_rows,
-                "pending_rows": self._pending_rows,
-            },
-            "fleet": self.stats.as_dict(),
-            "slots": self.slot_stats(),
-        }
+__all__ = [
+    "DEFAULT_MAX_PENDING_ROWS",
+    "FleetDispatcher",
+    "FleetOverloadError",
+    "FleetStats",
+    "LocalSlotExecutor",
+    "SlotCounters",
+]

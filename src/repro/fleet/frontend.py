@@ -1,0 +1,357 @@
+"""Fleet admission/routing front-end over a pluggable slot executor.
+
+One asyncio event loop fronts the whole fleet: every request is
+**admitted** (bounded queue, atomic check+reserve), **routed**
+(hierarchical building/floor classification off the loop) and then its
+row groups are **executed** per slot. Execution is a seam with two
+implementations:
+
+* :class:`LocalSlotExecutor` (``workers=0``, the default) — one
+  :class:`~repro.serve.dispatcher.BatchingDispatcher` per slot inside
+  this process; exactly the single-process dispatcher this front-end
+  was split out of.
+* :class:`~repro.fleet.worker.WorkerPool` (``workers>=1``) — N worker
+  processes owning slots by consistent hash, radio maps mapped from
+  shared memory so replicas cost no extra RAM.
+
+Every contract is executor-independent and pinned by the same tests
+against both: bounded admission with atomic 429s happens *here*, before
+anything is enqueued anywhere; answers are bit-identical across
+executors (``predict_batched`` is row-independent and the model state
+is byte-for-byte the same); ``pending_rows`` counts rows admitted but
+not yet answered, whichever process computes them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..serve.dispatcher import BatchingDispatcher
+from ..serve.protocol import MAX_BATCH_ROWS
+from .registry import FleetRegistry
+from .router import RoutingDecision, ScanRouter
+from .worker import WorkerPool
+
+#: Default admission bound: two protocol-maximum batches, so any batch
+#: the HTTP layer accepts (``MAX_BATCH_ROWS``) is admissible on an idle
+#: fleet and one giant request cannot monopolize the whole queue.
+DEFAULT_MAX_PENDING_ROWS = 2 * MAX_BATCH_ROWS
+
+
+class FleetOverloadError(RuntimeError):
+    """Admission queue full; the HTTP layer answers 429."""
+
+    def __init__(self, pending_rows: int, max_pending_rows: int, n_rows: int) -> None:
+        super().__init__(
+            f"fleet overloaded: {pending_rows} rows in flight + {n_rows} "
+            f"requested > {max_pending_rows} admitted max"
+        )
+        self.pending_rows = pending_rows
+        self.max_pending_rows = max_pending_rows
+
+
+@dataclass
+class SlotCounters:
+    """Per-slot routing/traffic counters for ``/fleet`` and ``/models``."""
+
+    requests: int = 0
+    rows: int = 0
+    forced_rows: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "rows": self.rows,
+            "forced_rows": self.forced_rows,
+        }
+
+
+@dataclass
+class FleetStats:
+    """Fleet-level admission and routing counters."""
+
+    requests: int = 0
+    rows: int = 0
+    forced_requests: int = 0
+    rejected_requests: int = 0
+    errors: int = 0
+    per_slot: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "rows": self.rows,
+            "forced_requests": self.forced_requests,
+            "rejected_requests": self.rejected_requests,
+            "errors": self.errors,
+        }
+
+
+class LocalSlotExecutor:
+    """In-process slot execution: one BatchingDispatcher per slot."""
+
+    def __init__(
+        self,
+        registry: FleetRegistry,
+        *,
+        batch_window_ms: float = 2.0,
+        max_batch: int = 256,
+        chunk_size: int | None = None,
+    ) -> None:
+        self._dispatchers: dict[str, BatchingDispatcher] = {}
+        for slot in registry.slots():
+            self._dispatchers[slot.slot.label] = BatchingDispatcher(
+                slot.entry.localizer,
+                batch_window_ms=batch_window_ms,
+                max_batch=max_batch,
+                chunk_size=chunk_size,
+            )
+
+    async def submit(self, label: str, scans: np.ndarray) -> np.ndarray:
+        return await self._dispatchers[label].localize(scans)
+
+    def close(self) -> None:
+        for dispatcher in self._dispatchers.values():
+            dispatcher.close()
+
+    def slot_stats(self) -> dict:
+        return {
+            label: dispatcher.stats.as_dict()
+            for label, dispatcher in self._dispatchers.items()
+        }
+
+    def describe(self) -> dict:
+        return {"mode": "in-process"}
+
+
+class FleetDispatcher:
+    """Admit, route and execute fleet requests behind one loop.
+
+    Parameters
+    ----------
+    registry:
+        The fitted fleet.
+    batch_window_ms / max_batch / chunk_size:
+        Micro-batching knobs, forwarded to the slot executor.
+    max_pending_rows:
+        Fleet-wide bound on rows admitted but not yet answered; the
+        backpressure knob (``repro serve --max-pending-rows``).
+    workers:
+        ``0`` serves in-process (:class:`LocalSlotExecutor`); ``>= 1``
+        spawns that many worker processes
+        (:class:`~repro.fleet.worker.WorkerPool`) sharing the radio
+        maps through shared memory (``repro serve --workers``).
+    start_method:
+        Multiprocessing start method for the worker pool; ``None``
+        resolves through ``$REPRO_MP_START`` (:mod:`repro.mp`).
+    """
+
+    def __init__(
+        self,
+        registry: FleetRegistry,
+        *,
+        batch_window_ms: float = 2.0,
+        max_batch: int = 256,
+        chunk_size: int | None = None,
+        max_pending_rows: int = DEFAULT_MAX_PENDING_ROWS,
+        workers: int = 0,
+        start_method: str | None = None,
+    ) -> None:
+        if max_pending_rows < 1:
+            raise ValueError("max_pending_rows must be >= 1")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.registry = registry
+        self.router = ScanRouter(registry)
+        self.max_pending_rows = int(max_pending_rows)
+        self.workers = int(workers)
+        self.stats = FleetStats(
+            per_slot={
+                slot.slot.label: SlotCounters() for slot in registry.slots()
+            }
+        )
+        if workers == 0:
+            self._executor = LocalSlotExecutor(
+                registry,
+                batch_window_ms=batch_window_ms,
+                max_batch=max_batch,
+                chunk_size=chunk_size,
+            )
+        else:
+            self._executor = WorkerPool(
+                registry,
+                workers=workers,
+                batch_window_ms=batch_window_ms,
+                max_batch=max_batch,
+                chunk_size=chunk_size,
+                start_method=start_method,
+            )
+        self._pending_rows = 0
+        self._closed = False
+
+    @property
+    def pending_rows(self) -> int:
+        """Rows admitted and not yet answered (the queue depth)."""
+        return self._pending_rows
+
+    @property
+    def executor(self):
+        """The slot executor behind the seam (tests & rebalance)."""
+        return self._executor
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def localize(
+        self,
+        scans: np.ndarray,
+        *,
+        decision: RoutingDecision | None = None,
+        building: str | None = None,
+        floor: int | None = None,
+    ) -> tuple[np.ndarray, RoutingDecision]:
+        """Admit, route and answer one request's fleet-wide scan rows.
+
+        Routing resolves one of three ways: ``decision`` pins every row
+        outright; ``building`` (optionally with ``floor``) pins the
+        building and classifies only what's left; ``None`` classifies
+        hierarchically. Classification always runs *after* admission
+        (a rejected request never pays for it) and off the event loop.
+        Raises :class:`FleetOverloadError` when the admission bound
+        would be exceeded — before any row is enqueued — and
+        ``KeyError`` for a pin naming an unknown building/floor.
+        """
+        if self._closed:
+            raise RuntimeError("fleet dispatcher is closed")
+        if decision is not None and building is not None:
+            raise ValueError("pass either decision= or building=, not both")
+        if floor is not None and building is None:
+            raise ValueError("floor= requires building=")
+        scans = self.router.check_scans(scans)
+        n = scans.shape[0]
+        if n > self.max_pending_rows:
+            # Structurally unservable: no amount of retrying fits this
+            # batch under the bound. A client error (400), not a 429 —
+            # the retry hint would loop forever.
+            raise ValueError(
+                f"batch of {n} rows can never be admitted "
+                f"(max_pending_rows={self.max_pending_rows}); split it"
+            )
+        # Check + reserve with no await in between: on the single-threaded
+        # event loop this is atomic, so concurrent requests can never
+        # jointly overshoot the bound.
+        if self._pending_rows + n > self.max_pending_rows:
+            self.stats.rejected_requests += 1
+            raise FleetOverloadError(self._pending_rows, self.max_pending_rows, n)
+        self._pending_rows += n
+        try:
+            if decision is not None:
+                if decision.n_rows != n:
+                    raise ValueError(
+                        f"decision covers {decision.n_rows} rows, scans have {n}"
+                    )
+            elif building is not None and floor is not None:
+                decision = self.router.decide_slot(building, floor, n)
+            else:
+                # Classification is dense numpy work (O(rows x refs)
+                # distance blocks); run it off the loop so other
+                # requests keep being admitted and the slot micro-batch
+                # windows keep filling while this one classifies.
+                loop = asyncio.get_running_loop()
+                if building is not None:
+                    decision = await loop.run_in_executor(
+                        None, self.router.route_building, scans, building
+                    )
+                else:
+                    decision = await loop.run_in_executor(
+                        None, self.router.route, scans
+                    )
+            groups = self.router.group_rows(decision)
+            self.router.check_groups_cover(groups, n)
+            coords = np.empty((n, 2), dtype=np.float64)
+            names = [b.name for b in self.registry.buildings]
+
+            async def run_slot(slot_key: tuple[int, int], rows: np.ndarray) -> None:
+                deployment = self.registry.buildings[slot_key[0]]
+                block = deployment.block(scans[rows])
+                label = f"{names[slot_key[0]]}/f{slot_key[1]}"
+                coords[rows] = await self._executor.submit(label, block)
+                counters = self.stats.per_slot[label]
+                counters.requests += 1
+                counters.rows += rows.shape[0]
+                if decision.forced:
+                    counters.forced_rows += rows.shape[0]
+
+            # return_exceptions so every slot batch finishes before the
+            # admission reservation is released in the finally below —
+            # pending_rows must never under-count work still computing
+            # in a sibling slot's executor.
+            results = await asyncio.gather(
+                *(run_slot(key, rows) for key, rows in groups.items()),
+                return_exceptions=True,
+            )
+            errors = [r for r in results if isinstance(r, BaseException)]
+            if errors:
+                self.stats.errors += 1
+                raise errors[0]
+        finally:
+            self._pending_rows -= n
+        self.stats.requests += 1
+        self.stats.rows += n
+        if decision.forced:
+            self.stats.forced_requests += 1
+        return coords, decision
+
+    # -- topology ----------------------------------------------------------
+
+    async def set_workers(self, workers: int) -> dict:
+        """Rebalance the worker pool to a new process count.
+
+        Only meaningful in multi-process mode; in-process fleets have
+        no topology to change. In-flight batches complete on their old
+        owners, moved slots rehome warm, zero requests drop
+        (:meth:`~repro.fleet.worker.WorkerPool.resize`).
+        """
+        if not isinstance(self._executor, WorkerPool):
+            raise RuntimeError(
+                "set_workers requires a multi-process fleet (workers >= 1)"
+            )
+        summary = await self._executor.resize(workers)
+        self.workers = int(workers)
+        return summary
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the slot executor (fails its pending requests)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.close()
+
+    # -- introspection -----------------------------------------------------
+
+    def slot_stats(self) -> dict:
+        """Per-slot dispatcher + routing counters, keyed by slot label."""
+        executor_stats = self._executor.slot_stats()
+        return {
+            label: {
+                "routing": self.stats.per_slot[label].as_dict(),
+                "dispatcher": executor_stats[label],
+            }
+            for label in executor_stats
+        }
+
+    def describe(self) -> dict:
+        """JSON-ready dispatch state for ``/fleet`` and ``/healthz``."""
+        return {
+            "admission": {
+                "max_pending_rows": self.max_pending_rows,
+                "pending_rows": self._pending_rows,
+            },
+            "fleet": self.stats.as_dict(),
+            "executor": self._executor.describe(),
+            "slots": self.slot_stats(),
+        }

@@ -20,6 +20,8 @@ optionally ``"floor"``) — see
 carry a ``routing`` field naming the slot(s) that answered. When the
 fleet's bounded admission queue is full the response is **429** with a
 ``Retry-After`` hint in the body; in-flight work is never disturbed.
+When a fleet worker process crashes past the retry budget the response
+is **503** (retryable — the slot respawns warm from the shared store).
 """
 
 from __future__ import annotations
@@ -37,9 +39,10 @@ from ..serve.protocol import (
     require_method,
 )
 from ..serve.server import JsonHttpServer
-from .dispatch import FleetDispatcher, FleetOverloadError
+from .frontend import FleetDispatcher, FleetOverloadError
 from .registry import FleetRegistry
 from .router import RoutingDecision
+from .worker import WorkerCrashedError
 
 
 class FleetServer(JsonHttpServer):
@@ -89,16 +92,20 @@ class FleetServer(JsonHttpServer):
                 queries, building=building, floor=floor
             )
         except FleetOverloadError as exc:
-            body = error_payload(
-                str(exc), status=429, retryable=True,
-                versioned=request.versioned,
-            )
+            body = error_payload(str(exc), status=429, retryable=True)
             body.update(
                 retry_after_ms=50,
                 pending_rows=exc.pending_rows,
                 max_pending_rows=exc.max_pending_rows,
             )
             return 429, body
+        except WorkerCrashedError as exc:
+            # A worker died mid-batch and the retry budget is spent;
+            # its slots are respawning warm from the shared store, so
+            # the same request succeeds shortly — 503, retryable.
+            body = error_payload(str(exc), status=503, retryable=True)
+            body.update(retry_after_ms=200)
+            return 503, body
         except KeyError as exc:
             # An unknown building/floor pin is a client error.
             raise ValueError(
@@ -149,6 +156,11 @@ class FleetServer(JsonHttpServer):
         payload = self.registry.store.describe()
         payload["slots"] = self.dispatcher.slot_stats()
         payload["fleet"] = self.dispatcher.stats.as_dict()
+        # Multi-process fleets surface per-worker process stats; the
+        # in-process executor reports its mode with no worker table.
+        executor = self.dispatcher.executor.describe()
+        payload["executor_mode"] = executor["mode"]
+        payload["workers"] = executor.get("workers", [])
         return payload
 
     def _fleet(self) -> dict:

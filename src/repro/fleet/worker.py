@@ -1,0 +1,951 @@
+"""Fleet worker processes: shared-memory slots behind a pipe protocol.
+
+The multi-process fleet splits :class:`~repro.fleet.frontend.FleetDispatcher`
+into the admission/routing front-end (which stays in the serving
+process) and N **worker processes** that run the actual inference. This
+module is the worker half:
+
+* :func:`build_slot_payload` strips a fitted slot's heavy reference
+  arrays (the radio map — ``KNNHead._packed`` / ``_embeddings``),
+  publishes them once via
+  :func:`~repro.kernels.publish_packed`, and pickles the remaining
+  lightweight localizer state. Shipping a slot to a worker therefore
+  costs kilobytes of pickle plus a :class:`~repro.kernels.SharedRegionHandle`;
+  the radio map itself is mapped zero-copy
+  (:func:`~repro.kernels.attach_packed`) — replicas of a hot slot cost
+  no extra RAM beyond page tables.
+* :func:`worker_main` is the child-process entry point: rehydrate the
+  assigned slots, then serve a request/response loop over a duplex
+  pipe. It works under both ``fork`` and ``spawn``
+  (:mod:`repro.mp` / ``$REPRO_MP_START``) — every message is picklable
+  and nothing depends on inherited parent state.
+* :class:`WorkerPool` is the parent-side handle: consistent-hash slot
+  placement (:class:`~repro.fleet.placement.SlotPlacement`), per-slot
+  micro-batch coalescing (same window/row semantics as
+  :class:`~repro.serve.dispatcher.BatchingDispatcher`), graceful
+  rebalance on topology change, and crash-restart — a dead worker is
+  respawned warm from the retained payloads (the shared segments
+  outlive the worker), its in-flight batches retried once, then failed
+  with the *retryable* :class:`WorkerCrashedError` (HTTP 503), never
+  hung.
+
+Because ``predict_batched`` is row-independent (the
+``BatchedLocalizer`` contract) and every slot's model state is the
+same bytes the single-process dispatcher would use, multi-process
+answers are **bit-identical** to in-process dispatch
+(``tests/fleet/test_worker_pool.py`` pins this with a hypothesis
+property over forced-slot routing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.base import BatchedLocalizer, Localizer
+from ..core.knn_head import KNNHead
+from ..kernels import (
+    AttachedRegion,
+    SharedArtifactRegion,
+    attach_packed,
+    publish_packed,
+)
+from ..mp import mp_context
+from .placement import SlotPlacement, VNODES
+from .registry import FleetRegistry, FleetSlot
+
+#: How long to wait for a worker's ready handshake before declaring the
+#: spawn failed. Spawn-start workers re-import the package, so this is
+#: generous; fork-start workers answer in milliseconds.
+READY_TIMEOUT_S = 60.0
+
+#: How many times a batch is re-dispatched after worker crashes before
+#: it fails with :class:`WorkerCrashedError`. One retry catches the
+#: overwhelmingly common case (a single worker death); repeated crashes
+#: mean the *input* kills workers and must surface, not loop.
+MAX_CRASH_RETRIES = 1
+
+
+class WorkerCrashedError(RuntimeError):
+    """A worker died mid-batch and the retry budget is spent.
+
+    Retryable by the client (the slot is respawning warm), so the HTTP
+    layer answers 503 + ``retryable: true`` — unlike admission overflow
+    (429) or a model raising (500).
+    """
+
+    def __init__(self, worker_id: int, slot: str) -> None:
+        super().__init__(
+            f"fleet worker {worker_id} crashed while serving slot {slot!r}; "
+            "the slot is being respawned — retry"
+        )
+        self.worker_id = worker_id
+        self.slot = slot
+
+
+# -- slot payloads ----------------------------------------------------------
+
+#: Maximum object-graph depth when searching a localizer for KNN heads.
+#: Deepest real chain today: EnsembleLocalizer -> list -> localizer ->
+#: model -> head; 6 leaves headroom without walking unbounded graphs.
+_WALK_DEPTH = 6
+
+
+def find_knn_heads(obj: object) -> list[KNNHead]:
+    """Every :class:`KNNHead` reachable from a localizer, stable order.
+
+    Walks ``__dict__`` insertion order (which pickle preserves), so the
+    parent's walk over the original object and the worker's walk over
+    the unpickled copy enumerate heads in the same order — that pairing
+    is how shared-region handles find their heads again.
+    """
+    heads: list[KNNHead] = []
+    seen: set[int] = set()
+
+    def walk(node: object, depth: int) -> None:
+        if depth > _WALK_DEPTH or id(node) in seen:
+            return
+        seen.add(id(node))
+        if isinstance(node, KNNHead):
+            heads.append(node)
+            return
+        if isinstance(node, (list, tuple)):
+            for item in node:
+                walk(item, depth + 1)
+            return
+        if isinstance(node, dict):
+            for item in node.values():
+                walk(item, depth + 1)
+            return
+        # Only descend into this repo's objects: numpy arrays, stdlib
+        # containers-of-scalars etc. can't hold a head and some are
+        # expensive to touch.
+        if type(node).__module__.split(".")[0] == "repro":
+            state = getattr(node, "__dict__", None)
+            if state is not None:
+                for item in state.values():
+                    walk(item, depth + 1)
+
+    walk(obj, 0)
+    return heads
+
+
+@dataclass(frozen=True)
+class SlotPayload:
+    """Everything a worker needs to rehydrate one slot, cheaply.
+
+    ``blob`` is the pickled localizer with each head's packed reference
+    arrays stripped; ``handles`` (one per head, in
+    :func:`find_knn_heads` order, ``None`` for unfitted heads) point at
+    the shared-memory segments holding those arrays.
+    """
+
+    label: str
+    blob: bytes
+    handles: tuple
+    batched: bool
+
+
+def build_slot_payload(
+    slot: FleetSlot, regions: list[SharedArtifactRegion]
+) -> SlotPayload:
+    """Publish a slot's radio maps and pickle its lightweight remainder.
+
+    Appends the owned :class:`SharedArtifactRegion` objects to
+    ``regions`` — the caller (the pool) unlinks them at shutdown. The
+    localizer is restored to its exact original state before returning;
+    publication never perturbs the parent's own serving path.
+    """
+    localizer = slot.entry.localizer
+    heads = find_knn_heads(localizer)
+    handles: list = []
+    stripped: list[tuple[KNNHead, object, object]] = []
+    try:
+        for head in heads:
+            packed = getattr(head, "_packed", None)
+            if packed is None:
+                handles.append(None)
+                continue
+            region = publish_packed(packed)
+            regions.append(region)
+            handles.append(region.handle)
+            stripped.append((head, packed, head._embeddings))
+            # Detach the heavy arrays so the pickle below ships only
+            # index tables and scalars; restored in the finally.
+            head._packed = None
+            head._embeddings = None
+        blob = pickle.dumps(localizer, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        for head, packed, embeddings in stripped:
+            head._packed = packed
+            head._embeddings = embeddings
+    return SlotPayload(
+        label=slot.slot.label,
+        blob=blob,
+        handles=tuple(handles),
+        batched=isinstance(localizer, BatchedLocalizer),
+    )
+
+
+def rehydrate_slot(
+    payload: SlotPayload,
+) -> tuple[Localizer, list[AttachedRegion]]:
+    """Worker-side inverse of :func:`build_slot_payload` (zero-copy).
+
+    Returns the localizer plus the attached regions; the caller closes
+    the regions on shutdown (after dropping the localizer, whose packed
+    arrays are views into them).
+    """
+    localizer = pickle.loads(payload.blob)
+    heads = find_knn_heads(localizer)
+    if len(heads) != len(payload.handles):
+        raise RuntimeError(
+            f"slot {payload.label!r}: rehydrated localizer has "
+            f"{len(heads)} KNN heads, payload shipped {len(payload.handles)} "
+            "handles — object graph changed between pickle and unpickle"
+        )
+    attached: list[AttachedRegion] = []
+    for head, handle in zip(heads, payload.handles):
+        if handle is None:
+            continue
+        packed, region = attach_packed(handle)
+        attached.append(region)
+        head._packed = packed
+        # Exact backends keep the float64 alias (it *is* the packed
+        # "refs" matrix, so this is a view, not a copy) — preserves the
+        # pre-seam repack fallback exactly as in-process serving does.
+        if head._backend.changes_results:
+            head._embeddings = None
+        else:
+            head._embeddings = packed.arrays.get("refs")
+    return localizer, attached
+
+
+# -- worker process ---------------------------------------------------------
+
+
+def worker_main(
+    worker_id: int,
+    conn,
+    payloads: list[SlotPayload],
+    chunk_size: int | None,
+) -> None:
+    """Child-process entry point: rehydrate slots, serve the pipe.
+
+    Protocol (all tuples, all picklable):
+
+    * worker → parent on start: ``("ready", pid, [labels])`` or
+      ``("fatal", repr)``.
+    * parent → worker: ``("req", req_id, op, args)`` where op is
+      ``predict`` (label, scans), ``adopt`` ([payloads]), ``drop``
+      ([labels]) or ``stop`` (None).
+    * worker → parent: ``("res", req_id, ok, value)`` — ``value`` is
+      the result when ok, an error string when not.
+
+    The loop is single-threaded: requests are answered strictly in
+    arrival order, which is what makes rebalance drains race-free (a
+    ``drop`` sent after the last ``predict`` for a slot is necessarily
+    processed after it — FIFO pipes, zero dropped requests).
+    """
+    slots: dict[str, tuple[Localizer, SlotPayload]] = {}
+    regions: list[AttachedRegion] = []
+
+    def adopt(new_payloads: list[SlotPayload]) -> list[str]:
+        for payload in new_payloads:
+            localizer, attached = rehydrate_slot(payload)
+            slots[payload.label] = (localizer, payload)
+            regions.extend(attached)
+        return sorted(slots)
+
+    try:
+        adopt(payloads)
+        conn.send(("ready", os.getpid(), sorted(slots)))
+    except BaseException as exc:  # noqa: BLE001 - must reach the parent
+        try:
+            conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break  # parent went away; nothing left to serve
+        _, req_id, op, args = msg
+        try:
+            if op == "predict":
+                label, scans = args
+                localizer, payload = slots[label]
+                if payload.batched:
+                    value = localizer.predict_batched(
+                        scans, chunk_size=chunk_size
+                    )
+                else:
+                    value = localizer.predict(scans)
+                value = np.ascontiguousarray(value)
+            elif op == "adopt":
+                value = adopt(args)
+            elif op == "drop":
+                for label in args:
+                    slots.pop(label, None)
+                value = sorted(slots)
+            elif op == "stop":
+                value = None
+            else:
+                raise ValueError(f"unknown worker op {op!r}")
+            conn.send(("res", req_id, True, value))
+        except Exception as exc:  # noqa: BLE001 - report, keep serving
+            conn.send(("res", req_id, False, f"{type(exc).__name__}: {exc}"))
+            continue
+        if op == "stop":
+            break
+
+    # Views into the shared segments die with the localizers; close the
+    # mappings afterwards so /dev/shm refcounts drop promptly.
+    slots.clear()
+    for region in regions:
+        region.close()
+    conn.close()
+
+
+# -- parent-side pool -------------------------------------------------------
+
+
+def _call_threadsafe(loop: asyncio.AbstractEventLoop, fn, *args) -> None:
+    """``call_soon_threadsafe`` that tolerates an already-closed loop.
+
+    A worker answering (or dying) after its test's event loop finished
+    must not crash the reader thread — the futures are unobservable
+    then anyway.
+    """
+    # pragma: no cover - loop torn down mid-reply
+    with contextlib.suppress(RuntimeError):
+        loop.call_soon_threadsafe(fn, *args)
+
+
+@dataclass
+class _Inflight:
+    """One request awaiting a worker's answer, tracked parent-side."""
+
+    req_id: int
+    worker_id: int
+    op: str
+    label: str | None
+    future: asyncio.Future
+    loop: asyncio.AbstractEventLoop
+    scans: np.ndarray | None = None
+    retries: int = 0
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    id: int
+    process: object
+    conn: object
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    pid: int = 0
+    restarts: int = 0
+    jobs: int = 0
+    rows: int = 0
+    errors: int = 0
+    outstanding: set = field(default_factory=set)
+    reader: threading.Thread | None = None
+    retired: bool = False
+
+
+@dataclass
+class _SlotQueue:
+    """Per-slot coalescing state (mirrors BatchingDispatcher's window)."""
+
+    pending: list = field(default_factory=list)
+    rows: int = 0
+    handle: asyncio.TimerHandle | None = None
+    requests: int = 0
+    batches: int = 0
+    total_rows: int = 0
+    max_batch_rows: int = 0
+    sequential_requests: int = 0
+    errors: int = 0
+
+
+class WorkerPool:
+    """Slot executor backed by N worker processes + shared radio maps.
+
+    Drop-in peer of the in-process executor behind
+    :class:`~repro.fleet.frontend.FleetDispatcher`'s slot-executor seam
+    (same ``submit`` / ``close`` / ``slot_stats`` / ``describe``
+    surface). Construction publishes every slot's packed reference
+    arrays into shared memory, spawns the workers and blocks until all
+    of them report ready — the pool never serves from cold workers.
+
+    Parameters
+    ----------
+    registry:
+        The fitted fleet (slots are payload-ified from its store
+        entries).
+    workers:
+        Worker process count (>= 1).
+    batch_window_ms / max_batch / chunk_size:
+        Micro-batching knobs, same semantics as
+        :class:`~repro.serve.dispatcher.BatchingDispatcher`.
+    start_method:
+        Forced multiprocessing start method; ``None`` resolves through
+        ``$REPRO_MP_START`` then the platform default (:mod:`repro.mp`).
+    vnodes:
+        Consistent-hash ring density (testing knob).
+    """
+
+    def __init__(
+        self,
+        registry: FleetRegistry,
+        *,
+        workers: int,
+        batch_window_ms: float = 2.0,
+        max_batch: int = 256,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+        vnodes: int = VNODES,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.batch_window_ms = float(batch_window_ms)
+        self.max_batch = int(max_batch)
+        self.chunk_size = chunk_size
+        self._ctx = mp_context(start_method)
+        self._vnodes = int(vnodes)
+        self._regions: list[SharedArtifactRegion] = []
+        self._payloads: dict[str, SlotPayload] = {}
+        for slot in registry.slots():
+            self._payloads[slot.slot.label] = build_slot_payload(
+                slot, self._regions
+            )
+        self._labels = list(self._payloads)
+        self._placement = SlotPlacement(workers, vnodes=self._vnodes)
+        self._owner: dict[str, int] = {
+            label: self._placement.worker_for(label) for label in self._labels
+        }
+        self._queues: dict[str, _SlotQueue] = {
+            label: _SlotQueue() for label in self._labels
+        }
+        self._req_ids = itertools.count(1)
+        self._inflight: dict[int, _Inflight] = {}
+        self._lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._closed = False
+        self._workers: dict[int, _Worker] = {}
+        try:
+            for worker_id, labels in self._placement.assign(
+                self._labels
+            ).items():
+                self._workers[worker_id] = self._spawn(worker_id, labels)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- process lifecycle -------------------------------------------------
+
+    def _spawn(self, worker_id: int, labels: list[str]) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                worker_id,
+                child_conn,
+                [self._payloads[label] for label in labels],
+                self.chunk_size,
+            ),
+            name=f"repro-fleet-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        # Parent must not hold the child's pipe end: a dangling copy
+        # would defeat EOF-based crash detection for every later fork.
+        child_conn.close()
+        worker = _Worker(id=worker_id, process=process, conn=parent_conn)
+        if not parent_conn.poll(READY_TIMEOUT_S):
+            process.terminate()
+            raise RuntimeError(
+                f"fleet worker {worker_id} did not report ready within "
+                f"{READY_TIMEOUT_S:.0f}s"
+            )
+        msg = parent_conn.recv()
+        if msg[0] != "ready":
+            process.join(timeout=5.0)
+            raise RuntimeError(
+                f"fleet worker {worker_id} failed to start: {msg[1]}"
+            )
+        worker.pid = msg[1]
+        worker.reader = threading.Thread(
+            target=self._read_loop,
+            args=(worker,),
+            name=f"repro-fleet-reader-{worker_id}",
+            daemon=True,
+        )
+        worker.reader.start()
+        return worker
+
+    def _read_loop(self, worker: _Worker) -> None:
+        while True:
+            try:
+                msg = worker.conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == "res":
+                self._resolve(msg[1], msg[2], msg[3])
+        self._on_worker_exit(worker)
+
+    def _on_worker_exit(self, worker: _Worker) -> None:
+        """Reader-thread exit path: respawn (crash) or stay down."""
+        with self._lock:
+            stranded = [
+                self._inflight.pop(req_id)
+                for req_id in sorted(worker.outstanding)
+                if req_id in self._inflight
+            ]
+            worker.outstanding.clear()
+        if self._closed:
+            for entry in stranded:
+                self._fail_threadsafe(
+                    entry, RuntimeError("worker pool is closed")
+                )
+            return
+        if worker.retired:
+            # A retiree crashing mid-drain: its slots already rehomed,
+            # so stranded batches retry against the new owners.
+            for entry in stranded:
+                if entry.op != "predict" or entry.retries >= MAX_CRASH_RETRIES:
+                    self._fail_threadsafe(
+                        entry,
+                        WorkerCrashedError(worker.id, entry.label or "?"),
+                    )
+                else:
+                    entry.retries += 1
+                    _call_threadsafe(entry.loop, self._redispatch, entry)
+            return
+        worker.restarts += 1
+        try:
+            # Warm respawn: the payload bundle (pickles + shared-memory
+            # handles) is retained parent-side and the segments are
+            # still linked, so the replacement maps the same radio maps
+            # and is ready without refitting or re-publication.
+            labels = [
+                label
+                for label, owner in self._owner.items()
+                if owner == worker.id
+            ]
+            replacement = self._spawn(worker.id, labels)
+            replacement.restarts = worker.restarts
+            replacement.jobs = worker.jobs
+            replacement.rows = worker.rows
+            replacement.errors = worker.errors
+            self._workers[worker.id] = replacement
+        except Exception:
+            for entry in stranded:
+                self._fail_threadsafe(
+                    entry, WorkerCrashedError(worker.id, entry.label or "?")
+                )
+            return
+        for entry in stranded:
+            if entry.op != "predict" or entry.retries >= MAX_CRASH_RETRIES:
+                self._fail_threadsafe(
+                    entry, WorkerCrashedError(worker.id, entry.label or "?")
+                )
+            else:
+                entry.retries += 1
+                entry.loop.call_soon_threadsafe(self._redispatch, entry)
+
+    def _redispatch(self, entry: _Inflight) -> None:
+        """Re-send a crash-stranded predict to the slot's current owner."""
+        if self._closed:
+            self._fail(entry, RuntimeError("worker pool is closed"))
+            return
+        worker = self._workers[self._owner[entry.label]]
+        with self._lock:
+            self._inflight[entry.req_id] = entry
+            worker.outstanding.add(entry.req_id)
+            entry.worker_id = worker.id
+        try:
+            self._send(worker, ("req", entry.req_id, "predict",
+                                (entry.label, entry.scans)))
+        except (OSError, ValueError) as exc:
+            with self._lock:
+                self._inflight.pop(entry.req_id, None)
+                worker.outstanding.discard(entry.req_id)
+            self._fail(entry, WorkerCrashedError(worker.id, entry.label or "?"))
+
+    # -- request plumbing --------------------------------------------------
+
+    def _send(self, worker: _Worker, msg: tuple) -> None:
+        # Connection.send is not atomic across threads; serialize per
+        # worker (loop thread, executor threads and close() all send).
+        with worker.send_lock:
+            worker.conn.send(msg)
+
+    def _resolve(self, req_id: int, ok: bool, value) -> None:
+        with self._lock:
+            entry = self._inflight.pop(req_id, None)
+            if entry is None:  # raced with crash cleanup
+                return
+            worker = self._workers.get(entry.worker_id)
+            if worker is not None:
+                worker.outstanding.discard(req_id)
+                if entry.op == "predict":
+                    if ok:
+                        worker.jobs += 1
+                        worker.rows += int(entry.scans.shape[0])
+                    else:
+                        worker.errors += 1
+        if ok:
+            _call_threadsafe(entry.loop, self._succeed, entry, value)
+        else:
+            self._fail_threadsafe(entry, RuntimeError(str(value)))
+
+    @staticmethod
+    def _succeed(entry: _Inflight, value) -> None:
+        if not entry.future.done():
+            entry.future.set_result(value)
+
+    @staticmethod
+    def _fail(entry: _Inflight, exc: BaseException) -> None:
+        if not entry.future.done():
+            entry.future.set_exception(exc)
+
+    def _fail_threadsafe(self, entry: _Inflight, exc: BaseException) -> None:
+        _call_threadsafe(entry.loop, self._fail, entry, exc)
+
+    async def _request(self, worker: _Worker, op: str, args, *,
+                       label: str | None = None,
+                       scans: np.ndarray | None = None):
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        entry = _Inflight(
+            req_id=next(self._req_ids),
+            worker_id=worker.id,
+            op=op,
+            label=label,
+            future=loop.create_future(),
+            loop=loop,
+            scans=scans,
+        )
+        with self._lock:
+            self._inflight[entry.req_id] = entry
+            worker.outstanding.add(entry.req_id)
+        try:
+            # Off the loop: a send can block on a pipe whose worker is
+            # mid-batch, and admission must keep running meanwhile.
+            await loop.run_in_executor(
+                None, self._send, worker, ("req", entry.req_id, op, args)
+            )
+        except (OSError, ValueError):
+            # Worker died between placement lookup and send. The crash
+            # path may have already claimed the entry (reader thread
+            # races the send); whoever still holds it owns the retry.
+            with self._lock:
+                entry_live = self._inflight.pop(entry.req_id, None) is not None
+                worker.outstanding.discard(entry.req_id)
+            if entry_live:
+                if entry.op == "predict" and entry.retries < MAX_CRASH_RETRIES:
+                    entry.retries += 1
+                    await self._await_respawn(worker)
+                    self._redispatch(entry)
+                else:
+                    self._fail(
+                        entry,
+                        WorkerCrashedError(worker.id, entry.label or "?"),
+                    )
+        return await entry.future
+
+    async def _await_respawn(self, dead: _Worker) -> None:
+        """Wait (bounded) until a crashed worker's slot has a live body."""
+        deadline = time.monotonic() + READY_TIMEOUT_S
+        while time.monotonic() < deadline and not self._closed:
+            current = self._workers.get(dead.id)
+            if (
+                current is not None
+                and current is not dead
+                and current.process.is_alive()
+            ):
+                return
+            await asyncio.sleep(0.01)
+
+    # -- public surface (the slot-executor seam) ---------------------------
+
+    async def submit(self, label: str, scans: np.ndarray) -> np.ndarray:
+        """Resolve one slot batch; coalesces with concurrent arrivals."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if label not in self._payloads:
+            raise KeyError(f"unknown slot {label!r}")
+        queue = self._queues[label]
+        queue.requests += 1
+        if not self._payloads[label].batched:
+            # Sequential decoders must not be coalesced across clients
+            # (same rule as BatchingDispatcher); FIFO pipe + the
+            # worker's single thread keep request order.
+            queue.sequential_requests += 1
+            return await self._predict_once(label, scans, queue)
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        queue.pending.append((scans, fut))
+        queue.rows += int(scans.shape[0])
+        if queue.rows >= self.max_batch:
+            self._flush(label)
+        elif queue.handle is None:
+            queue.handle = loop.call_later(
+                self.batch_window_ms / 1000.0, self._flush, label
+            )
+        return await fut
+
+    async def _predict_once(
+        self, label: str, scans: np.ndarray, queue: _SlotQueue
+    ) -> np.ndarray:
+        worker = self._workers[self._owner[label]]
+        try:
+            coords = await self._request(
+                worker, "predict", (label, scans), label=label, scans=scans
+            )
+        except Exception:
+            queue.errors += 1
+            raise
+        queue.batches += 1
+        queue.total_rows += int(scans.shape[0])
+        queue.max_batch_rows = max(
+            queue.max_batch_rows, int(scans.shape[0])
+        )
+        return coords
+
+    def _flush(self, label: str) -> None:
+        queue = self._queues[label]
+        if queue.handle is not None:
+            queue.handle.cancel()
+            queue.handle = None
+        batch, queue.pending = queue.pending, []
+        queue.rows = 0
+        if not batch:
+            return
+        loop = asyncio.get_running_loop()
+        loop.create_task(self._run_batch(label, batch))
+
+    async def _run_batch(
+        self, label: str, batch: list[tuple[np.ndarray, asyncio.Future]]
+    ) -> None:
+        queue = self._queues[label]
+        try:
+            matrix = (
+                batch[0][0]
+                if len(batch) == 1
+                else np.concatenate([rows for rows, _ in batch], axis=0)
+            )
+            worker = self._workers[self._owner[label]]
+            coords = await self._request(
+                worker, "predict", (label, matrix), label=label, scans=matrix
+            )
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            queue.errors += len(batch)
+            for _, fut in batch:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        queue.batches += 1
+        queue.total_rows += int(matrix.shape[0])
+        queue.max_batch_rows = max(queue.max_batch_rows, int(matrix.shape[0]))
+        offset = 0
+        for rows, fut in batch:
+            n = int(rows.shape[0])
+            if not fut.done():
+                fut.set_result(np.array(coords[offset : offset + n]))
+            offset += n
+
+    # -- topology change ---------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return self._placement.n_workers
+
+    async def resize(self, workers: int) -> dict:
+        """Rebalance to a new worker count with zero dropped requests.
+
+        Order of operations is the whole correctness story:
+
+        1. Spawn *new* workers (ready-blocked, warm from the shared
+           store) and ship moving slots to surviving targets via
+           ``adopt`` — the old owners still serve meanwhile.
+        2. Atomically (single loop-thread assignment) switch the
+           ownership table; new submissions route per the new topology.
+        3. ``drop`` moved slots from their old owners. FIFO pipes mean
+           any batch sent before the switch is answered before the
+           drop is processed — in-flight work completes.
+        4. Retire surplus workers only after their outstanding set
+           drains.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        loop = asyncio.get_running_loop()
+        old = self._placement
+        new = SlotPlacement(workers, vnodes=self._vnodes)
+        moves = old.moves_to(new, self._labels)
+        assign = new.assign(self._labels)
+        spawned = [w for w in assign if w not in self._workers]
+        for worker_id in spawned:
+            self._workers[worker_id] = await loop.run_in_executor(
+                None, self._spawn, worker_id, assign[worker_id]
+            )
+        adoptions: dict[int, list[str]] = {}
+        for move in moves:
+            if move.target not in spawned:
+                adoptions.setdefault(move.target, []).append(move.slot)
+        await asyncio.gather(
+            *(
+                self._request(
+                    self._workers[worker_id],
+                    "adopt",
+                    [self._payloads[label] for label in labels],
+                )
+                for worker_id, labels in adoptions.items()
+            )
+        )
+        # The switch: one assignment on the loop thread, no await
+        # in between — routing is never observed half-moved.
+        self._placement = new
+        self._owner = {
+            label: new.worker_for(label) for label in self._labels
+        }
+        drops: dict[int, list[str]] = {}
+        for move in moves:
+            drops.setdefault(move.source, []).append(move.slot)
+        retired = [w for w in self._workers if w not in assign]
+        await asyncio.gather(
+            *(
+                self._request(self._workers[worker_id], "drop", labels)
+                for worker_id, labels in drops.items()
+                if worker_id in assign  # retirees just drain and stop
+            )
+        )
+        for worker_id in retired:
+            worker = self._workers[worker_id]
+            worker.retired = True
+            while worker.outstanding:
+                await asyncio.sleep(0.005)
+            with contextlib.suppress(OSError, ValueError):
+                self._send(worker, ("req", next(self._req_ids), "stop", None))
+            await loop.run_in_executor(None, worker.process.join, 10.0)
+            del self._workers[worker_id]
+        return {
+            "workers": workers,
+            "moved_slots": [move.slot for move in moves],
+            "spawned_workers": spawned,
+            "retired_workers": retired,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop workers, fail pending work, unlink the shared segments."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            stranded = list(self._inflight.values())
+            self._inflight.clear()
+        for entry in stranded:
+            self._fail_threadsafe(
+                entry, RuntimeError("worker pool is closed")
+            )
+        for queue in self._queues.values():
+            if queue.handle is not None:
+                queue.handle.cancel()
+                queue.handle = None
+            pending, queue.pending = queue.pending, []
+            queue.rows = 0
+            for _, fut in pending:
+                if not fut.done():
+                    fut.set_exception(RuntimeError("worker pool is closed"))
+        for worker in self._workers.values():
+            worker.retired = True
+            with contextlib.suppress(OSError, ValueError):
+                self._send(worker, ("req", next(self._req_ids), "stop", None))
+        deadline = time.monotonic() + 10.0
+        for worker in self._workers.values():
+            worker.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            with contextlib.suppress(OSError):  # pragma: no cover - closed
+                worker.conn.close()
+        self._workers.clear()
+        # Owner-side unlink: removes the /dev/shm entries. Workers only
+        # ever close() their mappings, so this is the single release
+        # point the leak test audits.
+        for region in self._regions:
+            region.unlink()
+        self._regions.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    def slot_stats(self) -> dict:
+        """Per-slot dispatch counters, same keys as DispatchStats."""
+        out = {}
+        for label, queue in self._queues.items():
+            mean = (
+                round(queue.total_rows / queue.batches, 2)
+                if queue.batches
+                else 0.0
+            )
+            out[label] = {
+                "requests": queue.requests,
+                "rows": queue.total_rows,
+                "batches": queue.batches,
+                "mean_batch_rows": mean,
+                "max_batch_rows": queue.max_batch_rows,
+                "sequential_requests": queue.sequential_requests,
+                "errors": queue.errors,
+                "worker": self._owner[label],
+            }
+        return out
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker process facts for ``/models`` and ``/fleet``."""
+        out = []
+        for worker_id in sorted(self._workers):
+            worker = self._workers[worker_id]
+            out.append(
+                {
+                    "worker": worker_id,
+                    "pid": worker.pid,
+                    "alive": worker.process.is_alive(),
+                    "slots": sorted(
+                        label
+                        for label, owner in self._owner.items()
+                        if owner == worker_id
+                    ),
+                    "jobs": worker.jobs,
+                    "rows": worker.rows,
+                    "errors": worker.errors,
+                    "restarts": worker.restarts,
+                }
+            )
+        return out
+
+    def describe(self) -> dict:
+        """JSON-ready executor state for ``/fleet``."""
+        return {
+            "mode": "multi-process",
+            "start_method": self._ctx.get_start_method(),
+            "placement": self._placement.describe(),
+            "shared_segments": len(self._regions),
+            "shared_bytes": int(sum(r.nbytes for r in self._regions)),
+            "workers": self.worker_stats(),
+        }

@@ -92,9 +92,7 @@ def segments_intersect(
         return True
     if d3 == 0 and on_box(p1, p2, q1):
         return True
-    if d4 == 0 and on_box(p1, p2, q2):
-        return True
-    return False
+    return d4 == 0 and on_box(p1, p2, q2)
 
 
 def count_wall_crossings(

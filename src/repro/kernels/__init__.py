@@ -10,6 +10,9 @@ Public surface:
   :func:`available_backends` / :func:`canonical_backend_name` — the
   registry.
 * :func:`backend_changes_results` — the fingerprint-participation rule.
+* :class:`SharedArtifactRegion` / :func:`publish_packed` /
+  :func:`attach_packed` — zero-copy shared-memory publication of packed
+  reference tables (the multi-process fleet's radio-map transport).
 
 Registered backends:
 
@@ -39,6 +42,13 @@ from .base import (
 from .blas import BlasBackend
 from .quantized import QuantizedBackend
 from .reference import Blas64Backend, ReferenceBackend
+from .shared import (
+    AttachedRegion,
+    SharedArtifactRegion,
+    SharedRegionHandle,
+    attach_packed,
+    publish_packed,
+)
 
 register_backend(ReferenceBackend())
 register_backend(Blas64Backend(), aliases=("blas-float64", "blas-f64"))
@@ -48,16 +58,21 @@ register_backend(QuantizedBackend(), aliases=("int8", "quantized-int8"))
 __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
+    "AttachedRegion",
     "Blas64Backend",
     "BlasBackend",
     "KernelBackend",
     "PackedReferences",
     "QuantizedBackend",
     "ReferenceBackend",
+    "SharedArtifactRegion",
+    "SharedRegionHandle",
+    "attach_packed",
     "available_backends",
     "backend_changes_results",
     "canonical_backend_name",
     "get_backend",
+    "publish_packed",
     "register_backend",
     "resolve_backend",
     "resolve_backend_name",

@@ -1,0 +1,227 @@
+"""Shared-memory publication of packed reference tables.
+
+The multi-process fleet wants N worker processes to serve replicas of
+the same deployment slots without paying N copies of the radio maps —
+the packed reference matrices are by far the largest per-slot artifact
+(what caps fleet density per host). This module is the zero-copy seam:
+
+* :class:`SharedArtifactRegion` copies a named set of ndarrays into
+  **one** ``multiprocessing.shared_memory`` segment (one page-aligned
+  region per slot, not one segment per array — /dev/shm entries stay
+  countable) and hands out a picklable :class:`SharedRegionHandle`.
+* A worker process calls :meth:`SharedRegionHandle.attach` and gets the
+  same arrays back as **views over the shared buffer** — no copy, no
+  extra RAM beyond page tables, under both ``fork`` and ``spawn``.
+* :func:`publish_packed` / :func:`attach_packed` specialize the region
+  to a :class:`~repro.kernels.base.PackedReferences`: the attached
+  object is a drop-in for the original one (``KNNHead`` never knows its
+  reference matrix lives in shared memory).
+
+Lifecycle is owner-driven: the publishing process (the fleet front-end)
+calls :meth:`SharedArtifactRegion.unlink` on shutdown, which removes
+the ``/dev/shm`` entry; workers only ever ``close()`` their mappings.
+Attached arrays are marked read-only — a worker scribbling on a shared
+radio map would corrupt every replica at once.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .base import PackedReferences
+
+#: Every segment this repo creates is named with this prefix, so tests
+#: (and operators) can audit /dev/shm for leaks unambiguously.
+SEGMENT_PREFIX = "repro-shm-"
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Placement of one ndarray inside the region's flat buffer."""
+
+    key: str
+    dtype: str
+    shape: tuple
+    offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class SharedRegionHandle:
+    """Picklable address of a published region (ship it to workers)."""
+
+    segment: str
+    arrays: tuple
+    #: Extra picklable metadata riding along (e.g. PackedReferences
+    #: backend/shape fields); never placed in shared memory itself.
+    meta: dict | None = None
+
+    def attach(self) -> AttachedRegion:
+        """Map the segment and rebuild the arrays as zero-copy views.
+
+        Attaching registers the name with the resource tracker again,
+        which is harmless dedup here: fleet workers are multiprocessing
+        children, so they *share* the owner's tracker process (its fd
+        is inherited under both fork and spawn) and its cache is a set
+        — the owner's single unlink-time unregister balances it. The
+        bpo-38119 double-unlink wart only bites attachers running their
+        own tracker (a foreign, non-descendant process), which this
+        layer never creates.
+        """
+        shm = shared_memory.SharedMemory(name=self.segment)
+        arrays: dict[str, np.ndarray] = {}
+        for spec in self.arrays:
+            view = np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=shm.buf[spec.offset : spec.offset + spec.nbytes],
+            )
+            # Read-only: replicas share these pages; a write in one
+            # worker would silently corrupt every other replica.
+            view.flags.writeable = False
+            arrays[spec.key] = view
+        return AttachedRegion(shm=shm, arrays=arrays, meta=self.meta)
+
+
+@dataclass
+class AttachedRegion:
+    """A worker-side mapping: arrays viewing one shared segment."""
+
+    shm: shared_memory.SharedMemory
+    arrays: dict
+    meta: dict | None = None
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself lives on).
+
+        The array views must not be used afterwards; drop references to
+        them first (the views hold the buffer alive through numpy's
+        exports, so closing with live views raises ``BufferError``).
+        """
+        self.arrays = {}
+        with contextlib.suppress(BufferError):  # pragma: no cover - live view
+            self.shm.close()
+
+
+class SharedArtifactRegion:
+    """Owner side: one shared segment holding a named set of ndarrays.
+
+    Construct with ``arrays`` (copied in once, 64-byte aligned) and ship
+    :attr:`handle` to any number of worker processes. The owner — and
+    only the owner — calls :meth:`unlink` when the fleet shuts down.
+    """
+
+    #: Alignment of each array inside the region; keeps SIMD loads over
+    #: the shared views on the same fast path as private allocations.
+    ALIGN = 64
+
+    def __init__(self, arrays: dict, *, meta: dict | None = None) -> None:
+        specs: list[_ArraySpec] = []
+        offset = 0
+        normalized: dict[str, np.ndarray] = {}
+        for key, value in arrays.items():
+            arr = np.ascontiguousarray(value)
+            offset = -(-offset // self.ALIGN) * self.ALIGN
+            specs.append(
+                _ArraySpec(
+                    key=key,
+                    dtype=arr.dtype.str,
+                    shape=tuple(int(s) for s in arr.shape),
+                    offset=offset,
+                    nbytes=int(arr.nbytes),
+                )
+            )
+            normalized[key] = arr
+            offset += arr.nbytes
+        name = SEGMENT_PREFIX + secrets.token_hex(8)
+        # size=0 is invalid; an all-empty region still needs one byte.
+        # The owner stays registered with the resource tracker: if the
+        # front-end dies without running unlink(), the tracker still
+        # removes the segment at interpreter exit (crash safety net).
+        self.shm = shared_memory.SharedMemory(
+            create=True, name=name, size=max(offset, 1)
+        )
+        for spec in specs:
+            dst = np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=self.shm.buf[spec.offset : spec.offset + spec.nbytes],
+            )
+            dst[...] = normalized[spec.key]
+        self.handle = SharedRegionHandle(
+            segment=name, arrays=tuple(specs), meta=meta
+        )
+        self._unlinked = False
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared segment in bytes."""
+        return int(self.shm.size)
+
+    def unlink(self) -> None:
+        """Remove the segment (idempotent). Owner-only, at shutdown."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        with contextlib.suppress(BufferError):  # pragma: no cover - live view
+            self.shm.close()
+        # unlink() also unregisters from the resource tracker, so a
+        # clean shutdown leaves no exit-time sweep work behind.
+        with contextlib.suppress(FileNotFoundError):  # pragma: no cover
+            self.shm.unlink()
+
+
+def publish_packed(packed: PackedReferences) -> SharedArtifactRegion:
+    """Publish a :class:`PackedReferences`' arrays into shared memory.
+
+    Non-ndarray entries in ``packed.arrays`` (scalar decode parameters
+    of the quantized backend, say) ride in the handle's ``meta`` —
+    pickled per worker, which is fine because they are tiny.
+    """
+    ndarrays = {
+        k: v for k, v in packed.arrays.items() if isinstance(v, np.ndarray)
+    }
+    scalars = {
+        k: v for k, v in packed.arrays.items() if not isinstance(v, np.ndarray)
+    }
+    return SharedArtifactRegion(
+        ndarrays,
+        meta={
+            "kind": "packed_references",
+            "backend": packed.backend,
+            "n_rows": packed.n_rows,
+            "n_dims": packed.n_dims,
+            "scalars": scalars,
+        },
+    )
+
+
+def attach_packed(
+    handle: SharedRegionHandle,
+) -> tuple[PackedReferences, AttachedRegion]:
+    """Rebuild a :class:`PackedReferences` over a worker-side mapping.
+
+    Returns the packed object *and* the region so the caller can
+    ``close()`` the mapping on shutdown (the packed arrays are views —
+    they must not outlive the region).
+    """
+    meta = handle.meta or {}
+    if meta.get("kind") != "packed_references":
+        raise ValueError(
+            "handle does not describe a PackedReferences region"
+        )
+    region = handle.attach()
+    arrays = dict(region.arrays)
+    arrays.update(meta.get("scalars", {}))
+    packed = PackedReferences(
+        backend=meta["backend"],
+        n_rows=meta["n_rows"],
+        n_dims=meta["n_dims"],
+        arrays=arrays,
+    )
+    return packed, region

@@ -1,0 +1,48 @@
+"""Multiprocessing start-method policy, shared by every process pool.
+
+Linux defaults to ``fork``, macOS and Windows to ``spawn`` — and the two
+disagree about what a child process inherits (``fork`` copies the whole
+parent heap; ``spawn`` re-imports everything and only receives pickled
+arguments). Code that works under one can silently depend on it, so the
+``REPRO_MP_START`` environment variable forces a start method for every
+pool in the repo — the evaluation engine's
+:class:`~repro.eval.engine.ParallelRunner` and the fleet's
+:class:`~repro.fleet.worker.WorkerPool` — and CI runs the tier-1 suite
+under both ``fork`` and ``spawn`` so the multiprocessing paths stay
+portable to the platforms whose default is ``spawn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+#: Environment variable forcing the multiprocessing start method for
+#: every process pool in the repo (``fork`` / ``spawn`` / ``forkserver``).
+START_METHOD_ENV = "REPRO_MP_START"
+
+
+def resolve_start_method(method: str | None = None) -> str | None:
+    """The start method to use, or ``None`` for the platform default.
+
+    Resolution order: explicit ``method`` → ``$REPRO_MP_START`` →
+    ``None``. Unknown names raise ``ValueError`` immediately — a typo in
+    CI config must fail the build, not silently fall back to ``fork``.
+    """
+    if method is None or method == "":
+        method = os.environ.get(START_METHOD_ENV) or None
+    if method is None:
+        return None
+    method = method.strip().lower()
+    allowed = multiprocessing.get_all_start_methods()
+    if method not in allowed:
+        raise ValueError(
+            f"unknown multiprocessing start method {method!r}; "
+            f"this platform supports {allowed}"
+        )
+    return method
+
+
+def mp_context(method: str | None = None) -> multiprocessing.context.BaseContext:
+    """A multiprocessing context honoring :func:`resolve_start_method`."""
+    return multiprocessing.get_context(resolve_start_method(method))

@@ -13,19 +13,16 @@ library:
     request:  ``{"api_version": 1, "rssi": [[...], ...]}`` — ``(n, n_aps)``
     response: ``{"api_version": 1, "locations": [[x, y], ...], "n": n}``
 
-**Versioning (wire protocol v1).** A request that declares
-``"api_version": 1`` negotiates the v1 contract: the response carries
-``api_version`` and errors are the structured object
-``{"error": {"code", "message", "retryable"}}``. A request *without*
-``api_version`` is a legacy request — it is accepted unchanged and its
-success responses are bit-identical to the pre-v1 wire format (no
-``api_version`` field), so old clients never notice the upgrade. Legacy
-*error* responses keep the historical ``{"error": "<message>"}`` string
-and additionally carry the structured object under ``error_detail``
-(the string form is deprecated and kept for one release). Declaring a
-version this server does not speak is rejected with error code
-``unsupported_api_version``; ``GET /healthz`` always reports the
-server's ``api_version`` so clients can negotiate up front.
+**Versioning (wire protocol v1).** Every request body must declare
+``"api_version": 1``; the response carries ``api_version`` and errors
+are the structured object ``{"error": {"code", "message",
+"retryable"}}``. Version-less (pre-v1 legacy) requests and the
+string-shaped ``{"error": "<message>"}`` / ``error_detail`` bodies
+were deprecated for one release and are now retired: a body without
+``api_version`` — like one declaring a version this server does not
+speak — is rejected with error code ``unsupported_api_version`` and a
+migration hint. ``GET /healthz`` always reports the server's
+``api_version`` so clients can negotiate up front.
 
 Validation is strict on *shape* (row length must equal the fitted
 model's AP count) and lenient on *range*: finite RSSI values outside the
@@ -65,6 +62,7 @@ _STATUS_CODES = {
     413: "payload_too_large",
     429: "overloaded",
     500: "internal",
+    503: "unavailable",
 }
 
 
@@ -110,16 +108,24 @@ def parse_json_body(body: bytes) -> dict:
     return payload
 
 
-def parse_api_version(payload: dict) -> int | None:
-    """The ``api_version`` a request declares, or ``None`` for legacy.
+def parse_api_version(payload: dict) -> int:
+    """The ``api_version`` a request declares. Declaring one is required.
 
     Declaring a version the server does not speak is a client error
     with code ``unsupported_api_version`` — a client that negotiated
-    via ``GET /healthz`` never hits it.
+    via ``GET /healthz`` never hits it. Omitting the field gets the
+    same code plus a migration hint: the version-less legacy contract
+    had its one-release deprecation window and is retired.
     """
     declared = payload.get("api_version")
     if declared is None:
-        return None
+        raise RequestError(
+            'missing required field "api_version"; version-less (legacy) '
+            "requests are no longer accepted — declare "
+            f'{{"api_version": {API_VERSION}}} (see docs/api.md, '
+            "wire protocol v1)",
+            code="unsupported_api_version",
+        )
     if (
         isinstance(declared, bool)
         or not isinstance(declared, int)
@@ -144,10 +150,11 @@ class RequestContext:
 
     The server's ``_route`` handlers receive one of these instead of a
     raw body: :meth:`json` decodes the body exactly once (validating
-    any declared ``api_version`` as a side effect), and
-    :attr:`api_version` drives the response envelope — ``None`` until a
-    body successfully declares a version, so error responses for
-    unparseable or version-less requests stay in the legacy shape.
+    the required ``api_version`` declaration as a side effect), and
+    :attr:`api_version` records the negotiated version — ``None``
+    until a body successfully declares one (bodyless GET endpoints
+    never do; their responses carry ``api_version`` explicitly where
+    it matters, e.g. ``/healthz``).
     """
 
     def __init__(self, method: str, path: str, body: bytes) -> None:
@@ -275,54 +282,38 @@ def locations_response(coords: np.ndarray) -> dict:
     }
 
 
-def error_response(message: str) -> dict:
-    """Legacy pre-v1 error body: ``{"error": message}``.
-
-    .. deprecated::
-        The servers now build error bodies through
-        :func:`error_payload`, which carries the structured v1 error
-        object. This shape survives only inside legacy-client
-        responses (as the ``error`` string kept alongside
-        ``error_detail``) for one release.
-    """
-    return {"error": message}
-
-
 def error_payload(
     message: str,
     *,
     status: int = 400,
     code: str | None = None,
     retryable: bool = False,
-    versioned: bool = False,
 ) -> dict:
-    """Build one error response body in the negotiated shape.
-
-    ``versioned=True`` (the request declared ``api_version``) yields the
-    canonical v1 body::
+    """Build the canonical v1 error response body::
 
         {"api_version": 1,
          "error": {"code": "...", "message": "...", "retryable": false}}
 
-    Legacy requests keep the historical ``"error": "<message>"`` string
-    with the structured object alongside under ``error_detail`` — old
-    clients keep parsing, new information is already there.
+    This is the only error shape the servers emit. The pre-v1 string
+    form (``{"error": "<message>"}`` with ``error_detail`` alongside)
+    was deprecated for one release and has been removed.
     """
-    detail = {
-        "code": code or default_error_code(status),
-        "message": message,
-        "retryable": retryable,
+    return {
+        "api_version": API_VERSION,
+        "error": {
+            "code": code or default_error_code(status),
+            "message": message,
+            "retryable": retryable,
+        },
     }
-    if versioned:
-        return {"api_version": API_VERSION, "error": detail}
-    return {"error": message, "error_detail": detail, "api_version": API_VERSION}
 
 
 def versioned_payload(payload: dict, *, versioned: bool) -> dict:
-    """Stamp ``api_version`` onto a success body for v1 clients.
+    """Stamp ``api_version`` onto the success body of a versioned request.
 
-    Legacy (version-less) requests get the payload back untouched, so
-    their responses stay bit-identical to the pre-v1 wire format.
+    Bodyless requests (the GET endpoints) never negotiate a version, so
+    their payloads pass through untouched — the ones where the version
+    matters (``/healthz``) declare it explicitly themselves.
     """
     if not versioned or "api_version" in payload:
         return payload

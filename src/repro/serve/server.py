@@ -31,6 +31,7 @@ the tests, the load example and the CI smoke step use).
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import threading
 import time
 from collections.abc import Callable
@@ -60,6 +61,7 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: Seconds a client may dawdle sending its request before the
@@ -231,7 +233,7 @@ class JsonHttpServer:
                         exc.status,
                         error_payload(
                             exc.message, status=exc.status, code=exc.code,
-                            retryable=exc.retryable, versioned=False,
+                            retryable=exc.retryable,
                         ),
                         keep_alive=False,
                     )
@@ -255,18 +257,15 @@ class JsonHttpServer:
                 except RequestError as exc:
                     status, payload = exc.status, error_payload(
                         exc.message, status=exc.status, code=exc.code,
-                        retryable=exc.retryable, versioned=ctx.versioned,
+                        retryable=exc.retryable,
                     )
                 except ValueError as exc:
                     # predict()-level rejections (shape mismatch) are
                     # client errors.
-                    status, payload = 400, error_payload(
-                        str(exc), status=400, versioned=ctx.versioned
-                    )
+                    status, payload = 400, error_payload(str(exc), status=400)
                 except Exception as exc:  # noqa: BLE001 - last-resort 500
                     status, payload = 500, error_payload(
-                        f"{type(exc).__name__}: {exc}",
-                        status=500, versioned=ctx.versioned,
+                        f"{type(exc).__name__}: {exc}", status=500
                     )
                 self.requests_served += 1
                 sent = await self._respond(
@@ -275,10 +274,8 @@ class JsonHttpServer:
                 if not sent or not keep_alive:
                     return
         finally:
-            try:
+            with contextlib.suppress(Exception):  # pragma: no cover - teardown race
                 writer.close()
-            except Exception:  # pragma: no cover - teardown race
-                pass
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -326,16 +323,14 @@ class JsonHttpServer:
             stop = asyncio.Event()
             loop = asyncio.get_running_loop()
             for sig in (signal.SIGINT, signal.SIGTERM):
-                try:
+                # pragma: no cover - non-Unix
+                with contextlib.suppress(NotImplementedError):
                     loop.add_signal_handler(sig, stop.set)
-                except NotImplementedError:  # pragma: no cover - non-Unix
-                    pass
             await self.serve(stop, on_ready=_announce)
 
-        try:
+        # pragma: no cover - signal-handler race
+        with contextlib.suppress(KeyboardInterrupt):
             asyncio.run(_main())
-        except KeyboardInterrupt:  # pragma: no cover - signal-handler race
-            pass
         print("shutdown complete", flush=True)
         return 0
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import pickle
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -46,9 +47,9 @@ from ..index import IndexConfig, index_tag
 #: Bumped when the on-disk fitted-model payload layout changes.
 #: v2: keys and payloads carry the radio-map index configuration, so a
 #: sharded and an exhaustive fit of the same suite never collide.
-#: (The kernel-backend seam did NOT bump this: payloads grew optional
-#: ``backend``/``spec`` records that v2 readers and writers both
-#: tolerate, and bit-identical backends share the legacy digests.)
+#: (The kernel-backend seam did NOT bump this: payloads grew
+#: ``backend``/``spec`` records — now *required*; the pre-seam grace
+#: window is closed — and bit-identical backends share their digests.)
 STORE_SCHEMA_VERSION = 2
 
 
@@ -109,7 +110,9 @@ class StoreEntry:
     #: How often ``get_or_fit`` returned this entry after creation.
     hits: int = field(default=0)
     #: The producing :class:`~repro.api.config.LocalizerSpec` as a
-    #: ``to_dict`` payload (None for artifacts persisted pre-seam).
+    #: ``to_dict`` payload. Required in persisted artifacts (the
+    #: version-less grace window is closed); in-memory entries built
+    #: by hand may leave it None.
     spec: dict | None = None
 
     def describe(self) -> dict:
@@ -311,17 +314,29 @@ class ModelStore:
             or payload.get("index_tag") != key.index_tag
         ):
             return None
-        # Pre-seam payloads carry no backend record; they are reference
-        # fits, interchangeable with any bit-identical backend request
-        # (same digest). A *result-changing* mismatch is a mislabeled
-        # file: the digest would have differed.
+        # Version-less artifacts (persisted before the kernel seam, so
+        # no ``backend``/``spec`` records) had a one-release grace
+        # window that is now closed: they are a miss — warned about so
+        # the operator knows the refit is a migration, then
+        # overwritten by a fully-recorded artifact.
+        if "backend" not in payload or payload.get("spec") is None:
+            warnings.warn(
+                f"model artifact {path.name} predates the self-describing "
+                "payload format (no backend/spec records); its support "
+                "window is over — refitting and rewriting it in the "
+                "current format",
+                stacklevel=2,
+            )
+            return None
         from ..kernels import backend_changes_results
 
-        stored_backend = str(payload.get("backend", "reference"))
+        stored_backend = str(payload["backend"])
         try:
             stored_changes = backend_changes_results(stored_backend)
         except KeyError:
             return None  # unknown backend record: foreign artifact
+        # A *result-changing* backend mismatch is a mislabeled file:
+        # the digest would have differed.
         if (
             stored_changes or backend_changes_results(key.backend)
         ) and stored_backend != key.backend:

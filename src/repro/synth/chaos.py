@@ -11,7 +11,8 @@ error contract the serving layer promises:
   ``Transfer-Encoding``, garbage request line) → **400**, connection
   closes (framing can't be trusted afterwards);
 * protocol misuse (oversized batches, wrong method, unknown endpoint,
-  unsupported ``api_version``) → 400/405/404 with the right envelope;
+  unsupported or missing ``api_version``) → 400/405/404 with the
+  structured v1 error envelope;
 * slot-pin misroutes (unknown building/floor, floor without building)
   → **400**;
 * dropped keep-alives (half-sent request, then close) → silently
@@ -44,8 +45,16 @@ def http_request(
     content_length: int | str | None = None,
     extra_headers: tuple[tuple[str, str], ...] = (),
 ) -> bytes:
-    """Assemble one raw HTTP/1.1 request (keep-alive by default)."""
+    """Assemble one raw HTTP/1.1 request (keep-alive by default).
+
+    JSON payloads get ``"api_version": 1`` declared for them unless the
+    dict already carries the key — wire protocol v1 requires it, and
+    the corpus wants each case to exercise *its* malformation, not the
+    missing-version rejection (which has its own dedicated case).
+    """
     if body is None:
+        if payload is not None and "api_version" not in payload:
+            payload = {"api_version": 1, **payload}
         body = json.dumps(payload).encode() if payload is not None else b""
     length = len(body) if content_length is None else content_length
     head = [f"{method} {path} HTTP/1.1", "Host: chaos"]
@@ -65,9 +74,11 @@ class ChaosCase:
     #: True when the server must close the connection after answering
     #: (framing errors and 413s); False when keep-alive must survive.
     expect_close: bool = False
-    #: True when the request declared api_version and the error must be
-    #: the structured v1 envelope {"api_version": 1, "error": {...}}.
-    versioned: bool = False
+    #: The machine-readable v1 error code the response must carry
+    #: (``None`` skips the check). Every error body is the structured
+    #: envelope {"api_version": 1, "error": {...}} since the legacy
+    #: string shape was retired.
+    expect_code: str | None = None
 
 
 def chaos_corpus(n_aps: int, *, building: str | None = None) -> list[ChaosCase]:
@@ -168,12 +179,20 @@ def chaos_corpus(n_aps: int, *, building: str | None = None) -> list[ChaosCase]:
             "unsupported-api-version",
             http_request("/localize", {"api_version": 99, "rssi": ok_row}),
             400,
+            expect_code="unsupported_api_version",
+        ),
+        ChaosCase(
+            # The retired legacy contract: a version-less body must be
+            # rejected with the migration error, not served.
+            "missing-api-version",
+            http_request("/localize", body=json.dumps({"rssi": ok_row}).encode()),
+            400,
+            expect_code="unsupported_api_version",
         ),
         ChaosCase(
             "versioned-malformed",
             http_request("/localize", {"api_version": 1, "rssi": ok_row + [0.0]}),
             400,
-            versioned=True,
         ),
     ]
     if building is not None:

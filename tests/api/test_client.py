@@ -42,10 +42,16 @@ class ScriptedServer(JsonHttpServer):
         if status == 429:
             body = error_payload(
                 "admission queue full", status=429, retryable=True,
-                versioned=request.versioned,
             )
             body.update(payload)
             return 429, body
+        if status == 503:
+            body = error_payload(
+                "fleet worker crashed; slot respawning — retry",
+                status=503, retryable=True,
+            )
+            body.update(payload)
+            return 503, body
         return status, payload
 
 
@@ -105,6 +111,38 @@ class TestRetryOn429:
         _, client = scripted([(429, {"retry_after_ms": 1})], max_retries=0)
         with pytest.raises(ReproAPIError):
             client.localize([-50.0])
+
+
+class TestRetryOn503:
+    """A retryable 503 (fleet worker respawning) retries like a 429."""
+
+    def test_retries_until_the_slot_respawns(self, scripted):
+        server, client = scripted(
+            [(503, {"retry_after_ms": 1}), OK], max_retries=2
+        )
+        result = client.localize([-50.0])
+        assert result.location.tolist() == [1.5, 2.5]
+        assert client.retries == 1
+        assert server.hits == 2
+
+    def test_gives_up_retryable_after_budget(self, scripted):
+        server, client = scripted(
+            [(503, {"retry_after_ms": 1})], max_retries=2
+        )
+        with pytest.raises(ReproAPIError) as excinfo:
+            client.localize([-50.0])
+        assert excinfo.value.status == 503
+        assert excinfo.value.retryable is True
+        assert excinfo.value.code == "unavailable"
+        assert server.hits == 3  # initial try + 2 retries
+
+    def test_mixed_429_then_503_then_ok(self, scripted):
+        server, client = scripted(
+            [(429, {"retry_after_ms": 1}), (503, {"retry_after_ms": 1}), OK],
+            max_retries=3,
+        )
+        assert client.localize([-50.0]).location.tolist() == [1.5, 2.5]
+        assert server.hits == 3
 
 
 class TestTypedErrors:

@@ -24,9 +24,11 @@ class TestMakeLocalizerShim:
     def test_invalid_index_still_rejected(self):
         from repro.index import IndexConfig
 
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="no reference radio map"):
-                make_localizer("GIFT", index=IndexConfig(kind="kmeans"))
+        with (
+            pytest.warns(DeprecationWarning),
+            pytest.raises(ValueError, match="no reference radio map"),
+        ):
+            make_localizer("GIFT", index=IndexConfig(kind="kmeans"))
 
     @pytest.mark.parametrize("name", ["KNN", "LT-KNN", "GIFT"])
     def test_predictions_bit_identical_to_spec_path(self, name, tiny_suite):

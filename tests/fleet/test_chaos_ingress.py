@@ -2,7 +2,8 @@
 
 Every :func:`repro.synth.chaos.chaos_corpus` case replays over a real
 socket and must get exactly the promised reaction: the right status
-code, the right error-envelope shape (versioned vs legacy), and the
+code, the structured v1 error envelope (the only shape since the
+legacy string form was retired), and the
 right keep-alive behavior — connections survive payload-level errors
 but close after framing errors and 413s, verified by a follow-up
 ``/healthz`` on the *same* socket (the desync detector). A half-sent
@@ -91,20 +92,38 @@ class TestKeepAliveContract:
 
 
 class TestErrorEnvelopes:
-    def test_legacy_errors_keep_legacy_shape(self, outcomes):
-        payload = outcomes["wrong-width"].payload
-        assert isinstance(payload["error"], str)
-        detail = payload["error_detail"]
-        assert detail["code"] and detail["message"]
-        assert detail["retryable"] is False
+    def test_every_json_error_is_the_structured_envelope(self, corpus, outcomes):
+        """One error shape: {"api_version": 1, "error": {...}}."""
+        bad = {}
+        for case in corpus:
+            payload = outcomes[case.name].payload
+            if not payload:
+                continue  # framing cases may not parse a body
+            error = payload.get("error")
+            if (
+                payload.get("api_version") != 1
+                or not isinstance(error, dict)
+                or not error.get("code")
+                or not error.get("message")
+                or not isinstance(error.get("retryable"), bool)
+            ):
+                bad[case.name] = payload
+        assert not bad
 
-    def test_versioned_errors_get_structured_envelope(self, outcomes):
-        payload = outcomes["versioned-malformed"].payload
-        assert payload["api_version"] == 1
-        error = payload["error"]
-        assert isinstance(error, dict)
-        assert error["code"] and error["message"]
-        assert error["retryable"] is False
+    def test_promised_error_codes(self, corpus, outcomes):
+        mismatches = {
+            case.name: outcomes[case.name].payload
+            for case in corpus
+            if case.expect_code is not None
+            and outcomes[case.name].payload.get("error", {}).get("code")
+            != case.expect_code
+        }
+        assert not mismatches
+
+    def test_missing_api_version_gets_migration_hint(self, outcomes):
+        message = outcomes["missing-api-version"].payload["error"]["message"]
+        assert "api_version" in message
+        assert "legacy" in message
 
     def test_batch_too_large_is_terminal_not_retryable(self, outcomes):
         # Structurally unservable: must read as a 400-class reject so
@@ -112,4 +131,5 @@ class TestErrorEnvelopes:
         assert outcomes["batch-too-large"].status == 400
 
     def test_misroutes_name_the_unknown_slot(self, outcomes):
-        assert "nowhere" in outcomes["unknown-building-pin"].payload["error"]
+        payload = outcomes["unknown-building-pin"].payload
+        assert "nowhere" in payload["error"]["message"]

@@ -1,0 +1,134 @@
+"""Consistent-hash slot placement: determinism, balance, minimal moves."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.placement import VNODES, PlacementMove, SlotPlacement
+
+
+def _labels(n_buildings: int = 40, floors: int = 5) -> list[str]:
+    return [
+        f"B{b}/f{f}" for b in range(n_buildings) for f in range(floors)
+    ]
+
+
+class TestDeterminism:
+    def test_same_topology_same_placement(self):
+        labels = _labels()
+        a, b = SlotPlacement(4), SlotPlacement(4)
+        assert [a.worker_for(s) for s in labels] == [
+            b.worker_for(s) for s in labels
+        ]
+
+    def test_placement_is_hash_seed_independent(self):
+        # The ring must use SHA-256, never Python's per-process seeded
+        # hash() — front-end and spawned workers agree without talking.
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        code = (
+            "from repro.fleet.placement import SlotPlacement;"
+            "p = SlotPlacement(3);"
+            "print([p.worker_for(f'B{i}/f0') for i in range(20)])"
+        )
+        outs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={**os.environ, "PYTHONPATH": src, "PYTHONHASHSEED": seed},
+            ).stdout
+            for seed in ("0", "1", "12345")
+        }
+        assert len(outs) == 1
+
+    def test_assign_covers_every_worker_and_slot(self):
+        labels = _labels()
+        assignment = SlotPlacement(6).assign(labels)
+        assert set(assignment) == set(range(6))
+        assert sorted(s for slots in assignment.values() for s in slots) == (
+            sorted(labels)
+        )
+
+
+class TestBalance:
+    def test_slots_spread_within_a_few_percent(self):
+        labels = _labels(100, 10)  # 1000 slots
+        counts = [
+            len(v) for v in SlotPlacement(4).assign(labels).values()
+        ]
+        mean = sum(counts) / len(counts)
+        assert all(abs(c - mean) / mean < 0.35 for c in counts)
+
+    def test_single_worker_owns_everything(self):
+        labels = _labels()
+        placement = SlotPlacement(1)
+        assert all(placement.worker_for(s) == 0 for s in labels)
+
+
+class TestMinimalMovement:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_growth_moves_about_one_in_n_plus_one(self, n):
+        labels = _labels(60, 5)  # 300 slots
+        moves = SlotPlacement(n).moves_to(SlotPlacement(n + 1), labels)
+        expected = len(labels) / (n + 1)
+        # Generous band: consistent hashing guarantees *only* arc-claimed
+        # slots move; naive modulo would move ~n/(n+1) of them.
+        assert len(moves) < 2.5 * expected
+        assert all(m.target == n for m in moves)  # only onto the new worker
+
+    def test_shrink_only_evacuates_the_retired_worker(self):
+        labels = _labels(60, 5)
+        big, small = SlotPlacement(5), SlotPlacement(4)
+        moves = big.moves_to(small, labels)
+        assert all(m.source == 4 for m in moves)
+        survivors_kept = [
+            s for s in labels if big.worker_for(s) != 4
+        ]
+        assert all(
+            small.worker_for(s) == big.worker_for(s) for s in survivors_kept
+        )
+
+    def test_moves_are_exact_diff(self):
+        labels = _labels()
+        a, b = SlotPlacement(3), SlotPlacement(7)
+        moves = {m.slot: m for m in a.moves_to(b, labels)}
+        for label in labels:
+            src, dst = a.worker_for(label), b.worker_for(label)
+            if src == dst:
+                assert label not in moves
+            else:
+                assert moves[label] == PlacementMove(label, src, dst)
+
+
+class TestProperties:
+    @given(
+        label=st.text(min_size=1, max_size=30),
+        n=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_worker_for_in_range_for_any_label(self, label, n):
+        assert 0 <= SlotPlacement(n, vnodes=8).worker_for(label) < n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlotPlacement(0)
+        with pytest.raises(ValueError):
+            SlotPlacement(2, vnodes=0)
+
+    def test_describe(self):
+        desc = SlotPlacement(3).describe()
+        assert desc == {
+            "strategy": "consistent-hash",
+            "n_workers": 3,
+            "vnodes": VNODES,
+        }

@@ -23,6 +23,10 @@ def server(fleet_registry):
 
 
 def _request(server, method, path, payload=None, raw_body=None):
+    # Wire protocol v1 requires api_version in every body; these tests
+    # exercise routing semantics, so declare it unless a case overrides.
+    if payload is not None and "api_version" not in payload:
+        payload = {"api_version": 1, **payload}
     conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
     body = raw_body if raw_body is not None else (
         json.dumps(payload) if payload is not None else None
@@ -145,7 +149,7 @@ class TestClientErrors:
             payload={"rssi": fleet_traffic[0][0].tolist(), "building": "ANNEX"},
         )
         assert status == 400
-        assert "unknown building" in body["error"]
+        assert "unknown building" in body["error"]["message"]
 
     def test_unknown_floor(self, server, fleet_traffic):
         status, body = _request(
@@ -157,7 +161,7 @@ class TestClientErrors:
             },
         )
         assert status == 400
-        assert "no floor 9" in body["error"]
+        assert "no floor 9" in body["error"]["message"]
 
     def test_floor_without_building(self, server, fleet_traffic):
         status, body = _request(
@@ -165,7 +169,7 @@ class TestClientErrors:
             payload={"rssi": fleet_traffic[0][0].tolist(), "floor": 0},
         )
         assert status == 400
-        assert "requires" in body["error"]
+        assert "requires" in body["error"]["message"]
 
     def test_wrong_scan_width(self, server):
         status, body = _request(
@@ -237,6 +241,6 @@ class TestBackpressureOverHTTP:
                 payload={"rssi": fleet_traffic[0][:5].tolist()},
             )
             assert status == 400
-            assert "never be admitted" in body["error"]
+            assert "never be admitted" in body["error"]["message"]
         finally:
             handle.shutdown()

@@ -179,9 +179,12 @@ class TestStorePayloads:
         assert entry.source == "disk"
         assert store_b.fits == 0
 
-    def test_legacy_payload_without_backend_record_loads(
+    def test_versionless_payload_is_a_warned_miss(
         self, tiny_suite, tmp_path
     ):
+        # The pre-seam grace window is closed: an artifact without
+        # backend/spec records is refit (with a migration warning) and
+        # rewritten in the self-describing format.
         store = ModelStore(tmp_path)
         entry = store.get_or_fit("KNN", tiny_suite, fast=True)
         path = tmp_path / f"{entry.key.digest}.pkl"
@@ -192,9 +195,14 @@ class TestStorePayloads:
         with path.open("wb") as fh:
             pickle.dump(payload, fh)
         fresh = ModelStore(tmp_path)
-        loaded = fresh.get_or_fit("KNN", tiny_suite, fast=True)
-        assert loaded.source == "disk"
-        assert loaded.spec is None
+        with pytest.warns(UserWarning, match="backend/spec"):
+            loaded = fresh.get_or_fit("KNN", tiny_suite, fast=True)
+        assert loaded.source == "fitted"
+        assert fresh.fits == 1
+        with path.open("rb") as fh:
+            rewritten = pickle.load(fh)
+        assert rewritten["backend"] == "reference"
+        assert rewritten["spec"] is not None
 
     def test_mislabeled_backend_record_is_a_miss(self, tiny_suite, tmp_path):
         # A payload claiming a result-changing backend under an exact

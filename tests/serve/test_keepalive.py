@@ -71,7 +71,9 @@ class TestKeepAlive:
                 conn.request(
                     "POST",
                     "/localize",
-                    body=json.dumps({"rssi": scan.tolist()}),
+                    body=json.dumps(
+                        {"api_version": 1, "rssi": scan.tolist()}
+                    ),
                 )
                 response = conn.getresponse()
                 payload = json.loads(response.read())

@@ -1,13 +1,14 @@
-"""Wire protocol v1: version negotiation + error-shape compatibility.
+"""Wire protocol v1: version negotiation + the closed legacy window.
 
 Two contracts are pinned here:
 
 * **v1 clients** (requests declaring ``api_version``) get versioned
-  responses and the structured error object.
-* **legacy clients** (version-less requests) get *byte-identical*
-  success bodies to the pre-v1 server, and error bodies that keep the
-  ``"error": "<message>"`` string (with the structured object alongside
-  under ``error_detail``).
+  responses and the structured error object — the only shapes the
+  servers emit.
+* **version-less requests** (the pre-v1 legacy contract) are rejected
+  with ``unsupported_api_version`` and a migration hint. Their
+  one-release deprecation window (PR 5) is closed; the string-shaped
+  ``{"error": "<msg>"}`` / ``error_detail`` bodies are gone with it.
 """
 
 from __future__ import annotations
@@ -51,11 +52,18 @@ def _request(server, method, path, payload=None, raw_body=None):
 
 
 class TestUnitHelpers:
-    def test_parse_api_version_absent_is_legacy(self):
-        assert parse_api_version({"rssi": []}) is None
-
     def test_parse_api_version_current(self):
         assert parse_api_version({"api_version": API_VERSION}) == API_VERSION
+
+    def test_parse_api_version_absent_is_rejected(self):
+        # The version-less legacy contract is retired: omitting the
+        # field is the same negotiation failure as declaring a version
+        # the server does not speak, plus a migration hint.
+        with pytest.raises(RequestError) as excinfo:
+            parse_api_version({"rssi": []})
+        assert excinfo.value.code == "unsupported_api_version"
+        assert "api_version" in excinfo.value.message
+        assert "legacy" in excinfo.value.message
 
     @pytest.mark.parametrize("bad", [0, API_VERSION + 1, "1", 1.5, True, -3])
     def test_parse_api_version_rejects_unsupported(self, bad):
@@ -64,63 +72,63 @@ class TestUnitHelpers:
         assert excinfo.value.code == "unsupported_api_version"
 
     def test_error_payload_v1_shape(self):
-        body = error_payload("nope", status=404, versioned=True)
+        body = error_payload("nope", status=404)
         assert body == {
             "api_version": API_VERSION,
             "error": {"code": "not_found", "message": "nope",
                       "retryable": False},
         }
 
-    def test_error_payload_legacy_keeps_string(self):
-        body = error_payload("nope", status=429, retryable=True,
-                             versioned=False)
-        assert body["error"] == "nope"  # the legacy contract
-        assert body["error_detail"] == {
-            "code": "overloaded", "message": "nope", "retryable": True,
-        }
+    def test_error_payload_has_no_legacy_fields(self):
+        body = error_payload("busy", status=429, retryable=True)
+        assert set(body) == {"api_version", "error"}
+        assert isinstance(body["error"], dict)  # never the legacy string
 
     def test_default_codes(self):
         assert default_error_code(400) == "bad_request"
         assert default_error_code(405) == "method_not_allowed"
         assert default_error_code(413) == "payload_too_large"
         assert default_error_code(500) == "internal"
+        assert default_error_code(503) == "unavailable"
         assert default_error_code(418) == "error"
 
-    def test_versioned_payload_is_identity_for_legacy(self):
+    def test_versioned_payload_stamps_only_versioned(self):
         payload = {"location": [1.0, 2.0]}
+        # Bodyless GETs never negotiate: payload passes through.
         assert versioned_payload(payload, versioned=False) is payload
         stamped = versioned_payload(payload, versioned=True)
         assert stamped["api_version"] == API_VERSION
         assert stamped["location"] == [1.0, 2.0]
 
 
-class TestLegacyRequestsBitIdentical:
-    """Version-less requests see the exact pre-v1 success wire format."""
+class TestLegacyWindowClosed:
+    """Version-less requests are rejected with a migration hint."""
 
-    def test_localize_body_has_no_version_field(self, server, query_rows):
+    def test_versionless_localize_is_rejected(self, server, query_rows):
         status, body = _request(
             server, "POST", "/localize",
             payload={"rssi": query_rows[0].tolist()},
         )
-        assert status == 200
-        assert set(body) == {"location"}  # nothing added
+        assert status == 400
+        assert body["error"]["code"] == "unsupported_api_version"
+        assert "legacy" in body["error"]["message"]
 
-    def test_batch_body_has_no_version_field(self, server, query_rows):
+    def test_versionless_batch_is_rejected(self, server, query_rows):
         status, body = _request(
             server, "POST", "/localize_batch",
             payload={"rssi": query_rows[:4].tolist()},
         )
-        assert status == 200
-        assert set(body) == {"locations", "n"}
+        assert status == 400
+        assert body["error"]["code"] == "unsupported_api_version"
 
-    def test_legacy_error_keeps_string_with_detail_alongside(self, server):
+    def test_rejection_is_the_structured_envelope(self, server):
         status, body = _request(
             server, "POST", "/localize", payload={"scan": [1.0]}
         )
         assert status == 400
-        assert isinstance(body["error"], str)
-        assert body["error_detail"]["code"] == "bad_request"
-        assert body["error_detail"]["retryable"] is False
+        assert body["api_version"] == API_VERSION
+        assert isinstance(body["error"], dict)
+        assert "error_detail" not in body  # the legacy sidecar is gone
 
 
 class TestV1Requests:
@@ -132,15 +140,6 @@ class TestV1Requests:
         assert status == 200
         assert body["api_version"] == API_VERSION
         assert len(body["location"]) == 2
-
-    def test_v1_and_legacy_locations_bit_identical(self, server, query_rows):
-        row = query_rows[0].tolist()
-        _, legacy = _request(server, "POST", "/localize", payload={"rssi": row})
-        _, v1 = _request(
-            server, "POST", "/localize",
-            payload={"api_version": 1, "rssi": row},
-        )
-        assert legacy["location"] == v1["location"]
 
     def test_error_is_structured_object(self, server):
         status, body = _request(
@@ -159,19 +158,17 @@ class TestV1Requests:
             payload={"api_version": 99, "rssi": [-50.0]},
         )
         assert status == 400
-        # The request never negotiated a valid version, so the error
-        # arrives in the legacy-compatible shape.
-        assert body["error_detail"]["code"] == "unsupported_api_version"
+        assert body["error"]["code"] == "unsupported_api_version"
 
     def test_healthz_reports_api_version(self, server):
         status, body = _request(server, "GET", "/healthz")
         assert status == 200
         assert body["api_version"] == API_VERSION
 
-    def test_unknown_endpoint_carries_structured_detail(self, server):
+    def test_unknown_endpoint_is_structured(self, server):
         status, body = _request(server, "GET", "/teleport")
         assert status == 404
-        assert body["error_detail"]["code"] == "not_found"
+        assert body["error"]["code"] == "not_found"
 
 
 class TestFleetV1:
@@ -214,18 +211,17 @@ class TestFleetV1:
         assert body["error"]["code"] == "bad_request"
         assert "NOWHERE" in body["error"]["message"]
 
-    def test_legacy_unknown_pin_keeps_string(self, fleet_server):
+    def test_versionless_fleet_request_is_rejected(self, fleet_server):
         n_aps = fleet_server.registry.n_aps
         status, body = _request(
             fleet_server, "POST", "/localize",
             payload={"rssi": [-60.0] * n_aps, "building": "NOWHERE"},
         )
         assert status == 400
-        assert isinstance(body["error"], str)
-        assert body["error_detail"]["code"] == "bad_request"
+        assert body["error"]["code"] == "unsupported_api_version"
 
     def test_v1_429_overload_body(self, fleet_server):
-        """The 429 body keeps its retry hints in both shapes."""
+        """The 429 body keeps its retry hints, structured-only."""
         from repro.api import ReproClient, ReproOverloadError
         from repro.fleet.dispatch import FleetOverloadError
 

@@ -25,6 +25,10 @@ def server(knn_entry, serve_store):
 
 
 def _request(server, method, path, payload=None, raw_body=None):
+    # Wire protocol v1 requires api_version in every body; these tests
+    # exercise payload semantics, so declare it unless a case overrides.
+    if payload is not None and "api_version" not in payload:
+        payload = {"api_version": 1, **payload}
     conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
     body = raw_body if raw_body is not None else (
         json.dumps(payload) if payload is not None else None
@@ -95,7 +99,7 @@ class TestLocalize:
             payload={"rssi": query_rows[:2].tolist()},
         )
         assert status == 400
-        assert "flat list" in body["error"]
+        assert "flat list" in body["error"]["message"]
 
 
 class TestMalformedRequests:
@@ -104,26 +108,26 @@ class TestMalformedRequests:
             server, "POST", "/localize", raw_body="{not json"
         )
         assert status == 400
-        assert "invalid JSON" in body["error"]
+        assert "invalid JSON" in body["error"]["message"]
 
     def test_empty_body(self, server):
         status, body = _request(server, "POST", "/localize")
         assert status == 400
-        assert "empty request body" in body["error"]
+        assert "empty request body" in body["error"]["message"]
 
     def test_missing_rssi_field(self, server):
         status, body = _request(
             server, "POST", "/localize", payload={"scan": [1, 2]}
         )
         assert status == 400
-        assert "rssi" in body["error"]
+        assert "rssi" in body["error"]["message"]
 
     def test_wrong_row_width(self, server, tiny_suite):
         status, body = _request(
             server, "POST", "/localize", payload={"rssi": [-50.0, -60.0]}
         )
         assert status == 400
-        assert str(tiny_suite.n_aps) in body["error"]
+        assert str(tiny_suite.n_aps) in body["error"]["message"]
 
     def test_non_numeric_values(self, server, tiny_suite):
         scan = ["loud"] * tiny_suite.n_aps
@@ -138,7 +142,7 @@ class TestMalformedRequests:
             server, "POST", "/localize", payload={"rssi": scan}
         )
         assert status == 400
-        assert "finite" in body["error"]
+        assert "finite" in body["error"]["message"]
 
     def test_empty_batch(self, server):
         status, body = _request(

@@ -22,6 +22,8 @@ from repro.serve import BatchingDispatcher, LocalizationServer, ModelStore
 
 
 def _request(port, method, path, payload=None):
+    if payload is not None and "api_version" not in payload:
+        payload = {"api_version": 1, **payload}
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
     body = json.dumps(payload) if payload is not None else None
     conn.request(method, path, body=body)

@@ -28,6 +28,7 @@ History line schema (one JSON object per line)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from datetime import datetime, timezone
@@ -162,10 +163,8 @@ def render(args: argparse.Namespace) -> int:
         out.write_text(text + "\n")
         print(f"wrote {args.out}")
     else:
-        try:
+        with contextlib.suppress(BrokenPipeError):  # piped into head etc.
             print(text)
-        except BrokenPipeError:  # piped into head etc.
-            pass
     return 0
 
 

@@ -60,11 +60,14 @@ def check_file(path: Path) -> list[str]:
         if not resolved.exists():
             problems.append(f"{path.relative_to(REPO_ROOT)}: broken link {target!r}")
             continue
-        if anchor and resolved.suffix == ".md":
-            if github_slug(anchor) not in anchors_of(resolved):
-                problems.append(
-                    f"{path.relative_to(REPO_ROOT)}: missing anchor {target!r}"
-                )
+        if (
+            anchor
+            and resolved.suffix == ".md"
+            and github_slug(anchor) not in anchors_of(resolved)
+        ):
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}: missing anchor {target!r}"
+            )
     return problems
 
 
