@@ -49,7 +49,11 @@ class ReproAPIError(ReproError):
     Attributes mirror wire protocol v1's error object: ``status`` is
     the HTTP status, ``code`` the machine-readable error code,
     ``retryable`` whether the identical request can succeed later, and
-    ``payload`` the full decoded response body.
+    ``payload`` the full decoded response body. ``request_id`` is the
+    server-echoed correlation id (``None`` from pre-observability
+    servers) — it appears in ``str(exc)`` so a client-side stack trace
+    can be joined to the server's structured log and ``/metrics``
+    counters without re-running anything.
     """
 
     def __init__(
@@ -61,7 +65,10 @@ class ReproAPIError(ReproError):
         retryable: bool = False,
         payload: dict | None = None,
     ) -> None:
-        super().__init__(f"[{status} {code}] {message}")
+        request_id = (payload or {}).get("request_id")
+        self.request_id = request_id if isinstance(request_id, str) else None
+        suffix = f" (request_id={self.request_id})" if self.request_id else ""
+        super().__init__(f"[{status} {code}] {message}{suffix}")
         self.status = status
         self.code = code
         self.message = message
@@ -92,6 +99,9 @@ class LocalizeResult:
     #: Fleet mode only: ``{"building", "floor", "forced"}``; ``None``
     #: against a single-model server.
     routing: dict | None = None
+    #: Per-stage span timings when the request opted in with
+    #: ``trace=True``: ``{"request_id", "total_ms", "spans"}``.
+    trace: dict | None = None
     raw: dict = field(default_factory=dict)
 
 
@@ -103,6 +113,9 @@ class LocalizeBatchResult:
     n: int
     #: Fleet mode only: one routing entry per row.
     routing: list | None = None
+    #: Per-stage span timings when the request opted in with
+    #: ``trace=True``.
+    trace: dict | None = None
     raw: dict = field(default_factory=dict)
 
 
@@ -287,21 +300,31 @@ class ReproClient:
         *,
         building: str | None = None,
         floor: int | None = None,
+        trace: bool = False,
+        request_id: str | None = None,
     ) -> LocalizeResult:
         """``POST /localize``: one scan row → one coordinate.
 
         ``building``/``floor`` pin fleet routing (fleet servers only);
         a single-model server rejects unknown fields by ignoring them.
+        ``trace=True`` asks the server for per-stage span timings
+        (``result.trace``); ``request_id`` pins the correlation id
+        instead of letting the server mint one.
         """
         payload: dict[str, Any] = {"rssi": np.asarray(scan).tolist()}
         if building is not None:
             payload["building"] = building
         if floor is not None:
             payload["floor"] = floor
+        if trace:
+            payload["trace"] = True
+        if request_id is not None:
+            payload["request_id"] = request_id
         answer = self._request("POST", "/localize", payload)
         return LocalizeResult(
             location=np.asarray(answer["location"], dtype=np.float64),
             routing=answer.get("routing"),
+            trace=answer.get("trace"),
             raw=answer,
         )
 
@@ -311,6 +334,8 @@ class ReproClient:
         *,
         building: str | None = None,
         floor: int | None = None,
+        trace: bool = False,
+        request_id: str | None = None,
     ) -> LocalizeBatchResult:
         """``POST /localize_batch``: ``(n, n_aps)`` scans → ``(n, 2)``."""
         payload: dict[str, Any] = {"rssi": np.asarray(scans).tolist()}
@@ -318,13 +343,37 @@ class ReproClient:
             payload["building"] = building
         if floor is not None:
             payload["floor"] = floor
+        if trace:
+            payload["trace"] = True
+        if request_id is not None:
+            payload["request_id"] = request_id
         answer = self._request("POST", "/localize_batch", payload)
         return LocalizeBatchResult(
             locations=np.asarray(answer["locations"], dtype=np.float64),
             n=int(answer["n"]),
             routing=answer.get("routing"),
+            trace=answer.get("trace"),
             raw=answer,
         )
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the raw Prometheus text exposition."""
+        conn = self._connection()
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        data = response.read()
+        self.requests_sent += 1
+        if response.status != 200:
+            try:
+                payload = json.loads(data)
+            except json.JSONDecodeError:
+                payload = {}
+            code, message, retryable = _error_fields(response.status, payload)
+            raise ReproAPIError(
+                response.status, code, message,
+                retryable=retryable, payload=payload,
+            )
+        return data.decode("utf-8")
 
     def healthz(self) -> dict:
         """``GET /healthz``: liveness, counters and ``api_version``."""

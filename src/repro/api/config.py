@@ -329,6 +329,11 @@ class ServeSpec:
     max_batch: int = 256
     chunk_size: int | None = None
     model_dir: str | None = None
+    #: Structured JSON request logging to stderr (``repro serve --log-json``).
+    log_json: bool = False
+    #: Only log successful requests slower than this many milliseconds
+    #: (errors always log); ``None`` logs every request when enabled.
+    slow_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -337,6 +342,8 @@ class ServeSpec:
             raise ValueError("max_batch must be >= 1")
         if self.chunk_size is not None and self.chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if self.slow_ms is not None and self.slow_ms < 0:
+            raise ValueError("slow_ms must be >= 0")
 
     def build(self, suite, *, store=None):
         """Fit (or warm-load) the model and assemble the HTTP server.
@@ -367,23 +374,30 @@ class ServeSpec:
             chunk_size=self.chunk_size,
         )
         return LocalizationServer(
-            entry, dispatcher, store=store, host=self.host, port=self.port
+            entry, dispatcher, store=store, host=self.host, port=self.port,
+            log_json=self.log_json, slow_ms=self.slow_ms,
         )
 
     def fingerprint(self) -> str:
         """Canonical digest of the whole deployment configuration."""
-        return _canonical_digest(
-            {
-                "spec": "serve",
-                "localizer": self.localizer.fingerprint(),
-                "host": self.host,
-                "port": self.port,
-                "batch_window_ms": self.batch_window_ms,
-                "max_batch": self.max_batch,
-                "chunk_size": self.chunk_size,
-                "model_dir": self.model_dir,
-            }
-        )
+        payload = {
+            "spec": "serve",
+            "localizer": self.localizer.fingerprint(),
+            "host": self.host,
+            "port": self.port,
+            "batch_window_ms": self.batch_window_ms,
+            "max_batch": self.max_batch,
+            "chunk_size": self.chunk_size,
+            "model_dir": self.model_dir,
+        }
+        # Observability knobs never change answers, so — like exact
+        # backends — they join the digest only when switched on and
+        # pre-obs serve fingerprints stay valid.
+        if self.log_json:
+            payload["log_json"] = True
+        if self.slow_ms is not None:
+            payload["slow_ms"] = self.slow_ms
+        return _canonical_digest(payload)
 
     def to_dict(self) -> dict:
         return {
@@ -394,6 +408,8 @@ class ServeSpec:
             "max_batch": self.max_batch,
             "chunk_size": self.chunk_size,
             "model_dir": self.model_dir,
+            "log_json": self.log_json,
+            "slow_ms": self.slow_ms,
         }
 
     @classmethod
@@ -438,6 +454,11 @@ class FleetSpec:
     #: ``"spawn"`` / ``"forkserver"``); ``None`` defers to the
     #: ``REPRO_MP_START`` env var, then the platform default.
     start_method: str | None = None
+    #: Structured JSON request logging to stderr (``repro serve --log-json``).
+    log_json: bool = False
+    #: Only log successful requests slower than this many milliseconds
+    #: (errors always log); ``None`` logs every request when enabled.
+    slow_ms: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "framework", canonical_name(self.framework))
@@ -446,6 +467,8 @@ class FleetSpec:
             raise ValueError("FleetSpec needs at least one building")
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = in-process)")
+        if self.slow_ms is not None and self.slow_ms < 0:
+            raise ValueError("slow_ms must be >= 0")
         # Same resolution + gating rules as LocalizerSpec.backend.
         explicit = self.backend is not None
         resolved = resolve_backend_name(self.backend)
@@ -518,7 +541,8 @@ class FleetSpec:
             dispatcher_kwargs["start_method"] = self.start_method
         dispatcher = FleetDispatcher(registry, **dispatcher_kwargs)
         return FleetServer(
-            registry, dispatcher, host=self.host, port=self.port
+            registry, dispatcher, host=self.host, port=self.port,
+            log_json=self.log_json, slow_ms=self.slow_ms,
         )
 
     # -- identity / serialization ------------------------------------------
@@ -555,6 +579,12 @@ class FleetSpec:
         # fingerprints stay valid.
         if self.workers:
             payload["workers"] = self.workers
+        # Observability knobs never change answers either; same
+        # only-when-switched-on rule keeps pre-obs fingerprints valid.
+        if self.log_json:
+            payload["log_json"] = True
+        if self.slow_ms is not None:
+            payload["slow_ms"] = self.slow_ms
         return _canonical_digest(payload)
 
     def to_dict(self) -> dict:
@@ -576,6 +606,8 @@ class FleetSpec:
             "max_pending_rows": self.max_pending_rows,
             "workers": self.workers,
             "start_method": self.start_method,
+            "log_json": self.log_json,
+            "slow_ms": self.slow_ms,
         }
 
     @classmethod

@@ -311,6 +311,8 @@ def _fleet_spec(args: argparse.Namespace, spec_string: str):
         chunk_size=getattr(args, "chunk_size", None),
         max_pending_rows=getattr(args, "max_pending_rows", None),
         workers=getattr(args, "workers", 0),
+        log_json=getattr(args, "log_json", False),
+        slow_ms=getattr(args, "slow_ms", None),
     )
 
 
@@ -369,6 +371,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         chunk_size=args.chunk_size,
         model_dir=args.model_dir,
+        log_json=args.log_json,
+        slow_ms=args.slow_ms,
     )
     server = serve_spec.build(suite)
     entry = server.entry
@@ -629,10 +633,25 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             seed=args.seed,
             chaos=chaos,
         )
-        result = run_load(registry, load)
+        from .fleet.dispatch import FleetDispatcher
+        from .obs import MetricsRegistry
+
+        # Own the dispatcher so its bound metrics registry survives the
+        # run: the post-run snapshot is exactly the fleet-/metrics delta
+        # a scrape pair around the load window would show.
+        metrics = MetricsRegistry()
+        dispatcher = FleetDispatcher(registry, batch_window_ms=1.0)
+        dispatcher.bind_metrics(metrics)
+        try:
+            result = run_load(registry, load, dispatcher=dispatcher)
+            dispatcher.update_gauges()
+            fleet_metrics = metrics.snapshot().as_dict()
+        finally:
+            dispatcher.close()
         print()
         print(result.describe())
         report["load"] = result.to_dict()
+        report["load"]["fleet_metrics"] = fleet_metrics
 
     if args.json:
         with open(args.json, "w") as fh:
@@ -765,6 +784,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument("--seed", type=int, default=0)
     p_srv.add_argument("--fast", action="store_true", help="smoke-scale models")
+    p_srv.add_argument(
+        "--log-json",
+        action="store_true",
+        help=(
+            "emit one structured JSON log line per request to stderr "
+            "(component, request_id, endpoint, status, duration)"
+        ),
+    )
+    p_srv.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help=(
+            "with --log-json, only log successful requests slower than "
+            "this many milliseconds; errors always log (default: log all)"
+        ),
+    )
     _add_index_flags(p_srv)
     _add_backend_flag(p_srv)
     p_srv.set_defaults(fn=_cmd_serve)

@@ -25,10 +25,13 @@ not yet answered, whichever process computes them.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry, MetricsSnapshot
+from ..obs.trace import Trace
 from ..serve.dispatcher import BatchingDispatcher
 from ..serve.protocol import MAX_BATCH_ROWS
 from .registry import FleetRegistry
@@ -110,8 +113,14 @@ class LocalSlotExecutor:
                 chunk_size=chunk_size,
             )
 
-    async def submit(self, label: str, scans: np.ndarray) -> np.ndarray:
-        return await self._dispatchers[label].localize(scans)
+    async def submit(
+        self, label: str, scans: np.ndarray, *, trace: Trace | None = None
+    ) -> np.ndarray:
+        return await self._dispatchers[label].localize(scans, trace=trace)
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        for label, dispatcher in self._dispatchers.items():
+            dispatcher.bind_metrics(registry, label)
 
     def close(self) -> None:
         for dispatcher in self._dispatchers.values():
@@ -191,6 +200,90 @@ class FleetDispatcher:
             )
         self._pending_rows = 0
         self._closed = False
+        self._metrics: MetricsRegistry | None = None
+        self._m_requests = None
+        self._m_rows = None
+        self._m_rejected = None
+        self._m_errors = None
+        self._m_routing_seconds = None
+        self._m_pending = None
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Record admission/routing series into ``registry``.
+
+        Also binds the slot executor (per-slot dispatch series) so one
+        call from the server instruments the whole frontend.
+        """
+        self._metrics = registry
+        self._m_requests = registry.counter(
+            "repro_fleet_requests_total",
+            "Fleet requests answered successfully.",
+        )
+        self._m_rows = registry.counter(
+            "repro_fleet_rows_total",
+            "Scan rows answered across the fleet.",
+        )
+        self._m_rejected = registry.counter(
+            "repro_fleet_rejected_total",
+            "Requests refused at admission (HTTP 429).",
+        )
+        self._m_errors = registry.counter(
+            "repro_fleet_errors_total",
+            "Fleet requests failed after admission.",
+        )
+        self._m_routing_seconds = registry.histogram(
+            "repro_routing_seconds",
+            "Building/floor classification time per request.",
+        )
+        self._m_pending = registry.gauge(
+            "repro_fleet_pending_rows",
+            "Rows admitted and not yet answered (queue depth).",
+        )
+        self._executor.bind_metrics(registry)
+
+    def update_gauges(self) -> None:
+        """Refresh scrape-time gauges (queue depth, worker liveness)."""
+        if self._metrics is None:
+            return
+        self._m_pending.set(self._pending_rows)
+        if isinstance(self._executor, WorkerPool):
+            alive = self._metrics.gauge(
+                "repro_fleet_workers_alive",
+                "Worker processes currently alive.",
+            )
+            jobs = self._metrics.gauge(
+                "repro_worker_jobs",
+                "Predict ops answered by each worker (parent view).",
+                ("worker",),
+            )
+            restarts = self._metrics.gauge(
+                "repro_worker_restarts",
+                "Crash respawns of each worker slot.",
+                ("worker",),
+            )
+            stats = self._executor.worker_stats()
+            alive.set(sum(1 for w in stats if w["alive"]))
+            for w in stats:
+                jobs.labels(str(w["worker"])).set(w["jobs"])
+                restarts.labels(str(w["worker"])).set(w["restarts"])
+
+    async def collect_worker_metrics(self) -> list[MetricsSnapshot]:
+        """Worker-process metric snapshots (empty for in-process mode)."""
+        if isinstance(self._executor, WorkerPool):
+            return await self._executor.collect_metrics()
+        return []
+
+    def worker_liveness(self) -> dict:
+        """Compact worker summary for ``/healthz`` probes."""
+        if not isinstance(self._executor, WorkerPool):
+            return {"mode": "in-process"}
+        stats = self._executor.worker_stats()
+        return {
+            "mode": "multi-process",
+            "workers": len(stats),
+            "alive": sum(1 for w in stats if w["alive"]),
+            "restarts": sum(w["restarts"] for w in stats),
+        }
 
     @property
     def pending_rows(self) -> int:
@@ -211,6 +304,7 @@ class FleetDispatcher:
         decision: RoutingDecision | None = None,
         building: str | None = None,
         floor: int | None = None,
+        trace: Trace | None = None,
     ) -> tuple[np.ndarray, RoutingDecision]:
         """Admit, route and answer one request's fleet-wide scan rows.
 
@@ -229,6 +323,7 @@ class FleetDispatcher:
             raise ValueError("pass either decision= or building=, not both")
         if floor is not None and building is None:
             raise ValueError("floor= requires building=")
+        t_admit = time.perf_counter()
         scans = self.router.check_scans(scans)
         n = scans.shape[0]
         if n > self.max_pending_rows:
@@ -244,9 +339,14 @@ class FleetDispatcher:
         # jointly overshoot the bound.
         if self._pending_rows + n > self.max_pending_rows:
             self.stats.rejected_requests += 1
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
             raise FleetOverloadError(self._pending_rows, self.max_pending_rows, n)
         self._pending_rows += n
+        if trace is not None:
+            trace.add("admission", time.perf_counter() - t_admit)
         try:
+            t_route = time.perf_counter()
             if decision is not None:
                 if decision.n_rows != n:
                     raise ValueError(
@@ -268,16 +368,24 @@ class FleetDispatcher:
                     decision = await loop.run_in_executor(
                         None, self.router.route, scans
                     )
+            routing_elapsed = time.perf_counter() - t_route
+            if self._m_routing_seconds is not None:
+                self._m_routing_seconds.observe(routing_elapsed)
+            if trace is not None:
+                trace.add("routing", routing_elapsed)
             groups = self.router.group_rows(decision)
             self.router.check_groups_cover(groups, n)
             coords = np.empty((n, 2), dtype=np.float64)
             names = [b.name for b in self.registry.buildings]
+            t_execute = time.perf_counter()
 
             async def run_slot(slot_key: tuple[int, int], rows: np.ndarray) -> None:
                 deployment = self.registry.buildings[slot_key[0]]
                 block = deployment.block(scans[rows])
                 label = f"{names[slot_key[0]]}/f{slot_key[1]}"
-                coords[rows] = await self._executor.submit(label, block)
+                coords[rows] = await self._executor.submit(
+                    label, block, trace=trace
+                )
                 counters = self.stats.per_slot[label]
                 counters.requests += 1
                 counters.rows += rows.shape[0]
@@ -295,11 +403,24 @@ class FleetDispatcher:
             errors = [r for r in results if isinstance(r, BaseException)]
             if errors:
                 self.stats.errors += 1
+                if self._m_errors is not None:
+                    self._m_errors.inc()
                 raise errors[0]
+            if trace is not None:
+                # Scatter-back: slot answers landed in `coords` as each
+                # run_slot wrote its rows; this span is the full fan-out
+                # (submit through last slot's scatter).
+                trace.add(
+                    "scatter", time.perf_counter() - t_execute,
+                    slots=len(groups),
+                )
         finally:
             self._pending_rows -= n
         self.stats.requests += 1
         self.stats.rows += n
+        if self._m_requests is not None:
+            self._m_requests.inc()
+            self._m_rows.inc(n)
         if decision.forced:
             self.stats.forced_requests += 1
         return coords, decision

@@ -26,6 +26,7 @@ is **503** (retryable — the slot respawns warm from the shared store).
 
 from __future__ import annotations
 
+from ..obs import MetricsRegistry, MetricsSnapshot
 from ..serve.protocol import (
     API_VERSION,
     RequestContext,
@@ -37,8 +38,9 @@ from ..serve.protocol import (
     parse_localize_batch,
     parse_routing_fields,
     require_method,
+    wants_trace,
 )
-from ..serve.server import JsonHttpServer
+from ..serve.server import JsonHttpServer, _repro_version
 from .frontend import FleetDispatcher, FleetOverloadError
 from .registry import FleetRegistry
 from .router import RoutingDecision
@@ -54,7 +56,15 @@ class FleetServer(JsonHttpServer):
         The fitted fleet and its admission-bounded dispatcher.
     host / port:
         Bind address (see :class:`~repro.serve.server.JsonHttpServer`).
+    metrics / log_json / slow_ms:
+        Observability knobs (see
+        :class:`~repro.serve.server.JsonHttpServer`). ``/metrics``
+        scrapes merge every worker process's snapshot into the serving
+        process's registry, so per-slot in-worker latency is visible
+        from one endpoint.
     """
+
+    _component = "fleet"
 
     def __init__(
         self,
@@ -63,10 +73,29 @@ class FleetServer(JsonHttpServer):
         *,
         host: str = "127.0.0.1",
         port: int = 8000,
+        metrics: MetricsRegistry | None = None,
+        log_json: bool = False,
+        slow_ms: float | None = None,
     ) -> None:
-        super().__init__(host=host, port=port)
+        super().__init__(
+            host=host, port=port, metrics=metrics,
+            log_json=log_json, slow_ms=slow_ms,
+        )
         self.registry = registry
         self.dispatcher = dispatcher
+        dispatcher.bind_metrics(self.metrics)
+
+    async def _collect_metrics(self) -> MetricsSnapshot:
+        """Parent registry + every worker's snapshot, freshly merged.
+
+        Workers keep *cumulative* registries and the merge starts from
+        a fresh parent snapshot each scrape, so nothing double-counts.
+        """
+        self.dispatcher.update_gauges()
+        snapshot = self.metrics.snapshot()
+        for worker_snapshot in await self.dispatcher.collect_worker_metrics():
+            snapshot.merge(worker_snapshot)
+        return snapshot
 
     # -- routing helpers ---------------------------------------------------
 
@@ -84,12 +113,15 @@ class FleetServer(JsonHttpServer):
         self, request: RequestContext, batch: bool
     ) -> tuple[int, dict]:
         payload = request.json()
+        if wants_trace(payload):
+            request.begin_trace()
         parse = parse_localize_batch if batch else parse_localize
         queries = parse(payload, self.registry.n_aps)
         building, floor = parse_routing_fields(payload)
         try:
             coords, decision = await self.dispatcher.localize(
-                queries, building=building, floor=floor
+                queries, building=building, floor=floor,
+                trace=request.trace,
             )
         except FleetOverloadError as exc:
             body = error_payload(str(exc), status=429, retryable=True)
@@ -142,6 +174,7 @@ class FleetServer(JsonHttpServer):
         return {
             "status": "ok",
             "api_version": API_VERSION,
+            "version": _repro_version(),
             "mode": "fleet",
             "n_buildings": len(self.registry.buildings),
             "n_slots": self.registry.n_slots,
@@ -150,6 +183,7 @@ class FleetServer(JsonHttpServer):
             "requests_served": self.requests_served,
             "admission": stats["admission"],
             "fleet": stats["fleet"],
+            "workers": self.dispatcher.worker_liveness(),
         }
 
     def _models(self) -> dict:

@@ -59,6 +59,8 @@ from ..kernels import (
     publish_packed,
 )
 from ..mp import mp_context
+from ..obs.metrics import MetricsRegistry, MetricsSnapshot
+from ..obs.trace import Trace
 from .placement import SlotPlacement, VNODES
 from .registry import FleetRegistry, FleetSlot
 
@@ -246,7 +248,7 @@ def worker_main(
       ``("fatal", repr)``.
     * parent → worker: ``("req", req_id, op, args)`` where op is
       ``predict`` (label, scans), ``adopt`` ([payloads]), ``drop``
-      ([labels]) or ``stop`` (None).
+      ([labels]), ``metrics`` (None) or ``stop`` (None).
     * worker → parent: ``("res", req_id, ok, value)`` — ``value`` is
       the result when ok, an error string when not.
 
@@ -254,9 +256,35 @@ def worker_main(
     arrival order, which is what makes rebalance drains race-free (a
     ``drop`` sent after the last ``predict`` for a slot is necessarily
     processed after it — FIFO pipes, zero dropped requests).
+
+    Each worker keeps its own cumulative
+    :class:`~repro.obs.MetricsRegistry` (per-slot predict latency,
+    rows, errors, labeled with this worker's id); the ``metrics`` op
+    ships a picklable snapshot back, and the parent merges every
+    worker's snapshot into the fleet ``/metrics`` scrape. Metrics die
+    with the worker — a respawned worker starts from zero, which a
+    merged-counter consumer reads as a reset (standard Prometheus
+    counter semantics).
     """
     slots: dict[str, tuple[Localizer, SlotPayload]] = {}
     regions: list[AttachedRegion] = []
+    metrics = MetricsRegistry()
+    wid = str(worker_id)
+    m_predict_seconds = metrics.histogram(
+        "repro_worker_predict_seconds",
+        "In-worker inference time per predict op, by slot/worker.",
+        ("slot", "worker"),
+    )
+    m_rows = metrics.counter(
+        "repro_worker_rows_total",
+        "Scan rows answered in-worker, by slot/worker.",
+        ("slot", "worker"),
+    )
+    m_errors = metrics.counter(
+        "repro_worker_errors_total",
+        "Predict ops failed in-worker, by slot/worker.",
+        ("slot", "worker"),
+    )
 
     def adopt(new_payloads: list[SlotPayload]) -> list[str]:
         for payload in new_payloads:
@@ -284,13 +312,22 @@ def worker_main(
         try:
             if op == "predict":
                 label, scans = args
-                localizer, payload = slots[label]
-                if payload.batched:
-                    value = localizer.predict_batched(
-                        scans, chunk_size=chunk_size
-                    )
-                else:
-                    value = localizer.predict(scans)
+                t_start = time.perf_counter()
+                try:
+                    localizer, payload = slots[label]
+                    if payload.batched:
+                        value = localizer.predict_batched(
+                            scans, chunk_size=chunk_size
+                        )
+                    else:
+                        value = localizer.predict(scans)
+                except Exception:
+                    m_errors.labels(label, wid).inc()
+                    raise
+                m_predict_seconds.labels(label, wid).observe(
+                    time.perf_counter() - t_start
+                )
+                m_rows.labels(label, wid).inc(scans.shape[0])
                 value = np.ascontiguousarray(value)
             elif op == "adopt":
                 value = adopt(args)
@@ -298,6 +335,8 @@ def worker_main(
                 for label in args:
                     slots.pop(label, None)
                 value = sorted(slots)
+            elif op == "metrics":
+                value = metrics.snapshot()
             elif op == "stop":
                 value = None
             else:
@@ -443,6 +482,11 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._closed = False
+        # Parent-side bound metric children (bind_metrics).
+        self._m_batch_seconds_family = None
+        self._m_rows_family = None
+        self._m_batches_family = None
+        self._m_errors_family = None
         self._workers: dict[int, _Worker] = {}
         try:
             for worker_id, labels in self._placement.assign(
@@ -681,7 +725,68 @@ class WorkerPool:
 
     # -- public surface (the slot-executor seam) ---------------------------
 
-    async def submit(self, label: str, scans: np.ndarray) -> np.ndarray:
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Record parent-side per-slot dispatch series into ``registry``.
+
+        Uses the same family names as
+        :meth:`~repro.serve.dispatcher.BatchingDispatcher.bind_metrics`
+        so ``/metrics`` reads identically whichever executor serves —
+        here ``repro_batch_compute_seconds`` includes the pipe round
+        trip (the in-worker share is the separate
+        ``repro_worker_predict_seconds`` family shipped by snapshot).
+        """
+        self._m_batch_seconds_family = registry.histogram(
+            "repro_batch_compute_seconds",
+            "Coalesced-batch inference time, by slot.",
+            ("slot",),
+        )
+        self._m_rows_family = registry.counter(
+            "repro_dispatch_rows_total",
+            "Scan rows resolved through the dispatcher, by slot.",
+            ("slot",),
+        )
+        self._m_batches_family = registry.counter(
+            "repro_dispatch_batches_total",
+            "Coalesced flushes dispatched, by slot.",
+            ("slot",),
+        )
+        self._m_errors_family = registry.counter(
+            "repro_dispatch_errors_total",
+            "Requests failed inside dispatch, by slot.",
+            ("slot",),
+        )
+
+    def _record_batch_metrics(
+        self, label: str, elapsed: float, n_rows: int
+    ) -> None:
+        if self._m_batch_seconds_family is not None:
+            self._m_batch_seconds_family.labels(label).observe(elapsed)
+            self._m_rows_family.labels(label).inc(n_rows)
+            self._m_batches_family.labels(label).inc()
+
+    async def collect_metrics(self) -> list[MetricsSnapshot]:
+        """Every live worker's metrics snapshot (crashed workers skipped).
+
+        Scrape-time pull over the normal pipe protocol: a ``metrics``
+        op FIFOs behind in-flight predicts, so a snapshot is a
+        consistent point-in-time view of that worker's counters.
+        """
+        workers = [
+            worker
+            for worker in self._workers.values()
+            if worker.process.is_alive() and not worker.retired
+        ]
+        results = await asyncio.gather(
+            *(self._request(worker, "metrics", None) for worker in workers),
+            return_exceptions=True,
+        )
+        return [
+            snap for snap in results if isinstance(snap, MetricsSnapshot)
+        ]
+
+    async def submit(
+        self, label: str, scans: np.ndarray, *, trace: Trace | None = None
+    ) -> np.ndarray:
         """Resolve one slot batch; coalesces with concurrent arrivals."""
         if self._closed:
             raise RuntimeError("worker pool is closed")
@@ -694,10 +799,10 @@ class WorkerPool:
             # (same rule as BatchingDispatcher); FIFO pipe + the
             # worker's single thread keep request order.
             queue.sequential_requests += 1
-            return await self._predict_once(label, scans, queue)
+            return await self._predict_once(label, scans, queue, trace)
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
-        queue.pending.append((scans, fut))
+        queue.pending.append((scans, fut, trace, time.perf_counter()))
         queue.rows += int(scans.shape[0])
         if queue.rows >= self.max_batch:
             self._flush(label)
@@ -708,21 +813,32 @@ class WorkerPool:
         return await fut
 
     async def _predict_once(
-        self, label: str, scans: np.ndarray, queue: _SlotQueue
+        self,
+        label: str,
+        scans: np.ndarray,
+        queue: _SlotQueue,
+        trace: Trace | None,
     ) -> np.ndarray:
         worker = self._workers[self._owner[label]]
+        t_submit = time.perf_counter()
         try:
             coords = await self._request(
                 worker, "predict", (label, scans), label=label, scans=scans
             )
         except Exception:
             queue.errors += 1
+            if self._m_errors_family is not None:
+                self._m_errors_family.labels(label).inc()
             raise
+        elapsed = time.perf_counter() - t_submit
         queue.batches += 1
         queue.total_rows += int(scans.shape[0])
         queue.max_batch_rows = max(
             queue.max_batch_rows, int(scans.shape[0])
         )
+        self._record_batch_metrics(label, elapsed, int(scans.shape[0]))
+        if trace is not None:
+            trace.add("compute", elapsed, slot=label)
         return coords
 
     def _flush(self, label: str) -> None:
@@ -738,14 +854,21 @@ class WorkerPool:
         loop.create_task(self._run_batch(label, batch))
 
     async def _run_batch(
-        self, label: str, batch: list[tuple[np.ndarray, asyncio.Future]]
+        self,
+        label: str,
+        batch: list[tuple[np.ndarray, asyncio.Future, Trace | None, float]],
     ) -> None:
         queue = self._queues[label]
+        t_flush = time.perf_counter()
+        for _, _, trace, t_enqueue in batch:
+            if trace is not None:
+                # Coalescing wait: enqueue until this flush fired.
+                trace.add("queue", t_flush - t_enqueue, slot=label)
         try:
             matrix = (
                 batch[0][0]
                 if len(batch) == 1
-                else np.concatenate([rows for rows, _ in batch], axis=0)
+                else np.concatenate([rows for rows, _, _, _ in batch], axis=0)
             )
             worker = self._workers[self._owner[label]]
             coords = await self._request(
@@ -753,16 +876,23 @@ class WorkerPool:
             )
         except Exception as exc:  # noqa: BLE001 - fan the failure out
             queue.errors += len(batch)
-            for _, fut in batch:
+            if self._m_errors_family is not None:
+                self._m_errors_family.labels(label).inc(len(batch))
+            for _, fut, _, _ in batch:
                 if not fut.done():
                     fut.set_exception(exc)
             return
+        elapsed = time.perf_counter() - t_flush
+        n_rows = int(matrix.shape[0])
         queue.batches += 1
-        queue.total_rows += int(matrix.shape[0])
-        queue.max_batch_rows = max(queue.max_batch_rows, int(matrix.shape[0]))
+        queue.total_rows += n_rows
+        queue.max_batch_rows = max(queue.max_batch_rows, n_rows)
+        self._record_batch_metrics(label, elapsed, n_rows)
         offset = 0
-        for rows, fut in batch:
+        for rows, fut, trace, _ in batch:
             n = int(rows.shape[0])
+            if trace is not None:
+                trace.add("compute", elapsed, slot=label, batch_rows=n_rows)
             if not fut.done():
                 fut.set_result(np.array(coords[offset : offset + n]))
             offset += n
@@ -870,7 +1000,7 @@ class WorkerPool:
                 queue.handle = None
             pending, queue.pending = queue.pending, []
             queue.rows = 0
-            for _, fut in pending:
+            for _, fut, _, _ in pending:
                 if not fut.done():
                     fut.set_exception(RuntimeError("worker pool is closed"))
         for worker in self._workers.values():

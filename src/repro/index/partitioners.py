@@ -84,10 +84,8 @@ def region_partition(
         ((locations[:, 1] - y0) / span_y * ny).astype(np.int64), 0, ny - 1
     )
     cell = cy * nx + cx
-    shards = [
-        np.flatnonzero(cell == c) for c in np.unique(cell)
-    ]  # unique() sorts, so shard order is deterministic; rows ascend.
-    return shards
+    # unique() sorts, so shard order is deterministic; rows ascend.
+    return [np.flatnonzero(cell == c) for c in np.unique(cell)]
 
 
 def kmeans_partition(
@@ -138,9 +136,8 @@ def kmeans_partition(
             members = vectors[assign == j]
             if members.shape[0]:
                 centers[j] = members.mean(axis=0)
-    shards = [
+    return [
         np.flatnonzero(assign == j)
         for j in range(k)
         if (assign == j).any()
     ]
-    return shards

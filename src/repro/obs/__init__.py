@@ -1,0 +1,45 @@
+"""`repro.obs` — dependency-free observability for the serving stack.
+
+Three small pieces, threaded through every serving layer:
+
+* :mod:`repro.obs.metrics` — labeled counters/gauges/histograms in a
+  process-local :class:`MetricsRegistry`; picklable, mergeable
+  :class:`MetricsSnapshot` (worker processes ship theirs back over the
+  fleet pipe protocol) with Prometheus text exposition for the
+  ``/metrics`` endpoint.
+* :mod:`repro.obs.trace` — request ids and per-stage span timings,
+  attached to responses under ``"trace"`` when the request opts in.
+* :mod:`repro.obs.logging` — structured JSON log lines with a
+  slow-request sampler (``--log-json`` / ``--slow-ms``).
+
+House rule: nothing here ever enters a fingerprint, cache key or model
+artifact — observability is strictly off the bit-identity invariant.
+"""
+
+from .logging import JsonLogger
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    histogram_percentile,
+    parse_prometheus_text,
+)
+from .trace import Trace, new_request_id, valid_request_id
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLogger",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Trace",
+    "histogram_percentile",
+    "new_request_id",
+    "parse_prometheus_text",
+    "valid_request_id",
+]

@@ -33,12 +33,15 @@ extra locking.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..baselines.base import BatchedLocalizer, Localizer
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Trace
 
 
 @dataclass
@@ -126,17 +129,57 @@ class BatchingDispatcher:
         self.max_batch = int(max_batch)
         self.chunk_size = chunk_size
         self.stats = DispatchStats()
-        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self._pending: list[tuple[np.ndarray, asyncio.Future, Trace | None, float]] = []
         self._pending_rows = 0
         self._flush_handle: asyncio.TimerHandle | None = None
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-predict"
         )
         self._closed = False
+        # Bound metric children (bind_metrics); None = not recording.
+        self._m_batch_seconds = None
+        self._m_rows = None
+        self._m_batches = None
+        self._m_errors = None
+
+    def bind_metrics(self, registry: MetricsRegistry, slot: str = "_") -> None:
+        """Record per-flush counters/latency into ``registry``.
+
+        ``slot`` labels the series (fleet servers run one dispatcher
+        per deployment slot; the single-model server uses ``"_"``).
+        Families are get-or-created, so any number of dispatchers can
+        bind the same registry.
+        """
+        batch_seconds = registry.histogram(
+            "repro_batch_compute_seconds",
+            "Coalesced-batch inference time, by slot.",
+            ("slot",),
+        )
+        rows = registry.counter(
+            "repro_dispatch_rows_total",
+            "Scan rows resolved through the dispatcher, by slot.",
+            ("slot",),
+        )
+        batches = registry.counter(
+            "repro_dispatch_batches_total",
+            "Coalesced flushes dispatched, by slot.",
+            ("slot",),
+        )
+        errors = registry.counter(
+            "repro_dispatch_errors_total",
+            "Requests failed inside dispatch, by slot.",
+            ("slot",),
+        )
+        self._m_batch_seconds = batch_seconds.labels(slot)
+        self._m_rows = rows.labels(slot)
+        self._m_batches = batches.labels(slot)
+        self._m_errors = errors.labels(slot)
 
     # -- public API --------------------------------------------------------
 
-    async def localize(self, rssi: np.ndarray) -> np.ndarray:
+    async def localize(
+        self, rssi: np.ndarray, *, trace: Trace | None = None
+    ) -> np.ndarray:
         """Resolve ``(n, n_aps)`` (or a single ``(n_aps,)``) scan rows.
 
         Awaits until the request's batch is dispatched and returns the
@@ -156,8 +199,8 @@ class BatchingDispatcher:
             raise ValueError(f"expected (n>=1, n_aps) scans, got {rssi.shape}")
         self.stats.requests += 1
         if not self.batched:
-            return await self._dispatch_sequential(rssi)
-        return await self._enqueue(rssi)
+            return await self._dispatch_sequential(rssi, trace)
+        return await self._enqueue(rssi, trace)
 
     def close(self) -> None:
         """Fail pending requests and release the inference thread."""
@@ -169,34 +212,48 @@ class BatchingDispatcher:
             self._flush_handle = None
         pending, self._pending = self._pending, []
         self._pending_rows = 0
-        for _, fut in pending:
+        for _, fut, _, _ in pending:
             if not fut.done():
                 fut.set_exception(RuntimeError("dispatcher closed"))
         self._executor.shutdown(wait=False)
 
     # -- sequential fallback -----------------------------------------------
 
-    async def _dispatch_sequential(self, rssi: np.ndarray) -> np.ndarray:
+    async def _dispatch_sequential(
+        self, rssi: np.ndarray, trace: Trace | None
+    ) -> np.ndarray:
         # The single-worker executor serializes requests in submission
         # order; each request's rows stay one ordered walk.
         self.stats.sequential_requests += 1
         loop = asyncio.get_running_loop()
+        t_submit = time.perf_counter()
         try:
             result = await loop.run_in_executor(
                 self._executor, self.localizer.predict, rssi
             )
         except Exception:
             self.stats.errors += 1
+            if self._m_errors is not None:
+                self._m_errors.inc()
             raise
+        elapsed = time.perf_counter() - t_submit
         self.stats.record_batch(1, rssi.shape[0])
+        if self._m_batch_seconds is not None:
+            self._m_batch_seconds.observe(elapsed)
+            self._m_rows.inc(rssi.shape[0])
+            self._m_batches.inc()
+        if trace is not None:
+            trace.add("compute", elapsed)
         return result
 
     # -- micro-batching core -----------------------------------------------
 
-    async def _enqueue(self, rssi: np.ndarray) -> np.ndarray:
+    async def _enqueue(
+        self, rssi: np.ndarray, trace: Trace | None
+    ) -> np.ndarray:
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
-        self._pending.append((rssi, fut))
+        self._pending.append((rssi, fut, trace, time.perf_counter()))
         self._pending_rows += rssi.shape[0]
         if self._pending_rows >= self.max_batch:
             self._flush()
@@ -215,22 +272,31 @@ class BatchingDispatcher:
         if not batch:
             return
         loop = asyncio.get_running_loop()
+        t_flush = time.perf_counter()
+        for _, _, trace, t_enqueue in batch:
+            if trace is not None:
+                # Coalescing wait: enqueue until this flush fired.
+                trace.add("queue", t_flush - t_enqueue)
         try:
             # Raises when direct API callers coalesce inconsistent row
             # widths; fail this batch rather than hang its futures.
             matrix = (
                 batch[0][0]
                 if len(batch) == 1
-                else np.concatenate([rows for rows, _ in batch], axis=0)
+                else np.concatenate([rows for rows, _, _, _ in batch], axis=0)
             )
             job = loop.run_in_executor(self._executor, self._predict, matrix)
         except Exception as exc:
             self.stats.errors += len(batch)
-            for _, fut in batch:
+            if self._m_errors is not None:
+                self._m_errors.inc(len(batch))
+            for _, fut, _, _ in batch:
                 if not fut.done():
                     fut.set_exception(exc)
             return
-        job.add_done_callback(lambda done: self._deliver(batch, done))
+        job.add_done_callback(
+            lambda done: self._deliver(batch, done, t_flush)
+        )
 
     def _predict(self, matrix: np.ndarray) -> np.ndarray:
         """Run one coalesced batch, regrouped by probed shard when possible.
@@ -272,25 +338,34 @@ class BatchingDispatcher:
 
     def _deliver(
         self,
-        batch: list[tuple[np.ndarray, asyncio.Future]],
+        batch: list[tuple[np.ndarray, asyncio.Future, Trace | None, float]],
         done: asyncio.Future,
+        t_flush: float,
     ) -> None:
         exc = done.exception()
         if exc is not None:
             self.stats.errors += len(batch)
-            for _, fut in batch:
+            if self._m_errors is not None:
+                self._m_errors.inc(len(batch))
+            for _, fut, _, _ in batch:
                 if not fut.done():
                     fut.set_exception(exc)
             return
         coords = done.result()
+        elapsed = time.perf_counter() - t_flush
+        n_rows = sum(rows.shape[0] for rows, _, _, _ in batch)
         # Counted only on success (like the sequential path), so the
         # /healthz batch counters reflect completed work.
-        self.stats.record_batch(
-            len(batch), sum(rows.shape[0] for rows, _ in batch)
-        )
+        self.stats.record_batch(len(batch), n_rows)
+        if self._m_batch_seconds is not None:
+            self._m_batch_seconds.observe(elapsed)
+            self._m_rows.inc(n_rows)
+            self._m_batches.inc()
         offset = 0
-        for rows, fut in batch:
+        for rows, fut, trace, _ in batch:
             n = rows.shape[0]
+            if trace is not None:
+                trace.add("compute", elapsed, batch_rows=n_rows)
             if not fut.done():
                 fut.set_result(np.array(coords[offset : offset + n]))
             offset += n

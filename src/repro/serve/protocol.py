@@ -38,6 +38,7 @@ from typing import Any
 
 import numpy as np
 
+from ..obs.trace import Trace, new_request_id, valid_request_id
 from ..radio.access_point import NO_SIGNAL_DBM
 
 #: The wire-protocol version this server speaks. Clients negotiate by
@@ -155,6 +156,15 @@ class RequestContext:
     until a body successfully declares one (bodyless GET endpoints
     never do; their responses carry ``api_version`` explicitly where
     it matters, e.g. ``/healthz``).
+
+    Every request also carries a :attr:`request_id` for log/trace
+    correlation: minted at admission, replaced by a well-formed
+    client-supplied ``"request_id"`` once the body is decoded (a
+    malformed one is rejected — ids are echoed into logs and labels,
+    so their alphabet is bounded). Handlers that honor the ``"trace":
+    true`` opt-in install a :class:`~repro.obs.trace.Trace` on
+    :attr:`trace`; the connection loop attaches its spans to the
+    response.
     """
 
     def __init__(self, method: str, path: str, body: bytes) -> None:
@@ -162,6 +172,8 @@ class RequestContext:
         self.path = path
         self.body = body
         self.api_version: int | None = None
+        self.request_id = new_request_id()
+        self.trace: Trace | None = None
         self._payload: dict | None = None
 
     def json(self) -> dict:
@@ -169,13 +181,39 @@ class RequestContext:
         if self._payload is None:
             payload = parse_json_body(self.body)
             self.api_version = parse_api_version(payload)
+            supplied = payload.get("request_id")
+            if supplied is not None:
+                if not valid_request_id(supplied):
+                    raise RequestError(
+                        '"request_id" must be 1-64 characters of '
+                        "[A-Za-z0-9_.:-]"
+                    )
+                self.request_id = supplied
             self._payload = payload
         return self._payload
+
+    def begin_trace(self) -> Trace:
+        """Install (and return) the per-stage trace for this request."""
+        if self.trace is None:
+            self.trace = Trace(self.request_id)
+        return self.trace
 
     @property
     def versioned(self) -> bool:
         """True when the request declared a (supported) api_version."""
         return self.api_version is not None
+
+
+def wants_trace(payload: dict) -> bool:
+    """True when a request body opts into span timings (``"trace": true``).
+
+    Anything other than a boolean is rejected — a typo'd ``"trace":
+    "yes"`` silently returning no spans would be a debugging trap.
+    """
+    value = payload.get("trace", False)
+    if not isinstance(value, bool):
+        raise RequestError('"trace" must be a JSON boolean')
+    return value
 
 
 def _as_rssi_matrix(rows: Any, n_aps: int) -> np.ndarray:

@@ -36,6 +36,7 @@ import threading
 import time
 from collections.abc import Callable
 
+from ..obs import JsonLogger, MetricsRegistry, MetricsSnapshot
 from .dispatcher import BatchingDispatcher
 from .protocol import (
     API_VERSION,
@@ -50,6 +51,7 @@ from .protocol import (
     parse_localize_batch,
     require_method,
     versioned_payload,
+    wants_trace,
 )
 from .store import ModelStore, StoreEntry
 
@@ -68,6 +70,13 @@ _STATUS_TEXT = {
 #: connection is dropped. On a kept-alive connection this doubles as
 #: the idle timeout between requests.
 _READ_TIMEOUT_S = 30.0
+
+
+def _repro_version() -> str:
+    """The package version (lazy: ``repro`` imports this module)."""
+    import repro
+
+    return getattr(repro, "__version__", "unknown")
 
 
 class BackgroundServer:
@@ -99,13 +108,53 @@ class JsonHttpServer:
     host / port:
         Bind address. ``port=0`` picks an ephemeral port; the bound
         port is written back to ``self.port`` once listening.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` every layer behind this
+        server records into (``/metrics`` scrapes it). One is created
+        when not supplied; pass ``MetricsRegistry(enabled=False)`` to
+        run with no-op instrumentation.
+    log_json / slow_ms:
+        Structured JSON request logging to stderr (``repro serve
+        --log-json``); ``slow_ms`` drops successful requests faster
+        than the threshold (errors always log).
     """
 
-    def __init__(self, *, host: str = "127.0.0.1", port: int = 8000) -> None:
+    #: Stamped on every structured log line; subclasses override.
+    _component = "serve"
+
+    #: Endpoint label whitelist for ``/metrics`` — anything else is
+    #: folded into ``"other"`` so probing random paths cannot grow the
+    #: label space without bound.
+    _endpoints = ("/healthz", "/models", "/localize", "/localize_batch",
+                  "/fleet", "/metrics")
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        metrics: MetricsRegistry | None = None,
+        log_json: bool = False,
+        slow_ms: float | None = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.requests_served = 0
         self._started_at = time.monotonic()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.log = JsonLogger(
+            self._component, enabled=log_json, slow_ms=slow_ms
+        )
+        self._m_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by endpoint/method/status.",
+            ("endpoint", "method", "status"),
+        )
+        self._m_latency = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock request handling time, by endpoint.",
+            ("endpoint",),
+        )
 
     # -- endpoint hooks (subclass API) -------------------------------------
 
@@ -196,14 +245,15 @@ class JsonHttpServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | bytes,
         *,
         keep_alive: bool,
+        content_type: str = "application/json",
     ) -> bool:
-        data = encode_json(payload)
+        data = payload if isinstance(payload, bytes) else encode_json(payload)
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
         ).encode("latin-1")
@@ -213,6 +263,30 @@ class JsonHttpServer:
             return True
         except ConnectionError:  # pragma: no cover - client went away
             return False
+
+    def _observe(
+        self,
+        *,
+        endpoint: str,
+        method: str,
+        status: int,
+        duration_s: float,
+        request_id: str,
+    ) -> None:
+        """Account one served request into metrics + the structured log."""
+        label = endpoint if endpoint in self._endpoints else "other"
+        self._m_requests.labels(label, method, str(status)).inc()
+        self._m_latency.labels(label).observe(duration_s)
+        self.log.request(
+            request_id=request_id,
+            endpoint=label,
+            status=status,
+            duration_ms=duration_s * 1e3,
+        )
+
+    async def _collect_metrics(self) -> MetricsSnapshot:
+        """The snapshot ``/metrics`` renders; fleet merges workers in."""
+        return self.metrics.snapshot()
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -248,12 +322,35 @@ class JsonHttpServer:
                     return  # client closed between requests
                 method, path, body, keep_alive = request
                 ctx = RequestContext(method, path, body)
+                t_start = time.perf_counter()
+                if path == "/metrics":
+                    status, payload = await self._metrics_response(ctx)
+                    self.requests_served += 1
+                    self._observe(
+                        endpoint=path, method=method, status=status,
+                        duration_s=time.perf_counter() - t_start,
+                        request_id=ctx.request_id,
+                    )
+                    sent = await self._respond(
+                        writer, status, payload, keep_alive=keep_alive,
+                        content_type=(
+                            "text/plain; version=0.0.4; charset=utf-8"
+                            if status == 200 else "application/json"
+                        ),
+                    )
+                    if not sent or not keep_alive:
+                        return
+                    continue
                 try:
                     status, payload = await self._route(ctx)
                     if status == 200:
                         payload = versioned_payload(
                             payload, versioned=ctx.versioned
                         )
+                        if ctx.trace is not None:
+                            payload["trace"] = ctx.trace.to_dict(
+                                total_s=time.perf_counter() - t_start
+                            )
                 except RequestError as exc:
                     status, payload = exc.status, error_payload(
                         exc.message, status=exc.status, code=exc.code,
@@ -267,7 +364,16 @@ class JsonHttpServer:
                     status, payload = 500, error_payload(
                         f"{type(exc).__name__}: {exc}", status=500
                     )
+                if status >= 400:
+                    # Echo the id into the error envelope so a client
+                    # log line can be joined to the server's.
+                    payload["request_id"] = ctx.request_id
                 self.requests_served += 1
+                self._observe(
+                    endpoint=path, method=method, status=status,
+                    duration_s=time.perf_counter() - t_start,
+                    request_id=ctx.request_id,
+                )
                 sent = await self._respond(
                     writer, status, payload, keep_alive=keep_alive
                 )
@@ -276,6 +382,15 @@ class JsonHttpServer:
         finally:
             with contextlib.suppress(Exception):  # pragma: no cover - teardown race
                 writer.close()
+
+    async def _metrics_response(
+        self, ctx: RequestContext
+    ) -> tuple[int, bytes | dict]:
+        """``GET /metrics`` → Prometheus text exposition (no JSON body)."""
+        if ctx.method != "GET":
+            return 405, error_payload("use GET /metrics", status=405)
+        snapshot = await self._collect_metrics()
+        return 200, snapshot.to_text().encode("utf-8")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -397,11 +512,18 @@ class LocalizationServer(JsonHttpServer):
         store: ModelStore | None = None,
         host: str = "127.0.0.1",
         port: int = 8000,
+        metrics: MetricsRegistry | None = None,
+        log_json: bool = False,
+        slow_ms: float | None = None,
     ) -> None:
-        super().__init__(host=host, port=port)
+        super().__init__(
+            host=host, port=port, metrics=metrics,
+            log_json=log_json, slow_ms=slow_ms,
+        )
         self.entry = entry
         self.dispatcher = dispatcher
         self.store = store
+        dispatcher.bind_metrics(self.metrics)
 
     async def _route(self, request: RequestContext) -> tuple[int, dict]:
         method, path = request.method, request.path
@@ -413,13 +535,23 @@ class LocalizationServer(JsonHttpServer):
             return 200, self._models()
         if path == "/localize":
             require_method(method, "POST", path)
-            queries = parse_localize(request.json(), self.entry.n_aps)
-            coords = await self.dispatcher.localize(queries)
+            payload = request.json()
+            if wants_trace(payload):
+                request.begin_trace()
+            queries = parse_localize(payload, self.entry.n_aps)
+            coords = await self.dispatcher.localize(
+                queries, trace=request.trace
+            )
             return 200, location_response(coords)
         if path == "/localize_batch":
             require_method(method, "POST", path)
-            queries = parse_localize_batch(request.json(), self.entry.n_aps)
-            coords = await self.dispatcher.localize(queries)
+            payload = request.json()
+            if wants_trace(payload):
+                request.begin_trace()
+            queries = parse_localize_batch(payload, self.entry.n_aps)
+            coords = await self.dispatcher.localize(
+                queries, trace=request.trace
+            )
             return 200, locations_response(coords)
         raise RequestError(
             f"unknown endpoint {path!r}", status=404
@@ -429,6 +561,7 @@ class LocalizationServer(JsonHttpServer):
         return {
             "status": "ok",
             "api_version": API_VERSION,
+            "version": _repro_version(),
             "framework": self.entry.key.framework,
             "suite": self.entry.suite_name,
             "n_aps": self.entry.n_aps,

@@ -38,6 +38,7 @@ import numpy as np
 from ..fleet.dispatch import FleetDispatcher, FleetOverloadError
 from ..fleet.experiment import fleet_epoch_traffic
 from ..fleet.registry import FleetRegistry
+from ..obs import DEFAULT_LATENCY_BUCKETS, MetricsRegistry, histogram_percentile
 
 #: Outcome taxonomy keys (fixed so reports are always comparable).
 OUTCOMES = ("ok", "overload", "rejected", "unknown_slot")
@@ -177,6 +178,15 @@ class LoadReport:
     #: Achieved / offered request rate — 1.0 until the fleet saturates.
     saturation: float
     latency_ms: dict
+    #: Fixed-bucket latency histogram on the *same* bucket schema as the
+    #: servers' ``/metrics`` (``repro.obs.DEFAULT_LATENCY_BUCKETS``), so
+    #: stress-lab numbers line up with live scrapes; carries the raw
+    #: ``buckets``/``counts``/``sum``/``count`` plus bucket-derived
+    #: ``p50_ms``/``p99_ms``/``p999_ms``.
+    latency_hist: dict = field(default_factory=dict)
+    #: The run's own metrics registry, snapshot as a JSON-ready dict
+    #: (``repro_load_request_seconds``, ``repro_load_outcomes_total``).
+    metrics: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -190,6 +200,8 @@ class LoadReport:
             "rows_per_s": round(self.rows_per_s, 2),
             "saturation": round(self.saturation, 4),
             "latency_ms": {k: round(v, 3) for k, v in self.latency_ms.items()},
+            "latency_hist": dict(self.latency_hist),
+            "metrics": dict(self.metrics),
         }
 
     def describe(self) -> str:
@@ -236,6 +248,25 @@ class _Driver:
         self.latencies_s: list[float] = []
         self.outcomes: dict[str, int] = dict.fromkeys(OUTCOMES, 0)
         self.ok_rows = 0
+        # Record into the same bucket schema the servers expose on
+        # /metrics so stress-lab histograms and live scrapes compare
+        # bucket-for-bucket.
+        self.metrics = MetricsRegistry()
+        self._hist = self.metrics.histogram(
+            "repro_load_request_seconds",
+            "End-to-end load-generator latency of successful requests.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._outcome_counter = self.metrics.counter(
+            "repro_load_outcomes_total",
+            "Load-generator request outcomes by taxonomy key.",
+            ("outcome",),
+        )
+        # Materialize every cell up front so even an all-chaos (or
+        # zero-request) run reports the full schema.
+        self._hist.labels()
+        for outcome in OUTCOMES:
+            self._outcome_counter.labels(outcome)
         n_aps = pool.scans.shape[1]
         # Chaos payloads are constant; build each shape once.
         self._malformed = np.full((load.batch_rows, n_aps + 1), -70.0)
@@ -268,14 +299,20 @@ class _Driver:
             await self.dispatcher.localize(scans, building=building, floor=floor)
         except FleetOverloadError:
             self.outcomes["overload"] += 1
+            self._outcome_counter.labels("overload").inc()
         except KeyError:
             self.outcomes["unknown_slot"] += 1
+            self._outcome_counter.labels("unknown_slot").inc()
         except ValueError:
             self.outcomes["rejected"] += 1
+            self._outcome_counter.labels("rejected").inc()
         else:
+            elapsed = time.perf_counter() - start
             self.outcomes["ok"] += 1
+            self._outcome_counter.labels("ok").inc()
             self.ok_rows += scans.shape[0]
-            self.latencies_s.append(time.perf_counter() - start)
+            self.latencies_s.append(elapsed)
+            self._hist.observe(elapsed)
 
     async def run_closed(self) -> int:
         deadline = time.perf_counter() + self.load.duration_s
@@ -322,6 +359,19 @@ async def run_load_async(
         offered = await driver.run_open()
     elapsed = max(time.perf_counter() - start, 1e-9)
     ok = driver.outcomes["ok"]
+    snapshot = driver.metrics.snapshot()
+    hist_data = snapshot.metrics["repro_load_request_seconds"]["children"][()]
+    latency_hist = {
+        "buckets": list(hist_data["buckets"]),
+        "counts": list(hist_data["counts"]),
+        "sum": hist_data["sum"],
+        "count": hist_data["count"],
+        # Bucket-derived estimates (what a Prometheus query would see),
+        # deliberately alongside the exact percentiles in latency_ms.
+        "p50_ms": round(histogram_percentile(hist_data, 0.5) * 1e3, 3),
+        "p99_ms": round(histogram_percentile(hist_data, 0.99) * 1e3, 3),
+        "p999_ms": round(histogram_percentile(hist_data, 0.999) * 1e3, 3),
+    }
     return LoadReport(
         mode=load.mode,
         duration_s=elapsed,
@@ -333,6 +383,8 @@ async def run_load_async(
         rows_per_s=driver.ok_rows / elapsed,
         saturation=(ok / offered) if offered else 0.0,
         latency_ms=_latency_summary(driver.latencies_s),
+        latency_hist=latency_hist,
+        metrics=snapshot.as_dict(),
     )
 
 

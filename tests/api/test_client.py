@@ -202,6 +202,70 @@ class TestTransport:
         assert client._conn is None
 
 
+class EchoObsServer(JsonHttpServer):
+    """Echoes the request's obs fields back so client plumbing is visible."""
+
+    async def _route(self, request):
+        payload = request.json()
+        return 200, {
+            "location": [1.0, 2.0],
+            "trace": {
+                "request_id": payload.get("request_id"),
+                "echo_trace": payload.get("trace"),
+            },
+        }
+
+
+class TestObservability:
+    @pytest.fixture()
+    def echo(self):
+        server = EchoObsServer(port=0)
+        handle = server.start_background()
+        client = ReproClient(port=handle.port)
+        yield server, client
+        client.close()
+        handle.shutdown()
+
+    def test_trace_and_request_id_sent_and_surfaced(self, echo):
+        _, client = echo
+        result = client.localize([-50.0], trace=True, request_id="cli-7")
+        assert result.trace == {"request_id": "cli-7", "echo_trace": True}
+
+    def test_no_trace_by_default(self, echo):
+        _, client = echo
+        result = client.localize([-50.0])
+        assert result.trace == {"request_id": None, "echo_trace": None}
+
+    def test_typed_errors_carry_request_id(self, scripted):
+        _, client = scripted(
+            [RequestError("scan too wide", code="bad_request")]
+        )
+        with pytest.raises(ReproAPIError) as excinfo:
+            client.localize([-50.0], request_id="boom-1")
+        err = excinfo.value
+        assert err.request_id == "boom-1"
+        assert "request_id=boom-1" in str(err)
+
+    def test_minted_request_id_on_errors(self, scripted):
+        _, client = scripted(
+            [RequestError("scan too wide", code="bad_request")]
+        )
+        with pytest.raises(ReproAPIError) as excinfo:
+            client.localize([-50.0])
+        # The server mints one when the client doesn't pin it.
+        assert isinstance(excinfo.value.request_id, str)
+        assert excinfo.value.request_id
+
+    def test_metrics_text_scrapes_prometheus(self, echo):
+        _, client = echo
+        client.localize([-50.0])
+        text = client.metrics_text()
+        from repro.obs import parse_prometheus_text
+
+        families = parse_prometheus_text(text)
+        assert "repro_http_requests_total" in families
+
+
 class TestFromUrl:
     @pytest.mark.parametrize(
         "url, host, port",

@@ -201,6 +201,22 @@ class TestServeSpec:
         assert server.store.fits == 1
         server.dispatcher.close()
 
+    def test_obs_knobs_only_fingerprint_when_set(self):
+        knn = LocalizerSpec(framework="KNN", suite_name="office")
+        plain = ServeSpec(localizer=knn)
+        # Defaults must keep pre-obs fingerprints stable.
+        assert plain.fingerprint() == ServeSpec(
+            localizer=knn, log_json=False, slow_ms=None
+        ).fingerprint()
+        assert ServeSpec(localizer=knn, log_json=True).fingerprint() != (
+            plain.fingerprint()
+        )
+        assert ServeSpec(localizer=knn, slow_ms=5.0).fingerprint() != (
+            plain.fingerprint()
+        )
+        with pytest.raises(ValueError):
+            ServeSpec(localizer=knn, slow_ms=-1.0)
+
 
 class TestFleetSpec:
     def test_string_round_trip(self):
@@ -228,3 +244,17 @@ class TestFleetSpec:
             {"buildings": [{"name": "HQ", "n_floors": 2}]}
         )
         assert spec.buildings_string == "HQ:2"
+
+    def test_obs_knobs_only_fingerprint_when_set(self):
+        plain = FleetSpec.from_string("HQ:2")
+        assert plain.fingerprint() == FleetSpec.from_string(
+            "HQ:2", log_json=False, slow_ms=None
+        ).fingerprint()
+        assert FleetSpec.from_string("HQ:2", log_json=True).fingerprint() != (
+            plain.fingerprint()
+        )
+        clone = FleetSpec.from_dict(
+            FleetSpec.from_string("HQ:2", slow_ms=2.5).to_dict()
+        )
+        assert clone.slow_ms == 2.5
+        assert clone.fingerprint() != plain.fingerprint()

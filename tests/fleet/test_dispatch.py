@@ -31,10 +31,9 @@ class TestDispatchIdentity:
 
         async def go():
             chunks = [scans[i : i + 8] for i in range(0, scans.shape[0], 8)]
-            results = await asyncio.gather(
+            return await asyncio.gather(
                 *(dispatcher.localize(c) for c in chunks)
             )
-            return results
 
         results = run(go())
         coords = np.vstack([c for c, _ in results])

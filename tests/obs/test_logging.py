@@ -1,0 +1,84 @@
+"""Structured JSON logging and the slow-request sampler."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import JsonLogger
+
+
+def lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestEvent:
+    def test_one_json_line_with_component(self):
+        out = io.StringIO()
+        log = JsonLogger("serve", enabled=True, stream=out)
+        log.event("started", port=8000)
+        (record,) = lines(out)
+        assert record["component"] == "serve"
+        assert record["event"] == "started"
+        assert record["port"] == 8000
+        assert "ts" in record
+
+    def test_disabled_emits_nothing(self):
+        out = io.StringIO()
+        JsonLogger("serve", enabled=False, stream=out).event("started")
+        assert out.getvalue() == ""
+
+    def test_non_serializable_fields_stringified(self):
+        out = io.StringIO()
+        log = JsonLogger("serve", enabled=True, stream=out)
+        log.event("weird", value=object())
+        (record,) = lines(out)
+        assert isinstance(record["value"], str)
+
+
+class TestRequestSampler:
+    def test_logs_every_request_without_threshold(self):
+        out = io.StringIO()
+        log = JsonLogger("serve", enabled=True, stream=out)
+        log.request(
+            request_id="r1", endpoint="/localize", status=200, duration_ms=0.1
+        )
+        (record,) = lines(out)
+        assert record["request_id"] == "r1"
+        assert record["status"] == 200
+
+    def test_fast_success_dropped_under_threshold(self):
+        out = io.StringIO()
+        log = JsonLogger("serve", enabled=True, slow_ms=10.0, stream=out)
+        log.request(
+            request_id="r1", endpoint="/localize", status=200, duration_ms=2.0
+        )
+        assert out.getvalue() == ""
+
+    def test_slow_success_logged(self):
+        out = io.StringIO()
+        log = JsonLogger("serve", enabled=True, slow_ms=10.0, stream=out)
+        log.request(
+            request_id="r1", endpoint="/localize", status=200, duration_ms=11.0
+        )
+        assert len(lines(out)) == 1
+
+    def test_errors_always_logged(self):
+        out = io.StringIO()
+        log = JsonLogger("serve", enabled=True, slow_ms=10.0, stream=out)
+        log.request(
+            request_id="r1", endpoint="/localize", status=400, duration_ms=0.1
+        )
+        (record,) = lines(out)
+        assert record["status"] == 400
+
+
+class TestChild:
+    def test_child_inherits_settings_and_stream(self):
+        out = io.StringIO()
+        parent = JsonLogger("fleet", enabled=True, slow_ms=5.0, stream=out)
+        child = parent.child("worker")
+        assert child.enabled and child.slow_ms == 5.0
+        child.event("spawned", worker=3)
+        (record,) = lines(out)
+        assert record["component"] == "worker"

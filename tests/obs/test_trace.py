@@ -1,0 +1,55 @@
+"""Request ids and per-stage trace spans."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs import Trace, new_request_id, valid_request_id
+
+
+class TestRequestIds:
+    def test_fresh_ids_are_16_hex_and_unique(self):
+        ids = {new_request_id() for _ in range(200)}
+        assert len(ids) == 200
+        assert all(re.fullmatch(r"[0-9a-f]{16}", rid) for rid in ids)
+
+    def test_fresh_ids_validate(self):
+        assert valid_request_id(new_request_id())
+
+    def test_client_supplied_grammar(self):
+        assert valid_request_id("req-1_2.3:abc")
+        assert not valid_request_id("")
+        assert not valid_request_id("has space")
+        assert not valid_request_id("x" * 65)
+        assert not valid_request_id(123)
+        assert not valid_request_id(None)
+        assert not valid_request_id("emoji-é")
+
+
+class TestTrace:
+    def test_spans_record_stage_and_ms(self):
+        trace = Trace("abc")
+        trace.add("queue", 0.0015)
+        trace.add("compute", 0.0025, batch_rows=16)
+        assert trace.spans == [
+            {"stage": "queue", "ms": 1.5},
+            {"stage": "compute", "ms": 2.5, "batch_rows": 16},
+        ]
+
+    def test_to_dict_sums_spans_by_default(self):
+        trace = Trace("abc")
+        trace.add("a", 0.001)
+        trace.add("b", 0.002)
+        wire = trace.to_dict()
+        assert wire["request_id"] == "abc"
+        assert wire["total_ms"] == 3.0
+        assert len(wire["spans"]) == 2
+
+    def test_total_override_beats_span_sum(self):
+        trace = Trace("abc")
+        trace.add("a", 0.001)
+        wire = trace.to_dict(total_s=0.5)
+        assert wire["total_ms"] == 500.0
+
+    def test_default_id_minted(self):
+        assert valid_request_id(Trace().request_id)

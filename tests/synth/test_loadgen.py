@@ -72,6 +72,20 @@ class TestClosedLoop:
         round_trip = report.to_dict()
         assert round_trip["outcomes"] == report.outcomes
 
+    def test_latency_hist_shares_metrics_buckets(self, tiny_fleet):
+        from repro.obs import DEFAULT_LATENCY_BUCKETS
+
+        report = run_load(tiny_fleet, _quick())
+        hist = report.latency_hist
+        assert tuple(hist["buckets"]) == DEFAULT_LATENCY_BUCKETS
+        assert len(hist["counts"]) == len(DEFAULT_LATENCY_BUCKETS) + 1
+        assert hist["count"] == report.outcomes["ok"]
+        assert sum(hist["counts"]) == hist["count"]
+        assert 0 < hist["p50_ms"] <= hist["p99_ms"] <= hist["p999_ms"]
+        # The run's own registry rides along in snapshot-dict form.
+        assert "repro_load_request_seconds" in report.metrics
+        assert "repro_load_outcomes_total" in report.metrics
+
     def test_deterministic_traffic_stream(self, tiny_fleet):
         # Same seed → same sampled rows (timing differs, content not).
         a = TrafficPool(tiny_fleet, zipf_s=1.5, seed=7)
