@@ -56,10 +56,10 @@ def _run_multifloor():
             localizer, suite, rng=np.random.default_rng(0)
         )
         outcome[name] = results
-        for r in results:
-            rows.append(
-                [name, r.label, r.floor_hit_rate, r.mean_2d_m, r.mean_combined_m]
-            )
+        rows.extend(
+            [name, r.label, r.floor_hit_rate, r.mean_2d_m, r.mean_combined_m]
+            for r in results
+        )
     rendered = format_table(
         ["framework", "epoch", "floor hit", "2d err (m)", "combined (m)"],
         rows,

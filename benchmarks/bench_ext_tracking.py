@@ -52,10 +52,10 @@ def _run_tracking():
             stone, walk, suite.floorplan, rng=np.random.default_rng(6)
         )
         outcome[epoch] = {m: s.mean_m for m, s in results.items()}
-        for method, summary in results.items():
-            rows.append(
-                [f"CI:{epoch}", method, summary.mean_m, summary.p95_m]
-            )
+        rows.extend(
+            [f"CI:{epoch}", method, summary.mean_m, summary.p95_m]
+            for method, summary in results.items()
+        )
     rendered = format_table(["epoch", "method", "mean (m)", "p95 (m)"], rows)
     return rendered, outcome
 

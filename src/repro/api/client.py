@@ -356,6 +356,35 @@ class ReproClient:
             raw=answer,
         )
 
+    def observe(
+        self,
+        scans: Sequence[Sequence[float]] | np.ndarray,
+        locations: Sequence[Sequence[float]] | np.ndarray,
+        *,
+        building: str,
+        floor: int,
+        request_id: str | None = None,
+    ) -> dict:
+        """``POST /observe``: labeled scans into a slot's live buffer.
+
+        ``scans`` is ``(n, fleet_aps)`` — the same rows ``/localize``
+        takes — and ``locations`` the matching ``(n, 2)`` ground-truth
+        coordinates. Unlike localization, observations are facts about
+        one deployment slot, so ``building`` and ``floor`` are required.
+        The answer reports the slot's serving version and buffer depth;
+        a drift-triggered refit/hot-swap happens asynchronously behind
+        it (fleet servers only).
+        """
+        payload: dict[str, Any] = {
+            "rssi": np.asarray(scans).tolist(),
+            "locations": np.asarray(locations).tolist(),
+            "building": building,
+            "floor": floor,
+        }
+        if request_id is not None:
+            payload["request_id"] = request_id
+        return self._request("POST", "/observe", payload)
+
     def metrics_text(self) -> str:
         """``GET /metrics``: the raw Prometheus text exposition."""
         conn = self._connection()

@@ -459,6 +459,18 @@ class FleetSpec:
     #: Only log successful requests slower than this many milliseconds
     #: (errors always log); ``None`` logs every request when enabled.
     slow_ms: float | None = None
+    #: Live ingest (``POST /observe``) drift policy: refit + hot-swap a
+    #: slot once the buffered observations' mean error under its serving
+    #: model exceeds this many meters. ``None`` disables drift scoring
+    #: (the buffer-full trigger still applies).
+    drift_threshold_m: float | None = None
+    #: Never judge drift (or refit) on fewer buffered scans than this.
+    live_min_scans: int = 32
+    #: Refit unconditionally once this many scans are buffered.
+    live_max_scans: int = 4096
+    #: Refit once the oldest buffered scan is this old (seconds);
+    #: ``None`` disables the age trigger.
+    live_max_age_s: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "framework", canonical_name(self.framework))
@@ -469,6 +481,9 @@ class FleetSpec:
             raise ValueError("workers must be >= 0 (0 = in-process)")
         if self.slow_ms is not None and self.slow_ms < 0:
             raise ValueError("slow_ms must be >= 0")
+        # DriftPolicy owns the live-knob validation rules; constructing
+        # one here keeps the two surfaces impossible to drift apart.
+        self.drift_policy()
         # Same resolution + gating rules as LocalizerSpec.backend.
         explicit = self.backend is not None
         resolved = resolve_backend_name(self.backend)
@@ -518,14 +533,27 @@ class FleetSpec:
             model_dir=self.model_dir if store is None else None,
         )
 
+    def drift_policy(self):
+        """The :class:`~repro.live.DriftPolicy` these knobs describe."""
+        from ..live import DriftPolicy
+
+        return DriftPolicy(
+            drift_threshold_m=self.drift_threshold_m,
+            min_scans=self.live_min_scans,
+            max_scans=self.live_max_scans,
+            max_age_s=self.live_max_age_s,
+        )
+
     def build_server(self, registry=None, *, store=None):
         """Assemble the fleet dispatcher + HTTP server (unstarted).
 
         Pass a prebuilt ``registry`` to reuse already-warm slots;
-        otherwise :meth:`build_registry` runs first.
+        otherwise :meth:`build_registry` runs first. The live-update
+        loop behind ``POST /observe`` runs the spec's drift policy.
         """
         from ..fleet.dispatch import FleetDispatcher
         from ..fleet.server import FleetServer
+        from ..live import LiveManager
 
         if registry is None:
             registry = self.build_registry(store=store)
@@ -540,9 +568,10 @@ class FleetSpec:
             dispatcher_kwargs["workers"] = self.workers
             dispatcher_kwargs["start_method"] = self.start_method
         dispatcher = FleetDispatcher(registry, **dispatcher_kwargs)
+        live = LiveManager(dispatcher, policy=self.drift_policy())
         return FleetServer(
             registry, dispatcher, host=self.host, port=self.port,
-            log_json=self.log_json, slow_ms=self.slow_ms,
+            log_json=self.log_json, slow_ms=self.slow_ms, live=live,
         )
 
     # -- identity / serialization ------------------------------------------
@@ -585,6 +614,14 @@ class FleetSpec:
             payload["log_json"] = True
         if self.slow_ms is not None:
             payload["slow_ms"] = self.slow_ms
+        # Live-update knobs join only when tuned away from the inert
+        # default policy, so pre-live fleet fingerprints stay valid.
+        # (A refit *does* change what a slot answers — but that identity
+        # lives in the refit model's content-addressed ModelKey, which
+        # hashes the merged training data. The spec only fingerprints
+        # the policy that decides *when* to refit.)
+        if not self.drift_policy().is_default:
+            payload["live"] = self.drift_policy().to_dict()
         return _canonical_digest(payload)
 
     def to_dict(self) -> dict:
@@ -608,6 +645,10 @@ class FleetSpec:
             "start_method": self.start_method,
             "log_json": self.log_json,
             "slow_ms": self.slow_ms,
+            "drift_threshold_m": self.drift_threshold_m,
+            "live_min_scans": self.live_min_scans,
+            "live_max_scans": self.live_max_scans,
+            "live_max_age_s": self.live_max_age_s,
         }
 
     @classmethod

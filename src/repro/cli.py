@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli serve office --framework KNN --port 8000 --fast
     python -m repro.cli serve office --framework KNN --index region --fast
     python -m repro.cli serve --fleet "HQ:2,LAB:3" --framework KNN --fast
+    python -m repro.cli store ls --model-dir ./models
+    python -m repro.cli store prune --model-dir ./models --keep 1 --dry-run
     python -m repro.cli fleet "HQ:2,LAB:3:kmeans" --fast --eval
     python -m repro.cli track office --framework STONE --fast
     python -m repro.cli compress office --bits 8 --sparsity 0.5 --fast
@@ -313,6 +315,10 @@ def _fleet_spec(args: argparse.Namespace, spec_string: str):
         workers=getattr(args, "workers", 0),
         log_json=getattr(args, "log_json", False),
         slow_ms=getattr(args, "slow_ms", None),
+        drift_threshold_m=getattr(args, "drift_threshold_m", None),
+        live_min_scans=getattr(args, "live_min_scans", 32),
+        live_max_scans=getattr(args, "live_max_scans", 4096),
+        live_max_age_s=getattr(args, "live_max_age_s", None),
     )
 
 
@@ -543,6 +549,74 @@ def _cmd_multifloor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve.store import ModelStore
+
+    store = ModelStore(args.model_dir)
+    # A fleet spec binds slots to digests: those artifacts are "live"
+    # (annotated in ls, never pruned). Building the registry against
+    # this store warm-loads from disk, so present artifacts do not refit.
+    bindings: dict[str, str] = {}
+    if args.fleet:
+        registry = _fleet_spec(args, args.fleet).build_registry(store=store)
+        for slot in registry.slots():
+            bindings[slot.entry.key.digest] = slot.slot.label
+    manifest = store.disk_manifest()
+    for row in manifest:
+        row["slot"] = bindings.get(row["digest"])
+    if args.action == "prune":
+        removed = store.prune(
+            keep=args.keep, dry_run=args.dry_run, referenced=set(bindings)
+        )
+        verb = "would remove" if args.dry_run else "removed"
+        for row in removed:
+            print(
+                f"{verb}: {row['digest'][:16]}  {row['framework']}/"
+                f"{row['suite']}  {row['size_bytes']} bytes"
+            )
+        kept = len(manifest) - len(removed)
+        print(f"{verb} {len(removed)} artifact(s), kept {kept}")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump({"removed": removed, "kept": kept}, fh,
+                          indent=2, sort_keys=True)
+        return 0
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"artifacts": manifest}, fh, indent=2, sort_keys=True)
+        print(f"wrote manifest: {args.json}")
+        return 0
+    if not manifest:
+        print(f"no artifacts under {store.model_dir}")
+        return 0
+    from .eval import format_table
+
+    rows = []
+    for row in manifest:
+        if "error" in row:
+            rows.append([row["digest"][:16], row["error"], "", "", "", "",
+                         row["size_bytes"], ""])
+            continue
+        rows.append([
+            row["digest"][:16],
+            row["framework"],
+            row["suite"],
+            f"seed={row['seed']}" + (" fast" if row["fast"] else ""),
+            row["backend"],
+            row["index_tag"],
+            row["size_bytes"],
+            row["slot"] or "",
+        ])
+    print(format_table(
+        ["digest", "framework", "suite", "config", "backend", "index",
+         "bytes", "slot"],
+        rows,
+    ))
+    return 0
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     import json
     import time
@@ -620,6 +694,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             malformed=args.chaos_malformed,
             oversized=args.chaos_oversized,
             misroute=args.chaos_misroute,
+            bad_observation=args.chaos_bad_observe,
         )
         load = LoadSpec(
             mode=args.load,
@@ -630,6 +705,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             batch_rows=args.batch_rows,
             zipf_s=args.zipf,
             pin_fraction=args.pin_fraction,
+            observe_fraction=args.observe_fraction,
             seed=args.seed,
             chaos=chaos,
         )
@@ -642,16 +718,27 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         metrics = MetricsRegistry()
         dispatcher = FleetDispatcher(registry, batch_window_ms=1.0)
         dispatcher.bind_metrics(metrics)
+        live = None
+        if load.observe_fraction > 0 or chaos.bad_observation > 0:
+            from .live import LiveManager
+
+            live = LiveManager(dispatcher)
+            live.bind_metrics(metrics)
         try:
-            result = run_load(registry, load, dispatcher=dispatcher)
+            result = run_load(registry, load, dispatcher=dispatcher, live=live)
             dispatcher.update_gauges()
             fleet_metrics = metrics.snapshot().as_dict()
+            live_summary = live.describe() if live is not None else None
         finally:
+            if live is not None:
+                live.close()
             dispatcher.close()
         print()
         print(result.describe())
         report["load"] = result.to_dict()
         report["load"]["fleet_metrics"] = fleet_metrics
+        if live_summary is not None:
+            report["load"]["live"] = live_summary
 
     if args.json:
         with open(args.json, "w") as fh:
@@ -801,6 +888,46 @@ def build_parser() -> argparse.ArgumentParser:
             "this many milliseconds; errors always log (default: log all)"
         ),
     )
+    p_srv.add_argument(
+        "--drift-threshold-m",
+        type=float,
+        default=None,
+        metavar="M",
+        help=(
+            "live ingest (POST /observe): refit + hot-swap a slot once "
+            "its buffered observations' mean error under the serving "
+            "model exceeds this many meters (default: drift scoring "
+            "off; the buffer-full trigger still applies; fleet mode only)"
+        ),
+    )
+    p_srv.add_argument(
+        "--live-min-scans",
+        type=int,
+        default=32,
+        help=(
+            "never judge drift (or refit) on fewer buffered scans than "
+            "this (default: 32; fleet mode only)"
+        ),
+    )
+    p_srv.add_argument(
+        "--live-max-scans",
+        type=int,
+        default=4096,
+        help=(
+            "refit unconditionally once this many scans are buffered "
+            "(default: 4096; fleet mode only)"
+        ),
+    )
+    p_srv.add_argument(
+        "--live-max-age-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "refit once the oldest buffered scan is this old "
+            "(default: no age trigger; fleet mode only)"
+        ),
+    )
     _add_index_flags(p_srv)
     _add_backend_flag(p_srv)
     p_srv.set_defaults(fn=_cmd_serve)
@@ -839,6 +966,66 @@ def build_parser() -> argparse.ArgumentParser:
     _add_index_flags(p_fleet)
     _add_backend_flag(p_fleet)
     p_fleet.set_defaults(fn=_cmd_fleet)
+
+    p_store = sub.add_parser(
+        "store",
+        help="audit (and prune) the persisted fitted-model artifact store",
+    )
+    p_store.add_argument(
+        "action",
+        nargs="?",
+        choices=("ls", "prune"),
+        default="ls",
+        help=(
+            "ls = list every artifact with its self-described identity "
+            "(spec fingerprint, backend, size, slot binding); prune = "
+            "delete superseded versions per configuration group "
+            "(default: ls)"
+        ),
+    )
+    p_store.add_argument(
+        "--model-dir",
+        required=True,
+        help="the artifact directory to audit (repro serve --model-dir)",
+    )
+    p_store.add_argument(
+        "--fleet",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "annotate artifacts with the slot bindings this fleet spec "
+            "resolves to (e.g. 'HQ:2,LAB:3'); bound digests are never "
+            "pruned"
+        ),
+    )
+    p_store.add_argument(
+        "--keep",
+        type=int,
+        default=1,
+        help=(
+            "prune: versions to keep per configuration group, newest "
+            "first (default: 1)"
+        ),
+    )
+    p_store.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="prune: report what would be removed without deleting",
+    )
+    p_store.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the manifest/prune report here as JSON",
+    )
+    p_store.add_argument("--framework", default="KNN")
+    p_store.add_argument("--seed", type=int, default=0)
+    p_store.add_argument(
+        "--fast", action="store_true",
+        help="with --fleet: the fleet was built at smoke scale",
+    )
+    _add_fleet_gen_flags(p_store)
+    _add_index_flags(p_store)
+    _add_backend_flag(p_store)
+    p_store.set_defaults(fn=_cmd_store)
 
     p_track = sub.add_parser(
         "track", help="compare trajectory smoothing strategies on a walk"
@@ -961,6 +1148,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of requests pinned to their true (building, floor)",
     )
     p_syn.add_argument(
+        "--observe-fraction",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help=(
+            "fraction of requests sent as labeled /observe ingests into "
+            "the live-update loop instead of localizations"
+        ),
+    )
+    p_syn.add_argument(
         "--chaos-malformed", type=float, default=0.0, metavar="FRAC"
     )
     p_syn.add_argument(
@@ -968,6 +1165,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_syn.add_argument(
         "--chaos-misroute", type=float, default=0.0, metavar="FRAC"
+    )
+    p_syn.add_argument(
+        "--chaos-bad-observe",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help=(
+            "fraction of requests sent as malformed/mislabeled /observe "
+            "payloads (must 400 without poisoning any buffer)"
+        ),
     )
     p_syn.add_argument(
         "--json", metavar="PATH", default=None, help="write the run report here"

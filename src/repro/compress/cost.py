@@ -69,11 +69,11 @@ class ModelCost:
             f"{'act elems':>12}"
         )
         rows = [header, "-" * len(header)]
-        for layer in self.layers:
-            rows.append(
-                f"{layer.name:<18}{layer.kind:<12}{layer.params:>10}{layer.macs:>12}"
-                f"{layer.activation_elems:>12}"
-            )
+        rows.extend(
+            f"{layer.name:<18}{layer.kind:<12}{layer.params:>10}{layer.macs:>12}"
+            f"{layer.activation_elems:>12}"
+            for layer in self.layers
+        )
         rows.append("-" * len(header))
         rows.append(
             f"{'total':<30}{self.total_params:>10}{self.total_macs:>12}"

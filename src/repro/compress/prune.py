@@ -67,8 +67,10 @@ class PruningReport:
             f"{self.dense_bytes()} -> {self.sparse_bytes()} bytes "
             f"({self.compression_ratio():.2f}x)"
         ]
-        for p in self.per_param:
-            lines.append(f"  {p.param:<12} {p.sparsity:6.1%} of {p.total}")
+        lines.extend(
+            f"  {p.param:<12} {p.sparsity:6.1%} of {p.total}"
+            for p in self.per_param
+        )
         return "\n".join(lines)
 
 

@@ -245,11 +245,10 @@ def generate_uji_suite(
     train = _capture_epoch(
         env, SimTime.at(hours=2.0), 0, train_fpr, rng, jitter=0.15
     )
-    test_epochs = []
-    for month_idx, t in enumerate(monthly_times(n_months), start=1):
-        test_epochs.append(
-            _capture_epoch(env, t, month_idx, test_fpr, rng, jitter=0.15)
-        )
+    test_epochs = [
+        _capture_epoch(env, t, month_idx, test_fpr, rng, jitter=0.15)
+        for month_idx, t in enumerate(monthly_times(n_months), start=1)
+    ]
     labels = [f"month {m}" for m in range(1, n_months + 1)]
     return LongitudinalSuite(
         name="uji",

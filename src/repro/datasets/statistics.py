@@ -84,6 +84,8 @@ def suite_summary_table(suite: LongitudinalSuite) -> str:
     lines = [header]
     train_stats = compute_stats(suite.train)
     lines.append(f"{'train':<12}{train_stats.as_row()}")
-    for label, ds in zip(suite.epoch_labels, suite.test_epochs):
-        lines.append(f"{label:<12}{compute_stats(ds).as_row()}")
+    lines.extend(
+        f"{label:<12}{compute_stats(ds).as_row()}"
+        for label, ds in zip(suite.epoch_labels, suite.test_epochs)
+    )
     return "\n".join(lines)

@@ -39,8 +39,10 @@ def format_table(
         "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
         "  ".join("-" * w for w in widths),
     ]
-    for cells in rendered:
-        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    lines.extend(
+        "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+        for cells in rendered
+    )
     return "\n".join(lines)
 
 
@@ -224,8 +226,9 @@ def comparison_table(
     """Per-epoch mean-error table, one framework per column."""
     names = list(series)
     headers = ["epoch"] + names
-    rows = []
-    for i, label in enumerate(x_labels):
-        rows.append([label] + [float(series[n][i]) for n in names])
+    rows = [
+        [label] + [float(series[n][i]) for n in names]
+        for i, label in enumerate(x_labels)
+    ]
     rows.append(["MEAN"] + [float(np.mean(series[n])) for n in names])
     return format_table(headers, rows)

@@ -34,7 +34,7 @@ from ..obs.metrics import MetricsRegistry, MetricsSnapshot
 from ..obs.trace import Trace
 from ..serve.dispatcher import BatchingDispatcher
 from ..serve.protocol import MAX_BATCH_ROWS
-from .registry import FleetRegistry
+from .registry import FleetRegistry, FleetSlot
 from .router import RoutingDecision, ScanRouter
 from .worker import WorkerPool
 
@@ -104,6 +104,12 @@ class LocalSlotExecutor:
         max_batch: int = 256,
         chunk_size: int | None = None,
     ) -> None:
+        # Kept for hot-swap: a replacement dispatcher must be built with
+        # the same micro-batching knobs and bound to the same registry.
+        self._batch_window_ms = batch_window_ms
+        self._max_batch = max_batch
+        self._chunk_size = chunk_size
+        self._metrics: MetricsRegistry | None = None
         self._dispatchers: dict[str, BatchingDispatcher] = {}
         for slot in registry.slots():
             self._dispatchers[slot.slot.label] = BatchingDispatcher(
@@ -116,9 +122,45 @@ class LocalSlotExecutor:
     async def submit(
         self, label: str, scans: np.ndarray, *, trace: Trace | None = None
     ) -> np.ndarray:
-        return await self._dispatchers[label].localize(scans, trace=trace)
+        while True:
+            dispatcher = self._dispatchers[label]
+            try:
+                return await dispatcher.localize(scans, trace=trace)
+            except RuntimeError:
+                # A swap can close the dispatcher between our lookup and
+                # the enqueue; if the slot has already been rebound,
+                # retry on the replacement — the request is never
+                # dropped. Any other RuntimeError propagates.
+                if self._dispatchers.get(label) is dispatcher:
+                    raise
+
+    async def swap(self, label: str, localizer) -> None:
+        """Atomically point a slot at a new fitted localizer.
+
+        The replacement dispatcher is built warm (the localizer is
+        already fitted), metrics-bound, and installed in one loop-tick
+        assignment — new arrivals see only one version or the other,
+        never a mix. The old dispatcher then drains (every enqueued and
+        in-flight request completes on the old model) before closing.
+        """
+        if label not in self._dispatchers:
+            raise KeyError(f"unknown slot {label!r}")
+        replacement = BatchingDispatcher(
+            localizer,
+            batch_window_ms=self._batch_window_ms,
+            max_batch=self._max_batch,
+            chunk_size=self._chunk_size,
+        )
+        if self._metrics is not None:
+            replacement.bind_metrics(self._metrics, label)
+        old = self._dispatchers[label]
+        # Single assignment on the event-loop thread = the atomic flip.
+        self._dispatchers[label] = replacement
+        await old.drain()
+        old.close()
 
     def bind_metrics(self, registry: MetricsRegistry) -> None:
+        self._metrics = registry
         for label, dispatcher in self._dispatchers.items():
             dispatcher.bind_metrics(registry, label)
 
@@ -442,6 +484,36 @@ class FleetDispatcher:
         summary = await self._executor.resize(workers)
         self.workers = int(workers)
         return summary
+
+    async def swap_slot(self, building: str, floor: int, *, entry, suite) -> dict:
+        """Atomically hot-swap one slot to a new model version.
+
+        The executor flips first (old model answers everything admitted
+        before the flip, the new one everything after — no request ever
+        sees a mixed-version batch and none drop), then the registry
+        rebinding bumps the slot's ``version`` for ``/models`` and
+        ``/fleet``. Works identically across the executor seam:
+        in-process swaps replace the slot's ``BatchingDispatcher``;
+        worker pools republish the slot's shared-memory radio map and
+        re-adopt it on its owner (releasing the old segments).
+        """
+        slot = self.registry.slot(building, floor)
+        label = slot.slot.label
+        t0 = time.perf_counter()
+        if isinstance(self._executor, WorkerPool):
+            staged = FleetSlot(
+                slot=slot.slot, suite=suite, entry=entry, index=slot.index
+            )
+            await self._executor.swap_slot(staged)
+        else:
+            await self._executor.swap(label, entry.localizer)
+        self.registry.rebind_slot(building, floor, entry=entry, suite=suite)
+        return {
+            "slot": label,
+            "version": slot.version,
+            "digest": entry.key.digest[:16],
+            "seconds": time.perf_counter() - t0,
+        }
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -62,11 +62,11 @@ class SlotPlacement:
             raise ValueError("vnodes must be >= 1")
         self.n_workers = int(n_workers)
         self.vnodes = int(vnodes)
-        points: list[tuple[int, int]] = []
-        for worker in range(self.n_workers):
-            for v in range(self.vnodes):
-                points.append((_ring_hash(f"worker-{worker}#{v}"), worker))
-        points.sort()
+        points: list[tuple[int, int]] = sorted(
+            (_ring_hash(f"worker-{worker}#{v}"), worker)
+            for worker in range(self.n_workers)
+            for v in range(self.vnodes)
+        )
         self._ring = [p for p, _ in points]
         self._owner = [w for _, w in points]
 

@@ -55,12 +55,19 @@ class SlotId:
 
 @dataclass
 class FleetSlot:
-    """One warm deployment slot: its suite view and fitted model."""
+    """One warm deployment slot: its suite view and fitted model.
+
+    ``version`` counts bindings: 1 for the offline fit at registration,
+    +1 per live hot-swap (``FleetRegistry.rebind_slot``). It is serving
+    state, not model identity — the model's identity stays the
+    content-addressed store digest.
+    """
 
     slot: SlotId
     suite: LongitudinalSuite
     entry: StoreEntry
     index: IndexConfig | None = None
+    version: int = 1
 
     def describe(self) -> dict:
         """JSON-ready summary for the ``/fleet`` endpoint."""
@@ -70,6 +77,7 @@ class FleetSlot:
             "floor": self.slot.floor,
             "framework": self.entry.key.framework,
             "digest": self.entry.key.digest[:16],
+            "version": self.version,
             "source": self.entry.source,
             "fit_seconds": round(self.entry.fit_seconds, 3),
             "n_rps": self.suite.floorplan.n_reference_points,
@@ -310,6 +318,40 @@ class FleetRegistry:
             for deployment in self.buildings
             for floor in deployment.floors
         ]
+
+    # -- live rebinding ----------------------------------------------------
+
+    def rebind_slot(
+        self,
+        building: str,
+        floor: int,
+        *,
+        entry: StoreEntry,
+        suite: LongitudinalSuite,
+    ) -> FleetSlot:
+        """Atomically bind a slot to a new model version.
+
+        The registry-side half of a live hot-swap: the slot object is
+        mutated in place (dispatchers hold the slot, not the entry), its
+        ``version`` bumps and the old entry stays warm in the shared
+        store until pruned. AP width must match — a refit never changes
+        a slot's AP namespace.
+        """
+        slot = self.slot(building, floor)
+        if suite.n_aps != slot.suite.n_aps:
+            raise ValueError(
+                f"refit suite for {slot.slot.label} has {suite.n_aps} APs, "
+                f"slot namespace expects {slot.suite.n_aps}"
+            )
+        if entry.n_aps != slot.entry.n_aps:
+            raise ValueError(
+                f"refit model for {slot.slot.label} covers {entry.n_aps} APs, "
+                f"slot namespace expects {slot.entry.n_aps}"
+            )
+        slot.suite = suite
+        slot.entry = entry
+        slot.version += 1
+        return slot
 
     # -- introspection -----------------------------------------------------
 

@@ -9,6 +9,8 @@ endpoint            method  semantics
 ==================  ======  ==============================================
 ``/localize``       POST    one fleet-wide scan → coordinate + routing
 ``/localize_batch`` POST    ``(n, fleet_aps)`` scans → coordinates + routing
+``/observe``        POST    labeled scans → a slot's live buffer (drift →
+                            background refit → atomic hot-swap)
 ``/healthz``        GET     liveness + admission-queue depth + counters
 ``/models``         GET     shared store entries + per-slot shard/routing
 ``/fleet``          GET     topology: buildings, AP blocks, slot table
@@ -26,6 +28,7 @@ is **503** (retryable — the slot respawns warm from the shared store).
 
 from __future__ import annotations
 
+from ..live import LiveManager
 from ..obs import MetricsRegistry, MetricsSnapshot
 from ..serve.protocol import (
     API_VERSION,
@@ -36,6 +39,7 @@ from ..serve.protocol import (
     locations_response,
     parse_localize,
     parse_localize_batch,
+    parse_observe,
     parse_routing_fields,
     require_method,
     wants_trace,
@@ -62,6 +66,11 @@ class FleetServer(JsonHttpServer):
         scrapes merge every worker process's snapshot into the serving
         process's registry, so per-slot in-worker latency is visible
         from one endpoint.
+    live:
+        The :class:`~repro.live.LiveManager` behind ``POST /observe``.
+        One with the default (inert-until-buffer-full) policy is
+        created when not supplied, so every fleet server can ingest
+        observations out of the box.
     """
 
     _component = "fleet"
@@ -76,6 +85,7 @@ class FleetServer(JsonHttpServer):
         metrics: MetricsRegistry | None = None,
         log_json: bool = False,
         slow_ms: float | None = None,
+        live: LiveManager | None = None,
     ) -> None:
         super().__init__(
             host=host, port=port, metrics=metrics,
@@ -83,7 +93,9 @@ class FleetServer(JsonHttpServer):
         )
         self.registry = registry
         self.dispatcher = dispatcher
+        self.live = live if live is not None else LiveManager(dispatcher)
         dispatcher.bind_metrics(self.metrics)
+        self.live.bind_metrics(self.metrics)
 
     async def _collect_metrics(self) -> MetricsSnapshot:
         """Parent registry + every worker's snapshot, freshly merged.
@@ -148,6 +160,27 @@ class FleetServer(JsonHttpServer):
             return 200, {**locations_response(coords), "routing": routing}
         return 200, {**location_response(coords), "routing": routing[0]}
 
+    async def _observe_ingest(self, request: RequestContext) -> tuple[int, dict]:
+        """``POST /observe`` — ingest labeled scans for one slot."""
+        payload = request.json()
+        scans, locations = parse_observe(payload, self.registry.n_aps)
+        building, floor = parse_routing_fields(payload)
+        if building is None or floor is None:
+            raise RequestError(
+                'observations are labeled facts about one slot; both '
+                '"building" and "floor" are required'
+            )
+        try:
+            result = await self.live.observe(
+                scans, locations, building=building, floor=floor
+            )
+        except KeyError as exc:
+            # An unknown building/floor pin is a client error (400).
+            raise ValueError(
+                str(exc.args[0]) if exc.args else str(exc)
+            ) from exc
+        return 200, result
+
     # -- endpoints ---------------------------------------------------------
 
     async def _route(self, request: RequestContext) -> tuple[int, dict]:
@@ -167,6 +200,9 @@ class FleetServer(JsonHttpServer):
         if path == "/localize_batch":
             require_method(method, "POST", path)
             return await self._localize(request, batch=True)
+        if path == "/observe":
+            require_method(method, "POST", path)
+            return await self._observe_ingest(request)
         raise RequestError(f"unknown endpoint {path!r}", status=404)
 
     def _healthz(self) -> dict:
@@ -188,8 +224,17 @@ class FleetServer(JsonHttpServer):
 
     def _models(self) -> dict:
         payload = self.registry.store.describe()
-        payload["slots"] = self.dispatcher.slot_stats()
+        slot_stats = self.dispatcher.slot_stats()
+        # Live version fields: which store digest each slot is serving
+        # right now, and how many times it has been (re)bound.
+        for slot in self.registry.slots():
+            stats = slot_stats.get(slot.slot.label)
+            if stats is not None:
+                stats["version"] = slot.version
+                stats["digest"] = slot.entry.key.digest[:16]
+        payload["slots"] = slot_stats
         payload["fleet"] = self.dispatcher.stats.as_dict()
+        payload["live"] = self.live.describe()
         # Multi-process fleets surface per-worker process stats; the
         # in-process executor reports its mode with no worker table.
         executor = self.dispatcher.executor.describe()
@@ -200,6 +245,7 @@ class FleetServer(JsonHttpServer):
     def _fleet(self) -> dict:
         payload = self.registry.describe()
         payload["dispatch"] = self.dispatcher.describe()
+        payload["live"] = self.live.describe()
         return payload
 
     # -- lifecycle ---------------------------------------------------------
@@ -211,4 +257,5 @@ class FleetServer(JsonHttpServer):
         )
 
     def _close_backend(self) -> None:
+        self.live.close()
         self.dispatcher.close()

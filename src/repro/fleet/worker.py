@@ -267,7 +267,11 @@ def worker_main(
     counter semantics).
     """
     slots: dict[str, tuple[Localizer, SlotPayload]] = {}
-    regions: list[AttachedRegion] = []
+    # Attached shared-memory mappings, grouped by the slot they serve:
+    # re-adopting a slot (a hot-swap) or dropping it closes its stale
+    # mappings right away, so long-lived workers release old radio-map
+    # versions instead of holding every mapping until exit.
+    regions: dict[str, list[AttachedRegion]] = {}
     metrics = MetricsRegistry()
     wid = str(worker_id)
     m_predict_seconds = metrics.histogram(
@@ -286,11 +290,23 @@ def worker_main(
         ("slot", "worker"),
     )
 
+    def release(label: str, stale_slot, stale_regions: list[AttachedRegion]) -> None:
+        # The old localizer's packed arrays are views into the stale
+        # mappings; drop it first so close() finds no exported buffers.
+        del stale_slot
+        for region in stale_regions:
+            with contextlib.suppress(BufferError):
+                region.close()
+        del label
+
     def adopt(new_payloads: list[SlotPayload]) -> list[str]:
         for payload in new_payloads:
             localizer, attached = rehydrate_slot(payload)
+            stale_slot = slots.pop(payload.label, None)
+            stale_regions = regions.pop(payload.label, [])
             slots[payload.label] = (localizer, payload)
-            regions.extend(attached)
+            regions[payload.label] = attached
+            release(payload.label, stale_slot, stale_regions)
         return sorted(slots)
 
     try:
@@ -333,7 +349,7 @@ def worker_main(
                 value = adopt(args)
             elif op == "drop":
                 for label in args:
-                    slots.pop(label, None)
+                    release(label, slots.pop(label, None), regions.pop(label, []))
                 value = sorted(slots)
             elif op == "metrics":
                 value = metrics.snapshot()
@@ -351,8 +367,11 @@ def worker_main(
     # Views into the shared segments die with the localizers; close the
     # mappings afterwards so /dev/shm refcounts drop promptly.
     slots.clear()
-    for region in regions:
-        region.close()
+    for attached in regions.values():
+        for region in attached:
+            with contextlib.suppress(BufferError):
+                region.close()
+    regions.clear()
     conn.close()
 
 
@@ -464,11 +483,17 @@ class WorkerPool:
         self._ctx = mp_context(start_method)
         self._vnodes = int(vnodes)
         self._regions: list[SharedArtifactRegion] = []
+        #: Which published segments back each slot's *current* payload —
+        #: a hot-swap unlinks exactly the replaced slot's old segments.
+        self._slot_regions: dict[str, list[SharedArtifactRegion]] = {}
         self._payloads: dict[str, SlotPayload] = {}
         for slot in registry.slots():
+            slot_regions: list[SharedArtifactRegion] = []
             self._payloads[slot.slot.label] = build_slot_payload(
-                slot, self._regions
+                slot, slot_regions
             )
+            self._slot_regions[slot.slot.label] = slot_regions
+            self._regions.extend(slot_regions)
         self._labels = list(self._payloads)
         self._placement = SlotPlacement(workers, vnodes=self._vnodes)
         self._owner: dict[str, int] = {
@@ -896,6 +921,64 @@ class WorkerPool:
             if not fut.done():
                 fut.set_result(np.array(coords[offset : offset + n]))
             offset += n
+
+    # -- hot-swap ----------------------------------------------------------
+
+    async def swap_slot(self, slot: FleetSlot) -> None:
+        """Republish one slot's radio map and re-adopt it on its owner.
+
+        The multi-process half of a live hot-swap, zero dropped
+        requests by protocol order:
+
+        1. Publish the new model's packed arrays into fresh shared
+           segments and pickle the new payload (off the loop — the old
+           version keeps serving).
+        2. Update the retained payload bundle *before* sending the
+           ``adopt``: if the owner crashes mid-swap, its warm respawn
+           rehydrates from ``_payloads`` and lands on the **new**
+           version.
+        3. Send ``adopt`` to the owner. The worker loop is FIFO, so
+           every predict sent before the adopt is answered by the old
+           model first; the adopt itself closes the worker's stale
+           mappings.
+        4. Unlink the replaced segments — the single parent-side
+           release point, same discipline as ``close()``.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        label = slot.slot.label
+        if label not in self._payloads:
+            raise KeyError(f"unknown slot {label!r}")
+        loop = asyncio.get_running_loop()
+        new_regions: list[SharedArtifactRegion] = []
+        payload = await loop.run_in_executor(
+            None, build_slot_payload, slot, new_regions
+        )
+        old_regions = self._slot_regions.get(label, [])
+        self._payloads[label] = payload
+        self._slot_regions[label] = new_regions
+        self._regions.extend(new_regions)
+        worker = self._workers[self._owner[label]]
+        try:
+            await self._request(worker, "adopt", [payload])
+        except WorkerCrashedError:
+            # The owner died mid-swap. Its warm respawn *usually*
+            # rehydrates from the already-updated payload bundle, but
+            # the spawn can race the update and capture the old one —
+            # so re-adopt on the replacement (adopting an already-live
+            # payload is idempotent: the worker just remaps it).
+            await self._await_respawn(worker)
+            replacement = self._workers[self._owner[label]]
+            try:
+                await self._request(replacement, "adopt", [payload])
+            except WorkerCrashedError:
+                # The replacement crashing too means its own respawn
+                # started after the bundle update and reads the new
+                # version — nothing left to adopt.
+                pass
+        for region in old_regions:
+            region.unlink()
+            self._regions.remove(region)
 
     # -- topology change ---------------------------------------------------
 

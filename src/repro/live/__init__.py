@@ -1,0 +1,39 @@
+"""Live fleets: streaming observation ingest, drift detection, hot-swap.
+
+The longitudinal suites model month-over-month radio-map drift, but the
+serving stack fit its models *offline* until now: a fleet was stood up
+once and froze. :mod:`repro.live` closes that loop — the subsystem that
+keeps a deployed fleet accurate under the drift the paper is about:
+
+* :class:`ObservationBuffer` — per-slot, size/age-bounded, crash-safe
+  append buffer of labeled scans (``POST /observe`` lands here).
+* :class:`DriftPolicy` — replays buffered scans through the slot's
+  current model, scores them with the longitudinal-eval metric
+  (mean localization error in meters) and decides when to refit.
+* :func:`build_refit_suite` / :func:`refit_slot` — trains a new model
+  version from the base suite plus the buffered observations; the
+  merged training content yields a new content-addressed
+  :class:`~repro.serve.store.ModelKey`, so the refit artifact lands
+  *beside* the old one, spec-embedded like any other.
+* :class:`LiveManager` — ties it together behind the fleet dispatcher:
+  ingest, drift scoring off the event loop, background refit and the
+  atomic hot-swap (old model serves every in-flight and incoming
+  request until the new one is warm; unchanged slots stay
+  bit-identical throughout).
+"""
+
+from .buffer import ObservationBuffer
+from .manager import LiveManager, SlotLiveState
+from .policy import DriftPolicy
+from .refit import RefitResult, build_refit_suite, nearest_rp_indices, refit_slot
+
+__all__ = [
+    "DriftPolicy",
+    "LiveManager",
+    "ObservationBuffer",
+    "RefitResult",
+    "SlotLiveState",
+    "build_refit_suite",
+    "nearest_rp_indices",
+    "refit_slot",
+]

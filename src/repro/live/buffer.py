@@ -1,0 +1,293 @@
+"""Crash-safe per-slot append buffer for labeled live observations.
+
+Observations arrive through ``POST /observe`` and land here before the
+drift policy decides whether the slot needs a refit.  The buffer is a
+directory of JSONL segments: one JSON object per observation, appended
+with flush+fsync so a crash mid-write loses at most the torn final
+line.  Segments rotate at a fixed row count so age-trimming and the
+size bound are O(segment) deletes, never rewrites.
+
+Validation happens *before* any byte is written: a malformed or
+mislabeled observation raises ``ValueError`` and the on-disk state is
+untouched (the "never poison a buffer" chaos contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..radio.access_point import NO_SIGNAL_DBM
+
+_SEGMENT_RE = re.compile(r"^obs-(\d{6})\.jsonl$")
+
+
+def slot_dirname(label: str) -> str:
+    """Filesystem-safe directory name for a slot label like ``"HQ/f1"``."""
+
+    return label.replace("/", "__")
+
+
+class ObservationBuffer:
+    """Size/age-bounded crash-safe buffer of ``(rssi, xy)`` observations.
+
+    Parameters
+    ----------
+    root_dir:
+        Parent directory; the buffer lives in ``root_dir/<slot_dirname>``.
+    label:
+        Slot label (``"HQ/f1"``) — used for the directory name and errors.
+    n_aps:
+        Width of the slot's AP namespace; every appended scan must match.
+    max_rows:
+        Hard bound on buffered rows; oldest whole segments are deleted
+        once the total would exceed it.
+    segment_rows:
+        Rotation threshold per JSONL segment.
+    """
+
+    def __init__(
+        self,
+        root_dir: str | Path,
+        label: str,
+        n_aps: int,
+        *,
+        max_rows: int = 8192,
+        segment_rows: int = 512,
+    ) -> None:
+        if n_aps <= 0:
+            raise ValueError(f"n_aps must be positive, got {n_aps}")
+        if max_rows <= 0:
+            raise ValueError(f"max_rows must be positive, got {max_rows}")
+        if segment_rows <= 0:
+            raise ValueError(f"segment_rows must be positive, got {segment_rows}")
+        self.label = label
+        self.n_aps = int(n_aps)
+        self.max_rows = int(max_rows)
+        self.segment_rows = int(segment_rows)
+        self.dir = Path(root_dir) / slot_dirname(label)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        # In-memory mirror of the on-disk rows, per segment index.
+        self._segments: dict[int, list[dict]] = {}
+        self._recover()
+
+    # -- recovery ------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rescan the directory, tolerating a torn final line per segment."""
+
+        for path in sorted(self.dir.iterdir()):
+            match = _SEGMENT_RE.match(path.name)
+            if match is None:
+                continue
+            seg = int(match.group(1))
+            rows: list[dict] = []
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        row = json.loads(line)
+                    except json.JSONDecodeError:
+                        # A crash mid-append can tear the *final* line of
+                        # the newest segment; everything before it is
+                        # intact because each append is flushed whole.
+                        break
+                    if self._row_ok(row):
+                        rows.append(row)
+                    else:
+                        break
+            if rows:
+                self._segments[seg] = rows
+            elif path.exists():
+                path.unlink()
+
+    def _row_ok(self, row: object) -> bool:
+        return (
+            isinstance(row, dict)
+            and isinstance(row.get("ts"), (int, float))
+            and isinstance(row.get("rssi"), list)
+            and len(row["rssi"]) == self.n_aps
+            and isinstance(row.get("xy"), list)
+            and len(row["xy"]) == 2
+        )
+
+    # -- append path ---------------------------------------------------
+
+    def append(self, rssi: np.ndarray, xy: np.ndarray, *, now: float | None = None) -> int:
+        """Validate and append observation rows; returns rows appended.
+
+        ``rssi`` is ``(n, n_aps)`` in the slot's AP namespace, ``xy`` is
+        ``(n, 2)`` ground-truth coordinates.  Raises ``ValueError``
+        before touching disk if anything is off.
+        """
+
+        rssi = np.asarray(rssi, dtype=np.float64)
+        xy = np.asarray(xy, dtype=np.float64)
+        if rssi.ndim != 2 or rssi.shape[1] != self.n_aps:
+            raise ValueError(
+                f"observation rssi must be (n, {self.n_aps}) for slot "
+                f"{self.label!r}, got shape {rssi.shape}"
+            )
+        if xy.ndim != 2 or xy.shape != (rssi.shape[0], 2):
+            raise ValueError(
+                f"observation locations must be ({rssi.shape[0]}, 2), got shape {xy.shape}"
+            )
+        if rssi.shape[0] == 0:
+            raise ValueError("observation must contain at least one scan")
+        if not np.isfinite(rssi).all() or not np.isfinite(xy).all():
+            raise ValueError("observation values must be finite")
+        if rssi.min() < NO_SIGNAL_DBM or rssi.max() > 0.0:
+            raise ValueError(f"observation RSSI must lie in [{NO_SIGNAL_DBM}, 0] dBm")
+
+        ts = time.time() if now is None else float(now)
+        # Assign each incoming row to a segment first so every segment
+        # file is written (and fsynced) exactly once per append.
+        seg = self._tail_segment()
+        batches: dict[int, list[dict]] = {}
+        fill = len(self._segments.get(seg, []))
+        for i in range(rssi.shape[0]):
+            if fill >= self.segment_rows:
+                seg += 1
+                fill = 0
+            batches.setdefault(seg, []).append(
+                {"ts": ts, "rssi": rssi[i].tolist(), "xy": xy[i].tolist()}
+            )
+            fill += 1
+        for seg_idx in sorted(batches):
+            new_rows = batches[seg_idx]
+            with open(self._segment_path(seg_idx), "a", encoding="utf-8") as fh:
+                for row in new_rows:
+                    fh.write(json.dumps(row) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._segments.setdefault(seg_idx, []).extend(new_rows)
+        self._trim()
+        return int(rssi.shape[0])
+
+    def _tail_segment(self) -> int:
+        if not self._segments:
+            return 0
+        tail = max(self._segments)
+        if len(self._segments[tail]) >= self.segment_rows:
+            return tail + 1
+        return tail
+
+    def _segment_path(self, seg: int) -> Path:
+        return self.dir / f"obs-{seg:06d}.jsonl"
+
+    def _trim(self) -> None:
+        """Drop oldest whole segments while the bound is exceeded."""
+
+        while self.n_rows > self.max_rows and len(self._segments) > 1:
+            oldest = min(self._segments)
+            self._segments.pop(oldest)
+            path = self._segment_path(oldest)
+            if path.exists():
+                path.unlink()
+
+    # -- read path -----------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return sum(len(rows) for rows in self._segments.values())
+
+    def age_s(self, *, now: float | None = None) -> float:
+        """Seconds since the oldest buffered observation (0.0 if empty)."""
+
+        if not self._segments:
+            return 0.0
+        oldest = min(self._segments)
+        first = self._segments[oldest][0]
+        ref = time.time() if now is None else float(now)
+        return max(0.0, ref - float(first["ts"]))
+
+    def rows(self) -> tuple[np.ndarray, np.ndarray]:
+        """All buffered observations as ``(rssi (n, n_aps), xy (n, 2))``."""
+
+        if not self._segments:
+            empty = np.empty((0, self.n_aps), dtype=np.float64)
+            return empty, np.empty((0, 2), dtype=np.float64)
+        rssi = []
+        xy = []
+        for seg in sorted(self._segments):
+            for row in self._segments[seg]:
+                rssi.append(row["rssi"])
+                xy.append(row["xy"])
+        return (
+            np.asarray(rssi, dtype=np.float64),
+            np.asarray(xy, dtype=np.float64),
+        )
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 over the buffered rows — joins the refit identity."""
+
+        digest = hashlib.sha256()
+        for seg in sorted(self._segments):
+            for row in self._segments[seg]:
+                digest.update(
+                    json.dumps({"rssi": row["rssi"], "xy": row["xy"]}, sort_keys=True).encode()
+                )
+        return digest.hexdigest()
+
+    def clear(self) -> None:
+        """Drop all buffered observations (after a successful swap)."""
+
+        for seg in list(self._segments):
+            path = self._segment_path(seg)
+            if path.exists():
+                path.unlink()
+        self._segments.clear()
+
+    def clear_rows(self, n: int) -> None:
+        """Drop the oldest ``n`` rows (the ones a refit consumed).
+
+        Observations that arrived *during* the refit stay buffered as
+        evidence for the next cycle. Whole segments are deleted; a
+        partially-consumed segment is rewritten atomically.
+        """
+
+        if n <= 0:
+            return
+        remaining = n
+        for seg in sorted(self._segments):
+            rows = self._segments[seg]
+            if remaining >= len(rows):
+                remaining -= len(rows)
+                self._segments.pop(seg)
+                path = self._segment_path(seg)
+                if path.exists():
+                    path.unlink()
+                if remaining == 0:
+                    break
+            else:
+                kept = rows[remaining:]
+                path = self._segment_path(seg)
+                tmp = path.with_suffix(".tmp")
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    for row in kept:
+                        fh.write(json.dumps(row) + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                tmp.replace(path)
+                self._segments[seg] = kept
+                break
+
+    def describe(self) -> dict:
+        return {
+            "label": self.label,
+            "dir": str(self.dir),
+            "n_rows": self.n_rows,
+            "n_segments": len(self._segments),
+            "n_aps": self.n_aps,
+            "max_rows": self.max_rows,
+            "segment_rows": self.segment_rows,
+        }

@@ -1,0 +1,114 @@
+"""Drift detection policy for live slots.
+
+The drift metric is the same one the longitudinal eval uses: mean
+localization error in meters of the slot's *current* model replayed
+over the buffered labeled observations.  The policy is a frozen value
+object so it can join ``FleetSpec`` fingerprints (only when
+non-default — the all-default policy is inert and leaves serving
+byte-for-byte unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.base import BatchedLocalizer
+from ..eval.metrics import localization_errors
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """When does a slot's buffered evidence justify a refit?
+
+    Attributes
+    ----------
+    drift_threshold_m:
+        Refit when the replayed mean localization error exceeds this
+        many meters (requires at least ``min_scans`` buffered).
+        ``None`` disables the drift trigger.
+    min_scans:
+        Minimum buffered scans before drift/age triggers may fire; a
+        handful of observations is too noisy to refit on.
+    max_scans:
+        Refit unconditionally once this many scans are buffered
+        (the buffer-full trigger).
+    max_age_s:
+        Refit when the oldest buffered scan is at least this old and
+        ``min_scans`` are buffered.  ``None`` disables the age trigger.
+    """
+
+    drift_threshold_m: float | None = None
+    min_scans: int = 32
+    max_scans: int = 4096
+    max_age_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.drift_threshold_m is not None and self.drift_threshold_m <= 0:
+            raise ValueError(f"drift_threshold_m must be positive, got {self.drift_threshold_m}")
+        if self.min_scans <= 0:
+            raise ValueError(f"min_scans must be positive, got {self.min_scans}")
+        if self.max_scans < self.min_scans:
+            raise ValueError(
+                f"max_scans ({self.max_scans}) must be >= min_scans ({self.min_scans})"
+            )
+        if self.max_age_s is not None and self.max_age_s <= 0:
+            raise ValueError(f"max_age_s must be positive, got {self.max_age_s}")
+
+    @property
+    def is_default(self) -> bool:
+        """True when every knob is at its default (policy is inert)."""
+
+        return self == DriftPolicy()
+
+    def decision(
+        self, n_rows: int, age_s: float, score: float | None
+    ) -> tuple[bool, str | None]:
+        """``(should_refit, reason)`` for the buffered state.
+
+        ``reason`` is one of ``"drift"``, ``"buffer_full"``, ``"age"``
+        or ``None``.
+        """
+
+        if n_rows >= self.max_scans:
+            return True, "buffer_full"
+        if n_rows < self.min_scans:
+            return False, None
+        if (
+            self.drift_threshold_m is not None
+            and score is not None
+            and score > self.drift_threshold_m
+        ):
+            return True, "drift"
+        if self.max_age_s is not None and age_s >= self.max_age_s:
+            return True, "age"
+        return False, None
+
+    def to_dict(self) -> dict:
+        return {
+            "drift_threshold_m": self.drift_threshold_m,
+            "min_scans": self.min_scans,
+            "max_scans": self.max_scans,
+            "max_age_s": self.max_age_s,
+        }
+
+
+def drift_score(localizer, rssi: np.ndarray, xy: np.ndarray) -> float:
+    """Mean localization error (m) of ``localizer`` on labeled scans.
+
+    This is the longitudinal-eval metric applied to the live buffer:
+    the slot's serving model replays the buffered observations and the
+    mean error against their ground-truth coordinates is the drift
+    score.
+    """
+
+    rssi = np.asarray(rssi, dtype=np.float64)
+    xy = np.asarray(xy, dtype=np.float64)
+    if rssi.shape[0] == 0:
+        return 0.0
+    if isinstance(localizer, BatchedLocalizer):
+        predicted = localizer.predict_batched(rssi)
+    else:
+        predicted = np.concatenate([localizer.predict(row[None, :]) for row in rssi], axis=0)
+    return float(np.mean(localization_errors(predicted, xy)))

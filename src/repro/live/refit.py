@@ -1,0 +1,148 @@
+"""Refit a slot's model from its base suite plus buffered observations.
+
+A refit builds a *merged* training set — the slot's offline training
+fingerprints row-concatenated with the live labeled observations — and
+pushes it through the ordinary ``ModelStore.get_or_fit`` path.  Because
+the store's ``train_fingerprint`` hashes the training arrays, the
+merged content automatically yields a **new** content-addressed
+:class:`~repro.serve.store.ModelKey`: the refit artifact lands beside
+the old version (same directory, different digest), spec-embedded like
+every other artifact, and the old model keeps serving until the swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..datasets.fingerprint import FingerprintDataset, LongitudinalSuite
+from ..geometry.floorplan import Floorplan
+from ..geometry.point import pairwise_distances
+from ..serve.store import ModelStore, StoreEntry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..fleet.registry import FleetSlot
+
+
+def nearest_rp_indices(floorplan: Floorplan, xy: np.ndarray) -> np.ndarray:
+    """Nearest reference-point index for each observed ``(x, y)``.
+
+    Live observations carry free coordinates; the training schema wants
+    a reference-point label per row.  Snapping to the nearest RP keeps
+    the merged dataset valid without inventing new grid points.
+    """
+
+    xy = np.asarray(xy, dtype=np.float64)
+    if xy.ndim != 2 or xy.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) coordinates, got shape {xy.shape}")
+    distances = pairwise_distances(xy, floorplan.reference_points)
+    return np.argmin(distances, axis=1).astype(np.int64)
+
+
+def build_refit_suite(
+    base: LongitudinalSuite,
+    obs_rssi: np.ndarray,
+    obs_xy: np.ndarray,
+    *,
+    content_hash: str | None = None,
+) -> LongitudinalSuite:
+    """The slot's suite with observations merged into the training set.
+
+    Observed rows keep their *measured* coordinates as training labels
+    (``rp_indices`` snap to the nearest reference point), are stamped
+    one hour past the last offline survey and get a fresh epoch label —
+    provenance stays visible in the merged arrays and in
+    ``metadata["live"]``.
+    """
+
+    obs_rssi = np.asarray(obs_rssi, dtype=np.float64)
+    obs_xy = np.asarray(obs_xy, dtype=np.float64)
+    if obs_rssi.ndim != 2 or obs_rssi.shape[1] != base.n_aps:
+        raise ValueError(
+            f"observations must be (n, {base.n_aps}) for suite {base.name!r}, "
+            f"got shape {obs_rssi.shape}"
+        )
+    if obs_rssi.shape[0] == 0:
+        raise ValueError("refit needs at least one buffered observation")
+    n = obs_rssi.shape[0]
+    observed = FingerprintDataset(
+        rssi=obs_rssi,
+        rp_indices=nearest_rp_indices(base.floorplan, obs_xy),
+        locations=obs_xy,
+        times_hours=np.full(n, float(base.train.times_hours.max()) + 1.0),
+        epochs=np.full(n, int(base.train.epochs.max()) + 1, dtype=np.int64),
+    )
+    merged = base.train.merge(observed)
+    metadata = dict(base.metadata)
+    metadata["live"] = {
+        "n_observations": int(n),
+        "base_rows": int(base.train.rssi.shape[0]),
+        **({"content_hash": content_hash} if content_hash else {}),
+    }
+    return LongitudinalSuite(
+        name=base.name,
+        floorplan=base.floorplan,
+        train=merged,
+        test_epochs=base.test_epochs,
+        epoch_labels=base.epoch_labels,
+        metadata=metadata,
+    )
+
+
+@dataclass(frozen=True)
+class RefitResult:
+    """Outcome of one slot refit (pre-swap)."""
+
+    entry: StoreEntry
+    suite: LongitudinalSuite
+    old_digest: str
+    n_observations: int
+
+    @property
+    def new_digest(self) -> str:
+        return self.entry.key.digest
+
+    def describe(self) -> dict:
+        return {
+            "old_digest": self.old_digest[:16],
+            "new_digest": self.new_digest[:16],
+            "n_observations": self.n_observations,
+            "source": self.entry.source,
+            "fit_seconds": round(self.entry.fit_seconds, 3),
+        }
+
+
+def refit_slot(
+    store: ModelStore,
+    slot: "FleetSlot",
+    obs_rssi: np.ndarray,
+    obs_xy: np.ndarray,
+    *,
+    content_hash: str | None = None,
+) -> RefitResult:
+    """Fit a new model version for ``slot`` from base + observations.
+
+    Runs synchronously (callers run it off the event loop); every knob
+    of the new fit — framework, seed, fast, index, backend — is carried
+    over from the slot's current binding so the only thing that changes
+    is the training content.
+    """
+
+    suite = build_refit_suite(slot.suite, obs_rssi, obs_xy, content_hash=content_hash)
+    key = slot.entry.key
+    entry = store.get_or_fit(
+        key.framework,
+        suite,
+        seed=key.seed,
+        fast=key.fast,
+        index=slot.index,
+        backend=key.backend,
+    )
+    return RefitResult(
+        entry=entry,
+        suite=suite,
+        old_digest=key.digest,
+        n_observations=int(np.asarray(obs_rssi).shape[0]),
+    )

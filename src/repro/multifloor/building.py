@@ -85,6 +85,7 @@ class Building:
 
     def describe(self) -> str:
         lines = [f"building {self.name!r}: {self.n_floors} floors"]
-        for i, fp in enumerate(self.floors):
-            lines.append(f"  floor {i}: {fp.describe()}")
+        lines.extend(
+            f"  floor {i}: {fp.describe()}" for i, fp in enumerate(self.floors)
+        )
         return "\n".join(lines)

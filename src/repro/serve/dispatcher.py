@@ -202,6 +202,21 @@ class BatchingDispatcher:
             return await self._dispatch_sequential(rssi, trace)
         return await self._enqueue(rssi, trace)
 
+    async def drain(self) -> None:
+        """Complete every enqueued and in-flight request, failing none.
+
+        The hot-swap half of ``close()``: a live swap first points new
+        traffic at the replacement dispatcher, then drains this one so
+        requests that already hold its reference finish on the *old*
+        model, then closes it. Flushes whatever is pending and rides a
+        sentinel through the single-worker inference executor — FIFO
+        ordering guarantees every earlier batch has computed by the
+        time the sentinel returns.
+        """
+        self._flush()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, lambda: None)
+
     def close(self) -> None:
         """Fail pending requests and release the inference thread."""
         if self._closed:

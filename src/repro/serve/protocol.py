@@ -281,6 +281,45 @@ def parse_localize_batch(payload: dict, n_aps: int) -> np.ndarray:
     return _as_rssi_matrix(rssi, n_aps)
 
 
+def parse_observe(payload: dict, n_aps: int) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a ``/observe`` payload into ``(scans, locations)``.
+
+    Request shape::
+
+        {"api_version": 1,
+         "rssi": [[...], ...],          # (n, fleet_aps), like /localize_batch
+         "locations": [[x, y], ...],    # (n, 2) ground-truth meters
+         "building": "HQ", "floor": 1}  # required slot pins
+
+    ``rssi`` follows the exact ``/localize_batch`` rules (including the
+    clip-to-band normalization); ``locations`` must be finite, one
+    ``[x, y]`` pair per scan row. The building/floor pins are validated
+    by :func:`parse_routing_fields` — for observations they are
+    *required* (an observation is a labeled fact about one slot, never
+    something to classify), which the server enforces.
+    """
+    scans = parse_localize_batch(payload, n_aps)
+    locations = payload.get("locations")
+    if locations is None:
+        raise RequestError('missing required field "locations"')
+    if not isinstance(locations, (list, tuple)) or not all(
+        isinstance(row, (list, tuple)) and len(row) == 2 for row in locations
+    ):
+        raise RequestError('"locations" must be a list of [x, y] pairs')
+    if len(locations) != scans.shape[0]:
+        raise RequestError(
+            f'"locations" must pair rssi rows 1:1 '
+            f"({len(locations)} pairs for {scans.shape[0]} rows)"
+        )
+    try:
+        xy = np.asarray(locations, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"locations must be numeric: {exc}") from exc
+    if not np.isfinite(xy).all():
+        raise RequestError("location values must be finite numbers")
+    return scans, xy
+
+
 def parse_routing_fields(payload: dict) -> tuple[Any, Any]:
     """Validate the optional ``building``/``floor`` routing pins.
 

@@ -126,7 +126,7 @@ class JsonHttpServer:
     #: folded into ``"other"`` so probing random paths cannot grow the
     #: label space without bound.
     _endpoints = ("/healthz", "/models", "/localize", "/localize_batch",
-                  "/fleet", "/metrics")
+                  "/observe", "/fleet", "/metrics")
 
     def __init__(
         self,

@@ -366,6 +366,107 @@ class ModelStore:
         """All warm entries, in insertion order."""
         return list(self._entries.values())
 
+    def disk_manifest(self) -> list[dict]:
+        """Every persisted artifact, described from its own payload.
+
+        Artifacts are self-describing (the ``spec`` record is required),
+        so the manifest never reverse-engineers filenames. Unreadable or
+        foreign pickles are listed with an ``"error"`` field rather than
+        skipped — an audit that silently drops files is not an audit.
+        Sorted newest-first by mtime.
+        """
+        if self.model_dir is None:
+            return []
+        manifest: list[dict] = []
+        for path in sorted(self.model_dir.glob("*.pkl")):
+            stat = path.stat()
+            row: dict = {
+                "digest": path.stem,
+                "path": str(path),
+                "size_bytes": stat.st_size,
+                "mtime": stat.st_mtime,
+            }
+            try:
+                with path.open("rb") as fh:
+                    payload = pickle.load(fh)
+            except Exception as exc:  # noqa: BLE001 - audit, not serving
+                row["error"] = f"unreadable: {type(exc).__name__}"
+                manifest.append(row)
+                continue
+            if not isinstance(payload, dict) or "framework" not in payload:
+                row["error"] = "not a repro model artifact"
+                manifest.append(row)
+                continue
+            row.update(
+                schema=payload.get("schema"),
+                framework=payload.get("framework"),
+                suite=payload.get("suite_name"),
+                n_aps=payload.get("n_aps"),
+                seed=payload.get("seed"),
+                fast=payload.get("fast"),
+                index_tag=payload.get("index_tag"),
+                backend=payload.get("backend"),
+                train_hash=str(payload.get("train_hash", ""))[:16],
+            )
+            spec = payload.get("spec")
+            if isinstance(spec, dict):
+                try:
+                    from ..api.config import LocalizerSpec
+
+                    row["spec_fingerprint"] = (
+                        LocalizerSpec.from_dict(spec).fingerprint()[:16]
+                    )
+                except (ValueError, TypeError, KeyError):
+                    row["spec_fingerprint"] = None
+            else:
+                row["spec_fingerprint"] = None
+            manifest.append(row)
+        manifest.sort(key=lambda r: r["mtime"], reverse=True)
+        return manifest
+
+    def prune(
+        self,
+        *,
+        keep: int = 1,
+        dry_run: bool = False,
+        referenced: set[str] | None = None,
+    ) -> list[dict]:
+        """Delete superseded artifact versions; returns what was removed.
+
+        Artifacts group by configuration — ``(framework, suite, seed,
+        fast, index_tag, backend)`` — so a live refit (same config, new
+        training content) creates a *version* within its group. Each
+        group keeps its ``keep`` newest versions by mtime; digests in
+        ``referenced`` (e.g. a running fleet's slot bindings) are always
+        kept regardless of age. Unreadable artifacts are never pruned —
+        deleting what you cannot identify is how data loss happens.
+        ``dry_run=True`` reports without unlinking.
+        """
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        referenced = referenced or set()
+        groups: dict[tuple, list[dict]] = {}
+        for row in self.disk_manifest():
+            if "error" in row:
+                continue
+            group = (
+                row["framework"], row["suite"], row["seed"],
+                row["fast"], row["index_tag"], row["backend"],
+            )
+            groups.setdefault(group, []).append(row)
+        removed: list[dict] = []
+        for rows in groups.values():
+            # disk_manifest is newest-first; everything past `keep` is
+            # a superseded version unless a live slot still serves it.
+            for row in rows[keep:]:
+                if row["digest"] in referenced:
+                    continue
+                if not dry_run:
+                    Path(row["path"]).unlink(missing_ok=True)
+                    self._entries.pop(row["digest"], None)
+                removed.append(row)
+        return removed
+
     def describe(self) -> dict:
         """JSON-ready store summary for the ``/models`` endpoint."""
         return {

@@ -59,8 +59,7 @@ def http_request(
     length = len(body) if content_length is None else content_length
     head = [f"{method} {path} HTTP/1.1", "Host: chaos"]
     head.append(f"Content-Length: {length}")
-    for name, value in extra_headers:
-        head.append(f"{name}: {value}")
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
     return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
 
 

@@ -41,7 +41,7 @@ from ..fleet.registry import FleetRegistry
 from ..obs import DEFAULT_LATENCY_BUCKETS, MetricsRegistry, histogram_percentile
 
 #: Outcome taxonomy keys (fixed so reports are always comparable).
-OUTCOMES = ("ok", "overload", "rejected", "unknown_slot")
+OUTCOMES = ("ok", "observed", "overload", "rejected", "unknown_slot")
 
 
 @dataclass(frozen=True)
@@ -57,18 +57,25 @@ class ChaosSpec:
     #: Slot pins naming buildings/floors that do not exist (KeyError →
     #: HTTP 400).
     misroute: float = 0.0
+    #: Malformed/mislabeled ``/observe`` payloads (out-of-band RSSI,
+    #: location-count mismatches) — a clean 400, and the slot's
+    #: observation buffer must come through unpoisoned.
+    bad_observation: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("malformed", "oversized", "misroute"):
+        for name in ("malformed", "oversized", "misroute", "bad_observation"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
-        if self.malformed + self.oversized + self.misroute > 1.0:
+        if self.total > 1.0:
             raise ValueError("chaos fractions must sum to <= 1")
 
     @property
     def total(self) -> float:
-        return self.malformed + self.oversized + self.misroute
+        return (
+            self.malformed + self.oversized + self.misroute
+            + self.bad_observation
+        )
 
 
 @dataclass(frozen=True)
@@ -90,6 +97,10 @@ class LoadSpec:
     #: Fraction of requests that pin their true slot instead of letting
     #: the router classify.
     pin_fraction: float = 0.0
+    #: Fraction of well-formed requests sent as labeled ``/observe``
+    #: ingests (ground-truth scans into one slot's live buffer) instead
+    #: of localizations — the live-update loop under load.
+    observe_fraction: float = 0.0
     #: Which test epoch's traffic to replay (0-based).
     epoch: int = 0
     seed: int = 0
@@ -112,6 +123,8 @@ class LoadSpec:
             raise ValueError("zipf_s must be non-negative")
         if not 0.0 <= self.pin_fraction <= 1.0:
             raise ValueError("pin_fraction must be in [0, 1]")
+        if not 0.0 <= self.observe_fraction <= 1.0:
+            raise ValueError("observe_fraction must be in [0, 1]")
 
 
 class TrafficPool:
@@ -131,11 +144,13 @@ class TrafficPool:
         zipf_s: float = 0.0,
         seed: int = 0,
     ) -> None:
-        scans, true_b, true_f, _ = fleet_epoch_traffic(registry, epoch)
+        scans, true_b, true_f, true_xy = fleet_epoch_traffic(registry, epoch)
         self.scans = scans
         self.true_building = true_b
         self.true_floor = true_f
+        self.true_xy = true_xy
         self.building_names = [b.name for b in registry.buildings]
+        self._slot_rows: dict[tuple[int, int], np.ndarray] = {}
         self._rng = np.random.default_rng(seed)
         n = scans.shape[0]
         if zipf_s > 0:
@@ -160,6 +175,32 @@ class TrafficPool:
             self.scans[idx],
             self.building_names[int(self.true_building[first])],
             int(self.true_floor[first]),
+        )
+
+    def sample_observation(
+        self, rows: int
+    ) -> tuple[np.ndarray, str, int, np.ndarray]:
+        """``rows`` labeled scans, all from ONE skew-weighted slot.
+
+        Observations are facts about a single deployment slot, so —
+        unlike :meth:`sample`'s mixed-slot localization batches — every
+        row here shares the picked slot, and its ground-truth ``(n, 2)``
+        coordinates ride along as the label.
+        """
+        pick = int(self._rng.choice(self.n_rows, p=self._p))
+        key = (int(self.true_building[pick]), int(self.true_floor[pick]))
+        pool = self._slot_rows.get(key)
+        if pool is None:
+            pool = np.flatnonzero(
+                (self.true_building == key[0]) & (self.true_floor == key[1])
+            )
+            self._slot_rows[key] = pool
+        idx = self._rng.choice(pool, size=rows)
+        return (
+            self.scans[idx],
+            self.building_names[key[0]],
+            key[1],
+            self.true_xy[idx],
         )
 
 
@@ -187,6 +228,8 @@ class LoadReport:
     #: The run's own metrics registry, snapshot as a JSON-ready dict
     #: (``repro_load_request_seconds``, ``repro_load_outcomes_total``).
     metrics: dict = field(default_factory=dict)
+    #: Labeled observation rows ingested through the live loop.
+    observed_rows: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -195,6 +238,7 @@ class LoadReport:
             "offered_requests": self.offered_requests,
             "outcomes": dict(self.outcomes),
             "ok_rows": self.ok_rows,
+            "observed_rows": self.observed_rows,
             "offered_rps": round(self.offered_rps, 2),
             "throughput_rps": round(self.throughput_rps, 2),
             "rows_per_s": round(self.rows_per_s, 2),
@@ -239,15 +283,21 @@ class _Driver:
     """One load run's mutable state (request factory + recorder)."""
 
     def __init__(
-        self, dispatcher: FleetDispatcher, pool: TrafficPool, load: LoadSpec
+        self,
+        dispatcher: FleetDispatcher,
+        pool: TrafficPool,
+        load: LoadSpec,
+        live=None,
     ) -> None:
         self.dispatcher = dispatcher
         self.pool = pool
         self.load = load
+        self.live = live
         self.rng = np.random.default_rng(np.random.SeedSequence([load.seed, 1]))
         self.latencies_s: list[float] = []
         self.outcomes: dict[str, int] = dict.fromkeys(OUTCOMES, 0)
         self.ok_rows = 0
+        self.observed_rows = 0
         # Record into the same bucket schema the servers expose on
         # /metrics so stress-lab histograms and live scrapes compare
         # bucket-for-bucket.
@@ -274,6 +324,30 @@ class _Driver:
             (dispatcher.max_pending_rows + 1, n_aps), -70.0
         )
 
+    async def _observe(self, *, hostile: bool) -> None:
+        """One labeled ingest (possibly poisoned) through the live loop."""
+        scans, building, floor, xy = self.pool.sample_observation(
+            self.load.batch_rows
+        )
+        if hostile:
+            # Alternate the two observe failure modes: out-of-band RSSI
+            # (a physically impossible +5 dBm reading) and a label-count
+            # mismatch. Both must 400 without poisoning the buffer.
+            if float(self.rng.random()) < 0.5:
+                scans = scans.copy()
+                scans[0, 0] = 5.0
+            else:
+                xy = xy[:-1] if xy.shape[0] > 1 else np.empty((0, 2))
+        try:
+            await self.live.observe(scans, xy, building=building, floor=floor)
+        except (ValueError, KeyError):
+            self.outcomes["rejected"] += 1
+            self._outcome_counter.labels("rejected").inc()
+        else:
+            self.outcomes["observed"] += 1
+            self._outcome_counter.labels("observed").inc()
+            self.observed_rows += scans.shape[0]
+
     async def issue(self) -> None:
         """Send one request (possibly hostile) and record its outcome."""
         chaos = self.load.chaos
@@ -283,10 +357,20 @@ class _Driver:
             scans = self._malformed
         elif draw < chaos.malformed + chaos.oversized:
             scans = self._oversized
-        elif draw < chaos.total:
+        elif draw < chaos.malformed + chaos.oversized + chaos.misroute:
             scans = self.pool.sample(self.load.batch_rows)[0]
             building, floor = "no-such-building", 0
+        elif draw < chaos.total and self.live is not None:
+            await self._observe(hostile=True)
+            return
         else:
+            if (
+                self.live is not None
+                and self.load.observe_fraction
+                and float(self.rng.random()) < self.load.observe_fraction
+            ):
+                await self._observe(hostile=False)
+                return
             scans, true_building, true_floor = self.pool.sample(
                 self.load.batch_rows
             )
@@ -348,15 +432,28 @@ class _Driver:
 
 
 async def run_load_async(
-    dispatcher: FleetDispatcher, pool: TrafficPool, load: LoadSpec
+    dispatcher: FleetDispatcher,
+    pool: TrafficPool,
+    load: LoadSpec,
+    *,
+    live=None,
 ) -> LoadReport:
-    """Run one load spec against an already-running dispatcher."""
-    driver = _Driver(dispatcher, pool, load)
+    """Run one load spec against an already-running dispatcher.
+
+    ``live`` is the :class:`~repro.live.LiveManager` behind the
+    ``observe_fraction`` / ``chaos.bad_observation`` traffic; without
+    one those requests degrade to plain localizations.
+    """
+    driver = _Driver(dispatcher, pool, load, live=live)
     start = time.perf_counter()
     if load.mode == "closed":
         offered = await driver.run_closed()
     else:
         offered = await driver.run_open()
+    if live is not None:
+        # Ingest-triggered drift tasks must settle inside the measured
+        # window's accounting, not leak into the caller's loop teardown.
+        await live.drain()
     elapsed = max(time.perf_counter() - start, 1e-9)
     ok = driver.outcomes["ok"]
     snapshot = driver.metrics.snapshot()
@@ -381,10 +478,14 @@ async def run_load_async(
         offered_rps=offered / elapsed,
         throughput_rps=ok / elapsed,
         rows_per_s=driver.ok_rows / elapsed,
-        saturation=(ok / offered) if offered else 0.0,
+        # Observes are achieved work too — without them an observe-heavy
+        # run would read as saturated when nothing was dropped.
+        saturation=((ok + driver.outcomes["observed"]) / offered)
+        if offered else 0.0,
         latency_ms=_latency_summary(driver.latencies_s),
         latency_hist=latency_hist,
         metrics=snapshot.as_dict(),
+        observed_rows=driver.observed_rows,
     )
 
 
@@ -393,6 +494,7 @@ def run_load(
     load: LoadSpec,
     *,
     dispatcher: FleetDispatcher | None = None,
+    live=None,
     batch_window_ms: float = 1.0,
     max_batch: int = 256,
     max_pending_rows: int | None = None,
@@ -402,6 +504,8 @@ def run_load(
     A dispatcher built here is closed before returning; a caller-owned
     ``dispatcher`` is left running (its stats then accumulate across
     runs, which is what the stress bench's escalation loop wants).
+    When the spec asks for observe traffic and no ``live`` manager is
+    supplied, a default-policy one is created (and closed) here.
     """
     pool = TrafficPool(
         registry, epoch=load.epoch, zipf_s=load.zipf_s, seed=load.seed
@@ -412,9 +516,18 @@ def run_load(
         if max_pending_rows is not None:
             kwargs["max_pending_rows"] = max_pending_rows
         dispatcher = FleetDispatcher(registry, **kwargs)
+    owned_live = live is None and (
+        load.observe_fraction > 0 or load.chaos.bad_observation > 0
+    )
+    if owned_live:
+        from ..live import LiveManager
+
+        live = LiveManager(dispatcher)
     try:
-        return asyncio.run(run_load_async(dispatcher, pool, load))
+        return asyncio.run(run_load_async(dispatcher, pool, load, live=live))
     finally:
+        if owned_live:
+            live.close()
         if owned:
             dispatcher.close()
 

@@ -1,0 +1,61 @@
+"""Live-layer fixtures: small fleets + labeled drifted-month traffic.
+
+Hot-swap tests mutate their registry's slot bindings, so — unlike the
+session-scoped fleet in ``tests/fleet`` — mutating tests get a *fresh*
+fleet from the ``live_fleet`` factory and the read-only fixtures stay
+module-scoped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetRegistry, parse_fleet_spec
+from repro.fleet.experiment import fleet_epoch_traffic
+
+
+def make_fleet(model_dir=None, *, spec="HQ:2", months=2, aps_per_floor=10):
+    return FleetRegistry.from_specs(
+        parse_fleet_spec(spec),
+        framework="KNN",
+        seed=0,
+        fast=True,
+        months=months,
+        aps_per_floor=aps_per_floor,
+        model_dir=model_dir,
+    )
+
+
+@pytest.fixture()
+def live_fleet(tmp_path):
+    """A fresh two-slot fleet with a disk-backed store (mutable)."""
+    return make_fleet(tmp_path / "models")
+
+
+@pytest.fixture()
+def labeled_traffic(live_fleet):
+    """Drifted-month labeled rows for HQ/f0: (scans, xy) fleet-wide."""
+    scans, true_b, true_f, true_xy = fleet_epoch_traffic(live_fleet, 1)
+    mask = (true_b == 0) & (true_f == 0)
+    return scans[mask], true_xy[mask]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def direct_answer(registry, building, floor, scans):
+    """Reference answer: the slot's current localizer, called directly."""
+    deployment = registry.building(building)
+    localizer = registry.slot(building, floor).entry.localizer
+    return localizer.predict_batched(deployment.block(scans))
+
+
+def matches_exactly_one_version(coords, v1, v2):
+    """A swap-window answer must be bit-identical to v1 or v2 — and the
+    two are distinguishable, so "both" means the refit was a no-op."""
+    coords = np.asarray(coords)
+    return np.array_equal(coords, v1) or np.array_equal(coords, v2)

@@ -1,0 +1,136 @@
+"""ObservationBuffer: crash safety, rotation, bounds, validation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.live import ObservationBuffer
+from repro.live.buffer import slot_dirname
+
+
+def make_rows(n, n_aps=4, seed=0):
+    rng = np.random.default_rng(seed)
+    rssi = rng.uniform(-90.0, -30.0, size=(n, n_aps))
+    xy = rng.uniform(0.0, 20.0, size=(n, 2))
+    return rssi, xy
+
+
+class TestAppendAndRecover:
+    def test_roundtrip(self, tmp_path):
+        buf = ObservationBuffer(tmp_path, "HQ/f0", 4)
+        rssi, xy = make_rows(5)
+        assert buf.append(rssi, xy) == 5
+        assert buf.n_rows == 5
+        got_rssi, got_xy = buf.rows()
+        np.testing.assert_array_equal(got_rssi, rssi)
+        np.testing.assert_array_equal(got_xy, xy)
+
+    def test_recovery_preserves_rows_and_hash(self, tmp_path):
+        buf = ObservationBuffer(tmp_path, "HQ/f0", 4)
+        rssi, xy = make_rows(7)
+        buf.append(rssi, xy)
+        fresh = ObservationBuffer(tmp_path, "HQ/f0", 4)
+        assert fresh.n_rows == 7
+        assert fresh.content_hash == buf.content_hash
+        got_rssi, got_xy = fresh.rows()
+        np.testing.assert_array_equal(got_rssi, rssi)
+        np.testing.assert_array_equal(got_xy, xy)
+
+    def test_torn_final_line_is_dropped_not_fatal(self, tmp_path):
+        buf = ObservationBuffer(tmp_path, "HQ/f0", 4)
+        rssi, xy = make_rows(3)
+        buf.append(rssi, xy)
+        segment = sorted((tmp_path / slot_dirname("HQ/f0")).iterdir())[0]
+        with open(segment, "a", encoding="utf-8") as fh:
+            fh.write('{"ts": 1.0, "rssi": [-50.0, -5')  # crash mid-write
+        fresh = ObservationBuffer(tmp_path, "HQ/f0", 4)
+        assert fresh.n_rows == 3
+        np.testing.assert_array_equal(fresh.rows()[0], rssi)
+
+    def test_foreign_garbage_row_truncates_tail(self, tmp_path):
+        buf = ObservationBuffer(tmp_path, "HQ/f0", 4)
+        rssi, xy = make_rows(2)
+        buf.append(rssi, xy)
+        segment = sorted((tmp_path / slot_dirname("HQ/f0")).iterdir())[0]
+        with open(segment, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"rssi": [1, 2], "xy": [0]}) + "\n")
+        fresh = ObservationBuffer(tmp_path, "HQ/f0", 4)
+        assert fresh.n_rows == 2
+
+
+class TestRotationAndBounds:
+    def test_segments_rotate(self, tmp_path):
+        buf = ObservationBuffer(tmp_path, "HQ/f0", 4, segment_rows=3)
+        rssi, xy = make_rows(8)
+        buf.append(rssi, xy)
+        files = sorted(
+            p.name for p in (tmp_path / slot_dirname("HQ/f0")).iterdir()
+        )
+        assert files == ["obs-000000.jsonl", "obs-000001.jsonl",
+                         "obs-000002.jsonl"]
+
+    def test_max_rows_trims_oldest_whole_segments(self, tmp_path):
+        buf = ObservationBuffer(
+            tmp_path, "HQ/f0", 4, max_rows=6, segment_rows=3
+        )
+        rssi, xy = make_rows(12)
+        buf.append(rssi, xy)
+        assert buf.n_rows <= 6
+        # The survivors are the NEWEST rows.
+        got_rssi, _ = buf.rows()
+        np.testing.assert_array_equal(got_rssi, rssi[-got_rssi.shape[0]:])
+
+    def test_clear_rows_partial_segment_rewrite(self, tmp_path):
+        buf = ObservationBuffer(tmp_path, "HQ/f0", 4, segment_rows=4)
+        rssi, xy = make_rows(10)
+        buf.append(rssi, xy)
+        buf.clear_rows(6)
+        assert buf.n_rows == 4
+        np.testing.assert_array_equal(buf.rows()[0], rssi[6:])
+        # ...and the rewrite is durable across recovery.
+        fresh = ObservationBuffer(tmp_path, "HQ/f0", 4, segment_rows=4)
+        np.testing.assert_array_equal(fresh.rows()[0], rssi[6:])
+
+    def test_clear(self, tmp_path):
+        buf = ObservationBuffer(tmp_path, "HQ/f0", 4)
+        buf.append(*make_rows(3))
+        buf.clear()
+        assert buf.n_rows == 0
+        assert ObservationBuffer(tmp_path, "HQ/f0", 4).n_rows == 0
+
+
+class TestValidationNeverPoisons:
+    @pytest.fixture()
+    def buf(self, tmp_path):
+        buf = ObservationBuffer(tmp_path, "HQ/f0", 4)
+        buf.append(*make_rows(2))
+        return buf
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda r, x: (r[:, :3], x),  # wrong AP width
+            lambda r, x: (r, x[:-1]),  # location count mismatch
+            lambda r, x: (r, x[:, :1]),  # locations not (n, 2)
+            lambda r, x: (np.full_like(r, 5.0), x),  # RSSI above 0 dBm
+            lambda r, x: (np.full_like(r, -300.0), x),  # below no-signal
+            lambda r, x: (np.full_like(r, np.nan), x),  # non-finite
+            lambda r, x: (r[:0], x[:0]),  # empty batch
+        ],
+    )
+    def test_rejected_before_any_write(self, buf, mutate):
+        before_hash = buf.content_hash
+        rssi, xy = make_rows(3, seed=9)
+        with pytest.raises(ValueError):
+            buf.append(*mutate(rssi, xy))
+        assert buf.n_rows == 2
+        assert buf.content_hash == before_hash
+
+    def test_age_and_describe(self, buf):
+        assert buf.age_s(now=buf.rows()[0].shape[0] * 1e12) > 0
+        desc = buf.describe()
+        assert desc["n_rows"] == 2
+        assert desc["n_aps"] == 4

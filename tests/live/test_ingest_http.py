@@ -1,0 +1,149 @@
+"""POST /observe over HTTP: round trip, 400 matrix, never-poison, metrics."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.client import ReproClient
+from repro.fleet import FleetDispatcher, FleetServer
+from repro.fleet.experiment import fleet_epoch_traffic
+from repro.live import LiveManager
+
+from .conftest import make_fleet
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    registry = make_fleet(tmp_path_factory.mktemp("models"))
+    dispatcher = FleetDispatcher(registry, batch_window_ms=1.0)
+    live = LiveManager(
+        dispatcher, buffer_dir=tmp_path_factory.mktemp("live-buffers")
+    )
+    srv = FleetServer(registry, dispatcher, port=0, live=live)
+    handle = srv.start_background()
+    yield srv
+    handle.shutdown()
+
+
+@pytest.fixture(scope="module")
+def traffic(server):
+    registry = server.registry
+    scans, true_b, true_f, true_xy = fleet_epoch_traffic(registry, 1)
+    mask = (true_b == 0) & (true_f == 0)
+    return scans[mask], true_xy[mask]
+
+
+def _request(server, method, path, payload=None):
+    if payload is not None and "api_version" not in payload:
+        payload = {"api_version": 1, **payload}
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    body = json.dumps(payload) if payload is not None else None
+    conn.request(method, path, body=body)
+    response = conn.getresponse()
+    data = response.read()
+    conn.close()
+    if path == "/metrics":
+        return response.status, data.decode()
+    return response.status, json.loads(data)
+
+
+def _observe_payload(traffic, n=4, **overrides):
+    scans, xy = traffic
+    payload = {
+        "rssi": scans[:n].tolist(),
+        "locations": xy[:n].tolist(),
+        "building": "HQ",
+        "floor": 0,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _buffered(server):
+    _, body = _request(server, "GET", "/models")
+    return body["live"]["slots"].get("HQ/f0", {}).get("buffered", 0)
+
+
+class TestObserveRoundTrip:
+    def test_http_ingest(self, server, traffic):
+        before = _buffered(server)
+        status, body = _request(
+            server, "POST", "/observe", _observe_payload(traffic, n=4)
+        )
+        assert status == 200
+        assert body["slot"] == "HQ/f0"
+        assert body["appended"] == 4
+        assert body["buffered"] == before + 4
+        assert body["version"] >= 1
+
+    def test_client_observe(self, server, traffic):
+        scans, xy = traffic
+        client = ReproClient("127.0.0.1", server.port)
+        result = client.observe(scans[4:7], xy[4:7], building="HQ", floor=0)
+        assert result["slot"] == "HQ/f0"
+        assert result["appended"] == 3
+
+
+class TestObserveRejections:
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: {k: v for k, v in p.items() if k != "building"},
+            lambda p: {k: v for k, v in p.items() if k != "floor"},
+            lambda p: {k: v for k, v in p.items() if k != "locations"},
+            lambda p: {**p, "rssi": [row[:-1] for row in p["rssi"]]},
+            lambda p: {**p, "locations": p["locations"][:-1]},
+            lambda p: {**p, "locations": [[0.0] for _ in p["locations"]]},
+            lambda p: {**p, "building": "NOPE"},
+            lambda p: {**p, "floor": 99},
+        ],
+    )
+    def test_bad_payload_is_400_and_never_buffers(self, server, traffic, mutate):
+        before = _buffered(server)
+        status, body = _request(
+            server, "POST", "/observe", mutate(_observe_payload(traffic))
+        )
+        assert status == 400
+        assert "error" in body
+        assert _buffered(server) == before
+
+    def test_get_is_405(self, server):
+        status, _ = _request(server, "GET", "/observe")
+        assert status == 405
+
+    def test_still_ingests_after_rejections(self, server, traffic):
+        before = _buffered(server)
+        status, body = _request(
+            server, "POST", "/observe", _observe_payload(traffic, n=2)
+        )
+        assert status == 200
+        assert body["buffered"] == before + 2
+
+
+class TestObservabilitySurface:
+    def test_models_annotated_with_versions(self, server):
+        status, body = _request(server, "GET", "/models")
+        assert status == 200
+        slot = body["slots"]["HQ/f0"]
+        assert slot["version"] >= 1
+        assert len(slot["digest"]) == 16
+        assert "live" in body
+
+    def test_live_metrics_families_exported(self, server, traffic):
+        _request(server, "POST", "/observe", _observe_payload(traffic, n=2))
+        status, text = _request(server, "GET", "/metrics")
+        assert status == 200
+        assert 'repro_live_observations_total{slot="HQ/f0"}' in text
+        assert 'repro_live_buffered_scans{slot="HQ/f0"}' in text
+
+    def test_localize_unaffected_by_ingest(self, server, traffic):
+        scans, _ = traffic
+        status, body = _request(
+            server, "POST", "/localize_batch", {"rssi": scans[:4].tolist()}
+        )
+        assert status == 200
+        assert np.asarray(body["locations"]).shape == (4, 2)

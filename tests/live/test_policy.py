@@ -1,0 +1,111 @@
+"""DriftPolicy decision matrix, fingerprint conditionality, drift_score."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.config import FleetSpec
+from repro.live import DriftPolicy
+from repro.live.policy import drift_score
+
+
+class TestDecision:
+    def test_buffer_full_always_fires(self):
+        policy = DriftPolicy(max_scans=64)
+        assert policy.decision(64, 0.0, None) == (True, "buffer_full")
+        # Even with a drift threshold the buffer bound wins first.
+        policy = DriftPolicy(drift_threshold_m=5.0, max_scans=64)
+        assert policy.decision(100, 0.0, 1.0) == (True, "buffer_full")
+
+    def test_below_min_scans_never_fires(self):
+        policy = DriftPolicy(drift_threshold_m=1.0, max_age_s=1.0, min_scans=32)
+        assert policy.decision(31, 1e9, 99.0) == (False, None)
+
+    def test_drift_trigger(self):
+        policy = DriftPolicy(drift_threshold_m=5.0)
+        assert policy.decision(32, 0.0, 5.1) == (True, "drift")
+        assert policy.decision(32, 0.0, 5.0) == (False, None)
+        assert policy.decision(32, 0.0, None) == (False, None)
+
+    def test_age_trigger(self):
+        policy = DriftPolicy(max_age_s=60.0)
+        assert policy.decision(32, 61.0, None) == (True, "age")
+        assert policy.decision(32, 59.0, None) == (False, None)
+
+    def test_default_policy_only_fires_on_buffer_full(self):
+        policy = DriftPolicy()
+        assert policy.is_default
+        assert policy.decision(4095, 1e9, 500.0) == (False, None)
+        assert policy.decision(4096, 0.0, None) == (True, "buffer_full")
+
+    def test_non_default_detection(self):
+        assert not DriftPolicy(drift_threshold_m=3.0).is_default
+        assert not DriftPolicy(min_scans=16).is_default
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drift_threshold_m": 0.0},
+            {"drift_threshold_m": -1.0},
+            {"min_scans": 0},
+            {"max_scans": 8, "min_scans": 16},
+            {"max_age_s": 0.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftPolicy(**kwargs)
+
+
+class TestFleetSpecIntegration:
+    def test_default_policy_stays_out_of_fingerprint(self):
+        base = FleetSpec.from_string("HQ:2")
+        live = FleetSpec.from_string("HQ:2")
+        assert live.drift_policy().is_default
+        assert base.fingerprint() == live.fingerprint()
+
+    def test_non_default_policy_changes_fingerprint(self):
+        base = FleetSpec.from_string("HQ:2")
+        live = FleetSpec.from_string("HQ:2", drift_threshold_m=4.0)
+        assert base.fingerprint() != live.fingerprint()
+
+    def test_dict_roundtrip_preserves_policy(self):
+        spec = FleetSpec.from_string(
+            "HQ:2", drift_threshold_m=4.0, live_min_scans=8, live_max_scans=64
+        )
+        again = FleetSpec.from_dict(spec.to_dict())
+        assert again.drift_policy() == spec.drift_policy()
+        assert again.fingerprint() == spec.fingerprint()
+
+
+class TestDriftScore:
+    def test_empty_is_zero(self):
+        class Never:
+            def predict(self, rssi):  # pragma: no cover - never called
+                raise AssertionError
+
+        assert drift_score(Never(), np.empty((0, 4)), np.empty((0, 2))) == 0.0
+
+    def test_mean_error_against_labels(self):
+        class Fixed:
+            def predict(self, rssi):
+                return np.zeros((rssi.shape[0], 2))
+
+        xy = np.array([[3.0, 4.0], [0.0, 0.0]])  # errors 5 and 0
+        score = drift_score(Fixed(), np.full((2, 4), -50.0), xy)
+        assert score == pytest.approx(2.5)
+
+    def test_real_slot_scores_drifted_month_worse(self, live_fleet):
+        from repro.fleet.experiment import fleet_epoch_traffic
+
+        localizer = live_fleet.slot("HQ", 0).entry.localizer
+        deployment = live_fleet.building("HQ")
+        scores = []
+        for epoch in (0, 1):
+            scans, true_b, true_f, true_xy = fleet_epoch_traffic(live_fleet, epoch)
+            mask = (true_b == 0) & (true_f == 0)
+            scores.append(
+                drift_score(localizer, deployment.block(scans[mask]), true_xy[mask])
+            )
+        assert scores[1] > scores[0]

@@ -1,0 +1,121 @@
+"""Refit identity: new digest, old artifact kept, spec-embedded, prune."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.live import build_refit_suite, nearest_rp_indices, refit_slot
+
+
+@pytest.fixture()
+def observations(labeled_traffic, live_fleet):
+    scans, xy = labeled_traffic
+    deployment = live_fleet.building("HQ")
+    return deployment.block(scans[:48]), xy[:48]
+
+
+class TestBuildRefitSuite:
+    def test_merged_rows_and_provenance(self, live_fleet, observations):
+        rssi, xy = observations
+        base = live_fleet.slot("HQ", 0).suite
+        suite = build_refit_suite(base, rssi, xy, content_hash="abc123")
+        assert suite.train.rssi.shape[0] == base.train.rssi.shape[0] + 48
+        assert suite.metadata["live"] == {
+            "n_observations": 48,
+            "base_rows": int(base.train.rssi.shape[0]),
+            "content_hash": "abc123",
+        }
+        # Observed rows keep measured coordinates as labels and are
+        # stamped after every offline survey.
+        np.testing.assert_array_equal(suite.train.locations[-48:], xy)
+        assert suite.train.times_hours[-1] > base.train.times_hours.max()
+        assert suite.train.epochs[-1] == base.train.epochs.max() + 1
+
+    def test_nearest_rp_snap(self, live_fleet):
+        floorplan = live_fleet.slot("HQ", 0).suite.floorplan
+        rps = floorplan.reference_points
+        nudged = rps[:5] + 0.01
+        np.testing.assert_array_equal(
+            nearest_rp_indices(floorplan, nudged), np.arange(5)
+        )
+
+    def test_rejects_empty_and_wrong_width(self, live_fleet):
+        base = live_fleet.slot("HQ", 0).suite
+        with pytest.raises(ValueError):
+            build_refit_suite(base, np.empty((0, base.n_aps)), np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            build_refit_suite(
+                base, np.full((4, base.n_aps + 1), -50.0), np.zeros((4, 2))
+            )
+
+
+class TestRefitSlot:
+    def test_new_digest_old_artifact_kept(self, live_fleet, observations):
+        rssi, xy = observations
+        store = live_fleet.store
+        slot = live_fleet.slot("HQ", 0)
+        on_disk_before = {row["digest"] for row in store.disk_manifest()}
+
+        result = refit_slot(store, slot, rssi, xy, content_hash="h1")
+        assert result.new_digest != result.old_digest
+        assert result.entry.source == "fitted"
+        assert result.n_observations == 48
+
+        manifest = store.disk_manifest()
+        digests = {row["digest"] for row in manifest}
+        # Old and new versions coexist on disk.
+        assert on_disk_before <= digests
+        assert result.new_digest in digests
+        assert result.old_digest in digests
+        # The refit artifact is self-describing: spec embedded, same
+        # config group as the artifact it supersedes.
+        by_digest = {row["digest"]: row for row in manifest}
+        new_row, old_row = by_digest[result.new_digest], by_digest[result.old_digest]
+        assert new_row["spec_fingerprint"] is not None
+        for field in ("framework", "suite", "seed", "fast", "index_tag", "backend"):
+            assert new_row[field] == old_row[field]
+        assert new_row["train_hash"] != old_row["train_hash"]
+
+    def test_same_buffer_content_is_cache_hit(self, live_fleet, observations):
+        rssi, xy = observations
+        store = live_fleet.store
+        slot = live_fleet.slot("HQ", 0)
+        first = refit_slot(store, slot, rssi, xy)
+        again = refit_slot(store, slot, rssi, xy)
+        assert again.new_digest == first.new_digest
+        # Identical merged content is a store hit, not a second fit.
+        assert again.entry is first.entry
+
+    def test_refit_model_answers_differ_from_old(self, live_fleet, labeled_traffic):
+        scans, xy = labeled_traffic
+        deployment = live_fleet.building("HQ")
+        slot = live_fleet.slot("HQ", 0)
+        result = refit_slot(
+            live_fleet.store, slot, deployment.block(scans[:48]), xy[:48]
+        )
+        probe = deployment.block(scans[48:80])
+        old = slot.entry.localizer.predict_batched(probe)
+        new = result.entry.localizer.predict_batched(probe)
+        assert not np.array_equal(old, new)
+
+    def test_rebind_then_prune_keeps_referenced(self, live_fleet, observations):
+        rssi, xy = observations
+        store = live_fleet.store
+        slot = live_fleet.slot("HQ", 0)
+        old_digest = slot.entry.key.digest
+        old_version = slot.version
+        result = refit_slot(store, slot, rssi, xy)
+        live_fleet.rebind_slot("HQ", 0, entry=result.entry, suite=result.suite)
+        assert live_fleet.slot("HQ", 0).version == old_version + 1
+
+        bound = {s.entry.key.digest for s in live_fleet.slots()}
+        removed = store.prune(keep=1, referenced=bound)
+        removed_digests = {row["digest"] for row in removed}
+        # Exactly the superseded, unreferenced old version goes.
+        assert removed_digests == {old_digest}
+        remaining = {row["digest"] for row in store.disk_manifest()}
+        assert bound <= remaining
+        # The pruned fleet still serves.
+        coords = live_fleet.slot("HQ", 0).entry.localizer.predict_batched(rssi[:4])
+        assert coords.shape == (4, 2)

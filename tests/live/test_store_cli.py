@@ -1,0 +1,121 @@
+"""ModelStore audit surface: disk_manifest, prune, `repro store` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fleet.experiment import fleet_epoch_traffic
+from repro.live import refit_slot
+
+from .conftest import make_fleet
+
+
+@pytest.fixture()
+def refit_store(tmp_path):
+    """A disk-backed fleet with one superseded HQ/f0 artifact."""
+    model_dir = tmp_path / "models"
+    registry = make_fleet(model_dir)
+    scans, true_b, true_f, true_xy = fleet_epoch_traffic(registry, 1)
+    mask = (true_b == 0) & (true_f == 0)
+    slot = registry.slot("HQ", 0)
+    old_digest = slot.entry.key.digest
+    block = registry.building("HQ").block(scans[mask][:40])
+    result = refit_slot(registry.store, slot, block, true_xy[mask][:40])
+    registry.rebind_slot("HQ", 0, entry=result.entry, suite=result.suite)
+    return model_dir, registry, old_digest, result.new_digest
+
+
+class TestDiskManifest:
+    def test_rows_are_self_describing(self, live_fleet):
+        manifest = live_fleet.store.disk_manifest()
+        assert len(manifest) == 2  # HQ/f0 + HQ/f1
+        for row in manifest:
+            assert "error" not in row
+            assert row["framework"] == "KNN"
+            assert len(row["digest"]) > 16
+            assert row["size_bytes"] > 0
+            assert row["spec_fingerprint"] is not None
+
+    def test_unreadable_artifact_reported_not_fatal(self, live_fleet):
+        store = live_fleet.store
+        victim = store.model_dir / f"{'0' * 16}.pkl"
+        victim.write_bytes(b"not a pickle")
+        rows = store.disk_manifest()
+        assert len(rows) == 3
+        bad = [row for row in rows if "error" in row]
+        assert len(bad) == 1
+        assert bad[0]["size_bytes"] == len(b"not a pickle")
+
+
+class TestPrune:
+    def test_dry_run_removes_nothing(self, refit_store):
+        _, registry, old_digest, _ = refit_store
+        store = registry.store
+        removed = store.prune(keep=1, dry_run=True)
+        assert {row["digest"] for row in removed} == {old_digest}
+        assert old_digest in {row["digest"] for row in store.disk_manifest()}
+
+    def test_referenced_artifacts_survive(self, refit_store):
+        _, registry, old_digest, new_digest = refit_store
+        store = registry.store
+        # Pin the OLD digest as referenced: nothing may be removed even
+        # though the group has two versions.
+        removed = store.prune(keep=1, referenced={old_digest, new_digest})
+        assert removed == []
+
+    def test_prune_keeps_newest_per_group(self, refit_store):
+        _, registry, old_digest, new_digest = refit_store
+        store = registry.store
+        removed = store.prune(keep=1)
+        assert {row["digest"] for row in removed} == {old_digest}
+        remaining = {row["digest"] for row in store.disk_manifest()}
+        assert new_digest in remaining
+        assert old_digest not in remaining
+
+    def test_keep_must_be_positive(self, live_fleet):
+        with pytest.raises(ValueError):
+            live_fleet.store.prune(keep=0)
+
+
+class TestStoreCommand:
+    def test_ls_table(self, refit_store, capsys):
+        model_dir, _, old_digest, new_digest = refit_store
+        assert main(["store", "ls", "--model-dir", str(model_dir)]) == 0
+        out = capsys.readouterr().out
+        assert old_digest[:16] in out
+        assert new_digest[:16] in out
+
+    def test_ls_json_manifest(self, refit_store, tmp_path, capsys):
+        model_dir, *_ = refit_store
+        out_json = tmp_path / "manifest.json"
+        assert main([
+            "store", "ls", "--model-dir", str(model_dir),
+            "--json", str(out_json),
+        ]) == 0
+        capsys.readouterr()
+        manifest = json.loads(out_json.read_text())["artifacts"]
+        assert len(manifest) == 3
+
+    def test_ls_empty_dir(self, tmp_path, capsys):
+        assert main(["store", "ls", "--model-dir", str(tmp_path)]) == 0
+        assert "no artifacts" in capsys.readouterr().out
+
+    def test_prune_dry_run_then_real(self, refit_store, capsys):
+        model_dir, registry, old_digest, new_digest = refit_store
+        assert main([
+            "store", "prune", "--model-dir", str(model_dir), "--dry-run",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "would remove" in out
+        assert old_digest[:16] in out
+
+        assert main(["store", "prune", "--model-dir", str(model_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 artifact(s)" in out
+        remaining = {row["digest"] for row in registry.store.disk_manifest()}
+        assert len(remaining) == 2  # HQ/f0 (refit) + HQ/f1, old version gone
+        assert new_digest in remaining
+        assert old_digest not in remaining

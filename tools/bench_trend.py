@@ -98,9 +98,10 @@ def _render_bench(name: str, entries: list[dict], last_n: int) -> list[str]:
     for entry in entries:
         for key in entry.get("metrics", {}):
             metrics.setdefault(key, [])
-    for entry in entries:
-        for key, series in metrics.items():
-            series.append(entry.get("metrics", {}).get(key))
+    for series_key, series in metrics.items():
+        series.extend(
+            entry.get("metrics", {}).get(series_key) for entry in entries
+        )
     lines = [f"## {name}", ""]
     lines.append("| metric | first | last | range | trend |")
     lines.append("|---|---|---|---|---|")
